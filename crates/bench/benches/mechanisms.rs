@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks: client-side perturbation throughput.
+//!
+//! Measures one user's perturbation cost for GRR, RAPPOR/OUE/IDUE (unary
+//! encoding over m bits) and IDUE-PS (pad-and-sample plus m+ℓ bits), at the
+//! domain sizes of the paper's datasets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idldp_core::budget::Epsilon;
+use idldp_core::grr::GeneralizedRandomizedResponse;
+use idldp_core::idue::Idue;
+use idldp_core::idue_ps::IduePs;
+use idldp_core::levels::LevelPartition;
+use idldp_opt::{IdueSolver, Model};
+use idldp_num::rng::stream_rng;
+use std::hint::black_box;
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+fn four_level(m: usize) -> LevelPartition {
+    let budgets = vec![eps(1.0), eps(1.2), eps(2.0), eps(4.0)];
+    let level_of = (0..m).map(|i| if i % 20 < 17 { 3 } else { i % 20 % 3 }).collect();
+    LevelPartition::new(level_of, budgets).unwrap()
+}
+
+fn bench_grr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perturb/grr");
+    for m in [16usize, 256, 4096] {
+        let mech = GeneralizedRandomizedResponse::new(eps(1.0), m).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            let mut rng = stream_rng(1, 0);
+            b.iter(|| black_box(mech.perturb(black_box(3), &mut rng).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_unary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perturb/unary");
+    for m in [100usize, 1000] {
+        let oue = Idue::oue(m, eps(1.0)).unwrap();
+        group.bench_with_input(BenchmarkId::new("oue", m), &m, |b, _| {
+            let mut rng = stream_rng(2, 0);
+            b.iter(|| black_box(oue.perturb_item(black_box(7 % m), &mut rng)));
+        });
+        let levels = four_level(m);
+        let params = IdueSolver::new(Model::Opt1).solve(&levels).unwrap();
+        let idue = Idue::new(levels, &params).unwrap();
+        group.bench_with_input(BenchmarkId::new("idue-opt1", m), &m, |b, _| {
+            let mut rng = stream_rng(3, 0);
+            b.iter(|| black_box(idue.perturb_item(black_box(7 % m), &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_idue_ps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perturb/idue-ps");
+    for (m, l) in [(100usize, 4usize), (1000, 8)] {
+        let levels = four_level(m);
+        let params = IdueSolver::new(Model::Opt1).solve(&levels).unwrap();
+        let mech = IduePs::new(levels, &params, l).unwrap();
+        let set: Vec<usize> = (0..6).map(|i| i * (m / 7)).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("m{m}-l{l}")),
+            &m,
+            |b, _| {
+                let mut rng = stream_rng(4, 0);
+                b.iter(|| black_box(mech.perturb_set(black_box(&set), &mut rng)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grr, bench_unary, bench_idue_ps);
+criterion_main!(benches);

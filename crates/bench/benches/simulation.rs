@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks: exact vs aggregate simulation paths.
+//!
+//! The ablation behind DESIGN.md's "two execution paths" decision: the
+//! exact path performs `n·m` Bernoulli draws, the aggregate path `O(n + m)`
+//! binomials. Both produce identically distributed server-side counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idldp_core::budget::Epsilon;
+use idldp_core::idue::Idue;
+use idldp_core::idue_ps::IduePs;
+use idldp_data::dataset::{ItemSetDataset, SingleItemDataset};
+use idldp_num::rng::stream_rng;
+use idldp_sim::{aggregate, exact};
+use std::hint::black_box;
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+fn single_item_dataset(n: usize, m: usize) -> SingleItemDataset {
+    SingleItemDataset::new((0..n).map(|i| (i % m) as u32).collect(), m)
+}
+
+fn bench_single_item_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate/single-item");
+    group.sample_size(10);
+    for (n, m) in [(10_000usize, 100usize), (50_000, 100)] {
+        let mech = Idue::oue(m, eps(1.0)).unwrap();
+        let ds = single_item_dataset(n, m);
+        group.bench_with_input(
+            BenchmarkId::new("exact", format!("n{n}-m{m}")),
+            &ds,
+            |b, ds| b.iter(|| black_box(exact::run_single_item(&mech, ds, 1))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("aggregate", format!("n{n}-m{m}")),
+            &ds,
+            |b, ds| {
+                let mut rng = stream_rng(2, 0);
+                b.iter(|| black_box(aggregate::run_single_item(&mut rng, &mech, ds)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_item_set_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate/item-set");
+    group.sample_size(10);
+    let (n, m, l) = (10_000usize, 200usize, 4usize);
+    let mech = IduePs::oue_ps(m, eps(1.0), l).unwrap();
+    let sets: Vec<Vec<u32>> = (0..n)
+        .map(|i| vec![(i % m) as u32, ((i + 7) % m) as u32, ((i + 31) % m) as u32])
+        .collect();
+    let ds = ItemSetDataset::new(sets, m);
+    group.bench_function("exact", |b| {
+        b.iter(|| black_box(exact::run_item_set(&mech, &ds, 1)))
+    });
+    group.bench_function("aggregate", |b| {
+        let mut rng = stream_rng(3, 0);
+        b.iter(|| black_box(aggregate::run_item_set(&mut rng, &mech, &ds)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_item_paths, bench_item_set_paths);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks: optimization-model solve time.
+//!
+//! The paper's scalability claim is that the IDUE optimization has `2t`
+//! variables and `t²` constraints — independent of the domain size `m`.
+//! These benches measure the three models across level counts (opt0 only
+//! at small `t`; its Nelder–Mead search grows with dimension).
+//!
+//! Solver caching is bypassed by constructing a fresh solver per iteration
+//! batch — we measure the solve, not the cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idldp_core::budget::Epsilon;
+use idldp_core::levels::LevelPartition;
+use idldp_opt::{IdueSolver, Model};
+use std::hint::black_box;
+
+fn levels_with_t(t: usize) -> LevelPartition {
+    let budgets = (0..t)
+        .map(|i| Epsilon::new(1.0 + 3.0 * i as f64 / (t.max(2) - 1) as f64).unwrap())
+        .collect();
+    let level_of = (0..t * 10).map(|i| i % t).collect();
+    LevelPartition::new(level_of, budgets).unwrap()
+}
+
+fn bench_convex_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve/convex");
+    for t in [2usize, 4, 10, 20] {
+        let levels = levels_with_t(t);
+        for model in [Model::Opt1, Model::Opt2] {
+            group.bench_with_input(
+                BenchmarkId::new(model.name(), t),
+                &levels,
+                |b, levels| {
+                    b.iter_with_setup(
+                        || IdueSolver::new(model),
+                        |solver| black_box(solver.solve(black_box(levels)).unwrap()),
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_opt0(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve/opt0");
+    group.sample_size(10);
+    for t in [2usize, 4] {
+        let levels = levels_with_t(t);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &levels, |b, levels| {
+            b.iter_with_setup(
+                || IdueSolver::new(Model::Opt0),
+                |solver| black_box(solver.solve(black_box(levels)).unwrap()),
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache_hit(c: &mut Criterion) {
+    // The cached path, for contrast with the cold solves above.
+    let levels = levels_with_t(4);
+    let solver = IdueSolver::new(Model::Opt1);
+    solver.solve(&levels).unwrap();
+    c.bench_function("solve/cached-opt1-t4", |b| {
+        b.iter(|| black_box(solver.solve(black_box(&levels)).unwrap()));
+    });
+}
+
+criterion_group!(benches, bench_convex_models, bench_opt0, bench_cache_hit);
+criterion_main!(benches);

@@ -1,0 +1,218 @@
+//! Ablation harness for the design choices called out in DESIGN.md §8:
+//!
+//! 1. **r-function** — MinID vs AvgID vs MaxID-LDP: how much utility does
+//!    each instantiation of ID-LDP buy (at what leakage)?
+//! 2. **optimization model** — opt0 vs opt1 vs opt2 worst-case objective
+//!    across budget-skew settings (the `opt0 <= min(opt1, opt2)` dominance).
+//! 3. **policy graph** — complete vs group (Section IV-C): the >2·min(E)
+//!    gain from incomplete protection requirements.
+//!
+//! Run: `cargo run --release -p idldp-bench --bin ablation`
+
+use idldp_bench::{emit, Args};
+use idldp_core::budget::Epsilon;
+use idldp_core::levels::LevelPartition;
+use idldp_core::notion::RFunction;
+use idldp_core::policy::PolicyGraph;
+use idldp_opt::{worst_case_objective, IdueSolver, Model};
+use idldp_sim::report::TextTable;
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).expect("positive budget")
+}
+
+/// The paper's default 4-level structure at base ε over 100 items.
+fn default_levels(base: f64) -> LevelPartition {
+    let budgets = vec![eps(base), eps(1.2 * base), eps(2.0 * base), eps(4.0 * base)];
+    let level_of = (0..100)
+        .map(|i| match i % 20 {
+            0 => 0,
+            1 => 1,
+            2 => 2,
+            _ => 3,
+        })
+        .collect();
+    LevelPartition::new(level_of, budgets).expect("valid structure")
+}
+
+fn ablate_r_functions(args: &Args) {
+    println!("ablation 1: r-function (notion instantiation), opt1 model, base eps = 1");
+    let levels = default_levels(1.0);
+    let counts = levels.counts();
+    let mut table = TextTable::new(&[
+        "r-function",
+        "worst-case objective (x n)",
+        "actual LDP eps",
+    ]);
+    for r in [RFunction::Min, RFunction::Avg, RFunction::Max] {
+        let params = IdueSolver::new(Model::Opt1)
+            .with_r(r)
+            .solve(&levels)
+            .expect("feasible");
+        let (ldp_eps, _) = params.max_pair_ratio();
+        table.row(vec![
+            r.name().into(),
+            format!("{:.3}", worst_case_objective(&params, counts)),
+            format!("{ldp_eps:.4}"),
+        ]);
+    }
+    emit(&table, args.csv());
+    println!("(looser r ⇒ better utility but weaker pairwise protection)\n");
+}
+
+fn ablate_opt_models(args: &Args) {
+    println!("ablation 2: optimization model across budget skews (Eq. 10 objective, x n)");
+    let mut table = TextTable::new(&["budgets", "opt0", "opt1", "opt2", "opt0 wins by"]);
+    for (label, budgets) in [
+        ("uniform {1,1,1,1}x", vec![1.0, 1.0001, 1.0002, 1.0003]),
+        ("default {1,1.2,2,4}", vec![1.0, 1.2, 2.0, 4.0]),
+        ("extreme {1,4,8,16}", vec![1.0, 4.0, 8.0, 16.0]),
+    ] {
+        let level_of = (0..100)
+            .map(|i| match i % 20 {
+                0 => 0,
+                1 => 1,
+                2 => 2,
+                _ => 3,
+            })
+            .collect();
+        let levels = LevelPartition::new(
+            level_of,
+            budgets.iter().map(|&b| eps(b)).collect(),
+        )
+        .expect("valid");
+        let counts = levels.counts();
+        let values: Vec<f64> = Model::ALL
+            .iter()
+            .map(|&m| {
+                let p = IdueSolver::new(m).solve(&levels).expect("feasible");
+                worst_case_objective(&p, counts)
+            })
+            .collect();
+        let best_convex = values[1].min(values[2]);
+        table.row(vec![
+            label.into(),
+            format!("{:.3}", values[0]),
+            format!("{:.3}", values[1]),
+            format!("{:.3}", values[2]),
+            format!("{:+.2}%", 100.0 * (best_convex - values[0]) / best_convex),
+        ]);
+    }
+    emit(&table, args.csv());
+    println!("(opt0 never loses; the convex models stay within a few percent)\n");
+}
+
+fn ablate_policy_graphs(args: &Args) {
+    println!("ablation 3: policy graphs (Section IV-C), 3 levels {{0.5, 2, 4}}, opt1");
+    let budgets = vec![eps(0.5), eps(2.0), eps(4.0)];
+    let level_of = (0..60)
+        .map(|i| match i % 10 {
+            0 => 0,
+            1 | 2 => 1,
+            _ => 2,
+        })
+        .collect();
+    let levels = LevelPartition::new(level_of, budgets).expect("valid");
+    let counts = levels.counts();
+    let mut table = TextTable::new(&[
+        "policy",
+        "protected pairs",
+        "objective (x n)",
+        "worst unprotected ln-ratio",
+    ]);
+    for (label, graph) in [
+        ("complete", PolicyGraph::complete(3).expect("valid")),
+        (
+            "group {1-2 only}",
+            PolicyGraph::from_edges(3, &[(1, 2)]).expect("valid"),
+        ),
+        ("self-pairs only", PolicyGraph::from_edges(3, &[]).expect("valid")),
+    ] {
+        let params = IdueSolver::new(Model::Opt1)
+            .with_policy(graph.clone())
+            .solve(&levels)
+            .expect("feasible");
+        let mut worst_unprotected: f64 = 0.0;
+        for i in 0..3 {
+            for j in 0..3 {
+                if !graph.is_protected(i, j) {
+                    worst_unprotected = worst_unprotected.max(params.pair_log_ratio(i, j));
+                }
+            }
+        }
+        table.row(vec![
+            label.into(),
+            graph.protected_pairs().to_string(),
+            format!("{:.3}", worst_case_objective(&params, counts)),
+            if graph.is_complete() {
+                "-".into()
+            } else {
+                format!("{worst_unprotected:.3}")
+            },
+        ]);
+    }
+    emit(&table, args.csv());
+    println!(
+        "(dropping cross-group protection lets unprotected pairs exceed Lemma 1's \
+         2 min(E) = 1.0 cap, buying utility)"
+    );
+}
+
+fn ablate_direct_matrix(args: &Args) {
+    use idldp_opt::direct::{solve_direct, worst_case_unit_variance, DirectOptions};
+    println!(
+        "ablation 4: direct matrix optimization vs IDUE on the Table II domain (m = 5)"
+    );
+    // The Table II toy: item 0 at ln 4, items 1..5 at ln 6.
+    let levels = LevelPartition::new(
+        vec![0, 1, 1, 1, 1],
+        vec![eps(4.0_f64.ln()), eps(6.0_f64.ln())],
+    )
+    .expect("valid structure");
+    let mut table = TextTable::new(&["mechanism", "worst-case per-user variance (x n)"]);
+
+    // GRR at min(E) — the classic small-domain baseline.
+    let grr = idldp_core::matrix_mech::PerturbationMatrix::grr(eps(4.0_f64.ln()), 5)
+        .expect("valid");
+    let grr_probs: Vec<Vec<f64>> = (0..5)
+        .map(|x| (0..5).map(|y| grr.prob(x, y)).collect())
+        .collect();
+    table.row(vec![
+        "GRR @ min(E)".into(),
+        format!("{:.3}", worst_case_unit_variance(&grr_probs)),
+    ]);
+
+    // Direct matrix under MinID-LDP.
+    let direct = solve_direct(&levels, RFunction::Min, &DirectOptions::default())
+        .expect("small domain is feasible");
+    let direct_probs: Vec<Vec<f64>> = (0..5)
+        .map(|x| (0..5).map(|y| direct.prob(x, y)).collect())
+        .collect();
+    table.row(vec![
+        "direct matrix (MinID-LDP)".into(),
+        format!("{:.3}", worst_case_unit_variance(&direct_probs)),
+    ]);
+
+    // IDUE for reference (different output space — m-bit vectors — but the
+    // same worst-case total-MSE scale per user).
+    let idue = IdueSolver::new(Model::Opt0).solve(&levels).expect("feasible");
+    table.row(vec![
+        "IDUE opt0 (MinID-LDP)".into(),
+        format!("{:.3}", worst_case_objective(&idue, levels.counts())),
+    ]);
+    emit(&table, args.csv());
+    println!(
+        "(at tiny m GRR-style categorical mechanisms beat unary encoding — the known \
+         m < 3e^eps + 2 regime — and the direct search confirms GRR@min(E) is already \
+         near-optimal here; IDUE's unary encoding pays for its scalability to large m, \
+         where GRR's q = 1/(e^eps + m - 1) collapses)"
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    ablate_r_functions(&args);
+    ablate_opt_models(&args);
+    ablate_policy_graphs(&args);
+    ablate_direct_matrix(&args);
+}

@@ -1,0 +1,90 @@
+//! Regenerates **Fig. 4(a)**: Kosarak (single-item view — each user's first
+//! page), MSE vs ε for IDUE under three budget distributions
+//! `{5,5,5,85}%`, `{10,10,10,70}%`, `{25,25,25,25}%`, against RAPPOR and
+//! OUE (which run at min(E) and are distribution-independent).
+//!
+//! Expected shape: IDUE beats OUE/RAPPOR, with the gap shrinking as the
+//! budget distribution becomes uniform — the paper's headline sensitivity
+//! result. Defaults to a 2% surrogate scale; `--full` uses the published
+//! Kosarak dimensions (~990k users, 41,270 pages).
+
+use idldp_bench::{emit, epsilon_sweep_short, Args};
+use idldp_core::budget::Epsilon;
+use idldp_data::budgets::BudgetScheme;
+use idldp_data::kosarak::{self, KosarakConfig};
+use idldp_num::rng::stream_rng;
+use idldp_sim::report::{sci, TextTable};
+use idldp_sim::{MechanismSpec, SingleItemExperiment};
+use idldp_opt::Model;
+
+fn main() {
+    let args = Args::parse();
+    let config = if args.full() {
+        KosarakConfig::paper()
+    } else {
+        KosarakConfig::scaled(args.get("scale", 0.02))
+    };
+    let trials = args.trials(5);
+    let seed = args.seed();
+
+    let sets = kosarak::generate(&mut stream_rng(seed, 1), &config);
+    let dataset = sets.first_item_view();
+    let m = dataset.domain_size();
+    println!(
+        "Fig. 4(a): Kosarak surrogate single-item view, n = {}, m = {m}, trials = {trials}",
+        dataset.num_users()
+    );
+
+    let distributions: [(&str, [f64; 4]); 3] = [
+        ("[5,5,5,85]", [0.05, 0.05, 0.05, 0.85]),
+        ("[10,10,10,70]", [0.10, 0.10, 0.10, 0.70]),
+        ("[25,25,25,25]", [0.25, 0.25, 0.25, 0.25]),
+    ];
+
+    let mut table = TextTable::new(&["eps", "mechanism", "budget dist", "empirical MSE", "stderr"]);
+    for &eps in &epsilon_sweep_short() {
+        let base = Epsilon::new(eps).expect("positive eps");
+        // Baselines once per ε (distribution-independent: they use min(E)).
+        let base_levels = BudgetScheme::paper_default()
+            .assign(m, base, &mut stream_rng(seed, 2))
+            .expect("valid assignment");
+        let exp = SingleItemExperiment::new(&dataset, base_levels, trials, seed);
+        for (spec, name) in [
+            (MechanismSpec::Rappor, "RAPPOR"),
+            (MechanismSpec::Oue, "OUE"),
+        ] {
+            let r = &exp.run(&[spec]).expect("experiment runs")[0];
+            table.row(vec![
+                format!("{eps:.1}"),
+                name.into(),
+                "-".into(),
+                sci(r.empirical_mse),
+                sci(r.empirical_mse_stderr),
+            ]);
+        }
+        // IDUE per distribution.
+        for (label, weights) in &distributions {
+            let scheme = BudgetScheme::with_weights(*weights).expect("valid weights");
+            let levels = scheme
+                .assign(m, base, &mut stream_rng(seed, 2))
+                .expect("valid assignment");
+            let exp = SingleItemExperiment::new(&dataset, levels, trials, seed);
+            let r = &exp
+                .run(&[MechanismSpec::Idue(Model::Opt0)])
+                .expect("experiment runs")[0];
+            table.row(vec![
+                format!("{eps:.1}"),
+                "IDUE".into(),
+                (*label).into(),
+                sci(r.empirical_mse),
+                sci(r.empirical_mse_stderr),
+            ]);
+        }
+    }
+    emit(&table, args.csv());
+    println!();
+    println!(
+        "expected shape: IDUE < OUE < RAPPOR; the IDUE advantage shrinks as the \
+         budget distribution approaches uniform [25,25,25,25]."
+    );
+}

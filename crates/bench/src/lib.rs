@@ -1,0 +1,157 @@
+//! # `idldp-bench` — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §3 for the
+//! index):
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table1` | Table I — prior–posterior leakage bounds |
+//! | `table2` | Table II — toy medical survey, RAPPOR vs OUE vs IDUE |
+//! | `fig1` | Fig. 1 — pairwise-budget graphs of the four notions |
+//! | `fig2` | Fig. 2 — worked IDUE-PS pipeline trace |
+//! | `fig3` | Fig. 3 — empirical vs theoretical MSE on synthetic data |
+//! | `fig4a` | Fig. 4(a) — Kosarak (single-item) across budget distributions |
+//! | `fig4b` | Fig. 4(b) — Retail (item-set), t = 4 vs t = 20 |
+//! | `fig5` | Fig. 5 — Retail & MSNBC across padding lengths ℓ |
+//!
+//! Common flags: `--full` (paper-scale data), `--trials N`, `--seed S`,
+//! `--csv`. Criterion micro-benchmarks live in `benches/`.
+
+use std::collections::HashMap;
+
+/// Default master seed for all experiment binaries (arbitrary but fixed so
+/// published EXPERIMENTS.md numbers are reproducible).
+pub const DEFAULT_SEED: u64 = 20200401;
+
+/// Minimal command-line arguments: `--flag` booleans and `--key value`
+/// pairs. No external dependency needed for eight small binaries.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()` (skipping the program name).
+    pub fn parse() -> Self {
+        Self::from_tokens(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn from_tokens<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut args = Args::default();
+        let mut tokens = iter.into_iter().peekable();
+        while let Some(tok) = tokens.next() {
+            let Some(name) = tok.strip_prefix("--") else {
+                continue; // ignore stray positional tokens
+            };
+            let takes_value = tokens
+                .peek()
+                .is_some_and(|next| !next.starts_with("--"));
+            if takes_value {
+                args.values
+                    .insert(name.to_string(), tokens.next().expect("peeked"));
+            } else {
+                args.flags.push(name.to_string());
+            }
+        }
+        args
+    }
+
+    /// `true` if `--name` was passed as a boolean flag.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// A `--key value` parsed as the requested type, or the default.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.values
+            .get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Common flag: paper-scale data (`--full`).
+    pub fn full(&self) -> bool {
+        self.flag("full")
+    }
+
+    /// Common flag: CSV output (`--csv`).
+    pub fn csv(&self) -> bool {
+        self.flag("csv")
+    }
+
+    /// Common flag: master seed (`--seed S`).
+    pub fn seed(&self) -> u64 {
+        self.get("seed", DEFAULT_SEED)
+    }
+
+    /// Common flag: trial count (`--trials N`).
+    pub fn trials(&self, default: usize) -> usize {
+        self.get("trials", default).max(1)
+    }
+}
+
+/// Prints a table in the format selected by `--csv`.
+pub fn emit(table: &idldp_sim::report::TextTable, csv: bool) {
+    if csv {
+        print!("{}", table.render_csv());
+    } else {
+        print!("{}", table.render());
+    }
+}
+
+/// The ε sweep used by Fig. 3 and Fig. 4(a): `{1.0, 1.5, 2.0, 2.5, 3.0}`.
+pub fn epsilon_sweep_short() -> Vec<f64> {
+    vec![1.0, 1.5, 2.0, 2.5, 3.0]
+}
+
+/// The ε sweep used by Fig. 4(b): `{1..6}`.
+pub fn epsilon_sweep_long() -> Vec<f64> {
+    vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::from_tokens(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_flags_and_values() {
+        let a = parse("--full --trials 7 --seed 13 --csv");
+        assert!(a.full());
+        assert!(a.csv());
+        assert_eq!(a.trials(3), 7);
+        assert_eq!(a.seed(), 13);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("");
+        assert!(!a.full());
+        assert_eq!(a.trials(5), 5);
+        assert_eq!(a.seed(), DEFAULT_SEED);
+        assert_eq!(a.get("eps", 2.5), 2.5);
+    }
+
+    #[test]
+    fn bad_values_fall_back() {
+        let a = parse("--trials abc");
+        assert_eq!(a.trials(4), 4);
+    }
+
+    #[test]
+    fn trials_floor_is_one() {
+        let a = parse("--trials 0");
+        assert_eq!(a.trials(5), 1);
+    }
+
+    #[test]
+    fn sweeps_match_paper() {
+        assert_eq!(epsilon_sweep_short(), vec![1.0, 1.5, 2.0, 2.5, 3.0]);
+        assert_eq!(epsilon_sweep_long().len(), 6);
+    }
+}

@@ -1,0 +1,127 @@
+//! Flag parsing for the CLI: `--key value` pairs with typed accessors and
+//! comma-separated list support.
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` arguments.
+#[derive(Clone, Debug, Default)]
+pub struct CliArgs {
+    values: HashMap<String, String>,
+}
+
+impl CliArgs {
+    /// Parses a token list (everything after the subcommand).
+    pub fn parse(tokens: &[String]) -> Self {
+        let mut values = HashMap::new();
+        let mut iter = tokens.iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                let takes_value = iter.peek().is_some_and(|next| !next.starts_with("--"));
+                let value = if takes_value {
+                    iter.next().expect("peeked").clone()
+                } else {
+                    "true".to_string()
+                };
+                values.insert(name.to_string(), value);
+            }
+        }
+        Self { values }
+    }
+
+    /// A required string value.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.values
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// An optional value with a default.
+    pub fn get_or(&self, name: &str, default: &str) -> String {
+        self.values
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// A typed optional value.
+    pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse `{v}`")),
+        }
+    }
+
+    /// A required comma-separated list of floats.
+    pub fn require_f64_list(&self, name: &str) -> Result<Vec<f64>, String> {
+        parse_f64_list(self.require(name)?).map_err(|e| format!("flag --{name}: {e}"))
+    }
+
+    /// A required comma-separated list of non-negative integers.
+    pub fn require_usize_list(&self, name: &str) -> Result<Vec<usize>, String> {
+        self.require(name)?
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("flag --{name}: cannot parse `{s}`"))
+            })
+            .collect()
+    }
+}
+
+/// Parses a comma-separated float list.
+pub fn parse_f64_list(s: &str) -> Result<Vec<f64>, String> {
+    s.split(',')
+        .map(|part| {
+            part.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("cannot parse `{part}` as a number"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> CliArgs {
+        CliArgs::parse(&s.split_whitespace().map(String::from).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn key_value_pairs() {
+        let a = parse("--budgets 1,2 --model opt1 --verbose");
+        assert_eq!(a.require("budgets").unwrap(), "1,2");
+        assert_eq!(a.get_or("model", "opt0"), "opt1");
+        assert_eq!(a.get_or("verbose", "false"), "true");
+        assert!(a.require("missing").is_err());
+    }
+
+    #[test]
+    fn typed_parsing() {
+        let a = parse("--trials 7");
+        assert_eq!(a.parse_or("trials", 3usize).unwrap(), 7);
+        assert_eq!(a.parse_or("seed", 42u64).unwrap(), 42);
+        let bad = parse("--trials seven");
+        assert!(bad.parse_or("trials", 3usize).is_err());
+    }
+
+    #[test]
+    fn float_lists() {
+        assert_eq!(parse_f64_list("1, 2.5,4").unwrap(), vec![1.0, 2.5, 4.0]);
+        assert!(parse_f64_list("1,x").is_err());
+        let a = parse("--budgets 1,1.2");
+        assert_eq!(a.require_f64_list("budgets").unwrap(), vec![1.0, 1.2]);
+    }
+
+    #[test]
+    fn usize_lists() {
+        let a = parse("--counts 5,5,90");
+        assert_eq!(a.require_usize_list("counts").unwrap(), vec![5, 5, 90]);
+        let bad = parse("--counts 5,-1");
+        assert!(bad.require_usize_list("counts").is_err());
+    }
+}

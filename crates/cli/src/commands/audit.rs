@@ -1,0 +1,49 @@
+//! `idldp audit` — verify per-level parameters against Eq. 7.
+
+use super::{levels_from_flags, r_from_flag};
+use crate::args::CliArgs;
+use idldp_core::params::LevelParams;
+
+/// Runs the subcommand.
+pub fn run(args: &CliArgs) -> Result<(), String> {
+    let budgets = args.require_f64_list("budgets")?;
+    let counts = args.require_usize_list("counts")?;
+    let a = args.require_f64_list("a")?;
+    let b = args.require_f64_list("b")?;
+    let tol = args.parse_or("tol", 1e-9)?;
+    let r = r_from_flag(&args.get_or("r", "min"))?;
+    let levels = levels_from_flags(&budgets, &counts)?;
+    let params = LevelParams::new(a, b).map_err(|e| e.to_string())?;
+    if params.num_levels() != levels.num_levels() {
+        return Err(format!(
+            "--a/--b have {} levels but --budgets has {}",
+            params.num_levels(),
+            levels.num_levels()
+        ));
+    }
+
+    println!("pairwise Eq. 7 log-ratios (rows = i, cols = j; bound = r(eps_i, eps_j)):");
+    let t = params.num_levels();
+    for i in 0..t {
+        for j in 0..t {
+            let observed = params.pair_log_ratio(i, j);
+            let allowed = r.combine(
+                levels.level_budget(i).expect("in range"),
+                levels.level_budget(j).expect("in range"),
+            );
+            let mark = if observed <= allowed + tol { "ok" } else { "VIOLATION" };
+            println!("  ({i},{j}): ln-ratio {observed:>8.5}  <=? {allowed:>8.5}  {mark}");
+        }
+    }
+    println!();
+    match params.verify(&levels, r, tol) {
+        Ok(()) => {
+            println!("VERDICT: parameters satisfy {}-ID-LDP (tol {tol:.0e})", r.name());
+            Ok(())
+        }
+        Err(e) => {
+            println!("VERDICT: VIOLATED — {e}");
+            Err("audit failed".into())
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! CLI subcommands.
+
+pub mod audit;
+pub mod leakage;
+pub mod simulate;
+pub mod solve;
+
+use idldp_core::budget::Epsilon;
+use idldp_core::levels::LevelPartition;
+use idldp_core::notion::RFunction;
+use idldp_opt::Model;
+
+/// Builds a level partition from `--budgets` / `--counts` flag values.
+///
+/// `counts[i]` items are assigned to level `i`, contiguously — the CLI works
+/// at the level granularity, which is all the solvers need.
+pub fn levels_from_flags(
+    budgets: &[f64],
+    counts: &[usize],
+) -> Result<LevelPartition, String> {
+    if budgets.len() != counts.len() {
+        return Err(format!(
+            "--budgets has {} entries but --counts has {}",
+            budgets.len(),
+            counts.len()
+        ));
+    }
+    let eps = budgets
+        .iter()
+        .map(|&b| Epsilon::new(b).map_err(|e| e.to_string()))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut level_of = Vec::new();
+    for (lvl, &c) in counts.iter().enumerate() {
+        level_of.extend(std::iter::repeat_n(lvl, c));
+    }
+    LevelPartition::new(level_of, eps).map_err(|e| e.to_string())
+}
+
+/// Parses a `--model` flag value.
+pub fn model_from_flag(name: &str) -> Result<Model, String> {
+    match name {
+        "opt0" => Ok(Model::Opt0),
+        "opt1" => Ok(Model::Opt1),
+        "opt2" => Ok(Model::Opt2),
+        other => Err(format!("unknown model `{other}` (expected opt0|opt1|opt2)")),
+    }
+}
+
+/// Parses an `--r` flag value.
+pub fn r_from_flag(name: &str) -> Result<RFunction, String> {
+    match name {
+        "min" => Ok(RFunction::Min),
+        "avg" => Ok(RFunction::Avg),
+        "max" => Ok(RFunction::Max),
+        other => Err(format!("unknown r-function `{other}` (expected min|avg|max)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_builder() {
+        let l = levels_from_flags(&[1.0, 4.0], &[2, 3]).unwrap();
+        assert_eq!(l.num_items(), 5);
+        assert_eq!(l.counts(), &[2, 3]);
+        assert!(levels_from_flags(&[1.0], &[2, 3]).is_err());
+        assert!(levels_from_flags(&[-1.0], &[2]).is_err());
+        assert!(levels_from_flags(&[1.0, 2.0], &[2, 0]).is_err());
+    }
+
+    #[test]
+    fn model_and_r_parsers() {
+        assert_eq!(model_from_flag("opt0").unwrap(), Model::Opt0);
+        assert_eq!(model_from_flag("opt2").unwrap(), Model::Opt2);
+        assert!(model_from_flag("optX").is_err());
+        assert_eq!(r_from_flag("min").unwrap(), RFunction::Min);
+        assert!(r_from_flag("median").is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! `idldp solve` — solve IDUE perturbation probabilities.
+
+use super::{levels_from_flags, model_from_flag, r_from_flag};
+use crate::args::CliArgs;
+use idldp_opt::{worst_case_objective, IdueSolver};
+
+/// Runs the subcommand.
+pub fn run(args: &CliArgs) -> Result<(), String> {
+    let budgets = args.require_f64_list("budgets")?;
+    let counts = args.require_usize_list("counts")?;
+    let levels = levels_from_flags(&budgets, &counts)?;
+    let model = model_from_flag(&args.get_or("model", "opt0"))?;
+    let r = r_from_flag(&args.get_or("r", "min"))?;
+
+    let solver = IdueSolver::new(model).with_r(r);
+    let params = solver.solve(&levels).map_err(|e| e.to_string())?;
+
+    println!(
+        "model = {}, r = {}, t = {} levels, m = {} items",
+        model.name(),
+        r.name(),
+        levels.num_levels(),
+        levels.num_items()
+    );
+    println!();
+    println!("level |     eps |  m_i |        a |        b | flip(1->0) | flip(0->1)");
+    println!("{}", "-".repeat(74));
+    for i in 0..levels.num_levels() {
+        println!(
+            "{i:>5} | {:>7.4} | {:>4} | {:>8.5} | {:>8.5} | {:>10.5} | {:>10.5}",
+            budgets[i],
+            counts[i],
+            params.a()[i],
+            params.b()[i],
+            1.0 - params.a()[i],
+            params.b()[i],
+        );
+    }
+    println!();
+    let (worst_ratio, pair) = params.max_pair_ratio();
+    println!(
+        "worst-case objective (Eq. 10, x n): {:.4}",
+        worst_case_objective(&params, &counts)
+    );
+    println!("tightest plain-LDP budget: {worst_ratio:.4} (attained by level pair {pair:?})");
+    Ok(())
+}

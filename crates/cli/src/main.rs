@@ -1,0 +1,65 @@
+//! `idldp` — command-line interface to the ID-LDP workspace.
+//!
+//! ```text
+//! idldp solve    --budgets 1,1.2,2,4 --counts 5,5,5,85 [--model opt0] [--r min]
+//! idldp audit    --budgets 1,4 --counts 1,5 --a 0.59,0.67 --b 0.33,0.28
+//! idldp leakage  --budgets 1,1.2,2,4
+//! idldp simulate --dataset powerlaw --n 100000 --m 100 --eps 1.0 [--trials 10]
+//! ```
+//!
+//! Run `idldp help` (or any unknown subcommand) for usage.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+    let command = argv.remove(0);
+    let parsed = args::CliArgs::parse(&argv);
+    let result = match command.as_str() {
+        "solve" => commands::solve::run(&parsed),
+        "audit" => commands::audit::run(&parsed),
+        "leakage" => commands::leakage::run(&parsed),
+        "simulate" => commands::simulate::run(&parsed),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "idldp — Input-Discriminative Local Differential Privacy (Gu et al., ICDE 2020)
+
+USAGE:
+  idldp solve    --budgets E1,E2,.. --counts M1,M2,..  [--model opt0|opt1|opt2] [--r min|avg|max]
+      solve IDUE perturbation probabilities for privacy levels
+
+  idldp audit    --budgets E1,.. --counts M1,.. --a A1,.. --b B1,..  [--r min|avg|max]
+      check given per-level parameters against the Eq. 7 constraints
+
+  idldp leakage  --budgets E1,E2,..
+      print Table-I-style prior-posterior leakage bounds
+
+  idldp simulate --dataset powerlaw|uniform --n N --m M --eps E
+                 [--model opt0|opt1|opt2] [--trials T] [--seed S]
+      run a frequency-estimation experiment and print MSE per mechanism"
+    );
+}

@@ -1,0 +1,184 @@
+//! Sequential-composition accounting (Theorems 1 and 2).
+//!
+//! LDP composes additively in ε (Theorem 1); MinID-LDP composes additively
+//! *per input* (Theorem 2): running mechanisms with budget sets `E₁..E_k`
+//! over the same data yields `Σ E_i`-MinID-LDP, where the sum is
+//! element-wise. The accountants here track cumulative spend and answer
+//! "what total guarantee do I hold now?".
+
+use crate::budget::{BudgetSet, Epsilon};
+use crate::error::{Error, Result};
+
+/// Accountant for plain-LDP sequential composition (Theorem 1).
+#[derive(Clone, Debug, Default)]
+pub struct LdpAccountant {
+    total: f64,
+    steps: usize,
+}
+
+impl LdpAccountant {
+    /// Creates an accountant with zero spend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one ε-LDP mechanism invocation.
+    pub fn compose(&mut self, eps: Epsilon) {
+        self.total += eps.get();
+        self.steps += 1;
+    }
+
+    /// Total ε after all recorded invocations.
+    pub fn total_epsilon(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of composed mechanisms.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+}
+
+/// Accountant for MinID-LDP sequential composition (Theorem 2).
+///
+/// # Examples
+/// ```
+/// use idldp_core::budget::BudgetSet;
+/// use idldp_core::composition::MinIdLdpAccountant;
+/// let mut acc = MinIdLdpAccountant::new(2).unwrap();
+/// let e = BudgetSet::from_values(&[0.5, 2.0]).unwrap();
+/// acc.compose(&e).unwrap();
+/// acc.compose(&e).unwrap();
+/// assert_eq!(acc.total_for(0).unwrap(), 1.0); // budgets add per input
+/// assert_eq!(acc.pair_bound(0, 1).unwrap(), 1.0); // min over the pair
+/// ```
+#[derive(Clone, Debug)]
+pub struct MinIdLdpAccountant {
+    /// Per-input cumulative budgets.
+    totals: Vec<f64>,
+    steps: usize,
+}
+
+impl MinIdLdpAccountant {
+    /// Creates an accountant over a domain of `domain_size` inputs.
+    pub fn new(domain_size: usize) -> Result<Self> {
+        if domain_size == 0 {
+            return Err(Error::Empty {
+                what: "accountant domain".into(),
+            });
+        }
+        Ok(Self {
+            totals: vec![0.0; domain_size],
+            steps: 0,
+        })
+    }
+
+    /// Records one E-MinID-LDP mechanism invocation.
+    ///
+    /// # Errors
+    /// Returns an error if `budgets` has the wrong domain size.
+    pub fn compose(&mut self, budgets: &BudgetSet) -> Result<()> {
+        if budgets.len() != self.totals.len() {
+            return Err(Error::DimensionMismatch {
+                what: "composed budget set".into(),
+                expected: self.totals.len(),
+                actual: budgets.len(),
+            });
+        }
+        for (t, e) in self.totals.iter_mut().zip(budgets.iter()) {
+            *t += e.get();
+        }
+        self.steps += 1;
+        Ok(())
+    }
+
+    /// The cumulative per-input budget set `Σ E_i` (Theorem 2's guarantee).
+    ///
+    /// # Errors
+    /// Returns an error if nothing has been composed yet (all-zero budgets
+    /// are not valid ε values).
+    pub fn total_budgets(&self) -> Result<BudgetSet> {
+        BudgetSet::from_values(&self.totals)
+    }
+
+    /// Cumulative budget of one input.
+    pub fn total_for(&self, input: usize) -> Result<f64> {
+        self.totals.get(input).copied().ok_or(Error::IndexOutOfRange {
+            what: "input".into(),
+            index: input,
+            bound: self.totals.len(),
+        })
+    }
+
+    /// The pair bound `min(Σε_x, Σε_x')` currently guaranteed for `(x, x')`.
+    pub fn pair_bound(&self, x: usize, x_prime: usize) -> Result<f64> {
+        Ok(self.total_for(x)?.min(self.total_for(x_prime)?))
+    }
+
+    /// Number of composed mechanisms.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn ldp_accountant_sums() {
+        let mut acc = LdpAccountant::new();
+        acc.compose(eps(0.5));
+        acc.compose(eps(1.0));
+        assert!((acc.total_epsilon() - 1.5).abs() < 1e-12);
+        assert_eq!(acc.steps(), 2);
+    }
+
+    #[test]
+    fn minid_accountant_sums_per_input() {
+        let mut acc = MinIdLdpAccountant::new(3).unwrap();
+        acc.compose(&BudgetSet::from_values(&[1.0, 2.0, 4.0]).unwrap())
+            .unwrap();
+        acc.compose(&BudgetSet::from_values(&[0.5, 0.5, 0.5]).unwrap())
+            .unwrap();
+        assert_eq!(acc.steps(), 2);
+        assert!((acc.total_for(0).unwrap() - 1.5).abs() < 1e-12);
+        assert!((acc.total_for(2).unwrap() - 4.5).abs() < 1e-12);
+        // Theorem 2 pair bound uses the min of the per-input totals.
+        assert!((acc.pair_bound(0, 2).unwrap() - 1.5).abs() < 1e-12);
+        let total = acc.total_budgets().unwrap();
+        assert_eq!(total.len(), 3);
+        assert!((total[1].get() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minid_accountant_validates() {
+        assert!(MinIdLdpAccountant::new(0).is_err());
+        let mut acc = MinIdLdpAccountant::new(2).unwrap();
+        let wrong = BudgetSet::from_values(&[1.0]).unwrap();
+        assert!(acc.compose(&wrong).is_err());
+        assert!(acc.total_budgets().is_err(), "zero spend is not a valid ε");
+        assert!(acc.total_for(5).is_err());
+    }
+
+    #[test]
+    fn theorem2_consistency_with_theorem1() {
+        // With uniform budget sets, MinID composition reduces to LDP
+        // composition on every input.
+        let mut minid = MinIdLdpAccountant::new(4).unwrap();
+        let mut ldp = LdpAccountant::new();
+        for e in [0.3, 0.7, 1.1] {
+            minid
+                .compose(&BudgetSet::from_values(&[e; 4]).unwrap())
+                .unwrap();
+            ldp.compose(eps(e));
+        }
+        for x in 0..4 {
+            assert!((minid.total_for(x).unwrap() - ldp.total_epsilon()).abs() < 1e-12);
+        }
+    }
+}

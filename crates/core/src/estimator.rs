@@ -1,0 +1,257 @@
+//! Unbiased frequency estimation and its closed-form MSE.
+//!
+//! The server sums the reported bit vectors into per-bit counts `c_i` and
+//! calibrates them with the paper's Eq. 8:
+//!
+//! ```text
+//! ĉ_i = scale · (c_i − n·b_i) / (a_i − b_i)
+//! ```
+//!
+//! where `scale = 1` for single-item mechanisms and `scale = ℓ` for
+//! Padding-and-Sampling (each user reports a 1/ℓ sample of her set). The
+//! estimator is unbiased (Theorem 3) and its MSE equals its variance
+//! (Eq. 9):
+//!
+//! ```text
+//! MSE_i = scale² · [ n·b_i(1−b_i)/(a_i−b_i)² + c*_i(1−a_i−b_i)/(a_i−b_i) ]
+//! ```
+//!
+//! (For `scale = ℓ`, `c*_i` in the variance formula is the expected count of
+//! *samples* equal to `i`, i.e. the true count divided by ℓ when every user
+//! holds at least one sampled slot — see `idue_ps` for the details.)
+
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Calibrating estimator for per-bit counts.
+///
+/// # Examples
+/// ```
+/// use idldp_core::estimator::FrequencyEstimator;
+/// // One bit with a = 0.5, b = 0.2 over n = 1000 users.
+/// let est = FrequencyEstimator::new(vec![0.5], vec![0.2], 1000, 1.0).unwrap();
+/// // If 400 users held the item, the expected count is 400·0.5 + 600·0.2 = 320,
+/// // and calibration inverts it back.
+/// let estimate = est.estimate(&[320]).unwrap();
+/// assert!((estimate[0] - 400.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyEstimator {
+    a: Vec<f64>,
+    b: Vec<f64>,
+    n: u64,
+    scale: f64,
+}
+
+impl FrequencyEstimator {
+    /// Creates an estimator for `n` users and per-bit probabilities.
+    ///
+    /// `scale` multiplies the calibrated counts (use `ℓ` for PS-based
+    /// mechanisms, `1.0` otherwise).
+    pub fn new(a: Vec<f64>, b: Vec<f64>, n: u64, scale: f64) -> Result<Self> {
+        if a.len() != b.len() {
+            return Err(Error::DimensionMismatch {
+                what: "estimator a/b".into(),
+                expected: a.len(),
+                actual: b.len(),
+            });
+        }
+        if a.is_empty() {
+            return Err(Error::Empty {
+                what: "estimator parameters".into(),
+            });
+        }
+        for (k, (&ak, &bk)) in a.iter().zip(&b).enumerate() {
+            if ak <= bk {
+                return Err(Error::ParameterOrdering {
+                    detail: format!("estimator requires a[{k}] > b[{k}]"),
+                });
+            }
+        }
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(Error::InvalidProbability {
+                name: "scale".into(),
+                value: scale,
+            });
+        }
+        Ok(Self { a, b, n, scale })
+    }
+
+    /// Number of bits this estimator calibrates.
+    pub fn num_bits(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Number of users `n`.
+    pub fn num_users(&self) -> u64 {
+        self.n
+    }
+
+    /// Calibrates raw per-bit counts into unbiased frequency estimates
+    /// (Eq. 8, times `scale`).
+    ///
+    /// # Errors
+    /// Returns an error if `counts.len()` differs from the number of bits.
+    pub fn estimate(&self, counts: &[u64]) -> Result<Vec<f64>> {
+        if counts.len() != self.num_bits() {
+            return Err(Error::DimensionMismatch {
+                what: "count vector".into(),
+                expected: self.num_bits(),
+                actual: counts.len(),
+            });
+        }
+        let n = self.n as f64;
+        Ok(counts
+            .iter()
+            .zip(self.a.iter().zip(&self.b))
+            .map(|(&c, (&a, &b))| self.scale * (c as f64 - n * b) / (a - b))
+            .collect())
+    }
+
+    /// Theoretical MSE (= variance, by unbiasedness) of the estimator for
+    /// bit `i` given the *expected hot count* `hot_i` — the expected number
+    /// of users whose encoded vector has bit `i` set (Eq. 9, times
+    /// `scale²`).
+    pub fn theoretical_mse_bit(&self, i: usize, hot_i: f64) -> f64 {
+        let (a, b) = (self.a[i], self.b[i]);
+        let n = self.n as f64;
+        let base = n * b * (1.0 - b) / ((a - b) * (a - b)) + hot_i * (1.0 - a - b) / (a - b);
+        self.scale * self.scale * base
+    }
+
+    /// Total theoretical MSE over a set of bits given their expected hot
+    /// counts.
+    ///
+    /// # Errors
+    /// Returns an error if `hot_counts.len()` differs from the bit count.
+    pub fn theoretical_total_mse(&self, hot_counts: &[f64]) -> Result<f64> {
+        if hot_counts.len() != self.num_bits() {
+            return Err(Error::DimensionMismatch {
+                what: "hot-count vector".into(),
+                expected: self.num_bits(),
+                actual: hot_counts.len(),
+            });
+        }
+        Ok(hot_counts
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| self.theoretical_mse_bit(i, h))
+            .sum())
+    }
+
+    /// The data-independent worst case of the paper's Eq. 10 objective:
+    /// `Σ_i n·b_i(1−b_i)/(a_i−b_i)² + n·max_i (1−a_i−b_i)/(a_i−b_i)`,
+    /// times `scale²`. Upper-bounds [`Self::theoretical_total_mse`] for any
+    /// distribution of true counts summing to at most `n`.
+    pub fn worst_case_total_mse(&self) -> f64 {
+        let n = self.n as f64;
+        let sum: f64 = self
+            .a
+            .iter()
+            .zip(&self.b)
+            .map(|(&a, &b)| n * b * (1.0 - b) / ((a - b) * (a - b)))
+            .sum();
+        let worst_linear = self
+            .a
+            .iter()
+            .zip(&self.b)
+            .map(|(&a, &b)| (1.0 - a - b) / (a - b))
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(0.0);
+        self.scale * self.scale * (sum + n * worst_linear)
+    }
+
+    /// Per-bit `a` probabilities.
+    pub fn a(&self) -> &[f64] {
+        &self.a
+    }
+
+    /// Per-bit `b` probabilities.
+    pub fn b(&self) -> &[f64] {
+        &self.b
+    }
+
+    /// The calibration scale (ℓ for PS mechanisms).
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(a: f64, b: f64, n: u64) -> FrequencyEstimator {
+        FrequencyEstimator::new(vec![a; 3], vec![b; 3], n, 1.0).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(FrequencyEstimator::new(vec![0.5], vec![0.2], 10, 1.0).is_ok());
+        assert!(FrequencyEstimator::new(vec![0.2], vec![0.5], 10, 1.0).is_err());
+        assert!(FrequencyEstimator::new(vec![], vec![], 10, 1.0).is_err());
+        assert!(FrequencyEstimator::new(vec![0.5], vec![0.2], 10, 0.0).is_err());
+        assert!(FrequencyEstimator::new(vec![0.5], vec![0.2, 0.1], 10, 1.0).is_err());
+    }
+
+    #[test]
+    fn calibration_inverts_expectation() {
+        // If c = E[c] = c*·a + (n−c*)·b exactly, the estimate equals c*.
+        let e = est(0.5, 0.2, 1000);
+        let c_star = 300.0;
+        let expected_count = c_star * 0.5 + (1000.0 - c_star) * 0.2;
+        let est = e.estimate(&[expected_count as u64; 3]).unwrap();
+        for v in est {
+            assert!((v - c_star).abs() < 2.0); // rounding of count to u64
+        }
+    }
+
+    #[test]
+    fn scale_multiplies() {
+        let e1 = FrequencyEstimator::new(vec![0.5], vec![0.2], 100, 1.0).unwrap();
+        let e3 = FrequencyEstimator::new(vec![0.5], vec![0.2], 100, 3.0).unwrap();
+        let v1 = e1.estimate(&[40]).unwrap()[0];
+        let v3 = e3.estimate(&[40]).unwrap()[0];
+        assert!((v3 - 3.0 * v1).abs() < 1e-12);
+        assert!((e3.theoretical_mse_bit(0, 10.0) - 9.0 * e1.theoretical_mse_bit(0, 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq9_matches_oue_published_variance() {
+        // For OUE the approximate variance is 4e^ε/(e^ε−1)² per bit
+        // (Wang et al. 2017). Eq. 9 with a=1/2, b=1/(e^ε+1), c*=0:
+        let epsv: f64 = 1.0;
+        let b = 1.0 / (epsv.exp() + 1.0);
+        let n = 10_000u64;
+        let e = FrequencyEstimator::new(vec![0.5], vec![b], n, 1.0).unwrap();
+        let got = e.theoretical_mse_bit(0, 0.0);
+        let want = n as f64 * 4.0 * epsv.exp() / (epsv.exp() - 1.0).powi(2);
+        assert!((got - want).abs() / want < 1e-9, "got {got} want {want}");
+    }
+
+    #[test]
+    fn worst_case_dominates_any_distribution() {
+        let e = FrequencyEstimator::new(vec![0.5, 0.6], vec![0.2, 0.1], 1000, 1.0).unwrap();
+        let worst = e.worst_case_total_mse();
+        for hot in [[0.0, 0.0], [1000.0, 0.0], [500.0, 500.0], [0.0, 1000.0]] {
+            let total = e.theoretical_total_mse(&hot).unwrap();
+            assert!(total <= worst + 1e-9, "hot={hot:?} total={total} worst={worst}");
+        }
+    }
+
+    #[test]
+    fn worst_case_clamps_negative_linear_term() {
+        // If 1−a−b < 0 for every bit, the worst case is all-zero counts.
+        let e = FrequencyEstimator::new(vec![0.9], vec![0.3], 100, 1.0).unwrap();
+        let worst = e.worst_case_total_mse();
+        let at_zero = e.theoretical_total_mse(&[0.0]).unwrap();
+        assert!((worst - at_zero).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimate_dimension_check() {
+        let e = est(0.5, 0.2, 10);
+        assert!(e.estimate(&[1, 2]).is_err());
+        assert!(e.theoretical_total_mse(&[0.0]).is_err());
+    }
+}

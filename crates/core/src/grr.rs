@@ -1,0 +1,197 @@
+//! Generalized Randomized Response (GRR / direct encoding).
+//!
+//! Keeps the true value with probability `p = e^ε/(e^ε + m − 1)` and reports
+//! any other value uniformly with probability `q = 1/(e^ε + m − 1)`
+//! (Section III-C of the paper). Included as the classical small-domain
+//! baseline and as the binary randomized-response special case `m = 2`.
+
+use crate::budget::Epsilon;
+use crate::error::{Error, Result};
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// GRR mechanism over a domain of `m` categories.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GeneralizedRandomizedResponse {
+    m: usize,
+    p: f64,
+    q: f64,
+}
+
+impl GeneralizedRandomizedResponse {
+    /// Creates a GRR mechanism satisfying ε-LDP over `m >= 2` categories.
+    pub fn new(eps: Epsilon, m: usize) -> Result<Self> {
+        if m < 2 {
+            return Err(Error::Empty {
+                what: "GRR domain (needs at least two categories)".into(),
+            });
+        }
+        let e = eps.exp();
+        let denom = e + m as f64 - 1.0;
+        Ok(Self {
+            m,
+            p: e / denom,
+            q: 1.0 / denom,
+        })
+    }
+
+    /// Domain size.
+    pub fn domain_size(&self) -> usize {
+        self.m
+    }
+
+    /// Probability of reporting the true value.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Probability of reporting any particular other value.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// The LDP budget this mechanism satisfies: `ln(p/q)`.
+    pub fn ldp_epsilon(&self) -> f64 {
+        (self.p / self.q).ln()
+    }
+
+    /// Perturbs one input category.
+    ///
+    /// # Errors
+    /// Returns an error if `input >= m`.
+    pub fn perturb<R: Rng + ?Sized>(&self, input: usize, rng: &mut R) -> Result<usize> {
+        if input >= self.m {
+            return Err(Error::IndexOutOfRange {
+                what: "GRR input".into(),
+                index: input,
+                bound: self.m,
+            });
+        }
+        if rng.random_bool(self.p) {
+            Ok(input)
+        } else {
+            // Uniform over the other m−1 values.
+            let mut v = rng.random_range(0..self.m - 1);
+            if v >= input {
+                v += 1;
+            }
+            Ok(v)
+        }
+    }
+
+    /// Unbiased frequency estimates from a histogram of reports:
+    /// `ĉ_i = (c_i − n q) / (p − q)`.
+    ///
+    /// # Errors
+    /// Returns an error if the histogram length differs from `m`.
+    pub fn estimate(&self, report_histogram: &[u64], n: u64) -> Result<Vec<f64>> {
+        if report_histogram.len() != self.m {
+            return Err(Error::DimensionMismatch {
+                what: "GRR report histogram".into(),
+                expected: self.m,
+                actual: report_histogram.len(),
+            });
+        }
+        let nf = n as f64;
+        Ok(report_histogram
+            .iter()
+            .map(|&c| (c as f64 - nf * self.q) / (self.p - self.q))
+            .collect())
+    }
+
+    /// Theoretical per-item estimator variance given the true count
+    /// (`Var[ĉ_i] = n q(1−q)/(p−q)² + c*_i(1−p−q)/(p−q)`).
+    pub fn theoretical_mse(&self, true_count: f64, n: u64) -> f64 {
+        let nf = n as f64;
+        nf * self.q * (1.0 - self.q) / (self.p - self.q).powi(2)
+            + true_count * (1.0 - self.p - self.q) / (self.p - self.q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idldp_num::rng::SplitMix64;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn parameters_match_formulas() {
+        let g = GeneralizedRandomizedResponse::new(eps(1.0), 10).unwrap();
+        let e = 1.0_f64.exp();
+        assert!((g.p() - e / (e + 9.0)).abs() < 1e-12);
+        assert!((g.q() - 1.0 / (e + 9.0)).abs() < 1e-12);
+        assert!((g.ldp_epsilon() - 1.0).abs() < 1e-12);
+        assert_eq!(g.domain_size(), 10);
+    }
+
+    #[test]
+    fn binary_case_is_warner_rr() {
+        // m=2 reduces to Warner's randomized response with p = e^ε/(e^ε+1).
+        let g = GeneralizedRandomizedResponse::new(eps(2.0), 2).unwrap();
+        let e = 2.0_f64.exp();
+        assert!((g.p() - e / (e + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_tiny_domain() {
+        assert!(GeneralizedRandomizedResponse::new(eps(1.0), 1).is_err());
+        assert!(GeneralizedRandomizedResponse::new(eps(1.0), 0).is_err());
+    }
+
+    #[test]
+    fn perturb_range_and_truth_rate() {
+        let g = GeneralizedRandomizedResponse::new(eps(2.0), 5).unwrap();
+        let mut rng = SplitMix64::new(3);
+        assert!(g.perturb(7, &mut rng).is_err());
+        let trials = 50_000;
+        let mut kept = 0u32;
+        let mut hist = [0u32; 5];
+        for _ in 0..trials {
+            let y = g.perturb(2, &mut rng).unwrap();
+            assert!(y < 5);
+            hist[y] += 1;
+            kept += (y == 2) as u32;
+        }
+        let rate = kept as f64 / trials as f64;
+        assert!((rate - g.p()).abs() < 0.01, "rate {rate} vs p {}", g.p());
+        // Non-true outputs should be uniform: each ≈ q.
+        for (i, &h) in hist.iter().enumerate() {
+            if i == 2 {
+                continue;
+            }
+            let r = h as f64 / trials as f64;
+            assert!((r - g.q()).abs() < 0.01, "output {i} rate {r}");
+        }
+    }
+
+    #[test]
+    fn estimate_inverts_expectation() {
+        let g = GeneralizedRandomizedResponse::new(eps(1.5), 4).unwrap();
+        let n = 10_000u64;
+        let truth = [4000.0, 3000.0, 2000.0, 1000.0];
+        // Expected report histogram.
+        let hist: Vec<u64> = (0..4)
+            .map(|i| {
+                let others: f64 = truth.iter().sum::<f64>() - truth[i];
+                (truth[i] * g.p() + others * g.q()).round() as u64
+            })
+            .collect();
+        let est = g.estimate(&hist, n).unwrap();
+        for (e, t) in est.iter().zip(&truth) {
+            assert!((e - t).abs() < 2.0, "est {e} truth {t}");
+        }
+        assert!(g.estimate(&[1, 2], n).is_err());
+    }
+
+    #[test]
+    fn variance_grows_with_domain() {
+        // GRR deteriorates with m (the paper's motivation for UE at large m).
+        let n = 1000u64;
+        let small = GeneralizedRandomizedResponse::new(eps(1.0), 4).unwrap();
+        let large = GeneralizedRandomizedResponse::new(eps(1.0), 1024).unwrap();
+        assert!(large.theoretical_mse(0.0, n) > 100.0 * small.theoretical_mse(0.0, n));
+    }
+}

@@ -1,0 +1,240 @@
+//! IDUE — Input-Discriminative Unary Encoding (Algorithm 1).
+//!
+//! IDUE is a [`UnaryEncoding`] whose per-bit probabilities are expanded from
+//! per-*level* parameters: every item in privacy level `i` gets the same
+//! `(a_i, b_i)`. The level parameters come from the optimizers in
+//! `idldp-opt` (models opt0/opt1/opt2); this type glues a solved
+//! [`LevelParams`] to a [`LevelPartition`] and exposes perturbation and the
+//! matching estimator.
+
+use crate::budget::Epsilon;
+use crate::error::Result;
+use crate::estimator::FrequencyEstimator;
+use crate::levels::LevelPartition;
+use crate::notion::{Notion, RFunction};
+use crate::params::LevelParams;
+use crate::ue::UnaryEncoding;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The IDUE mechanism for single-item inputs.
+///
+/// # Examples
+/// ```
+/// use idldp_core::budget::Epsilon;
+/// use idldp_core::idue::Idue;
+/// use idldp_core::levels::LevelPartition;
+/// use idldp_core::params::LevelParams;
+/// use rand::SeedableRng;
+///
+/// let levels = LevelPartition::new(
+///     vec![0, 1, 1],
+///     vec![Epsilon::new(1.0).unwrap(), Epsilon::new(2.0).unwrap()],
+/// ).unwrap();
+/// let params = LevelParams::new(vec![0.55, 0.6], vec![0.40, 0.3]).unwrap();
+/// let idue = Idue::new(levels, &params).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let report = idue.perturb_item(1, &mut rng);
+/// assert_eq!(report.len(), 3);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Idue {
+    levels: LevelPartition,
+    params: LevelParams,
+    ue: UnaryEncoding,
+}
+
+impl Idue {
+    /// Builds IDUE from a level partition and solved per-level parameters.
+    ///
+    /// This only checks structural validity; use [`Idue::verify`] (or the
+    /// `audit` module) to check the privacy constraints — the split lets
+    /// tests construct deliberately violating mechanisms.
+    pub fn new(levels: LevelPartition, params: &LevelParams) -> Result<Self> {
+        if levels.num_levels() != params.num_levels() {
+            return Err(crate::error::Error::DimensionMismatch {
+                what: "IDUE levels vs params".into(),
+                expected: levels.num_levels(),
+                actual: params.num_levels(),
+            });
+        }
+        let m = levels.num_items();
+        let mut a = Vec::with_capacity(m);
+        let mut b = Vec::with_capacity(m);
+        for item in 0..m {
+            let lvl = levels.level_of(item).expect("validated");
+            a.push(params.a()[lvl]);
+            b.push(params.b()[lvl]);
+        }
+        let ue = UnaryEncoding::new(a, b)?;
+        Ok(Self {
+            levels,
+            params: params.clone(),
+            ue,
+        })
+    }
+
+    /// Plain-LDP IDUE: a single level with RAPPOR (symmetric UE) parameters.
+    /// Convenience for expressing the baselines in IDUE form.
+    pub fn rappor(m: usize, eps: Epsilon) -> Result<Self> {
+        let levels = LevelPartition::uniform(m, eps)?;
+        let half = (eps.get() / 2.0).exp();
+        let a = half / (half + 1.0);
+        let params = LevelParams::new(vec![a], vec![1.0 - a])?;
+        Self::new(levels, &params)
+    }
+
+    /// Plain-LDP IDUE with OUE parameters.
+    pub fn oue(m: usize, eps: Epsilon) -> Result<Self> {
+        let levels = LevelPartition::uniform(m, eps)?;
+        let params = LevelParams::new(vec![0.5], vec![1.0 / (eps.exp() + 1.0)])?;
+        Self::new(levels, &params)
+    }
+
+    /// Perturbs a single item (Algorithm 1: one-hot encode, flip per bit).
+    ///
+    /// # Panics
+    /// Panics if `item >= self.domain_size()` — an out-of-domain input is a
+    /// programming error on the client, not a recoverable condition.
+    pub fn perturb_item<R: Rng + ?Sized>(&self, item: usize, rng: &mut R) -> Vec<bool> {
+        self.ue
+            .perturb_one_hot(item, rng)
+            .expect("item must be inside the mechanism's domain")
+    }
+
+    /// The underlying per-bit unary encoding.
+    pub fn unary_encoding(&self) -> &UnaryEncoding {
+        &self.ue
+    }
+
+    /// The level partition.
+    pub fn levels(&self) -> &LevelPartition {
+        &self.levels
+    }
+
+    /// The per-level parameters.
+    pub fn params(&self) -> &LevelParams {
+        &self.params
+    }
+
+    /// Domain size `m`.
+    pub fn domain_size(&self) -> usize {
+        self.levels.num_items()
+    }
+
+    /// The matching unbiased estimator for `n` users (Eq. 8).
+    pub fn estimator(&self, n: u64) -> FrequencyEstimator {
+        FrequencyEstimator::new(self.ue.a().to_vec(), self.ue.b().to_vec(), n, 1.0)
+            .expect("UE parameters already validated")
+    }
+
+    /// Verifies the Eq. 7 privacy constraints against this partition's
+    /// budgets combined by `r`, with tolerance `tol`.
+    pub fn verify(&self, r: RFunction, tol: f64) -> Result<()> {
+        self.params.verify(&self.levels, r, tol)
+    }
+
+    /// The MinID-LDP notion this mechanism is intended to satisfy (over the
+    /// item domain).
+    pub fn intended_notion(&self) -> Notion {
+        Notion::min_id_ldp(self.levels.item_budget_set())
+    }
+
+    /// The tightest plain-LDP budget the mechanism actually provides.
+    pub fn ldp_epsilon(&self) -> f64 {
+        self.ue.ldp_epsilon()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idldp_num::rng::SplitMix64;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn toy() -> Idue {
+        // Table II setting: item 0 at ε=ln4, items 1..5 at ε=ln6.
+        let levels = LevelPartition::new(
+            vec![0, 1, 1, 1, 1],
+            vec![eps(4.0_f64.ln()), eps(6.0_f64.ln())],
+        )
+        .unwrap();
+        let params = LevelParams::new(vec![0.59, 0.67], vec![0.33, 0.28]).unwrap();
+        Idue::new(levels, &params).unwrap()
+    }
+
+    #[test]
+    fn expands_levels_to_bits() {
+        let idue = toy();
+        let ue = idue.unary_encoding();
+        assert_eq!(ue.num_bits(), 5);
+        assert_eq!(ue.a()[0], 0.59);
+        assert_eq!(ue.a()[1], 0.67);
+        assert_eq!(ue.b()[0], 0.33);
+        assert_eq!(ue.b()[4], 0.28);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let levels = LevelPartition::uniform(3, eps(1.0)).unwrap();
+        let params = LevelParams::new(vec![0.6, 0.7], vec![0.2, 0.3]).unwrap();
+        assert!(Idue::new(levels, &params).is_err());
+    }
+
+    #[test]
+    fn toy_satisfies_minid_but_tighter_than_worstcase_ldp() {
+        let idue = toy();
+        assert!(idue.verify(RFunction::Min, 1e-2).is_ok());
+        // It does NOT satisfy min{E}=ln4 LDP (that's the point: it relaxes
+        // the protection for the less sensitive items).
+        assert!(idue.ldp_epsilon() > 4.0_f64.ln() - 1e-2);
+        // …but by Lemma 1 it must satisfy min(max E, 2 min E)-LDP.
+        let bound = (6.0_f64.ln()).min(2.0 * 4.0_f64.ln());
+        assert!(idue.ldp_epsilon() <= bound + 1e-2);
+    }
+
+    #[test]
+    fn baselines_satisfy_their_epsilon() {
+        let r = Idue::rappor(6, eps(1.0)).unwrap();
+        assert!((r.ldp_epsilon() - 1.0).abs() < 1e-9);
+        let o = Idue::oue(6, eps(1.0)).unwrap();
+        assert!((o.ldp_epsilon() - 1.0).abs() < 1e-9);
+        // Both are single-level LDP mechanisms and trivially MinID-LDP for
+        // uniform budgets.
+        assert!(r.verify(RFunction::Min, 1e-9).is_ok());
+        assert!(o.verify(RFunction::Min, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn perturb_and_estimate_roundtrip() {
+        // End-to-end: many users all holding item 1; estimator should
+        // recover approximately n for item 1 and ~0 elsewhere.
+        let idue = toy();
+        let n = 40_000u64;
+        let mut rng = SplitMix64::new(11);
+        let mut counts = vec![0u64; 5];
+        for _ in 0..n {
+            let y = idue.perturb_item(1, &mut rng);
+            for (c, bit) in counts.iter_mut().zip(&y) {
+                *c += *bit as u64;
+            }
+        }
+        let est = idue.estimator(n).estimate(&counts).unwrap();
+        assert!((est[1] - n as f64).abs() < 0.03 * n as f64, "est={est:?}");
+        for k in [0usize, 2, 3, 4] {
+            assert!(est[k].abs() < 0.03 * n as f64, "est={est:?}");
+        }
+    }
+
+    #[test]
+    fn intended_notion_matches_budgets() {
+        let idue = toy();
+        let notion = idue.intended_notion();
+        assert_eq!(notion.domain_size(), Some(5));
+        assert!((notion.pair_budget(0, 1).unwrap() - 4.0_f64.ln()).abs() < 1e-12);
+        assert!((notion.pair_budget(1, 2).unwrap() - 6.0_f64.ln()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,357 @@
+//! IDUE-PS — IDUE extended with Padding-and-Sampling for item-set inputs
+//! (Algorithm 3 and Theorem 4 of the paper).
+//!
+//! The item domain `I` (size `m`) is extended with ℓ dummy items to
+//! `I' = I ∪ S` (size `m + ℓ`). Each user pads/samples her set down to one
+//! (real or dummy) item, one-hot encodes it over `m + ℓ` bits, and perturbs
+//! each bit with the level parameters of *that bit's* item. Theorem 4 shows
+//! that if the single-item parameters satisfy Eq. 18
+//! (`α_i / β_j <= e^{min(ε_i, ε_j)}`), the composed mechanism satisfies
+//! MinID-LDP over item-sets with the combined budget of Eq. 17:
+//!
+//! ```text
+//! ε_x = ln( η_x · Σ_{i∈x} e^{ε_i} / |x| + (1 − η_x) · e^{ε*} )
+//! ```
+//!
+//! Dummy items carry budget `ε* = min(E)` (the paper's recommended choice:
+//! it only tightens the privacy of sets that get padded and does not change
+//! the optimization problem).
+
+use crate::budget::Epsilon;
+use crate::error::{Error, Result};
+use crate::estimator::FrequencyEstimator;
+use crate::levels::LevelPartition;
+use crate::notion::RFunction;
+use crate::params::LevelParams;
+use crate::ps::{PaddingAndSampling, SampledItem};
+use crate::ue::UnaryEncoding;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The IDUE-PS mechanism for item-set inputs.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IduePs {
+    levels: LevelPartition,
+    params: LevelParams,
+    ps: PaddingAndSampling,
+    /// Level index whose parameters/budget the ℓ dummy items use.
+    dummy_level: usize,
+    /// Per-bit probabilities over `m + ℓ` bits.
+    ue: UnaryEncoding,
+}
+
+impl IduePs {
+    /// Builds IDUE-PS with dummy items at the minimum-budget level (the
+    /// paper's recommended `ε* = min{ε_1..ε_m}`).
+    pub fn new(levels: LevelPartition, params: &LevelParams, l: usize) -> Result<Self> {
+        let dummy_level = levels.min_budget_level();
+        Self::with_dummy_level(levels, params, l, dummy_level)
+    }
+
+    /// Builds IDUE-PS with an explicit dummy level (must reference an
+    /// existing level; Theorem 4 requires `ε* ∈ {ε_1..ε_t}`).
+    pub fn with_dummy_level(
+        levels: LevelPartition,
+        params: &LevelParams,
+        l: usize,
+        dummy_level: usize,
+    ) -> Result<Self> {
+        if levels.num_levels() != params.num_levels() {
+            return Err(Error::DimensionMismatch {
+                what: "IDUE-PS levels vs params".into(),
+                expected: levels.num_levels(),
+                actual: params.num_levels(),
+            });
+        }
+        if dummy_level >= levels.num_levels() {
+            return Err(Error::IndexOutOfRange {
+                what: "dummy level".into(),
+                index: dummy_level,
+                bound: levels.num_levels(),
+            });
+        }
+        let ps = PaddingAndSampling::new(l)?;
+        let m = levels.num_items();
+        let mut a = Vec::with_capacity(m + l);
+        let mut b = Vec::with_capacity(m + l);
+        for item in 0..m {
+            let lvl = levels.level_of(item).expect("validated");
+            a.push(params.a()[lvl]);
+            b.push(params.b()[lvl]);
+        }
+        for _ in 0..l {
+            a.push(params.a()[dummy_level]);
+            b.push(params.b()[dummy_level]);
+        }
+        let ue = UnaryEncoding::new(a, b)?;
+        Ok(Self {
+            levels,
+            params: params.clone(),
+            ps,
+            dummy_level,
+            ue,
+        })
+    }
+
+    /// RAPPOR-PS baseline: single-level symmetric-UE parameters at ε over
+    /// `m` items with padding length ℓ.
+    pub fn rappor_ps(m: usize, eps: Epsilon, l: usize) -> Result<Self> {
+        let levels = LevelPartition::uniform(m, eps)?;
+        let half = (eps.get() / 2.0).exp();
+        let a = half / (half + 1.0);
+        let params = LevelParams::new(vec![a], vec![1.0 - a])?;
+        Self::new(levels, &params, l)
+    }
+
+    /// OUE-PS baseline: single-level OUE parameters at ε.
+    pub fn oue_ps(m: usize, eps: Epsilon, l: usize) -> Result<Self> {
+        let levels = LevelPartition::uniform(m, eps)?;
+        let params = LevelParams::new(vec![0.5], vec![1.0 / (eps.exp() + 1.0)])?;
+        Self::new(levels, &params, l)
+    }
+
+    /// Runs Algorithm 3: pad-and-sample the set, one-hot encode over
+    /// `m + ℓ` bits, perturb every bit.
+    ///
+    /// # Panics
+    /// Panics if `itemset` contains an index `>= m` (client-side programming
+    /// error).
+    pub fn perturb_set<R: Rng + ?Sized>(&self, itemset: &[usize], rng: &mut R) -> Vec<bool> {
+        let m = self.levels.num_items();
+        assert!(
+            itemset.iter().all(|&i| i < m),
+            "item out of domain in input set"
+        );
+        let sampled = self.ps.pad_and_sample(itemset, rng);
+        let hot = sampled.encoded_index(m);
+        self.ue
+            .perturb_one_hot(hot, rng)
+            .expect("encoded index inside m + l")
+    }
+
+    /// The sampling stage alone (useful for the aggregate simulation path,
+    /// which replaces the bit-flipping by binomial draws).
+    pub fn sample_stage<R: Rng + ?Sized>(&self, itemset: &[usize], rng: &mut R) -> SampledItem {
+        self.ps.pad_and_sample(itemset, rng)
+    }
+
+    /// Combined privacy budget of an item-set (Eq. 17).
+    ///
+    /// # Errors
+    /// Returns an error if the set contains an out-of-domain item.
+    pub fn set_budget(&self, itemset: &[usize]) -> Result<f64> {
+        set_budget(
+            &self.levels,
+            self.levels.level_budget(self.dummy_level).expect("validated"),
+            self.ps.padding_length(),
+            itemset,
+        )
+    }
+
+    /// The unbiased estimator over the `m` real bits: calibrates the first
+    /// `m` counts with `scale = ℓ` (dummy-bit counts are ignored by the
+    /// aggregation, as in the paper's Fig. 2).
+    pub fn estimator(&self, n: u64) -> FrequencyEstimator {
+        let m = self.levels.num_items();
+        FrequencyEstimator::new(
+            self.ue.a()[..m].to_vec(),
+            self.ue.b()[..m].to_vec(),
+            n,
+            self.ps.padding_length() as f64,
+        )
+        .expect("validated parameters")
+    }
+
+    /// The underlying `(m + ℓ)`-bit unary encoding.
+    pub fn unary_encoding(&self) -> &UnaryEncoding {
+        &self.ue
+    }
+
+    /// The level partition over the real items.
+    pub fn levels(&self) -> &LevelPartition {
+        &self.levels
+    }
+
+    /// Number of real items `m`.
+    pub fn domain_size(&self) -> usize {
+        self.levels.num_items()
+    }
+
+    /// Padding length ℓ.
+    pub fn padding_length(&self) -> usize {
+        self.ps.padding_length()
+    }
+
+    /// Level index used by the dummy items.
+    pub fn dummy_level(&self) -> usize {
+        self.dummy_level
+    }
+
+    /// Verifies the single-item Eq. 18 premise of Theorem 4 (including the
+    /// dummy level, which reuses one of the real levels' parameters).
+    pub fn verify(&self, r: RFunction, tol: f64) -> Result<()> {
+        self.params.verify(&self.levels, r, tol)
+    }
+}
+
+/// Standalone Eq. 17: combined budget of `itemset` under `levels`, dummy
+/// budget `eps_dummy`, and padding length `l`.
+pub fn set_budget(
+    levels: &LevelPartition,
+    eps_dummy: Epsilon,
+    l: usize,
+    itemset: &[usize],
+) -> Result<f64> {
+    let k = itemset.len();
+    let eta = k as f64 / k.max(l) as f64;
+    let real_part = if k == 0 {
+        0.0
+    } else {
+        let mut sum = 0.0;
+        for &item in itemset {
+            sum += levels.item_budget(item)?.exp();
+        }
+        eta * sum / k as f64
+    };
+    Ok((real_part + (1.0 - eta) * eps_dummy.exp()).ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idldp_num::rng::SplitMix64;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    /// Two levels: items 0,1 at ε=ln2 (sensitive), items 2..6 at ε=ln4.
+    fn fixture() -> (LevelPartition, LevelParams) {
+        let levels = LevelPartition::new(
+            vec![0, 0, 1, 1, 1, 1],
+            vec![eps(2.0_f64.ln()), eps(4.0_f64.ln())],
+        )
+        .unwrap();
+        // Feasible for MinID-LDP: check α_i/β_j <= e^{min}:
+        //   level 0: a=0.52, b=0.38 → α=1.368, β=0.774
+        //   level 1: a=0.60, b=0.30 → α=2.0,   β=0.571
+        // pairs: (0,0): 1.368/.774=1.77<=2 ✓ (0,1): 1.368/.571=2.39 > 2? min(ε0,ε1)=ln2→2. ✗
+        // adjust level 1 b up: b=0.35 → β=(0.4/0.65)=0.615, α=1.714
+        //   (0,1): 1.368/0.615 = 2.22 > 2 ✗ — tune level0 a down: a=0.48,b=0.38: α=1.263,β=0.839
+        //   (0,0): 1.263/0.839=1.506 ✓ (0,1): 1.263/0.615=2.05 ~> tol… use b1=0.36: β1=0.625
+        //   (0,1): 1.263/0.625=2.02 still slightly over; b1=0.38 → β1=0.6129*… α1=0.6/0.38=1.579
+        //   (0,1): 1.263/0.6452=1.957 ✓ (1,0): 1.579/0.839=1.882 <= 2 ✓ (1,1): 1.579/0.6452=2.45<=4 ✓
+        let params = LevelParams::new(vec![0.48, 0.60], vec![0.38, 0.38]).unwrap();
+        (levels, params)
+    }
+
+    #[test]
+    fn fixture_is_minid_feasible() {
+        let (levels, params) = fixture();
+        assert!(params.verify(&levels, RFunction::Min, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn construction_and_layout() {
+        let (levels, params) = fixture();
+        let mech = IduePs::new(levels, &params, 3).unwrap();
+        assert_eq!(mech.domain_size(), 6);
+        assert_eq!(mech.padding_length(), 3);
+        // Dummy level defaults to the min-budget level (level 0).
+        assert_eq!(mech.dummy_level(), 0);
+        let ue = mech.unary_encoding();
+        assert_eq!(ue.num_bits(), 9);
+        // Real bits use their level's parameters; dummy bits use level 0's.
+        assert_eq!(ue.a()[0], 0.48);
+        assert_eq!(ue.a()[2], 0.60);
+        assert_eq!(ue.a()[6], 0.48);
+        assert_eq!(ue.a()[8], 0.48);
+    }
+
+    #[test]
+    fn dummy_level_bounds_checked() {
+        let (levels, params) = fixture();
+        assert!(IduePs::with_dummy_level(levels.clone(), &params, 3, 2).is_err());
+        assert!(IduePs::with_dummy_level(levels, &params, 3, 1).is_ok());
+    }
+
+    #[test]
+    fn set_budget_eq17() {
+        let (levels, params) = fixture();
+        let mech = IduePs::new(levels, &params, 2).unwrap();
+        // |x| >= l: η=1, budget = ln(mean of e^{ε_i}).
+        let b = mech.set_budget(&[0, 2]).unwrap();
+        assert!((b - ((2.0 + 4.0) / 2.0_f64).ln()).abs() < 1e-12);
+        // |x| < l: η=1/2, dummy at ε*=ln2.
+        let b = mech.set_budget(&[2]).unwrap();
+        assert!((b - (0.5 * 4.0 + 0.5 * 2.0_f64).ln()).abs() < 1e-12);
+        // Empty set: pure dummy budget.
+        let b = mech.set_budget(&[]).unwrap();
+        assert!((b - 2.0_f64.ln()).abs() < 1e-12);
+        // Out-of-domain item.
+        assert!(mech.set_budget(&[99]).is_err());
+    }
+
+    #[test]
+    fn set_budget_at_least_min_item_budget() {
+        // The paper notes ε_x >= min_i ε_i (convexity); spot-check.
+        let (levels, params) = fixture();
+        let mech = IduePs::new(levels, &params, 3).unwrap();
+        for set in [vec![0], vec![0, 1], vec![0, 2, 4], vec![1, 2, 3, 4, 5]] {
+            let b = mech.set_budget(&set).unwrap();
+            let min_item = set
+                .iter()
+                .map(|&i| mech.levels().item_budget(i).unwrap().get())
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                b >= min_item.min(2.0_f64.ln()) - 1e-12,
+                "set {set:?}: {b} vs {min_item}"
+            );
+        }
+    }
+
+    #[test]
+    fn perturb_set_shape_and_domain_check() {
+        let (levels, params) = fixture();
+        let mech = IduePs::new(levels, &params, 3).unwrap();
+        let mut rng = SplitMix64::new(8);
+        let y = mech.perturb_set(&[1, 3, 5], &mut rng);
+        assert_eq!(y.len(), 9);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut rng = SplitMix64::new(9);
+            mech.perturb_set(&[6], &mut rng)
+        }));
+        assert!(result.is_err(), "out-of-domain item must panic");
+    }
+
+    #[test]
+    fn estimation_recovers_frequencies() {
+        // All users hold {0, 2}; with l = 2 each item is sampled w.p. 1/2.
+        let (levels, params) = fixture();
+        let mech = IduePs::new(levels, &params, 2).unwrap();
+        let n = 60_000u64;
+        let mut rng = SplitMix64::new(10);
+        let mut counts = [0u64; 9];
+        for _ in 0..n {
+            let y = mech.perturb_set(&[0, 2], &mut rng);
+            for (c, bit) in counts.iter_mut().zip(&y) {
+                *c += *bit as u64;
+            }
+        }
+        let est = mech.estimator(n).estimate(&counts[..6]).unwrap();
+        // Items 0 and 2 have true count n; others 0.
+        assert!((est[0] - n as f64).abs() < 0.06 * n as f64, "est={est:?}");
+        assert!((est[2] - n as f64).abs() < 0.06 * n as f64, "est={est:?}");
+        for k in [1usize, 3, 4, 5] {
+            assert!(est[k].abs() < 0.06 * n as f64, "est={est:?}");
+        }
+    }
+
+    #[test]
+    fn baselines_construct() {
+        let r = IduePs::rappor_ps(10, eps(1.0), 4).unwrap();
+        assert_eq!(r.unary_encoding().num_bits(), 14);
+        let o = IduePs::oue_ps(10, eps(1.0), 4).unwrap();
+        assert!((o.unary_encoding().a()[0] - 0.5).abs() < 1e-12);
+    }
+}

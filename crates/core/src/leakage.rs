@@ -1,0 +1,159 @@
+//! Prior–posterior privacy-leakage bounds (Table I of the paper).
+//!
+//! For an input `x` with prior `Pr(x)` and any output `y`, the leakage ratio
+//! `Pr(x)/Pr(x|y) = Pr(y)/Pr(y|x)` is bounded above and below depending on
+//! the notion a mechanism satisfies. Table I lists those bounds for LDP,
+//! personalized LDP (PLDP), geo-indistinguishability, and MinID-LDP; this
+//! module computes them so the `table1` experiment binary can print the
+//! table (and tests can check monotonicity properties).
+
+use crate::budget::{BudgetSet, Epsilon};
+use crate::error::{Error, Result};
+
+/// A two-sided bound on the prior–posterior ratio `Pr(x)/Pr(x|y)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LeakageBound {
+    /// Lower bound on the ratio.
+    pub lower: f64,
+    /// Upper bound on the ratio.
+    pub upper: f64,
+}
+
+impl LeakageBound {
+    /// Width of the bound in log-space, `ln(upper/lower)` — a scalar
+    /// summary of how much the adversary can move the prior.
+    pub fn log_width(&self) -> f64 {
+        (self.upper / self.lower).ln()
+    }
+}
+
+/// LDP row of Table I: `[e^{−ε}, e^{ε}]`, independent of the input.
+pub fn ldp_bound(eps: Epsilon) -> LeakageBound {
+    LeakageBound {
+        lower: (-eps.get()).exp(),
+        upper: eps.get().exp(),
+    }
+}
+
+/// PLDP row of Table I: `[e^{−ε_u}, e^{ε_u}]` for a user with personal
+/// budget `ε_u` (user-level, not input-level, discrimination).
+pub fn pldp_bound(eps_user: Epsilon) -> LeakageBound {
+    ldp_bound(eps_user)
+}
+
+/// Geo-indistinguishability row of Table I:
+/// `[ Σ_x' Pr(x')e^{−ε·d(x,x')}, Σ_x' Pr(x')e^{ε·d(x,x')} ]`.
+///
+/// `prior` and `distances` are indexed by `x'`; `distances[x'] = d(x, x')`.
+///
+/// # Errors
+/// Returns an error if the slices disagree in length or the prior does not
+/// sum to 1 (tolerance 1e-6).
+pub fn geo_ind_bound(eps: Epsilon, prior: &[f64], distances: &[f64]) -> Result<LeakageBound> {
+    if prior.len() != distances.len() {
+        return Err(Error::DimensionMismatch {
+            what: "prior vs distances".into(),
+            expected: prior.len(),
+            actual: distances.len(),
+        });
+    }
+    let total: f64 = prior.iter().sum();
+    if (total - 1.0).abs() > 1e-6 {
+        return Err(Error::InvalidProbability {
+            name: "prior sum".into(),
+            value: total,
+        });
+    }
+    let e = eps.get();
+    let lower = prior
+        .iter()
+        .zip(distances)
+        .map(|(p, d)| p * (-e * d).exp())
+        .sum();
+    let upper = prior
+        .iter()
+        .zip(distances)
+        .map(|(p, d)| p * (e * d).exp())
+        .sum();
+    Ok(LeakageBound { lower, upper })
+}
+
+/// MinID-LDP row of Table I:
+/// `[e^{−min(ε_x, 2·min E)}, e^{min(ε_x, 2·min E)}]` — input-discriminative,
+/// with the Lemma 1 cap `2·min(E)`.
+///
+/// # Errors
+/// Returns an error if `x` is outside the budget set's domain.
+pub fn min_id_ldp_bound(budgets: &BudgetSet, x: usize) -> Result<LeakageBound> {
+    let eps_x = budgets.get(x)?.get();
+    let cap = 2.0 * budgets.min().get();
+    let effective = eps_x.min(cap);
+    Ok(LeakageBound {
+        lower: (-effective).exp(),
+        upper: effective.exp(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn ldp_bound_symmetric_in_log() {
+        let b = ldp_bound(eps(1.0));
+        assert!((b.lower * b.upper - 1.0).abs() < 1e-12);
+        assert!((b.log_width() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pldp_equals_ldp_shape() {
+        assert_eq!(pldp_bound(eps(0.7)), ldp_bound(eps(0.7)));
+    }
+
+    #[test]
+    fn geo_ind_validates_and_bounds() {
+        let prior = [0.5, 0.3, 0.2];
+        let d = [0.0, 1.0, 2.0];
+        let b = geo_ind_bound(eps(1.0), &prior, &d).unwrap();
+        assert!(b.lower < 1.0 && b.upper > 1.0);
+        // Zero distances everywhere → no discrimination → bound [1, 1].
+        let b0 = geo_ind_bound(eps(1.0), &prior, &[0.0; 3]).unwrap();
+        assert!((b0.lower - 1.0).abs() < 1e-12);
+        assert!((b0.upper - 1.0).abs() < 1e-12);
+        assert!(geo_ind_bound(eps(1.0), &prior, &[0.0; 2]).is_err());
+        assert!(geo_ind_bound(eps(1.0), &[0.5, 0.2], &[0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn minid_bound_is_input_discriminative() {
+        let budgets = BudgetSet::from_values(&[1.0, 1.2, 2.0, 4.0]).unwrap();
+        // Most sensitive input gets its own (tight) budget.
+        let b0 = min_id_ldp_bound(&budgets, 0).unwrap();
+        assert!((b0.upper - 1.0_f64.exp()).abs() < 1e-12);
+        // Least sensitive input capped by 2·min(E) = 2.
+        let b3 = min_id_ldp_bound(&budgets, 3).unwrap();
+        assert!((b3.upper - 2.0_f64.exp()).abs() < 1e-12);
+        // Moderate input below the cap keeps its own budget.
+        let b1 = min_id_ldp_bound(&budgets, 1).unwrap();
+        assert!((b1.upper - 1.2_f64.exp()).abs() < 1e-12);
+        assert!(min_id_ldp_bound(&budgets, 9).is_err());
+    }
+
+    #[test]
+    fn minid_never_exceeds_worstcase_ldp_at_maxbudget() {
+        // MinID bound for any x is at most the LDP bound at max(E)… and at
+        // least the LDP bound at min(E).
+        let budgets = BudgetSet::from_values(&[0.5, 1.0, 3.0]).unwrap();
+        let lo = ldp_bound(budgets.min());
+        let hi = ldp_bound(budgets.max());
+        for x in 0..3 {
+            let b = min_id_ldp_bound(&budgets, x).unwrap();
+            assert!(b.upper <= hi.upper + 1e-12);
+            assert!(b.upper >= lo.upper - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Privacy-level partitions of the item domain.
+//!
+//! The paper assumes the item domain `I = {1..m}` is split into `t` privacy
+//! levels `I_1, ..., I_t`, each with one budget ε_i (Section III-A). All
+//! items in the same level share the same perturbation parameters, which is
+//! what shrinks the optimization problems from `O(m)` to `O(t)` unknowns.
+
+use crate::budget::{BudgetSet, Epsilon};
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Assignment of `m` items to `t` privacy levels with per-level budgets.
+///
+/// # Examples
+/// ```
+/// use idldp_core::budget::Epsilon;
+/// use idldp_core::levels::LevelPartition;
+/// // Item 0 sensitive (ε = 0.5), items 1–3 ordinary (ε = 2).
+/// let levels = LevelPartition::new(
+///     vec![0, 1, 1, 1],
+///     vec![Epsilon::new(0.5).unwrap(), Epsilon::new(2.0).unwrap()],
+/// ).unwrap();
+/// assert_eq!(levels.num_levels(), 2);
+/// assert_eq!(levels.counts(), &[1, 3]);
+/// assert_eq!(levels.item_budget(2).unwrap().get(), 2.0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LevelPartition {
+    /// `level_of[item] = level index` (length `m`).
+    level_of: Vec<usize>,
+    /// Budget of each level (length `t`).
+    budgets: Vec<Epsilon>,
+    /// Number of items in each level, the paper's `m_i` (length `t`).
+    counts: Vec<usize>,
+}
+
+impl LevelPartition {
+    /// Creates a partition from an item→level map and per-level budgets.
+    ///
+    /// Validates that every referenced level exists and that every level is
+    /// non-empty (empty levels would make the optimizer's `m_i = 0` terms
+    /// degenerate; drop unused levels before constructing).
+    pub fn new(level_of: Vec<usize>, budgets: Vec<Epsilon>) -> Result<Self> {
+        if level_of.is_empty() {
+            return Err(Error::Empty {
+                what: "item domain".into(),
+            });
+        }
+        if budgets.is_empty() {
+            return Err(Error::Empty {
+                what: "level budgets".into(),
+            });
+        }
+        let t = budgets.len();
+        let mut counts = vec![0usize; t];
+        for (item, &lvl) in level_of.iter().enumerate() {
+            if lvl >= t {
+                return Err(Error::IndexOutOfRange {
+                    what: format!("level of item {item}"),
+                    index: lvl,
+                    bound: t,
+                });
+            }
+            counts[lvl] += 1;
+        }
+        if let Some(empty) = counts.iter().position(|&c| c == 0) {
+            return Err(Error::Empty {
+                what: format!("privacy level {empty}"),
+            });
+        }
+        Ok(Self {
+            level_of,
+            budgets,
+            counts,
+        })
+    }
+
+    /// Single-level partition: all `m` items share one budget (plain LDP).
+    pub fn uniform(m: usize, eps: Epsilon) -> Result<Self> {
+        Self::new(vec![0; m], vec![eps])
+    }
+
+    /// Builds a partition from per-item budgets, deduplicating equal values
+    /// into levels (ordering levels by ascending budget).
+    pub fn from_item_budgets(item_budgets: &[Epsilon]) -> Result<Self> {
+        if item_budgets.is_empty() {
+            return Err(Error::Empty {
+                what: "item budgets".into(),
+            });
+        }
+        let mut unique: Vec<f64> = item_budgets.iter().map(|e| e.get()).collect();
+        unique.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        unique.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        let budgets = unique
+            .iter()
+            .map(|&v| Epsilon::new(v))
+            .collect::<Result<Vec<_>>>()?;
+        let level_of = item_budgets
+            .iter()
+            .map(|e| {
+                unique
+                    .iter()
+                    .position(|&u| (u - e.get()).abs() < 1e-12)
+                    .expect("value present by construction")
+            })
+            .collect();
+        Self::new(level_of, budgets)
+    }
+
+    /// Number of items `m`.
+    pub fn num_items(&self) -> usize {
+        self.level_of.len()
+    }
+
+    /// Number of levels `t`.
+    pub fn num_levels(&self) -> usize {
+        self.budgets.len()
+    }
+
+    /// Level index of an item.
+    pub fn level_of(&self, item: usize) -> Result<usize> {
+        self.level_of.get(item).copied().ok_or(Error::IndexOutOfRange {
+            what: "item".into(),
+            index: item,
+            bound: self.num_items(),
+        })
+    }
+
+    /// Budget of an item.
+    pub fn item_budget(&self, item: usize) -> Result<Epsilon> {
+        Ok(self.budgets[self.level_of(item)?])
+    }
+
+    /// Budget of a level.
+    pub fn level_budget(&self, level: usize) -> Result<Epsilon> {
+        self.budgets.get(level).copied().ok_or(Error::IndexOutOfRange {
+            what: "level".into(),
+            index: level,
+            bound: self.num_levels(),
+        })
+    }
+
+    /// Per-level budgets (length `t`).
+    pub fn budgets(&self) -> &[Epsilon] {
+        &self.budgets
+    }
+
+    /// Per-level item counts `m_i` (length `t`).
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// The item→level map (length `m`).
+    pub fn level_map(&self) -> &[usize] {
+        &self.level_of
+    }
+
+    /// All per-item budgets as a [`BudgetSet`] (the paper's `E` over inputs).
+    pub fn item_budget_set(&self) -> BudgetSet {
+        BudgetSet::new(
+            self.level_of
+                .iter()
+                .map(|&lvl| self.budgets[lvl])
+                .collect(),
+        )
+        .expect("non-empty by construction")
+    }
+
+    /// Smallest budget across levels — what plain LDP must fall back to.
+    pub fn min_budget(&self) -> Epsilon {
+        self.budgets
+            .iter()
+            .copied()
+            .reduce(Epsilon::min)
+            .expect("non-empty by construction")
+    }
+
+    /// Largest budget across levels.
+    pub fn max_budget(&self) -> Epsilon {
+        self.budgets
+            .iter()
+            .copied()
+            .reduce(Epsilon::max)
+            .expect("non-empty by construction")
+    }
+
+    /// Index of a level holding the minimum budget.
+    pub fn min_budget_level(&self) -> usize {
+        let min = self.min_budget().get();
+        self.budgets
+            .iter()
+            .position(|e| e.get() == min)
+            .expect("non-empty by construction")
+    }
+
+    /// Items belonging to `level`, in ascending item order.
+    pub fn items_in_level(&self, level: usize) -> Vec<usize> {
+        self.level_of
+            .iter()
+            .enumerate()
+            .filter_map(|(item, &l)| (l == level).then_some(item))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn basic_partition() {
+        let p = LevelPartition::new(vec![0, 1, 1, 0, 1], vec![eps(1.0), eps(2.0)]).unwrap();
+        assert_eq!(p.num_items(), 5);
+        assert_eq!(p.num_levels(), 2);
+        assert_eq!(p.counts(), &[2, 3]);
+        assert_eq!(p.level_of(3).unwrap(), 0);
+        assert_eq!(p.item_budget(1).unwrap().get(), 2.0);
+        assert_eq!(p.min_budget().get(), 1.0);
+        assert_eq!(p.max_budget().get(), 2.0);
+        assert_eq!(p.min_budget_level(), 0);
+        assert_eq!(p.items_in_level(0), vec![0, 3]);
+    }
+
+    #[test]
+    fn rejects_bad_structure() {
+        assert!(LevelPartition::new(vec![], vec![eps(1.0)]).is_err());
+        assert!(LevelPartition::new(vec![0], vec![]).is_err());
+        // Level index out of range.
+        assert!(LevelPartition::new(vec![0, 2], vec![eps(1.0), eps(2.0)]).is_err());
+        // Empty level 1.
+        assert!(LevelPartition::new(vec![0, 0], vec![eps(1.0), eps(2.0)]).is_err());
+    }
+
+    #[test]
+    fn uniform_is_single_level() {
+        let p = LevelPartition::uniform(4, eps(0.7)).unwrap();
+        assert_eq!(p.num_levels(), 1);
+        assert_eq!(p.counts(), &[4]);
+        assert_eq!(p.item_budget(2).unwrap().get(), 0.7);
+    }
+
+    #[test]
+    fn from_item_budgets_dedups_and_sorts() {
+        let p = LevelPartition::from_item_budgets(&[eps(2.0), eps(1.0), eps(2.0), eps(1.0)])
+            .unwrap();
+        assert_eq!(p.num_levels(), 2);
+        // Levels sorted ascending by budget.
+        assert_eq!(p.level_budget(0).unwrap().get(), 1.0);
+        assert_eq!(p.level_budget(1).unwrap().get(), 2.0);
+        assert_eq!(p.level_map(), &[1, 0, 1, 0]);
+        assert_eq!(p.counts(), &[2, 2]);
+    }
+
+    #[test]
+    fn item_budget_set_expands_levels() {
+        let p = LevelPartition::new(vec![0, 1, 0], vec![eps(1.0), eps(3.0)]).unwrap();
+        let e = p.item_budget_set();
+        assert_eq!(e.len(), 3);
+        assert_eq!(e[0].get(), 1.0);
+        assert_eq!(e[1].get(), 3.0);
+        assert_eq!(e[2].get(), 1.0);
+    }
+
+    #[test]
+    fn out_of_range_queries() {
+        let p = LevelPartition::uniform(2, eps(1.0)).unwrap();
+        assert!(p.level_of(5).is_err());
+        assert!(p.item_budget(5).is_err());
+        assert!(p.level_budget(1).is_err());
+    }
+}

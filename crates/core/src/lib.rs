@@ -1,0 +1,82 @@
+//! # `idldp-core` — Input-Discriminative Local Differential Privacy
+//!
+//! A faithful implementation of the privacy notions and mechanisms from
+//!
+//! > Xiaolan Gu, Ming Li, Li Xiong, Yang Cao.
+//! > *Providing Input-Discriminative Protection for Local Differential
+//! > Privacy.* IEEE ICDE 2020.
+//!
+//! ## What lives here
+//!
+//! * **Notions** — [`budget::Epsilon`] and [`levels::LevelPartition`] describe
+//!   per-input privacy requirements; [`notion::RFunction`] and
+//!   [`notion::Notion`] define ε-LDP, E-ID-LDP and its MinID/AvgID/MaxID
+//!   instantiations (Definitions 1–3 of the paper); [`relations`] implements
+//!   the Lemma 1 sandwich between LDP and MinID-LDP; [`composition`]
+//!   implements the sequential-composition accountants (Theorems 1 and 2);
+//!   [`leakage`] computes the prior–posterior leakage bounds of Table I.
+//! * **Mechanisms** — [`grr::GeneralizedRandomizedResponse`],
+//!   [`ue::UnaryEncoding`] (with SUE/RAPPOR and OUE constructors),
+//!   [`idue::Idue`] (Algorithm 1), the [`ps`] Padding-and-Sampling protocol
+//!   (Algorithm 2, after Wang et al. S&P'18) and [`idue_ps::IduePs`]
+//!   (Algorithm 3), plus a generic [`matrix_mech::PerturbationMatrix`]
+//!   mechanism used for auditing and baselines.
+//! * **Estimation** — [`estimator::FrequencyEstimator`]: the unbiased
+//!   calibrated estimator of Eq. 8 and the closed-form MSE of Eq. 9.
+//! * **Auditing** — [`audit`]: analytic and exhaustive verification that a
+//!   mechanism satisfies a notion (used to validate Theorem 4 numerically).
+//!
+//! The numeric *solvers* that pick IDUE's perturbation probabilities live in
+//! the sibling crate `idldp-opt`; this crate defines the
+//! [`params::LevelParams`] container they produce.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use idldp_core::budget::Epsilon;
+//! use idldp_core::levels::LevelPartition;
+//! use idldp_core::params::LevelParams;
+//! use idldp_core::idue::Idue;
+//! use rand::SeedableRng;
+//!
+//! // Five items; item 0 (say, "HIV") is more sensitive than the rest.
+//! let levels = LevelPartition::new(
+//!     vec![0, 1, 1, 1, 1],
+//!     vec![Epsilon::new(4.0_f64.ln()).unwrap(), Epsilon::new(6.0_f64.ln()).unwrap()],
+//! ).unwrap();
+//! // Hand-picked feasible parameters (normally produced by idldp-opt).
+//! let params = LevelParams::new(vec![0.59, 0.67], vec![0.33, 0.28]).unwrap();
+//! let idue = Idue::new(levels, &params).unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let report = idue.perturb_item(0, &mut rng); // length-5 bit vector
+//! assert_eq!(report.len(), 5);
+//! ```
+
+pub mod audit;
+pub mod budget;
+pub mod composition;
+pub mod error;
+pub mod estimator;
+pub mod grr;
+pub mod idue;
+pub mod idue_ps;
+pub mod leakage;
+pub mod levels;
+pub mod matrix_mech;
+pub mod notion;
+pub mod params;
+pub mod policy;
+pub mod ps;
+pub mod relations;
+pub mod ue;
+
+pub use budget::Epsilon;
+pub use error::Error;
+pub use estimator::FrequencyEstimator;
+pub use idue::Idue;
+pub use idue_ps::IduePs;
+pub use levels::LevelPartition;
+pub use notion::{Notion, RFunction};
+pub use params::LevelParams;
+pub use policy::PolicyGraph;
+pub use ue::UnaryEncoding;

@@ -1,0 +1,254 @@
+//! Generic perturbation-matrix mechanisms.
+//!
+//! Section V-A of the paper discusses the "direct" design: a row-stochastic
+//! matrix `P ∈ R^{|D|×|D|}` with `P[x][y] = Pr(M(x) = y)`. It is impractical
+//! as an *optimization target* for large domains (|D|² variables, |D|³
+//! constraints), but as a *mechanism representation* it is the common
+//! denominator: GRR is a matrix mechanism, and any mechanism over a small
+//! domain can be audited exactly through its matrix. This module provides
+//! that representation plus exact notion auditing.
+
+use crate::budget::Epsilon;
+use crate::error::{Error, Result};
+use crate::notion::Notion;
+use rand::{Rng, RngExt};
+
+/// A mechanism given by an explicit row-stochastic perturbation matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PerturbationMatrix {
+    /// `probs[x][y] = Pr(M(x) = y)`; every row sums to 1.
+    probs: Vec<Vec<f64>>,
+    outputs: usize,
+}
+
+impl PerturbationMatrix {
+    /// Validates and wraps a probability matrix (rows = inputs).
+    pub fn new(probs: Vec<Vec<f64>>) -> Result<Self> {
+        if probs.is_empty() {
+            return Err(Error::Empty {
+                what: "perturbation matrix".into(),
+            });
+        }
+        let outputs = probs[0].len();
+        if outputs == 0 {
+            return Err(Error::Empty {
+                what: "output domain".into(),
+            });
+        }
+        for (x, row) in probs.iter().enumerate() {
+            if row.len() != outputs {
+                return Err(Error::DimensionMismatch {
+                    what: format!("row {x}"),
+                    expected: outputs,
+                    actual: row.len(),
+                });
+            }
+            let mut total = 0.0;
+            for (y, &p) in row.iter().enumerate() {
+                if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                    return Err(Error::InvalidProbability {
+                        name: format!("P[{x}][{y}]"),
+                        value: p,
+                    });
+                }
+                total += p;
+            }
+            if (total - 1.0).abs() > 1e-9 {
+                return Err(Error::InvalidProbability {
+                    name: format!("row {x} sum"),
+                    value: total,
+                });
+            }
+        }
+        Ok(Self { probs, outputs })
+    }
+
+    /// The GRR mechanism as an explicit matrix.
+    pub fn grr(eps: Epsilon, m: usize) -> Result<Self> {
+        if m < 2 {
+            return Err(Error::Empty {
+                what: "GRR domain (needs at least two categories)".into(),
+            });
+        }
+        let e = eps.exp();
+        let denom = e + m as f64 - 1.0;
+        let p = e / denom;
+        let q = 1.0 / denom;
+        let probs = (0..m)
+            .map(|x| (0..m).map(|y| if x == y { p } else { q }).collect())
+            .collect();
+        Self::new(probs)
+    }
+
+    /// Number of inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Number of outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// `Pr(M(x) = y)`.
+    pub fn prob(&self, x: usize, y: usize) -> f64 {
+        self.probs[x][y]
+    }
+
+    /// Samples an output for input `x` by inverse-CDF.
+    ///
+    /// # Errors
+    /// Returns an error if `x` is out of range.
+    pub fn perturb<R: Rng + ?Sized>(&self, x: usize, rng: &mut R) -> Result<usize> {
+        let row = self.probs.get(x).ok_or(Error::IndexOutOfRange {
+            what: "matrix input".into(),
+            index: x,
+            bound: self.num_inputs(),
+        })?;
+        let u: f64 = rng.random();
+        let mut acc = 0.0;
+        for (y, &p) in row.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return Ok(y);
+            }
+        }
+        Ok(self.outputs - 1) // numerical remainder goes to the last output
+    }
+
+    /// The exact worst log-ratio `max_y ln(P[x][y]/P[x'][y])` for an ordered
+    /// input pair. Returns `+inf` when some output has `P[x][y] > 0` but
+    /// `P[x'][y] = 0`.
+    pub fn pair_log_ratio(&self, x: usize, x_prime: usize) -> f64 {
+        self.probs[x]
+            .iter()
+            .zip(&self.probs[x_prime])
+            .filter(|(&px, _)| px > 0.0)
+            .map(|(&px, &pxp)| {
+                if pxp == 0.0 {
+                    f64::INFINITY
+                } else {
+                    (px / pxp).ln()
+                }
+            })
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Exhaustively audits the mechanism against a notion with tolerance
+    /// `tol`; returns the first violation found.
+    pub fn audit(&self, notion: &Notion, tol: f64) -> Result<()> {
+        let m = self.num_inputs();
+        if let Some(d) = notion.domain_size() {
+            if d != m {
+                return Err(Error::DimensionMismatch {
+                    what: "notion domain vs matrix".into(),
+                    expected: d,
+                    actual: m,
+                });
+            }
+        }
+        for x in 0..m {
+            for x_prime in 0..m {
+                if x == x_prime {
+                    continue;
+                }
+                let observed = self.pair_log_ratio(x, x_prime);
+                let allowed = notion.pair_budget(x, x_prime)?;
+                if observed > allowed + tol {
+                    return Err(Error::PrivacyViolation {
+                        observed,
+                        allowed,
+                        pair: (x, x_prime),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The tightest plain-LDP ε this matrix satisfies (max pair log-ratio).
+    pub fn ldp_epsilon(&self) -> f64 {
+        let m = self.num_inputs();
+        let mut worst = f64::NEG_INFINITY;
+        for x in 0..m {
+            for x_prime in 0..m {
+                if x != x_prime {
+                    worst = worst.max(self.pair_log_ratio(x, x_prime));
+                }
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::BudgetSet;
+    use idldp_num::rng::SplitMix64;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PerturbationMatrix::new(vec![]).is_err());
+        assert!(PerturbationMatrix::new(vec![vec![]]).is_err());
+        assert!(PerturbationMatrix::new(vec![vec![0.5, 0.4]]).is_err()); // row sum
+        assert!(PerturbationMatrix::new(vec![vec![0.5, 0.5], vec![1.0]]).is_err());
+        assert!(PerturbationMatrix::new(vec![vec![1.1, -0.1]]).is_err());
+        assert!(PerturbationMatrix::new(vec![vec![0.5, 0.5], vec![0.2, 0.8]]).is_ok());
+    }
+
+    #[test]
+    fn grr_matrix_satisfies_its_epsilon_exactly() {
+        let m = PerturbationMatrix::grr(eps(1.5), 6).unwrap();
+        assert!((m.ldp_epsilon() - 1.5).abs() < 1e-12);
+        assert!(m.audit(&Notion::Ldp(eps(1.5)), 1e-9).is_ok());
+        assert!(m.audit(&Notion::Ldp(eps(1.4)), 1e-9).is_err());
+    }
+
+    #[test]
+    fn audit_against_minid() {
+        // A two-input mechanism where input 0 is better protected.
+        let m = PerturbationMatrix::new(vec![vec![0.6, 0.4], vec![0.3, 0.7]]).unwrap();
+        // Worst ratios: ln(0.6/0.3)=ln2 and ln(0.7/0.4)=0.56.
+        let budgets = BudgetSet::from_values(&[2.0_f64.ln(), 2.0]).unwrap();
+        assert!(m.audit(&Notion::min_id_ldp(budgets), 1e-9).is_ok());
+        let tight = BudgetSet::from_values(&[0.5, 2.0]).unwrap();
+        assert!(m.audit(&Notion::min_id_ldp(tight), 1e-9).is_err());
+    }
+
+    #[test]
+    fn infinite_ratio_on_zero_support() {
+        let m = PerturbationMatrix::new(vec![vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        assert!(m.pair_log_ratio(0, 1).is_infinite());
+        assert!(m.audit(&Notion::Ldp(eps(100.0)), 1e-9).is_err());
+    }
+
+    #[test]
+    fn perturb_follows_matrix_distribution() {
+        let m =
+            PerturbationMatrix::new(vec![vec![0.7, 0.2, 0.1], vec![0.1, 0.1, 0.8]]).unwrap();
+        let mut rng = SplitMix64::new(42);
+        let trials = 60_000;
+        let mut hist = [0u32; 3];
+        for _ in 0..trials {
+            hist[m.perturb(0, &mut rng).unwrap()] += 1;
+        }
+        for (y, &want) in [0.7, 0.2, 0.1].iter().enumerate() {
+            let got = hist[y] as f64 / trials as f64;
+            assert!((got - want).abs() < 0.01, "y={y} got={got} want={want}");
+        }
+        assert!(m.perturb(2, &mut rng).is_err());
+    }
+
+    #[test]
+    fn matrix_and_grr_module_agree() {
+        let gm = PerturbationMatrix::grr(eps(1.0), 5).unwrap();
+        let g = crate::grr::GeneralizedRandomizedResponse::new(eps(1.0), 5).unwrap();
+        assert!((gm.prob(2, 2) - g.p()).abs() < 1e-12);
+        assert!((gm.prob(2, 3) - g.q()).abs() < 1e-12);
+    }
+}

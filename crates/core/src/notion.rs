@@ -1,0 +1,195 @@
+//! Privacy notions: ε-LDP, E-ID-LDP, and its instantiations.
+//!
+//! Definition 2 of the paper makes the indistinguishability of a pair of
+//! inputs `x, x'` a function `r(ε_x, ε_x')` of their budgets. This module
+//! provides the [`RFunction`] combinators (MinID-LDP uses `min`, the paper's
+//! Section IV-C also suggests `avg`), and [`Notion`] — a value describing
+//! which guarantee a mechanism is supposed to satisfy, used by the auditing
+//! code and the optimizers.
+
+use crate::budget::{BudgetSet, Epsilon};
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// The combination function `r(ε_x, ε_x')` of Definition 2.
+///
+/// # Examples
+/// ```
+/// use idldp_core::budget::Epsilon;
+/// use idldp_core::notion::RFunction;
+/// let (a, b) = (Epsilon::new(1.0).unwrap(), Epsilon::new(3.0).unwrap());
+/// assert_eq!(RFunction::Min.combine(a, b), 1.0); // MinID-LDP
+/// assert_eq!(RFunction::Avg.combine(a, b), 2.0); // AvgID-LDP
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum RFunction {
+    /// `min(ε, ε')` — MinID-LDP (Definition 3), the paper's main notion.
+    Min,
+    /// `(ε + ε')/2` — AvgID-LDP (Section IV-C).
+    Avg,
+    /// `max(ε, ε')` — the loosest symmetric choice; included for ablations.
+    Max,
+}
+
+impl RFunction {
+    /// Combines the budgets of a pair of inputs into the pair's budget.
+    #[inline]
+    pub fn combine(self, a: Epsilon, b: Epsilon) -> f64 {
+        match self {
+            RFunction::Min => a.get().min(b.get()),
+            RFunction::Avg => 0.5 * (a.get() + b.get()),
+            RFunction::Max => a.get().max(b.get()),
+        }
+    }
+
+    /// Short lowercase name (`"min"`, `"avg"`, `"max"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RFunction::Min => "min",
+            RFunction::Avg => "avg",
+            RFunction::Max => "max",
+        }
+    }
+}
+
+/// A privacy guarantee a mechanism can be audited against.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Notion {
+    /// Plain ε-LDP (Definition 1): one budget for every pair of inputs.
+    Ldp(Epsilon),
+    /// E-ID-LDP (Definition 2): per-input budgets combined by `r`.
+    IdLdp {
+        /// Per-input budgets, the paper's `E` (indexed by input).
+        budgets: BudgetSet,
+        /// The combination function.
+        r: RFunction,
+    },
+}
+
+impl Notion {
+    /// MinID-LDP with the given per-input budgets (Definition 3).
+    pub fn min_id_ldp(budgets: BudgetSet) -> Self {
+        Notion::IdLdp {
+            budgets,
+            r: RFunction::Min,
+        }
+    }
+
+    /// The allowed log-ratio bound for the input pair `(x, x')`.
+    ///
+    /// For LDP this is ε regardless of the pair; for ID-LDP it is
+    /// `r(ε_x, ε_x')`.
+    pub fn pair_budget(&self, x: usize, x_prime: usize) -> Result<f64> {
+        match self {
+            Notion::Ldp(eps) => Ok(eps.get()),
+            Notion::IdLdp { budgets, r } => {
+                let ex = budgets.get(x)?;
+                let exp = budgets.get(x_prime)?;
+                Ok(r.combine(ex, exp))
+            }
+        }
+    }
+
+    /// Number of inputs this notion is defined over (`None` for plain LDP,
+    /// which applies to any domain).
+    pub fn domain_size(&self) -> Option<usize> {
+        match self {
+            Notion::Ldp(_) => None,
+            Notion::IdLdp { budgets, .. } => Some(budgets.len()),
+        }
+    }
+
+    /// The complete pairwise-budget graph: one entry `(x, x', bound)` for
+    /// every unordered pair — the data behind Fig. 1 of the paper.
+    pub fn pairwise_budget_graph(&self, domain_size: usize) -> Result<Vec<(usize, usize, f64)>> {
+        if let Some(m) = self.domain_size() {
+            if m != domain_size {
+                return Err(Error::DimensionMismatch {
+                    what: "notion domain".into(),
+                    expected: m,
+                    actual: domain_size,
+                });
+            }
+        }
+        let mut edges = Vec::with_capacity(domain_size * (domain_size - 1) / 2);
+        for x in 0..domain_size {
+            for x_prime in (x + 1)..domain_size {
+                edges.push((x, x_prime, self.pair_budget(x, x_prime)?));
+            }
+        }
+        Ok(edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn r_functions() {
+        let a = eps(1.0);
+        let b = eps(3.0);
+        assert_eq!(RFunction::Min.combine(a, b), 1.0);
+        assert_eq!(RFunction::Avg.combine(a, b), 2.0);
+        assert_eq!(RFunction::Max.combine(a, b), 3.0);
+        assert_eq!(RFunction::Min.name(), "min");
+    }
+
+    #[test]
+    fn r_functions_symmetric() {
+        let a = eps(0.7);
+        let b = eps(2.2);
+        for r in [RFunction::Min, RFunction::Avg, RFunction::Max] {
+            assert_eq!(r.combine(a, b), r.combine(b, a));
+        }
+    }
+
+    #[test]
+    fn ldp_pair_budget_is_constant() {
+        let n = Notion::Ldp(eps(0.9));
+        assert_eq!(n.pair_budget(0, 5).unwrap(), 0.9);
+        assert_eq!(n.pair_budget(2, 3).unwrap(), 0.9);
+        assert_eq!(n.domain_size(), None);
+    }
+
+    #[test]
+    fn min_id_ldp_pair_budget() {
+        let budgets = BudgetSet::from_values(&[1.0, 2.0, 4.0]).unwrap();
+        let n = Notion::min_id_ldp(budgets);
+        assert_eq!(n.pair_budget(0, 1).unwrap(), 1.0);
+        assert_eq!(n.pair_budget(1, 2).unwrap(), 2.0);
+        assert_eq!(n.pair_budget(2, 2).unwrap(), 4.0);
+        assert_eq!(n.domain_size(), Some(3));
+        assert!(n.pair_budget(0, 3).is_err());
+    }
+
+    #[test]
+    fn pairwise_graph_complete() {
+        let budgets = BudgetSet::from_values(&[1.0, 2.0, 4.0, 4.0]).unwrap();
+        let n = Notion::min_id_ldp(budgets);
+        let g = n.pairwise_budget_graph(4).unwrap();
+        assert_eq!(g.len(), 6); // C(4,2)
+        // Edge between the two ε=4 inputs carries budget 4.
+        let e = g.iter().find(|(a, b, _)| (*a, *b) == (2, 3)).unwrap();
+        assert_eq!(e.2, 4.0);
+        // Any edge touching input 0 carries its ε=1.
+        assert!(g
+            .iter()
+            .filter(|(a, _, _)| *a == 0)
+            .all(|(_, _, w)| *w == 1.0));
+    }
+
+    #[test]
+    fn pairwise_graph_dimension_check() {
+        let budgets = BudgetSet::from_values(&[1.0, 2.0]).unwrap();
+        let n = Notion::min_id_ldp(budgets);
+        assert!(n.pairwise_budget_graph(3).is_err());
+        // LDP adapts to any domain size.
+        let l = Notion::Ldp(eps(1.0));
+        assert_eq!(l.pairwise_budget_graph(3).unwrap().len(), 3);
+    }
+}

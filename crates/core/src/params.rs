@@ -1,0 +1,252 @@
+//! Per-level perturbation parameters `(a_i, b_i)` for IDUE.
+//!
+//! The optimizers in `idldp-opt` produce one `(a, b)` pair per privacy
+//! level; [`crate::idue::Idue`] and [`crate::idue_ps::IduePs`] expand them
+//! to per-bit probabilities. The paper's Eq. 7 constraint, the per-pair
+//! log-ratio bound
+//! `ln( a_i (1 − b_j) / (b_i (1 − a_j)) ) ≤ r(ε_i, ε_j)`,
+//! is checked here in [`LevelParams::max_pair_ratio`] /
+//! [`LevelParams::verify`].
+
+use crate::error::{Error, Result};
+use crate::levels::LevelPartition;
+use crate::notion::RFunction;
+use serde::{Deserialize, Serialize};
+
+/// One `(a_i, b_i)` pair per privacy level, with `0 < b_i < a_i < 1`.
+///
+/// `a_i = Pr[y[k]=1 | x[k]=1]` and `b_i = Pr[y[k]=1 | x[k]=0]` for every bit
+/// `k` belonging to level `i`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LevelParams {
+    a: Vec<f64>,
+    b: Vec<f64>,
+}
+
+impl LevelParams {
+    /// Validates and wraps per-level parameters.
+    pub fn new(a: Vec<f64>, b: Vec<f64>) -> Result<Self> {
+        if a.is_empty() {
+            return Err(Error::Empty {
+                what: "level parameters".into(),
+            });
+        }
+        if a.len() != b.len() {
+            return Err(Error::DimensionMismatch {
+                what: "a/b parameter vectors".into(),
+                expected: a.len(),
+                actual: b.len(),
+            });
+        }
+        for (i, (&ai, &bi)) in a.iter().zip(&b).enumerate() {
+            if !(0.0..=1.0).contains(&ai) || ai == 0.0 || ai == 1.0 || !ai.is_finite() {
+                return Err(Error::InvalidProbability {
+                    name: format!("a[{i}]"),
+                    value: ai,
+                });
+            }
+            if !(0.0..=1.0).contains(&bi) || bi == 0.0 || bi == 1.0 || !bi.is_finite() {
+                return Err(Error::InvalidProbability {
+                    name: format!("b[{i}]"),
+                    value: bi,
+                });
+            }
+            if ai <= bi {
+                return Err(Error::ParameterOrdering {
+                    detail: format!("a[{i}]={ai} must exceed b[{i}]={bi}"),
+                });
+            }
+        }
+        Ok(Self { a, b })
+    }
+
+    /// Number of levels `t`.
+    pub fn num_levels(&self) -> usize {
+        self.a.len()
+    }
+
+    /// `a` parameters (length `t`).
+    pub fn a(&self) -> &[f64] {
+        &self.a
+    }
+
+    /// `b` parameters (length `t`).
+    pub fn b(&self) -> &[f64] {
+        &self.b
+    }
+
+    /// `α_i = a_i / b_i` (Eq. 14).
+    pub fn alpha(&self, i: usize) -> f64 {
+        self.a[i] / self.b[i]
+    }
+
+    /// `β_i = (1 − a_i) / (1 − b_i)` (Eq. 14).
+    pub fn beta(&self, i: usize) -> f64 {
+        (1.0 - self.a[i]) / (1.0 - self.b[i])
+    }
+
+    /// The Eq. 7 log-ratio for the ordered level pair `(i, j)`:
+    /// `ln( a_i(1−b_j) / (b_i(1−a_j)) ) = ln(α_i / β_j)`.
+    pub fn pair_log_ratio(&self, i: usize, j: usize) -> f64 {
+        (self.alpha(i) / self.beta(j)).ln()
+    }
+
+    /// The largest Eq. 7 log-ratio over all ordered level pairs, together
+    /// with the attaining pair. This is the tightest ε for which the implied
+    /// IDUE mechanism satisfies plain ε-LDP.
+    pub fn max_pair_ratio(&self) -> (f64, (usize, usize)) {
+        let t = self.num_levels();
+        let mut best = f64::NEG_INFINITY;
+        let mut arg = (0, 0);
+        for i in 0..t {
+            for j in 0..t {
+                let v = self.pair_log_ratio(i, j);
+                if v > best {
+                    best = v;
+                    arg = (i, j);
+                }
+            }
+        }
+        (best, arg)
+    }
+
+    /// Verifies the Eq. 7 constraints against per-level budgets combined by
+    /// `r`, with absolute slack `tol` (use a small positive tolerance for
+    /// numerically solved parameters).
+    pub fn verify(&self, levels: &LevelPartition, r: RFunction, tol: f64) -> Result<()> {
+        if levels.num_levels() != self.num_levels() {
+            return Err(Error::DimensionMismatch {
+                what: "levels vs parameters".into(),
+                expected: levels.num_levels(),
+                actual: self.num_levels(),
+            });
+        }
+        let t = self.num_levels();
+        for i in 0..t {
+            for j in 0..t {
+                let allowed = r.combine(
+                    levels.level_budget(i).expect("validated"),
+                    levels.level_budget(j).expect("validated"),
+                );
+                let observed = self.pair_log_ratio(i, j);
+                if observed > allowed + tol {
+                    return Err(Error::PrivacyViolation {
+                        observed,
+                        allowed,
+                        pair: (i, j),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// RAPPOR-structured parameters `a_i = e^{τ_i}/(e^{τ_i}+1)`,
+    /// `b_i = 1 − a_i` (the paper's Eq. 11; the `opt1` parameterization).
+    pub fn from_rappor_taus(taus: &[f64]) -> Result<Self> {
+        if taus.iter().any(|&t| t <= 0.0 || !t.is_finite()) {
+            return Err(Error::ParameterOrdering {
+                detail: "all τ must be positive and finite".into(),
+            });
+        }
+        let a: Vec<f64> = taus.iter().map(|&t| t.exp() / (t.exp() + 1.0)).collect();
+        let b: Vec<f64> = a.iter().map(|&ai| 1.0 - ai).collect();
+        Self::new(a, b)
+    }
+
+    /// OUE-structured parameters `a_i = 1/2` with given `b_i` (the `opt2`
+    /// parameterization, Eq. 13).
+    pub fn from_oue_bs(bs: &[f64]) -> Result<Self> {
+        let a = vec![0.5; bs.len()];
+        Self::new(a, bs.to_vec())
+    }
+
+    /// Uniform parameters replicated over `t` levels (used to express the
+    /// plain-LDP baselines RAPPOR/OUE in the per-level format).
+    pub fn uniform(t: usize, a: f64, b: f64) -> Result<Self> {
+        Self::new(vec![a; t], vec![b; t])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Epsilon;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(LevelParams::new(vec![0.6], vec![0.3]).is_ok());
+        assert!(LevelParams::new(vec![], vec![]).is_err());
+        assert!(LevelParams::new(vec![0.6, 0.7], vec![0.3]).is_err());
+        assert!(LevelParams::new(vec![1.0], vec![0.3]).is_err());
+        assert!(LevelParams::new(vec![0.6], vec![0.0]).is_err());
+        // a must exceed b
+        assert!(LevelParams::new(vec![0.3], vec![0.3]).is_err());
+        assert!(LevelParams::new(vec![0.2], vec![0.3]).is_err());
+    }
+
+    #[test]
+    fn alpha_beta_and_ratio() {
+        let p = LevelParams::new(vec![0.5], vec![1.0 / (1.0 + 4.0)]).unwrap(); // OUE at ε=ln4
+        assert!((p.alpha(0) - 2.5).abs() < 1e-12);
+        assert!((p.beta(0) - 0.625).abs() < 1e-12);
+        // For OUE, ln(α/β) = ln( (1-b)/b ) with a=1/2 → ε.
+        assert!((p.pair_log_ratio(0, 0) - 4.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_pair_ratio_finds_worst_pair() {
+        // Level 0 leaks more than level 1.
+        let p = LevelParams::new(vec![0.8, 0.5], vec![0.1, 0.3]).unwrap();
+        let (v, pair) = p.max_pair_ratio();
+        // Worst ordered pair is (0, 0): α₀ large, β₀ small.
+        assert_eq!(pair, (0, 0));
+        assert!((v - (p.alpha(0) / p.beta(0)).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let levels =
+            LevelPartition::new(vec![0, 1, 1, 1, 1], vec![eps(4.0_f64.ln()), eps(6.0_f64.ln())])
+                .unwrap();
+        // Table II's IDUE parameters (rounded): feasible within rounding slack.
+        let p = LevelParams::new(vec![0.59, 0.67], vec![0.33, 0.28]).unwrap();
+        assert!(p.verify(&levels, RFunction::Min, 1e-2).is_ok());
+        // Cranked-up a makes the pair (0,·) violate.
+        let bad = LevelParams::new(vec![0.95, 0.67], vec![0.33, 0.28]).unwrap();
+        assert!(matches!(
+            bad.verify(&levels, RFunction::Min, 1e-6),
+            Err(Error::PrivacyViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn rappor_structure() {
+        let p = LevelParams::from_rappor_taus(&[1.0, 2.0]).unwrap();
+        for i in 0..2 {
+            assert!((p.a()[i] + p.b()[i] - 1.0).abs() < 1e-12);
+        }
+        // ln(α_i/β_j) = τ_i + τ_j under this structure.
+        assert!((p.pair_log_ratio(0, 1) - 3.0).abs() < 1e-9);
+        assert!(LevelParams::from_rappor_taus(&[0.0]).is_err());
+        assert!(LevelParams::from_rappor_taus(&[-1.0]).is_err());
+    }
+
+    #[test]
+    fn oue_structure() {
+        let p = LevelParams::from_oue_bs(&[0.2, 0.3]).unwrap();
+        assert_eq!(p.a(), &[0.5, 0.5]);
+        assert!(LevelParams::from_oue_bs(&[0.6]).is_err()); // b >= a
+    }
+
+    #[test]
+    fn uniform_replication() {
+        let p = LevelParams::uniform(3, 0.5, 0.2).unwrap();
+        assert_eq!(p.num_levels(), 3);
+        assert_eq!(p.a(), &[0.5; 3]);
+    }
+}

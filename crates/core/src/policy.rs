@@ -1,0 +1,232 @@
+//! Incomplete privacy-policy graphs (Section IV-C of the paper).
+//!
+//! Lemma 1's 2·min(E) cap on the MinID-LDP → LDP relaxation comes from
+//! requiring *every* pair of inputs to be indistinguishable (a complete
+//! graph): any two inputs can be triangulated through the most-protected
+//! input `x*`. The paper observes that if some pairs need no protection
+//! (the secret-pairs idea of Blowfish privacy), the gain can exceed 2×,
+//! because loose inputs no longer have to be indistinguishable from `x*`.
+//!
+//! [`PolicyGraph`] records which *level pairs* require protection. The
+//! solvers in `idldp-opt` accept a policy graph and simply drop the Eq. 7
+//! constraints of unprotected pairs; [`crate::audit`]-style verification
+//! against a graph lives here in [`PolicyGraph::verify_params`].
+
+use crate::error::{Error, Result};
+use crate::levels::LevelPartition;
+use crate::notion::RFunction;
+use crate::params::LevelParams;
+use serde::{Deserialize, Serialize};
+
+/// Which pairs of privacy levels must be mutually indistinguishable.
+///
+/// Protection is symmetric; self-pairs `(i, i)` are always protected (two
+/// different *items* of the same level still form a pair of inputs).
+///
+/// # Examples
+/// ```
+/// use idldp_core::policy::PolicyGraph;
+/// // Three levels; only levels 1 and 2 must be cross-indistinguishable.
+/// let g = PolicyGraph::from_edges(3, &[(1, 2)]).unwrap();
+/// assert!(g.is_protected(1, 2));
+/// assert!(g.is_protected(0, 0)); // self-pairs always protected
+/// assert!(!g.is_protected(0, 2));
+/// assert!(!g.is_complete());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyGraph {
+    t: usize,
+    /// Row-major `t × t` symmetric boolean matrix.
+    protected: Vec<bool>,
+}
+
+impl PolicyGraph {
+    /// The complete graph over `t` levels (the paper's default setting).
+    pub fn complete(t: usize) -> Result<Self> {
+        if t == 0 {
+            return Err(Error::Empty {
+                what: "policy graph".into(),
+            });
+        }
+        Ok(Self {
+            t,
+            protected: vec![true; t * t],
+        })
+    }
+
+    /// A graph protecting only the listed level pairs (plus all self-pairs).
+    ///
+    /// Edges are symmetrized automatically.
+    pub fn from_edges(t: usize, edges: &[(usize, usize)]) -> Result<Self> {
+        if t == 0 {
+            return Err(Error::Empty {
+                what: "policy graph".into(),
+            });
+        }
+        let mut protected = vec![false; t * t];
+        for i in 0..t {
+            protected[i * t + i] = true;
+        }
+        for &(i, j) in edges {
+            if i >= t || j >= t {
+                return Err(Error::IndexOutOfRange {
+                    what: "policy edge".into(),
+                    index: i.max(j),
+                    bound: t,
+                });
+            }
+            protected[i * t + j] = true;
+            protected[j * t + i] = true;
+        }
+        Ok(Self { t, protected })
+    }
+
+    /// "Star" policy: only pairs involving the given (typically the most
+    /// sensitive) level are protected — the setting where the paper's
+    /// >2× gain is most visible.
+    pub fn star(t: usize, center: usize) -> Result<Self> {
+        let edges: Vec<(usize, usize)> = (0..t).map(|j| (center, j)).collect();
+        Self::from_edges(t, &edges)
+    }
+
+    /// Number of levels.
+    pub fn num_levels(&self) -> usize {
+        self.t
+    }
+
+    /// Whether the pair `(i, j)` requires protection.
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    pub fn is_protected(&self, i: usize, j: usize) -> bool {
+        assert!(i < self.t && j < self.t, "level index out of range");
+        self.protected[i * self.t + j]
+    }
+
+    /// `true` if every pair is protected.
+    pub fn is_complete(&self) -> bool {
+        self.protected.iter().all(|&p| p)
+    }
+
+    /// Number of protected unordered pairs (including self-pairs).
+    pub fn protected_pairs(&self) -> usize {
+        let mut count = 0;
+        for i in 0..self.t {
+            for j in i..self.t {
+                if self.is_protected(i, j) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Verifies Eq. 7 for the *protected* pairs only.
+    pub fn verify_params(
+        &self,
+        params: &LevelParams,
+        levels: &LevelPartition,
+        r: RFunction,
+        tol: f64,
+    ) -> Result<()> {
+        if levels.num_levels() != self.t || params.num_levels() != self.t {
+            return Err(Error::DimensionMismatch {
+                what: "policy graph vs levels/params".into(),
+                expected: self.t,
+                actual: levels.num_levels(),
+            });
+        }
+        for i in 0..self.t {
+            for j in 0..self.t {
+                if !self.is_protected(i, j) {
+                    continue;
+                }
+                let allowed = r.combine(
+                    levels.level_budget(i).expect("validated"),
+                    levels.level_budget(j).expect("validated"),
+                );
+                let observed = params.pair_log_ratio(i, j);
+                if observed > allowed + tol {
+                    return Err(Error::PrivacyViolation {
+                        observed,
+                        allowed,
+                        pair: (i, j),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Epsilon;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn complete_graph() {
+        let g = PolicyGraph::complete(3).unwrap();
+        assert!(g.is_complete());
+        assert_eq!(g.protected_pairs(), 6); // C(3,2) + 3 self-pairs
+        assert!(g.is_protected(0, 2));
+        assert!(PolicyGraph::complete(0).is_err());
+    }
+
+    #[test]
+    fn from_edges_symmetrizes_and_keeps_self_pairs() {
+        let g = PolicyGraph::from_edges(3, &[(0, 1)]).unwrap();
+        assert!(g.is_protected(0, 1));
+        assert!(g.is_protected(1, 0));
+        assert!(!g.is_protected(0, 2));
+        assert!(g.is_protected(2, 2), "self-pairs always protected");
+        assert!(!g.is_complete());
+        assert!(PolicyGraph::from_edges(3, &[(0, 3)]).is_err());
+    }
+
+    #[test]
+    fn star_policy() {
+        let g = PolicyGraph::star(4, 0).unwrap();
+        for j in 0..4 {
+            assert!(g.is_protected(0, j));
+        }
+        assert!(!g.is_protected(1, 2));
+        assert!(!g.is_protected(2, 3));
+        // 0-pairs: (0,0..3) = 4, plus self pairs (1,1),(2,2),(3,3).
+        assert_eq!(g.protected_pairs(), 7);
+    }
+
+    #[test]
+    fn verify_respects_mask() {
+        let levels =
+            LevelPartition::new(vec![0, 1], vec![eps(0.5), eps(3.0)]).unwrap();
+        // Parameters violating the (0,1) cross pair but fine on self-pairs:
+        // level 0 tight, level 1 loose.
+        let params = LevelParams::new(vec![0.56, 0.80], vec![0.44, 0.20]).unwrap();
+        // Self pair 0: ln(a0(1-b0)/(b0(1-a0))) = ln(0.56·0.56/(0.44·0.44)) ≈ 0.48 <= 0.5 ✓
+        // Self pair 1: ln(0.8·0.8/(0.2·0.2)) = ln 16 ≈ 2.77 <= 3 ✓
+        // Cross (1,0): ln(a1(1-b0)/(b1(1-a0))) = ln(0.8·0.56/(0.2·0.44)) ≈ 1.63 > 0.5 ✗
+        let complete = PolicyGraph::complete(2).unwrap();
+        assert!(complete
+            .verify_params(&params, &levels, RFunction::Min, 1e-9)
+            .is_err());
+        let disconnected = PolicyGraph::from_edges(2, &[]).unwrap();
+        assert!(disconnected
+            .verify_params(&params, &levels, RFunction::Min, 1e-9)
+            .is_ok());
+    }
+
+    #[test]
+    fn dimension_check() {
+        let g = PolicyGraph::complete(3).unwrap();
+        let levels = LevelPartition::new(vec![0, 1], vec![eps(1.0), eps(2.0)]).unwrap();
+        let params = LevelParams::new(vec![0.6, 0.6], vec![0.3, 0.3]).unwrap();
+        assert!(g
+            .verify_params(&params, &levels, RFunction::Min, 1e-9)
+            .is_err());
+    }
+}

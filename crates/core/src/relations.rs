@@ -1,0 +1,131 @@
+//! Relations between MinID-LDP and plain LDP (Lemma 1 of the paper).
+//!
+//! * If a mechanism satisfies ε-LDP, it satisfies E-MinID-LDP for every `E`
+//!   with `min(E) = ε` (LDP already bounds every pair by ε ≤ r(·,·)).
+//! * Conversely, E-MinID-LDP implies ε-LDP with
+//!   `ε = min( max(E), 2·min(E) )`: the `max(E)` part bounds each pair
+//!   directly, and the `2·min(E)` part comes from triangulating through the
+//!   most-protected input `x*`.
+
+use crate::budget::{BudgetSet, Epsilon};
+use crate::error::Result;
+
+/// The plain-LDP budget implied by E-MinID-LDP (Lemma 1, second part):
+/// `min( max(E), 2·min(E) )`.
+///
+/// # Examples
+/// ```
+/// use idldp_core::budget::BudgetSet;
+/// use idldp_core::relations::minid_implies_ldp;
+/// let e = BudgetSet::from_values(&[1.0, 10.0]).unwrap();
+/// assert_eq!(minid_implies_ldp(&e), 2.0); // capped at 2·min(E)
+/// let e = BudgetSet::from_values(&[1.0, 1.5]).unwrap();
+/// assert_eq!(minid_implies_ldp(&e), 1.5); // capped at max(E)
+/// ```
+pub fn minid_implies_ldp(budgets: &BudgetSet) -> f64 {
+    let min = budgets.min().get();
+    let max = budgets.max().get();
+    max.min(2.0 * min)
+}
+
+/// Whether ε-LDP implies E-MinID-LDP (Lemma 1, first part): true iff
+/// `ε <= min(E)`, since `r(ε_x, ε_x') >= min(E)` for every pair under any of
+/// the monotone r-functions used in this crate.
+pub fn ldp_implies_minid(eps: Epsilon, budgets: &BudgetSet) -> bool {
+    eps.get() <= budgets.min().get() + f64::EPSILON
+}
+
+/// The maximum *relaxation factor* MinID-LDP permits relative to the
+/// conservative `min(E)`-LDP deployment: `minid_implies_ldp(E) / min(E)`.
+/// Lemma 1 caps this at 2 for complete policy graphs.
+pub fn relaxation_factor(budgets: &BudgetSet) -> f64 {
+    minid_implies_ldp(budgets) / budgets.min().get()
+}
+
+/// A derived summary of where a budget set sits between the two notions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LemmaOneSummary {
+    /// `min(E)` — what plain LDP would have to use.
+    pub min_budget: f64,
+    /// `max(E)`.
+    pub max_budget: f64,
+    /// The implied plain-LDP guarantee of an E-MinID-LDP mechanism.
+    pub implied_ldp: f64,
+    /// `implied_ldp / min_budget` ∈ [1, 2].
+    pub relaxation: f64,
+}
+
+/// Computes the full Lemma 1 summary for a budget set.
+pub fn lemma_one_summary(budgets: &BudgetSet) -> Result<LemmaOneSummary> {
+    let min_budget = budgets.min().get();
+    let max_budget = budgets.max().get();
+    let implied_ldp = minid_implies_ldp(budgets);
+    Ok(LemmaOneSummary {
+        min_budget,
+        max_budget,
+        implied_ldp,
+        relaxation: implied_ldp / min_budget,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(vals: &[f64]) -> BudgetSet {
+        BudgetSet::from_values(vals).unwrap()
+    }
+
+    #[test]
+    fn uniform_budgets_collapse_to_ldp() {
+        let e = set(&[1.0, 1.0, 1.0]);
+        assert_eq!(minid_implies_ldp(&e), 1.0);
+        assert_eq!(relaxation_factor(&e), 1.0);
+    }
+
+    #[test]
+    fn wide_spread_capped_at_twice_min() {
+        let e = set(&[1.0, 10.0, 100.0]);
+        assert_eq!(minid_implies_ldp(&e), 2.0);
+        assert_eq!(relaxation_factor(&e), 2.0);
+    }
+
+    #[test]
+    fn narrow_spread_capped_at_max() {
+        let e = set(&[1.0, 1.5]);
+        assert_eq!(minid_implies_ldp(&e), 1.5);
+        assert_eq!(relaxation_factor(&e), 1.5);
+    }
+
+    #[test]
+    fn ldp_implication_threshold() {
+        let e = set(&[1.0, 2.0]);
+        assert!(ldp_implies_minid(Epsilon::new(0.5).unwrap(), &e));
+        assert!(ldp_implies_minid(Epsilon::new(1.0).unwrap(), &e));
+        assert!(!ldp_implies_minid(Epsilon::new(1.2).unwrap(), &e));
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let e = set(&[0.5, 0.8, 3.0]);
+        let s = lemma_one_summary(&e).unwrap();
+        assert_eq!(s.min_budget, 0.5);
+        assert_eq!(s.max_budget, 3.0);
+        assert_eq!(s.implied_ldp, 1.0); // 2·0.5 < 3.0
+        assert_eq!(s.relaxation, 2.0);
+        assert!((1.0..=2.0).contains(&s.relaxation));
+    }
+
+    #[test]
+    fn relaxation_always_in_unit_to_two() {
+        for vals in [
+            vec![1.0],
+            vec![0.1, 0.2],
+            vec![2.0, 2.0, 2.1],
+            vec![0.5, 5.0, 50.0],
+        ] {
+            let r = relaxation_factor(&set(&vals));
+            assert!((1.0 - 1e-12..=2.0 + 1e-12).contains(&r), "vals {vals:?} → {r}");
+        }
+    }
+}

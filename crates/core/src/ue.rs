@@ -1,0 +1,346 @@
+//! Unary Encoding mechanisms with per-bit perturbation probabilities.
+//!
+//! The input `x = i` is one-hot encoded into an `m`-bit vector and every bit
+//! `k` is flipped independently:
+//! `Pr[y[k]=1 | x[k]=1] = a_k`, `Pr[y[k]=1 | x[k]=0] = b_k`.
+//!
+//! With *uniform* probabilities this is the classic UE family: symmetric UE
+//! (basic RAPPOR, `a = e^{ε/2}/(e^{ε/2}+1)`, `b = 1−a`) and Optimized UE
+//! (OUE, `a = 1/2`, `b = 1/(e^ε+1)`), both satisfying
+//! `ε = ln( a(1−b) / ((1−a)b) )`-LDP. IDUE (Algorithm 1 of the paper)
+//! generalizes this by letting the probabilities differ per bit — that is
+//! exactly what [`UnaryEncoding`] stores; [`crate::idue::Idue`] builds it
+//! from per-level parameters.
+
+use crate::budget::Epsilon;
+use crate::error::{Error, Result};
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// A unary-encoding mechanism: per-bit Bernoulli parameters `(a_k, b_k)`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UnaryEncoding {
+    a: Vec<f64>,
+    b: Vec<f64>,
+}
+
+impl UnaryEncoding {
+    /// Validates and wraps per-bit probabilities (`0 < b_k < a_k < 1`).
+    pub fn new(a: Vec<f64>, b: Vec<f64>) -> Result<Self> {
+        if a.is_empty() {
+            return Err(Error::Empty {
+                what: "bit probabilities".into(),
+            });
+        }
+        if a.len() != b.len() {
+            return Err(Error::DimensionMismatch {
+                what: "a/b bit vectors".into(),
+                expected: a.len(),
+                actual: b.len(),
+            });
+        }
+        for (k, (&ak, &bk)) in a.iter().zip(&b).enumerate() {
+            if !(ak > 0.0 && ak < 1.0) {
+                return Err(Error::InvalidProbability {
+                    name: format!("a[{k}]"),
+                    value: ak,
+                });
+            }
+            if !(bk > 0.0 && bk < 1.0) {
+                return Err(Error::InvalidProbability {
+                    name: format!("b[{k}]"),
+                    value: bk,
+                });
+            }
+            if ak <= bk {
+                return Err(Error::ParameterOrdering {
+                    detail: format!("a[{k}]={ak} must exceed b[{k}]={bk}"),
+                });
+            }
+        }
+        Ok(Self { a, b })
+    }
+
+    /// Symmetric UE, a.k.a. basic RAPPOR: `a = e^{ε/2}/(e^{ε/2}+1)`,
+    /// `b = 1 − a`, replicated over `m` bits. Satisfies ε-LDP.
+    pub fn symmetric(eps: Epsilon, m: usize) -> Result<Self> {
+        let half = (eps.get() / 2.0).exp();
+        let a = half / (half + 1.0);
+        Self::new(vec![a; m], vec![1.0 - a; m])
+    }
+
+    /// Optimized UE (OUE, Wang et al. 2017): `a = 1/2`, `b = 1/(e^ε+1)`,
+    /// replicated over `m` bits. Satisfies ε-LDP with smaller estimator
+    /// variance than symmetric UE.
+    pub fn optimized(eps: Epsilon, m: usize) -> Result<Self> {
+        let b = 1.0 / (eps.exp() + 1.0);
+        Self::new(vec![0.5; m], vec![b; m])
+    }
+
+    /// Number of bits `m` in the encoding.
+    pub fn num_bits(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Per-bit `a` probabilities.
+    pub fn a(&self) -> &[f64] {
+        &self.a
+    }
+
+    /// Per-bit `b` probabilities.
+    pub fn b(&self) -> &[f64] {
+        &self.b
+    }
+
+    /// Perturbs a one-hot input (Algorithm 1). `hot` is the index of the
+    /// input item; every bit is flipped independently with its own
+    /// probability.
+    ///
+    /// # Errors
+    /// Returns an error if `hot` is out of range.
+    pub fn perturb_one_hot<R: Rng + ?Sized>(&self, hot: usize, rng: &mut R) -> Result<Vec<bool>> {
+        if hot >= self.num_bits() {
+            return Err(Error::IndexOutOfRange {
+                what: "one-hot input".into(),
+                index: hot,
+                bound: self.num_bits(),
+            });
+        }
+        Ok(self
+            .a
+            .iter()
+            .zip(&self.b)
+            .enumerate()
+            .map(|(k, (&ak, &bk))| rng.random_bool(if k == hot { ak } else { bk }))
+            .collect())
+    }
+
+    /// Perturbs an arbitrary bit vector (used by tests and by callers that
+    /// pre-encode; Algorithm 1 line 2–8 without the encoding step).
+    ///
+    /// # Errors
+    /// Returns an error if `bits.len()` differs from the encoding length.
+    pub fn perturb_bits<R: Rng + ?Sized>(&self, bits: &[bool], rng: &mut R) -> Result<Vec<bool>> {
+        if bits.len() != self.num_bits() {
+            return Err(Error::DimensionMismatch {
+                what: "input bit vector".into(),
+                expected: self.num_bits(),
+                actual: bits.len(),
+            });
+        }
+        Ok(bits
+            .iter()
+            .zip(self.a.iter().zip(&self.b))
+            .map(|(&bit, (&ak, &bk))| rng.random_bool(if bit { ak } else { bk }))
+            .collect())
+    }
+
+    /// The Eq. 7 log-ratio bound for the ordered bit pair `(i, j)`:
+    /// `ln( a_i(1−b_j) / (b_i(1−a_j)) )` — the exact maximum over outputs of
+    /// `ln Pr[y|v_i] − ln Pr[y|v_j]`.
+    pub fn pair_log_ratio(&self, i: usize, j: usize) -> f64 {
+        ((self.a[i] * (1.0 - self.b[j])) / (self.b[i] * (1.0 - self.a[j]))).ln()
+    }
+
+    /// The tightest plain-LDP budget this mechanism satisfies:
+    /// `max_{i≠j} ln( a_i(1−b_j) / (b_i(1−a_j)) )` (for `m = 1`, the single
+    /// binary-RR pair `ln(a(1−b)/(b(1−a)))`).
+    ///
+    /// The maximum over ordered pairs factorizes into
+    /// `max_i ln(a_i/b_i) + max_j ln((1−b_j)/(1−a_j))` except that `i = j`
+    /// is not a valid input pair, so we track the top two of each term.
+    pub fn ldp_epsilon(&self) -> f64 {
+        let m = self.num_bits();
+        if m == 1 {
+            return self.pair_log_ratio(0, 0);
+        }
+        // (best value, index, second-best value) for each factor.
+        let mut alpha = (f64::NEG_INFINITY, usize::MAX, f64::NEG_INFINITY);
+        let mut inv_beta = (f64::NEG_INFINITY, usize::MAX, f64::NEG_INFINITY);
+        for k in 0..m {
+            let la = (self.a[k] / self.b[k]).ln();
+            if la > alpha.0 {
+                alpha = (la, k, alpha.0);
+            } else if la > alpha.2 {
+                alpha.2 = la;
+            }
+            let lb = ((1.0 - self.b[k]) / (1.0 - self.a[k])).ln();
+            if lb > inv_beta.0 {
+                inv_beta = (lb, k, inv_beta.0);
+            } else if lb > inv_beta.2 {
+                inv_beta.2 = lb;
+            }
+        }
+        if alpha.1 != inv_beta.1 {
+            alpha.0 + inv_beta.0
+        } else {
+            // Both maxima at the same bit: best valid pair uses the runner-up
+            // of one of the two factors.
+            (alpha.0 + inv_beta.2).max(alpha.2 + inv_beta.0)
+        }
+    }
+
+    /// Exact probability of an output vector given a one-hot input — used by
+    /// the exhaustive audits on small domains.
+    ///
+    /// # Panics
+    /// Panics if the lengths disagree or `hot` is out of range.
+    pub fn output_probability(&self, hot: usize, output: &[bool]) -> f64 {
+        assert_eq!(output.len(), self.num_bits(), "output length mismatch");
+        assert!(hot < self.num_bits(), "hot index out of range");
+        output
+            .iter()
+            .enumerate()
+            .map(|(k, &y)| {
+                let p1 = if k == hot { self.a[k] } else { self.b[k] };
+                if y {
+                    p1
+                } else {
+                    1.0 - p1
+                }
+            })
+            .product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idldp_num::rng::SplitMix64;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn constructors_satisfy_their_ldp_budget() {
+        for e in [0.5_f64, 1.0, 2.0, 4.0] {
+            let sym = UnaryEncoding::symmetric(eps(e), 7).unwrap();
+            assert!(
+                (sym.ldp_epsilon() - e).abs() < 1e-9,
+                "symmetric ε mismatch at {e}"
+            );
+            let oue = UnaryEncoding::optimized(eps(e), 7).unwrap();
+            assert!(
+                (oue.ldp_epsilon() - e).abs() < 1e-9,
+                "OUE ε mismatch at {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_probabilities() {
+        assert!(UnaryEncoding::new(vec![], vec![]).is_err());
+        assert!(UnaryEncoding::new(vec![0.5], vec![0.2, 0.3]).is_err());
+        assert!(UnaryEncoding::new(vec![1.0], vec![0.2]).is_err());
+        assert!(UnaryEncoding::new(vec![0.5], vec![0.5]).is_err());
+        assert!(UnaryEncoding::new(vec![0.2], vec![0.5]).is_err());
+    }
+
+    #[test]
+    fn perturb_one_hot_dimensions_and_bias() {
+        let ue = UnaryEncoding::optimized(eps(1.0), 5).unwrap();
+        let mut rng = SplitMix64::new(1);
+        let y = ue.perturb_one_hot(2, &mut rng).unwrap();
+        assert_eq!(y.len(), 5);
+        assert!(ue.perturb_one_hot(5, &mut rng).is_err());
+
+        // The hot bit should be 1 with probability a=0.5, cold bits with
+        // b = 1/(e+1) ≈ 0.269.
+        let trials = 20_000;
+        let mut hot_ones = 0u32;
+        let mut cold_ones = 0u32;
+        for _ in 0..trials {
+            let y = ue.perturb_one_hot(2, &mut rng).unwrap();
+            hot_ones += y[2] as u32;
+            cold_ones += y[0] as u32;
+        }
+        let hot_rate = hot_ones as f64 / trials as f64;
+        let cold_rate = cold_ones as f64 / trials as f64;
+        assert!((hot_rate - 0.5).abs() < 0.02, "hot rate {hot_rate}");
+        assert!(
+            (cold_rate - 1.0 / (1.0_f64.exp() + 1.0)).abs() < 0.02,
+            "cold rate {cold_rate}"
+        );
+    }
+
+    #[test]
+    fn perturb_bits_matches_one_hot() {
+        let ue = UnaryEncoding::symmetric(eps(2.0), 4).unwrap();
+        let mut bits = vec![false; 4];
+        bits[1] = true;
+        let mut r1 = SplitMix64::new(9);
+        let mut r2 = SplitMix64::new(9);
+        let y1 = ue.perturb_bits(&bits, &mut r1).unwrap();
+        let y2 = ue.perturb_one_hot(1, &mut r2).unwrap();
+        assert_eq!(y1, y2);
+        assert!(ue.perturb_bits(&[true; 3], &mut r1).is_err());
+    }
+
+    #[test]
+    fn output_probability_sums_to_one() {
+        let ue = UnaryEncoding::new(vec![0.7, 0.6, 0.55], vec![0.2, 0.1, 0.3]).unwrap();
+        // Sum over all 2³ outputs must be 1 for each input.
+        for hot in 0..3 {
+            let mut total = 0.0;
+            for mask in 0..8u32 {
+                let out: Vec<bool> = (0..3).map(|k| mask >> k & 1 == 1).collect();
+                total += ue.output_probability(hot, &out);
+            }
+            assert!((total - 1.0).abs() < 1e-12, "hot={hot} total={total}");
+        }
+    }
+
+    #[test]
+    fn pair_log_ratio_is_exact_max_over_outputs() {
+        // Exhaustively verify Eq. 7's claim that the worst output is
+        // y[i]=1, y[j]=0.
+        let ue = UnaryEncoding::new(vec![0.7, 0.55, 0.5], vec![0.25, 0.1, 0.2]).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                if i == j {
+                    continue;
+                }
+                let mut worst: f64 = f64::NEG_INFINITY;
+                for mask in 0..8u32 {
+                    let out: Vec<bool> = (0..3).map(|k| mask >> k & 1 == 1).collect();
+                    let r = ue.output_probability(i, &out) / ue.output_probability(j, &out);
+                    worst = worst.max(r.ln());
+                }
+                assert!(
+                    (worst - ue.pair_log_ratio(i, j)).abs() < 1e-10,
+                    "pair ({i},{j}): exhaustive {worst} vs analytic {}",
+                    ue.pair_log_ratio(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ldp_epsilon_upper_bounds_every_distinct_pair() {
+        let ue = UnaryEncoding::new(vec![0.7, 0.55, 0.5], vec![0.25, 0.1, 0.2]).unwrap();
+        let e = ue.ldp_epsilon();
+        let mut brute = f64::NEG_INFINITY;
+        for i in 0..3 {
+            for j in 0..3 {
+                if i == j {
+                    continue;
+                }
+                assert!(ue.pair_log_ratio(i, j) <= e + 1e-12);
+                brute = brute.max(ue.pair_log_ratio(i, j));
+            }
+        }
+        assert!((brute - e).abs() < 1e-12, "top-2 trick disagrees with brute force");
+    }
+
+    #[test]
+    fn ldp_epsilon_same_bit_extremes() {
+        // Bit 0 has both the largest α and the largest 1/β; ldp_epsilon must
+        // not pair bit 0 with itself.
+        let ue = UnaryEncoding::new(vec![0.9, 0.5], vec![0.05, 0.3]).unwrap();
+        let e = ue.ldp_epsilon();
+        let brute = ue.pair_log_ratio(0, 1).max(ue.pair_log_ratio(1, 0));
+        assert!((e - brute).abs() < 1e-12, "e={e} brute={brute}");
+        assert!(e < ue.pair_log_ratio(0, 0), "must exclude the i=j pairing");
+    }
+}

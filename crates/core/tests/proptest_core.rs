@@ -1,0 +1,170 @@
+//! Property tests for the core privacy types and mechanisms.
+
+use idldp_core::budget::{BudgetSet, Epsilon};
+use idldp_core::estimator::FrequencyEstimator;
+use idldp_core::grr::GeneralizedRandomizedResponse;
+use idldp_core::idue_ps::set_budget;
+use idldp_core::leakage;
+use idldp_core::levels::LevelPartition;
+use idldp_core::matrix_mech::PerturbationMatrix;
+use idldp_core::notion::{Notion, RFunction};
+use idldp_core::relations;
+use idldp_core::ue::UnaryEncoding;
+use proptest::prelude::*;
+
+fn arb_budgets(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.05f64..6.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The r-functions are symmetric and ordered min <= avg <= max.
+    #[test]
+    fn r_function_ordering(a in 0.05f64..6.0, b in 0.05f64..6.0) {
+        let (ea, eb) = (Epsilon::new(a).unwrap(), Epsilon::new(b).unwrap());
+        let min = RFunction::Min.combine(ea, eb);
+        let avg = RFunction::Avg.combine(ea, eb);
+        let max = RFunction::Max.combine(ea, eb);
+        prop_assert!(min <= avg && avg <= max);
+        for r in [RFunction::Min, RFunction::Avg, RFunction::Max] {
+            prop_assert_eq!(r.combine(ea, eb), r.combine(eb, ea));
+        }
+    }
+
+    /// Lemma 1's implied-LDP value is between min(E) and max(E), and the
+    /// relaxation factor is in [1, 2].
+    #[test]
+    fn lemma1_bounds(vals in arb_budgets(5)) {
+        let set = BudgetSet::from_values(&vals).unwrap();
+        let implied = relations::minid_implies_ldp(&set);
+        prop_assert!(implied >= set.min().get() - 1e-12);
+        prop_assert!(implied <= set.max().get() + 1e-12);
+        let r = relations::relaxation_factor(&set);
+        prop_assert!((1.0 - 1e-12..=2.0 + 1e-12).contains(&r));
+        // LDP at min(E) always implies E-MinID-LDP.
+        prop_assert!(relations::ldp_implies_minid(set.min(), &set));
+    }
+
+    /// GRR satisfies exactly its declared ε, and its matrix form agrees.
+    #[test]
+    fn grr_epsilon_tight(e in 0.05f64..6.0, m in 2usize..40) {
+        let eps = Epsilon::new(e).unwrap();
+        let g = GeneralizedRandomizedResponse::new(eps, m).unwrap();
+        prop_assert!((g.ldp_epsilon() - e).abs() < 1e-9);
+        let mat = PerturbationMatrix::grr(eps, m).unwrap();
+        prop_assert!((mat.ldp_epsilon() - e).abs() < 1e-9);
+        prop_assert!(mat.audit(&Notion::Ldp(eps), 1e-9).is_ok());
+    }
+
+    /// SUE/OUE constructors satisfy their ε exactly for any m.
+    #[test]
+    fn ue_constructors_tight(e in 0.05f64..6.0, m in 1usize..60) {
+        let eps = Epsilon::new(e).unwrap();
+        let sym = UnaryEncoding::symmetric(eps, m).unwrap();
+        prop_assert!((sym.ldp_epsilon() - e).abs() < 1e-9);
+        let oue = UnaryEncoding::optimized(eps, m).unwrap();
+        prop_assert!((oue.ldp_epsilon() - e).abs() < 1e-9);
+    }
+
+    /// Output probabilities of a UE mechanism always normalize (m <= 10).
+    #[test]
+    fn ue_output_distribution_normalizes(
+        e in 0.1f64..4.0,
+        m in 1usize..8,
+        hot_choice in any::<prop::sample::Index>(),
+    ) {
+        let ue = UnaryEncoding::optimized(Epsilon::new(e).unwrap(), m).unwrap();
+        let hot = hot_choice.index(m);
+        let mut total = 0.0;
+        for mask in 0..(1u32 << m) {
+            let out: Vec<bool> = (0..m).map(|k| mask >> k & 1 == 1).collect();
+            total += ue.output_probability(hot, &out);
+        }
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// The worst-case total MSE dominates the truth-dependent MSE for any
+    /// distribution of true counts.
+    #[test]
+    fn worst_case_mse_dominates(
+        a0 in 0.35f64..0.9,
+        gap in 0.05f64..0.3,
+        n in 10u64..10_000,
+        weights in proptest::collection::vec(0.0f64..1.0, 4),
+    ) {
+        let b0 = (a0 - gap).max(0.01);
+        let est = FrequencyEstimator::new(vec![a0; 4], vec![b0; 4], n, 1.0).unwrap();
+        let wsum: f64 = weights.iter().sum::<f64>().max(1e-9);
+        let truth: Vec<f64> = weights.iter().map(|w| w / wsum * n as f64).collect();
+        let actual = est.theoretical_total_mse(&truth).unwrap();
+        prop_assert!(actual <= est.worst_case_total_mse() + 1e-6);
+    }
+
+    /// Eq. 17 set budgets: monotone under adding a looser item to a set
+    /// whose size stays below ℓ, and always within [min, max] item budgets
+    /// (including the dummy budget).
+    #[test]
+    fn set_budget_in_range(
+        vals in arb_budgets(3),
+        l in 1usize..5,
+        size in 1usize..6,
+    ) {
+        let mut sorted = vals.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Three levels over 6 items.
+        let budgets: Vec<Epsilon> = sorted.iter().map(|&v| Epsilon::new(v).unwrap()).collect();
+        let levels = LevelPartition::new(vec![0, 0, 1, 1, 2, 2], budgets).unwrap();
+        let set: Vec<usize> = (0..size.min(6)).collect();
+        let eps_dummy = levels.min_budget();
+        let b = set_budget(&levels, eps_dummy, l, &set).unwrap();
+        prop_assert!(b >= levels.min_budget().get() - 1e-9);
+        prop_assert!(b <= levels.max_budget().get() + 1e-9);
+    }
+
+    /// Leakage bounds: MinID upper bound is monotone in the input's budget
+    /// until the 2·min(E) cap, and lower·upper = 1.
+    #[test]
+    fn minid_leakage_shape(vals in arb_budgets(4)) {
+        let set = BudgetSet::from_values(&vals).unwrap();
+        for x in 0..4 {
+            let b = leakage::min_id_ldp_bound(&set, x).unwrap();
+            prop_assert!((b.lower * b.upper - 1.0).abs() < 1e-9);
+            let cap = (2.0 * set.min().get()).exp();
+            prop_assert!(b.upper <= cap + 1e-9);
+            prop_assert!(b.upper <= vals[x].exp() + 1e-9);
+        }
+    }
+
+    /// Matrix mechanisms sampled via inverse-CDF stay in range and the
+    /// audit agrees with the analytically known ε of GRR.
+    #[test]
+    fn matrix_perturb_in_range(e in 0.2f64..4.0, m in 2usize..12, seed in any::<u64>()) {
+        let mat = PerturbationMatrix::grr(Epsilon::new(e).unwrap(), m).unwrap();
+        let mut rng = idldp_num::rng::SplitMix64::new(seed);
+        for x in 0..m {
+            let y = mat.perturb(x, &mut rng).unwrap();
+            prop_assert!(y < m);
+        }
+    }
+
+    /// BudgetSet composition is commutative and associative element-wise.
+    #[test]
+    fn budget_addition_algebra(a in arb_budgets(3), b in arb_budgets(3), c in arb_budgets(3)) {
+        let (sa, sb, sc) = (
+            BudgetSet::from_values(&a).unwrap(),
+            BudgetSet::from_values(&b).unwrap(),
+            BudgetSet::from_values(&c).unwrap(),
+        );
+        let ab = sa.add(&sb).unwrap();
+        let ba = sb.add(&sa).unwrap();
+        for i in 0..3 {
+            prop_assert!((ab[i].get() - ba[i].get()).abs() < 1e-12);
+        }
+        let ab_c = ab.add(&sc).unwrap();
+        let a_bc = sa.add(&sb.add(&sc).unwrap()).unwrap();
+        for i in 0..3 {
+            prop_assert!((ab_c[i].get() - a_bc[i].get()).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Privacy-budget assignment schemes (Section VII, "The Setting of Privacy
+//! Budget").
+//!
+//! The paper's default: four privacy levels with budgets
+//! `{ε, 1.2ε, 2ε, 4ε}` assigned to items at random with distribution
+//! `{5%, 5%, 5%, 85%}` (most items are not very sensitive). Fig. 4 varies
+//! the distribution (`{10,10,10,70}`, `{25,25,25,25}`) and Fig. 4(b) uses
+//! `t = 20` levels with multipliers uniformly spaced in `[1, 4]` and weights
+//! exponentially proportional to the budget (`∝ e^{ε_i}`).
+
+use idldp_core::budget::Epsilon;
+use idldp_core::error::{Error, Result};
+use idldp_core::levels::LevelPartition;
+use rand::{Rng, RngExt};
+
+/// A scheme assigning per-item privacy levels at random.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BudgetScheme {
+    /// Budget multipliers per level (budget = multiplier × base ε),
+    /// ascending.
+    multipliers: Vec<f64>,
+    /// Assignment probabilities per level (sum to 1).
+    weights: Vec<f64>,
+}
+
+impl BudgetScheme {
+    /// Builds a scheme from multipliers and weights.
+    pub fn new(multipliers: Vec<f64>, weights: Vec<f64>) -> Result<Self> {
+        if multipliers.is_empty() {
+            return Err(Error::Empty {
+                what: "budget multipliers".into(),
+            });
+        }
+        if multipliers.len() != weights.len() {
+            return Err(Error::DimensionMismatch {
+                what: "multipliers vs weights".into(),
+                expected: multipliers.len(),
+                actual: weights.len(),
+            });
+        }
+        if multipliers.iter().any(|&m| m <= 0.0 || !m.is_finite()) {
+            return Err(Error::InvalidEpsilon { value: f64::NAN });
+        }
+        if multipliers.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(Error::ParameterOrdering {
+                detail: "multipliers must be strictly ascending".into(),
+            });
+        }
+        let total: f64 = weights.iter().sum();
+        if weights.iter().any(|&w| w < 0.0) || (total - 1.0).abs() > 1e-9 {
+            return Err(Error::InvalidProbability {
+                name: "weights".into(),
+                value: total,
+            });
+        }
+        Ok(Self {
+            multipliers,
+            weights,
+        })
+    }
+
+    /// The paper's default: `{1, 1.2, 2, 4}×ε` with `{5, 5, 5, 85}%`.
+    pub fn paper_default() -> Self {
+        Self::new(vec![1.0, 1.2, 2.0, 4.0], vec![0.05, 0.05, 0.05, 0.85])
+            .expect("static parameters are valid")
+    }
+
+    /// The default multipliers with custom weights (Fig. 4(a)'s
+    /// `{10,10,10,70}` and `{25,25,25,25}` variants — pass fractions).
+    pub fn with_weights(weights: [f64; 4]) -> Result<Self> {
+        Self::new(vec![1.0, 1.2, 2.0, 4.0], weights.to_vec())
+    }
+
+    /// Fig. 4(b)'s 20-level variant: multipliers uniformly spaced in
+    /// `[1, 4]`, weights `∝ e^{multiplier}` (exponentially favouring less
+    /// sensitive items).
+    pub fn exponential_20() -> Self {
+        Self::exponential(20, 1.0, 4.0)
+    }
+
+    /// General exponential scheme over `t` levels spanning
+    /// `[lo_mult, hi_mult]`.
+    pub fn exponential(t: usize, lo_mult: f64, hi_mult: f64) -> Self {
+        assert!(t >= 2 && hi_mult > lo_mult && lo_mult > 0.0);
+        let multipliers: Vec<f64> = (0..t)
+            .map(|i| lo_mult + (hi_mult - lo_mult) * i as f64 / (t - 1) as f64)
+            .collect();
+        let raw: Vec<f64> = multipliers.iter().map(|&m| m.exp()).collect();
+        let total: f64 = raw.iter().sum();
+        let weights = raw.into_iter().map(|w| w / total).collect();
+        Self::new(multipliers, weights).expect("constructed parameters are valid")
+    }
+
+    /// Number of levels in the scheme.
+    pub fn num_levels(&self) -> usize {
+        self.multipliers.len()
+    }
+
+    /// The multipliers.
+    pub fn multipliers(&self) -> &[f64] {
+        &self.multipliers
+    }
+
+    /// The weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Randomly assigns levels to `m` items at base budget `base_eps`.
+    ///
+    /// Levels that happen to receive no items are dropped (with their items
+    /// remapped), since [`LevelPartition`] requires non-empty levels.
+    pub fn assign<R: Rng + ?Sized>(
+        &self,
+        m: usize,
+        base_eps: Epsilon,
+        rng: &mut R,
+    ) -> Result<LevelPartition> {
+        if m == 0 {
+            return Err(Error::Empty {
+                what: "item domain".into(),
+            });
+        }
+        // Cumulative weights for inverse-CDF assignment.
+        let mut cdf = Vec::with_capacity(self.weights.len());
+        let mut acc = 0.0;
+        for &w in &self.weights {
+            acc += w;
+            cdf.push(acc);
+        }
+        let mut raw_levels = Vec::with_capacity(m);
+        for _ in 0..m {
+            let u: f64 = rng.random();
+            let lvl = cdf.partition_point(|&c| c < u).min(self.weights.len() - 1);
+            raw_levels.push(lvl);
+        }
+        // Compact away empty levels.
+        let mut used: Vec<bool> = vec![false; self.multipliers.len()];
+        for &l in &raw_levels {
+            used[l] = true;
+        }
+        let mut remap = vec![usize::MAX; self.multipliers.len()];
+        let mut budgets = Vec::new();
+        for (old, &u) in used.iter().enumerate() {
+            if u {
+                remap[old] = budgets.len();
+                budgets.push(Epsilon::new(self.multipliers[old] * base_eps.get())?);
+            }
+        }
+        let level_of = raw_levels.into_iter().map(|l| remap[l]).collect();
+        LevelPartition::new(level_of, budgets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idldp_num::rng::SplitMix64;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(BudgetScheme::new(vec![], vec![]).is_err());
+        assert!(BudgetScheme::new(vec![1.0], vec![0.5, 0.5]).is_err());
+        assert!(BudgetScheme::new(vec![1.0, 0.5], vec![0.5, 0.5]).is_err()); // not ascending
+        assert!(BudgetScheme::new(vec![1.0, 2.0], vec![0.6, 0.6]).is_err()); // sum != 1
+        assert!(BudgetScheme::new(vec![1.0, 2.0], vec![0.5, 0.5]).is_ok());
+    }
+
+    #[test]
+    fn paper_default_shape() {
+        let s = BudgetScheme::paper_default();
+        assert_eq!(s.num_levels(), 4);
+        assert_eq!(s.multipliers(), &[1.0, 1.2, 2.0, 4.0]);
+        assert!((s.weights().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assignment_distribution_matches_weights() {
+        let s = BudgetScheme::paper_default();
+        let mut rng = SplitMix64::new(1);
+        let m = 100_000;
+        let levels = s.assign(m, eps(1.0), &mut rng).unwrap();
+        assert_eq!(levels.num_items(), m);
+        assert_eq!(levels.num_levels(), 4);
+        let fracs: Vec<f64> = levels
+            .counts()
+            .iter()
+            .map(|&c| c as f64 / m as f64)
+            .collect();
+        for (got, want) in fracs.iter().zip(s.weights()) {
+            assert!((got - want).abs() < 0.01, "fracs {fracs:?}");
+        }
+        // Budgets are multiplier × base.
+        assert!((levels.level_budget(3).unwrap().get() - 4.0).abs() < 1e-12);
+        assert!((levels.min_budget().get() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_levels_are_compacted() {
+        // Extreme weights: with m=3 draws, some of the 4 levels will very
+        // likely be empty; the partition must still be valid.
+        let s = BudgetScheme::paper_default();
+        let mut rng = SplitMix64::new(2);
+        let levels = s.assign(3, eps(1.0), &mut rng).unwrap();
+        assert!(levels.num_levels() >= 1);
+        assert!(levels.counts().iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn exponential_scheme() {
+        let s = BudgetScheme::exponential_20();
+        assert_eq!(s.num_levels(), 20);
+        assert_eq!(s.multipliers()[0], 1.0);
+        assert_eq!(s.multipliers()[19], 4.0);
+        // Weights increase with the multiplier (∝ e^mult).
+        for w in s.weights().windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert!((s.weights().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_weight_variants() {
+        for w in [[0.10, 0.10, 0.10, 0.70], [0.25, 0.25, 0.25, 0.25]] {
+            let s = BudgetScheme::with_weights(w).unwrap();
+            assert_eq!(s.num_levels(), 4);
+        }
+        assert!(BudgetScheme::with_weights([0.5, 0.5, 0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn deterministic_assignment() {
+        let s = BudgetScheme::paper_default();
+        let l1 = s.assign(1000, eps(2.0), &mut SplitMix64::new(7)).unwrap();
+        let l2 = s.assign(1000, eps(2.0), &mut SplitMix64::new(7)).unwrap();
+        assert_eq!(l1, l2);
+    }
+}

@@ -1,0 +1,219 @@
+//! Dataset containers: single-item and item-set user data.
+//!
+//! Items are stored as `u32` (the largest paper domain is 41,270 items;
+//! `u32` halves the memory of the ~1M-user surrogates versus `usize`).
+
+/// A dataset where each user holds exactly one item.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SingleItemDataset {
+    items: Vec<u32>,
+    m: usize,
+}
+
+impl SingleItemDataset {
+    /// Wraps raw per-user items over a domain of size `m`.
+    ///
+    /// # Panics
+    /// Panics if any item is outside `0..m`.
+    pub fn new(items: Vec<u32>, m: usize) -> Self {
+        assert!(
+            items.iter().all(|&i| (i as usize) < m),
+            "item out of domain"
+        );
+        Self { items, m }
+    }
+
+    /// Number of users `n`.
+    pub fn num_users(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Domain size `m`.
+    pub fn domain_size(&self) -> usize {
+        self.m
+    }
+
+    /// Per-user items.
+    pub fn items(&self) -> &[u32] {
+        &self.items
+    }
+
+    /// True counts `c*_i` (Eq. 1): the number of users holding each item.
+    pub fn true_counts(&self) -> Vec<f64> {
+        let mut counts = vec![0.0; self.m];
+        for &i in &self.items {
+            counts[i as usize] += 1.0;
+        }
+        counts
+    }
+
+    /// Indices of the `k` most frequent items, most frequent first.
+    pub fn top_k(&self, k: usize) -> Vec<usize> {
+        top_k_of(&self.true_counts(), k)
+    }
+}
+
+/// A dataset where each user holds a *set* of distinct items.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ItemSetDataset {
+    sets: Vec<Vec<u32>>,
+    m: usize,
+}
+
+impl ItemSetDataset {
+    /// Wraps raw per-user item-sets over a domain of size `m`.
+    ///
+    /// # Panics
+    /// Panics if any item is outside `0..m` or a set contains duplicates.
+    pub fn new(sets: Vec<Vec<u32>>, m: usize) -> Self {
+        for set in &sets {
+            assert!(set.iter().all(|&i| (i as usize) < m), "item out of domain");
+            let mut sorted = set.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), set.len(), "sets must not contain duplicates");
+        }
+        Self { sets, m }
+    }
+
+    /// Number of users `n`.
+    pub fn num_users(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Domain size `m`.
+    pub fn domain_size(&self) -> usize {
+        self.m
+    }
+
+    /// Per-user sets.
+    pub fn sets(&self) -> &[Vec<u32>] {
+        &self.sets
+    }
+
+    /// True counts `c*_i` (Eq. 1): the number of users whose set contains
+    /// each item.
+    pub fn true_counts(&self) -> Vec<f64> {
+        let mut counts = vec![0.0; self.m];
+        for set in &self.sets {
+            for &i in set {
+                counts[i as usize] += 1.0;
+            }
+        }
+        counts
+    }
+
+    /// Mean set size.
+    pub fn mean_set_size(&self) -> f64 {
+        if self.sets.is_empty() {
+            return 0.0;
+        }
+        self.sets.iter().map(Vec::len).sum::<usize>() as f64 / self.sets.len() as f64
+    }
+
+    /// Largest set size.
+    pub fn max_set_size(&self) -> usize {
+        self.sets.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// 90th-percentile set size (the heuristic the PS paper suggests for ℓ).
+    pub fn percentile_set_size(&self, q: f64) -> usize {
+        if self.sets.is_empty() {
+            return 0;
+        }
+        let mut sizes: Vec<usize> = self.sets.iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        let pos = ((sizes.len() - 1) as f64 * q).round() as usize;
+        sizes[pos]
+    }
+
+    /// Indices of the `k` most frequent items, most frequent first.
+    pub fn top_k(&self, k: usize) -> Vec<usize> {
+        top_k_of(&self.true_counts(), k)
+    }
+
+    /// The single-item view used by the paper for Kosarak in Fig. 4(a):
+    /// each user's *first* item (users with empty sets are dropped).
+    pub fn first_item_view(&self) -> SingleItemDataset {
+        let items: Vec<u32> = self
+            .sets
+            .iter()
+            .filter_map(|s| s.first().copied())
+            .collect();
+        SingleItemDataset::new(items, self.m)
+    }
+}
+
+/// Indices of the `k` largest entries, largest first (ties broken by lower
+/// index).
+fn top_k_of(counts: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..counts.len()).collect();
+    idx.sort_by(|&a, &b| {
+        counts[b]
+            .partial_cmp(&counts[a])
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_item_counts_and_topk() {
+        let d = SingleItemDataset::new(vec![0, 1, 1, 2, 1], 4);
+        assert_eq!(d.num_users(), 5);
+        assert_eq!(d.domain_size(), 4);
+        assert_eq!(d.true_counts(), vec![1.0, 3.0, 1.0, 0.0]);
+        assert_eq!(d.top_k(2), vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "item out of domain")]
+    fn single_item_domain_check() {
+        let _ = SingleItemDataset::new(vec![0, 5], 3);
+    }
+
+    #[test]
+    fn itemset_counts() {
+        let d = ItemSetDataset::new(vec![vec![0, 1], vec![1], vec![], vec![1, 2]], 3);
+        assert_eq!(d.true_counts(), vec![1.0, 3.0, 1.0]);
+        assert_eq!(d.mean_set_size(), 5.0 / 4.0);
+        assert_eq!(d.max_set_size(), 2);
+        assert_eq!(d.top_k(1), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicates")]
+    fn itemset_rejects_duplicates() {
+        let _ = ItemSetDataset::new(vec![vec![1, 1]], 3);
+    }
+
+    #[test]
+    fn percentiles() {
+        let d = ItemSetDataset::new(
+            vec![vec![0], vec![0, 1], vec![0, 1, 2], vec![0, 1, 2, 3]],
+            5,
+        );
+        assert_eq!(d.percentile_set_size(0.0), 1);
+        assert_eq!(d.percentile_set_size(1.0), 4);
+        assert_eq!(d.percentile_set_size(0.5), 3); // round(1.5)=2 → sizes[2]=3
+    }
+
+    #[test]
+    fn first_item_view_drops_empty() {
+        let d = ItemSetDataset::new(vec![vec![2, 0], vec![], vec![1]], 3);
+        let s = d.first_item_view();
+        assert_eq!(s.items(), &[2, 1]);
+        assert_eq!(s.domain_size(), 3);
+    }
+
+    #[test]
+    fn topk_tie_break_is_stable() {
+        let d = SingleItemDataset::new(vec![0, 1], 3);
+        assert_eq!(d.top_k(3), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Surrogate for the **Kosarak** click-stream dataset.
+//!
+//! The real dataset (fimi.uantwerpen.be) is an anonymized click-stream of a
+//! Hungarian news portal: ~990k users, 41,270 pages, ~8M click events
+//! (mean ≈ 8.1 pages per user). It is not redistributable here, so this
+//! module generates a surrogate matching those aggregate statistics:
+//!
+//! * page popularity follows a Zipf law (exponent ~1.15, typical for web
+//!   page popularity), so the frequency-estimation experiments see the same
+//!   few-heavy-hitters / long-tail structure;
+//! * per-user set sizes follow a geometric law with the published mean,
+//!   truncated to a maximum burst size.
+//!
+//! Fig. 4(a) uses the *single-item view* (each user's first page), which
+//! [`crate::dataset::ItemSetDataset::first_item_view`] provides.
+
+use crate::dataset::ItemSetDataset;
+use rand::{Rng, RngExt};
+use rand_distr::{Distribution, Zipf};
+
+/// Generation parameters for the Kosarak surrogate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KosarakConfig {
+    /// Number of users.
+    pub users: usize,
+    /// Number of distinct pages.
+    pub pages: usize,
+    /// Mean pages per user (the real dataset has ≈ 8.1).
+    pub mean_set_size: f64,
+    /// Zipf exponent for page popularity.
+    pub zipf_exponent: f64,
+    /// Hard cap on a single user's set size.
+    pub max_set_size: usize,
+}
+
+impl KosarakConfig {
+    /// Paper-scale configuration (matches the published statistics).
+    pub fn paper() -> Self {
+        Self {
+            users: 990_002,
+            pages: 41_270,
+            mean_set_size: 8.1,
+            zipf_exponent: 1.15,
+            max_set_size: 500,
+        }
+    }
+
+    /// A reduced configuration preserving the distributional shape:
+    /// `frac` scales users and pages (min 1000 users / 100 pages).
+    pub fn scaled(frac: f64) -> Self {
+        let paper = Self::paper();
+        Self {
+            users: ((paper.users as f64 * frac) as usize).max(1000),
+            pages: ((paper.pages as f64 * frac) as usize).max(100),
+            ..paper
+        }
+    }
+}
+
+/// Draws a geometric set size with the given mean, shifted to `>= 1` and
+/// truncated at `max`.
+pub(crate) fn geometric_size<R: Rng + ?Sized>(rng: &mut R, mean: f64, max: usize) -> usize {
+    debug_assert!(mean > 1.0);
+    // Size = 1 + Geometric(p) with E[Geometric] = (1-p)/p = mean - 1.
+    let p = 1.0 / mean;
+    let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let g = (u.ln() / (1.0 - p).ln()).floor() as usize;
+    (1 + g).min(max)
+}
+
+/// Draws `target` *distinct* Zipf-popular items (0-based indices).
+///
+/// Popular items collide often; we bound the attempts and accept a smaller
+/// set when the domain is effectively exhausted (matches real data where
+/// heavy users still visit a bounded set of pages).
+pub(crate) fn distinct_zipf_items<R: Rng + ?Sized>(
+    rng: &mut R,
+    zipf: &Zipf<f64>,
+    domain: usize,
+    target: usize,
+) -> Vec<u32> {
+    let mut set = Vec::with_capacity(target);
+    let mut attempts = 0usize;
+    let max_attempts = target * 30 + 50;
+    while set.len() < target && attempts < max_attempts {
+        attempts += 1;
+        let draw = zipf.sample(rng) as usize; // in [1, domain]
+        let item = (draw.min(domain) - 1) as u32;
+        if !set.contains(&item) {
+            set.push(item);
+        }
+    }
+    set
+}
+
+/// Generates a Kosarak surrogate.
+pub fn generate<R: Rng + ?Sized>(rng: &mut R, config: &KosarakConfig) -> ItemSetDataset {
+    let zipf = Zipf::new(config.pages as f64, config.zipf_exponent)
+        .expect("valid Zipf parameters");
+    let sets = (0..config.users)
+        .map(|_| {
+            let size = geometric_size(rng, config.mean_set_size, config.max_set_size);
+            distinct_zipf_items(rng, &zipf, config.pages, size)
+        })
+        .collect();
+    ItemSetDataset::new(sets, config.pages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idldp_num::rng::SplitMix64;
+
+    fn small() -> KosarakConfig {
+        KosarakConfig {
+            users: 20_000,
+            pages: 2_000,
+            mean_set_size: 8.1,
+            zipf_exponent: 1.15,
+            max_set_size: 500,
+        }
+    }
+
+    #[test]
+    fn mean_set_size_close_to_target() {
+        let mut rng = SplitMix64::new(1);
+        let d = generate(&mut rng, &small());
+        let mean = d.mean_set_size();
+        // Dedup against popular items loses a little mass; allow 20% slack.
+        assert!((mean - 8.1).abs() < 1.7, "mean set size {mean}");
+    }
+
+    #[test]
+    fn popularity_is_zipf_like() {
+        let mut rng = SplitMix64::new(2);
+        let d = generate(&mut rng, &small());
+        let counts = d.true_counts();
+        let mut sorted = counts.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        // Head dominates: top page ≫ 20th ≫ 200th.
+        assert!(sorted[0] > 3.0 * sorted[19], "head {sorted:?}");
+        assert!(sorted[19] > 2.0 * sorted[199]);
+        // Long tail exists: plenty of pages seen at least once.
+        let touched = counts.iter().filter(|&&c| c > 0.0).count();
+        assert!(touched > 1000, "tail coverage {touched}");
+    }
+
+    #[test]
+    fn determinism_and_domain() {
+        let cfg = KosarakConfig {
+            users: 500,
+            pages: 100,
+            ..small()
+        };
+        let d1 = generate(&mut SplitMix64::new(3), &cfg);
+        let d2 = generate(&mut SplitMix64::new(3), &cfg);
+        assert_eq!(d1, d2);
+        assert_eq!(d1.domain_size(), 100);
+        assert_eq!(d1.num_users(), 500);
+    }
+
+    #[test]
+    fn first_item_view_matches_users() {
+        let mut rng = SplitMix64::new(4);
+        let d = generate(
+            &mut rng,
+            &KosarakConfig {
+                users: 1000,
+                pages: 200,
+                ..small()
+            },
+        );
+        let s = d.first_item_view();
+        // Every surrogate user has at least one page (sizes >= 1).
+        assert_eq!(s.num_users(), 1000);
+    }
+
+    #[test]
+    fn scaled_config_floor() {
+        let c = KosarakConfig::scaled(1e-9);
+        assert_eq!(c.users, 1000);
+        assert_eq!(c.pages, 100);
+        let p = KosarakConfig::paper();
+        assert_eq!(p.users, 990_002);
+        assert_eq!(p.pages, 41_270);
+    }
+
+    #[test]
+    fn geometric_size_statistics() {
+        let mut rng = SplitMix64::new(5);
+        let n = 100_000;
+        let mean: f64 = (0..n)
+            .map(|_| geometric_size(&mut rng, 8.1, 10_000) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 8.1).abs() < 0.15, "mean {mean}");
+        assert!((1..=10_000).contains(&geometric_size(&mut rng, 8.1, 10_000)));
+        // Truncation respected.
+        for _ in 0..1000 {
+            assert!(geometric_size(&mut rng, 50.0, 20) <= 20);
+        }
+    }
+}

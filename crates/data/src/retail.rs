@@ -1,0 +1,121 @@
+//! Surrogate for the **Retail** market-basket dataset.
+//!
+//! The real dataset (fimi.uantwerpen.be) records 88,162 baskets from an
+//! anonymous Belgian supermarket over 16,470 distinct products, mean basket
+//! size ≈ 10.3 with a long tail (maximum 76). The surrogate matches those
+//! statistics with Zipf product popularity (supermarket sales are strongly
+//! skewed toward staples) and geometric basket sizes truncated at the
+//! published maximum.
+
+use crate::dataset::ItemSetDataset;
+use crate::kosarak::{distinct_zipf_items, geometric_size};
+use rand::Rng;
+use rand_distr::Zipf;
+
+/// Generation parameters for the Retail surrogate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetailConfig {
+    /// Number of baskets (users).
+    pub users: usize,
+    /// Number of distinct products.
+    pub products: usize,
+    /// Mean basket size (the real dataset has ≈ 10.3).
+    pub mean_basket: f64,
+    /// Zipf exponent for product popularity.
+    pub zipf_exponent: f64,
+    /// Hard cap on basket size (the real maximum is 76).
+    pub max_basket: usize,
+}
+
+impl RetailConfig {
+    /// Paper-scale configuration.
+    pub fn paper() -> Self {
+        Self {
+            users: 88_162,
+            products: 16_470,
+            mean_basket: 10.3,
+            zipf_exponent: 1.05,
+            max_basket: 76,
+        }
+    }
+
+    /// A reduced configuration preserving the distributional shape.
+    pub fn scaled(frac: f64) -> Self {
+        let paper = Self::paper();
+        Self {
+            users: ((paper.users as f64 * frac) as usize).max(1000),
+            products: ((paper.products as f64 * frac) as usize).max(100),
+            ..paper
+        }
+    }
+}
+
+/// Generates a Retail surrogate.
+pub fn generate<R: Rng + ?Sized>(rng: &mut R, config: &RetailConfig) -> ItemSetDataset {
+    let zipf = Zipf::new(config.products as f64, config.zipf_exponent)
+        .expect("valid Zipf parameters");
+    let sets = (0..config.users)
+        .map(|_| {
+            let size = geometric_size(rng, config.mean_basket, config.max_basket);
+            distinct_zipf_items(rng, &zipf, config.products, size)
+        })
+        .collect();
+    ItemSetDataset::new(sets, config.products)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idldp_num::rng::SplitMix64;
+
+    fn small() -> RetailConfig {
+        RetailConfig {
+            users: 10_000,
+            products: 1_500,
+            ..RetailConfig::paper()
+        }
+    }
+
+    #[test]
+    fn basket_statistics_match() {
+        let mut rng = SplitMix64::new(1);
+        let d = generate(&mut rng, &small());
+        let mean = d.mean_set_size();
+        assert!((mean - 10.3).abs() < 2.0, "mean basket {mean}");
+        assert!(d.max_set_size() <= 76);
+    }
+
+    #[test]
+    fn popularity_skewed() {
+        let mut rng = SplitMix64::new(2);
+        let d = generate(&mut rng, &small());
+        let counts = d.true_counts();
+        let mut sorted = counts.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert!(sorted[0] > 2.0 * sorted[49], "top product must dominate");
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = RetailConfig {
+            users: 300,
+            products: 120,
+            ..RetailConfig::paper()
+        };
+        assert_eq!(
+            generate(&mut SplitMix64::new(9), &cfg),
+            generate(&mut SplitMix64::new(9), &cfg)
+        );
+    }
+
+    #[test]
+    fn paper_and_scaled_configs() {
+        let p = RetailConfig::paper();
+        assert_eq!(p.users, 88_162);
+        assert_eq!(p.products, 16_470);
+        let s = RetailConfig::scaled(0.1);
+        assert_eq!(s.users, 8_816);
+        assert_eq!(s.products, 1_647);
+        assert_eq!(s.max_basket, p.max_basket);
+    }
+}

@@ -1,0 +1,131 @@
+//! The paper's synthetic single-item datasets (Section VII, "Datasets").
+//!
+//! * **Power-law**: n = 100,000 users, m = 100 items; each raw value is a
+//!   power-law draw with exponent α = 2, scaled and rounded into
+//!   `{1, …, m}` — implemented via inverse-CDF sampling of the continuous
+//!   Pareto-like density `p(x) ∝ x^{−α}` on `[1, m+1)`, then floored.
+//! * **Uniform**: n = 100,000 users, m = 1000 items, uniform draws.
+
+use crate::dataset::SingleItemDataset;
+use rand::{Rng, RngExt};
+
+/// Paper-scale defaults for the power-law dataset.
+pub const POWER_LAW_USERS: usize = 100_000;
+/// Paper-scale domain size for the power-law dataset.
+pub const POWER_LAW_DOMAIN: usize = 100;
+/// The paper's power-law exponent α.
+pub const POWER_LAW_ALPHA: f64 = 2.0;
+/// Paper-scale defaults for the uniform dataset.
+pub const UNIFORM_USERS: usize = 100_000;
+/// Paper-scale domain size for the uniform dataset.
+pub const UNIFORM_DOMAIN: usize = 1000;
+
+/// One inverse-CDF draw from the truncated continuous power law
+/// `p(x) ∝ x^{−α}` on `[1, hi)`, `α > 1`.
+fn power_law_draw<R: Rng + ?Sized>(rng: &mut R, alpha: f64, hi: f64) -> f64 {
+    debug_assert!(alpha > 1.0 && hi > 1.0);
+    let u: f64 = rng.random();
+    // CDF⁻¹ for truncated Pareto on [1, hi): x = (1 − u(1 − hi^{1−α}))^{1/(1−α)}
+    let one_minus_alpha = 1.0 - alpha;
+    (1.0 - u * (1.0 - hi.powf(one_minus_alpha))).powf(1.0 / one_minus_alpha)
+}
+
+/// Generates the power-law dataset with explicit size parameters.
+pub fn power_law_with<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    m: usize,
+    alpha: f64,
+) -> SingleItemDataset {
+    assert!(m >= 2, "domain must have at least two items");
+    let items = (0..n)
+        .map(|_| {
+            let x = power_law_draw(rng, alpha, (m + 1) as f64);
+            // Floor into {1..m} then shift to 0-based indices.
+            ((x.floor() as usize).clamp(1, m) - 1) as u32
+        })
+        .collect();
+    SingleItemDataset::new(items, m)
+}
+
+/// Generates the paper-scale power-law dataset (n = 100k, m = 100, α = 2).
+pub fn power_law<R: Rng + ?Sized>(rng: &mut R) -> SingleItemDataset {
+    power_law_with(rng, POWER_LAW_USERS, POWER_LAW_DOMAIN, POWER_LAW_ALPHA)
+}
+
+/// Generates a uniform dataset with explicit size parameters.
+pub fn uniform_with<R: Rng + ?Sized>(rng: &mut R, n: usize, m: usize) -> SingleItemDataset {
+    assert!(m >= 1, "domain must be non-empty");
+    let items = (0..n).map(|_| rng.random_range(0..m) as u32).collect();
+    SingleItemDataset::new(items, m)
+}
+
+/// Generates the paper-scale uniform dataset (n = 100k, m = 1000).
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R) -> SingleItemDataset {
+    uniform_with(rng, UNIFORM_USERS, UNIFORM_DOMAIN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idldp_num::rng::SplitMix64;
+
+    #[test]
+    fn power_law_is_heavily_skewed() {
+        let mut rng = SplitMix64::new(1);
+        let d = power_law_with(&mut rng, 50_000, 100, 2.0);
+        let counts = d.true_counts();
+        // Item 0 should dominate: P(X ∈ [1,2)) ≈ 1/2 of the mass for α=2.
+        let frac0 = counts[0] / d.num_users() as f64;
+        assert!((frac0 - 0.5).abs() < 0.02, "item-0 mass {frac0}");
+        // Monotone-ish decay: first item ≫ tenth ≫ fiftieth.
+        assert!(counts[0] > 5.0 * counts[9]);
+        assert!(counts[9] > 2.0 * counts[49]);
+        // All items inside the domain.
+        assert_eq!(counts.len(), 100);
+    }
+
+    #[test]
+    fn power_law_alpha_controls_skew() {
+        let mut rng = SplitMix64::new(2);
+        let steep = power_law_with(&mut rng, 20_000, 50, 3.0);
+        let shallow = power_law_with(&mut rng, 20_000, 50, 1.5);
+        let f_steep = steep.true_counts()[0] / 20_000.0;
+        let f_shallow = shallow.true_counts()[0] / 20_000.0;
+        assert!(f_steep > f_shallow, "steeper α must concentrate more mass");
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let mut rng = SplitMix64::new(3);
+        let d = uniform_with(&mut rng, 100_000, 50);
+        let counts = d.true_counts();
+        let expect = 100_000.0 / 50.0;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c - expect).abs() < 6.0 * expect.sqrt(),
+                "item {i}: count {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let d1 = power_law_with(&mut SplitMix64::new(7), 1000, 20, 2.0);
+        let d2 = power_law_with(&mut SplitMix64::new(7), 1000, 20, 2.0);
+        assert_eq!(d1, d2);
+        let d3 = power_law_with(&mut SplitMix64::new(8), 1000, 20, 2.0);
+        assert_ne!(d1, d3);
+    }
+
+    #[test]
+    fn paper_scale_constructors() {
+        let mut rng = SplitMix64::new(4);
+        let p = power_law(&mut rng);
+        assert_eq!(p.num_users(), POWER_LAW_USERS);
+        assert_eq!(p.domain_size(), POWER_LAW_DOMAIN);
+        let u = uniform(&mut rng);
+        assert_eq!(u.num_users(), UNIFORM_USERS);
+        assert_eq!(u.domain_size(), UNIFORM_DOMAIN);
+    }
+}

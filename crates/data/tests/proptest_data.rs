@@ -1,0 +1,124 @@
+//! Property tests for dataset generators and budget assignment.
+
+use idldp_core::budget::Epsilon;
+use idldp_data::budgets::BudgetScheme;
+use idldp_data::kosarak::{self, KosarakConfig};
+use idldp_data::msnbc::{self, MsnbcConfig};
+use idldp_data::retail::{self, RetailConfig};
+use idldp_data::synthetic;
+use idldp_num::rng::SplitMix64;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Power-law datasets: all items in range, counts sum to n, and the
+    /// first item carries the largest share for α > 1.
+    #[test]
+    fn power_law_invariants(
+        n in 200usize..5_000,
+        m in 3usize..60,
+        alpha in 1.3f64..3.0,
+        seed in any::<u64>(),
+    ) {
+        let ds = synthetic::power_law_with(&mut SplitMix64::new(seed), n, m, alpha);
+        prop_assert_eq!(ds.num_users(), n);
+        let counts = ds.true_counts();
+        prop_assert_eq!(counts.len(), m);
+        prop_assert!((counts.iter().sum::<f64>() - n as f64).abs() < 1e-9);
+        let max = counts.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert_eq!(counts[0], max, "item 0 must be the mode");
+    }
+
+    /// Uniform datasets: every count within 6σ of n/m.
+    #[test]
+    fn uniform_invariants(
+        n in 2_000usize..20_000,
+        m in 2usize..40,
+        seed in any::<u64>(),
+    ) {
+        let ds = synthetic::uniform_with(&mut SplitMix64::new(seed), n, m);
+        let expect = n as f64 / m as f64;
+        let sd = (n as f64 * (1.0 / m as f64) * (1.0 - 1.0 / m as f64)).sqrt();
+        for (i, &c) in ds.true_counts().iter().enumerate() {
+            prop_assert!(
+                (c - expect).abs() < 6.0 * sd + 1.0,
+                "item {i}: {c} vs {expect}"
+            );
+        }
+    }
+
+    /// Surrogate set generators: sets are deduplicated, in-domain, and
+    /// size-capped.
+    #[test]
+    fn surrogate_set_invariants(seed in any::<u64>(), which in 0usize..3) {
+        let ds = match which {
+            0 => kosarak::generate(&mut SplitMix64::new(seed), &KosarakConfig {
+                users: 400, pages: 120, mean_set_size: 5.0,
+                zipf_exponent: 1.2, max_set_size: 25,
+            }),
+            1 => retail::generate(&mut SplitMix64::new(seed), &RetailConfig {
+                users: 400, products: 150, mean_basket: 7.0,
+                zipf_exponent: 1.1, max_basket: 30,
+            }),
+            _ => msnbc::generate(&mut SplitMix64::new(seed), &MsnbcConfig {
+                users: 400, ..MsnbcConfig::paper()
+            }),
+        };
+        let cap = match which { 0 => 25, 1 => 30, _ => 14 };
+        for set in ds.sets() {
+            prop_assert!(set.len() <= cap);
+            let mut sorted = set.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), set.len(), "duplicate item in set");
+            prop_assert!(set.iter().all(|&i| (i as usize) < ds.domain_size()));
+        }
+        // first_item_view only drops empty sets.
+        let nonempty = ds.sets().iter().filter(|s| !s.is_empty()).count();
+        prop_assert_eq!(ds.first_item_view().num_users(), nonempty);
+    }
+
+    /// Budget assignment: item budgets are always base·multiplier for some
+    /// multiplier of the scheme, and min budget equals base when the first
+    /// level is populated.
+    #[test]
+    fn budget_assignment_invariants(
+        m in 10usize..2_000,
+        base in 0.2f64..3.0,
+        seed in any::<u64>(),
+    ) {
+        let scheme = BudgetScheme::paper_default();
+        let levels = scheme
+            .assign(m, Epsilon::new(base).unwrap(), &mut SplitMix64::new(seed))
+            .unwrap();
+        prop_assert_eq!(levels.num_items(), m);
+        prop_assert!(levels.num_levels() <= 4);
+        for item in 0..m {
+            let b = levels.item_budget(item).unwrap().get();
+            let multiple = b / base;
+            prop_assert!(
+                scheme
+                    .multipliers()
+                    .iter()
+                    .any(|&mu| (mu - multiple).abs() < 1e-9),
+                "budget {b} is not base x multiplier"
+            );
+        }
+        // Level budgets are strictly ascending after compaction.
+        for w in levels.budgets().windows(2) {
+            prop_assert!(w[1].get() > w[0].get());
+        }
+    }
+
+    /// Exponential schemes are valid for any level count >= 2.
+    #[test]
+    fn exponential_scheme_valid(t in 2usize..30, lo in 0.3f64..1.0, span in 0.5f64..5.0) {
+        let s = BudgetScheme::exponential(t, lo, lo + span);
+        prop_assert_eq!(s.num_levels(), t);
+        prop_assert!((s.weights().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for w in s.weights().windows(2) {
+            prop_assert!(w[1] > w[0], "weights must increase with budget");
+        }
+    }
+}

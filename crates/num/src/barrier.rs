@@ -1,0 +1,411 @@
+//! Log-barrier interior-point method for linearly constrained convex programs.
+//!
+//! Solves `min f(x)  s.t.  A x <= b` for smooth convex `f` by minimizing the
+//! barrier-augmented objective `t·f(x) − Σₖ ln(bₖ − aₖᵀx)` with damped Newton
+//! steps, increasing `t` geometrically (standard path-following; see Boyd &
+//! Vandenberghe §11). The paper's `opt1` (Eq. 12) and `opt2` (Eq. 13) models
+//! are exactly this shape: separable convex objectives with `t²` linear
+//! pairwise constraints, and at most a few dozen variables, so a dense Newton
+//! system solved via Cholesky is the right tool.
+
+use crate::cholesky::Cholesky;
+use crate::linesearch::{backtrack, LineSearchOptions};
+use crate::matrix::Matrix;
+use crate::vecops;
+
+/// A smooth, twice-differentiable objective.
+pub trait SmoothObjective {
+    /// Number of variables.
+    fn dim(&self) -> usize;
+    /// Objective value. May return `f64::INFINITY` outside the domain of `f`
+    /// (e.g. where a denominator vanishes); the solver treats infinite values
+    /// as a barrier.
+    fn value(&self, x: &[f64]) -> f64;
+    /// Writes the gradient into `grad` (length `dim`).
+    fn gradient(&self, x: &[f64], grad: &mut [f64]);
+    /// Writes the Hessian into `hess` (a `dim x dim` matrix, pre-cleared by
+    /// the solver).
+    fn hessian(&self, x: &[f64], hess: &mut Matrix);
+}
+
+/// A system of linear inequality constraints `A x <= b`.
+#[derive(Clone, Debug)]
+pub struct LinearConstraints {
+    a: Matrix,
+    b: Vec<f64>,
+    nrows: usize,
+    dim: usize,
+}
+
+impl LinearConstraints {
+    /// Creates an empty constraint system on `dim` variables.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            a: Matrix::zeros(0, dim),
+            b: Vec::new(),
+            nrows: 0,
+            dim,
+        }
+    }
+
+    /// Appends one constraint row `coeffs · x <= rhs`.
+    ///
+    /// # Panics
+    /// Panics if `coeffs.len() != dim`.
+    pub fn push(&mut self, coeffs: &[f64], rhs: f64) {
+        assert_eq!(coeffs.len(), self.dim, "constraint row has wrong dimension");
+        let mut data = std::mem::replace(&mut self.a, Matrix::zeros(0, 0))
+            .data()
+            .to_vec();
+        data.extend_from_slice(coeffs);
+        self.nrows += 1;
+        self.a = Matrix::from_rows(self.nrows, self.dim, data);
+        self.b.push(rhs);
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.nrows
+    }
+
+    /// `true` when there are no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.nrows == 0
+    }
+
+    /// Number of variables.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Slack vector `b − A x` (positive inside the feasible region).
+    pub fn slacks(&self, x: &[f64]) -> Vec<f64> {
+        let ax = self.a.matvec(x);
+        self.b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect()
+    }
+
+    /// Largest violation `max(0, max_k (aₖᵀx − bₖ))`; zero means feasible.
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        self.slacks(x)
+            .into_iter()
+            .fold(0.0_f64, |m, s| m.max(-s))
+    }
+
+    /// `true` if every slack is at least `margin`.
+    pub fn is_strictly_feasible(&self, x: &[f64], margin: f64) -> bool {
+        self.slacks(x).into_iter().all(|s| s > margin)
+    }
+
+    /// Borrow of the coefficient matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.a
+    }
+
+    /// Borrow of the right-hand sides.
+    pub fn rhs(&self) -> &[f64] {
+        &self.b
+    }
+}
+
+/// Options controlling [`BarrierSolver`].
+#[derive(Clone, Debug)]
+pub struct BarrierOptions {
+    /// Initial barrier weight `t` (larger starts closer to the true problem).
+    pub t_init: f64,
+    /// Geometric growth factor for `t` between centering steps.
+    pub mu: f64,
+    /// Target duality-gap bound: stop when `m / t < gap_tol`.
+    pub gap_tol: f64,
+    /// Newton decrement tolerance for each centering problem.
+    pub newton_tol: f64,
+    /// Maximum Newton iterations per centering step.
+    pub max_newton: usize,
+    /// Maximum outer (centering) iterations.
+    pub max_outer: usize,
+    /// Line-search configuration.
+    pub linesearch: LineSearchOptions,
+}
+
+impl Default for BarrierOptions {
+    fn default() -> Self {
+        Self {
+            t_init: 1.0,
+            mu: 20.0,
+            gap_tol: 1e-9,
+            newton_tol: 1e-10,
+            max_newton: 100,
+            max_outer: 60,
+            linesearch: LineSearchOptions {
+                c1: 0.01,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// Result of a successful barrier solve.
+#[derive(Clone, Debug)]
+pub struct BarrierResult {
+    /// Minimizer (strictly feasible).
+    pub x: Vec<f64>,
+    /// Objective value `f(x)` (without barrier terms).
+    pub value: f64,
+    /// Number of outer centering iterations performed.
+    pub outer_iterations: usize,
+    /// Total Newton steps across all centering problems.
+    pub newton_steps: usize,
+    /// Upper bound on the suboptimality gap `m / t_final`.
+    pub gap_bound: f64,
+}
+
+/// Errors from [`BarrierSolver::solve`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum BarrierError {
+    /// The provided starting point is not strictly feasible.
+    InfeasibleStart {
+        /// Largest constraint violation at the starting point.
+        violation: f64,
+    },
+    /// The Newton system could not be solved (Hessian numerically singular).
+    NumericalFailure(String),
+}
+
+impl std::fmt::Display for BarrierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BarrierError::InfeasibleStart { violation } => {
+                write!(f, "starting point infeasible (violation {violation:.3e})")
+            }
+            BarrierError::NumericalFailure(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BarrierError {}
+
+/// Log-barrier interior-point solver.
+pub struct BarrierSolver<'a, O: SmoothObjective> {
+    objective: &'a O,
+    constraints: &'a LinearConstraints,
+    options: BarrierOptions,
+}
+
+impl<'a, O: SmoothObjective> BarrierSolver<'a, O> {
+    /// Creates a solver for `min objective  s.t.  constraints`.
+    ///
+    /// # Panics
+    /// Panics if the dimensions of the objective and constraints disagree.
+    pub fn new(objective: &'a O, constraints: &'a LinearConstraints, options: BarrierOptions) -> Self {
+        assert_eq!(
+            objective.dim(),
+            constraints.dim(),
+            "objective/constraint dimension mismatch"
+        );
+        Self {
+            objective,
+            constraints,
+            options,
+        }
+    }
+
+    /// Barrier value `t f(x) − Σ ln sₖ`, or `+inf` outside the interior.
+    fn barrier_value(&self, t: f64, x: &[f64]) -> f64 {
+        let fx = self.objective.value(x);
+        if !fx.is_finite() {
+            return f64::INFINITY;
+        }
+        let mut phi = t * fx;
+        for s in self.constraints.slacks(x) {
+            if s <= 0.0 {
+                return f64::INFINITY;
+            }
+            phi -= s.ln();
+        }
+        phi
+    }
+
+    /// One centering solve: minimize the barrier for fixed `t` from `x`.
+    fn center(&self, t: f64, x: &mut Vec<f64>) -> Result<usize, BarrierError> {
+        let n = self.objective.dim();
+        let m = self.constraints.len();
+        let mut grad = vec![0.0; n];
+        let mut hess = Matrix::zeros(n, n);
+        let mut steps = 0;
+        for _ in 0..self.options.max_newton {
+            // Gradient and Hessian of the barrier objective.
+            self.objective.gradient(x, &mut grad);
+            vecops::scale(&mut grad, t);
+            hess.clear();
+            let mut fh = Matrix::zeros(n, n);
+            self.objective.hessian(x, &mut fh);
+            fh.scale(t);
+            for i in 0..n {
+                let row = fh.row(i).to_vec();
+                vecops::axpy(1.0, &row, hess.row_mut(i));
+            }
+            let slacks = self.constraints.slacks(x);
+            for k in 0..m {
+                let s = slacks[k];
+                let ak = self.constraints.matrix().row(k).to_vec();
+                vecops::axpy(1.0 / s, &ak, &mut grad);
+                hess.add_rank_one(1.0 / (s * s), &ak);
+            }
+
+            // Newton direction H d = -g.
+            let (chol, _ridge) = Cholesky::factor_with_ridge(&hess, 1e-12, 30)
+                .map_err(|e| BarrierError::NumericalFailure(e.to_string()))?;
+            let neg_g: Vec<f64> = grad.iter().map(|g| -g).collect();
+            let d = chol.solve(&neg_g);
+            let slope = vecops::dot(&grad, &d);
+            // Newton decrement λ² = −gᵀd; stop when small.
+            let lambda2 = -slope;
+            if lambda2 / 2.0 <= self.options.newton_tol {
+                break;
+            }
+            let phi0 = self.barrier_value(t, x);
+            let mut phi = |p: &[f64]| self.barrier_value(t, p);
+            match backtrack(&mut phi, x, &d, phi0, slope, &self.options.linesearch) {
+                Some(res) => {
+                    *x = res.point;
+                    steps += 1;
+                }
+                None => break, // no progress possible at this precision
+            }
+        }
+        Ok(steps)
+    }
+
+    /// Runs the full path-following scheme from a strictly feasible `x0`.
+    pub fn solve(&self, x0: &[f64]) -> Result<BarrierResult, BarrierError> {
+        if !self.constraints.is_strictly_feasible(x0, 0.0) {
+            return Err(BarrierError::InfeasibleStart {
+                violation: self.constraints.max_violation(x0),
+            });
+        }
+        let m = self.constraints.len().max(1) as f64;
+        let mut t = self.options.t_init;
+        let mut x = x0.to_vec();
+        let mut newton_steps = 0;
+        let mut outer = 0;
+        while outer < self.options.max_outer {
+            newton_steps += self.center(t, &mut x)?;
+            outer += 1;
+            if m / t < self.options.gap_tol {
+                break;
+            }
+            t *= self.options.mu;
+        }
+        Ok(BarrierResult {
+            value: self.objective.value(&x),
+            gap_bound: m / t,
+            x,
+            outer_iterations: outer,
+            newton_steps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// f(x) = ‖x − c‖² — a strictly convex quadratic.
+    struct Quadratic {
+        center: Vec<f64>,
+    }
+
+    impl SmoothObjective for Quadratic {
+        fn dim(&self) -> usize {
+            self.center.len()
+        }
+        fn value(&self, x: &[f64]) -> f64 {
+            x.iter()
+                .zip(&self.center)
+                .map(|(xi, ci)| (xi - ci) * (xi - ci))
+                .sum()
+        }
+        fn gradient(&self, x: &[f64], grad: &mut [f64]) {
+            for ((g, xi), ci) in grad.iter_mut().zip(x).zip(&self.center) {
+                *g = 2.0 * (xi - ci);
+            }
+        }
+        fn hessian(&self, _x: &[f64], hess: &mut Matrix) {
+            for i in 0..hess.rows() {
+                hess[(i, i)] = 2.0;
+            }
+        }
+    }
+
+    #[test]
+    fn unconstrained_interior_minimum() {
+        // Minimum at c = (0.5, 0.5) is inside the box 0 <= x <= 1.
+        let obj = Quadratic {
+            center: vec![0.5, 0.5],
+        };
+        let mut cons = LinearConstraints::new(2);
+        cons.push(&[1.0, 0.0], 1.0);
+        cons.push(&[0.0, 1.0], 1.0);
+        cons.push(&[-1.0, 0.0], 0.0);
+        cons.push(&[0.0, -1.0], 0.0);
+        let solver = BarrierSolver::new(&obj, &cons, BarrierOptions::default());
+        let res = solver.solve(&[0.2, 0.8]).unwrap();
+        assert!((res.x[0] - 0.5).abs() < 1e-6, "{:?}", res.x);
+        assert!((res.x[1] - 0.5).abs() < 1e-6, "{:?}", res.x);
+        assert!(res.value < 1e-10);
+    }
+
+    #[test]
+    fn active_constraint_projection() {
+        // Minimum of ‖x − (2,0)‖² subject to x₁ <= 1 is at (1, 0).
+        let obj = Quadratic {
+            center: vec![2.0, 0.0],
+        };
+        let mut cons = LinearConstraints::new(2);
+        cons.push(&[1.0, 0.0], 1.0);
+        let solver = BarrierSolver::new(&obj, &cons, BarrierOptions::default());
+        let res = solver.solve(&[0.0, 0.0]).unwrap();
+        assert!((res.x[0] - 1.0).abs() < 1e-4, "{:?}", res.x);
+        assert!(res.x[1].abs() < 1e-6, "{:?}", res.x);
+        assert!((res.value - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rejects_infeasible_start() {
+        let obj = Quadratic {
+            center: vec![0.0],
+        };
+        let mut cons = LinearConstraints::new(1);
+        cons.push(&[1.0], 1.0);
+        let solver = BarrierSolver::new(&obj, &cons, BarrierOptions::default());
+        let err = solver.solve(&[2.0]).unwrap_err();
+        assert!(matches!(err, BarrierError::InfeasibleStart { .. }));
+    }
+
+    #[test]
+    fn simplex_constrained_entropy_like() {
+        // min Σ (x_i - 1)² s.t. x₁ + x₂ <= 1, x >= 0. Optimum at (0.5, 0.5).
+        let obj = Quadratic {
+            center: vec![1.0, 1.0],
+        };
+        let mut cons = LinearConstraints::new(2);
+        cons.push(&[1.0, 1.0], 1.0);
+        cons.push(&[-1.0, 0.0], 0.0);
+        cons.push(&[0.0, -1.0], 0.0);
+        let solver = BarrierSolver::new(&obj, &cons, BarrierOptions::default());
+        let res = solver.solve(&[0.1, 0.1]).unwrap();
+        assert!((res.x[0] - 0.5).abs() < 1e-4, "{:?}", res.x);
+        assert!((res.x[1] - 0.5).abs() < 1e-4, "{:?}", res.x);
+    }
+
+    #[test]
+    fn constraint_helpers() {
+        let mut cons = LinearConstraints::new(2);
+        cons.push(&[1.0, 1.0], 1.0);
+        assert_eq!(cons.len(), 1);
+        assert!(!cons.is_empty());
+        assert!(cons.is_strictly_feasible(&[0.2, 0.2], 0.1));
+        assert!(!cons.is_strictly_feasible(&[0.6, 0.6], 0.0));
+        assert!((cons.max_violation(&[0.6, 0.6]) - 0.2).abs() < 1e-12);
+        assert_eq!(cons.max_violation(&[0.0, 0.0]), 0.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Cholesky factorization for symmetric positive-definite Newton systems.
+//!
+//! The interior-point solver in [`crate::barrier`] repeatedly solves
+//! `H d = -g` where `H` is the (barrier-augmented) Hessian. `H` is SPD in the
+//! interior of the feasible region; if numerical round-off makes a pivot
+//! non-positive we retry with a small diagonal ridge, which corresponds to a
+//! slightly damped Newton step and is standard practice.
+
+use crate::matrix::Matrix;
+
+/// A lower-triangular Cholesky factor `L` with `L Lᵀ = A`.
+#[derive(Clone, Debug)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+/// Error returned when a matrix is not positive definite (even after the
+/// caller-provided ridge).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NotPositiveDefinite {
+    /// Index of the failing pivot.
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is not positive definite (pivot {})", self.pivot)
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+impl Cholesky {
+    /// Factorizes an SPD matrix `A = L Lᵀ`.
+    ///
+    /// Only the lower triangle of `a` is read.
+    ///
+    /// # Panics
+    /// Panics if `a` is not square.
+    pub fn factor(a: &Matrix) -> Result<Self, NotPositiveDefinite> {
+        assert_eq!(a.rows(), a.cols(), "cholesky: matrix must be square");
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(NotPositiveDefinite { pivot: j });
+            }
+            let ljj = d.sqrt();
+            l[(j, j)] = ljj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / ljj;
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// Factorizes `A + ridge*I`, retrying with exponentially growing ridge
+    /// until the factorization succeeds (up to `max_tries`).
+    ///
+    /// Returns the factor and the ridge that was actually applied.
+    pub fn factor_with_ridge(
+        a: &Matrix,
+        initial_ridge: f64,
+        max_tries: usize,
+    ) -> Result<(Self, f64), NotPositiveDefinite> {
+        match Self::factor(a) {
+            Ok(c) => return Ok((c, 0.0)),
+            Err(e) if max_tries == 0 => return Err(e),
+            Err(_) => {}
+        }
+        let mut ridge = initial_ridge.max(f64::EPSILON);
+        let mut last_err = NotPositiveDefinite { pivot: 0 };
+        for _ in 0..max_tries {
+            let mut b = a.clone();
+            b.add_ridge(ridge);
+            match Self::factor(&b) {
+                Ok(c) => return Ok((c, ridge)),
+                Err(e) => {
+                    last_err = e;
+                    ridge *= 10.0;
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Solves `A x = b` given the factorization of `A`.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` does not match the matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n, "cholesky solve: dimension mismatch");
+        // Forward substitution: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        // Backward substitution: Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// The lower-triangular factor.
+    pub fn factor_matrix(&self) -> &Matrix {
+        &self.l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_example() -> Matrix {
+        // A = Bᵀ B + I for B = [[1,2],[3,4]] is SPD.
+        Matrix::from_rows(2, 2, vec![11.0, 14.0, 14.0, 21.0])
+    }
+
+    #[test]
+    fn factor_and_solve_roundtrip() {
+        let a = spd_example();
+        let chol = Cholesky::factor(&a).unwrap();
+        let b = vec![1.0, 2.0];
+        let x = chol.solve(&b);
+        let ax = a.matvec(&x);
+        for (got, want) in ax.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-10, "Ax={ax:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn identity_factor_is_identity() {
+        let chol = Cholesky::factor(&Matrix::identity(4)).unwrap();
+        assert!((chol.factor_matrix().max_abs() - 1.0).abs() < 1e-15);
+        assert_eq!(chol.solve(&[1.0, 2.0, 3.0, 4.0]), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        assert!(Cholesky::factor(&a).is_err());
+    }
+
+    #[test]
+    fn ridge_recovers_semidefinite() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 1.0, 1.0, 1.0]); // PSD, singular
+        let (chol, ridge) = Cholesky::factor_with_ridge(&a, 1e-10, 20).unwrap();
+        assert!(ridge > 0.0);
+        let x = chol.solve(&[2.0, 2.0]);
+        // With a tiny ridge the solution approximately satisfies A x = b.
+        let ax = a.matvec(&x);
+        assert!((ax[0] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn larger_random_spd() {
+        // Deterministic pseudo-random SPD matrix via Aᵀ A + n·I.
+        let n = 8;
+        let mut b = Matrix::zeros(n, n);
+        let mut state = 1u64;
+        for i in 0..n {
+            for j in 0..n {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                b[(i, j)] = ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+            }
+        }
+        let mut a = b.transpose().matmul(&b);
+        a.add_ridge(n as f64);
+        let chol = Cholesky::factor(&a).unwrap();
+        let rhs: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
+        let x = chol.solve(&rhs);
+        let ax = a.matvec(&x);
+        for (got, want) in ax.iter().zip(&rhs) {
+            assert!((got - want).abs() < 1e-8);
+        }
+    }
+}

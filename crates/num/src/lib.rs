@@ -1,0 +1,50 @@
+//! # `idldp-num` — numerical substrate for the `idldp` workspace
+//!
+//! The ID-LDP paper (Gu et al., ICDE 2020) determines the perturbation
+//! probabilities of its IDUE mechanism by solving small constrained
+//! optimization problems (Eqs. 10, 12, 13 of the paper): two convex programs
+//! with linear inequality constraints and one non-convex program. No suitable
+//! solver crate is available offline, so this crate implements the required
+//! numerical machinery from scratch:
+//!
+//! * [`matrix`] — dense row-major matrices with the handful of operations the
+//!   solvers need (mat-vec, transpose products, symmetric rank-one updates).
+//! * [`cholesky`] — Cholesky factorization / SPD solves for Newton systems.
+//! * [`lu`] — LU decomposition with partial pivoting (general square
+//!   solves/inverses, used by the direct-matrix estimator).
+//! * [`linesearch`] — backtracking Armijo line search.
+//! * [`barrier`] — a log-barrier (interior-point) Newton method for
+//!   `min f(x)  s.t.  A x <= b` with smooth convex `f`.
+//! * [`neldermead`] — a derivative-free Nelder–Mead simplex method with
+//!   restarts, used for the non-convex `opt0` model.
+//! * [`binomial`] — an inversion-based exact binomial sampler plus a fast
+//!   path delegating to `rand_distr`'s BTPE for large `n·p`; the two are
+//!   cross-checked in tests. Used by the aggregate simulation path.
+//! * [`rng`] — SplitMix64 PRNG and deterministic per-stream seed derivation.
+//! * [`stats`] — running statistics (Welford), quantiles, RMSE helpers.
+//! * [`vecops`] — small vector helpers (dot, axpy, norms).
+//!
+//! Everything is `unsafe`-free (workspace lint) and deterministic given
+//! explicit RNG seeds.
+
+pub mod barrier;
+pub mod binomial;
+pub mod cholesky;
+pub mod linesearch;
+pub mod lu;
+pub mod matrix;
+pub mod neldermead;
+pub mod rng;
+pub mod stats;
+pub mod vecops;
+
+pub use barrier::{
+    BarrierOptions, BarrierResult, BarrierSolver, LinearConstraints, SmoothObjective,
+};
+pub use binomial::{sample_binomial, sample_binomial_inversion};
+pub use cholesky::Cholesky;
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use neldermead::{nelder_mead, NelderMeadOptions, NelderMeadResult};
+pub use rng::{derive_seed, SplitMix64};
+pub use stats::RunningStats;

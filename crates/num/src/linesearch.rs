@@ -1,0 +1,134 @@
+//! Backtracking (Armijo) line search.
+//!
+//! Used by the barrier Newton method: given a descent direction `d` at `x`,
+//! find a step `s` such that `f(x + s d) <= f(x) + c1 * s * gᵀd`, shrinking
+//! `s` geometrically. The caller supplies a *domain guard* (e.g. strict
+//! feasibility of the barrier) through `f` returning `f64::INFINITY` outside
+//! the domain — infinite values always fail the Armijo test, so the search
+//! naturally backs off into the domain.
+
+/// Options for [`backtrack`].
+#[derive(Clone, Copy, Debug)]
+pub struct LineSearchOptions {
+    /// Initial step length (Newton methods should use 1.0).
+    pub initial_step: f64,
+    /// Armijo sufficient-decrease constant, typically 1e-4 .. 0.3.
+    pub c1: f64,
+    /// Geometric shrink factor in (0, 1), typically 0.5.
+    pub shrink: f64,
+    /// Maximum number of shrink iterations before giving up.
+    pub max_iters: usize,
+}
+
+impl Default for LineSearchOptions {
+    fn default() -> Self {
+        Self {
+            initial_step: 1.0,
+            c1: 1e-4,
+            shrink: 0.5,
+            max_iters: 60,
+        }
+    }
+}
+
+/// Result of a successful line search.
+#[derive(Clone, Debug)]
+pub struct LineSearchResult {
+    /// Accepted step length.
+    pub step: f64,
+    /// Objective value at the accepted point.
+    pub value: f64,
+    /// The accepted point itself.
+    pub point: Vec<f64>,
+}
+
+/// Backtracking Armijo line search along `d` from `x`.
+///
+/// `f0` is `f(x)` and `slope` is the directional derivative `gᵀ d` (must be
+/// negative for a descent direction). Returns `None` if no acceptable step is
+/// found within `opts.max_iters` halvings, which signals the caller to stop
+/// (usually meaning convergence to numerical precision).
+pub fn backtrack<F>(
+    f: &mut F,
+    x: &[f64],
+    d: &[f64],
+    f0: f64,
+    slope: f64,
+    opts: &LineSearchOptions,
+) -> Option<LineSearchResult>
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    debug_assert_eq!(x.len(), d.len());
+    let mut step = opts.initial_step;
+    let mut trial = vec![0.0; x.len()];
+    for _ in 0..opts.max_iters {
+        for ((t, &xi), &di) in trial.iter_mut().zip(x).zip(d) {
+            *t = xi + step * di;
+        }
+        let val = f(&trial);
+        if val.is_finite() && val <= f0 + opts.c1 * step * slope {
+            return Some(LineSearchResult {
+                step,
+                value: val,
+                point: trial,
+            });
+        }
+        step *= opts.shrink;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_newton_step_on_quadratic() {
+        // f(x) = x², at x=2 the Newton direction is -2; full step reaches 0.
+        let mut f = |x: &[f64]| x[0] * x[0];
+        let res = backtrack(&mut f, &[2.0], &[-2.0], 4.0, -8.0, &LineSearchOptions::default())
+            .expect("should accept");
+        assert_eq!(res.step, 1.0);
+        assert!(res.value.abs() < 1e-12);
+    }
+
+    #[test]
+    fn backs_off_from_infinite_region() {
+        // Domain x > 0, f = -ln(x) + x (minimum at x = 1). From x = 2 the
+        // direction -2 overshoots the boundary at the full step (x = -2);
+        // the search must shrink until x + s*d > 0 and f decreases.
+        let mut f = |x: &[f64]| {
+            if x[0] <= 0.0 {
+                f64::INFINITY
+            } else {
+                -x[0].ln() + x[0]
+            }
+        };
+        let f0 = f(&[2.0]);
+        let slope = (1.0 - 1.0 / 2.0) * -2.0; // g(2) = 1 - 1/2, d = -2
+        let res = backtrack(&mut f, &[2.0], &[-2.0], f0, slope, &LineSearchOptions::default())
+            .expect("should find interior step");
+        assert!(res.point[0] > 0.0);
+        assert!(res.value < f0);
+    }
+
+    #[test]
+    fn gives_up_at_stationary_point() {
+        // Ascent direction: no step satisfies Armijo with negative slope
+        // requirement faked as tiny; expect None.
+        let mut f = |x: &[f64]| x[0] * x[0];
+        let res = backtrack(
+            &mut f,
+            &[1.0],
+            &[1.0], // ascent direction
+            1.0,
+            -1e-18,
+            &LineSearchOptions {
+                max_iters: 10,
+                ..Default::default()
+            },
+        );
+        assert!(res.is_none());
+    }
+}

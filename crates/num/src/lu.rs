@@ -1,0 +1,213 @@
+//! LU decomposition with partial pivoting.
+//!
+//! Needed by the *direct* mechanism optimizer (`idldp-opt::direct`): the
+//! unbiased estimator for a general perturbation matrix `P` is
+//! `ĉ = (Pᵀ)⁻¹ c`, and `Pᵀ` is square but not symmetric, so Cholesky does
+//! not apply. Partial pivoting keeps the factorization stable for the
+//! diagonally-dominant-ish matrices that feasible mechanisms produce.
+
+use crate::matrix::Matrix;
+
+/// An LU factorization `P A = L U` (with row-permutation `P`).
+#[derive(Clone, Debug)]
+pub struct Lu {
+    /// Combined L (unit lower, below diagonal) and U (upper) factors.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row index in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (for determinants).
+    sign: f64,
+}
+
+/// Error for numerically singular matrices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Singular {
+    /// Column where no acceptable pivot was found.
+    pub column: usize,
+}
+
+impl std::fmt::Display for Singular {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is numerically singular (column {})", self.column)
+    }
+}
+
+impl std::error::Error for Singular {}
+
+impl Lu {
+    /// Factorizes a square matrix.
+    ///
+    /// # Panics
+    /// Panics if `a` is not square.
+    pub fn factor(a: &Matrix) -> Result<Self, Singular> {
+        assert_eq!(a.rows(), a.cols(), "LU requires a square matrix");
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Partial pivoting: largest |entry| in column k at or below row k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < 1e-300 || !pivot_val.is_finite() {
+                return Err(Singular { column: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let delta = factor * lu[(k, j)];
+                    lu[(i, j)] -= delta;
+                }
+            }
+        }
+        Ok(Self { lu, perm, sign })
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` does not match the matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.rows();
+        assert_eq!(b.len(), n, "LU solve: dimension mismatch");
+        // Apply the permutation, then forward-substitute L y = P b.
+        let mut y: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        for i in 1..n {
+            let mut s = y[i];
+            for k in 0..i {
+                s -= self.lu[(i, k)] * y[k];
+            }
+            y[i] = s;
+        }
+        // Back-substitute U x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.lu[(i, k)] * x[k];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// The matrix inverse, column by column.
+    pub fn inverse(&self) -> Matrix {
+        let n = self.lu.rows();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e);
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+            e[j] = 0.0;
+        }
+        inv
+    }
+
+    /// The determinant (product of U's diagonal times the permutation sign).
+    pub fn determinant(&self) -> f64 {
+        let n = self.lu.rows();
+        (0..n).map(|i| self.lu[(i, i)]).product::<f64>() * self.sign
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> Matrix {
+        Matrix::from_rows(3, 3, vec![2.0, 1.0, 1.0, 4.0, -6.0, 0.0, -2.0, 7.0, 2.0])
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // Classic example with solution (1, -2, 2)... solve Ax = b.
+        let a = example();
+        let b = [5.0, -2.0, 9.0];
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&b);
+        let ax = a.matvec(&x);
+        for (got, want) in ax.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = example();
+        let inv = Lu::factor(&a).unwrap().inverse();
+        let prod = a.matmul(&inv);
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - want).abs() < 1e-10, "{prod:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn determinant_known() {
+        // det of the example = 2(-12-0) - 1(8-0) + 1(28-12) = -24-8+16 = -16.
+        let lu = Lu::factor(&example()).unwrap();
+        assert!((lu.determinant() + 16.0).abs() < 1e-10, "{}", lu.determinant());
+        let id = Lu::factor(&Matrix::identity(4)).unwrap();
+        assert!((id.determinant() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[3.0, 7.0]);
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+        assert!((lu.determinant() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(Lu::factor(&a).is_err());
+    }
+
+    #[test]
+    fn random_matrices_roundtrip() {
+        let mut rng = crate::rng::SplitMix64::new(31);
+        for n in [2usize, 4, 6] {
+            let mut a = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    a[(i, j)] = rng.next_f64() - 0.5;
+                }
+                a[(i, i)] += 1.0; // keep well-conditioned
+            }
+            let b: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+            let x = Lu::factor(&a).unwrap().solve(&b);
+            let ax = a.matvec(&x);
+            for (got, want) in ax.iter().zip(&b) {
+                assert!((got - want).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Dense row-major matrices.
+//!
+//! The optimization problems in this workspace have at most a few dozen
+//! variables (`t` privacy levels, so `t` or `2t+1` unknowns) and `O(t²)`
+//! constraints, so a simple dense representation is the right tool: no
+//! sparsity bookkeeping, predictable memory layout, trivially testable.
+
+use std::fmt;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "from_rows: data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Creates a diagonal matrix from a slice.
+    pub fn diag(d: &[f64]) -> Self {
+        let n = d.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &v) in d.iter().enumerate() {
+            m[(i, i)] = v;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Underlying row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix-vector product `A x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        (0..self.rows)
+            .map(|i| crate::vecops::dot(self.row(i), x))
+            .collect()
+    }
+
+    /// Transposed matrix-vector product `Aᵀ x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.rows()`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "matvec_t: dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            crate::vecops::axpy(x[i], self.row(i), &mut out);
+        }
+        out
+    }
+
+    /// In-place symmetric rank-one update `self += alpha * v vᵀ`.
+    ///
+    /// # Panics
+    /// Panics if `self` is not square of size `v.len()`.
+    pub fn add_rank_one(&mut self, alpha: f64, v: &[f64]) {
+        assert_eq!(self.rows, self.cols, "add_rank_one: matrix must be square");
+        assert_eq!(v.len(), self.rows, "add_rank_one: dimension mismatch");
+        for i in 0..self.rows {
+            let avi = alpha * v[i];
+            let row = self.row_mut(i);
+            for (j, vj) in v.iter().enumerate() {
+                row[j] += avi * vj;
+            }
+        }
+    }
+
+    /// In-place diagonal update `self += alpha * diag(d)`.
+    ///
+    /// # Panics
+    /// Panics if `self` is not square of size `d.len()`.
+    pub fn add_diag(&mut self, alpha: f64, d: &[f64]) {
+        assert_eq!(self.rows, self.cols, "add_diag: matrix must be square");
+        assert_eq!(d.len(), self.rows, "add_diag: dimension mismatch");
+        for (i, &v) in d.iter().enumerate() {
+            self[(i, i)] += alpha * v;
+        }
+    }
+
+    /// In-place scalar ridge `self += alpha * I`.
+    ///
+    /// # Panics
+    /// Panics if `self` is not square.
+    pub fn add_ridge(&mut self, alpha: f64) {
+        assert_eq!(self.rows, self.cols, "add_ridge: matrix must be square");
+        for i in 0..self.rows {
+            self[(i, i)] += alpha;
+        }
+    }
+
+    /// In-place scaling `self *= alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in self.data.iter_mut() {
+            *v *= alpha;
+        }
+    }
+
+    /// Sets all entries to zero, keeping the shape.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Dense matrix product `self * other`.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul: dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k).to_vec();
+                crate::vecops::axpy(aik, &orow, out.row_mut(i));
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute entry, useful for convergence checks in tests.
+    pub fn max_abs(&self) -> f64 {
+        crate::vecops::norm_inf(&self.data)
+    }
+
+    /// `true` if all entries are finite.
+    pub fn all_finite(&self) -> bool {
+        crate::vecops::all_finite(&self.data)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            writeln!(
+                f,
+                "  [{}]",
+                self.row(i)
+                    .iter()
+                    .map(|v| format!("{v:10.4}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matvec_is_noop() {
+        let m = Matrix::identity(3);
+        let x = vec![1.0, -2.0, 3.0];
+        assert_eq!(m.matvec(&x), x);
+    }
+
+    #[test]
+    fn matvec_known() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_t_matches_transpose_matvec() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = vec![2.0, -1.0];
+        assert_eq!(a.matvec_t(&x), a.transpose().matvec(&x));
+    }
+
+    #[test]
+    fn rank_one_update() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add_rank_one(2.0, &[1.0, 3.0]);
+        assert_eq!(m[(0, 0)], 2.0);
+        assert_eq!(m[(0, 1)], 6.0);
+        assert_eq!(m[(1, 0)], 6.0);
+        assert_eq!(m[(1, 1)], 18.0);
+    }
+
+    #[test]
+    fn diag_and_ridge() {
+        let mut m = Matrix::diag(&[1.0, 2.0]);
+        m.add_ridge(0.5);
+        assert_eq!(m[(0, 0)], 1.5);
+        assert_eq!(m[(1, 1)], 2.5);
+        assert_eq!(m[(0, 1)], 0.0);
+        m.add_diag(2.0, &[1.0, 1.0]);
+        assert_eq!(m[(0, 0)], 3.5);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[2.0, 1.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matvec_wrong_dim_panics() {
+        let a = Matrix::zeros(2, 3);
+        let _ = a.matvec(&[1.0, 2.0]);
+    }
+}

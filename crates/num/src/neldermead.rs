@@ -1,0 +1,335 @@
+//! Nelder–Mead simplex search (derivative-free minimization).
+//!
+//! The paper's `opt0` model (Eq. 10) minimizes a non-convex worst-case MSE
+//! over the perturbation probabilities `(a_i, b_i)` with `t²` ratio
+//! constraints; the paper notes it "is not convex in the feasible region".
+//! We handle it with penalized Nelder–Mead, multi-started from the convex
+//! `opt1`/`opt2` solutions (see `idldp-opt`). This module provides the plain
+//! simplex engine; penalties and starting points are the caller's business —
+//! the objective simply returns `f64::INFINITY` outside its domain.
+//!
+//! Uses the adaptive parameters of Gao & Han (2012), which behave better in
+//! higher dimensions (`opt0` has `2t+1` unknowns, up to ~41 for t = 20).
+
+/// Options for [`nelder_mead`].
+#[derive(Clone, Copy, Debug)]
+pub struct NelderMeadOptions {
+    /// Maximum number of objective evaluations.
+    pub max_evals: usize,
+    /// Convergence tolerance on the simplex spread of objective values.
+    pub f_tol: f64,
+    /// Convergence tolerance on the simplex diameter.
+    pub x_tol: f64,
+    /// Relative size of the initial simplex around the start point.
+    pub initial_scale: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        Self {
+            max_evals: 20_000,
+            f_tol: 1e-12,
+            x_tol: 1e-10,
+            initial_scale: 0.05,
+        }
+    }
+}
+
+/// Result of a Nelder–Mead run.
+#[derive(Clone, Debug)]
+pub struct NelderMeadResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Number of objective evaluations used.
+    pub evals: usize,
+    /// Whether a tolerance criterion (rather than the eval budget) stopped
+    /// the search.
+    pub converged: bool,
+}
+
+/// Minimizes `f` starting from `x0` with the Nelder–Mead simplex method.
+///
+/// `f` may return `f64::INFINITY` to mark points outside its domain; the
+/// initial point must be inside (finite value), otherwise the simplex cannot
+/// start and the result simply echoes `x0`.
+pub fn nelder_mead<F>(mut f: F, x0: &[f64], opts: &NelderMeadOptions) -> NelderMeadResult
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    let n = x0.len();
+    assert!(n > 0, "nelder_mead: empty start point");
+    let mut evals = 0usize;
+    let mut eval = |p: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        let v = f(p);
+        if v.is_nan() {
+            f64::INFINITY
+        } else {
+            v
+        }
+    };
+
+    // Adaptive coefficients (Gao & Han 2012).
+    let nf = n as f64;
+    let alpha = 1.0; // reflection
+    let beta = 1.0 + 2.0 / nf; // expansion
+    let gamma = 0.75 - 1.0 / (2.0 * nf); // contraction
+    let delta = 1.0 - 1.0 / nf; // shrink
+
+    // Build the initial simplex: x0 plus perturbations along each axis.
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    let mut values: Vec<f64> = Vec::with_capacity(n + 1);
+    simplex.push(x0.to_vec());
+    values.push(eval(x0, &mut evals));
+    if !values[0].is_finite() {
+        return NelderMeadResult {
+            x: x0.to_vec(),
+            value: values[0],
+            evals,
+            converged: false,
+        };
+    }
+    for i in 0..n {
+        let mut p = x0.to_vec();
+        let step = if p[i].abs() > 1e-12 {
+            opts.initial_scale * p[i].abs()
+        } else {
+            opts.initial_scale * 0.1
+        };
+        p[i] += step;
+        let mut v = eval(&p, &mut evals);
+        if !v.is_finite() {
+            // Try the other direction, then shrink toward x0 until finite.
+            p[i] = x0[i] - step;
+            v = eval(&p, &mut evals);
+            let mut shrink = 0.5;
+            while !v.is_finite() && shrink > 1e-6 {
+                p[i] = x0[i] - step * shrink;
+                v = eval(&p, &mut evals);
+                shrink *= 0.5;
+            }
+            if !v.is_finite() {
+                p[i] = x0[i]; // degenerate axis; keep at x0
+                v = values[0];
+            }
+        }
+        simplex.push(p);
+        values.push(v);
+    }
+
+    let mut converged = false;
+    while evals < opts.max_evals {
+        // Order the simplex by objective value.
+        let mut order: Vec<usize> = (0..=n).collect();
+        order.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).unwrap());
+        let best = order[0];
+        let worst = order[n];
+        let second_worst = order[n - 1];
+
+        // Convergence tests.
+        let f_spread = values[worst] - values[best];
+        let x_spread = simplex
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .zip(&simplex[best])
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0_f64, f64::max)
+            })
+            .fold(0.0_f64, f64::max);
+        if (f_spread.is_finite() && f_spread <= opts.f_tol) || x_spread <= opts.x_tol {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all points except the worst.
+        let mut centroid = vec![0.0; n];
+        for (idx, p) in simplex.iter().enumerate() {
+            if idx == worst {
+                continue;
+            }
+            crate::vecops::axpy(1.0 / nf, p, &mut centroid);
+        }
+
+        let reflect = |coef: f64, from: &[f64]| -> Vec<f64> {
+            centroid
+                .iter()
+                .zip(from)
+                .map(|(c, w)| c + coef * (c - w))
+                .collect()
+        };
+
+        // Reflection.
+        let xr = reflect(alpha, &simplex[worst]);
+        let fr = eval(&xr, &mut evals);
+        if fr < values[best] {
+            // Expansion.
+            let xe = reflect(alpha * beta, &simplex[worst]);
+            let fe = eval(&xe, &mut evals);
+            if fe < fr {
+                simplex[worst] = xe;
+                values[worst] = fe;
+            } else {
+                simplex[worst] = xr;
+                values[worst] = fr;
+            }
+        } else if fr < values[second_worst] {
+            simplex[worst] = xr;
+            values[worst] = fr;
+        } else {
+            // Contraction (outside if reflection improved on worst, else inside).
+            let (xc, fc) = if fr < values[worst] {
+                let xc = reflect(alpha * gamma, &simplex[worst]);
+                let fc = eval(&xc, &mut evals);
+                (xc, fc)
+            } else {
+                let xc = reflect(-gamma, &simplex[worst]);
+                let fc = eval(&xc, &mut evals);
+                (xc, fc)
+            };
+            if fc < values[worst].min(fr) {
+                simplex[worst] = xc;
+                values[worst] = fc;
+            } else {
+                // Shrink toward the best vertex.
+                let best_point = simplex[best].clone();
+                for idx in 0..=n {
+                    if idx == best {
+                        continue;
+                    }
+                    let p: Vec<f64> = best_point
+                        .iter()
+                        .zip(&simplex[idx])
+                        .map(|(b, q)| b + delta * (q - b))
+                        .collect();
+                    values[idx] = eval(&p, &mut evals);
+                    simplex[idx] = p;
+                }
+            }
+        }
+    }
+
+    let mut best_idx = 0;
+    for i in 1..=n {
+        if values[i] < values[best_idx] {
+            best_idx = i;
+        }
+    }
+    NelderMeadResult {
+        x: simplex.swap_remove(best_idx),
+        value: values[best_idx],
+        evals,
+        converged,
+    }
+}
+
+/// Runs [`nelder_mead`] repeatedly, restarting from the best point found
+/// until an extra restart no longer improves by `improve_tol` (relative), up
+/// to `max_restarts`. Restarts rebuild the simplex, which lets the method
+/// escape degenerate (collapsed) simplices — important for the `opt0` model.
+pub fn nelder_mead_restarts<F>(
+    mut f: F,
+    x0: &[f64],
+    opts: &NelderMeadOptions,
+    max_restarts: usize,
+    improve_tol: f64,
+) -> NelderMeadResult
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    let mut best = nelder_mead(&mut f, x0, opts);
+    for _ in 0..max_restarts {
+        let next = nelder_mead(&mut f, &best.x, opts);
+        let improved = best.value - next.value;
+        let scale = best.value.abs().max(1e-12);
+        let take = next.value < best.value;
+        let significant = improved / scale > improve_tol;
+        if take {
+            let evals = best.evals + next.evals;
+            best = next;
+            best.evals = evals;
+        }
+        if !significant {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_bowl() {
+        let res = nelder_mead(
+            |x| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2),
+            &[0.0, 0.0],
+            &NelderMeadOptions::default(),
+        );
+        assert!(res.converged);
+        assert!((res.x[0] - 3.0).abs() < 1e-4, "{:?}", res.x);
+        assert!((res.x[1] + 1.0).abs() < 1e-4, "{:?}", res.x);
+    }
+
+    #[test]
+    fn rosenbrock_2d() {
+        let rosen =
+            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let res = nelder_mead_restarts(
+            rosen,
+            &[-1.2, 1.0],
+            &NelderMeadOptions {
+                max_evals: 50_000,
+                ..Default::default()
+            },
+            8,
+            1e-10,
+        );
+        assert!((res.x[0] - 1.0).abs() < 1e-3, "{:?}", res);
+        assert!((res.x[1] - 1.0).abs() < 1e-3, "{:?}", res);
+    }
+
+    #[test]
+    fn respects_infinite_domain_guard() {
+        // Domain x > 0; minimum of x + 1/x at x = 1.
+        let res = nelder_mead(
+            |x| {
+                if x[0] <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    x[0] + 1.0 / x[0]
+                }
+            },
+            &[0.3],
+            &NelderMeadOptions::default(),
+        );
+        assert!((res.x[0] - 1.0).abs() < 1e-4, "{:?}", res);
+        assert!((res.value - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infinite_start_is_reported() {
+        let res = nelder_mead(|_| f64::INFINITY, &[0.0], &NelderMeadOptions::default());
+        assert!(!res.converged);
+        assert!(res.value.is_infinite());
+    }
+
+    #[test]
+    fn higher_dimensional_sphere() {
+        let n = 10;
+        let res = nelder_mead_restarts(
+            |x| x.iter().map(|v| v * v).sum::<f64>(),
+            &vec![1.0; n],
+            &NelderMeadOptions {
+                max_evals: 100_000,
+                ..Default::default()
+            },
+            10,
+            1e-9,
+        );
+        assert!(res.value < 1e-6, "{res:?}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Small dense-vector helpers used by the solvers.
+//!
+//! These operate on plain `&[f64]` slices; all callers in this workspace deal
+//! with vectors of at most a few dozen elements (the number of privacy levels
+//! `t`), so simple scalar loops are both clear and fast enough.
+
+/// Dot product `x · y`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// In-place `y += alpha * x`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm `‖x‖₂`.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Max norm `‖x‖∞`.
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, v| m.max(v.abs()))
+}
+
+/// Element-wise difference `x - y` as a new vector.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "sub: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a - b).collect()
+}
+
+/// In-place scaling `x *= alpha`.
+#[inline]
+pub fn scale(x: &mut [f64], alpha: f64) {
+    for v in x.iter_mut() {
+        *v *= alpha;
+    }
+}
+
+/// Returns `true` if every element is finite (no NaN/inf).
+#[inline]
+pub fn all_finite(x: &[f64]) -> bool {
+    x.iter().all(|v| v.is_finite())
+}
+
+/// Linear interpolation `(1-t)*a + t*b`, element-wise, into a new vector.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn lerp(a: &[f64], b: &[f64], t: f64) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "lerp: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (1.0 - t) * x + t * y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn sub_and_scale() {
+        let d = sub(&[5.0, 2.0], &[1.0, 4.0]);
+        assert_eq!(d, vec![4.0, -2.0]);
+        let mut v = vec![2.0, -3.0];
+        scale(&mut v, -0.5);
+        assert_eq!(v, vec![-1.0, 1.5]);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(all_finite(&[0.0, 1.0]));
+        assert!(!all_finite(&[0.0, f64::NAN]));
+        assert!(!all_finite(&[f64::INFINITY]));
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = [0.0, 10.0];
+        let b = [1.0, 20.0];
+        assert_eq!(lerp(&a, &b, 0.0), vec![0.0, 10.0]);
+        assert_eq!(lerp(&a, &b, 1.0), vec![1.0, 20.0]);
+        assert_eq!(lerp(&a, &b, 0.5), vec![0.5, 15.0]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests for the numerical substrate.
+
+use idldp_num::barrier::{BarrierOptions, BarrierSolver, LinearConstraints, SmoothObjective};
+use idldp_num::cholesky::Cholesky;
+use idldp_num::matrix::Matrix;
+use idldp_num::neldermead::{nelder_mead, NelderMeadOptions};
+use idldp_num::rng::{derive_seed, SplitMix64};
+use idldp_num::stats::RunningStats;
+use idldp_num::{sample_binomial, sample_binomial_inversion};
+use proptest::prelude::*;
+
+/// Strategy: a random SPD matrix `AᵀA + n·I` of size 2..=6.
+fn arb_spd() -> impl Strategy<Value = Matrix> {
+    (2usize..=6, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = SplitMix64::new(seed);
+        let mut b = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                b[(i, j)] = rng.next_f64() - 0.5;
+            }
+        }
+        let mut a = b.transpose().matmul(&b);
+        a.add_ridge(n as f64 * 0.5);
+        a
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cholesky_solve_inverts(a in arb_spd(), seed in any::<u64>()) {
+        let n = a.rows();
+        let mut rng = SplitMix64::new(seed);
+        let rhs: Vec<f64> = (0..n).map(|_| rng.next_f64() * 4.0 - 2.0).collect();
+        let chol = Cholesky::factor(&a).unwrap();
+        let x = chol.solve(&rhs);
+        let ax = a.matvec(&x);
+        for (got, want) in ax.iter().zip(&rhs) {
+            prop_assert!((got - want).abs() < 1e-6, "Ax={ax:?} rhs={rhs:?}");
+        }
+    }
+
+    #[test]
+    fn cholesky_factor_reconstructs(a in arb_spd()) {
+        let chol = Cholesky::factor(&a).unwrap();
+        let l = chol.factor_matrix();
+        let llt = l.matmul(&l.transpose());
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                prop_assert!((llt[(i, j)] - a[(i, j)]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_transpose_adjoint(a in arb_spd(), seed in any::<u64>()) {
+        // <Ax, y> = <x, Aᵀy> for all x, y.
+        let n = a.rows();
+        let mut rng = SplitMix64::new(seed);
+        let x: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        let y: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        let lhs = idldp_num::vecops::dot(&a.matvec(&x), &y);
+        let rhs = idldp_num::vecops::dot(&x, &a.matvec_t(&y));
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nelder_mead_solves_shifted_quadratics(
+        cx in -3.0f64..3.0,
+        cy in -3.0f64..3.0,
+        scale in 0.5f64..5.0,
+    ) {
+        let res = nelder_mead(
+            |p| scale * ((p[0] - cx).powi(2) + (p[1] - cy).powi(2)),
+            &[0.0, 0.0],
+            &NelderMeadOptions::default(),
+        );
+        prop_assert!((res.x[0] - cx).abs() < 1e-3, "{res:?}");
+        prop_assert!((res.x[1] - cy).abs() < 1e-3, "{res:?}");
+    }
+
+    #[test]
+    fn barrier_projects_onto_box(
+        cx in -4.0f64..4.0,
+        cy in -4.0f64..4.0,
+    ) {
+        // min ‖x − c‖² over the unit box: solution is clamp(c, 0, 1).
+        struct Quad { c: [f64; 2] }
+        impl SmoothObjective for Quad {
+            fn dim(&self) -> usize { 2 }
+            fn value(&self, x: &[f64]) -> f64 {
+                (x[0]-self.c[0]).powi(2) + (x[1]-self.c[1]).powi(2)
+            }
+            fn gradient(&self, x: &[f64], g: &mut [f64]) {
+                g[0] = 2.0*(x[0]-self.c[0]);
+                g[1] = 2.0*(x[1]-self.c[1]);
+            }
+            fn hessian(&self, _x: &[f64], h: &mut Matrix) {
+                h[(0,0)] = 2.0; h[(1,1)] = 2.0;
+            }
+        }
+        let mut cons = LinearConstraints::new(2);
+        cons.push(&[1.0, 0.0], 1.0);
+        cons.push(&[0.0, 1.0], 1.0);
+        cons.push(&[-1.0, 0.0], 0.0);
+        cons.push(&[0.0, -1.0], 0.0);
+        let obj = Quad { c: [cx, cy] };
+        let solver = BarrierSolver::new(&obj, &cons, BarrierOptions::default());
+        let res = solver.solve(&[0.5, 0.5]).unwrap();
+        let want = [cx.clamp(0.0, 1.0), cy.clamp(0.0, 1.0)];
+        prop_assert!((res.x[0] - want[0]).abs() < 1e-3, "{:?} vs {want:?}", res.x);
+        prop_assert!((res.x[1] - want[1]).abs() < 1e-3, "{:?} vs {want:?}", res.x);
+    }
+
+    #[test]
+    fn running_stats_merge_associative(
+        xs in proptest::collection::vec(-100.0f64..100.0, 3..60),
+        split in 1usize..58,
+    ) {
+        let split = split.min(xs.len() - 1);
+        let mut whole = RunningStats::new();
+        for &x in &xs { whole.push(x); }
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &x in &xs[..split] { left.push(x); }
+        for &x in &xs[split..] { right.push(x); }
+        left.merge(&right);
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-7);
+        prop_assert_eq!(left.count(), whole.count());
+    }
+
+    #[test]
+    fn binomial_samplers_within_support(
+        n in 0u64..500,
+        p in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let k1 = sample_binomial_inversion(&mut rng, n, p);
+        let k2 = sample_binomial(&mut rng, n, p);
+        prop_assert!(k1 <= n);
+        prop_assert!(k2 <= n);
+        if p == 0.0 { prop_assert_eq!(k1, 0); prop_assert_eq!(k2, 0); }
+        if p == 1.0 { prop_assert_eq!(k1, n); prop_assert_eq!(k2, n); }
+    }
+
+    #[test]
+    fn derived_seeds_do_not_collide_locally(master in any::<u64>()) {
+        // 64 consecutive streams from one master must be pairwise distinct
+        // (collision probability ~2^-52; a failure indicates mixer bugs).
+        let seeds: Vec<u64> = (0..64).map(|s| derive_seed(master, s)).collect();
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), 64);
+    }
+
+    #[test]
+    fn quantile_bounds(xs in proptest::collection::vec(-50.0f64..50.0, 1..40), q in 0.0f64..=1.0) {
+        let v = idldp_num::stats::quantile(&xs, q);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= min - 1e-12 && v <= max + 1e-12);
+    }
+}

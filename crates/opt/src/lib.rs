@@ -1,0 +1,121 @@
+//! # `idldp-opt` — optimization models for IDUE perturbation probabilities
+//!
+//! The IDUE mechanism needs one `(a_i, b_i)` pair per privacy level,
+//! minimizing estimation MSE subject to the Eq. 7 privacy constraints. The
+//! paper formulates three models (Section V-D):
+//!
+//! * [`opt0`] — the *worst-case* model (Eq. 10): minimize
+//!   `Σ m_i b_i(1−b_i)/(a_i−b_i)² + max_i (1−a_i−b_i)/(a_i−b_i)` over all
+//!   `(a, b)` with `a_i(1−b_j)/(b_i(1−a_j)) <= e^{r(ε_i,ε_j)}`. Non-convex;
+//!   solved by penalized Nelder–Mead multi-started from the convex models'
+//!   solutions, with exact feasibility repair.
+//! * [`opt1`] — the RAPPOR-structured model (Eq. 12): `a_i + b_i = 1`
+//!   reduces the problem to `min Σ m_i e^{τ_i}/(e^{τ_i}−1)²` with *linear*
+//!   constraints `τ_i + τ_j <= r(ε_i, ε_j)`. Convex; solved by the
+//!   log-barrier Newton method from `idldp-num`.
+//! * [`opt2`] — the OUE-structured model (Eq. 13): `a_i = 1/2` gives
+//!   `min Σ m_i b_i(1−b_i)/(0.5−b_i)² + 1` with linear constraints
+//!   `e^{r(ε_i,ε_j)} b_i + b_j >= 1`. Also convex, same solver.
+//!
+//! [`solver::IdueSolver`] is the facade: pick a [`solver::Model`], hand it a
+//! [`idldp_core::levels::LevelPartition`], get a validated, *feasible*
+//! [`idldp_core::params::LevelParams`] back. Every solution is verified
+//! against the privacy constraints before being returned — an infeasible
+//! "solution" is a hard error, never silently returned.
+
+pub mod direct;
+pub mod objective;
+pub mod opt0;
+pub mod opt1;
+pub mod opt2;
+pub mod solver;
+
+pub use direct::{solve_direct, DirectOptions};
+pub use objective::worst_case_objective;
+pub use solver::{IdueSolver, Model, SolveError};
+
+use idldp_core::levels::LevelPartition;
+use idldp_core::notion::RFunction;
+
+/// The `t × t` matrix of pairwise budgets `r(ε_i, ε_j)` over levels.
+pub fn pair_budget_matrix(levels: &LevelPartition, r: RFunction) -> Vec<Vec<f64>> {
+    let complete = idldp_core::policy::PolicyGraph::complete(levels.num_levels())
+        .expect("non-empty by LevelPartition invariant");
+    pair_budget_matrix_with_policy(levels, r, &complete)
+}
+
+/// Like [`pair_budget_matrix`], but pairs not protected by `policy` get an
+/// *infinite* budget — the constraint builders skip them, which is exactly
+/// the incomplete-policy-graph relaxation of the paper's Section IV-C.
+///
+/// # Panics
+/// Panics if the policy graph's level count differs from the partition's.
+pub fn pair_budget_matrix_with_policy(
+    levels: &LevelPartition,
+    r: RFunction,
+    policy: &idldp_core::policy::PolicyGraph,
+) -> Vec<Vec<f64>> {
+    let t = levels.num_levels();
+    assert_eq!(
+        policy.num_levels(),
+        t,
+        "policy graph / level partition mismatch"
+    );
+    (0..t)
+        .map(|i| {
+            (0..t)
+                .map(|j| {
+                    if policy.is_protected(i, j) {
+                        r.combine(
+                            levels.level_budget(i).expect("validated"),
+                            levels.level_budget(j).expect("validated"),
+                        )
+                    } else {
+                        f64::INFINITY
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idldp_core::budget::Epsilon;
+
+    #[test]
+    fn pair_matrix_min_function() {
+        let levels = LevelPartition::new(
+            vec![0, 1, 1],
+            vec![Epsilon::new(1.0).unwrap(), Epsilon::new(2.0).unwrap()],
+        )
+        .unwrap();
+        let m = pair_budget_matrix(&levels, RFunction::Min);
+        assert_eq!(m[0][0], 1.0);
+        assert_eq!(m[0][1], 1.0);
+        assert_eq!(m[1][0], 1.0);
+        assert_eq!(m[1][1], 2.0);
+    }
+
+    #[test]
+    fn pair_matrix_symmetry() {
+        let levels = LevelPartition::new(
+            vec![0, 1, 2],
+            vec![
+                Epsilon::new(0.5).unwrap(),
+                Epsilon::new(1.5).unwrap(),
+                Epsilon::new(3.0).unwrap(),
+            ],
+        )
+        .unwrap();
+        for r in [RFunction::Min, RFunction::Avg, RFunction::Max] {
+            let m = pair_budget_matrix(&levels, r);
+            for i in 0..3 {
+                for j in 0..3 {
+                    assert_eq!(m[i][j], m[j][i]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! The shared worst-case MSE objective (Eq. 10, per-user scale).
+//!
+//! `f(a, b) = Σ_i m_i b_i(1−b_i)/(a_i−b_i)² + max_i (1−a_i−b_i)/(a_i−b_i)`
+//!
+//! This is the quantity all three models are judged by (the scaling constant
+//! `n` is omitted, as in the paper). `opt1`/`opt2` optimize restricted
+//! parameterizations of it; `opt0` optimizes it directly. Keeping one shared
+//! evaluator lets tests assert `opt0 <= min(opt1, opt2)` on the same scale.
+
+use idldp_core::params::LevelParams;
+
+/// Evaluates Eq. 10's objective for per-level parameters and level sizes
+/// `m_i`. The `max` term is clamped at 0 (true counts are non-negative, so a
+/// negative linear coefficient cannot *increase* the MSE above the pure
+/// variance term).
+///
+/// # Panics
+/// Panics if `counts.len()` differs from the number of levels.
+pub fn worst_case_objective(params: &LevelParams, counts: &[usize]) -> f64 {
+    assert_eq!(
+        counts.len(),
+        params.num_levels(),
+        "counts/levels length mismatch"
+    );
+    let mut sum = 0.0;
+    let mut worst_linear = f64::NEG_INFINITY;
+    for i in 0..params.num_levels() {
+        let a = params.a()[i];
+        let b = params.b()[i];
+        let d = a - b;
+        sum += counts[i] as f64 * b * (1.0 - b) / (d * d);
+        worst_linear = worst_linear.max((1.0 - a - b) / d);
+    }
+    sum + worst_linear.max(0.0)
+}
+
+/// Same objective evaluated on raw `(a, b)` slices without constructing a
+/// validated `LevelParams`; returns `f64::INFINITY` outside the domain
+/// `0 < b_i < a_i < 1`. This is the inner evaluator for `opt0`'s
+/// derivative-free search, which probes infeasible points.
+pub fn worst_case_objective_raw(a: &[f64], b: &[f64], counts: &[usize]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), counts.len());
+    let mut sum = 0.0;
+    let mut worst_linear = f64::NEG_INFINITY;
+    for i in 0..a.len() {
+        let (ai, bi) = (a[i], b[i]);
+        if !(bi > 0.0 && ai > bi && ai < 1.0) {
+            return f64::INFINITY;
+        }
+        let d = ai - bi;
+        sum += counts[i] as f64 * bi * (1.0 - bi) / (d * d);
+        worst_linear = worst_linear.max((1.0 - ai - bi) / d);
+    }
+    sum + worst_linear.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validated_and_raw_agree() {
+        let p = LevelParams::new(vec![0.5, 0.6], vec![0.2, 0.1]).unwrap();
+        let counts = [3usize, 7];
+        let v = worst_case_objective(&p, &counts);
+        let r = worst_case_objective_raw(p.a(), p.b(), &counts);
+        assert!((v - r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raw_guards_domain() {
+        assert!(worst_case_objective_raw(&[0.5], &[0.5], &[1]).is_infinite());
+        assert!(worst_case_objective_raw(&[1.0], &[0.2], &[1]).is_infinite());
+        assert!(worst_case_objective_raw(&[0.5], &[0.0], &[1]).is_infinite());
+        assert!(worst_case_objective_raw(&[0.5], &[0.2], &[1]).is_finite());
+    }
+
+    #[test]
+    fn oue_value_matches_known_formula() {
+        // For OUE (a=1/2, b=1/(e^ε+1)) with a single level of m items:
+        // b(1-b)/(0.5-b)² = 4e^ε/(e^ε−1)², and the linear term is exactly 1.
+        let epsv: f64 = 1.3;
+        let b = 1.0 / (epsv.exp() + 1.0);
+        let p = LevelParams::new(vec![0.5], vec![b]).unwrap();
+        let m = 10usize;
+        let got = worst_case_objective(&p, &[m]);
+        let want = m as f64 * 4.0 * epsv.exp() / (epsv.exp() - 1.0).powi(2) + 1.0;
+        assert!((got - want).abs() < 1e-10, "got {got} want {want}");
+    }
+
+    #[test]
+    fn rappor_linear_term_is_zero() {
+        // a + b = 1 ⇒ (1−a−b)/(a−b) = 0: objective is the variance sum only.
+        let tau: f64 = 1.2;
+        let a = tau.exp() / (tau.exp() + 1.0);
+        let p = LevelParams::new(vec![a], vec![1.0 - a]).unwrap();
+        let got = worst_case_objective(&p, &[5]);
+        let want = 5.0 * tau.exp() / (tau.exp() - 1.0).powi(2);
+        assert!((got - want).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn count_mismatch_panics() {
+        let p = LevelParams::new(vec![0.5], vec![0.2]).unwrap();
+        let _ = worst_case_objective(&p, &[1, 2]);
+    }
+}

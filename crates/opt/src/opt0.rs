@@ -1,0 +1,307 @@
+//! `opt0` — the worst-case model (Eq. 10), non-convex.
+//!
+//! Minimizes `Σ m_i b_i(1−b_i)/(a_i−b_i)² + max_i (1−a_i−b_i)/(a_i−b_i)`
+//! over all `0 < b_i < a_i < 1` subject to the Eq. 7 ratio constraints
+//! `ln(a_i(1−b_j)/(b_i(1−a_j))) <= r(ε_i, ε_j)`. The paper notes the
+//! feasible region makes this non-convex, so there is no certified global
+//! optimum; we use quadratic-penalty Nelder–Mead with a ramped penalty
+//! weight, multi-started from:
+//!
+//! 1. the `opt1` (RAPPOR-structured) solution,
+//! 2. the `opt2` (OUE-structured) solution,
+//! 3. uniform OUE and RAPPOR at the smallest pairwise budget.
+//!
+//! Because seeds 1–2 are feasible points of Eq. 10, the returned solution is
+//! *never worse* than the better convex model — the property the paper's
+//! Fig. 3 relies on (`opt0 <= min(opt1, opt2)` in worst-case MSE). Every
+//! candidate is repaired back into the exactly-feasible region (geometric
+//! blend toward a strictly feasible anchor) before comparison.
+
+use crate::objective::worst_case_objective_raw;
+use crate::solver::SolveError;
+use crate::{opt1, opt2};
+use idldp_num::neldermead::{nelder_mead_restarts, NelderMeadOptions};
+
+/// Minimum allowed gap `a_i − b_i` during the search (degenerate gaps blow
+/// up the objective anyway; this keeps intermediate arithmetic finite).
+const MIN_GAP: f64 = 1e-7;
+
+/// Feasibility slack for accepting a repaired point.
+const FEAS_TOL: f64 = 1e-12;
+
+/// Log-ratio violation `max_{i,j} ( ln(a_i(1−b_j)/(b_i(1−a_j))) − r_ij )`,
+/// or `+inf` outside the box domain.
+fn max_violation(a: &[f64], b: &[f64], rmat: &[Vec<f64>]) -> f64 {
+    let t = a.len();
+    let mut worst = f64::NEG_INFINITY;
+    for i in 0..t {
+        if !(b[i] > 0.0 && a[i] > b[i] + MIN_GAP && a[i] < 1.0) {
+            return f64::INFINITY;
+        }
+    }
+    for i in 0..t {
+        for j in 0..t {
+            if !rmat[i][j].is_finite() {
+                continue; // unprotected pair (incomplete policy graph)
+            }
+            let ratio = (a[i] * (1.0 - b[j])) / (b[i] * (1.0 - a[j]));
+            worst = worst.max(ratio.ln() - rmat[i][j]);
+        }
+    }
+    worst
+}
+
+/// Splits the flat NM vector into `(a, b)` views.
+fn split(x: &[f64]) -> (&[f64], &[f64]) {
+    let t = x.len() / 2;
+    (&x[..t], &x[t..])
+}
+
+/// Penalized objective for a given penalty weight.
+fn penalized(x: &[f64], counts: &[usize], rmat: &[Vec<f64>], rho: f64) -> f64 {
+    let (a, b) = split(x);
+    let base = worst_case_objective_raw(a, b, counts);
+    if !base.is_finite() {
+        return f64::INFINITY;
+    }
+    let t = a.len();
+    let mut penalty = 0.0;
+    for i in 0..t {
+        if a[i] - b[i] < MIN_GAP {
+            return f64::INFINITY;
+        }
+    }
+    for i in 0..t {
+        for j in 0..t {
+            if !rmat[i][j].is_finite() {
+                continue; // unprotected pair (incomplete policy graph)
+            }
+            let ratio = (a[i] * (1.0 - b[j])) / (b[i] * (1.0 - a[j]));
+            let v = ratio.ln() - rmat[i][j];
+            if v > 0.0 {
+                penalty += v * v;
+            }
+        }
+    }
+    base + rho * penalty
+}
+
+/// Blends `x` toward the strictly feasible `anchor` until the ratio
+/// constraints hold; returns `None` if even the anchor-adjacent end fails
+/// (should not happen for a valid anchor).
+fn repair_toward(
+    x: &[f64],
+    anchor: &[f64],
+    counts: &[usize],
+    rmat: &[Vec<f64>],
+) -> Option<Vec<f64>> {
+    let feasible = |p: &[f64]| {
+        let (a, b) = split(p);
+        max_violation(a, b, rmat) <= FEAS_TOL && worst_case_objective_raw(a, b, counts).is_finite()
+    };
+    if feasible(x) {
+        return Some(x.to_vec());
+    }
+    if !feasible(anchor) {
+        return None;
+    }
+    // Bisect the blend factor s ∈ [0 (anchor), 1 (x)] for the largest
+    // feasible point along the segment.
+    let mut lo = 0.0; // feasible end
+    let mut hi = 1.0; // infeasible end
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        let p = idldp_num::vecops::lerp(anchor, x, mid);
+        if feasible(&p) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    // Step slightly inside to absorb round-off.
+    let s = (lo - 1e-9).max(0.0);
+    let p = idldp_num::vecops::lerp(anchor, x, s);
+    feasible(&p).then_some(p)
+}
+
+/// Solves Eq. 10 and returns flat `(a, b)` vectors.
+pub fn solve_ab(rmat: &[Vec<f64>], counts: &[usize]) -> Result<(Vec<f64>, Vec<f64>), SolveError> {
+    let t = rmat.len();
+    if t == 0 || counts.len() != t {
+        return Err(SolveError::BadInput(format!(
+            "rmat is {t}x{t} but counts has length {}",
+            counts.len()
+        )));
+    }
+
+    // Seed 1: opt1 (RAPPOR-structured) — always feasible.
+    let taus = opt1::solve_taus(rmat, counts)?;
+    let seed_opt1: Vec<f64> = {
+        let a: Vec<f64> = taus.iter().map(|&t| t.exp() / (t.exp() + 1.0)).collect();
+        let b: Vec<f64> = a.iter().map(|&ai| 1.0 - ai).collect();
+        a.into_iter().chain(b).collect()
+    };
+    // Seed 2: opt2 (OUE-structured) — always feasible.
+    let bs = opt2::solve_bs(rmat, counts)?;
+    let seed_opt2: Vec<f64> = std::iter::repeat_n(0.5, t).chain(bs.iter().copied()).collect();
+    // Seeds 3–4: uniform OUE / RAPPOR at the most conservative budget.
+    let rmin = rmat
+        .iter()
+        .flatten()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let b_oue = 1.0 / (rmin.exp() + 1.0);
+    let seed_oue: Vec<f64> = std::iter::repeat_n(0.5, t)
+        .chain(std::iter::repeat_n(b_oue, t))
+        .collect();
+    let a_rap = (rmin / 2.0).exp() / ((rmin / 2.0).exp() + 1.0);
+    let seed_rap: Vec<f64> = std::iter::repeat_n(a_rap, t)
+        .chain(std::iter::repeat_n(1.0 - a_rap, t))
+        .collect();
+
+    // The anchor for feasibility repair: strictly feasible with margin.
+    // opt1's solution sits on the boundary, so pull it slightly inward.
+    let anchor: Vec<f64> = {
+        let taus_in: Vec<f64> = taus.iter().map(|&t| t * 0.98).collect();
+        let a: Vec<f64> = taus_in.iter().map(|&t| t.exp() / (t.exp() + 1.0)).collect();
+        let b: Vec<f64> = a.iter().map(|&ai| 1.0 - ai).collect();
+        a.into_iter().chain(b).collect()
+    };
+
+    let nm_opts = NelderMeadOptions {
+        max_evals: 40_000,
+        initial_scale: 0.02,
+        ..Default::default()
+    };
+
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    for seed in [&seed_opt1, &seed_opt2, &seed_oue, &seed_rap] {
+        let mut x = seed.clone();
+        // Penalty ramp: loose search first, then enforce feasibility hard.
+        for rho in [1e2, 1e4, 1e7] {
+            let res = nelder_mead_restarts(
+                |p| penalized(p, counts, rmat, rho),
+                &x,
+                &nm_opts,
+                6,
+                1e-9,
+            );
+            if res.value.is_finite() {
+                x = res.x;
+            }
+        }
+        let Some(repaired) = repair_toward(&x, &anchor, counts, rmat) else {
+            continue;
+        };
+        let (a, b) = split(&repaired);
+        let value = worst_case_objective_raw(a, b, counts);
+        if best.as_ref().is_none_or(|(bv, _)| value < *bv) {
+            best = Some((value, repaired));
+        }
+    }
+
+    // The convex seeds are feasible as-is; make sure they compete directly
+    // (protects against NM wandering off in pathological cases).
+    for seed in [&seed_opt1, &seed_opt2] {
+        let (a, b) = split(seed);
+        if max_violation(a, b, rmat) <= FEAS_TOL {
+            let value = worst_case_objective_raw(a, b, counts);
+            if best.as_ref().is_none_or(|(bv, _)| value < *bv) {
+                best = Some((value, seed.clone()));
+            }
+        }
+    }
+
+    let (_, x) = best.ok_or_else(|| {
+        SolveError::Numerical("no feasible opt0 candidate found".into())
+    })?;
+    let (a, b) = split(&x);
+    Ok((a.to_vec(), b.to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_rmat(eps: f64, t: usize) -> Vec<Vec<f64>> {
+        vec![vec![eps; t]; t]
+    }
+
+    #[test]
+    fn feasible_and_not_worse_than_convex_models() {
+        let rmat = vec![vec![1.0, 1.0], vec![1.0, 4.0]];
+        let counts = [1usize, 9];
+        let (a, b) = solve_ab(&rmat, &counts).unwrap();
+        assert!(max_violation(&a, &b, &rmat) <= 1e-9, "violation");
+        let v0 = worst_case_objective_raw(&a, &b, &counts);
+
+        let taus = opt1::solve_taus(&rmat, &counts).unwrap();
+        let a1: Vec<f64> = taus.iter().map(|&t| t.exp() / (t.exp() + 1.0)).collect();
+        let b1: Vec<f64> = a1.iter().map(|&x| 1.0 - x).collect();
+        let v1 = worst_case_objective_raw(&a1, &b1, &counts);
+
+        let bs = opt2::solve_bs(&rmat, &counts).unwrap();
+        let v2 = worst_case_objective_raw(&[0.5; 2], &bs, &counts);
+
+        assert!(v0 <= v1 + 1e-6, "opt0 {v0} must be <= opt1 {v1}");
+        assert!(v0 <= v2 + 1e-6, "opt0 {v0} must be <= opt2 {v2}");
+    }
+
+    #[test]
+    fn single_uniform_level_beats_or_ties_oue() {
+        let eps = 1.0_f64;
+        let rmat = uniform_rmat(eps, 1);
+        let counts = [100usize];
+        let (a, b) = solve_ab(&rmat, &counts).unwrap();
+        let v0 = worst_case_objective_raw(&a, &b, &counts);
+        let b_oue = 1.0 / (eps.exp() + 1.0);
+        let v_oue = worst_case_objective_raw(&[0.5], &[b_oue], &counts);
+        assert!(v0 <= v_oue + 1e-6, "opt0 {v0} vs OUE {v_oue}");
+        assert!(max_violation(&a, &b, &rmat) <= 1e-9);
+    }
+
+    #[test]
+    fn table2_shape_two_levels() {
+        // The paper's toy example: ε = (ln4, ln6), m = (1, 4). The solved
+        // IDUE should protect level 0 more (larger flip probability on its
+        // bit ⇒ smaller a−b gap) than level 1.
+        let rmat = vec![
+            vec![4.0_f64.ln(), 4.0_f64.ln()],
+            vec![4.0_f64.ln(), 6.0_f64.ln()],
+        ];
+        let counts = [1usize, 4];
+        let (a, b) = solve_ab(&rmat, &counts).unwrap();
+        assert!(max_violation(&a, &b, &rmat) <= 1e-9);
+        let gap0 = a[0] - b[0];
+        let gap1 = a[1] - b[1];
+        assert!(
+            gap1 > gap0,
+            "looser level should have the wider gap: gaps ({gap0}, {gap1})"
+        );
+        // Worst-case total variance (×n) must beat OUE at ε = ln4, m = 5
+        // (Table II: 8.86n vs 9.9n for OUE).
+        let v0 = worst_case_objective_raw(&a, &b, &counts);
+        let b_oue = 1.0 / 5.0; // 1/(e^{ln4}+1)
+        let v_oue = worst_case_objective_raw(&[0.5, 0.5], &[b_oue, b_oue], &counts);
+        assert!(v0 < v_oue, "IDUE worst case {v0} must beat OUE {v_oue}");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(solve_ab(&[], &[]).is_err());
+        assert!(solve_ab(&uniform_rmat(1.0, 2), &[3]).is_err());
+    }
+
+    #[test]
+    fn repair_pulls_infeasible_point_inside() {
+        let rmat = uniform_rmat(1.0, 1);
+        let counts = [5usize];
+        // Grossly infeasible: near-deterministic mechanism.
+        let x = vec![0.99, 0.01];
+        let anchor = vec![0.6, 0.4];
+        assert!(max_violation(&[0.6], &[0.4], &rmat) <= 0.0);
+        let repaired = repair_toward(&x, &anchor, &counts, &rmat).unwrap();
+        let (a, b) = split(&repaired);
+        assert!(max_violation(a, b, &rmat) <= FEAS_TOL);
+    }
+}

@@ -1,0 +1,246 @@
+//! `opt1` — the RAPPOR-structured convex model (Eq. 12).
+//!
+//! Adding `a_i + b_i = 1` and substituting `a_i = e^{τ_i}/(e^{τ_i}+1)` turns
+//! the worst-case objective into `f(τ) = Σ m_i e^{τ_i}/(e^{τ_i}−1)²` (the
+//! linear term vanishes) and the Eq. 7 constraints into the *linear* system
+//! `τ_i + τ_j <= r(ε_i, ε_j)` with `τ > 0`. The objective is separable with
+//! positive-definite (diagonal) Hessian, so the problem is convex and the
+//! log-barrier Newton solver from `idldp-num` applies directly.
+
+use crate::solver::SolveError;
+use idldp_num::barrier::{BarrierOptions, BarrierSolver, LinearConstraints, SmoothObjective};
+use idldp_num::matrix::Matrix;
+
+/// Small strictly positive lower bound keeping τ away from the singular
+/// point τ = 0 (where the objective diverges anyway).
+const TAU_FLOOR: f64 = 1e-6;
+
+/// The separable Eq. 12 objective `Σ m_i e^{τ_i}/(e^{τ_i}−1)²`.
+pub(crate) struct Opt1Objective {
+    counts: Vec<f64>,
+}
+
+impl SmoothObjective for Opt1Objective {
+    fn dim(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        let mut total = 0.0;
+        for (&tau, &m) in x.iter().zip(&self.counts) {
+            if tau <= 0.0 {
+                return f64::INFINITY;
+            }
+            let u = tau.exp();
+            total += m * u / ((u - 1.0) * (u - 1.0));
+        }
+        total
+    }
+
+    fn gradient(&self, x: &[f64], grad: &mut [f64]) {
+        for ((g, &tau), &m) in grad.iter_mut().zip(x).zip(&self.counts) {
+            let u = tau.exp();
+            // d/dτ [u/(u−1)²] = −u(u+1)/(u−1)³
+            *g = -m * u * (u + 1.0) / (u - 1.0).powi(3);
+        }
+    }
+
+    fn hessian(&self, x: &[f64], hess: &mut Matrix) {
+        for (i, (&tau, &m)) in x.iter().zip(&self.counts).enumerate() {
+            let u = tau.exp();
+            // d²/dτ² [u/(u−1)²] = u(u² + 4u + 1)/(u−1)⁴
+            hess[(i, i)] = m * u * (u * u + 4.0 * u + 1.0) / (u - 1.0).powi(4);
+        }
+    }
+}
+
+/// Builds the linear constraint system `τ_i + τ_j <= r_ij` (unordered pairs,
+/// including `i = j` ⇒ `2τ_i <= ε_i`) plus `τ_i >= TAU_FLOOR`.
+pub(crate) fn build_constraints(rmat: &[Vec<f64>]) -> LinearConstraints {
+    let t = rmat.len();
+    let mut cons = LinearConstraints::new(t);
+    for i in 0..t {
+        for j in i..t {
+            if !rmat[i][j].is_finite() {
+                continue; // unprotected pair (incomplete policy graph)
+            }
+            let mut row = vec![0.0; t];
+            row[i] += 1.0;
+            row[j] += 1.0;
+            cons.push(&row, rmat[i][j]);
+        }
+    }
+    for i in 0..t {
+        let mut row = vec![0.0; t];
+        row[i] = -1.0;
+        cons.push(&row, -TAU_FLOOR);
+    }
+    cons
+}
+
+/// A strictly feasible starting point: `τ_i = 0.45 · min_j r_ij`.
+///
+/// Feasibility: `τ_i + τ_j = 0.45(min_k r_ik + min_k r_jk) <= 0.9 r_ij`,
+/// since each min is at most `r_ij` by symmetry of `r`.
+pub(crate) fn feasible_start(rmat: &[Vec<f64>]) -> Vec<f64> {
+    rmat.iter()
+        .map(|row| {
+            // Only finite (protected) pairs constrain τ; the diagonal
+            // r_ii = ε_i is always finite, so the min is well-defined.
+            let rmin = row
+                .iter()
+                .copied()
+                .filter(|v| v.is_finite())
+                .fold(f64::INFINITY, f64::min);
+            (0.45 * rmin).max(2.0 * TAU_FLOOR)
+        })
+        .collect()
+}
+
+/// Solves Eq. 12: returns the optimal `τ` vector.
+///
+/// `rmat` is the symmetric `t × t` matrix of pairwise budgets and `counts`
+/// the per-level item counts `m_i`.
+pub fn solve_taus(rmat: &[Vec<f64>], counts: &[usize]) -> Result<Vec<f64>, SolveError> {
+    let t = rmat.len();
+    if t == 0 || counts.len() != t {
+        return Err(SolveError::BadInput(format!(
+            "rmat is {t}x{t} but counts has length {}",
+            counts.len()
+        )));
+    }
+    let objective = Opt1Objective {
+        counts: counts.iter().map(|&c| c as f64).collect(),
+    };
+    let constraints = build_constraints(rmat);
+    let start = feasible_start(rmat);
+    let solver = BarrierSolver::new(&objective, &constraints, BarrierOptions::default());
+    let result = solver
+        .solve(&start)
+        .map_err(|e| SolveError::Numerical(e.to_string()))?;
+    Ok(result.x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+
+    fn uniform_rmat(eps: f64, t: usize) -> Vec<Vec<f64>> {
+        vec![vec![eps; t]; t]
+    }
+
+    #[test]
+    fn single_level_recovers_rappor() {
+        // With one level the binding constraint is 2τ <= ε, and the
+        // objective is decreasing, so τ* = ε/2 — exactly basic RAPPOR.
+        let eps = 2.0;
+        let taus = solve_taus(&uniform_rmat(eps, 1), &[10]).unwrap();
+        assert!((taus[0] - eps / 2.0).abs() < 1e-4, "τ={taus:?}");
+    }
+
+    #[test]
+    fn uniform_levels_recover_rappor_each() {
+        let eps = 1.0;
+        let taus = solve_taus(&uniform_rmat(eps, 3), &[5, 5, 5]).unwrap();
+        for &tau in &taus {
+            assert!((tau - eps / 2.0).abs() < 1e-4, "τ={taus:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_budgets_give_larger_tau_to_looser_level() {
+        // ε = (1, 4): constraints 2τ₀<=1, τ₀+τ₁<=1, 2τ₁<=4.
+        let rmat = vec![vec![1.0, 1.0], vec![1.0, 4.0]];
+        let taus = solve_taus(&rmat, &[1, 9]).unwrap();
+        assert!(taus[1] > taus[0], "τ={taus:?}");
+        // All constraints hold.
+        assert!(2.0 * taus[0] <= 1.0 + 1e-6);
+        assert!(taus[0] + taus[1] <= 1.0 + 1e-6);
+        assert!(2.0 * taus[1] <= 4.0 + 1e-6);
+        // The coupling constraint τ₀+τ₁ <= 1 should be (near-)active: the
+        // objective decreases in each τ.
+        assert!(taus[0] + taus[1] > 1.0 - 1e-3, "τ={taus:?}");
+    }
+
+    #[test]
+    fn many_items_in_loose_level_pull_budget_there() {
+        // With m₁ ≫ m₀ the optimizer should trade τ₀ down to raise τ₁.
+        let rmat = vec![vec![1.0, 1.0], vec![1.0, 4.0]];
+        let balanced = solve_taus(&rmat, &[5, 5]).unwrap();
+        let skewed = solve_taus(&rmat, &[1, 99]).unwrap();
+        assert!(skewed[1] > balanced[1], "balanced={balanced:?} skewed={skewed:?}");
+        assert!(skewed[0] < balanced[0]);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let obj = Opt1Objective {
+            counts: vec![3.0, 7.0],
+        };
+        let x = [0.8, 1.7];
+        let mut grad = [0.0; 2];
+        obj.gradient(&x, &mut grad);
+        let h = 1e-6;
+        for i in 0..2 {
+            let mut xp = x;
+            xp[i] += h;
+            let mut xm = x;
+            xm[i] -= h;
+            let fd = (obj.value(&xp) - obj.value(&xm)) / (2.0 * h);
+            assert!((grad[i] - fd).abs() < 1e-5, "i={i} grad={} fd={fd}", grad[i]);
+        }
+    }
+
+    #[test]
+    fn hessian_matches_finite_differences() {
+        let obj = Opt1Objective {
+            counts: vec![2.0, 4.0],
+        };
+        let x = [0.9, 1.2];
+        let mut hess = Matrix::zeros(2, 2);
+        obj.hessian(&x, &mut hess);
+        let h = 1e-5;
+        for i in 0..2 {
+            let mut gp = [0.0; 2];
+            let mut gm = [0.0; 2];
+            let mut xp = x;
+            xp[i] += h;
+            let mut xm = x;
+            xm[i] -= h;
+            obj.gradient(&xp, &mut gp);
+            obj.gradient(&xm, &mut gm);
+            for j in 0..2 {
+                let fd = (gp[j] - gm[j]) / (2.0 * h);
+                assert!(
+                    (hess[(i, j)] - fd).abs() < 1e-4,
+                    "H[{i}{j}]={} fd={fd}",
+                    hess[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(solve_taus(&[], &[]).is_err());
+        assert!(solve_taus(&uniform_rmat(1.0, 2), &[1]).is_err());
+    }
+
+    #[test]
+    fn start_point_is_strictly_feasible() {
+        for rmat in [
+            uniform_rmat(0.3, 4),
+            vec![vec![1.0, 1.0], vec![1.0, 8.0]],
+            vec![
+                vec![0.5, 0.5, 0.5],
+                vec![0.5, 2.0, 2.0],
+                vec![0.5, 2.0, 6.0],
+            ],
+        ] {
+            let cons = build_constraints(&rmat);
+            let x0 = feasible_start(&rmat);
+            assert!(cons.is_strictly_feasible(&x0, 0.0), "rmat={rmat:?}");
+        }
+    }
+}

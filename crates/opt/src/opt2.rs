@@ -1,0 +1,213 @@
+//! `opt2` — the OUE-structured convex model (Eq. 13).
+//!
+//! Fixing `a_i = 1/2` turns the worst-case objective into
+//! `f(b) = Σ m_i b_i(1−b_i)/(0.5−b_i)² + 1` and the Eq. 7 constraints into
+//! the linear system `e^{r(ε_i,ε_j)} b_i + b_j >= 1` over `0 < b_i < 0.5`.
+//! Note the constraint is *asymmetric* in `(i, j)`, so both orderings are
+//! imposed. Separable convex objective ⇒ log-barrier Newton applies.
+
+use crate::solver::SolveError;
+use idldp_num::barrier::{BarrierOptions, BarrierSolver, LinearConstraints, SmoothObjective};
+use idldp_num::matrix::Matrix;
+
+/// Keep `b` strictly inside `(B_FLOOR, 0.5 − B_CEIL_MARGIN)`.
+const B_FLOOR: f64 = 1e-9;
+const B_CEIL_MARGIN: f64 = 1e-9;
+
+/// The separable Eq. 13 objective.
+pub(crate) struct Opt2Objective {
+    counts: Vec<f64>,
+}
+
+impl SmoothObjective for Opt2Objective {
+    fn dim(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        let mut total = 1.0; // the "+1" linear term (a = 1/2 makes it exact)
+        for (&b, &m) in x.iter().zip(&self.counts) {
+            if b <= 0.0 || b >= 0.5 {
+                return f64::INFINITY;
+            }
+            let d = 0.5 - b;
+            total += m * b * (1.0 - b) / (d * d);
+        }
+        total
+    }
+
+    fn gradient(&self, x: &[f64], grad: &mut [f64]) {
+        for ((g, &b), &m) in grad.iter_mut().zip(x).zip(&self.counts) {
+            let d = 0.5 - b;
+            // b(1−b)/(0.5−b)² = 0.25/d² − 1  ⇒  d/db = 0.5/d³.
+            *g = 0.5 * m / (d * d * d);
+        }
+    }
+
+    fn hessian(&self, x: &[f64], hess: &mut Matrix) {
+        for (i, (&b, &m)) in x.iter().zip(&self.counts).enumerate() {
+            let d = 0.5 - b;
+            hess[(i, i)] = 1.5 * m / (d * d * d * d);
+        }
+    }
+}
+
+/// Builds `−e^{r_ij} b_i − b_j <= −1` for every ordered pair (including
+/// `i = j`), plus box constraints `B_FLOOR <= b_i <= 0.5 − B_CEIL_MARGIN`.
+pub(crate) fn build_constraints(rmat: &[Vec<f64>]) -> LinearConstraints {
+    let t = rmat.len();
+    let mut cons = LinearConstraints::new(t);
+    for i in 0..t {
+        for j in 0..t {
+            if !rmat[i][j].is_finite() {
+                continue; // unprotected pair (incomplete policy graph)
+            }
+            let mut row = vec![0.0; t];
+            row[i] -= rmat[i][j].exp();
+            row[j] -= 1.0;
+            cons.push(&row, -1.0);
+        }
+    }
+    for i in 0..t {
+        let mut lo = vec![0.0; t];
+        lo[i] = -1.0;
+        cons.push(&lo, -B_FLOOR);
+        let mut hi = vec![0.0; t];
+        hi[i] = 1.0;
+        cons.push(&hi, 0.5 - B_CEIL_MARGIN);
+    }
+    cons
+}
+
+/// Strictly feasible start: the uniform OUE value at the *smallest* pairwise
+/// budget, nudged upward. `b_i = b_j = 1/(1+e^{r_min}) + δ` satisfies
+/// `e^{r_ij} b_i + b_j >= (e^{r_min}+1)/(e^{r_min}+1) + δ(...) > 1`.
+pub(crate) fn feasible_start(rmat: &[Vec<f64>]) -> Vec<f64> {
+    let rmin = rmat
+        .iter()
+        .flatten()
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(f64::INFINITY, f64::min);
+    let base = 1.0 / (1.0 + rmin.exp());
+    let delta = ((0.5 - base) / 4.0).clamp(1e-9, 1e-3);
+    vec![base + delta; rmat.len()]
+}
+
+/// Solves Eq. 13: returns the optimal `b` vector (with `a_i = 1/2` implied).
+pub fn solve_bs(rmat: &[Vec<f64>], counts: &[usize]) -> Result<Vec<f64>, SolveError> {
+    let t = rmat.len();
+    if t == 0 || counts.len() != t {
+        return Err(SolveError::BadInput(format!(
+            "rmat is {t}x{t} but counts has length {}",
+            counts.len()
+        )));
+    }
+    let objective = Opt2Objective {
+        counts: counts.iter().map(|&c| c as f64).collect(),
+    };
+    let constraints = build_constraints(rmat);
+    let start = feasible_start(rmat);
+    let solver = BarrierSolver::new(&objective, &constraints, BarrierOptions::default());
+    let result = solver
+        .solve(&start)
+        .map_err(|e| SolveError::Numerical(e.to_string()))?;
+    Ok(result.x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+
+    fn uniform_rmat(eps: f64, t: usize) -> Vec<Vec<f64>> {
+        vec![vec![eps; t]; t]
+    }
+
+    #[test]
+    fn single_level_recovers_oue() {
+        // Objective increasing in b, binding constraint (e^ε + 1) b >= 1 ⇒
+        // b* = 1/(e^ε + 1): exactly OUE.
+        let eps = 1.5_f64;
+        let bs = solve_bs(&uniform_rmat(eps, 1), &[10]).unwrap();
+        assert!((bs[0] - 1.0 / (eps.exp() + 1.0)).abs() < 1e-5, "b={bs:?}");
+    }
+
+    #[test]
+    fn uniform_levels_recover_oue_each() {
+        let eps = 2.0_f64;
+        let bs = solve_bs(&uniform_rmat(eps, 4), &[3, 3, 3, 3]).unwrap();
+        for &b in &bs {
+            assert!((b - 1.0 / (eps.exp() + 1.0)).abs() < 1e-5, "b={bs:?}");
+        }
+    }
+
+    #[test]
+    fn sensitive_level_gets_larger_b() {
+        // Level 0 (ε=1) needs more noise than level 1 (ε=4).
+        let rmat = vec![vec![1.0, 1.0], vec![1.0, 4.0]];
+        let bs = solve_bs(&rmat, &[1, 9]).unwrap();
+        assert!(bs[0] > bs[1], "b={bs:?}");
+        // Every constraint satisfied.
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(
+                    rmat[i][j].exp() * bs[i] + bs[j] >= 1.0 - 1e-6,
+                    "pair ({i},{j}) b={bs:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_constraints_bind_between_levels() {
+        // With very different budgets the binding pair is the cross pair:
+        // e^{min ε} b₀ + b₁ >= 1 couples the levels.
+        let rmat = vec![vec![1.0, 1.0], vec![1.0, 6.0]];
+        let bs = solve_bs(&rmat, &[5, 5]).unwrap();
+        let cross = 1.0_f64.exp() * bs[0] + bs[1];
+        assert!(cross < 1.0 + 1e-3, "cross constraint should be near-active: {cross}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let obj = Opt2Objective {
+            counts: vec![4.0, 6.0],
+        };
+        let x = [0.2, 0.35];
+        let mut grad = [0.0; 2];
+        obj.gradient(&x, &mut grad);
+        let h = 1e-7;
+        for i in 0..2 {
+            let mut xp = x;
+            xp[i] += h;
+            let mut xm = x;
+            xm[i] -= h;
+            let fd = (obj.value(&xp) - obj.value(&xm)) / (2.0 * h);
+            assert!((grad[i] - fd).abs() < 1e-4, "i={i} grad={} fd={fd}", grad[i]);
+        }
+    }
+
+    #[test]
+    fn start_point_is_strictly_feasible() {
+        for rmat in [
+            uniform_rmat(0.4, 3),
+            vec![vec![1.0, 1.0], vec![1.0, 8.0]],
+            vec![
+                vec![0.7, 0.7, 0.7],
+                vec![0.7, 1.4, 1.4],
+                vec![0.7, 1.4, 2.8],
+            ],
+        ] {
+            let cons = build_constraints(&rmat);
+            let x0 = feasible_start(&rmat);
+            assert!(cons.is_strictly_feasible(&x0, 0.0), "rmat={rmat:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(solve_bs(&[], &[]).is_err());
+        assert!(solve_bs(&uniform_rmat(1.0, 2), &[1, 2, 3]).is_err());
+    }
+}

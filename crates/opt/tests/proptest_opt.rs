@@ -1,0 +1,138 @@
+//! Property tests for the optimization models: feasibility, reductions,
+//! dominance, and policy-graph behaviour over randomized instances.
+
+use idldp_core::budget::Epsilon;
+use idldp_core::levels::LevelPartition;
+use idldp_core::notion::RFunction;
+use idldp_core::policy::PolicyGraph;
+use idldp_opt::{worst_case_objective, IdueSolver, Model};
+use proptest::prelude::*;
+
+/// Strategy: 2–4 strictly increasing budgets in [0.2, 5], with per-level
+/// item counts in 1..=20.
+fn arb_instance() -> impl Strategy<Value = LevelPartition> {
+    (2usize..=4).prop_flat_map(|t| {
+        (
+            proptest::collection::vec(0.2f64..2.0, t),
+            proptest::collection::vec(1usize..=20, t),
+        )
+            .prop_map(move |(increments, counts)| {
+                let mut eps = Vec::with_capacity(t);
+                let mut acc = 0.0;
+                for inc in increments {
+                    acc += inc;
+                    eps.push(Epsilon::new(acc).unwrap());
+                }
+                let mut level_of = Vec::new();
+                for (lvl, &c) in counts.iter().enumerate() {
+                    level_of.extend(std::iter::repeat_n(lvl, c));
+                }
+                LevelPartition::new(level_of, eps).unwrap()
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Both convex models always return feasible parameters, and the
+    /// worst-case objective never beats opt0's superset search… checked the
+    /// cheap direction: each convex solution is a feasible point, so opt0's
+    /// value (which includes them as seeds) is <= both.
+    #[test]
+    fn convex_models_feasible_and_opt0_dominates(levels in arb_instance()) {
+        let counts = levels.counts();
+        let p1 = IdueSolver::new(Model::Opt1).solve(&levels).unwrap();
+        prop_assert!(p1.verify(&levels, RFunction::Min, 1e-6).is_ok());
+        let p2 = IdueSolver::new(Model::Opt2).solve(&levels).unwrap();
+        prop_assert!(p2.verify(&levels, RFunction::Min, 1e-6).is_ok());
+        let p0 = IdueSolver::new(Model::Opt0).solve(&levels).unwrap();
+        prop_assert!(p0.verify(&levels, RFunction::Min, 1e-6).is_ok());
+        let (v0, v1, v2) = (
+            worst_case_objective(&p0, counts),
+            worst_case_objective(&p1, counts),
+            worst_case_objective(&p2, counts),
+        );
+        prop_assert!(v0 <= v1 + 1e-6, "opt0 {v0} vs opt1 {v1}");
+        prop_assert!(v0 <= v2 + 1e-6, "opt0 {v0} vs opt2 {v2}");
+    }
+
+    /// opt1 solutions have the RAPPOR structure (a + b = 1); opt2 solutions
+    /// the OUE structure (a = 1/2).
+    #[test]
+    fn structural_reductions(levels in arb_instance()) {
+        let p1 = IdueSolver::new(Model::Opt1).solve(&levels).unwrap();
+        for i in 0..p1.num_levels() {
+            prop_assert!((p1.a()[i] + p1.b()[i] - 1.0).abs() < 1e-9);
+        }
+        let p2 = IdueSolver::new(Model::Opt2).solve(&levels).unwrap();
+        for i in 0..p2.num_levels() {
+            prop_assert!((p2.a()[i] - 0.5).abs() < 1e-12);
+        }
+    }
+
+    /// Scaling every budget up can only improve (or preserve) utility.
+    #[test]
+    fn utility_monotone_in_budgets(levels in arb_instance(), scale in 1.1f64..2.0) {
+        let counts = levels.counts().to_vec();
+        let scaled = LevelPartition::new(
+            levels.level_map().to_vec(),
+            levels
+                .budgets()
+                .iter()
+                .map(|e| Epsilon::new(e.get() * scale).unwrap())
+                .collect(),
+        )
+        .unwrap();
+        for model in [Model::Opt1, Model::Opt2] {
+            let base = worst_case_objective(
+                &IdueSolver::new(model).solve(&levels).unwrap(),
+                &counts,
+            );
+            let better = worst_case_objective(
+                &IdueSolver::new(model).solve(&scaled).unwrap(),
+                &counts,
+            );
+            prop_assert!(
+                better <= base + 1e-6,
+                "{model:?}: scaled {better} vs base {base}"
+            );
+        }
+    }
+
+    /// Removing policy-graph edges can only improve (or preserve) the
+    /// objective, and the solution still satisfies the remaining edges.
+    #[test]
+    fn sparser_policy_never_hurts(levels in arb_instance()) {
+        let t = levels.num_levels();
+        let counts = levels.counts();
+        let complete = IdueSolver::new(Model::Opt1).solve(&levels).unwrap();
+        let v_complete = worst_case_objective(&complete, counts);
+        // Keep only consecutive-level edges.
+        let edges: Vec<(usize, usize)> = (0..t - 1).map(|i| (i, i + 1)).collect();
+        let graph = PolicyGraph::from_edges(t, &edges).unwrap();
+        let sparse = IdueSolver::new(Model::Opt1)
+            .with_policy(graph.clone())
+            .solve(&levels)
+            .unwrap();
+        let v_sparse = worst_case_objective(&sparse, counts);
+        prop_assert!(v_sparse <= v_complete + 1e-6);
+        prop_assert!(graph
+            .verify_params(&sparse, &levels, RFunction::Min, 1e-6)
+            .is_ok());
+    }
+
+    /// The r-function ordering carries to utility: min is the strictest
+    /// notion, so its objective is the worst (largest).
+    #[test]
+    fn r_function_utility_ordering(levels in arb_instance()) {
+        let counts = levels.counts();
+        let mut values = Vec::new();
+        for r in [RFunction::Min, RFunction::Avg, RFunction::Max] {
+            let p = IdueSolver::new(Model::Opt1).with_r(r).solve(&levels).unwrap();
+            values.push(worst_case_objective(&p, counts));
+        }
+        prop_assert!(values[0] >= values[1] - 1e-6, "min {} avg {}", values[0], values[1]);
+        prop_assert!(values[1] >= values[2] - 1e-6, "avg {} max {}", values[1], values[2]);
+    }
+}

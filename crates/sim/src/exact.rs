@@ -1,0 +1,198 @@
+//! Exact per-user simulation of the client/server pipeline.
+//!
+//! Every user independently encodes and perturbs her input (Algorithm 1 or
+//! 3 literally) and the server sums the reported bit vectors. This is the
+//! ground-truth execution path — `O(n·m)` Bernoulli draws — used to
+//! validate the fast aggregate path and to benchmark realistic client-side
+//! throughput. Users are sharded across threads; each user gets an
+//! independent RNG stream derived from the experiment seed, so results are
+//! deterministic regardless of thread count.
+
+use idldp_core::idue::Idue;
+use idldp_core::idue_ps::IduePs;
+use idldp_data::dataset::{ItemSetDataset, SingleItemDataset};
+use idldp_num::rng::stream_rng;
+
+/// Number of worker threads: all available cores, capped to keep shard
+/// bookkeeping cheap for small inputs.
+fn worker_count(n: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(n.max(1)).min(32)
+}
+
+/// Runs the exact single-item pipeline: every user perturbs her item, the
+/// server sums the bits. Returns per-bit counts (length `m`).
+pub fn run_single_item(mechanism: &Idue, dataset: &SingleItemDataset, seed: u64) -> Vec<u64> {
+    assert_eq!(
+        mechanism.domain_size(),
+        dataset.domain_size(),
+        "mechanism/dataset domain mismatch"
+    );
+    let items = dataset.items();
+    let n = items.len();
+    let m = mechanism.domain_size();
+    let workers = worker_count(n);
+    let chunk = n.div_ceil(workers);
+    let mut partials: Vec<Vec<u64>> = Vec::with_capacity(workers);
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            let shard = &items[lo..hi];
+            handles.push(scope.spawn(move |_| {
+                let mut counts = vec![0u64; m];
+                for (offset, &item) in shard.iter().enumerate() {
+                    // Stream index = user index → thread-count independent.
+                    let mut rng = stream_rng(seed, (lo + offset) as u64);
+                    let y = mechanism.perturb_item(item as usize, &mut rng);
+                    for (c, bit) in counts.iter_mut().zip(&y) {
+                        *c += *bit as u64;
+                    }
+                }
+                counts
+            }));
+        }
+        for h in handles {
+            partials.push(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("scope failed");
+    let mut total = vec![0u64; m];
+    for p in partials {
+        for (t, v) in total.iter_mut().zip(p) {
+            *t += v;
+        }
+    }
+    total
+}
+
+/// Runs the exact item-set pipeline (Algorithm 3 per user). Returns per-bit
+/// counts over all `m + ℓ` bits; the estimator uses the first `m`.
+pub fn run_item_set(mechanism: &IduePs, dataset: &ItemSetDataset, seed: u64) -> Vec<u64> {
+    assert_eq!(
+        mechanism.domain_size(),
+        dataset.domain_size(),
+        "mechanism/dataset domain mismatch"
+    );
+    let sets = dataset.sets();
+    let n = sets.len();
+    let bits = mechanism.domain_size() + mechanism.padding_length();
+    let workers = worker_count(n);
+    let chunk = n.div_ceil(workers);
+    let mut partials: Vec<Vec<u64>> = Vec::with_capacity(workers);
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            let shard = &sets[lo..hi];
+            handles.push(scope.spawn(move |_| {
+                let mut counts = vec![0u64; bits];
+                let mut scratch: Vec<usize> = Vec::new();
+                for (offset, set) in shard.iter().enumerate() {
+                    let mut rng = stream_rng(seed, (lo + offset) as u64);
+                    scratch.clear();
+                    scratch.extend(set.iter().map(|&i| i as usize));
+                    let y = mechanism.perturb_set(&scratch, &mut rng);
+                    for (c, bit) in counts.iter_mut().zip(&y) {
+                        *c += *bit as u64;
+                    }
+                }
+                counts
+            }));
+        }
+        for h in handles {
+            partials.push(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("scope failed");
+    let mut total = vec![0u64; bits];
+    for p in partials {
+        for (t, v) in total.iter_mut().zip(p) {
+            *t += v;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idldp_core::budget::Epsilon;
+    use idldp_core::levels::LevelPartition;
+    use idldp_core::params::LevelParams;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn small_idue(m: usize) -> Idue {
+        Idue::oue(m, eps(2.0)).unwrap()
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mech = small_idue(6);
+        let items: Vec<u32> = (0..500).map(|i| (i % 6) as u32).collect();
+        let ds = SingleItemDataset::new(items, 6);
+        let c1 = run_single_item(&mech, &ds, 42);
+        let c2 = run_single_item(&mech, &ds, 42);
+        assert_eq!(c1, c2);
+        let c3 = run_single_item(&mech, &ds, 43);
+        assert_ne!(c1, c3);
+    }
+
+    #[test]
+    fn counts_calibrate_back_to_truth() {
+        let m = 5;
+        let mech = small_idue(m);
+        let n = 30_000usize;
+        // 60% item 0, 40% item 3.
+        let items: Vec<u32> = (0..n).map(|i| if i % 5 < 3 { 0 } else { 3 }).collect();
+        let ds = SingleItemDataset::new(items, m);
+        let counts = run_single_item(&mech, &ds, 7);
+        let est = mech.estimator(n as u64).estimate(&counts).unwrap();
+        let truth = ds.true_counts();
+        for i in 0..m {
+            assert!(
+                (est[i] - truth[i]).abs() < 0.05 * n as f64,
+                "item {i}: est {} truth {}",
+                est[i],
+                truth[i]
+            );
+        }
+    }
+
+    #[test]
+    fn item_set_pipeline_runs_and_calibrates() {
+        let levels = LevelPartition::uniform(4, eps(2.0)).unwrap();
+        let params = LevelParams::new(vec![0.5], vec![1.0 / (2.0_f64.exp() + 1.0)]).unwrap();
+        let mech = IduePs::new(levels, &params, 2).unwrap();
+        let n = 30_000usize;
+        let sets: Vec<Vec<u32>> = (0..n).map(|_| vec![0, 2]).collect();
+        let ds = ItemSetDataset::new(sets, 4);
+        let counts = run_item_set(&mech, &ds, 9);
+        assert_eq!(counts.len(), 6);
+        let est = mech.estimator(n as u64).estimate(&counts[..4]).unwrap();
+        assert!((est[0] - n as f64).abs() < 0.08 * n as f64, "est {est:?}");
+        assert!((est[2] - n as f64).abs() < 0.08 * n as f64, "est {est:?}");
+        assert!(est[1].abs() < 0.08 * n as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "domain mismatch")]
+    fn domain_mismatch_panics() {
+        let mech = small_idue(4);
+        let ds = SingleItemDataset::new(vec![0, 1], 3);
+        let _ = run_single_item(&mech, &ds, 1);
+    }
+}

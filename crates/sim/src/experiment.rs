@@ -1,0 +1,338 @@
+//! Multi-trial experiment runners.
+//!
+//! An experiment fixes a dataset and a level partition, builds each
+//! requested mechanism once, and repeats the (aggregate-path) pipeline over
+//! seeded trials. Reported numbers:
+//!
+//! * **empirical MSE** — mean over trials of the total squared error
+//!   `Σ_i (ĉ_i − c*_i)²` (what the paper's Figs. 3–5 plot), with its
+//!   standard error;
+//! * **top-k MSE** — the same restricted to the k most frequent items
+//!   (Fig. 5's right-hand panels, k = 5);
+//! * **theoretical MSE** — Eq. 9 evaluated at the true/expected hot counts,
+//!   plus the squared sampling bias for PS mechanisms (the estimator is
+//!   biased when sets exceed the padding length — the paper's Fig. 5
+//!   discussion).
+
+use crate::aggregate;
+use crate::metrics;
+use crate::spec::{build_item_set, build_single_item, BuildError, MechanismSpec};
+use idldp_core::levels::LevelPartition;
+use idldp_data::dataset::{ItemSetDataset, SingleItemDataset};
+use idldp_num::rng::derive_seed;
+use idldp_num::stats::RunningStats;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// One trial's error metrics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrialOutcome {
+    /// Total squared error over all items.
+    pub total_se: f64,
+    /// Squared error over the top-k most frequent items.
+    pub topk_se: f64,
+}
+
+/// Aggregated result for one mechanism.
+#[derive(Clone, Debug)]
+pub struct MechanismResult {
+    /// Display name (paper legend).
+    pub name: String,
+    /// Mean empirical total MSE over trials.
+    pub empirical_mse: f64,
+    /// Standard error of the empirical MSE.
+    pub empirical_mse_stderr: f64,
+    /// Mean empirical top-k MSE over trials.
+    pub empirical_topk_mse: f64,
+    /// Theoretical total MSE (Eq. 9; plus sampling-bias² for PS).
+    pub theoretical_mse: f64,
+    /// The plain-LDP budget the built mechanism actually provides
+    /// (diagnostic: shows how much MinID-LDP relaxed the worst case).
+    pub ldp_epsilon: f64,
+    /// Raw per-trial outcomes.
+    pub trials: Vec<TrialOutcome>,
+}
+
+/// Single-item experiment (Fig. 3 and Fig. 4(a)).
+pub struct SingleItemExperiment<'a> {
+    dataset: &'a SingleItemDataset,
+    levels: LevelPartition,
+    trials: usize,
+    seed: u64,
+    top_k: usize,
+}
+
+impl<'a> SingleItemExperiment<'a> {
+    /// Creates an experiment over `dataset` with per-item budgets `levels`.
+    ///
+    /// # Panics
+    /// Panics if the level partition's domain differs from the dataset's or
+    /// `trials == 0`.
+    pub fn new(
+        dataset: &'a SingleItemDataset,
+        levels: LevelPartition,
+        trials: usize,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            levels.num_items(),
+            dataset.domain_size(),
+            "levels/dataset domain mismatch"
+        );
+        assert!(trials > 0, "need at least one trial");
+        Self {
+            dataset,
+            levels,
+            trials,
+            seed,
+            top_k: 5,
+        }
+    }
+
+    /// Overrides the top-k size (default 5, as in Fig. 5).
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = k;
+        self
+    }
+
+    /// Runs all `specs`, returning one result per spec in order.
+    pub fn run(&self, specs: &[MechanismSpec]) -> Result<Vec<MechanismResult>, BuildError> {
+        let truth = self.dataset.true_counts();
+        let top = self.dataset.top_k(self.top_k);
+        let n = self.dataset.num_users() as u64;
+        let mut results = Vec::with_capacity(specs.len());
+        for (si, &spec) in specs.iter().enumerate() {
+            let mechanism = build_single_item(spec, &self.levels, None)?;
+            let estimator = mechanism.estimator(n);
+            let theoretical = estimator
+                .theoretical_total_mse(&truth)
+                .expect("estimator sized to domain");
+            let mut mse = RunningStats::new();
+            let mut topk = RunningStats::new();
+            let mut trials = Vec::with_capacity(self.trials);
+            for trial in 0..self.trials {
+                let stream = derive_seed(self.seed, ((si as u64) << 32) | trial as u64);
+                let mut rng = StdRng::seed_from_u64(stream);
+                let counts = aggregate::run_single_item(&mut rng, &mechanism, self.dataset);
+                let est = estimator.estimate(&counts).expect("sized counts");
+                let outcome = TrialOutcome {
+                    total_se: metrics::total_squared_error(&est, &truth),
+                    topk_se: metrics::squared_error_on(&est, &truth, &top),
+                };
+                mse.push(outcome.total_se);
+                topk.push(outcome.topk_se);
+                trials.push(outcome);
+            }
+            results.push(MechanismResult {
+                name: spec.name(),
+                empirical_mse: mse.mean(),
+                empirical_mse_stderr: mse.std_err(),
+                empirical_topk_mse: topk.mean(),
+                theoretical_mse: theoretical,
+                ldp_epsilon: mechanism.ldp_epsilon(),
+                trials,
+            });
+        }
+        Ok(results)
+    }
+}
+
+/// Item-set experiment (Fig. 4(b) and Fig. 5).
+pub struct ItemSetExperiment<'a> {
+    dataset: &'a ItemSetDataset,
+    levels: LevelPartition,
+    padding: usize,
+    trials: usize,
+    seed: u64,
+    top_k: usize,
+}
+
+impl<'a> ItemSetExperiment<'a> {
+    /// Creates an experiment with padding length `padding` (the ℓ of
+    /// Algorithm 2).
+    ///
+    /// # Panics
+    /// Panics on domain mismatch, `trials == 0`, or `padding == 0`.
+    pub fn new(
+        dataset: &'a ItemSetDataset,
+        levels: LevelPartition,
+        padding: usize,
+        trials: usize,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            levels.num_items(),
+            dataset.domain_size(),
+            "levels/dataset domain mismatch"
+        );
+        assert!(trials > 0, "need at least one trial");
+        assert!(padding > 0, "padding length must be positive");
+        Self {
+            dataset,
+            levels,
+            padding,
+            trials,
+            seed,
+            top_k: 5,
+        }
+    }
+
+    /// Overrides the top-k size (default 5, as in Fig. 5).
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = k;
+        self
+    }
+
+    /// Runs all `specs`, returning one result per spec in order.
+    pub fn run(&self, specs: &[MechanismSpec]) -> Result<Vec<MechanismResult>, BuildError> {
+        let truth = self.dataset.true_counts();
+        let top = self.dataset.top_k(self.top_k);
+        let n = self.dataset.num_users() as u64;
+        let expected_hot = aggregate::expected_sampled_counts(self.dataset, self.padding);
+        let mut results = Vec::with_capacity(specs.len());
+        for (si, &spec) in specs.iter().enumerate() {
+            let mechanism = build_item_set(spec, &self.levels, self.padding, None)?;
+            let estimator = mechanism.estimator(n);
+            // Theoretical: variance at the expected hot counts + bias².
+            // E[ĉ_i] = ℓ·E[S_i]; bias_i = ℓ·E[S_i] − c*_i.
+            let mut theoretical = estimator
+                .theoretical_total_mse(&expected_hot)
+                .expect("estimator sized to domain");
+            for (i, &h) in expected_hot.iter().enumerate() {
+                let bias = self.padding as f64 * h - truth[i];
+                theoretical += bias * bias;
+            }
+            let mut mse = RunningStats::new();
+            let mut topk = RunningStats::new();
+            let mut trials = Vec::with_capacity(self.trials);
+            for trial in 0..self.trials {
+                let stream = derive_seed(self.seed, ((si as u64) << 32) | trial as u64);
+                let mut rng = StdRng::seed_from_u64(stream);
+                let counts = aggregate::run_item_set(&mut rng, &mechanism, self.dataset);
+                let m = self.dataset.domain_size();
+                let est = estimator.estimate(&counts[..m]).expect("sized counts");
+                let outcome = TrialOutcome {
+                    total_se: metrics::total_squared_error(&est, &truth),
+                    topk_se: metrics::squared_error_on(&est, &truth, &top),
+                };
+                mse.push(outcome.total_se);
+                topk.push(outcome.topk_se);
+                trials.push(outcome);
+            }
+            results.push(MechanismResult {
+                name: spec.name(),
+                empirical_mse: mse.mean(),
+                empirical_mse_stderr: mse.std_err(),
+                empirical_topk_mse: topk.mean(),
+                theoretical_mse: theoretical,
+                ldp_epsilon: mechanism.unary_encoding().ldp_epsilon(),
+                trials,
+            });
+        }
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idldp_core::budget::Epsilon;
+    use idldp_data::budgets::BudgetScheme;
+    use idldp_data::synthetic;
+    use idldp_num::rng::SplitMix64;
+    use idldp_opt::Model;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn single_item_experiment_shapes() {
+        let mut rng = SplitMix64::new(1);
+        let ds = synthetic::power_law_with(&mut rng, 20_000, 40, 2.0);
+        let levels = BudgetScheme::paper_default()
+            .assign(40, eps(1.0), &mut rng)
+            .unwrap();
+        let exp = SingleItemExperiment::new(&ds, levels, 3, 99);
+        let specs = [
+            MechanismSpec::Rappor,
+            MechanismSpec::Oue,
+            MechanismSpec::Idue(Model::Opt1),
+        ];
+        let results = exp.run(&specs).unwrap();
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            assert_eq!(r.trials.len(), 3);
+            assert!(r.empirical_mse > 0.0);
+            assert!(r.theoretical_mse > 0.0);
+            // Empirical within a loose factor of theoretical (3 trials only).
+            let ratio = r.empirical_mse / r.theoretical_mse;
+            assert!((0.3..3.0).contains(&ratio), "{}: ratio {ratio}", r.name);
+        }
+        // IDUE must beat both baselines under the skewed default budgets.
+        assert!(
+            results[2].empirical_mse < results[0].empirical_mse,
+            "IDUE {} vs RAPPOR {}",
+            results[2].empirical_mse,
+            results[0].empirical_mse
+        );
+        assert!(
+            results[2].empirical_mse < results[1].empirical_mse,
+            "IDUE {} vs OUE {}",
+            results[2].empirical_mse,
+            results[1].empirical_mse
+        );
+    }
+
+    #[test]
+    fn experiment_reproducible_under_seed() {
+        let mut rng = SplitMix64::new(2);
+        let ds = synthetic::uniform_with(&mut rng, 5_000, 20);
+        let levels = BudgetScheme::paper_default()
+            .assign(20, eps(1.0), &mut rng)
+            .unwrap();
+        let specs = [MechanismSpec::Oue];
+        let r1 = SingleItemExperiment::new(&ds, levels.clone(), 2, 7)
+            .run(&specs)
+            .unwrap();
+        let r2 = SingleItemExperiment::new(&ds, levels, 2, 7)
+            .run(&specs)
+            .unwrap();
+        assert_eq!(r1[0].empirical_mse, r2[0].empirical_mse);
+    }
+
+    #[test]
+    fn item_set_experiment_runs() {
+        let mut rng = SplitMix64::new(3);
+        let cfg = idldp_data::kosarak::KosarakConfig {
+            users: 10_000,
+            pages: 60,
+            mean_set_size: 4.0,
+            zipf_exponent: 1.2,
+            max_set_size: 30,
+        };
+        let ds = idldp_data::kosarak::generate(&mut rng, &cfg);
+        let levels = BudgetScheme::paper_default()
+            .assign(60, eps(2.0), &mut rng)
+            .unwrap();
+        let exp = ItemSetExperiment::new(&ds, levels, 4, 2, 5);
+        let results = exp
+            .run(&[MechanismSpec::Oue, MechanismSpec::Idue(Model::Opt2)])
+            .unwrap();
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(r.empirical_mse.is_finite() && r.empirical_mse > 0.0);
+            assert!(r.empirical_topk_mse <= r.empirical_mse + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "domain mismatch")]
+    fn mismatched_levels_panic() {
+        let mut rng = SplitMix64::new(4);
+        let ds = synthetic::uniform_with(&mut rng, 100, 10);
+        let levels = BudgetScheme::paper_default()
+            .assign(12, eps(1.0), &mut rng)
+            .unwrap();
+        let _ = SingleItemExperiment::new(&ds, levels, 1, 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # `idldp-sim` — end-to-end protocol simulation and experiments
+//!
+//! Glues mechanisms (`idldp-core`), solvers (`idldp-opt`) and datasets
+//! (`idldp-data`) into the client/server pipeline of the paper's Fig. 2 and
+//! runs the evaluation-section experiments:
+//!
+//! * [`spec`] — [`spec::MechanismSpec`]: which mechanism to run (RAPPOR,
+//!   OUE, or IDUE under one of the three optimization models), and builders
+//!   turning a spec plus a level partition into concrete mechanisms.
+//! * [`exact`] — the *exact* per-user simulation: every user one-hot
+//!   encodes and flips every bit (Algorithms 1/3 literally), parallelized
+//!   over users with crossbeam scoped threads.
+//! * [`aggregate`] — the *aggregate* simulation: per-bit counts drawn as
+//!   two binomials, distributionally identical to the exact path for
+//!   frequency estimation but `O(n + m)` instead of `O(n·m)`. The
+//!   equivalence is asserted statistically in tests and in the
+//!   `aggregate_vs_exact` integration test.
+//! * [`metrics`] — total/top-k squared-error metrics.
+//! * [`experiment`] — multi-trial seeded experiment runners producing the
+//!   rows behind the paper's Figs. 3–5.
+//! * [`report`] — fixed-width text tables and CSV output.
+
+pub mod aggregate;
+pub mod exact;
+pub mod experiment;
+pub mod heavy_hitters;
+pub mod metrics;
+pub mod report;
+pub mod spec;
+
+pub use experiment::{
+    ItemSetExperiment, MechanismResult, SingleItemExperiment, TrialOutcome,
+};
+pub use spec::MechanismSpec;

@@ -1,0 +1,200 @@
+//! Mechanism specifications: which protocol a simulated deployment runs.
+
+use idldp_core::error::Result as CoreResult;
+use idldp_core::idue::Idue;
+use idldp_core::idue_ps::IduePs;
+use idldp_core::levels::LevelPartition;
+use idldp_opt::{IdueSolver, Model, SolveError};
+
+/// A mechanism choice for an experiment.
+///
+/// RAPPOR and OUE satisfy plain ε-LDP and therefore must run at the *most
+/// conservative* budget `ε = min(E)` (the paper's comparison baseline);
+/// IDUE runs at the full per-level budgets under MinID-LDP.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MechanismSpec {
+    /// Symmetric UE (basic RAPPOR) at `min(E)`.
+    Rappor,
+    /// Optimized UE at `min(E)`.
+    Oue,
+    /// IDUE with per-level parameters from the given optimization model.
+    Idue(Model),
+}
+
+impl MechanismSpec {
+    /// Display name matching the paper's figure legends.
+    pub fn name(&self) -> String {
+        match self {
+            MechanismSpec::Rappor => "RAPPOR".into(),
+            MechanismSpec::Oue => "OUE".into(),
+            MechanismSpec::Idue(m) => format!("IDUE-{}", m.name()),
+        }
+    }
+
+    /// The five specs compared in Fig. 3, in legend order.
+    pub fn fig3_lineup() -> Vec<MechanismSpec> {
+        vec![
+            MechanismSpec::Rappor,
+            MechanismSpec::Oue,
+            MechanismSpec::Idue(Model::Opt0),
+            MechanismSpec::Idue(Model::Opt1),
+            MechanismSpec::Idue(Model::Opt2),
+        ]
+    }
+}
+
+/// Errors when building a mechanism from a spec.
+#[derive(Clone, Debug)]
+pub enum BuildError {
+    /// The optimizer failed.
+    Solve(SolveError),
+    /// Structural construction failed.
+    Core(String),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Solve(e) => write!(f, "solver: {e}"),
+            BuildError::Core(e) => write!(f, "construction: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<SolveError> for BuildError {
+    fn from(e: SolveError) -> Self {
+        BuildError::Solve(e)
+    }
+}
+
+fn core_err<T>(r: CoreResult<T>) -> Result<T, BuildError> {
+    r.map_err(|e| BuildError::Core(e.to_string()))
+}
+
+/// Builds a single-item mechanism for `levels` according to `spec`.
+///
+/// `solver` must match the model inside `Idue` specs (it is passed in so
+/// its cache persists across trials and sweep points).
+pub fn build_single_item(
+    spec: MechanismSpec,
+    levels: &LevelPartition,
+    solver: Option<&IdueSolver>,
+) -> Result<Idue, BuildError> {
+    let m = levels.num_items();
+    match spec {
+        MechanismSpec::Rappor => core_err(Idue::rappor(m, levels.min_budget())),
+        MechanismSpec::Oue => core_err(Idue::oue(m, levels.min_budget())),
+        MechanismSpec::Idue(model) => {
+            let owned;
+            let s = match solver {
+                Some(s) => {
+                    assert_eq!(s.model(), model, "solver/spec model mismatch");
+                    s
+                }
+                None => {
+                    owned = IdueSolver::new(model);
+                    &owned
+                }
+            };
+            let params = s.solve(levels)?;
+            core_err(Idue::new(levels.clone(), &params))
+        }
+    }
+}
+
+/// Builds an item-set mechanism (PS-wrapped) for `levels` with padding ℓ.
+pub fn build_item_set(
+    spec: MechanismSpec,
+    levels: &LevelPartition,
+    l: usize,
+    solver: Option<&IdueSolver>,
+) -> Result<IduePs, BuildError> {
+    let m = levels.num_items();
+    match spec {
+        MechanismSpec::Rappor => core_err(IduePs::rappor_ps(m, levels.min_budget(), l)),
+        MechanismSpec::Oue => core_err(IduePs::oue_ps(m, levels.min_budget(), l)),
+        MechanismSpec::Idue(model) => {
+            let owned;
+            let s = match solver {
+                Some(s) => {
+                    assert_eq!(s.model(), model, "solver/spec model mismatch");
+                    s
+                }
+                None => {
+                    owned = IdueSolver::new(model);
+                    &owned
+                }
+            };
+            let params = s.solve(levels)?;
+            core_err(IduePs::new(levels.clone(), &params, l))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idldp_core::budget::Epsilon;
+    use idldp_core::notion::RFunction;
+
+    fn levels() -> LevelPartition {
+        LevelPartition::new(
+            vec![0, 1, 1, 1, 1, 1],
+            vec![Epsilon::new(1.0).unwrap(), Epsilon::new(4.0).unwrap()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn names_match_paper_legends() {
+        assert_eq!(MechanismSpec::Rappor.name(), "RAPPOR");
+        assert_eq!(MechanismSpec::Oue.name(), "OUE");
+        assert_eq!(MechanismSpec::Idue(Model::Opt1).name(), "IDUE-opt1");
+        assert_eq!(MechanismSpec::fig3_lineup().len(), 5);
+    }
+
+    #[test]
+    fn baselines_run_at_min_budget() {
+        let l = levels();
+        let r = build_single_item(MechanismSpec::Rappor, &l, None).unwrap();
+        assert!((r.ldp_epsilon() - 1.0).abs() < 1e-9, "RAPPOR at min(E)");
+        let o = build_single_item(MechanismSpec::Oue, &l, None).unwrap();
+        assert!((o.ldp_epsilon() - 1.0).abs() < 1e-9, "OUE at min(E)");
+    }
+
+    #[test]
+    fn idue_spec_builds_feasible_mechanism() {
+        let l = levels();
+        for model in Model::ALL {
+            let m = build_single_item(MechanismSpec::Idue(model), &l, None).unwrap();
+            assert!(m.verify(RFunction::Min, 1e-6).is_ok(), "{model:?}");
+        }
+    }
+
+    #[test]
+    fn shared_solver_cache_reused() {
+        let l = levels();
+        let solver = IdueSolver::new(Model::Opt1);
+        let _ = build_single_item(MechanismSpec::Idue(Model::Opt1), &l, Some(&solver)).unwrap();
+        assert_eq!(solver.cache_len(), 1);
+        let _ = build_item_set(MechanismSpec::Idue(Model::Opt1), &l, 3, Some(&solver)).unwrap();
+        assert_eq!(solver.cache_len(), 1, "item-set build reuses the solve");
+    }
+
+    #[test]
+    #[should_panic(expected = "model mismatch")]
+    fn mismatched_solver_panics() {
+        let solver = IdueSolver::new(Model::Opt2);
+        let _ = build_single_item(MechanismSpec::Idue(Model::Opt1), &levels(), Some(&solver));
+    }
+
+    #[test]
+    fn item_set_builds() {
+        let l = levels();
+        let m = build_item_set(MechanismSpec::Oue, &l, 4, None).unwrap();
+        assert_eq!(m.padding_length(), 4);
+        assert_eq!(m.unary_encoding().num_bits(), 10);
+    }
+}

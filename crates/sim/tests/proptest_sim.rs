@@ -1,0 +1,119 @@
+//! Property tests for the simulation layer.
+
+use idldp_core::budget::Epsilon;
+use idldp_core::idue::Idue;
+use idldp_core::idue_ps::IduePs;
+use idldp_data::dataset::{ItemSetDataset, SingleItemDataset};
+use idldp_num::rng::SplitMix64;
+use idldp_sim::heavy_hitters;
+use idldp_sim::{aggregate, exact};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Aggregate counts are always within [0, n] per bit.
+    #[test]
+    fn aggregate_counts_in_range(
+        n in 10usize..2_000,
+        m in 2usize..20,
+        e in 0.3f64..4.0,
+        seed in any::<u64>(),
+    ) {
+        let mech = Idue::oue(m, Epsilon::new(e).unwrap()).unwrap();
+        let items: Vec<u32> = (0..n).map(|i| (i % m) as u32).collect();
+        let ds = SingleItemDataset::new(items, m);
+        let mut rng = SplitMix64::new(seed);
+        let counts = aggregate::run_single_item(&mut rng, &mech, &ds);
+        prop_assert_eq!(counts.len(), m);
+        prop_assert!(counts.iter().all(|&c| c <= n as u64));
+    }
+
+    /// Exact runs are deterministic in the seed and independent of how the
+    /// user set is chunked (same dataset twice → bit-identical).
+    #[test]
+    fn exact_run_deterministic(
+        n in 10usize..500,
+        m in 2usize..10,
+        seed in any::<u64>(),
+    ) {
+        let mech = Idue::rappor(m, Epsilon::new(1.0).unwrap()).unwrap();
+        let items: Vec<u32> = (0..n).map(|i| (i % m) as u32).collect();
+        let ds = SingleItemDataset::new(items, m);
+        prop_assert_eq!(
+            exact::run_single_item(&mech, &ds, seed),
+            exact::run_single_item(&mech, &ds, seed)
+        );
+    }
+
+    /// PS hot counts: exactly one sample per user, dummies only from
+    /// undersized sets.
+    #[test]
+    fn sampled_hot_counts_conserve_users(
+        n in 1usize..500,
+        l in 1usize..5,
+        set_size in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let m = 10;
+        let mech = IduePs::oue_ps(m, Epsilon::new(1.0).unwrap(), l).unwrap();
+        let set: Vec<u32> = (0..set_size.min(m)).map(|i| i as u32).collect();
+        let ds = ItemSetDataset::new(vec![set.clone(); n], m);
+        let mut rng = SplitMix64::new(seed);
+        let hot = aggregate::sampled_hot_counts(&mut rng, &mech, &ds);
+        prop_assert_eq!(hot.iter().sum::<u64>(), n as u64);
+        let dummy_total: u64 = hot[m..].iter().sum();
+        if set.len() >= l && !set.is_empty() {
+            prop_assert_eq!(dummy_total, 0, "no dummies when |x| >= l");
+        }
+        if set.is_empty() {
+            prop_assert_eq!(dummy_total, n as u64, "all dummies for empty sets");
+        }
+    }
+
+    /// Expected sampled counts sum to Σ_users η_x = Σ |x|/max(|x|, l).
+    #[test]
+    fn expected_sampled_mass(
+        sizes in proptest::collection::vec(0usize..8, 1..30),
+        l in 1usize..5,
+    ) {
+        let m = 8;
+        let sets: Vec<Vec<u32>> = sizes
+            .iter()
+            .map(|&s| (0..s.min(m)).map(|i| i as u32).collect())
+            .collect();
+        let ds = ItemSetDataset::new(sets.clone(), m);
+        let expected = aggregate::expected_sampled_counts(&ds, l);
+        let total: f64 = expected.iter().sum();
+        let want: f64 = sets
+            .iter()
+            .map(|s| s.len() as f64 / (s.len().max(l)) as f64)
+            .sum();
+        prop_assert!((total - want).abs() < 1e-9);
+    }
+
+    /// Top-k identification: always k distinct indices, and perfect on
+    /// noiseless input.
+    #[test]
+    fn top_k_identification_properties(
+        values in proptest::collection::vec(0.0f64..1000.0, 3..30),
+        k in 1usize..10,
+    ) {
+        let k = k.min(values.len());
+        let found = heavy_hitters::identify_top_k(&values, k);
+        prop_assert_eq!(found.len(), k);
+        let mut sorted = found.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), k, "indices must be distinct");
+        // Every selected value >= every unselected value.
+        let min_sel = found.iter().map(|&i| values[i]).fold(f64::INFINITY, f64::min);
+        for (i, &v) in values.iter().enumerate() {
+            if !found.contains(&i) {
+                prop_assert!(v <= min_sel + 1e-12);
+            }
+        }
+        let q = heavy_hitters::quality(&found, &found);
+        prop_assert_eq!(q.f1, 1.0);
+    }
+}

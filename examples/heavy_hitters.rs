@@ -1,0 +1,64 @@
+//! Heavy-hitter identification: does IDUE's utility gain carry over?
+//!
+//! The paper's future-work direction. We run the frequency-oracle-based
+//! top-k identification on a Zipf-like clickstream and compare F1 scores of
+//! RAPPOR / OUE / IDUE across trials: lower estimation variance should mean
+//! more reliable identification, especially at strict base budgets.
+//!
+//! Run: `cargo run --release --example heavy_hitters`
+
+use idldp::prelude::*;
+use idldp_data::budgets::BudgetScheme;
+use idldp_data::synthetic;
+use idldp_num::rng::stream_rng;
+use idldp_sim::heavy_hitters::{identify_top_k, quality};
+use idldp_sim::report::TextTable;
+use idldp_sim::spec::build_single_item;
+
+fn main() {
+    let seed = 5_u64;
+    let m = 150;
+    let k = 10;
+    let n = 60_000;
+    let dataset = synthetic::power_law_with(&mut stream_rng(seed, 0), n, m, 1.6);
+    let truth_topk = dataset.top_k(k);
+    println!(
+        "heavy hitters: n = {n}, m = {m}, identify top-{k} (power-law truth)\n"
+    );
+
+    let mut table = TextTable::new(&["eps", "mechanism", "mean F1", "mean precision", "mean recall"]);
+    for eps in [0.5_f64, 1.0, 2.0] {
+        let levels = BudgetScheme::paper_default()
+            .assign(m, Epsilon::new(eps).expect("positive"), &mut stream_rng(seed, 1))
+            .expect("valid assignment");
+        for (spec, name) in [
+            (MechanismSpec::Rappor, "RAPPOR"),
+            (MechanismSpec::Oue, "OUE"),
+            (MechanismSpec::Idue(Model::Opt0), "IDUE"),
+        ] {
+            let mech = build_single_item(spec, &levels, None).expect("buildable");
+            let est = mech.estimator(n as u64);
+            let trials = 20;
+            let (mut f1, mut pr, mut rc) = (0.0, 0.0, 0.0);
+            for t in 0..trials {
+                let mut rng = stream_rng(seed, 100 + t);
+                let counts = idldp_sim::aggregate::run_single_item(&mut rng, &mech, &dataset);
+                let estimates = est.estimate(&counts).expect("sized");
+                let found = identify_top_k(&estimates, k);
+                let q = quality(&found, &truth_topk);
+                f1 += q.f1 / trials as f64;
+                pr += q.precision / trials as f64;
+                rc += q.recall / trials as f64;
+            }
+            table.row(vec![
+                format!("{eps:.1}"),
+                name.into(),
+                format!("{f1:.3}"),
+                format!("{pr:.3}"),
+                format!("{rc:.3}"),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    println!("\nIDUE's F1 should dominate at strict budgets, where baseline noise drowns the tail hitters.");
+}

@@ -1,0 +1,56 @@
+//! Medical survey at scale: comparing mechanisms under skewed sensitivity.
+//!
+//! A disease registry with 200 conditions: a handful of highly sensitive
+//! diagnoses (HIV, cancers — strict budget), a band of moderate conditions,
+//! and a long tail of common complaints (loose budget). The example sweeps
+//! the base budget ε and shows the paper's central utility claim: IDUE
+//! under MinID-LDP beats RAPPOR and OUE, which must run everything at the
+//! strictest budget, and the advantage grows with budget skew.
+//!
+//! Run: `cargo run --release --example medical_survey`
+
+use idldp::prelude::*;
+use idldp_data::budgets::BudgetScheme;
+use idldp_data::synthetic;
+use idldp_num::rng::stream_rng;
+use idldp_sim::report::{sci, TextTable};
+
+fn main() {
+    let seed = 7_u64;
+    let m = 200;
+    // Disease frequencies follow a power law: a few common complaints
+    // dominate, serious diagnoses are rare — exactly the regime where
+    // over-protection hurts.
+    let dataset = synthetic::power_law_with(&mut stream_rng(seed, 0), 100_000, m, 2.0);
+
+    let specs = [
+        MechanismSpec::Rappor,
+        MechanismSpec::Oue,
+        MechanismSpec::Idue(Model::Opt0),
+        MechanismSpec::Idue(Model::Opt1),
+    ];
+
+    println!("medical survey: n = 100000 users, m = {m} conditions, power-law frequencies");
+    println!("privacy levels: {{eps, 1.2eps, 2eps, 4eps}} at {{5%, 5%, 5%, 85%}} of conditions\n");
+
+    let mut table = TextTable::new(&["eps", "mechanism", "total MSE", "vs OUE"]);
+    for eps in [0.5_f64, 1.0, 2.0] {
+        let levels = BudgetScheme::paper_default()
+            .assign(m, Epsilon::new(eps).expect("positive"), &mut stream_rng(seed, 1))
+            .expect("valid assignment");
+        let results = SingleItemExperiment::new(&dataset, levels, 10, seed)
+            .run(&specs)
+            .expect("experiment runs");
+        let oue_mse = results[1].empirical_mse;
+        for r in &results {
+            table.row(vec![
+                format!("{eps:.1}"),
+                r.name.clone(),
+                sci(r.empirical_mse),
+                format!("{:+.1}%", 100.0 * (r.empirical_mse - oue_mse) / oue_mse),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    println!("\nIDUE rows should be strictly below OUE; RAPPOR strictly above.");
+}

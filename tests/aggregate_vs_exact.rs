@@ -1,0 +1,117 @@
+//! Integration: the aggregate (binomial) simulation path is
+//! distributionally equivalent to the exact per-user path.
+//!
+//! DESIGN.md's key performance decision rests on this equivalence; we check
+//! the first two moments of the per-bit counts across repeated trials for
+//! both the single-item and the item-set pipelines.
+
+use idldp::prelude::*;
+use idldp_data::dataset::{ItemSetDataset, SingleItemDataset};
+use idldp_num::rng::stream_rng;
+use idldp_num::stats::RunningStats;
+
+#[test]
+fn single_item_paths_agree_in_distribution() {
+    let m = 6;
+    let n = 4_000usize;
+    let mech = Idue::oue(m, Epsilon::new(1.0).unwrap()).unwrap();
+    let items: Vec<u32> = (0..n).map(|i| (i % 3) as u32).collect(); // items 0..3 hot
+    let ds = SingleItemDataset::new(items, m);
+
+    let trials = 150u64;
+    let mut exact_stats: Vec<RunningStats> = (0..m).map(|_| RunningStats::new()).collect();
+    let mut aggregate_stats: Vec<RunningStats> = (0..m).map(|_| RunningStats::new()).collect();
+    for t in 0..trials {
+        let exact = idldp_sim::exact::run_single_item(&mech, &ds, 1000 + t);
+        for (s, &c) in exact_stats.iter_mut().zip(&exact) {
+            s.push(c as f64);
+        }
+        let mut rng = stream_rng(2000, t);
+        let agg = idldp_sim::aggregate::run_single_item(&mut rng, &mech, &ds);
+        for (s, &c) in aggregate_stats.iter_mut().zip(&agg) {
+            s.push(c as f64);
+        }
+    }
+
+    for i in 0..m {
+        let (e, a) = (&exact_stats[i], &aggregate_stats[i]);
+        // Means: compare within 5 combined standard errors.
+        let se = (e.variance() / trials as f64 + a.variance() / trials as f64).sqrt();
+        assert!(
+            (e.mean() - a.mean()).abs() < 5.0 * se + 1.0,
+            "bit {i}: exact mean {} vs aggregate mean {} (se {se})",
+            e.mean(),
+            a.mean()
+        );
+        // Variances: within a factor band (variance of the variance is
+        // larger; 150 trials ⇒ be generous).
+        let ratio = (e.variance() + 1.0) / (a.variance() + 1.0);
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "bit {i}: exact var {} vs aggregate var {}",
+            e.variance(),
+            a.variance()
+        );
+    }
+}
+
+#[test]
+fn item_set_paths_agree_in_distribution() {
+    let m = 5;
+    let l = 2;
+    let n = 3_000usize;
+    let mech = IduePs::oue_ps(m, Epsilon::new(1.5).unwrap(), l).unwrap();
+    let sets: Vec<Vec<u32>> = (0..n)
+        .map(|i| match i % 3 {
+            0 => vec![0, 1, 2],
+            1 => vec![3],
+            _ => vec![],
+        })
+        .collect();
+    let ds = ItemSetDataset::new(sets, m);
+
+    let trials = 150u64;
+    let bits = m + l;
+    let mut exact_stats: Vec<RunningStats> = (0..bits).map(|_| RunningStats::new()).collect();
+    let mut aggregate_stats: Vec<RunningStats> =
+        (0..bits).map(|_| RunningStats::new()).collect();
+    for t in 0..trials {
+        let exact = idldp_sim::exact::run_item_set(&mech, &ds, 3000 + t);
+        for (s, &c) in exact_stats.iter_mut().zip(&exact) {
+            s.push(c as f64);
+        }
+        let mut rng = stream_rng(4000, t);
+        let agg = idldp_sim::aggregate::run_item_set(&mut rng, &mech, &ds);
+        for (s, &c) in aggregate_stats.iter_mut().zip(&agg) {
+            s.push(c as f64);
+        }
+    }
+
+    for i in 0..bits {
+        let (e, a) = (&exact_stats[i], &aggregate_stats[i]);
+        let se = (e.variance() / trials as f64 + a.variance() / trials as f64).sqrt();
+        assert!(
+            (e.mean() - a.mean()).abs() < 5.0 * se + 1.0,
+            "bit {i}: exact mean {} vs aggregate mean {}",
+            e.mean(),
+            a.mean()
+        );
+    }
+}
+
+#[test]
+fn exact_path_thread_count_invariance() {
+    // The exact runner derives per-user RNG streams from the user index, so
+    // the result must not depend on how users are sharded. We can't change
+    // the thread count directly, but running twice must be bit-identical,
+    // and a single-user dataset exercises the one-shard edge.
+    let mech = Idue::oue(4, Epsilon::new(1.0).unwrap()).unwrap();
+    let single = SingleItemDataset::new(vec![2], 4);
+    let a = idldp_sim::exact::run_single_item(&mech, &single, 7);
+    let b = idldp_sim::exact::run_single_item(&mech, &single, 7);
+    assert_eq!(a, b);
+    let big = SingleItemDataset::new((0..10_000).map(|i| (i % 4) as u32).collect(), 4);
+    let a = idldp_sim::exact::run_single_item(&mech, &big, 8);
+    let b = idldp_sim::exact::run_single_item(&mech, &big, 8);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,155 @@
+//! Integration: the item-set pipeline (IDUE-PS) across crates.
+
+use idldp::prelude::*;
+use idldp_data::budgets::BudgetScheme;
+use idldp_data::kosarak::{generate, KosarakConfig};
+use idldp_num::rng::stream_rng;
+
+fn small_config() -> KosarakConfig {
+    KosarakConfig {
+        users: 20_000,
+        pages: 100,
+        mean_set_size: 5.0,
+        zipf_exponent: 1.2,
+        max_set_size: 40,
+    }
+}
+
+#[test]
+fn idue_ps_beats_ps_baselines() {
+    let seed = 201;
+    let ds = generate(&mut stream_rng(seed, 0), &small_config());
+    let levels = BudgetScheme::paper_default()
+        .assign(100, Epsilon::new(1.5).unwrap(), &mut stream_rng(seed, 1))
+        .unwrap();
+    let l = ds.percentile_set_size(0.9).max(1);
+    let results = ItemSetExperiment::new(&ds, levels, l, 6, seed)
+        .run(&[
+            MechanismSpec::Rappor,
+            MechanismSpec::Oue,
+            MechanismSpec::Idue(Model::Opt0),
+        ])
+        .unwrap();
+    assert!(
+        results[2].empirical_mse < results[1].empirical_mse,
+        "IDUE-PS {} vs OUE-PS {}",
+        results[2].empirical_mse,
+        results[1].empirical_mse
+    );
+    assert!(
+        results[2].empirical_mse < results[0].empirical_mse,
+        "IDUE-PS {} vs RAPPOR-PS {}",
+        results[2].empirical_mse,
+        results[0].empirical_mse
+    );
+}
+
+#[test]
+fn small_padding_biases_estimates_downward() {
+    // Fig. 5's discussion: with ℓ far below typical set sizes the actual
+    // sampling rate is < 1/ℓ, so ℓ·(calibrated counts) underestimates.
+    let seed = 202;
+    let n = 30_000usize;
+    // Every user holds the same 6 items.
+    let sets: Vec<Vec<u32>> = (0..n).map(|_| (0..6).collect()).collect();
+    let ds = idldp_data::dataset::ItemSetDataset::new(sets, 10);
+    let levels = LevelPartition::uniform(10, Epsilon::new(3.0).unwrap()).unwrap();
+    let params = IdueSolver::new(Model::Opt2).solve(&levels).unwrap();
+    let mech = IduePs::new(levels, &params, 2).unwrap(); // l = 2 << 6
+    let mut rng = stream_rng(seed, 0);
+    let counts = idldp_sim::aggregate::run_item_set(&mut rng, &mech, &ds);
+    let est = mech.estimator(n as u64).estimate(&counts[..10]).unwrap();
+    // True count of each held item is n, but sampling rate is 1/6 and the
+    // estimator multiplies by l = 2 → expect ≈ n/3.
+    for i in 0..6 {
+        assert!(
+            est[i] < 0.5 * n as f64,
+            "item {i} should be underestimated: {}",
+            est[i]
+        );
+        assert!(
+            (est[i] - n as f64 / 3.0).abs() < 0.08 * n as f64,
+            "item {i}: {} vs expected {}",
+            est[i],
+            n as f64 / 3.0
+        );
+    }
+}
+
+#[test]
+fn adequate_padding_is_unbiased() {
+    let seed = 203;
+    let n = 30_000usize;
+    let sets: Vec<Vec<u32>> = (0..n).map(|_| vec![1, 5]).collect();
+    let ds = idldp_data::dataset::ItemSetDataset::new(sets, 8);
+    let levels = LevelPartition::uniform(8, Epsilon::new(3.0).unwrap()).unwrap();
+    let params = IdueSolver::new(Model::Opt2).solve(&levels).unwrap();
+    let mech = IduePs::new(levels, &params, 3).unwrap(); // l = 3 >= |x| = 2
+    let trials = 40;
+    let mut mean = [0.0; 8];
+    for t in 0..trials {
+        let mut rng = stream_rng(seed, t);
+        let counts = idldp_sim::aggregate::run_item_set(&mut rng, &mech, &ds);
+        let est = mech.estimator(n as u64).estimate(&counts[..8]).unwrap();
+        for (m, v) in mean.iter_mut().zip(est) {
+            *m += v / trials as f64;
+        }
+    }
+    for (i, want) in [(1usize, n as f64), (5, n as f64), (0, 0.0), (7, 0.0)] {
+        assert!(
+            (mean[i] - want).abs() < 0.04 * n as f64,
+            "item {i}: mean {} want {want}",
+            mean[i]
+        );
+    }
+}
+
+#[test]
+fn padding_sweep_shows_bias_variance_tradeoff() {
+    // Total MSE should be large at ℓ = 1 (bias), dip, then grow again with
+    // ℓ (variance) — the U-ish shape of Fig. 5.
+    let seed = 204;
+    let ds = generate(&mut stream_rng(seed, 0), &small_config());
+    let levels = BudgetScheme::paper_default()
+        .assign(100, Epsilon::new(2.0).unwrap(), &mut stream_rng(seed, 1))
+        .unwrap();
+    let mut by_l = Vec::new();
+    for l in [1usize, 4, 16, 48] {
+        let results = ItemSetExperiment::new(&ds, levels.clone(), l, 4, seed)
+            .run(&[MechanismSpec::Idue(Model::Opt1)])
+            .unwrap();
+        by_l.push(results[0].empirical_mse);
+    }
+    // ℓ = 4 (near the mean set size 5) must beat both extremes.
+    assert!(by_l[1] < by_l[0], "l=4 {} vs l=1 {}", by_l[1], by_l[0]);
+    assert!(by_l[1] < by_l[3], "l=4 {} vs l=48 {}", by_l[1], by_l[3]);
+}
+
+#[test]
+fn dummy_bits_do_not_distort_real_estimates() {
+    // The estimator ignores dummy-bit counts entirely; estimates over the
+    // real domain must be insensitive to l's effect on the dummy bits.
+    let seed = 205;
+    let n = 20_000usize;
+    let sets: Vec<Vec<u32>> = (0..n).map(|i| vec![(i % 4) as u32]).collect();
+    let ds = idldp_data::dataset::ItemSetDataset::new(sets, 4);
+    let levels = LevelPartition::uniform(4, Epsilon::new(2.0).unwrap()).unwrap();
+    let params = IdueSolver::new(Model::Opt2).solve(&levels).unwrap();
+    for l in [1usize, 2, 5] {
+        let mech = IduePs::new(levels.clone(), &params, l).unwrap();
+        let trials = 30;
+        let mut mean0 = 0.0;
+        for t in 0..trials {
+            let mut rng = stream_rng(seed, (l as u64) << 32 | t);
+            let counts = idldp_sim::aggregate::run_item_set(&mut rng, &mech, &ds);
+            mean0 += mech.estimator(n as u64).estimate(&counts[..4]).unwrap()[0]
+                / trials as f64;
+        }
+        // Every user holds one item, so sampling rate = 1/max(1, l) and the
+        // l-scaling cancels: unbiased at every l.
+        assert!(
+            (mean0 - n as f64 / 4.0).abs() < 0.06 * n as f64,
+            "l={l}: mean {mean0}"
+        );
+    }
+}

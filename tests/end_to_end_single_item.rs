@@ -1,0 +1,158 @@
+//! Integration: the full single-item pipeline across crates.
+//!
+//! Dataset generation (`idldp-data`) → solver (`idldp-opt`) → mechanism
+//! (`idldp-core`) → simulation + estimation (`idldp-sim`), asserting the
+//! paper's headline utility ordering and statistical correctness.
+
+use idldp::prelude::*;
+use idldp_data::budgets::BudgetScheme;
+use idldp_data::synthetic;
+use idldp_num::rng::stream_rng;
+
+fn default_levels(m: usize, eps: f64, seed: u64) -> LevelPartition {
+    BudgetScheme::paper_default()
+        .assign(m, Epsilon::new(eps).unwrap(), &mut stream_rng(seed, 1))
+        .unwrap()
+}
+
+#[test]
+fn idue_beats_ldp_baselines_on_power_law() {
+    let seed = 101;
+    let ds = synthetic::power_law_with(&mut stream_rng(seed, 0), 50_000, 80, 2.0);
+    let levels = default_levels(80, 1.0, seed);
+    let results = SingleItemExperiment::new(&ds, levels, 8, seed)
+        .run(&[
+            MechanismSpec::Rappor,
+            MechanismSpec::Oue,
+            MechanismSpec::Idue(Model::Opt0),
+            MechanismSpec::Idue(Model::Opt1),
+            MechanismSpec::Idue(Model::Opt2),
+        ])
+        .unwrap();
+    let mse: Vec<f64> = results.iter().map(|r| r.empirical_mse).collect();
+    // Paper ordering: every IDUE variant beats both baselines (large gap —
+    // assert on the empirical means).
+    for idue in &mse[2..] {
+        assert!(idue < &mse[0], "IDUE {idue} vs RAPPOR {}", mse[0]);
+        assert!(idue < &mse[1], "IDUE {idue} vs OUE {}", mse[1]);
+    }
+    // OUE beats RAPPOR, but only by a few percent at ε = 1 — assert the
+    // ordering on the deterministic theoretical MSE, not on noisy trials.
+    assert!(
+        results[1].theoretical_mse < results[0].theoretical_mse,
+        "OUE must beat RAPPOR in theoretical MSE"
+    );
+}
+
+#[test]
+fn empirical_matches_theoretical_within_noise() {
+    // Fig. 3's "dashed ≈ solid" claim: with enough trials the mean
+    // empirical MSE concentrates on the Eq. 9 value.
+    let seed = 102;
+    let ds = synthetic::uniform_with(&mut stream_rng(seed, 0), 30_000, 60);
+    let levels = default_levels(60, 1.5, seed);
+    let results = SingleItemExperiment::new(&ds, levels, 30, seed)
+        .run(&[MechanismSpec::Oue, MechanismSpec::Idue(Model::Opt1)])
+        .unwrap();
+    for r in &results {
+        let ratio = r.empirical_mse / r.theoretical_mse;
+        assert!(
+            (0.8..1.2).contains(&ratio),
+            "{}: empirical {} vs theoretical {} (ratio {ratio})",
+            r.name,
+            r.empirical_mse,
+            r.theoretical_mse
+        );
+    }
+}
+
+#[test]
+fn uniform_budgets_make_idue_equal_oue() {
+    // With a single privacy level, opt2 *is* OUE: identical parameters,
+    // so identical theoretical MSE.
+    let seed = 103;
+    let ds = synthetic::uniform_with(&mut stream_rng(seed, 0), 10_000, 30);
+    let levels = LevelPartition::uniform(30, Epsilon::new(1.0).unwrap()).unwrap();
+    let results = SingleItemExperiment::new(&ds, levels, 3, seed)
+        .run(&[MechanismSpec::Oue, MechanismSpec::Idue(Model::Opt2)])
+        .unwrap();
+    let diff = (results[0].theoretical_mse - results[1].theoretical_mse).abs();
+    assert!(
+        diff / results[0].theoretical_mse < 1e-3,
+        "OUE {} vs IDUE-opt2 {}",
+        results[0].theoretical_mse,
+        results[1].theoretical_mse
+    );
+}
+
+#[test]
+fn skewed_budget_distribution_amplifies_advantage() {
+    // Fig. 4(a)'s claim: the IDUE advantage over OUE grows as more items
+    // sit at the loose 4ε level.
+    let seed = 104;
+    let m = 100;
+    let ds = synthetic::power_law_with(&mut stream_rng(seed, 0), 40_000, m, 2.0);
+    let mut advantages = Vec::new();
+    for weights in [[0.25, 0.25, 0.25, 0.25], [0.05, 0.05, 0.05, 0.85]] {
+        let levels = BudgetScheme::with_weights(weights)
+            .unwrap()
+            .assign(m, Epsilon::new(1.0).unwrap(), &mut stream_rng(seed, 1))
+            .unwrap();
+        let results = SingleItemExperiment::new(&ds, levels, 6, seed)
+            .run(&[MechanismSpec::Oue, MechanismSpec::Idue(Model::Opt0)])
+            .unwrap();
+        advantages.push(results[0].empirical_mse / results[1].empirical_mse);
+    }
+    assert!(
+        advantages[1] > advantages[0],
+        "skewed advantage {} must exceed uniform advantage {}",
+        advantages[1],
+        advantages[0]
+    );
+}
+
+#[test]
+fn estimates_are_unbiased_at_scale() {
+    // Average the estimator over many aggregate trials: the mean estimate
+    // must converge to the truth (Theorem 3).
+    let seed = 105;
+    let m = 20;
+    let ds = synthetic::power_law_with(&mut stream_rng(seed, 0), 20_000, m, 2.0);
+    let truth = ds.true_counts();
+    let levels = default_levels(m, 2.0, seed);
+    let params = IdueSolver::new(Model::Opt1).solve(&levels).unwrap();
+    let mech = Idue::new(levels, &params).unwrap();
+    let est = mech.estimator(ds.num_users() as u64);
+    let trials = 60;
+    let mut mean_est = vec![0.0; m];
+    for t in 0..trials {
+        let mut rng = stream_rng(seed, 100 + t);
+        let counts = idldp_sim::aggregate::run_single_item(&mut rng, &mech, &ds);
+        for (acc, v) in mean_est.iter_mut().zip(est.estimate(&counts).unwrap()) {
+            *acc += v / trials as f64;
+        }
+    }
+    for i in 0..m {
+        let tol = 4.0 * (est.theoretical_mse_bit(i, truth[i]) / trials as f64).sqrt() + 1.0;
+        assert!(
+            (mean_est[i] - truth[i]).abs() < tol,
+            "item {i}: mean {} truth {} tol {tol}",
+            mean_est[i],
+            truth[i]
+        );
+    }
+}
+
+#[test]
+fn mechanisms_actually_satisfy_their_claimed_notions() {
+    use idldp_core::audit::audit_unary_encoding;
+    let seed = 106;
+    let levels = default_levels(40, 1.0, seed);
+    for model in Model::ALL {
+        let params = IdueSolver::new(model).solve(&levels).unwrap();
+        let mech = Idue::new(levels.clone(), &params).unwrap();
+        let notion = mech.intended_notion();
+        audit_unary_encoding(mech.unary_encoding(), &notion, 1e-6)
+            .unwrap_or_else(|e| panic!("{model:?} violates MinID-LDP: {e}"));
+    }
+}
