@@ -1,17 +1,19 @@
 //! Criterion micro-benchmarks: client-side perturbation throughput.
 //!
-//! Measures one user's perturbation cost for GRR, RAPPOR/OUE/IDUE (unary
-//! encoding over m bits) and IDUE-PS (pad-and-sample plus m+ℓ bits), at the
-//! domain sizes of the paper's datasets.
+//! Measures one user's perturbation cost **through the unified trait API**
+//! (`dyn Mechanism::perturb_into` with a reused report buffer, plus the
+//! batched `BatchMechanism::perturb_batch` fast paths) for GRR,
+//! RAPPOR/OUE/IDUE (unary encoding over m bits) and IDUE-PS
+//! (pad-and-sample plus m+ℓ bits), at the domain sizes of the paper's
+//! datasets. Mechanisms are built through the registry, so a newly
+//! registered protocol can be benchmarked by adding its name to a list.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use idldp_core::budget::Epsilon;
-use idldp_core::grr::GeneralizedRandomizedResponse;
-use idldp_core::idue::Idue;
-use idldp_core::idue_ps::IduePs;
 use idldp_core::levels::LevelPartition;
-use idldp_opt::{IdueSolver, Model};
+use idldp_core::mechanism::{BatchMechanism, CountAccumulator, Input, InputBatch};
 use idldp_num::rng::stream_rng;
+use idldp_sim::{BuildContext, MechanismRegistry};
 use std::hint::black_box;
 
 fn eps(v: f64) -> Epsilon {
@@ -20,59 +22,93 @@ fn eps(v: f64) -> Epsilon {
 
 fn four_level(m: usize) -> LevelPartition {
     let budgets = vec![eps(1.0), eps(1.2), eps(2.0), eps(4.0)];
-    let level_of = (0..m).map(|i| if i % 20 < 17 { 3 } else { i % 20 % 3 }).collect();
+    let level_of = (0..m)
+        .map(|i| if i % 20 < 17 { 3 } else { i % 20 % 3 })
+        .collect();
     LevelPartition::new(level_of, budgets).unwrap()
 }
 
-fn bench_grr(c: &mut Criterion) {
-    let mut group = c.benchmark_group("perturb/grr");
-    for m in [16usize, 256, 4096] {
-        let mech = GeneralizedRandomizedResponse::new(eps(1.0), m).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
-            let mut rng = stream_rng(1, 0);
-            b.iter(|| black_box(mech.perturb(black_box(3), &mut rng).unwrap()));
-        });
+fn build(name: &str, m: usize, l: usize) -> Box<dyn BatchMechanism> {
+    let levels = four_level(m);
+    let ctx = BuildContext {
+        levels: &levels,
+        padding: l,
+        solver: None,
+    };
+    let reg = MechanismRegistry::standard();
+    if l > 0 {
+        reg.build_item_set(name, &ctx).unwrap()
+    } else {
+        reg.build_single_item(name, &ctx).unwrap()
+    }
+}
+
+fn bench_single_perturb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perturb/one-report");
+    for name in ["grr", "rappor", "oue", "idue-opt1"] {
+        for m in [100usize, 1000] {
+            let mech = build(name, m, 0);
+            let mut report = vec![0u8; mech.report_len()];
+            group.bench_with_input(BenchmarkId::new(name, m), &m, |b, _| {
+                let mut rng = stream_rng(1, 0);
+                b.iter(|| {
+                    mech.perturb_into(black_box(Input::Item(7 % m)), &mut rng, &mut report)
+                        .unwrap();
+                    black_box(report[0])
+                });
+            });
+        }
     }
     group.finish();
 }
 
-fn bench_unary(c: &mut Criterion) {
-    let mut group = c.benchmark_group("perturb/unary");
-    for m in [100usize, 1000] {
-        let oue = Idue::oue(m, eps(1.0)).unwrap();
-        group.bench_with_input(BenchmarkId::new("oue", m), &m, |b, _| {
-            let mut rng = stream_rng(2, 0);
-            b.iter(|| black_box(oue.perturb_item(black_box(7 % m), &mut rng)));
-        });
-        let levels = four_level(m);
-        let params = IdueSolver::new(Model::Opt1).solve(&levels).unwrap();
-        let idue = Idue::new(levels, &params).unwrap();
-        group.bench_with_input(BenchmarkId::new("idue-opt1", m), &m, |b, _| {
-            let mut rng = stream_rng(3, 0);
-            b.iter(|| black_box(idue.perturb_item(black_box(7 % m), &mut rng)));
-        });
-    }
-    group.finish();
-}
-
-fn bench_idue_ps(c: &mut Criterion) {
+fn bench_item_set_perturb(c: &mut Criterion) {
     let mut group = c.benchmark_group("perturb/idue-ps");
     for (m, l) in [(100usize, 4usize), (1000, 8)] {
-        let levels = four_level(m);
-        let params = IdueSolver::new(Model::Opt1).solve(&levels).unwrap();
-        let mech = IduePs::new(levels, &params, l).unwrap();
-        let set: Vec<usize> = (0..6).map(|i| i * (m / 7)).collect();
+        let mech = build("idue-opt1", m, l);
+        let set: Vec<u32> = (0..6).map(|i| (i * (m / 7)) as u32).collect();
+        let mut report = vec![0u8; mech.report_len()];
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("m{m}-l{l}")),
             &m,
             |b, _| {
                 let mut rng = stream_rng(4, 0);
-                b.iter(|| black_box(mech.perturb_set(black_box(&set), &mut rng)));
+                b.iter(|| {
+                    mech.perturb_into(black_box(Input::Set(&set)), &mut rng, &mut report)
+                        .unwrap();
+                    black_box(report[0])
+                });
             },
         );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_grr, bench_unary, bench_idue_ps);
+fn bench_batch_fast_paths(c: &mut Criterion) {
+    // The batched entry point: 1k users per call, accumulating counts
+    // directly (what the simulation pipeline runs per chunk).
+    let mut group = c.benchmark_group("perturb/batch-1k");
+    group.sample_size(10);
+    let users: Vec<u32> = (0..1000u32).map(|i| i % 100).collect();
+    for name in ["grr", "oue", "idue-opt1"] {
+        let mech = build(name, 100, 0);
+        group.bench_function(name, |b| {
+            let mut rng = stream_rng(9, 0);
+            b.iter(|| {
+                let mut acc = CountAccumulator::new(mech.report_len());
+                mech.perturb_batch(InputBatch::Items(&users), &mut rng, &mut acc)
+                    .unwrap();
+                black_box(acc.num_users())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_perturb,
+    bench_item_set_perturb,
+    bench_batch_fast_paths
+);
 criterion_main!(benches);

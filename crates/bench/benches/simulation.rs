@@ -1,24 +1,22 @@
-//! Criterion micro-benchmarks: exact vs aggregate simulation paths.
+//! Criterion micro-benchmarks: exact (parallel pipeline) vs aggregate
+//! simulation paths, both through the unified trait API.
 //!
-//! The ablation behind DESIGN.md's "two execution paths" decision: the
-//! exact path performs `n·m` Bernoulli draws, the aggregate path `O(n + m)`
-//! binomials. Both produce identically distributed server-side counts.
+//! The ablation behind the "two execution paths" decision: the exact path
+//! performs `n·m` Bernoulli draws (chunked across cores by
+//! `SimulationPipeline`), the aggregate path `O(n + m)` binomials. Both
+//! produce identically distributed server-side counts.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use idldp_core::budget::Epsilon;
 use idldp_core::idue::Idue;
 use idldp_core::idue_ps::IduePs;
-use idldp_data::dataset::{ItemSetDataset, SingleItemDataset};
+use idldp_core::mechanism::InputBatch;
 use idldp_num::rng::stream_rng;
-use idldp_sim::{aggregate, exact};
+use idldp_sim::{aggregate, SimulationPipeline};
 use std::hint::black_box;
 
 fn eps(v: f64) -> Epsilon {
     Epsilon::new(v).unwrap()
-}
-
-fn single_item_dataset(n: usize, m: usize) -> SingleItemDataset {
-    SingleItemDataset::new((0..n).map(|i| (i % m) as u32).collect(), m)
 }
 
 fn bench_single_item_paths(c: &mut Criterion) {
@@ -26,18 +24,38 @@ fn bench_single_item_paths(c: &mut Criterion) {
     group.sample_size(10);
     for (n, m) in [(10_000usize, 100usize), (50_000, 100)] {
         let mech = Idue::oue(m, eps(1.0)).unwrap();
-        let ds = single_item_dataset(n, m);
+        let items: Vec<u32> = (0..n).map(|i| (i % m) as u32).collect();
+        let pipeline = SimulationPipeline::new();
         group.bench_with_input(
-            BenchmarkId::new("exact", format!("n{n}-m{m}")),
-            &ds,
-            |b, ds| b.iter(|| black_box(exact::run_single_item(&mech, ds, 1))),
+            BenchmarkId::new("exact-parallel", format!("n{n}-m{m}")),
+            &items,
+            |b, items| {
+                b.iter(|| black_box(pipeline.run(&mech, InputBatch::Items(items), 1).unwrap()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exact-sequential", format!("n{n}-m{m}")),
+            &items,
+            |b, items| {
+                b.iter(|| {
+                    black_box(
+                        pipeline
+                            .run_sequential(&mech, InputBatch::Items(items), 1)
+                            .unwrap(),
+                    )
+                })
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("aggregate", format!("n{n}-m{m}")),
-            &ds,
-            |b, ds| {
+            &items,
+            |b, items| {
                 let mut rng = stream_rng(2, 0);
-                b.iter(|| black_box(aggregate::run_single_item(&mut rng, &mech, ds)));
+                b.iter(|| {
+                    black_box(
+                        aggregate::run_counts(&mut rng, &mech, InputBatch::Items(items)).unwrap(),
+                    )
+                });
             },
         );
     }
@@ -52,13 +70,15 @@ fn bench_item_set_paths(c: &mut Criterion) {
     let sets: Vec<Vec<u32>> = (0..n)
         .map(|i| vec![(i % m) as u32, ((i + 7) % m) as u32, ((i + 31) % m) as u32])
         .collect();
-    let ds = ItemSetDataset::new(sets, m);
-    group.bench_function("exact", |b| {
-        b.iter(|| black_box(exact::run_item_set(&mech, &ds, 1)))
+    let pipeline = SimulationPipeline::new();
+    group.bench_function("exact-parallel", |b| {
+        b.iter(|| black_box(pipeline.run(&mech, InputBatch::Sets(&sets), 1).unwrap()))
     });
     group.bench_function("aggregate", |b| {
         let mut rng = stream_rng(3, 0);
-        b.iter(|| black_box(aggregate::run_item_set(&mut rng, &mech, &ds)))
+        b.iter(|| {
+            black_box(aggregate::run_counts(&mut rng, &mech, InputBatch::Sets(&sets)).unwrap())
+        })
     });
     group.finish();
 }

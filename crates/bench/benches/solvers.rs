@@ -27,16 +27,12 @@ fn bench_convex_models(c: &mut Criterion) {
     for t in [2usize, 4, 10, 20] {
         let levels = levels_with_t(t);
         for model in [Model::Opt1, Model::Opt2] {
-            group.bench_with_input(
-                BenchmarkId::new(model.name(), t),
-                &levels,
-                |b, levels| {
-                    b.iter_with_setup(
-                        || IdueSolver::new(model),
-                        |solver| black_box(solver.solve(black_box(levels)).unwrap()),
-                    );
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(model.name(), t), &levels, |b, levels| {
+                b.iter_with_setup(
+                    || IdueSolver::new(model),
+                    |solver| black_box(solver.solve(black_box(levels)).unwrap()),
+                );
+            });
         }
     }
     group.finish();

@@ -39,11 +39,7 @@ fn ablate_r_functions(args: &Args) {
     println!("ablation 1: r-function (notion instantiation), opt1 model, base eps = 1");
     let levels = default_levels(1.0);
     let counts = levels.counts();
-    let mut table = TextTable::new(&[
-        "r-function",
-        "worst-case objective (x n)",
-        "actual LDP eps",
-    ]);
+    let mut table = TextTable::new(&["r-function", "worst-case objective (x n)", "actual LDP eps"]);
     for r in [RFunction::Min, RFunction::Avg, RFunction::Max] {
         let params = IdueSolver::new(Model::Opt1)
             .with_r(r)
@@ -76,11 +72,8 @@ fn ablate_opt_models(args: &Args) {
                 _ => 3,
             })
             .collect();
-        let levels = LevelPartition::new(
-            level_of,
-            budgets.iter().map(|&b| eps(b)).collect(),
-        )
-        .expect("valid");
+        let levels = LevelPartition::new(level_of, budgets.iter().map(|&b| eps(b)).collect())
+            .expect("valid");
         let counts = levels.counts();
         let values: Vec<f64> = Model::ALL
             .iter()
@@ -126,7 +119,10 @@ fn ablate_policy_graphs(args: &Args) {
             "group {1-2 only}",
             PolicyGraph::from_edges(3, &[(1, 2)]).expect("valid"),
         ),
-        ("self-pairs only", PolicyGraph::from_edges(3, &[]).expect("valid")),
+        (
+            "self-pairs only",
+            PolicyGraph::from_edges(3, &[]).expect("valid"),
+        ),
     ] {
         let params = IdueSolver::new(Model::Opt1)
             .with_policy(graph.clone())
@@ -160,9 +156,7 @@ fn ablate_policy_graphs(args: &Args) {
 
 fn ablate_direct_matrix(args: &Args) {
     use idldp_opt::direct::{solve_direct, worst_case_unit_variance, DirectOptions};
-    println!(
-        "ablation 4: direct matrix optimization vs IDUE on the Table II domain (m = 5)"
-    );
+    println!("ablation 4: direct matrix optimization vs IDUE on the Table II domain (m = 5)");
     // The Table II toy: item 0 at ln 4, items 1..5 at ln 6.
     let levels = LevelPartition::new(
         vec![0, 1, 1, 1, 1],
@@ -172,8 +166,8 @@ fn ablate_direct_matrix(args: &Args) {
     let mut table = TextTable::new(&["mechanism", "worst-case per-user variance (x n)"]);
 
     // GRR at min(E) — the classic small-domain baseline.
-    let grr = idldp_core::matrix_mech::PerturbationMatrix::grr(eps(4.0_f64.ln()), 5)
-        .expect("valid");
+    let grr =
+        idldp_core::matrix_mech::PerturbationMatrix::grr(eps(4.0_f64.ln()), 5).expect("valid");
     let grr_probs: Vec<Vec<f64>> = (0..5)
         .map(|x| (0..5).map(|y| grr.prob(x, y)).collect())
         .collect();
@@ -195,7 +189,9 @@ fn ablate_direct_matrix(args: &Args) {
 
     // IDUE for reference (different output space — m-bit vectors — but the
     // same worst-case total-MSE scale per user).
-    let idue = IdueSolver::new(Model::Opt0).solve(&levels).expect("feasible");
+    let idue = IdueSolver::new(Model::Opt0)
+        .solve(&levels)
+        .expect("feasible");
     table.row(vec![
         "IDUE opt0 (MinID-LDP)".into(),
         format!("{:.3}", worst_case_objective(&idue, levels.counts())),

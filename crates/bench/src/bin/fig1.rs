@@ -21,7 +21,13 @@ fn main() {
     println!("inputs x1..x4 with eps = {budgets:?}");
     println!();
 
-    let mut table = TextTable::new(&["pair", "LDP", "PLDP (eps_u)", "Geo-Ind (eps*d)", "MinID-LDP"]);
+    let mut table = TextTable::new(&[
+        "pair",
+        "LDP",
+        "PLDP (eps_u)",
+        "Geo-Ind (eps*d)",
+        "MinID-LDP",
+    ]);
 
     // LDP: the single worst-case budget min(E).
     let ldp_eps = budgets.iter().cloned().fold(f64::INFINITY, f64::min);

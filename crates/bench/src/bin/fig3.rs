@@ -64,7 +64,8 @@ fn main() {
             let levels = BudgetScheme::paper_default()
                 .assign(dataset.domain_size(), base, &mut stream_rng(seed, 3))
                 .expect("valid assignment");
-            let exp = SingleItemExperiment::new(&dataset, levels, trials, seed);
+            let exp = SingleItemExperiment::new(&dataset, levels, trials, seed)
+                .with_mode(idldp_bench::sim_mode(&args));
             let results = exp.run(&specs).expect("experiment runs");
             for r in &results {
                 table.row(vec![

@@ -13,9 +13,9 @@ use idldp_core::budget::Epsilon;
 use idldp_data::budgets::BudgetScheme;
 use idldp_data::kosarak::{self, KosarakConfig};
 use idldp_num::rng::stream_rng;
+use idldp_opt::Model;
 use idldp_sim::report::{sci, TextTable};
 use idldp_sim::{MechanismSpec, SingleItemExperiment};
-use idldp_opt::Model;
 
 fn main() {
     let args = Args::parse();
@@ -48,7 +48,8 @@ fn main() {
         let base_levels = BudgetScheme::paper_default()
             .assign(m, base, &mut stream_rng(seed, 2))
             .expect("valid assignment");
-        let exp = SingleItemExperiment::new(&dataset, base_levels, trials, seed);
+        let exp = SingleItemExperiment::new(&dataset, base_levels, trials, seed)
+            .with_mode(idldp_bench::sim_mode(&args));
         for (spec, name) in [
             (MechanismSpec::Rappor, "RAPPOR"),
             (MechanismSpec::Oue, "OUE"),
@@ -68,7 +69,8 @@ fn main() {
             let levels = scheme
                 .assign(m, base, &mut stream_rng(seed, 2))
                 .expect("valid assignment");
-            let exp = SingleItemExperiment::new(&dataset, levels, trials, seed);
+            let exp = SingleItemExperiment::new(&dataset, levels, trials, seed)
+                .with_mode(idldp_bench::sim_mode(&args));
             let r = &exp
                 .run(&[MechanismSpec::Idue(Model::Opt0)])
                 .expect("experiment runs")[0];

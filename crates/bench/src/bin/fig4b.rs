@@ -47,7 +47,8 @@ fn main() {
             .assign(m, base, &mut stream_rng(seed, 3))
             .expect("valid assignment");
 
-        let exp4 = ItemSetExperiment::new(&dataset, levels_t4, padding, trials, seed);
+        let exp4 = ItemSetExperiment::new(&dataset, levels_t4, padding, trials, seed)
+            .with_mode(idldp_bench::sim_mode(&args));
         let results = exp4
             .run(&[
                 MechanismSpec::Rappor,
@@ -55,10 +56,7 @@ fn main() {
                 MechanismSpec::Idue(Model::Opt0),
             ])
             .expect("experiment runs");
-        for (r, name) in results
-            .iter()
-            .zip(["RAPPOR-PS", "OUE-PS", "IDUE-PS (t=4)"])
-        {
+        for (r, name) in results.iter().zip(["RAPPOR-PS", "OUE-PS", "IDUE-PS (t=4)"]) {
             table.row(vec![
                 format!("{eps:.0}"),
                 name.into(),
@@ -66,7 +64,8 @@ fn main() {
                 sci(r.empirical_mse_stderr),
             ]);
         }
-        let exp20 = ItemSetExperiment::new(&dataset, levels_t20, padding, trials, seed);
+        let exp20 = ItemSetExperiment::new(&dataset, levels_t20, padding, trials, seed)
+            .with_mode(idldp_bench::sim_mode(&args));
         // t = 20 uses the convex opt1 model: the paper notes opt0's cost
         // grows with t; opt1 stays near-optimal and scales.
         let r = &exp20

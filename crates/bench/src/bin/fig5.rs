@@ -41,7 +41,8 @@ fn run_dataset(label: &str, dataset: &ItemSetDataset, args: &Args) {
     let names = ["RAPPOR-PS", "OUE-PS", "IDUE-PS"];
     let mut table = TextTable::new(&["l", "mechanism", "total MSE (all items)", "MSE (top-5)"]);
     for l in 1..=6usize {
-        let exp = ItemSetExperiment::new(dataset, levels.clone(), l, trials, seed);
+        let exp = ItemSetExperiment::new(dataset, levels.clone(), l, trials, seed)
+            .with_mode(idldp_bench::sim_mode(args));
         let results = exp.run(&specs).expect("experiment runs");
         for (r, name) in results.iter().zip(names) {
             table.row(vec![

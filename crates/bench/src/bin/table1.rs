@@ -52,8 +52,8 @@ fn main() {
     ]);
 
     // MinID-LDP with the paper's default multipliers: one row per level.
-    let budgets = BudgetSet::from_values(&[base, 1.2 * base, 2.0 * base, 4.0 * base])
-        .expect("valid budgets");
+    let budgets =
+        BudgetSet::from_values(&[base, 1.2 * base, 2.0 * base, 4.0 * base]).expect("valid budgets");
     for (x, label) in [
         (0usize, "x with eps_x=eps"),
         (1, "x with eps_x=1.2eps"),

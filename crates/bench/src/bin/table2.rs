@@ -44,8 +44,8 @@ fn main() {
     let args = Args::parse();
     let eps1 = Epsilon::new(4.0_f64.ln()).expect("ln 4 > 0");
     let eps2 = Epsilon::new(6.0_f64.ln()).expect("ln 6 > 0");
-    let levels = LevelPartition::new(vec![0, 1, 1, 1, 1], vec![eps1, eps2])
-        .expect("valid toy partition");
+    let levels =
+        LevelPartition::new(vec![0, 1, 1, 1, 1], vec![eps1, eps2]).expect("valid toy partition");
 
     println!("Table II: toy example, eps_1 = ln 4 (HIV), eps_i = ln 6 (others), m = 5");
     println!();
@@ -113,7 +113,8 @@ fn main() {
         let items: Vec<u32> = (0..n).map(|i| (i % 5) as u32).collect();
         let ds = SingleItemDataset::new(items, 5);
         let _ = stream_rng(args.seed(), 0); // reserved stream for parity with other bins
-        let exp = SingleItemExperiment::new(&ds, levels, args.trials(100), args.seed());
+        let exp = SingleItemExperiment::new(&ds, levels, args.trials(100), args.seed())
+            .with_mode(idldp_bench::sim_mode(&args));
         let results = exp
             .run(&[
                 MechanismSpec::Rappor,
@@ -122,7 +123,11 @@ fn main() {
             ])
             .expect("toy experiment runs");
         println!();
-        let mut et = TextTable::new(&["mechanism", "empirical total Var (x n)", "theoretical (x n)"]);
+        let mut et = TextTable::new(&[
+            "mechanism",
+            "empirical total Var (x n)",
+            "theoretical (x n)",
+        ]);
         for r in &results {
             et.row(vec![
                 r.name.clone(),

@@ -45,9 +45,7 @@ impl Args {
             let Some(name) = tok.strip_prefix("--") else {
                 continue; // ignore stray positional tokens
             };
-            let takes_value = tokens
-                .peek()
-                .is_some_and(|next| !next.starts_with("--"));
+            let takes_value = tokens.peek().is_some_and(|next| !next.starts_with("--"));
             if takes_value {
                 args.values
                     .insert(name.to_string(), tokens.next().expect("peeked"));
@@ -98,6 +96,18 @@ pub fn emit(table: &idldp_sim::report::TextTable, csv: bool) {
         print!("{}", table.render_csv());
     } else {
         print!("{}", table.render());
+    }
+}
+
+/// The simulation path for experiment binaries: the `O(n + m)` aggregate
+/// (binomial) path by default — figure reproductions at `--full` scale
+/// would take hours through per-user simulation — with `--exact` opting in
+/// to the parallel per-user pipeline.
+pub fn sim_mode(args: &Args) -> idldp_sim::SimulationMode {
+    if args.flag("exact") {
+        idldp_sim::SimulationMode::Exact
+    } else {
+        idldp_sim::SimulationMode::Aggregate
     }
 }
 

@@ -31,14 +31,21 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
                 levels.level_budget(i).expect("in range"),
                 levels.level_budget(j).expect("in range"),
             );
-            let mark = if observed <= allowed + tol { "ok" } else { "VIOLATION" };
+            let mark = if observed <= allowed + tol {
+                "ok"
+            } else {
+                "VIOLATION"
+            };
             println!("  ({i},{j}): ln-ratio {observed:>8.5}  <=? {allowed:>8.5}  {mark}");
         }
     }
     println!();
     match params.verify(&levels, r, tol) {
         Ok(()) => {
-            println!("VERDICT: parameters satisfy {}-ID-LDP (tol {tol:.0e})", r.name());
+            println!(
+                "VERDICT: parameters satisfy {}-ID-LDP (tol {tol:.0e})",
+                r.name()
+            );
             Ok(())
         }
         Err(e) => {

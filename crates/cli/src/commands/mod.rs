@@ -14,10 +14,7 @@ use idldp_opt::Model;
 ///
 /// `counts[i]` items are assigned to level `i`, contiguously — the CLI works
 /// at the level granularity, which is all the solvers need.
-pub fn levels_from_flags(
-    budgets: &[f64],
-    counts: &[usize],
-) -> Result<LevelPartition, String> {
+pub fn levels_from_flags(budgets: &[f64], counts: &[usize]) -> Result<LevelPartition, String> {
     if budgets.len() != counts.len() {
         return Err(format!(
             "--budgets has {} entries but --counts has {}",
@@ -52,7 +49,9 @@ pub fn r_from_flag(name: &str) -> Result<RFunction, String> {
         "min" => Ok(RFunction::Min),
         "avg" => Ok(RFunction::Avg),
         "max" => Ok(RFunction::Max),
-        other => Err(format!("unknown r-function `{other}` (expected min|avg|max)")),
+        other => Err(format!(
+            "unknown r-function `{other}` (expected min|avg|max)"
+        )),
     }
 }
 

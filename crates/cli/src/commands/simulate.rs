@@ -1,13 +1,17 @@
 //! `idldp simulate` — run a frequency-estimation experiment.
+//!
+//! Mechanisms are selected purely by name (`--mechanisms rappor,oue,...`)
+//! and resolved through the [`MechanismRegistry`] — this command contains no
+//! per-mechanism dispatch, so newly registered protocols are immediately
+//! runnable from the command line.
 
-use super::model_from_flag;
 use crate::args::CliArgs;
 use idldp_core::budget::Epsilon;
 use idldp_data::budgets::BudgetScheme;
 use idldp_data::synthetic;
 use idldp_num::rng::stream_rng;
 use idldp_sim::report::{sci, TextTable};
-use idldp_sim::{MechanismSpec, SingleItemExperiment};
+use idldp_sim::{BuildContext, MechanismRegistry, SimulationMode, SingleItemExperiment};
 
 /// Runs the subcommand.
 pub fn run(args: &CliArgs) -> Result<(), String> {
@@ -17,29 +21,52 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
     let trials: usize = args.parse_or("trials", 10)?;
     let seed: u64 = args.parse_or("seed", 20200401)?;
     let dataset_kind = args.get_or("dataset", "powerlaw");
-    let model = model_from_flag(&args.get_or("model", "opt0"))?;
+    let model = args.get_or("model", "opt0");
+    let mechanisms = args.get_or("mechanisms", &format!("rappor,oue,idue-{model}"));
+    let mode = match args.get_or("path", "exact").as_str() {
+        "exact" => SimulationMode::Exact,
+        "aggregate" => SimulationMode::Aggregate,
+        other => return Err(format!("unknown path `{other}` (expected exact|aggregate)")),
+    };
 
     let dataset = match dataset_kind.as_str() {
         "powerlaw" => synthetic::power_law_with(&mut stream_rng(seed, 0), n, m, 2.0),
         "uniform" => synthetic::uniform_with(&mut stream_rng(seed, 0), n, m),
-        other => return Err(format!("unknown dataset `{other}` (expected powerlaw|uniform)")),
+        other => {
+            return Err(format!(
+                "unknown dataset `{other}` (expected powerlaw|uniform)"
+            ))
+        }
     };
     let base = Epsilon::new(eps).map_err(|e| e.to_string())?;
     let levels = BudgetScheme::paper_default()
         .assign(m, base, &mut stream_rng(seed, 1))
         .map_err(|e| e.to_string())?;
 
+    let registry = MechanismRegistry::standard();
+    let ctx = BuildContext {
+        levels: &levels,
+        padding: 0,
+        solver: None,
+    };
+    let named = mechanisms
+        .split(',')
+        .map(|name| {
+            let name = name.trim();
+            registry
+                .build_single_item(name, &ctx)
+                .map(|mech| (name.to_string(), mech))
+                .map_err(|e| e.to_string())
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+
     println!(
         "simulate: dataset = {dataset_kind}, n = {n}, m = {m}, eps = {eps}, \
          budgets {{eps,1.2eps,2eps,4eps}} @ {{5,5,5,85}}%, trials = {trials}"
     );
-    let specs = [
-        MechanismSpec::Rappor,
-        MechanismSpec::Oue,
-        MechanismSpec::Idue(model),
-    ];
     let results = SingleItemExperiment::new(&dataset, levels, trials, seed)
-        .run(&specs)
+        .with_mode(mode)
+        .run_mechanisms(&named)
         .map_err(|e| e.to_string())?;
 
     let mut table = TextTable::new(&[

@@ -205,11 +205,9 @@ mod tests {
 
     /// Small feasible two-level IDUE-PS fixture (m=4, l=2 → 6 bits).
     fn small_mech() -> IduePs {
-        let levels = LevelPartition::new(
-            vec![0, 0, 1, 1],
-            vec![eps(2.0_f64.ln()), eps(4.0_f64.ln())],
-        )
-        .unwrap();
+        let levels =
+            LevelPartition::new(vec![0, 0, 1, 1], vec![eps(2.0_f64.ln()), eps(4.0_f64.ln())])
+                .unwrap();
         let params = LevelParams::new(vec![0.48, 0.60], vec![0.38, 0.38]).unwrap();
         assert!(params.verify(&levels, RFunction::Min, 1e-9).is_ok());
         IduePs::new(levels, &params, 2).unwrap()
@@ -261,11 +259,8 @@ mod tests {
     #[test]
     fn theorem4_audit_catches_violations() {
         // Deliberately break feasibility: very leaky level-0 parameters.
-        let levels = LevelPartition::new(
-            vec![0, 0, 1, 1],
-            vec![eps(0.2), eps(4.0_f64.ln())],
-        )
-        .unwrap();
+        let levels =
+            LevelPartition::new(vec![0, 0, 1, 1], vec![eps(0.2), eps(4.0_f64.ln())]).unwrap();
         let params = LevelParams::new(vec![0.9, 0.9], vec![0.05, 0.05]).unwrap();
         assert!(params.verify(&levels, RFunction::Min, 1e-9).is_err());
         let mech = IduePs::new(levels, &params, 2).unwrap();

@@ -103,11 +103,14 @@ impl MinIdLdpAccountant {
 
     /// Cumulative budget of one input.
     pub fn total_for(&self, input: usize) -> Result<f64> {
-        self.totals.get(input).copied().ok_or(Error::IndexOutOfRange {
-            what: "input".into(),
-            index: input,
-            bound: self.totals.len(),
-        })
+        self.totals
+            .get(input)
+            .copied()
+            .ok_or(Error::IndexOutOfRange {
+                what: "input".into(),
+                index: input,
+                bound: self.totals.len(),
+            })
     }
 
     /// The pair bound `min(Σε_x, Σε_x')` currently guaranteed for `(x, x')`.

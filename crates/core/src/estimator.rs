@@ -213,7 +213,9 @@ mod tests {
         let v1 = e1.estimate(&[40]).unwrap()[0];
         let v3 = e3.estimate(&[40]).unwrap()[0];
         assert!((v3 - 3.0 * v1).abs() < 1e-12);
-        assert!((e3.theoretical_mse_bit(0, 10.0) - 9.0 * e1.theoretical_mse_bit(0, 10.0)).abs() < 1e-9);
+        assert!(
+            (e3.theoretical_mse_bit(0, 10.0) - 9.0 * e1.theoretical_mse_bit(0, 10.0)).abs() < 1e-9
+        );
     }
 
     #[test]
@@ -235,7 +237,10 @@ mod tests {
         let worst = e.worst_case_total_mse();
         for hot in [[0.0, 0.0], [1000.0, 0.0], [500.0, 500.0], [0.0, 1000.0]] {
             let total = e.theoretical_total_mse(&hot).unwrap();
-            assert!(total <= worst + 1e-9, "hot={hot:?} total={total} worst={worst}");
+            assert!(
+                total <= worst + 1e-9,
+                "hot={hot:?} total={total} worst={worst}"
+            );
         }
     }
 

@@ -146,6 +146,101 @@ impl Idue {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Unified trait layer
+// ---------------------------------------------------------------------------
+
+use crate::mechanism::{
+    check_item_input, BatchMechanism, BitProfile, CountAccumulator, FrequencyOracle, Input,
+    InputBatch, InputKind, Mechanism,
+};
+use crate::oracle::CalibratingOracle;
+use rand::RngCore;
+
+impl Mechanism for Idue {
+    fn kind(&self) -> &'static str {
+        "idue"
+    }
+
+    fn domain_size(&self) -> usize {
+        Idue::domain_size(self)
+    }
+
+    fn report_len(&self) -> usize {
+        Idue::domain_size(self)
+    }
+
+    fn input_kind(&self) -> InputKind {
+        InputKind::Item
+    }
+
+    fn perturb_into(
+        &self,
+        input: Input<'_>,
+        rng: &mut dyn RngCore,
+        report: &mut [u8],
+    ) -> Result<()> {
+        let hot = check_item_input(input, Idue::domain_size(self))?;
+        self.ue.perturb_one_hot_into(hot, rng, report)
+    }
+
+    fn encode_hot(&self, input: Input<'_>, _rng: &mut dyn RngCore) -> Result<usize> {
+        check_item_input(input, Idue::domain_size(self))
+    }
+
+    fn ldp_epsilon(&self) -> f64 {
+        Idue::ldp_epsilon(self)
+    }
+
+    fn frequency_oracle(&self, n: u64) -> Box<dyn FrequencyOracle> {
+        Box::new(
+            CalibratingOracle::new(self.estimator(n), Idue::domain_size(self))
+                .expect("widths match"),
+        )
+    }
+
+    fn bit_profile(&self) -> Option<BitProfile> {
+        Some(BitProfile {
+            a: self.ue.a().to_vec(),
+            b: self.ue.b().to_vec(),
+        })
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+impl BatchMechanism for Idue {
+    /// Fast path: per-level probabilities are expanded once in the inner
+    /// [`UnaryEncoding`]; the batch loop draws bits straight into the
+    /// accumulator with no per-user report buffer.
+    fn perturb_batch(
+        &self,
+        batch: InputBatch<'_>,
+        rng: &mut dyn RngCore,
+        acc: &mut CountAccumulator,
+    ) -> Result<()> {
+        let m = Idue::domain_size(self);
+        let InputBatch::Items(items) = batch else {
+            check_item_input(Input::Set(&[]), m)?;
+            unreachable!("set inputs are rejected above");
+        };
+        if acc.counts().len() != m {
+            return Err(crate::error::Error::DimensionMismatch {
+                what: "batch accumulator".into(),
+                expected: m,
+                actual: acc.counts().len(),
+            });
+        }
+        for &item in items {
+            let hot = check_item_input(Input::Item(item as usize), m)?;
+            self.ue.accumulate_one_hot(hot, rng, acc);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -142,7 +142,9 @@ impl IduePs {
     pub fn set_budget(&self, itemset: &[usize]) -> Result<f64> {
         set_budget(
             &self.levels,
-            self.levels.level_budget(self.dummy_level).expect("validated"),
+            self.levels
+                .level_budget(self.dummy_level)
+                .expect("validated"),
             self.ps.padding_length(),
             itemset,
         )
@@ -214,6 +216,107 @@ pub fn set_budget(
         eta * sum / k as f64
     };
     Ok((real_part + (1.0 - eta) * eps_dummy.exp()).ln())
+}
+
+// ---------------------------------------------------------------------------
+// Unified trait layer
+// ---------------------------------------------------------------------------
+
+use crate::mechanism::{
+    check_report_width, check_set_input, BatchMechanism, BitProfile, CountAccumulator,
+    FrequencyOracle, Input, InputBatch, InputKind, Mechanism,
+};
+use crate::oracle::CalibratingOracle;
+use rand::RngCore;
+
+impl Mechanism for IduePs {
+    fn kind(&self) -> &'static str {
+        "idue-ps"
+    }
+
+    fn domain_size(&self) -> usize {
+        IduePs::domain_size(self)
+    }
+
+    fn report_len(&self) -> usize {
+        IduePs::domain_size(self) + self.ps.padding_length()
+    }
+
+    fn input_kind(&self) -> InputKind {
+        InputKind::Set
+    }
+
+    fn perturb_into(
+        &self,
+        input: Input<'_>,
+        rng: &mut dyn RngCore,
+        report: &mut [u8],
+    ) -> Result<()> {
+        let m = IduePs::domain_size(self);
+        let set = check_set_input(input, m)?;
+        check_report_width(report, Mechanism::report_len(self))?;
+        // Algorithm 3, drawing randomness exactly like `perturb_set`.
+        let hot = self.ps.pad_and_sample_u32(set, rng).encoded_index(m);
+        self.ue.perturb_one_hot_into(hot, rng, report)
+    }
+
+    fn encode_hot(&self, input: Input<'_>, rng: &mut dyn RngCore) -> Result<usize> {
+        let m = IduePs::domain_size(self);
+        let set = check_set_input(input, m)?;
+        Ok(self.ps.pad_and_sample_u32(set, rng).encoded_index(m))
+    }
+
+    fn ldp_epsilon(&self) -> f64 {
+        self.ue.ldp_epsilon()
+    }
+
+    fn frequency_oracle(&self, n: u64) -> Box<dyn FrequencyOracle> {
+        Box::new(
+            CalibratingOracle::new(self.estimator(n), Mechanism::report_len(self))
+                .expect("widths match"),
+        )
+    }
+
+    fn bit_profile(&self) -> Option<BitProfile> {
+        Some(BitProfile {
+            a: self.ue.a().to_vec(),
+            b: self.ue.b().to_vec(),
+        })
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+impl BatchMechanism for IduePs {
+    /// Fast path: pad-and-sample then draw the `m + ℓ` bits straight into
+    /// the accumulator, skipping the per-user report buffer.
+    fn perturb_batch(
+        &self,
+        batch: InputBatch<'_>,
+        rng: &mut dyn RngCore,
+        acc: &mut CountAccumulator,
+    ) -> Result<()> {
+        let m = IduePs::domain_size(self);
+        let InputBatch::Sets(sets) = batch else {
+            check_set_input(Input::Item(0), m)?;
+            unreachable!("item inputs are rejected above");
+        };
+        if acc.counts().len() != Mechanism::report_len(self) {
+            return Err(Error::DimensionMismatch {
+                what: "batch accumulator".into(),
+                expected: Mechanism::report_len(self),
+                actual: acc.counts().len(),
+            });
+        }
+        for set in sets {
+            let set = check_set_input(Input::Set(set), m)?;
+            let hot = self.ps.pad_and_sample_u32(set, rng).encoded_index(m);
+            self.ue.accumulate_one_hot(hot, rng, acc);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

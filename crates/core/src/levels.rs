@@ -119,11 +119,14 @@ impl LevelPartition {
 
     /// Level index of an item.
     pub fn level_of(&self, item: usize) -> Result<usize> {
-        self.level_of.get(item).copied().ok_or(Error::IndexOutOfRange {
-            what: "item".into(),
-            index: item,
-            bound: self.num_items(),
-        })
+        self.level_of
+            .get(item)
+            .copied()
+            .ok_or(Error::IndexOutOfRange {
+                what: "item".into(),
+                index: item,
+                bound: self.num_items(),
+            })
     }
 
     /// Budget of an item.
@@ -133,11 +136,14 @@ impl LevelPartition {
 
     /// Budget of a level.
     pub fn level_budget(&self, level: usize) -> Result<Epsilon> {
-        self.budgets.get(level).copied().ok_or(Error::IndexOutOfRange {
-            what: "level".into(),
-            index: level,
-            bound: self.num_levels(),
-        })
+        self.budgets
+            .get(level)
+            .copied()
+            .ok_or(Error::IndexOutOfRange {
+                what: "level".into(),
+                index: level,
+                bound: self.num_levels(),
+            })
     }
 
     /// Per-level budgets (length `t`).
@@ -157,13 +163,8 @@ impl LevelPartition {
 
     /// All per-item budgets as a [`BudgetSet`] (the paper's `E` over inputs).
     pub fn item_budget_set(&self) -> BudgetSet {
-        BudgetSet::new(
-            self.level_of
-                .iter()
-                .map(|&lvl| self.budgets[lvl])
-                .collect(),
-        )
-        .expect("non-empty by construction")
+        BudgetSet::new(self.level_of.iter().map(|&lvl| self.budgets[lvl]).collect())
+            .expect("non-empty by construction")
     }
 
     /// Smallest budget across levels — what plain LDP must fall back to.
@@ -245,8 +246,8 @@ mod tests {
 
     #[test]
     fn from_item_budgets_dedups_and_sorts() {
-        let p = LevelPartition::from_item_budgets(&[eps(2.0), eps(1.0), eps(2.0), eps(1.0)])
-            .unwrap();
+        let p =
+            LevelPartition::from_item_budgets(&[eps(2.0), eps(1.0), eps(2.0), eps(1.0)]).unwrap();
         assert_eq!(p.num_levels(), 2);
         // Levels sorted ascending by budget.
         assert_eq!(p.level_budget(0).unwrap().get(), 1.0);

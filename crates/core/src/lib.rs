@@ -21,8 +21,15 @@
 //!   (Algorithm 2, after Wang et al. S&P'18) and [`idue_ps::IduePs`]
 //!   (Algorithm 3), plus a generic [`matrix_mech::PerturbationMatrix`]
 //!   mechanism used for auditing and baselines.
+//! * **Trait layer** — [`mechanism::Mechanism`],
+//!   [`mechanism::BatchMechanism`] and [`mechanism::FrequencyOracle`]: the
+//!   unified client/server contract every mechanism implements, so
+//!   simulation, CLI, and benchmarks dispatch over `dyn Mechanism` and a
+//!   new protocol is one `impl` plus one registry entry (in `idldp-sim`).
 //! * **Estimation** — [`estimator::FrequencyEstimator`]: the unbiased
-//!   calibrated estimator of Eq. 8 and the closed-form MSE of Eq. 9.
+//!   calibrated estimator of Eq. 8 and the closed-form MSE of Eq. 9;
+//!   [`oracle::CalibratingOracle`] and [`oracle::MatrixOracle`] adapt it
+//!   (and exact LU inversion) to the oracle trait.
 //! * **Auditing** — [`audit`]: analytic and exhaustive verification that a
 //!   mechanism satisfies a notion (used to validate Theorem 4 numerically).
 //!
@@ -63,7 +70,9 @@ pub mod idue_ps;
 pub mod leakage;
 pub mod levels;
 pub mod matrix_mech;
+pub mod mechanism;
 pub mod notion;
+pub mod oracle;
 pub mod params;
 pub mod policy;
 pub mod ps;
@@ -76,6 +85,10 @@ pub use estimator::FrequencyEstimator;
 pub use idue::Idue;
 pub use idue_ps::IduePs;
 pub use levels::LevelPartition;
+pub use mechanism::{
+    BatchMechanism, BitProfile, CountAccumulator, FrequencyOracle, Input, InputBatch, InputKind,
+    Mechanism,
+};
 pub use notion::{Notion, RFunction};
 pub use params::LevelParams;
 pub use policy::PolicyGraph;

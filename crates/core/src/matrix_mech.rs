@@ -11,7 +11,7 @@
 use crate::budget::Epsilon;
 use crate::error::{Error, Result};
 use crate::notion::Notion;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A mechanism given by an explicit row-stochastic perturbation matrix.
 #[derive(Clone, Debug, PartialEq)]
@@ -181,6 +181,102 @@ impl PerturbationMatrix {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Unified trait layer
+// ---------------------------------------------------------------------------
+
+use crate::mechanism::{
+    check_item_input, check_report_width, BatchMechanism, CountAccumulator, FrequencyOracle, Input,
+    InputBatch, InputKind, Mechanism,
+};
+use crate::oracle::MatrixOracle;
+use rand::RngCore;
+
+impl Mechanism for PerturbationMatrix {
+    fn kind(&self) -> &'static str {
+        "matrix"
+    }
+
+    fn domain_size(&self) -> usize {
+        self.num_inputs()
+    }
+
+    fn report_len(&self) -> usize {
+        self.num_outputs()
+    }
+
+    fn input_kind(&self) -> InputKind {
+        InputKind::Item
+    }
+
+    fn perturb_into(
+        &self,
+        input: Input<'_>,
+        rng: &mut dyn RngCore,
+        report: &mut [u8],
+    ) -> Result<()> {
+        let x = check_item_input(input, self.num_inputs())?;
+        check_report_width(report, self.num_outputs())?;
+        let y = self.perturb(x, rng)?;
+        report.fill(0);
+        report[y] = 1;
+        Ok(())
+    }
+
+    fn encode_hot(&self, input: Input<'_>, _rng: &mut dyn RngCore) -> Result<usize> {
+        check_item_input(input, self.num_inputs())
+    }
+
+    fn ldp_epsilon(&self) -> f64 {
+        PerturbationMatrix::ldp_epsilon(self)
+    }
+
+    /// # Panics
+    /// Panics if the matrix is non-square or singular — such a mechanism's
+    /// counts cannot be calibrated back to frequencies. Use
+    /// [`crate::oracle::MatrixOracle::new`] directly for a fallible path.
+    fn frequency_oracle(&self, _n: u64) -> Box<dyn FrequencyOracle> {
+        Box::new(
+            MatrixOracle::new(self)
+                .expect("matrix mechanism must be square and invertible for calibration"),
+        )
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+impl BatchMechanism for PerturbationMatrix {
+    /// Fast path: one categorical increment per user (no `O(m)` report
+    /// buffer), drawing the same inverse-CDF uniform as
+    /// [`PerturbationMatrix::perturb`].
+    fn perturb_batch(
+        &self,
+        batch: InputBatch<'_>,
+        rng: &mut dyn RngCore,
+        acc: &mut CountAccumulator,
+    ) -> Result<()> {
+        let InputBatch::Items(items) = batch else {
+            check_item_input(Input::Set(&[]), self.num_inputs())?;
+            unreachable!("set inputs are rejected above");
+        };
+        if acc.counts().len() != self.num_outputs() {
+            return Err(Error::DimensionMismatch {
+                what: "batch accumulator".into(),
+                expected: self.num_outputs(),
+                actual: acc.counts().len(),
+            });
+        }
+        for &item in items {
+            let y = self.perturb(item as usize, rng)?;
+            acc.add_bit(y);
+            acc.add_user();
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,8 +325,7 @@ mod tests {
 
     #[test]
     fn perturb_follows_matrix_distribution() {
-        let m =
-            PerturbationMatrix::new(vec![vec![0.7, 0.2, 0.1], vec![0.1, 0.1, 0.8]]).unwrap();
+        let m = PerturbationMatrix::new(vec![vec![0.7, 0.2, 0.1], vec![0.1, 0.1, 0.8]]).unwrap();
         let mut rng = SplitMix64::new(42);
         let trials = 60_000;
         let mut hist = [0u32; 3];

@@ -173,7 +173,7 @@ mod tests {
         let n = Notion::min_id_ldp(budgets);
         let g = n.pairwise_budget_graph(4).unwrap();
         assert_eq!(g.len(), 6); // C(4,2)
-        // Edge between the two ε=4 inputs carries budget 4.
+                                // Edge between the two ε=4 inputs carries budget 4.
         let e = g.iter().find(|(a, b, _)| (*a, *b) == (2, 3)).unwrap();
         assert_eq!(e.2, 4.0);
         // Any edge touching input 0 carries its ε=1.

@@ -210,9 +210,11 @@ mod tests {
 
     #[test]
     fn verify_accepts_and_rejects() {
-        let levels =
-            LevelPartition::new(vec![0, 1, 1, 1, 1], vec![eps(4.0_f64.ln()), eps(6.0_f64.ln())])
-                .unwrap();
+        let levels = LevelPartition::new(
+            vec![0, 1, 1, 1, 1],
+            vec![eps(4.0_f64.ln()), eps(6.0_f64.ln())],
+        )
+        .unwrap();
         // Table II's IDUE parameters (rounded): feasible within rounding slack.
         let p = LevelParams::new(vec![0.59, 0.67], vec![0.33, 0.28]).unwrap();
         assert!(p.verify(&levels, RFunction::Min, 1e-2).is_ok());

@@ -202,8 +202,7 @@ mod tests {
 
     #[test]
     fn verify_respects_mask() {
-        let levels =
-            LevelPartition::new(vec![0, 1], vec![eps(0.5), eps(3.0)]).unwrap();
+        let levels = LevelPartition::new(vec![0, 1], vec![eps(0.5), eps(3.0)]).unwrap();
         // Parameters violating the (0,1) cross pair but fine on self-pairs:
         // level 0 tight, level 1 loose.
         let params = LevelParams::new(vec![0.56, 0.80], vec![0.44, 0.20]).unwrap();

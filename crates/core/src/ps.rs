@@ -7,7 +7,7 @@
 //! rate that the estimator corrects for.
 
 use crate::error::{Error, Result};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// The outcome of padding-and-sampling one input set.
@@ -33,6 +33,13 @@ impl SampledItem {
     pub fn is_real(&self) -> bool {
         matches!(self, SampledItem::Real(_))
     }
+}
+
+/// Internal position-level sampling outcome (index into the input set, or a
+/// dummy index).
+enum SampledPosition {
+    Real(usize),
+    Dummy(usize),
 }
 
 /// Padding-and-Sampling with padding length ℓ over dummy domain `S` of the
@@ -71,20 +78,17 @@ impl PaddingAndSampling {
         self.l
     }
 
-    /// Runs Algorithm 2 literally: build the padded set `x_p` (pad with
-    /// uniformly chosen distinct dummies, or drop uniformly chosen items),
-    /// then sample one element uniformly from `x_p`.
-    ///
-    /// `x` must contain distinct item indices (an item-*set*).
-    pub fn pad_and_sample<R: Rng + ?Sized>(&self, x: &[usize], rng: &mut R) -> SampledItem {
+    /// The position-level core of Algorithm 2: given only the set size `k`,
+    /// returns either the *position* of the sampled real item inside the
+    /// set or the sampled dummy index. Shared by the `usize` and `u32` set
+    /// entry points so both consume randomness identically.
+    fn sample_position<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> SampledPosition {
         let l = self.l;
-        let k = x.len();
         if k >= l {
             // Truncating uniformly at random and then sampling uniformly is
             // a uniform draw over the original set; see `sample_fast` for
             // the equivalence test.
-            let idx = rng.random_range(0..k);
-            return SampledItem::Real(x[idx]);
+            return SampledPosition::Real(rng.random_range(0..k));
         }
         // Pad with (l − k) distinct dummies chosen uniformly from S (|S|=l):
         // partial Fisher–Yates over the dummy indices.
@@ -97,9 +101,31 @@ impl PaddingAndSampling {
         // x_p = x ∪ {chosen dummies}; sample uniformly from the l slots.
         let slot = rng.random_range(0..l);
         if slot < k {
-            SampledItem::Real(x[slot])
+            SampledPosition::Real(slot)
         } else {
-            SampledItem::Dummy(dummies[slot - k])
+            SampledPosition::Dummy(dummies[slot - k])
+        }
+    }
+
+    /// Runs Algorithm 2 literally: build the padded set `x_p` (pad with
+    /// uniformly chosen distinct dummies, or drop uniformly chosen items),
+    /// then sample one element uniformly from `x_p`.
+    ///
+    /// `x` must contain distinct item indices (an item-*set*).
+    pub fn pad_and_sample<R: Rng + ?Sized>(&self, x: &[usize], rng: &mut R) -> SampledItem {
+        match self.sample_position(x.len(), rng) {
+            SampledPosition::Real(pos) => SampledItem::Real(x[pos]),
+            SampledPosition::Dummy(j) => SampledItem::Dummy(j),
+        }
+    }
+
+    /// [`Self::pad_and_sample`] over the compact `u32` set representation
+    /// used by datasets and the batched trait layer. Consumes randomness
+    /// identically to the `usize` path.
+    pub fn pad_and_sample_u32<R: Rng + ?Sized>(&self, x: &[u32], rng: &mut R) -> SampledItem {
+        match self.sample_position(x.len(), rng) {
+            SampledPosition::Real(pos) => SampledItem::Real(x[pos] as usize),
+            SampledPosition::Dummy(j) => SampledItem::Dummy(j),
         }
     }
 
@@ -244,5 +270,182 @@ mod tests {
         for _ in 0..200 {
             assert!(ps.pad_and_sample(&x, &mut rng).is_real());
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unified trait layer
+// ---------------------------------------------------------------------------
+
+use crate::estimator::FrequencyEstimator;
+use crate::mechanism::{
+    check_report_width, check_set_input, BatchMechanism, BitProfile, CountAccumulator,
+    FrequencyOracle, Input, InputBatch, InputKind, Mechanism,
+};
+use crate::oracle::CalibratingOracle;
+use rand::RngCore;
+
+/// Padding-and-Sampling as a standalone [`Mechanism`]: sample one (real or
+/// dummy) item and report it *in the clear* as a one-hot vector over
+/// `m + ℓ` buckets.
+///
+/// This is the paper's Algorithm 2 without a perturbation stage — useful as
+/// the no-noise baseline in ablations (its reported
+/// [`Mechanism::ldp_epsilon`] is infinite) and as the sampling harness the
+/// composed [`crate::idue_ps::IduePs`] is validated against. The oracle
+/// inverts only the known 1/ℓ sampling rate (`ĉ_i = ℓ · c_i`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PsMechanism {
+    ps: PaddingAndSampling,
+    m: usize,
+}
+
+impl PsMechanism {
+    /// Creates the mechanism over an item domain of size `m >= 1` with
+    /// padding length `l >= 1`.
+    ///
+    /// # Errors
+    /// Returns an error if `m == 0` or `l == 0`.
+    pub fn new(m: usize, l: usize) -> Result<Self> {
+        if m == 0 {
+            return Err(Error::Empty {
+                what: "PS item domain".into(),
+            });
+        }
+        Ok(Self {
+            ps: PaddingAndSampling::new(l)?,
+            m,
+        })
+    }
+
+    /// The underlying sampling protocol.
+    pub fn sampling(&self) -> &PaddingAndSampling {
+        &self.ps
+    }
+
+    /// Padding length ℓ.
+    pub fn padding_length(&self) -> usize {
+        self.ps.padding_length()
+    }
+}
+
+impl Mechanism for PsMechanism {
+    fn kind(&self) -> &'static str {
+        "ps"
+    }
+
+    fn domain_size(&self) -> usize {
+        self.m
+    }
+
+    fn report_len(&self) -> usize {
+        self.m + self.ps.padding_length()
+    }
+
+    fn input_kind(&self) -> InputKind {
+        InputKind::Set
+    }
+
+    fn perturb_into(
+        &self,
+        input: Input<'_>,
+        rng: &mut dyn RngCore,
+        report: &mut [u8],
+    ) -> Result<()> {
+        let set = check_set_input(input, self.m)?;
+        check_report_width(report, self.report_len())?;
+        let hot = self.ps.pad_and_sample_u32(set, rng).encoded_index(self.m);
+        report.fill(0);
+        report[hot] = 1;
+        Ok(())
+    }
+
+    fn encode_hot(&self, input: Input<'_>, rng: &mut dyn RngCore) -> Result<usize> {
+        let set = check_set_input(input, self.m)?;
+        Ok(self.ps.pad_and_sample_u32(set, rng).encoded_index(self.m))
+    }
+
+    fn ldp_epsilon(&self) -> f64 {
+        // Reports are unperturbed: no finite LDP budget.
+        f64::INFINITY
+    }
+
+    fn frequency_oracle(&self, n: u64) -> Box<dyn FrequencyOracle> {
+        // The identity bit channel (a = 1, b = 0) with scale ℓ: ĉ_i = ℓ·c_i.
+        let l = self.ps.padding_length() as f64;
+        let est = FrequencyEstimator::new(vec![1.0; self.m], vec![0.0; self.m], n, l)
+            .expect("identity channel parameters are ordered");
+        Box::new(CalibratingOracle::new(est, self.report_len()).expect("widths match"))
+    }
+
+    fn bit_profile(&self) -> Option<BitProfile> {
+        let bits = self.report_len();
+        Some(BitProfile {
+            a: vec![1.0; bits],
+            b: vec![0.0; bits],
+        })
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+impl BatchMechanism for PsMechanism {
+    fn perturb_batch(
+        &self,
+        batch: InputBatch<'_>,
+        rng: &mut dyn RngCore,
+        acc: &mut CountAccumulator,
+    ) -> Result<()> {
+        let InputBatch::Sets(sets) = batch else {
+            check_set_input(Input::Item(0), self.m)?;
+            unreachable!("item inputs are rejected above");
+        };
+        if acc.counts().len() != self.report_len() {
+            return Err(Error::DimensionMismatch {
+                what: "batch accumulator".into(),
+                expected: self.report_len(),
+                actual: acc.counts().len(),
+            });
+        }
+        for set in sets {
+            let hot = self.encode_hot(Input::Set(set), rng)?;
+            acc.add_bit(hot);
+            acc.add_user();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+    use idldp_num::rng::SplitMix64;
+
+    #[test]
+    fn ps_mechanism_reports_sampled_item_in_clear() {
+        let mech = PsMechanism::new(5, 3).unwrap();
+        assert_eq!(mech.report_len(), 8);
+        let mut rng = SplitMix64::new(21);
+        let set = [1u32, 4];
+        for _ in 0..50 {
+            let report = mech.perturb_report(Input::Set(&set), &mut rng).unwrap();
+            assert_eq!(report.iter().map(|&b| b as u64).sum::<u64>(), 1);
+            let hot = report.iter().position(|&b| b == 1).unwrap();
+            // Hot is a set member or a dummy bucket.
+            assert!(hot == 1 || hot == 4 || hot >= 5, "hot {hot}");
+        }
+    }
+
+    #[test]
+    fn ps_oracle_inverts_sampling_rate() {
+        let mech = PsMechanism::new(3, 2).unwrap();
+        let oracle = mech.frequency_oracle(100);
+        // 30 samples of item 0 with ℓ = 2 → estimate 60 holders.
+        let est = oracle.estimate(&[30, 10, 5, 40, 15]).unwrap();
+        assert_eq!(est.len(), 3);
+        assert!((est[0] - 60.0).abs() < 1e-12);
+        assert!((est[1] - 20.0).abs() < 1e-12);
     }
 }

@@ -125,7 +125,10 @@ mod tests {
             vec![0.5, 5.0, 50.0],
         ] {
             let r = relaxation_factor(&set(&vals));
-            assert!((1.0 - 1e-12..=2.0 + 1e-12).contains(&r), "vals {vals:?} → {r}");
+            assert!(
+                (1.0 - 1e-12..=2.0 + 1e-12).contains(&r),
+                "vals {vals:?} → {r}"
+            );
         }
     }
 }

@@ -14,7 +14,7 @@
 
 use crate::budget::Epsilon;
 use crate::error::{Error, Result};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A unary-encoding mechanism: per-bit Bernoulli parameters `(a_k, b_k)`.
@@ -180,6 +180,57 @@ impl UnaryEncoding {
         }
     }
 
+    /// [`Self::perturb_one_hot`] writing 0/1 bytes into a caller-provided
+    /// buffer — the allocation-free path used by the [`crate::mechanism`]
+    /// trait layer. Draws randomness in exactly the same order as
+    /// [`Self::perturb_one_hot`].
+    ///
+    /// # Errors
+    /// Returns an error if `hot` is out of range or `out` has the wrong
+    /// width.
+    pub fn perturb_one_hot_into<R: Rng + ?Sized>(
+        &self,
+        hot: usize,
+        rng: &mut R,
+        out: &mut [u8],
+    ) -> Result<()> {
+        if hot >= self.num_bits() {
+            return Err(Error::IndexOutOfRange {
+                what: "one-hot input".into(),
+                index: hot,
+                bound: self.num_bits(),
+            });
+        }
+        crate::mechanism::check_report_width(out, self.num_bits())?;
+        for (k, (slot, (&ak, &bk))) in out.iter_mut().zip(self.a.iter().zip(&self.b)).enumerate() {
+            *slot = u8::from(rng.random_bool(if k == hot { ak } else { bk }));
+        }
+        Ok(())
+    }
+
+    /// Batched one-hot perturbation straight into a [`CountAccumulator`]:
+    /// the report buffer is skipped entirely and the probability slices are
+    /// borrowed once for the whole batch. Randomness is drawn bit-by-bit in
+    /// the same order as the per-user path, so batch ≡ loop exactly.
+    ///
+    /// Shared by the [`UnaryEncoding`], [`crate::idue::Idue`] and
+    /// [`crate::idue_ps::IduePs`] batch fast paths (the latter passes the
+    /// pad-and-sample outcome as `hot`).
+    pub(crate) fn accumulate_one_hot<R: Rng + ?Sized>(
+        &self,
+        hot: usize,
+        rng: &mut R,
+        acc: &mut crate::mechanism::CountAccumulator,
+    ) {
+        debug_assert!(hot < self.a.len());
+        for (k, (&ak, &bk)) in self.a.iter().zip(&self.b).enumerate() {
+            if rng.random_bool(if k == hot { ak } else { bk }) {
+                acc.add_bit(k);
+            }
+        }
+        acc.add_user();
+    }
+
     /// Exact probability of an output vector given a one-hot input — used by
     /// the exhaustive audits on small domains.
     ///
@@ -330,7 +381,10 @@ mod tests {
                 brute = brute.max(ue.pair_log_ratio(i, j));
             }
         }
-        assert!((brute - e).abs() < 1e-12, "top-2 trick disagrees with brute force");
+        assert!(
+            (brute - e).abs() < 1e-12,
+            "top-2 trick disagrees with brute force"
+        );
     }
 
     #[test]
@@ -342,5 +396,113 @@ mod tests {
         let brute = ue.pair_log_ratio(0, 1).max(ue.pair_log_ratio(1, 0));
         assert!((e - brute).abs() < 1e-12, "e={e} brute={brute}");
         assert!(e < ue.pair_log_ratio(0, 0), "must exclude the i=j pairing");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unified trait layer
+// ---------------------------------------------------------------------------
+
+use crate::estimator::FrequencyEstimator;
+use crate::mechanism::{
+    check_item_input, BatchMechanism, BitProfile, CountAccumulator, FrequencyOracle, Input,
+    InputBatch, InputKind, Mechanism,
+};
+use crate::oracle::CalibratingOracle;
+use rand::RngCore;
+
+impl Mechanism for UnaryEncoding {
+    fn kind(&self) -> &'static str {
+        "ue"
+    }
+
+    fn domain_size(&self) -> usize {
+        self.num_bits()
+    }
+
+    fn report_len(&self) -> usize {
+        self.num_bits()
+    }
+
+    fn input_kind(&self) -> InputKind {
+        InputKind::Item
+    }
+
+    fn perturb_into(
+        &self,
+        input: Input<'_>,
+        rng: &mut dyn RngCore,
+        report: &mut [u8],
+    ) -> Result<()> {
+        let hot = check_item_input(input, self.num_bits())?;
+        self.perturb_one_hot_into(hot, rng, report)
+    }
+
+    fn encode_hot(&self, input: Input<'_>, _rng: &mut dyn RngCore) -> Result<usize> {
+        check_item_input(input, self.num_bits())
+    }
+
+    fn ldp_epsilon(&self) -> f64 {
+        UnaryEncoding::ldp_epsilon(self)
+    }
+
+    fn frequency_oracle(&self, n: u64) -> Box<dyn FrequencyOracle> {
+        let est = FrequencyEstimator::new(self.a.clone(), self.b.clone(), n, 1.0)
+            .expect("UE parameters already validated");
+        Box::new(CalibratingOracle::new(est, self.num_bits()).expect("widths match"))
+    }
+
+    fn bit_profile(&self) -> Option<BitProfile> {
+        Some(BitProfile {
+            a: self.a.clone(),
+            b: self.b.clone(),
+        })
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+impl BatchMechanism for UnaryEncoding {
+    fn perturb_batch(
+        &self,
+        batch: InputBatch<'_>,
+        rng: &mut dyn RngCore,
+        acc: &mut CountAccumulator,
+    ) -> Result<()> {
+        let InputBatch::Items(items) = batch else {
+            check_item_input(Input::Set(&[]), self.num_bits())?;
+            unreachable!("set inputs are rejected above");
+        };
+        if acc.counts().len() != self.num_bits() {
+            return Err(Error::DimensionMismatch {
+                what: "batch accumulator".into(),
+                expected: self.num_bits(),
+                actual: acc.counts().len(),
+            });
+        }
+        for &item in items {
+            let hot = check_item_input(Input::Item(item as usize), self.num_bits())?;
+            self.accumulate_one_hot(hot, rng, acc);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+    use idldp_num::rng::SplitMix64;
+
+    #[test]
+    fn trait_report_matches_inherent_path() {
+        let ue = UnaryEncoding::optimized(Epsilon::new(1.0).unwrap(), 6).unwrap();
+        let mut r1 = SplitMix64::new(5);
+        let mut r2 = SplitMix64::new(5);
+        let via_trait = ue.perturb_report(Input::Item(2), &mut r1).unwrap();
+        let via_inherent = ue.perturb_one_hot(2, &mut r2).unwrap();
+        let as_u8: Vec<u8> = via_inherent.iter().map(|&b| u8::from(b)).collect();
+        assert_eq!(via_trait, as_u8);
     }
 }

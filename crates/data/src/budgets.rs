@@ -11,7 +11,7 @@
 use idldp_core::budget::Epsilon;
 use idldp_core::error::{Error, Result};
 use idldp_core::levels::LevelPartition;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A scheme assigning per-item privacy levels at random.
 #[derive(Clone, Debug, PartialEq)]

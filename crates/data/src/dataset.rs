@@ -148,12 +148,7 @@ impl ItemSetDataset {
 /// index).
 fn top_k_of(counts: &[f64], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..counts.len()).collect();
-    idx.sort_by(|&a, &b| {
-        counts[b]
-            .partial_cmp(&counts[a])
-            .unwrap()
-            .then(a.cmp(&b))
-    });
+    idx.sort_by(|&a, &b| counts[b].partial_cmp(&counts[a]).unwrap().then(a.cmp(&b)));
     idx.truncate(k);
     idx
 }

@@ -15,7 +15,7 @@
 //! [`crate::dataset::ItemSetDataset::first_item_view`] provides.
 
 use crate::dataset::ItemSetDataset;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use rand_distr::{Distribution, Zipf};
 
 /// Generation parameters for the Kosarak surrogate.
@@ -95,8 +95,7 @@ pub(crate) fn distinct_zipf_items<R: Rng + ?Sized>(
 
 /// Generates a Kosarak surrogate.
 pub fn generate<R: Rng + ?Sized>(rng: &mut R, config: &KosarakConfig) -> ItemSetDataset {
-    let zipf = Zipf::new(config.pages as f64, config.zipf_exponent)
-        .expect("valid Zipf parameters");
+    let zipf = Zipf::new(config.pages as f64, config.zipf_exponent).expect("valid Zipf parameters");
     let sets = (0..config.users)
         .map(|_| {
             let size = geometric_size(rng, config.mean_set_size, config.max_set_size);

@@ -12,7 +12,7 @@
 //! deduplicates — reproducing both the tiny domain and the uneven |x|.
 
 use crate::dataset::ItemSetDataset;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Generation parameters for the MSNBC surrogate.
 #[derive(Clone, Debug, PartialEq)]
@@ -73,8 +73,7 @@ pub fn generate<R: Rng + ?Sized>(rng: &mut R, config: &MsnbcConfig) -> ItemSetDa
     let cdf = popularity_cdf(config.categories, config.popularity_exponent);
     let sets = (0..config.users)
         .map(|_| {
-            let visits =
-                crate::kosarak::geometric_size(rng, config.mean_visits, config.max_visits);
+            let visits = crate::kosarak::geometric_size(rng, config.mean_visits, config.max_visits);
             let mut seen = vec![false; config.categories];
             for _ in 0..visits {
                 let u: f64 = rng.random();

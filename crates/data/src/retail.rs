@@ -52,8 +52,8 @@ impl RetailConfig {
 
 /// Generates a Retail surrogate.
 pub fn generate<R: Rng + ?Sized>(rng: &mut R, config: &RetailConfig) -> ItemSetDataset {
-    let zipf = Zipf::new(config.products as f64, config.zipf_exponent)
-        .expect("valid Zipf parameters");
+    let zipf =
+        Zipf::new(config.products as f64, config.zipf_exponent).expect("valid Zipf parameters");
     let sets = (0..config.users)
         .map(|_| {
             let size = geometric_size(rng, config.mean_basket, config.max_basket);

@@ -7,7 +7,7 @@
 //! * **Uniform**: n = 100,000 users, m = 1000 items, uniform draws.
 
 use crate::dataset::SingleItemDataset;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Paper-scale defaults for the power-law dataset.
 pub const POWER_LAW_USERS: usize = 100_000;

@@ -86,9 +86,7 @@ impl LinearConstraints {
 
     /// Largest violation `max(0, max_k (aₖᵀx − bₖ))`; zero means feasible.
     pub fn max_violation(&self, x: &[f64]) -> f64 {
-        self.slacks(x)
-            .into_iter()
-            .fold(0.0_f64, |m, s| m.max(-s))
+        self.slacks(x).into_iter().fold(0.0_f64, |m, s| m.max(-s))
     }
 
     /// `true` if every slack is at least `margin`.
@@ -195,7 +193,11 @@ impl<'a, O: SmoothObjective> BarrierSolver<'a, O> {
     ///
     /// # Panics
     /// Panics if the dimensions of the objective and constraints disagree.
-    pub fn new(objective: &'a O, constraints: &'a LinearConstraints, options: BarrierOptions) -> Self {
+    pub fn new(
+        objective: &'a O,
+        constraints: &'a LinearConstraints,
+        options: BarrierOptions,
+    ) -> Self {
         assert_eq!(
             objective.dim(),
             constraints.dim(),
@@ -371,9 +373,7 @@ mod tests {
 
     #[test]
     fn rejects_infeasible_start() {
-        let obj = Quadratic {
-            center: vec![0.0],
-        };
+        let obj = Quadratic { center: vec![0.0] };
         let mut cons = LinearConstraints::new(1);
         cons.push(&[1.0], 1.0);
         let solver = BarrierSolver::new(&obj, &cons, BarrierOptions::default());

@@ -15,7 +15,7 @@
 //! * [`sample_binomial`] — production path delegating to `rand_distr`'s
 //!   BTPE-based `Binomial` (O(1) amortized for large `n·p`).
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 use rand_distr::{Binomial, Distribution};
 
 /// Exact inversion sampler for `Binomial(n, p)`.

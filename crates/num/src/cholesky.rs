@@ -179,7 +179,9 @@ mod tests {
         let mut state = 1u64;
         for i in 0..n {
             for j in 0..n {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 b[(i, j)] = ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
             }
         }

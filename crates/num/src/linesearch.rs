@@ -87,8 +87,15 @@ mod tests {
     fn full_newton_step_on_quadratic() {
         // f(x) = x², at x=2 the Newton direction is -2; full step reaches 0.
         let mut f = |x: &[f64]| x[0] * x[0];
-        let res = backtrack(&mut f, &[2.0], &[-2.0], 4.0, -8.0, &LineSearchOptions::default())
-            .expect("should accept");
+        let res = backtrack(
+            &mut f,
+            &[2.0],
+            &[-2.0],
+            4.0,
+            -8.0,
+            &LineSearchOptions::default(),
+        )
+        .expect("should accept");
         assert_eq!(res.step, 1.0);
         assert!(res.value.abs() < 1e-12);
     }
@@ -107,8 +114,15 @@ mod tests {
         };
         let f0 = f(&[2.0]);
         let slope = (1.0 - 1.0 / 2.0) * -2.0; // g(2) = 1 - 1/2, d = -2
-        let res = backtrack(&mut f, &[2.0], &[-2.0], f0, slope, &LineSearchOptions::default())
-            .expect("should find interior step");
+        let res = backtrack(
+            &mut f,
+            &[2.0],
+            &[-2.0],
+            f0,
+            slope,
+            &LineSearchOptions::default(),
+        )
+        .expect("should find interior step");
         assert!(res.point[0] > 0.0);
         assert!(res.value < f0);
     }

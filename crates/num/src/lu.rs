@@ -170,7 +170,11 @@ mod tests {
     fn determinant_known() {
         // det of the example = 2(-12-0) - 1(8-0) + 1(28-12) = -24-8+16 = -16.
         let lu = Lu::factor(&example()).unwrap();
-        assert!((lu.determinant() + 16.0).abs() < 1e-10, "{}", lu.determinant());
+        assert!(
+            (lu.determinant() + 16.0).abs() < 1e-10,
+            "{}",
+            lu.determinant()
+        );
         let id = Lu::factor(&Matrix::identity(4)).unwrap();
         assert!((id.determinant() - 1.0).abs() < 1e-12);
     }

@@ -276,8 +276,7 @@ mod tests {
 
     #[test]
     fn rosenbrock_2d() {
-        let rosen =
-            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let rosen = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
         let res = nelder_mead_restarts(
             rosen,
             &[-1.2, 1.0],

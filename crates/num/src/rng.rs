@@ -7,8 +7,7 @@
 //! output is equidistributed over 64-bit values, so distinct stream indices
 //! give effectively independent `StdRng` instances.
 
-use rand::{SeedableRng, TryRng};
-use std::convert::Infallible;
+use rand::{RngCore, SeedableRng};
 
 /// A SplitMix64 PRNG.
 ///
@@ -46,21 +45,18 @@ impl SplitMix64 {
     }
 }
 
-// Implementing `TryRng` with `Error = Infallible` gives a blanket `Rng`
-// implementation in rand 0.10, so `SplitMix64` works with all `rand`
-// distributions and the `RngExt` convenience methods.
-impl TryRng for SplitMix64 {
-    type Error = Infallible;
-
-    fn try_next_u32(&mut self) -> Result<u32, Infallible> {
-        Ok((SplitMix64::next(self) >> 32) as u32)
+// Implementing `RngCore` gives the blanket `Rng` implementation, so
+// `SplitMix64` works with all `rand` distributions and convenience methods.
+impl RngCore for SplitMix64 {
+    fn next_u32(&mut self) -> u32 {
+        (SplitMix64::next(self) >> 32) as u32
     }
 
-    fn try_next_u64(&mut self) -> Result<u64, Infallible> {
-        Ok(SplitMix64::next(self))
+    fn next_u64(&mut self) -> u64 {
+        SplitMix64::next(self)
     }
 
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Infallible> {
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for chunk in &mut chunks {
             chunk.copy_from_slice(&SplitMix64::next(self).to_le_bytes());
@@ -70,7 +66,6 @@ impl TryRng for SplitMix64 {
             let bytes = SplitMix64::next(self).to_le_bytes();
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
-        Ok(())
     }
 }
 
@@ -93,7 +88,7 @@ pub fn stream_rng(master: u64, stream: u64) -> rand::rngs::StdRng {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng as _, RngExt};
+    use rand::Rng as _;
 
     #[test]
     fn splitmix_reference_values() {

@@ -208,13 +208,8 @@ pub fn solve_direct(
     for seed in [&seed_a, &seed_b] {
         let mut x = seed.clone();
         for rho in [1e2, 1e4, 1e7] {
-            let res = nelder_mead_restarts(
-                |p| objective(p, rho),
-                &x,
-                &nm_opts,
-                opts.restarts,
-                1e-9,
-            );
+            let res =
+                nelder_mead_restarts(|p| objective(p, rho), &x, &nm_opts, opts.restarts, 1e-9);
             if res.value.is_finite() {
                 x = res.x;
             }
@@ -269,9 +264,8 @@ pub fn solve_direct(
         }
     }
 
-    let (_, probs) = best.ok_or_else(|| {
-        SolveError::Numerical("no feasible direct-matrix candidate".into())
-    })?;
+    let (_, probs) =
+        best.ok_or_else(|| SolveError::Numerical("no feasible direct-matrix candidate".into()))?;
     let matrix =
         PerturbationMatrix::new(probs).map_err(|e| SolveError::Numerical(e.to_string()))?;
     // Hard post-audit before returning.
@@ -330,10 +324,14 @@ mod tests {
         let direct = solve_direct(&levels, RFunction::Min, &DirectOptions::default()).unwrap();
         let grr = PerturbationMatrix::grr(eps(1.0), 3).unwrap();
         let v_direct = worst_case_unit_variance(
-            &(0..3).map(|x| (0..3).map(|y| direct.prob(x, y)).collect()).collect::<Vec<_>>(),
+            &(0..3)
+                .map(|x| (0..3).map(|y| direct.prob(x, y)).collect())
+                .collect::<Vec<_>>(),
         );
         let v_grr = worst_case_unit_variance(
-            &(0..3).map(|x| (0..3).map(|y| grr.prob(x, y)).collect()).collect::<Vec<_>>(),
+            &(0..3)
+                .map(|x| (0..3).map(|y| grr.prob(x, y)).collect())
+                .collect::<Vec<_>>(),
         );
         assert!(v_direct <= v_grr + 1e-6, "direct {v_direct} vs GRR {v_grr}");
     }
@@ -342,11 +340,7 @@ mod tests {
     fn skewed_budgets_beat_grr_at_min() {
         // Items 0 at ε=0.7, items 1..3 at ε=2.8: the direct mechanism can
         // discriminate, GRR cannot.
-        let levels = LevelPartition::new(
-            vec![0, 1, 1, 1],
-            vec![eps(0.7), eps(2.8)],
-        )
-        .unwrap();
+        let levels = LevelPartition::new(vec![0, 1, 1, 1], vec![eps(0.7), eps(2.8)]).unwrap();
         let direct = solve_direct(&levels, RFunction::Min, &DirectOptions::default()).unwrap();
         let grr = PerturbationMatrix::grr(eps(0.7), 4).unwrap();
         let to_probs = |p: &PerturbationMatrix| {
@@ -403,10 +397,7 @@ mod tests {
         }
         let est = matrix_estimate(&mech, &hist);
         for &e in &est {
-            assert!(
-                (e - n as f64 / 3.0).abs() < 0.05 * n as f64,
-                "est {est:?}"
-            );
+            assert!((e - n as f64 / 3.0).abs() < 0.05 * n as f64, "est {est:?}");
         }
     }
 }

@@ -143,13 +143,11 @@ pub fn solve_ab(rmat: &[Vec<f64>], counts: &[usize]) -> Result<(Vec<f64>, Vec<f6
     };
     // Seed 2: opt2 (OUE-structured) — always feasible.
     let bs = opt2::solve_bs(rmat, counts)?;
-    let seed_opt2: Vec<f64> = std::iter::repeat_n(0.5, t).chain(bs.iter().copied()).collect();
+    let seed_opt2: Vec<f64> = std::iter::repeat_n(0.5, t)
+        .chain(bs.iter().copied())
+        .collect();
     // Seeds 3–4: uniform OUE / RAPPOR at the most conservative budget.
-    let rmin = rmat
-        .iter()
-        .flatten()
-        .copied()
-        .fold(f64::INFINITY, f64::min);
+    let rmin = rmat.iter().flatten().copied().fold(f64::INFINITY, f64::min);
     let b_oue = 1.0 / (rmin.exp() + 1.0);
     let seed_oue: Vec<f64> = std::iter::repeat_n(0.5, t)
         .chain(std::iter::repeat_n(b_oue, t))
@@ -179,13 +177,8 @@ pub fn solve_ab(rmat: &[Vec<f64>], counts: &[usize]) -> Result<(Vec<f64>, Vec<f6
         let mut x = seed.clone();
         // Penalty ramp: loose search first, then enforce feasibility hard.
         for rho in [1e2, 1e4, 1e7] {
-            let res = nelder_mead_restarts(
-                |p| penalized(p, counts, rmat, rho),
-                &x,
-                &nm_opts,
-                6,
-                1e-9,
-            );
+            let res =
+                nelder_mead_restarts(|p| penalized(p, counts, rmat, rho), &x, &nm_opts, 6, 1e-9);
             if res.value.is_finite() {
                 x = res.x;
             }
@@ -212,9 +205,8 @@ pub fn solve_ab(rmat: &[Vec<f64>], counts: &[usize]) -> Result<(Vec<f64>, Vec<f6
         }
     }
 
-    let (_, x) = best.ok_or_else(|| {
-        SolveError::Numerical("no feasible opt0 candidate found".into())
-    })?;
+    let (_, x) =
+        best.ok_or_else(|| SolveError::Numerical("no feasible opt0 candidate found".into()))?;
     let (a, b) = split(&x);
     Ok((a.to_vec(), b.to_vec()))
 }

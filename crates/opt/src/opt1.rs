@@ -125,7 +125,6 @@ pub fn solve_taus(rmat: &[Vec<f64>], counts: &[usize]) -> Result<Vec<f64>, Solve
 mod tests {
     use super::*;
 
-
     fn uniform_rmat(eps: f64, t: usize) -> Vec<Vec<f64>> {
         vec![vec![eps; t]; t]
     }
@@ -169,7 +168,10 @@ mod tests {
         let rmat = vec![vec![1.0, 1.0], vec![1.0, 4.0]];
         let balanced = solve_taus(&rmat, &[5, 5]).unwrap();
         let skewed = solve_taus(&rmat, &[1, 99]).unwrap();
-        assert!(skewed[1] > balanced[1], "balanced={balanced:?} skewed={skewed:?}");
+        assert!(
+            skewed[1] > balanced[1],
+            "balanced={balanced:?} skewed={skewed:?}"
+        );
         assert!(skewed[0] < balanced[0]);
     }
 
@@ -188,7 +190,11 @@ mod tests {
             let mut xm = x;
             xm[i] -= h;
             let fd = (obj.value(&xp) - obj.value(&xm)) / (2.0 * h);
-            assert!((grad[i] - fd).abs() < 1e-5, "i={i} grad={} fd={fd}", grad[i]);
+            assert!(
+                (grad[i] - fd).abs() < 1e-5,
+                "i={i} grad={} fd={fd}",
+                grad[i]
+            );
         }
     }
 

@@ -119,7 +119,6 @@ pub fn solve_bs(rmat: &[Vec<f64>], counts: &[usize]) -> Result<Vec<f64>, SolveEr
 mod tests {
     use super::*;
 
-
     fn uniform_rmat(eps: f64, t: usize) -> Vec<Vec<f64>> {
         vec![vec![eps; t]; t]
     }
@@ -166,7 +165,10 @@ mod tests {
         let rmat = vec![vec![1.0, 1.0], vec![1.0, 6.0]];
         let bs = solve_bs(&rmat, &[5, 5]).unwrap();
         let cross = 1.0_f64.exp() * bs[0] + bs[1];
-        assert!(cross < 1.0 + 1e-3, "cross constraint should be near-active: {cross}");
+        assert!(
+            cross < 1.0 + 1e-3,
+            "cross constraint should be near-active: {cross}"
+        );
     }
 
     #[test]
@@ -184,7 +186,11 @@ mod tests {
             let mut xm = x;
             xm[i] -= h;
             let fd = (obj.value(&xp) - obj.value(&xm)) / (2.0 * h);
-            assert!((grad[i] - fd).abs() < 1e-4, "i={i} grad={} fd={fd}", grad[i]);
+            assert!(
+                (grad[i] - fd).abs() < 1e-4,
+                "i={i} grad={} fd={fd}",
+                grad[i]
+            );
         }
     }
 

@@ -174,8 +174,7 @@ impl IdueSolver {
                 }
                 g.clone()
             }
-            None => PolicyGraph::complete(levels.num_levels())
-                .expect("partition is non-empty"),
+            None => PolicyGraph::complete(levels.num_levels()).expect("partition is non-empty"),
         };
         let key = self.cache_key(levels);
         if let Some(hit) = self.cache.lock().get(&key) {
@@ -191,8 +190,7 @@ impl IdueSolver {
             }
             Model::Opt2 => {
                 let bs = opt2::solve_bs(&rmat, counts)?;
-                LevelParams::from_oue_bs(&bs)
-                    .map_err(|e| SolveError::Numerical(e.to_string()))?
+                LevelParams::from_oue_bs(&bs).map_err(|e| SolveError::Numerical(e.to_string()))?
             }
             Model::Opt0 => {
                 let (a, b) = opt0::solve_ab(&rmat, counts)?;
@@ -287,8 +285,7 @@ mod tests {
             .solve(&levels)
             .unwrap();
         assert!(
-            worst_case_objective(&p_avg, counts)
-                <= worst_case_objective(&p_min, counts) + 1e-9
+            worst_case_objective(&p_avg, counts) <= worst_case_objective(&p_min, counts) + 1e-9
         );
         // And the avg solution must satisfy Avg (it may violate Min).
         assert!(p_avg.verify(&levels, RFunction::Avg, 1e-6).is_ok());
@@ -312,11 +309,9 @@ mod tests {
         // Group policy: sensitive level 0 protected within itself; loose
         // levels 1 and 2 protected between each other — no cross edges to
         // level 0 (Blowfish-style secret pairs).
-        let levels = LevelPartition::new(
-            vec![0, 1, 1, 2, 2, 2],
-            vec![eps(0.5), eps(2.0), eps(4.0)],
-        )
-        .unwrap();
+        let levels =
+            LevelPartition::new(vec![0, 1, 1, 2, 2, 2], vec![eps(0.5), eps(2.0), eps(4.0)])
+                .unwrap();
         let group = idldp_core::policy::PolicyGraph::from_edges(3, &[(1, 2)]).unwrap();
         let counts = levels.counts();
         let complete = IdueSolver::new(Model::Opt1).solve(&levels).unwrap();
@@ -369,9 +364,7 @@ mod tests {
     fn twenty_levels_solve_quickly_enough() {
         // t = 20 (the paper's Fig. 4b exponential-level setting) must be
         // tractable for the convex models.
-        let budgets: Vec<Epsilon> = (0..20)
-            .map(|i| eps(1.0 + 3.0 * i as f64 / 19.0))
-            .collect();
+        let budgets: Vec<Epsilon> = (0..20).map(|i| eps(1.0 + 3.0 * i as f64 / 19.0)).collect();
         let level_of: Vec<usize> = (0..200).map(|i| i % 20).collect();
         let levels = LevelPartition::new(level_of, budgets).unwrap();
         for model in [Model::Opt1, Model::Opt2] {

@@ -14,11 +14,13 @@
 //! orders of magnitude faster at paper scale. Equivalence is asserted in
 //! the `aggregate_vs_exact` integration test.
 
+use idldp_core::error::{Error as CoreError, Result as CoreResult};
 use idldp_core::idue::Idue;
 use idldp_core::idue_ps::IduePs;
+use idldp_core::mechanism::{Input, InputBatch, Mechanism};
 use idldp_data::dataset::{ItemSetDataset, SingleItemDataset};
 use idldp_num::binomial::sample_binomial;
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 /// Draws per-bit counts given hot-user counts `s` and per-bit `(a, b)`.
 ///
@@ -40,6 +42,48 @@ pub fn counts_from_hot<R: Rng + ?Sized>(
             sample_binomial(rng, si, ai) + sample_binomial(rng, n - si, bi)
         })
         .collect()
+}
+
+/// Mechanism-generic aggregate run: encodes every input into its hot bucket
+/// (via [`Mechanism::encode_hot`]) and then draws the two binomials per
+/// bucket from the mechanism's [`Mechanism::bit_profile`].
+///
+/// # Errors
+/// Returns an error if the mechanism has no per-bucket Bernoulli profile
+/// (e.g. a general [`idldp_core::matrix_mech::PerturbationMatrix`]) or an
+/// input is invalid — use the exact pipeline for those.
+pub fn run_counts<R: Rng>(
+    rng: &mut R,
+    mechanism: &dyn Mechanism,
+    inputs: InputBatch<'_>,
+) -> CoreResult<Vec<u64>> {
+    let profile = mechanism.bit_profile().ok_or_else(|| CoreError::Empty {
+        what: format!(
+            "bit profile of `{}` (aggregate path needs a Bernoulli decomposition)",
+            mechanism.kind()
+        ),
+    })?;
+    let mut hot = vec![0u64; mechanism.report_len()];
+    let dyn_rng: &mut dyn RngCore = rng;
+    match inputs {
+        InputBatch::Items(items) => {
+            for &item in items {
+                hot[mechanism.encode_hot(Input::Item(item as usize), dyn_rng)?] += 1;
+            }
+        }
+        InputBatch::Sets(sets) => {
+            for set in sets {
+                hot[mechanism.encode_hot(Input::Set(set), dyn_rng)?] += 1;
+            }
+        }
+    }
+    Ok(counts_from_hot(
+        rng,
+        &hot,
+        &profile.a,
+        &profile.b,
+        inputs.len() as u64,
+    ))
 }
 
 /// Aggregate single-item run: hot counts are the true counts.
@@ -175,10 +219,7 @@ mod tests {
     #[test]
     fn sampled_hot_counts_sum_to_users() {
         let mech = IduePs::oue_ps(5, eps(1.0), 3).unwrap();
-        let ds = ItemSetDataset::new(
-            vec![vec![0, 1], vec![2], vec![], vec![0, 1, 2, 3, 4]],
-            5,
-        );
+        let ds = ItemSetDataset::new(vec![vec![0, 1], vec![2], vec![], vec![0, 1, 2, 3, 4]], 5);
         let mut rng = SplitMix64::new(3);
         let hot = sampled_hot_counts(&mut rng, &mech, &ds);
         assert_eq!(hot.len(), 8);

@@ -4,124 +4,52 @@
 //! 3 literally) and the server sums the reported bit vectors. This is the
 //! ground-truth execution path — `O(n·m)` Bernoulli draws — used to
 //! validate the fast aggregate path and to benchmark realistic client-side
-//! throughput. Users are sharded across threads; each user gets an
-//! independent RNG stream derived from the experiment seed, so results are
-//! deterministic regardless of thread count.
+//! throughput.
+//!
+//! Since the trait-layer refactor these functions are thin typed wrappers
+//! over [`crate::pipeline::SimulationPipeline`], which chunks users into
+//! fixed-size blocks, gives each chunk an independent RNG stream derived
+//! from `(seed, chunk_index)`, and runs chunks in parallel on rayon. Results
+//! are bit-identical across runs and thread counts (the chunk grid, not the
+//! scheduler, determines every draw).
 
+use crate::pipeline::SimulationPipeline;
 use idldp_core::idue::Idue;
 use idldp_core::idue_ps::IduePs;
+use idldp_core::mechanism::InputBatch;
 use idldp_data::dataset::{ItemSetDataset, SingleItemDataset};
-use idldp_num::rng::stream_rng;
-
-/// Number of worker threads: all available cores, capped to keep shard
-/// bookkeeping cheap for small inputs.
-fn worker_count(n: usize) -> usize {
-    let cores = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
-    cores.min(n.max(1)).min(32)
-}
 
 /// Runs the exact single-item pipeline: every user perturbs her item, the
 /// server sums the bits. Returns per-bit counts (length `m`).
+///
+/// # Panics
+/// Panics if the mechanism and dataset domains differ.
 pub fn run_single_item(mechanism: &Idue, dataset: &SingleItemDataset, seed: u64) -> Vec<u64> {
     assert_eq!(
         mechanism.domain_size(),
         dataset.domain_size(),
         "mechanism/dataset domain mismatch"
     );
-    let items = dataset.items();
-    let n = items.len();
-    let m = mechanism.domain_size();
-    let workers = worker_count(n);
-    let chunk = n.div_ceil(workers);
-    let mut partials: Vec<Vec<u64>> = Vec::with_capacity(workers);
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
-            let lo = w * chunk;
-            let hi = ((w + 1) * chunk).min(n);
-            if lo >= hi {
-                break;
-            }
-            let shard = &items[lo..hi];
-            handles.push(scope.spawn(move |_| {
-                let mut counts = vec![0u64; m];
-                for (offset, &item) in shard.iter().enumerate() {
-                    // Stream index = user index → thread-count independent.
-                    let mut rng = stream_rng(seed, (lo + offset) as u64);
-                    let y = mechanism.perturb_item(item as usize, &mut rng);
-                    for (c, bit) in counts.iter_mut().zip(&y) {
-                        *c += *bit as u64;
-                    }
-                }
-                counts
-            }));
-        }
-        for h in handles {
-            partials.push(h.join().expect("worker panicked"));
-        }
-    })
-    .expect("scope failed");
-    let mut total = vec![0u64; m];
-    for p in partials {
-        for (t, v) in total.iter_mut().zip(p) {
-            *t += v;
-        }
-    }
-    total
+    SimulationPipeline::new()
+        .run(mechanism, InputBatch::Items(dataset.items()), seed)
+        .expect("domains validated above")
 }
 
 /// Runs the exact item-set pipeline (Algorithm 3 per user). Returns per-bit
 /// counts over all `m + ℓ` bits; the estimator uses the first `m`.
+///
+/// # Panics
+/// Panics if the mechanism and dataset domains differ or a set contains an
+/// out-of-domain item.
 pub fn run_item_set(mechanism: &IduePs, dataset: &ItemSetDataset, seed: u64) -> Vec<u64> {
     assert_eq!(
         mechanism.domain_size(),
         dataset.domain_size(),
         "mechanism/dataset domain mismatch"
     );
-    let sets = dataset.sets();
-    let n = sets.len();
-    let bits = mechanism.domain_size() + mechanism.padding_length();
-    let workers = worker_count(n);
-    let chunk = n.div_ceil(workers);
-    let mut partials: Vec<Vec<u64>> = Vec::with_capacity(workers);
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
-            let lo = w * chunk;
-            let hi = ((w + 1) * chunk).min(n);
-            if lo >= hi {
-                break;
-            }
-            let shard = &sets[lo..hi];
-            handles.push(scope.spawn(move |_| {
-                let mut counts = vec![0u64; bits];
-                let mut scratch: Vec<usize> = Vec::new();
-                for (offset, set) in shard.iter().enumerate() {
-                    let mut rng = stream_rng(seed, (lo + offset) as u64);
-                    scratch.clear();
-                    scratch.extend(set.iter().map(|&i| i as usize));
-                    let y = mechanism.perturb_set(&scratch, &mut rng);
-                    for (c, bit) in counts.iter_mut().zip(&y) {
-                        *c += *bit as u64;
-                    }
-                }
-                counts
-            }));
-        }
-        for h in handles {
-            partials.push(h.join().expect("worker panicked"));
-        }
-    })
-    .expect("scope failed");
-    let mut total = vec![0u64; bits];
-    for p in partials {
-        for (t, v) in total.iter_mut().zip(p) {
-            *t += v;
-        }
-    }
-    total
+    SimulationPipeline::new()
+        .run(mechanism, InputBatch::Sets(dataset.sets()), seed)
+        .expect("domains validated above")
 }
 
 #[cfg(test)]

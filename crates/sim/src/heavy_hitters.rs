@@ -55,10 +55,7 @@ pub fn quality(identified: &[usize], truth: &[usize]) -> IdentificationQuality {
         };
     }
     let truth_set: HashSet<usize> = truth.iter().copied().collect();
-    let hits = identified
-        .iter()
-        .filter(|i| truth_set.contains(i))
-        .count() as f64;
+    let hits = identified.iter().filter(|i| truth_set.contains(i)).count() as f64;
     let precision = hits / identified.len() as f64;
     let recall = hits / truth.len() as f64;
     let f1 = if precision + recall == 0.0 {

@@ -4,12 +4,18 @@
 //! (`idldp-data`) into the client/server pipeline of the paper's Fig. 2 and
 //! runs the evaluation-section experiments:
 //!
-//! * [`spec`] — [`spec::MechanismSpec`]: which mechanism to run (RAPPOR,
-//!   OUE, or IDUE under one of the three optimization models), and builders
-//!   turning a spec plus a level partition into concrete mechanisms.
-//! * [`exact`] — the *exact* per-user simulation: every user one-hot
-//!   encodes and flips every bit (Algorithms 1/3 literally), parallelized
-//!   over users with crossbeam scoped threads.
+//! * [`registry`] — [`registry::MechanismRegistry`]: the one table from
+//!   protocol names to builders. Everything above `idldp-core` constructs
+//!   mechanisms through it; adding a protocol never adds a `match` arm.
+//! * [`spec`] — [`spec::MechanismSpec`]: typed handles for the paper's
+//!   lineup (RAPPOR, OUE, IDUE under one of the three optimization models),
+//!   resolved against the registry.
+//! * [`pipeline`] — [`pipeline::SimulationPipeline`]: the batched,
+//!   rayon-parallel client simulation over any
+//!   [`idldp_core::mechanism::BatchMechanism`]; chunked RNG streams make
+//!   parallel and sequential runs byte-identical per seed.
+//! * [`exact`] — typed wrappers over the pipeline for the *exact* per-user
+//!   path (Algorithms 1/3 literally).
 //! * [`aggregate`] — the *aggregate* simulation: per-bit counts drawn as
 //!   two binomials, distributionally identical to the exact path for
 //!   frequency estimation but `O(n + m)` instead of `O(n·m)`. The
@@ -17,7 +23,7 @@
 //!   `aggregate_vs_exact` integration test.
 //! * [`metrics`] — total/top-k squared-error metrics.
 //! * [`experiment`] — multi-trial seeded experiment runners producing the
-//!   rows behind the paper's Figs. 3–5.
+//!   rows behind the paper's Figs. 3–5, generic over `dyn BatchMechanism`.
 //! * [`report`] — fixed-width text tables and CSV output.
 
 pub mod aggregate;
@@ -25,10 +31,15 @@ pub mod exact;
 pub mod experiment;
 pub mod heavy_hitters;
 pub mod metrics;
+pub mod pipeline;
+pub mod registry;
 pub mod report;
 pub mod spec;
 
 pub use experiment::{
-    ItemSetExperiment, MechanismResult, SingleItemExperiment, TrialOutcome,
+    ItemSetExperiment, MechanismResult, SimulationMode, SingleItemExperiment, TrialOutcome,
 };
+pub use idldp_core::mechanism::{BatchMechanism, InputBatch, Mechanism};
+pub use pipeline::SimulationPipeline;
+pub use registry::{BuildContext, MechanismRegistry};
 pub use spec::MechanismSpec;

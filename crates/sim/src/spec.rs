@@ -1,9 +1,14 @@
 //! Mechanism specifications: which protocol a simulated deployment runs.
+//!
+//! [`MechanismSpec`] is a thin, typed handle used by the experiment runners
+//! and figure binaries; construction is delegated to the
+//! [`crate::registry::MechanismRegistry`], so this module contains no
+//! per-mechanism dispatch — a new protocol is visible here as soon as it is
+//! registered.
 
-use idldp_core::error::Result as CoreResult;
-use idldp_core::idue::Idue;
-use idldp_core::idue_ps::IduePs;
+use crate::registry::{BuildContext, MechanismRegistry};
 use idldp_core::levels::LevelPartition;
+use idldp_core::mechanism::BatchMechanism;
 use idldp_opt::{IdueSolver, Model, SolveError};
 
 /// A mechanism choice for an experiment.
@@ -29,6 +34,12 @@ impl MechanismSpec {
             MechanismSpec::Oue => "OUE".into(),
             MechanismSpec::Idue(m) => format!("IDUE-{}", m.name()),
         }
+    }
+
+    /// The registry key this spec resolves to (the legend names normalize
+    /// case-insensitively to the canonical registry names).
+    pub fn registry_name(&self) -> String {
+        self.name().to_ascii_lowercase()
     }
 
     /// The five specs compared in Fig. 3, in legend order.
@@ -69,74 +80,55 @@ impl From<SolveError> for BuildError {
     }
 }
 
-fn core_err<T>(r: CoreResult<T>) -> Result<T, BuildError> {
-    r.map_err(|e| BuildError::Core(e.to_string()))
-}
-
 /// Builds a single-item mechanism for `levels` according to `spec`.
 ///
-/// `solver` must match the model inside `Idue` specs (it is passed in so
-/// its cache persists across trials and sweep points).
+/// `solver` is the shared solver whose cache persists across trials and
+/// sweep points; `Idue` specs for a *different* model fall back to a fresh
+/// solver instead of failing.
+///
+/// # Errors
+/// Propagates solver and construction failures.
 pub fn build_single_item(
     spec: MechanismSpec,
     levels: &LevelPartition,
     solver: Option<&IdueSolver>,
-) -> Result<Idue, BuildError> {
-    let m = levels.num_items();
-    match spec {
-        MechanismSpec::Rappor => core_err(Idue::rappor(m, levels.min_budget())),
-        MechanismSpec::Oue => core_err(Idue::oue(m, levels.min_budget())),
-        MechanismSpec::Idue(model) => {
-            let owned;
-            let s = match solver {
-                Some(s) => {
-                    assert_eq!(s.model(), model, "solver/spec model mismatch");
-                    s
-                }
-                None => {
-                    owned = IdueSolver::new(model);
-                    &owned
-                }
-            };
-            let params = s.solve(levels)?;
-            core_err(Idue::new(levels.clone(), &params))
-        }
-    }
+) -> Result<Box<dyn BatchMechanism>, BuildError> {
+    MechanismRegistry::standard().build_single_item(
+        &spec.registry_name(),
+        &BuildContext {
+            levels,
+            padding: 0,
+            solver,
+        },
+    )
 }
 
 /// Builds an item-set mechanism (PS-wrapped) for `levels` with padding ℓ.
+///
+/// # Errors
+/// Propagates solver and construction failures.
 pub fn build_item_set(
     spec: MechanismSpec,
     levels: &LevelPartition,
     l: usize,
     solver: Option<&IdueSolver>,
-) -> Result<IduePs, BuildError> {
-    let m = levels.num_items();
-    match spec {
-        MechanismSpec::Rappor => core_err(IduePs::rappor_ps(m, levels.min_budget(), l)),
-        MechanismSpec::Oue => core_err(IduePs::oue_ps(m, levels.min_budget(), l)),
-        MechanismSpec::Idue(model) => {
-            let owned;
-            let s = match solver {
-                Some(s) => {
-                    assert_eq!(s.model(), model, "solver/spec model mismatch");
-                    s
-                }
-                None => {
-                    owned = IdueSolver::new(model);
-                    &owned
-                }
-            };
-            let params = s.solve(levels)?;
-            core_err(IduePs::new(levels.clone(), &params, l))
-        }
-    }
+) -> Result<Box<dyn BatchMechanism>, BuildError> {
+    MechanismRegistry::standard().build_item_set(
+        &spec.registry_name(),
+        &BuildContext {
+            levels,
+            padding: l,
+            solver,
+        },
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use idldp_core::budget::Epsilon;
+    use idldp_core::idue::Idue;
+    use idldp_core::idue_ps::IduePs;
     use idldp_core::notion::RFunction;
 
     fn levels() -> LevelPartition {
@@ -169,7 +161,11 @@ mod tests {
         let l = levels();
         for model in Model::ALL {
             let m = build_single_item(MechanismSpec::Idue(model), &l, None).unwrap();
-            assert!(m.verify(RFunction::Min, 1e-6).is_ok(), "{model:?}");
+            let idue = m
+                .as_any()
+                .downcast_ref::<Idue>()
+                .expect("IDUE specs build Idue mechanisms");
+            assert!(idue.verify(RFunction::Min, 1e-6).is_ok(), "{model:?}");
         }
     }
 
@@ -184,17 +180,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "model mismatch")]
-    fn mismatched_solver_panics() {
+    fn mismatched_solver_falls_back_to_fresh_solve() {
+        // A context may build several models with one shared solver: the
+        // non-matching model must solve on its own, not panic or poison the
+        // shared cache.
         let solver = IdueSolver::new(Model::Opt2);
-        let _ = build_single_item(MechanismSpec::Idue(Model::Opt1), &levels(), Some(&solver));
+        let m =
+            build_single_item(MechanismSpec::Idue(Model::Opt1), &levels(), Some(&solver)).unwrap();
+        assert!(m.as_any().downcast_ref::<Idue>().is_some());
+        assert_eq!(solver.cache_len(), 0, "opt2 cache untouched by opt1 build");
     }
 
     #[test]
     fn item_set_builds() {
         let l = levels();
         let m = build_item_set(MechanismSpec::Oue, &l, 4, None).unwrap();
-        assert_eq!(m.padding_length(), 4);
-        assert_eq!(m.unary_encoding().num_bits(), 10);
+        assert_eq!(m.report_len(), 10);
+        let ps = m
+            .as_any()
+            .downcast_ref::<IduePs>()
+            .expect("OUE item-set spec builds IduePs");
+        assert_eq!(ps.padding_length(), 4);
+        assert_eq!(ps.unary_encoding().num_bits(), 10);
     }
 }

@@ -46,8 +46,15 @@ fn main() {
         .solve(&levels)
         .expect("feasible");
     let mech = IduePs::new(levels.clone(), &params, padding).expect("valid");
-    println!("example set budgets (Eq. 17; dummy eps* = min E = {:.2}):", levels.min_budget().get());
-    for set in [vec![0usize], vec![0, 1, 2], (0..padding + 3).collect::<Vec<_>>()] {
+    println!(
+        "example set budgets (Eq. 17; dummy eps* = min E = {:.2}):",
+        levels.min_budget().get()
+    );
+    for set in [
+        vec![0usize],
+        vec![0, 1, 2],
+        (0..padding + 3).collect::<Vec<_>>(),
+    ] {
         println!(
             "  |x| = {:>2}  ->  eps_x = {:.3}",
             set.len(),
@@ -57,7 +64,11 @@ fn main() {
     println!();
 
     // Compare the PS mechanisms.
+    // Aggregate (binomial) path: the exact per-user pipeline is exercised by
+    // the quickstart and the conformance suite; at this scale aggregate keeps
+    // the example snappy.
     let results = ItemSetExperiment::new(&dataset, levels, padding, 5, seed)
+        .with_mode(idldp_sim::SimulationMode::Aggregate)
         .run(&[
             MechanismSpec::Rappor,
             MechanismSpec::Oue,

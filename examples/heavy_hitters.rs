@@ -22,14 +22,22 @@ fn main() {
     let n = 60_000;
     let dataset = synthetic::power_law_with(&mut stream_rng(seed, 0), n, m, 1.6);
     let truth_topk = dataset.top_k(k);
-    println!(
-        "heavy hitters: n = {n}, m = {m}, identify top-{k} (power-law truth)\n"
-    );
+    println!("heavy hitters: n = {n}, m = {m}, identify top-{k} (power-law truth)\n");
 
-    let mut table = TextTable::new(&["eps", "mechanism", "mean F1", "mean precision", "mean recall"]);
+    let mut table = TextTable::new(&[
+        "eps",
+        "mechanism",
+        "mean F1",
+        "mean precision",
+        "mean recall",
+    ]);
     for eps in [0.5_f64, 1.0, 2.0] {
         let levels = BudgetScheme::paper_default()
-            .assign(m, Epsilon::new(eps).expect("positive"), &mut stream_rng(seed, 1))
+            .assign(
+                m,
+                Epsilon::new(eps).expect("positive"),
+                &mut stream_rng(seed, 1),
+            )
             .expect("valid assignment");
         for (spec, name) in [
             (MechanismSpec::Rappor, "RAPPOR"),
@@ -37,13 +45,18 @@ fn main() {
             (MechanismSpec::Idue(Model::Opt0), "IDUE"),
         ] {
             let mech = build_single_item(spec, &levels, None).expect("buildable");
-            let est = mech.estimator(n as u64);
+            let oracle = mech.frequency_oracle(n as u64);
             let trials = 20;
             let (mut f1, mut pr, mut rc) = (0.0, 0.0, 0.0);
             for t in 0..trials {
                 let mut rng = stream_rng(seed, 100 + t);
-                let counts = idldp_sim::aggregate::run_single_item(&mut rng, &mech, &dataset);
-                let estimates = est.estimate(&counts).expect("sized");
+                let counts = idldp_sim::aggregate::run_counts(
+                    &mut rng,
+                    mech.as_ref(),
+                    idldp_sim::InputBatch::Items(dataset.items()),
+                )
+                .expect("aggregate path available for UE mechanisms");
+                let estimates = oracle.estimate(&counts).expect("sized");
                 let found = identify_top_k(&estimates, k);
                 let q = quality(&found, &truth_topk);
                 f1 += q.f1 / trials as f64;

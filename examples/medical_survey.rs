@@ -36,9 +36,14 @@ fn main() {
     let mut table = TextTable::new(&["eps", "mechanism", "total MSE", "vs OUE"]);
     for eps in [0.5_f64, 1.0, 2.0] {
         let levels = BudgetScheme::paper_default()
-            .assign(m, Epsilon::new(eps).expect("positive"), &mut stream_rng(seed, 1))
+            .assign(
+                m,
+                Epsilon::new(eps).expect("positive"),
+                &mut stream_rng(seed, 1),
+            )
             .expect("valid assignment");
         let results = SingleItemExperiment::new(&dataset, levels, 10, seed)
+            .with_mode(idldp_sim::SimulationMode::Aggregate)
             .run(&specs)
             .expect("experiment runs");
         let oue_mse = results[1].empirical_mse;

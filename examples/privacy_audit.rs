@@ -45,7 +45,10 @@ fn main() {
     let summary =
         relations::lemma_one_summary(&levels.item_budget_set()).expect("non-empty budgets");
     println!("\nLemma 1 sandwich:");
-    println!("  min(E) = {:.4}, max(E) = {:.4}", summary.min_budget, summary.max_budget);
+    println!(
+        "  min(E) = {:.4}, max(E) = {:.4}",
+        summary.min_budget, summary.max_budget
+    );
     println!(
         "  MinID-LDP implies {:.4}-LDP (relaxation factor {:.2} <= 2)",
         summary.implied_ldp, summary.relaxation

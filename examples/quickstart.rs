@@ -68,7 +68,10 @@ fn main() {
         .estimate(&counts)
         .expect("count vector sized to domain");
 
-    println!("\n{:>12} | {:>8} | {:>9} | rel.err", "category", "truth", "estimate");
+    println!(
+        "\n{:>12} | {:>8} | {:>9} | rel.err",
+        "category", "truth", "estimate"
+    );
     println!("{}", "-".repeat(48));
     for (i, name) in CATEGORIES.iter().enumerate() {
         let t = truth[i] as f64;

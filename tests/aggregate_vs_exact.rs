@@ -73,8 +73,7 @@ fn item_set_paths_agree_in_distribution() {
     let trials = 150u64;
     let bits = m + l;
     let mut exact_stats: Vec<RunningStats> = (0..bits).map(|_| RunningStats::new()).collect();
-    let mut aggregate_stats: Vec<RunningStats> =
-        (0..bits).map(|_| RunningStats::new()).collect();
+    let mut aggregate_stats: Vec<RunningStats> = (0..bits).map(|_| RunningStats::new()).collect();
     for t in 0..trials {
         let exact = idldp_sim::exact::run_item_set(&mech, &ds, 3000 + t);
         for (s, &c) in exact_stats.iter_mut().zip(&exact) {

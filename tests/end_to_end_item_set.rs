@@ -142,8 +142,7 @@ fn dummy_bits_do_not_distort_real_estimates() {
         for t in 0..trials {
             let mut rng = stream_rng(seed, (l as u64) << 32 | t);
             let counts = idldp_sim::aggregate::run_item_set(&mut rng, &mech, &ds);
-            mean0 += mech.estimator(n as u64).estimate(&counts[..4]).unwrap()[0]
-                / trials as f64;
+            mean0 += mech.estimator(n as u64).estimate(&counts[..4]).unwrap()[0] / trials as f64;
         }
         // Every user holds one item, so sampling rate = 1/max(1, l) and the
         // l-scaling cancels: unbiased at every l.

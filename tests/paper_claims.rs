@@ -117,12 +117,20 @@ fn opt_model_dominance_ordering() {
         let counts = levels.counts();
         let v: Vec<f64> = Model::ALL
             .iter()
-            .map(|&m| {
-                worst_case_objective(&IdueSolver::new(m).solve(&levels).unwrap(), counts)
-            })
+            .map(|&m| worst_case_objective(&IdueSolver::new(m).solve(&levels).unwrap(), counts))
             .collect();
-        assert!(v[0] <= v[1] + 1e-6, "budgets ({b0},{b1}): opt0 {} opt1 {}", v[0], v[1]);
-        assert!(v[0] <= v[2] + 1e-6, "budgets ({b0},{b1}): opt0 {} opt2 {}", v[0], v[2]);
+        assert!(
+            v[0] <= v[1] + 1e-6,
+            "budgets ({b0},{b1}): opt0 {} opt1 {}",
+            v[0],
+            v[1]
+        );
+        assert!(
+            v[0] <= v[2] + 1e-6,
+            "budgets ({b0},{b1}): opt0 {} opt2 {}",
+            v[0],
+            v[2]
+        );
     }
 }
 
@@ -177,10 +185,11 @@ fn sequential_composition_theorem2_numeric() {
             }
             let single = ue.pair_log_ratio(i, j);
             let composed = 2.0 * single;
-            let allowed = 2.0 * RFunction::Min.combine(
-                levels.item_budget(i).unwrap(),
-                levels.item_budget(j).unwrap(),
-            );
+            let allowed = 2.0
+                * RFunction::Min.combine(
+                    levels.item_budget(i).unwrap(),
+                    levels.item_budget(j).unwrap(),
+                );
             assert!(
                 composed <= allowed + 1e-9,
                 "pair ({i},{j}): composed {composed} vs allowed {allowed}"

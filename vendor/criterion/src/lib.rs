@@ -1,0 +1,340 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Mirrors the declaration API (`criterion_group!`, `criterion_main!`,
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`], `Bencher::iter*`) with a simple wall-clock harness:
+//! each benchmark is auto-calibrated to a target sample duration, timed over
+//! `sample_size` samples, and reported as mean / median / min ns per
+//! iteration.
+//!
+//! Beyond the printed table, every run writes a machine-readable summary to
+//! `BENCH_<name>.json` (name = the bench binary's file stem; directory
+//! overridable with `IDLDP_BENCH_DIR`) so successive PRs can track a
+//! performance trajectory without parsing stdout.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// One measured benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Full benchmark id (`group/function/parameter`).
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// Runs timed closures for one benchmark.
+pub struct Bencher<'a> {
+    samples: usize,
+    target: Duration,
+    record: &'a mut Option<(f64, f64, f64, usize, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Times `f`, calibrating iteration count to the target sample length.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fill the target sample duration?
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.target || iters >= 1 << 24 {
+                break;
+            }
+            let grow = if elapsed.is_zero() {
+                16
+            } else {
+                ((self.target.as_secs_f64() / elapsed.as_secs_f64()).ceil() as u64).clamp(2, 16)
+            };
+            iters = iters.saturating_mul(grow);
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let median = per_iter[per_iter.len() / 2];
+        *self.record = Some((mean, median, per_iter[0], self.samples, iters));
+    }
+
+    /// Times `f` with a fresh `setup()` value each iteration (setup excluded
+    /// from timing only coarsely: each sample is one iteration).
+    pub fn iter_with_setup<S, O, SF: FnMut() -> S, F: FnMut(S) -> O>(
+        &mut self,
+        mut setup: SF,
+        mut f: F,
+    ) {
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(f(input));
+            per_iter.push(start.elapsed().as_nanos() as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let median = per_iter[per_iter.len() / 2];
+        *self.record = Some((mean, median, per_iter[0], self.samples, 1));
+    }
+}
+
+/// The benchmark manager: collects [`BenchRecord`]s and writes the summary.
+pub struct Criterion {
+    records: Vec<BenchRecord>,
+    sample_size: usize,
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            records: Vec::new(),
+            sample_size: 15,
+            target: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Criterion {
+    fn run_one(&mut self, id: String, f: impl FnOnce(&mut Bencher<'_>)) {
+        let mut slot = None;
+        let mut bencher = Bencher {
+            samples: self.sample_size.max(2),
+            target: self.target,
+            record: &mut slot,
+        };
+        f(&mut bencher);
+        let (mean_ns, median_ns, min_ns, samples, iters_per_sample) =
+            slot.expect("benchmark closure must call Bencher::iter*");
+        eprintln!("bench {id:<40} mean {mean_ns:>12.1} ns/iter  median {median_ns:>12.1}");
+        self.records.push(BenchRecord {
+            id,
+            mean_ns,
+            median_ns,
+            min_ns,
+            samples,
+            iters_per_sample,
+        });
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher<'_>)) -> &mut Self {
+        self.run_one(id.to_string(), f);
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// All records measured so far.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// Writes `BENCH_<stem>.json` next to the working directory (or under
+    /// `IDLDP_BENCH_DIR`) and prints its path. Called by `criterion_main!`.
+    pub fn finalize(&self) {
+        let stem = bench_binary_stem();
+        let dir = std::env::var("IDLDP_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+        let path = format!("{dir}/BENCH_{stem}.json");
+        let mut out = String::from("{\n  \"benchmarks\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let comma = if i + 1 == self.records.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+                r.id.replace('"', "'"),
+                r.mean_ns,
+                r.median_ns,
+                r.min_ns,
+                r.samples,
+                r.iters_per_sample,
+                comma,
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        match std::fs::write(&path, out) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}
+
+/// File stem of the running bench binary with cargo's `-<hash>` suffix
+/// stripped (`mechanisms-1a2b…` → `mechanisms`).
+fn bench_binary_stem() -> String {
+    let arg0 = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&arg0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench");
+    match stem.rsplit_once('-') {
+        Some((name, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            name.to_string()
+        }
+        _ => stem.to_string(),
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn with_samples(&mut self, id: String, f: impl FnOnce(&mut Bencher<'_>)) {
+        let saved = self.criterion.sample_size;
+        if let Some(n) = self.sample_size {
+            self.criterion.sample_size = n;
+        }
+        self.criterion.run_one(id, f);
+        self.criterion.sample_size = saved;
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function<I: std::fmt::Display>(
+        &mut self,
+        id: I,
+        f: impl FnOnce(&mut Bencher<'_>),
+    ) -> &mut Self {
+        self.with_samples(format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Benchmarks a function parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher<'_>, &I),
+    {
+        self.with_samples(format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a group runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups and writing the JSON summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn records_are_collected() {
+        let mut c = Criterion {
+            sample_size: 3,
+            target: Duration::from_micros(50),
+            records: Vec::new(),
+        };
+        quick(&mut c);
+        assert_eq!(c.records().len(), 2);
+        assert_eq!(c.records()[1].id, "grp/sum/10");
+        assert!(c.records()[0].mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn stem_strips_cargo_hash() {
+        // Indirect check of the suffix heuristic.
+        assert_eq!(
+            match "mechanisms-0123456789abcdef".rsplit_once('-') {
+                Some((n, h)) if h.len() == 16 && h.bytes().all(|b| b.is_ascii_hexdigit()) => n,
+                _ => "x",
+            },
+            "mechanisms"
+        );
+    }
+}

@@ -1,0 +1,474 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Provides the API subset the workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map` / `prop_filter_map`,
+//! range and tuple strategies, [`arbitrary::any`], [`collection::vec`],
+//! [`sample::Index`], the [`proptest!`] macro, and `prop_assert!` /
+//! `prop_assert_eq!`.
+//!
+//! Differences from the real crate, accepted for offline builds:
+//!
+//! * **no shrinking** — a failing case panics with the sampled inputs'
+//!   `Debug` form in the assertion message instead of a minimized case;
+//! * **deterministic seeding** — case `i` of every test draws from a fixed
+//!   SplitMix64 stream, so failures reproduce exactly across runs and
+//!   machines (the real crate's persistence files are unnecessary).
+
+use std::ops::{Range, RangeInclusive};
+
+/// The deterministic RNG handed to strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates the generator for one test case.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "bound must be positive");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Chains a dependent strategy.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keeps only values mapped to `Some`, retrying otherwise.
+    fn prop_filter_map<U, F: Fn(Self::Value) -> Option<U>>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        for _ in 0..1000 {
+            if let Some(v) = (self.f)(self.inner.sample(rng)) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter_map `{}` rejected 1000 draws in a row",
+            self.whence
+        );
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty f64 range strategy");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end - self.start) as usize;
+                self.start + rng.next_below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer range strategy");
+                lo + rng.next_below((hi - lo) as usize + 1) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(usize, u64, u32, u16, u8);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::{Strategy, TestRng};
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> u32 {
+            (rng.next_u64() >> 32) as u32
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for super::sample::Index {
+        fn arbitrary(rng: &mut TestRng) -> super::sample::Index {
+            super::sample::Index::from_unit(rng.next_f64())
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Strategy producing arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Acceptable size arguments for [`vec`].
+    pub trait SizeBounds {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeBounds for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeBounds for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.next_below(self.end - self.start)
+        }
+    }
+
+    impl SizeBounds for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.start() + rng.next_below(self.end() - self.start() + 1)
+        }
+    }
+
+    /// Strategy for vectors with element strategy `S`.
+    pub struct VecStrategy<S, B> {
+        element: S,
+        size: B,
+    }
+
+    impl<S: Strategy, B: SizeBounds> Strategy for VecStrategy<S, B> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy, B: SizeBounds>(element: S, size: B) -> VecStrategy<S, B> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Index sampling (`any::<prop::sample::Index>()`).
+pub mod sample {
+    /// A size-independent index: stores a unit-interval position and maps it
+    /// into any collection length on demand.
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    pub struct Index(f64);
+
+    impl Index {
+        pub(crate) fn from_unit(u: f64) -> Self {
+            Self(u)
+        }
+
+        /// The index this represents inside a collection of `len` elements.
+        ///
+        /// # Panics
+        /// Panics if `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            ((self.0 * len as f64) as usize).min(len - 1)
+        }
+    }
+}
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Common imports (mirrors `proptest::prelude`).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy};
+}
+
+/// Asserts inside a `proptest!` body (panics with the formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Declares property tests: each `fn name(binding in strategy, ...) { .. }`
+/// becomes a `#[test]` running `cases` seeded draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:tt in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    // Stream keyed by the test name and case index so every
+                    // property sees distinct but reproducible inputs.
+                    let mut seed = 0xcbf29ce484222325u64;
+                    for b in concat!(module_path!(), "::", stringify!($name)).bytes() {
+                        seed = (seed ^ b as u64).wrapping_mul(0x100000001b3);
+                    }
+                    let mut rng = $crate::TestRng::new(seed ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                    let ($($arg,)+) = ($($crate::Strategy::sample(&($strat), &mut rng),)+);
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (f64, usize)> {
+        (0.0f64..1.0, 3usize..10)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0.5f64..2.5, n in 1usize..=7) {
+            prop_assert!((0.5..2.5).contains(&x));
+            prop_assert!((1..=7).contains(&n));
+        }
+
+        #[test]
+        fn combinators_compose(p in arb_pair(), flag in any::<bool>()) {
+            let (f, n) = p;
+            prop_assert!(f < 1.0 && (3..10).contains(&n));
+            let _ = flag;
+        }
+
+        #[test]
+        fn vec_and_index(v in prop::collection::vec(0u64..100, 2..20), ix in any::<prop::sample::Index>()) {
+            prop_assert!(v.len() >= 2 && v.len() < 20);
+            let chosen = v[ix.index(v.len())];
+            prop_assert!(chosen < 100);
+        }
+
+        #[test]
+        fn flat_map_dependent(pair in (2usize..6).prop_flat_map(|n| (Just(n), 0usize..n))) {
+            let (n, i) = pair;
+            prop_assert!(i < n, "i={i} n={n}");
+        }
+
+        #[test]
+        fn filter_map_retries((a, b) in (0.0f64..1.0, 0.0f64..1.0).prop_filter_map("a<b", |(a, b)| (a < b).then_some((a, b)))) {
+            prop_assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn cases_are_reproducible() {
+        let mut r1 = crate::TestRng::new(9);
+        let mut r2 = crate::TestRng::new(9);
+        for _ in 0..100 {
+            assert_eq!(r1.next_u64(), r2.next_u64());
+        }
+    }
+}

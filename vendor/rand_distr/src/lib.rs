@@ -1,0 +1,229 @@
+//! Offline stand-in for the [`rand_distr`](https://crates.io/crates/rand_distr)
+//! crate, providing the two distributions this workspace samples:
+//!
+//! * [`Binomial`] — exact CDF inversion when `min(np, nq)` is small, a
+//!   clamped rounded-normal approximation otherwise. The crossover keeps
+//!   aggregate-path simulation `O(1)` per draw at paper scale while staying
+//!   exact where the normal approximation would be visibly wrong.
+//! * [`Zipf`] — exact inverse-CDF sampling via a precomputed cumulative
+//!   table (domains in this workspace are ≤ ~45k items, so the table is
+//!   cheap and the draws are exact, unlike rejection samplers).
+
+use rand::{Rng, RngCore};
+
+/// A sampling distribution over `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error from invalid distribution parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// The binomial distribution `Binomial(n, p)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+/// Above this expected count the rounded-normal approximation is
+/// indistinguishable at the workspace's statistical tolerances and the exact
+/// inversion walk would dominate simulation time.
+const BINOMIAL_INVERSION_CUTOFF: f64 = 1024.0;
+
+impl Binomial {
+    /// Creates `Binomial(n, p)`.
+    ///
+    /// # Errors
+    /// Fails if `p` is outside `[0, 1]` or not finite.
+    pub fn new(n: u64, p: f64) -> Result<Self, ParamError> {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(ParamError("binomial p must be in [0,1]"));
+        }
+        Ok(Self { n, p })
+    }
+
+    fn sample_inversion<R: RngCore + ?Sized>(&self, rng: &mut R, n: u64, p: f64) -> u64 {
+        // Walk the CDF from k = 0; expected O(np) steps with p <= 1/2.
+        let q = 1.0 - p;
+        let s = p / q;
+        let mut pmf = q.powf(n as f64);
+        if pmf < f64::MIN_POSITIVE {
+            // P(X = 0) underflowed (large n at moderate p): the walk would
+            // start from a zero CDF and terminate immediately. The normal
+            // approximation is excellent in exactly this regime.
+            return self.sample_normal(rng, n, p);
+        }
+        let mut cdf = pmf;
+        let u: f64 = rng.random();
+        let mut k = 0u64;
+        while u > cdf && k < n {
+            k += 1;
+            pmf *= s * ((n - k + 1) as f64) / (k as f64);
+            cdf += pmf;
+            if pmf < f64::MIN_POSITIVE && cdf < u {
+                break; // numerical tail exhaustion
+            }
+        }
+        k
+    }
+
+    fn sample_normal<R: RngCore + ?Sized>(&self, rng: &mut R, n: u64, p: f64) -> u64 {
+        let mean = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        // Box–Muller from two uniforms.
+        let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (mean + sd * z).round().clamp(0.0, n as f64) as u64
+    }
+}
+
+impl Distribution<u64> for Binomial {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        let (n, p) = (self.n, self.p);
+        if n == 0 || p == 0.0 {
+            return 0;
+        }
+        if p == 1.0 {
+            return n;
+        }
+        // Work with p <= 1/2 via the complement.
+        if p > 0.5 {
+            return n - Self { n, p: 1.0 - p }.sample(rng);
+        }
+        if n as f64 * p <= BINOMIAL_INVERSION_CUTOFF {
+            self.sample_inversion(rng, n, p)
+        } else {
+            self.sample_normal(rng, n, p)
+        }
+    }
+}
+
+/// The Zipf distribution over `{1, …, n}` with exponent `s`:
+/// `P(X = k) ∝ k^{-s}`. Samples are returned as `F` (the integer rank cast
+/// to float, matching `rand_distr`'s API).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Zipf<F> {
+    /// Cumulative probabilities; `cdf[k-1] = P(X <= k)`.
+    cdf: Vec<F>,
+}
+
+impl Zipf<f64> {
+    /// Creates a Zipf distribution over `{1, …, n}` (n given as a float per
+    /// the upstream API) with exponent `s >= 0`.
+    ///
+    /// # Errors
+    /// Fails if `n < 1`, `n` is not an integer count representable in
+    /// memory, or `s` is negative/not finite.
+    pub fn new(n: f64, s: f64) -> Result<Self, ParamError> {
+        if !n.is_finite() || !(1.0..=1e8).contains(&n) {
+            return Err(ParamError("zipf n must be in [1, 1e8]"));
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(ParamError("zipf exponent must be non-negative"));
+        }
+        let n = n as usize;
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Ok(Self { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random();
+        // First rank whose CDF exceeds u.
+        let idx = self.cdf.partition_point(|&c| c <= u);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_var(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        (mean, var)
+    }
+
+    #[test]
+    fn binomial_validation_and_edges() {
+        assert!(Binomial::new(10, 1.5).is_err());
+        assert!(Binomial::new(10, -0.1).is_err());
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(Binomial::new(0, 0.5).unwrap().sample(&mut rng), 0);
+        assert_eq!(Binomial::new(9, 0.0).unwrap().sample(&mut rng), 0);
+        assert_eq!(Binomial::new(9, 1.0).unwrap().sample(&mut rng), 9);
+    }
+
+    #[test]
+    fn binomial_moments_small_and_large() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for (n, p) in [(60u64, 0.25), (50_000, 0.37)] {
+            let samples: Vec<f64> = (0..20_000)
+                .map(|_| Binomial::new(n, p).unwrap().sample(&mut rng) as f64)
+                .collect();
+            let (mean, var) = mean_var(&samples);
+            let (wm, wv) = (n as f64 * p, n as f64 * p * (1.0 - p));
+            assert!(
+                (mean - wm).abs() < 4.0 * (wv / 20_000.0).sqrt() + 0.05,
+                "n={n} mean={mean}"
+            );
+            assert!((var - wv).abs() / wv < 0.05, "n={n} var={var} want {wv}");
+        }
+    }
+
+    #[test]
+    fn zipf_is_exact_inverse_cdf() {
+        let z = Zipf::new(4.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 200_000;
+        let mut hist = [0u32; 4];
+        for _ in 0..trials {
+            let v = z.sample(&mut rng) as usize;
+            assert!((1..=4).contains(&v));
+            hist[v - 1] += 1;
+        }
+        // P(k) ∝ 1/k over {1..4}: normalizer 1 + 1/2 + 1/3 + 1/4.
+        let norm: f64 = (1..=4).map(|k| 1.0 / k as f64).sum();
+        for (k, &h) in hist.iter().enumerate() {
+            let want = (1.0 / (k + 1) as f64) / norm;
+            let got = h as f64 / trials as f64;
+            assert!(
+                (got - want).abs() < 0.005,
+                "rank {} rate {got} want {want}",
+                k + 1
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_rejects_bad_parameters() {
+        assert!(Zipf::new(0.0, 1.0).is_err());
+        assert!(Zipf::new(10.0, -1.0).is_err());
+        assert!(Zipf::new(f64::NAN, 1.0).is_err());
+    }
+}

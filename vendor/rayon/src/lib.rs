@@ -1,0 +1,251 @@
+//! Offline stand-in for [`rayon`](https://crates.io/crates/rayon).
+//!
+//! Implements the parallel-iterator API subset the workspace uses
+//! (`par_chunks`, `into_par_iter`, `map`, `reduce`, `collect`, `for_each`)
+//! on top of `std::thread::scope` with an atomic work-sharing index — no
+//! work stealing, but genuinely parallel and panic-propagating.
+//!
+//! Determinism contract (relied on by `idldp-sim`): items are materialized
+//! up front, mapped in any order across threads, and **recombined in item
+//! order** — `reduce` folds results left-to-right and `collect` preserves
+//! input order. A parallel run therefore returns bit-identical results to a
+//! sequential run of the same pipeline whenever the per-item closure is
+//! itself deterministic.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Common imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice};
+}
+
+/// Number of worker threads: all available cores (min 1).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f` over every item on a scoped worker pool, preserving item order
+/// in the returned vector.
+fn run_pool<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Vec<U> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("slot lock")
+                    .take()
+                    .expect("each slot is taken exactly once");
+                let result = f(item);
+                *out[i].lock().expect("result lock") = Some(result);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result lock")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// An eager parallel iterator over materialized items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Maps every item in parallel.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        run_pool(self.items, f);
+    }
+}
+
+/// The result of [`ParIter::map`]; terminal operations execute the pool.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Executes in parallel and collects results in item order.
+    pub fn collect<U, C>(self) -> C
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+        C: FromIterator<U>,
+    {
+        run_pool(self.items, self.f).into_iter().collect()
+    }
+
+    /// Executes in parallel, then folds the per-item results **in item
+    /// order** starting from `identity()` (deterministic even for
+    /// non-commutative `op`).
+    pub fn reduce<U, ID, OP>(self, identity: ID, op: OP) -> U
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+        ID: FnOnce() -> U,
+        OP: FnMut(U, U) -> U,
+    {
+        run_pool(self.items, self.f)
+            .into_iter()
+            .fold(identity(), op)
+    }
+
+    /// Executes in parallel and discards results.
+    pub fn for_each_drop<U>(self)
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let _ = run_pool(self.items, self.f);
+    }
+}
+
+/// Conversion into a [`ParIter`], mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item: Send;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Parallel chunking of slices, mirroring `rayon::slice::ParallelSlice`.
+pub trait ParallelSlice<T: Sync> {
+    /// Splits into contiguous chunks of at most `chunk_size` items (last
+    /// chunk may be shorter) processed in parallel.
+    ///
+    /// # Panics
+    /// Panics if `chunk_size == 0`.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_reduce_in_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let total = v
+            .par_chunks(97)
+            .map(|chunk| chunk.iter().sum::<u64>())
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, (0..10_000).sum::<u64>());
+        // Non-commutative combine: concatenation must follow chunk order.
+        let joined = v
+            .par_chunks(1000)
+            .map(|chunk| format!("{}..", chunk[0]))
+            .reduce(String::new, |a, b| a + &b);
+        assert_eq!(
+            joined,
+            "0..1000..2000..3000..4000..5000..6000..7000..8000..9000.."
+        );
+    }
+
+    #[test]
+    fn parallel_actually_uses_threads() {
+        // Smoke check: closures observe distinct thread ids when cores > 1.
+        let ids: std::collections::HashSet<std::thread::ThreadId> = (0..64usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                std::thread::current().id()
+            })
+            .collect();
+        if super::current_num_threads() > 1 {
+            assert!(ids.len() > 1, "expected work on multiple threads");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let v: Vec<usize> = (0..8).collect();
+        v.into_par_iter().for_each(|i| {
+            if i == 5 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<usize> = Vec::new();
+        let out: Vec<usize> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline no-op stand-in for `serde`'s derive macros.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its core types so that
+//! a future PR can turn on real serialization by swapping this shim for the
+//! real crate. Nothing in the workspace *calls* serde APIs yet, so the
+//! derives expand to nothing; `#[serde(...)]` attributes are accepted and
+//! ignored.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
