@@ -1,17 +1,21 @@
-//! Criterion micro-benchmarks: exact (parallel pipeline) vs aggregate
-//! simulation paths, both through the unified trait API.
+//! Criterion micro-benchmarks: exact (parallel pipeline) vs aggregate vs
+//! streaming simulation paths, all through the unified trait API.
 //!
 //! The ablation behind the "two execution paths" decision: the exact path
 //! performs `n·m` Bernoulli draws (chunked across cores by
 //! `SimulationPipeline`), the aggregate path `O(n + m)` binomials. Both
-//! produce identically distributed server-side counts.
+//! produce identically distributed server-side counts. The streaming path
+//! replays the exact path one report at a time through a
+//! `ShardedAccumulator` — same counts bit for bit — and its overhead over
+//! the batch pipeline is the price of online ingestion.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use idldp_core::budget::Epsilon;
 use idldp_core::idue::Idue;
 use idldp_core::idue_ps::IduePs;
-use idldp_core::mechanism::InputBatch;
+use idldp_core::mechanism::{InputBatch, Mechanism};
 use idldp_num::rng::stream_rng;
+use idldp_sim::stream::{BitReportAccumulator, SeededReportStream, ShardedAccumulator};
 use idldp_sim::{aggregate, SimulationPipeline};
 use std::hint::black_box;
 
@@ -56,6 +60,22 @@ fn bench_single_item_paths(c: &mut Criterion) {
                         aggregate::run_counts(&mut rng, &mech, InputBatch::Items(items)).unwrap(),
                     )
                 });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("streaming-sharded", format!("n{n}-m{m}")),
+            &items,
+            |b, items| {
+                b.iter(|| {
+                    let sink = ShardedAccumulator::new(
+                        BitReportAccumulator::new(mech.report_len()),
+                        idldp_sim::stream::DEFAULT_SHARDS,
+                    );
+                    SeededReportStream::new(&mech, InputBatch::Items(items), 1)
+                        .ingest_all(&sink)
+                        .unwrap();
+                    black_box(sink.snapshot())
+                })
             },
         );
     }

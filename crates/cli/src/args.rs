@@ -28,6 +28,11 @@ impl CliArgs {
         Self { values }
     }
 
+    /// An optional string value.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
     /// A required string value.
     pub fn require(&self, name: &str) -> Result<&str, String> {
         self.values

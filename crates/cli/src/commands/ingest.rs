@@ -1,0 +1,199 @@
+//! `idldp ingest` — serve-style streaming aggregation.
+//!
+//! Consumes a seeded report stream in chunks through a
+//! [`ShardedAccumulator`] and emits calibrated estimates at a fixed
+//! cadence, the way an online ID-LDP collector would serve a dashboard.
+//! The stream is the deterministic [`SeededReportStream`] over a synthetic
+//! population (the report-transport twin of `idldp simulate`), so every run
+//! is reproducible, and — by the streaming conformance contract — its final
+//! counts are bit-identical to a batch `SimulationPipeline` run of the same
+//! mechanism and dataset at the stream's RNG seed (a sub-seed derived from
+//! `--seed`, distinct from the streams that generate the dataset and the
+//! budget assignment).
+//!
+//! With `--checkpoint FILE` the accumulator snapshot is written after every
+//! emission; re-running the same command restores it and resumes mid-stream
+//! instead of starting over (kill it halfway and run it again to see the
+//! user counter continue where it stopped).
+
+use crate::args::CliArgs;
+use idldp_core::budget::Epsilon;
+use idldp_core::snapshot::AccumulatorSnapshot;
+use idldp_data::budgets::BudgetScheme;
+use idldp_data::synthetic;
+use idldp_num::rng::{derive_seed, stream_rng};
+use idldp_sim::report::sci;
+use idldp_sim::stream::{BitReportAccumulator, SeededReportStream, ShardedAccumulator};
+use idldp_sim::{BuildContext, MechanismRegistry};
+
+/// Runs the subcommand.
+pub fn run(args: &CliArgs) -> Result<(), String> {
+    let n: usize = args.parse_or("n", 200_000)?;
+    let m: usize = args.parse_or("m", 64)?;
+    let eps: f64 = args.parse_or("eps", 1.0)?;
+    let seed: u64 = args.parse_or("seed", 20200401)?;
+    let shards: usize = args.parse_or("shards", idldp_sim::stream::DEFAULT_SHARDS)?;
+    let chunk: usize = args.parse_or("chunk", idldp_sim::stream::DEFAULT_CHUNK_SIZE)?;
+    let emit_every: usize = args.parse_or("emit-every", n.div_ceil(10).max(chunk))?;
+    let top: usize = args.parse_or("top", 5)?;
+    let mechanism_name = args.get_or("mechanism", "oue");
+    let dataset_kind = args.get_or("dataset", "powerlaw");
+    let checkpoint = args.get("checkpoint");
+    if shards == 0 || chunk == 0 {
+        return Err("--shards and --chunk must be positive".into());
+    }
+
+    let dataset = match dataset_kind.as_str() {
+        "powerlaw" => synthetic::power_law_with(&mut stream_rng(seed, 0), n, m, 2.0),
+        "uniform" => synthetic::uniform_with(&mut stream_rng(seed, 0), n, m),
+        other => {
+            return Err(format!(
+                "unknown dataset `{other}` (expected powerlaw|uniform)"
+            ))
+        }
+    };
+    let base = Epsilon::new(eps).map_err(|e| e.to_string())?;
+    let levels = BudgetScheme::paper_default()
+        .assign(m, base, &mut stream_rng(seed, 1))
+        .map_err(|e| e.to_string())?;
+    let ctx = BuildContext {
+        levels: &levels,
+        padding: 0,
+        solver: None,
+    };
+    let mechanism = MechanismRegistry::standard()
+        .build_single_item(&mechanism_name, &ctx)
+        .map_err(|e| e.to_string())?;
+
+    let sink = ShardedAccumulator::new(BitReportAccumulator::new(mechanism.report_len()), shards);
+    // The dataset and budget assignment already consumed RNG streams
+    // (seed, 0) and (seed, 1); give the report stream its own derived seed
+    // so chunk 0's perturbation draws never replay the sequence that
+    // generated the inputs.
+    let stream_seed = derive_seed(seed, u64::from(u32::MAX));
+    let mut stream =
+        SeededReportStream::new(mechanism.as_ref(), dataset.input_batch(), stream_seed)
+            .with_chunk_size(chunk);
+
+    // The run-identity line appended to every checkpoint: resuming under
+    // different flags would splice counts from incompatible populations,
+    // so a mismatch is an error, not a silent restart.
+    let run_line = format!(
+        "run idldp-ingest mechanism={mechanism_name} dataset={dataset_kind} n={n} m={m} \
+         eps={eps} seed={seed} chunk={chunk}"
+    );
+
+    // Resume from a checkpoint when one exists.
+    if let Some(path) = checkpoint {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let snapshot = AccumulatorSnapshot::from_checkpoint_str(&text)
+                    .map_err(|e| format!("checkpoint `{path}`: {e}"))?;
+                let stamped = text.lines().find(|l| l.starts_with("run "));
+                match stamped {
+                    Some(line) if line == run_line => {}
+                    Some(line) => {
+                        return Err(format!(
+                            "checkpoint `{path}` was written by a different run\n  found:    \
+                             {line}\n  expected: {run_line}"
+                        ))
+                    }
+                    None => {
+                        return Err(format!(
+                            "checkpoint `{path}` carries no run-identity line; refusing to \
+                             resume (delete it to start over)"
+                        ))
+                    }
+                }
+                let users = snapshot.num_users() as usize;
+                stream
+                    .seek_to_user(users)
+                    .map_err(|e| format!("checkpoint `{path}`: {e}"))?;
+                sink.restore(&snapshot).map_err(|e| e.to_string())?;
+                println!("ingest: restored {users} users from checkpoint `{path}`");
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => {}
+            Err(err) => return Err(format!("checkpoint `{path}`: {err}")),
+        }
+    }
+
+    println!(
+        "ingest: mechanism = {mechanism_name}, dataset = {dataset_kind}, n = {n}, m = {m}, \
+         eps = {eps}, shards = {shards}, chunk = {chunk}, emit every {emit_every} users"
+    );
+    let truth = dataset.true_counts();
+    let mut since_emit = 0usize;
+    loop {
+        let ingested = stream.ingest_chunk(&sink).map_err(|e| e.to_string())?;
+        since_emit += ingested;
+        let done = ingested == 0;
+        if done || since_emit >= emit_every {
+            since_emit = 0;
+            let snapshot = sink.snapshot();
+            emit(&snapshot, mechanism.as_ref(), &truth, top, n);
+            if let Some(path) = checkpoint {
+                let payload = format!("{}{run_line}\n", snapshot.to_checkpoint_string());
+                write_atomically(path, &payload)
+                    .map_err(|e| format!("checkpoint `{path}`: {e}"))?;
+            }
+        }
+        if done {
+            break;
+        }
+    }
+    println!("ingest: done ({} users)", sink.num_users());
+    Ok(())
+}
+
+/// Writes via a sibling temp file + rename, so a kill mid-write can never
+/// leave a truncated checkpoint behind (the old one stays intact).
+fn write_atomically(path: &str, payload: &str) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, payload)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Prints one periodic estimate line from frozen accumulator state.
+fn emit(
+    snapshot: &AccumulatorSnapshot,
+    mechanism: &dyn idldp_core::mechanism::Mechanism,
+    truth: &[f64],
+    top: usize,
+    n: usize,
+) {
+    let users = snapshot.num_users();
+    if users == 0 {
+        println!("  [{users:>10} users] no reports yet");
+        return;
+    }
+    // The incremental path: a fresh (cheap) oracle at the current user
+    // count, fed the frozen shard state.
+    let oracle = mechanism.frequency_oracle(users);
+    let estimates = oracle
+        .estimate_from(snapshot)
+        .expect("snapshot width matches mechanism");
+    // Scale the full-population truth to the users seen so far, so the
+    // error column is comparable across emissions.
+    let progress = users as f64 / n as f64;
+    let mse: f64 = estimates
+        .iter()
+        .zip(truth)
+        .map(|(&e, &t)| {
+            let d = e - t * progress;
+            d * d
+        })
+        .sum::<f64>()
+        / truth.len() as f64;
+    let mut order: Vec<usize> = (0..estimates.len()).collect();
+    order.sort_by(|&a, &b| estimates[b].partial_cmp(&estimates[a]).unwrap());
+    let head: Vec<String> = order
+        .iter()
+        .take(top)
+        .map(|&i| format!("{i}:{}", sci(estimates[i])))
+        .collect();
+    println!(
+        "  [{users:>10} users] mse/item {} top-{top} {}",
+        sci(mse),
+        head.join(" ")
+    );
+}

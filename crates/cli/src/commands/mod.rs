@@ -1,6 +1,7 @@
 //! CLI subcommands.
 
 pub mod audit;
+pub mod ingest;
 pub mod leakage;
 pub mod simulate;
 pub mod solve;

@@ -5,6 +5,7 @@
 //! idldp audit    --budgets 1,4 --counts 1,5 --a 0.59,0.67 --b 0.33,0.28
 //! idldp leakage  --budgets 1,1.2,2,4
 //! idldp simulate --dataset powerlaw --n 100000 --m 100 --eps 1.0 [--trials 10]
+//! idldp ingest   --mechanism oue --n 200000 --m 64 --eps 1.0 [--checkpoint state.ckpt]
 //! ```
 //!
 //! Run `idldp help` (or any unknown subcommand) for usage.
@@ -27,6 +28,7 @@ fn main() -> ExitCode {
         "audit" => commands::audit::run(&parsed),
         "leakage" => commands::leakage::run(&parsed),
         "simulate" => commands::simulate::run(&parsed),
+        "ingest" => commands::ingest::run(&parsed),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -60,6 +62,13 @@ USAGE:
 
   idldp simulate --dataset powerlaw|uniform --n N --m M --eps E
                  [--model opt0|opt1|opt2] [--trials T] [--seed S]
-      run a frequency-estimation experiment and print MSE per mechanism"
+      run a frequency-estimation experiment and print MSE per mechanism
+
+  idldp ingest   --mechanism NAME --n N --m M --eps E
+                 [--dataset powerlaw|uniform] [--shards S] [--chunk C]
+                 [--emit-every U] [--top K] [--seed S] [--checkpoint FILE]
+      stream perturbed reports through sharded accumulators, emitting
+      calibrated estimates every U users; with --checkpoint the
+      accumulator state is persisted and a rerun resumes mid-stream"
     );
 }

@@ -30,6 +30,12 @@
 //!   calibrated estimator of Eq. 8 and the closed-form MSE of Eq. 9;
 //!   [`oracle::CalibratingOracle`] and [`oracle::MatrixOracle`] adapt it
 //!   (and exact LU inversion) to the oracle trait.
+//! * **Streaming state** — [`snapshot::AccumulatorSnapshot`]: frozen
+//!   accumulator counts with checkpoint/restore serialization; the oracle
+//!   trait's incremental path
+//!   ([`mechanism::FrequencyOracle::estimate_from`]) serves estimates from
+//!   snapshots mid-stream. The sharded online accumulators themselves live
+//!   in the `idldp-stream` crate.
 //! * **Auditing** — [`audit`]: analytic and exhaustive verification that a
 //!   mechanism satisfies a notion (used to validate Theorem 4 numerically).
 //!
@@ -59,6 +65,8 @@
 //! assert_eq!(report.len(), 5);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod audit;
 pub mod budget;
 pub mod composition;
@@ -77,6 +85,7 @@ pub mod params;
 pub mod policy;
 pub mod ps;
 pub mod relations;
+pub mod snapshot;
 pub mod ue;
 
 pub use budget::Epsilon;
@@ -92,4 +101,5 @@ pub use mechanism::{
 pub use notion::{Notion, RFunction};
 pub use params::LevelParams;
 pub use policy::PolicyGraph;
+pub use snapshot::AccumulatorSnapshot;
 pub use ue::UnaryEncoding;

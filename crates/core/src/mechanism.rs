@@ -27,6 +27,7 @@
 //! aggregate simulation path exploits.
 
 use crate::error::{Error, Result};
+use crate::snapshot::AccumulatorSnapshot;
 use rand::RngCore;
 
 /// One client's private input.
@@ -35,7 +36,7 @@ pub enum Input<'a> {
     /// A single item index in `0..domain_size`.
     Item(usize),
     /// A set of distinct item indices (stored as `u32`, matching
-    /// [`idldp-data`]'s compact dataset layout).
+    /// `idldp-data`'s compact dataset layout).
     Set(&'a [u32]),
 }
 
@@ -173,6 +174,27 @@ impl CountAccumulator {
     /// Per-bucket counts.
     pub fn counts(&self) -> &[u64] {
         &self.counts
+    }
+
+    /// Freezes the current state into an [`AccumulatorSnapshot`] (the input
+    /// of the incremental oracle path,
+    /// [`FrequencyOracle::estimate_from`]).
+    ///
+    /// # Panics
+    /// Panics if the accumulator has zero width (unconstructible through
+    /// any mechanism, whose report widths are validated positive).
+    pub fn snapshot(&self) -> AccumulatorSnapshot {
+        AccumulatorSnapshot::new(self.counts.clone(), self.users)
+            .expect("accumulators have positive width")
+    }
+
+    /// Rebuilds an accumulator from checkpointed state, so a restarted
+    /// aggregation service resumes counting where it left off.
+    pub fn from_snapshot(snapshot: &AccumulatorSnapshot) -> Self {
+        Self {
+            counts: snapshot.counts().to_vec(),
+            users: snapshot.num_users(),
+        }
     }
 
     /// Consumes the accumulator, returning the counts.
@@ -319,6 +341,24 @@ pub trait FrequencyOracle: Send + Sync {
     /// # Errors
     /// Returns an error if `expected_hot` has the wrong width.
     fn theoretical_total_mse(&self, expected_hot: &[f64]) -> Result<f64>;
+
+    /// The incremental path: estimates straight from frozen accumulator
+    /// state, without ever materializing individual reports.
+    ///
+    /// Streaming aggregation periodically freezes its sharded accumulators
+    /// into an [`AccumulatorSnapshot`] and calls this to serve estimates
+    /// mid-stream. Oracles that bake the population size into their
+    /// calibration (every [`crate::oracle::CalibratingOracle`]) must be
+    /// constructed for the snapshot's user count — i.e. obtain the oracle
+    /// from [`Mechanism::frequency_oracle`]`(snapshot.num_users())` at each
+    /// emission; construction is cheap relative to estimation.
+    ///
+    /// # Errors
+    /// Returns an error if the snapshot width differs from
+    /// [`Self::report_len`].
+    fn estimate_from(&self, snapshot: &AccumulatorSnapshot) -> Result<Vec<f64>> {
+        self.estimate(snapshot.counts())
+    }
 }
 
 /// Checks an [`Input`] against a mechanism's kind/domain, returning the

@@ -1,0 +1,276 @@
+//! Point-in-time accumulator state for streaming aggregation.
+//!
+//! A streaming deployment never materializes individual reports: shards
+//! absorb them into count state ([`crate::mechanism::CountAccumulator`] or
+//! any `idldp-stream` accumulator) and the server periodically freezes that
+//! state into an [`AccumulatorSnapshot`] — the per-bucket counts plus the
+//! number of users absorbed so far. Snapshots are what the incremental
+//! oracle path ([`crate::mechanism::FrequencyOracle::estimate_from`])
+//! consumes, and they serialize to a stable, versioned text format so an
+//! ingestion service can checkpoint its state and restore it after a
+//! restart ([`AccumulatorSnapshot::to_checkpoint_string`] /
+//! [`AccumulatorSnapshot::from_checkpoint_str`]).
+//!
+//! Because counts are integers, snapshots merge exactly: any tree of
+//! [`AccumulatorSnapshot::merge`] calls over a partition of the same report
+//! set yields identical state, independent of shard count or merge order.
+
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// The checkpoint format version written by
+/// [`AccumulatorSnapshot::to_checkpoint_string`].
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Frozen accumulator state: per-bucket report counts and the number of
+/// users they came from.
+///
+/// # Examples
+/// ```
+/// use idldp_core::snapshot::AccumulatorSnapshot;
+///
+/// let mut left = AccumulatorSnapshot::new(vec![3, 1, 0], 4).unwrap();
+/// let right = AccumulatorSnapshot::new(vec![0, 2, 5], 6).unwrap();
+/// left.merge(&right).unwrap();
+/// assert_eq!(left.counts(), &[3, 3, 5]);
+/// assert_eq!(left.num_users(), 10);
+///
+/// // Round-trips through the stable checkpoint format.
+/// let restored =
+///     AccumulatorSnapshot::from_checkpoint_str(&left.to_checkpoint_string()).unwrap();
+/// assert_eq!(restored, left);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccumulatorSnapshot {
+    counts: Vec<u64>,
+    users: u64,
+}
+
+impl AccumulatorSnapshot {
+    /// Wraps per-bucket counts gathered from `users` reports.
+    ///
+    /// # Errors
+    /// Returns an error if `counts` is empty (a zero-width accumulator
+    /// cannot belong to any mechanism).
+    pub fn new(counts: Vec<u64>, users: u64) -> Result<Self> {
+        if counts.is_empty() {
+            return Err(Error::Empty {
+                what: "snapshot counts".into(),
+            });
+        }
+        Ok(Self { counts, users })
+    }
+
+    /// An all-zero snapshot over `report_len` buckets.
+    ///
+    /// # Errors
+    /// Returns an error if `report_len == 0`.
+    pub fn empty(report_len: usize) -> Result<Self> {
+        Self::new(vec![0; report_len], 0)
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Consumes the snapshot, returning the counts.
+    pub fn into_counts(self) -> Vec<u64> {
+        self.counts
+    }
+
+    /// Number of buckets (the owning mechanism's report width).
+    pub fn report_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of users whose reports are reflected in the counts.
+    pub fn num_users(&self) -> u64 {
+        self.users
+    }
+
+    /// Adds another snapshot's counts and users. Integer sums commute, so
+    /// any merge order over a partition of the same reports is exact.
+    ///
+    /// # Errors
+    /// Returns an error if the widths differ.
+    pub fn merge(&mut self, other: &AccumulatorSnapshot) -> Result<()> {
+        if other.counts.len() != self.counts.len() {
+            return Err(Error::DimensionMismatch {
+                what: "snapshot merge width".into(),
+                expected: self.counts.len(),
+                actual: other.counts.len(),
+            });
+        }
+        for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.users += other.users;
+        Ok(())
+    }
+
+    /// Serializes to the stable, versioned checkpoint format:
+    ///
+    /// ```text
+    /// idldp-snapshot v1
+    /// users <u>
+    /// counts <c0> <c1> ...
+    /// check <hex digest>
+    /// ```
+    ///
+    /// The digest (FNV-1a over users and counts) catches truncated or
+    /// hand-edited files on restore. The format is plain ASCII so
+    /// checkpoints stay inspectable and diffable.
+    pub fn to_checkpoint_string(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "idldp-snapshot v{CHECKPOINT_VERSION}\nusers {}\ncounts",
+            self.users
+        );
+        for c in &self.counts {
+            write!(out, " {c}").expect("writing to String cannot fail");
+        }
+        write!(out, "\ncheck {:016x}\n", self.digest()).expect("writing to String cannot fail");
+        out
+    }
+
+    /// Parses the format written by [`Self::to_checkpoint_string`].
+    ///
+    /// Lines after the `check` line are ignored, so callers may append
+    /// their own metadata (e.g. `idldp ingest` stamps a run-identity line)
+    /// without breaking the snapshot itself.
+    ///
+    /// # Errors
+    /// Returns an error on an unknown header/version, malformed fields, a
+    /// digest mismatch, or an empty count list.
+    pub fn from_checkpoint_str(s: &str) -> Result<Self> {
+        let malformed = |detail: &str| Error::ParameterOrdering {
+            detail: format!("snapshot checkpoint: {detail}"),
+        };
+        let mut lines = s.lines();
+        let header = lines.next().ok_or_else(|| malformed("empty input"))?;
+        if header.trim() != format!("idldp-snapshot v{CHECKPOINT_VERSION}") {
+            return Err(malformed(&format!("unsupported header `{header}`")));
+        }
+        let users_line = lines
+            .next()
+            .ok_or_else(|| malformed("missing users line"))?;
+        let users: u64 = users_line
+            .strip_prefix("users ")
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| malformed(&format!("bad users line `{users_line}`")))?;
+        let counts_line = lines
+            .next()
+            .ok_or_else(|| malformed("missing counts line"))?;
+        let counts = counts_line
+            .strip_prefix("counts")
+            .ok_or_else(|| malformed(&format!("bad counts line `{counts_line}`")))?
+            .split_whitespace()
+            .map(|tok| {
+                tok.parse::<u64>()
+                    .map_err(|_| malformed(&format!("bad count `{tok}`")))
+            })
+            .collect::<Result<Vec<u64>>>()?;
+        let check_line = lines
+            .next()
+            .ok_or_else(|| malformed("missing check line"))?;
+        let check = check_line
+            .strip_prefix("check ")
+            .and_then(|v| u64::from_str_radix(v.trim(), 16).ok())
+            .ok_or_else(|| malformed(&format!("bad check line `{check_line}`")))?;
+        let snapshot = Self::new(counts, users)?;
+        if snapshot.digest() != check {
+            return Err(malformed("digest mismatch (truncated or edited file?)"));
+        }
+        Ok(snapshot)
+    }
+
+    /// FNV-1a over the user count and the count vector, little-endian.
+    fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        let mut absorb = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        absorb(self.users);
+        for &c in &self.counts {
+            absorb(c);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let s = AccumulatorSnapshot::new(vec![1, 2, 3], 5).unwrap();
+        assert_eq!(s.counts(), &[1, 2, 3]);
+        assert_eq!(s.report_len(), 3);
+        assert_eq!(s.num_users(), 5);
+        assert_eq!(s.clone().into_counts(), vec![1, 2, 3]);
+        assert!(AccumulatorSnapshot::new(vec![], 0).is_err());
+        let e = AccumulatorSnapshot::empty(4).unwrap();
+        assert_eq!(e.counts(), &[0; 4]);
+        assert_eq!(e.num_users(), 0);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let parts = [
+            AccumulatorSnapshot::new(vec![1, 0], 1).unwrap(),
+            AccumulatorSnapshot::new(vec![0, 7], 3).unwrap(),
+            AccumulatorSnapshot::new(vec![2, 2], 2).unwrap(),
+        ];
+        let mut forward = AccumulatorSnapshot::empty(2).unwrap();
+        let mut backward = AccumulatorSnapshot::empty(2).unwrap();
+        for p in &parts {
+            forward.merge(p).unwrap();
+        }
+        for p in parts.iter().rev() {
+            backward.merge(p).unwrap();
+        }
+        assert_eq!(forward, backward);
+        assert_eq!(forward.counts(), &[3, 9]);
+        assert_eq!(forward.num_users(), 6);
+    }
+
+    #[test]
+    fn merge_rejects_width_mismatch() {
+        let mut a = AccumulatorSnapshot::empty(2).unwrap();
+        let b = AccumulatorSnapshot::empty(3).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let s = AccumulatorSnapshot::new(vec![0, u64::MAX, 42], 1_000_000).unwrap();
+        let text = s.to_checkpoint_string();
+        let restored = AccumulatorSnapshot::from_checkpoint_str(&text).unwrap();
+        assert_eq!(restored, s);
+    }
+
+    #[test]
+    fn checkpoint_rejects_corruption() {
+        let s = AccumulatorSnapshot::new(vec![5, 6], 11).unwrap();
+        let text = s.to_checkpoint_string();
+        // Flip one count: digest must catch it.
+        let tampered = text.replace("counts 5 6", "counts 5 7");
+        assert!(AccumulatorSnapshot::from_checkpoint_str(&tampered).is_err());
+        // Truncation.
+        let truncated = text.lines().take(3).collect::<Vec<_>>().join("\n");
+        assert!(AccumulatorSnapshot::from_checkpoint_str(&truncated).is_err());
+        // Wrong version.
+        let wrong = text.replace("v1", "v99");
+        assert!(AccumulatorSnapshot::from_checkpoint_str(&wrong).is_err());
+        // Garbage.
+        assert!(AccumulatorSnapshot::from_checkpoint_str("").is_err());
+        assert!(AccumulatorSnapshot::from_checkpoint_str("hello\nworld").is_err());
+    }
+}

@@ -2,6 +2,12 @@
 //!
 //! Items are stored as `u32` (the largest paper domain is 41,270 items;
 //! `u32` halves the memory of the ~1M-user surrogates versus `usize`).
+//! Both containers expose their users as an
+//! [`idldp_core::mechanism::InputBatch`] view ([`SingleItemDataset::input_batch`] /
+//! [`ItemSetDataset::input_batch`]), the shape the batch pipeline and the
+//! streaming report sources consume.
+
+use idldp_core::mechanism::InputBatch;
 
 /// A dataset where each user holds exactly one item.
 #[derive(Clone, Debug, PartialEq)]
@@ -36,6 +42,12 @@ impl SingleItemDataset {
     /// Per-user items.
     pub fn items(&self) -> &[u32] {
         &self.items
+    }
+
+    /// The batch view consumed by `SimulationPipeline` and
+    /// `SeededReportStream`.
+    pub fn input_batch(&self) -> InputBatch<'_> {
+        InputBatch::Items(&self.items)
     }
 
     /// True counts `c*_i` (Eq. 1): the number of users holding each item.
@@ -89,6 +101,12 @@ impl ItemSetDataset {
     /// Per-user sets.
     pub fn sets(&self) -> &[Vec<u32>] {
         &self.sets
+    }
+
+    /// The batch view consumed by `SimulationPipeline` and
+    /// `SeededReportStream`.
+    pub fn input_batch(&self) -> InputBatch<'_> {
+        InputBatch::Sets(&self.sets)
     }
 
     /// True counts `c*_i` (Eq. 1): the number of users whose set contains
@@ -164,6 +182,11 @@ mod tests {
         assert_eq!(d.domain_size(), 4);
         assert_eq!(d.true_counts(), vec![1.0, 3.0, 1.0, 0.0]);
         assert_eq!(d.top_k(2), vec![1, 0]);
+        assert_eq!(d.input_batch().len(), 5);
+        assert_eq!(
+            d.input_batch().kind(),
+            idldp_core::mechanism::InputKind::Item
+        );
     }
 
     #[test]
@@ -179,6 +202,11 @@ mod tests {
         assert_eq!(d.mean_set_size(), 5.0 / 4.0);
         assert_eq!(d.max_set_size(), 2);
         assert_eq!(d.top_k(1), vec![1]);
+        assert_eq!(d.input_batch().len(), 4);
+        assert_eq!(
+            d.input_batch().kind(),
+            idldp_core::mechanism::InputKind::Set
+        );
     }
 
     #[test]

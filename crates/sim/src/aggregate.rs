@@ -18,6 +18,7 @@ use idldp_core::error::{Error as CoreError, Result as CoreResult};
 use idldp_core::idue::Idue;
 use idldp_core::idue_ps::IduePs;
 use idldp_core::mechanism::{Input, InputBatch, Mechanism};
+use idldp_core::snapshot::AccumulatorSnapshot;
 use idldp_data::dataset::{ItemSetDataset, SingleItemDataset};
 use idldp_num::binomial::sample_binomial;
 use rand::{Rng, RngCore};
@@ -84,6 +85,22 @@ pub fn run_counts<R: Rng>(
         &profile.b,
         inputs.len() as u64,
     ))
+}
+
+/// Like [`run_counts`], but freezes the drawn counts and the user total
+/// into an [`AccumulatorSnapshot`], so the aggregate path plugs into the
+/// same incremental oracle/checkpoint machinery as the exact and streaming
+/// paths.
+///
+/// # Errors
+/// Same conditions as [`run_counts`].
+pub fn run_snapshot<R: Rng>(
+    rng: &mut R,
+    mechanism: &dyn Mechanism,
+    inputs: InputBatch<'_>,
+) -> CoreResult<AccumulatorSnapshot> {
+    let counts = run_counts(rng, mechanism, inputs)?;
+    AccumulatorSnapshot::new(counts, inputs.len() as u64)
 }
 
 /// Aggregate single-item run: hot counts are the true counts.

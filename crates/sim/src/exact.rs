@@ -17,6 +17,7 @@ use crate::pipeline::SimulationPipeline;
 use idldp_core::idue::Idue;
 use idldp_core::idue_ps::IduePs;
 use idldp_core::mechanism::InputBatch;
+use idldp_core::snapshot::AccumulatorSnapshot;
 use idldp_data::dataset::{ItemSetDataset, SingleItemDataset};
 
 /// Runs the exact single-item pipeline: every user perturbs her item, the
@@ -25,13 +26,26 @@ use idldp_data::dataset::{ItemSetDataset, SingleItemDataset};
 /// # Panics
 /// Panics if the mechanism and dataset domains differ.
 pub fn run_single_item(mechanism: &Idue, dataset: &SingleItemDataset, seed: u64) -> Vec<u64> {
+    run_single_item_snapshot(mechanism, dataset, seed).into_counts()
+}
+
+/// Like [`run_single_item`], but returns the frozen accumulator state
+/// (counts + user total) for the incremental oracle path or a checkpoint.
+///
+/// # Panics
+/// Panics if the mechanism and dataset domains differ.
+pub fn run_single_item_snapshot(
+    mechanism: &Idue,
+    dataset: &SingleItemDataset,
+    seed: u64,
+) -> AccumulatorSnapshot {
     assert_eq!(
         mechanism.domain_size(),
         dataset.domain_size(),
         "mechanism/dataset domain mismatch"
     );
     SimulationPipeline::new()
-        .run(mechanism, InputBatch::Items(dataset.items()), seed)
+        .run_snapshot(mechanism, InputBatch::Items(dataset.items()), seed)
         .expect("domains validated above")
 }
 
@@ -42,13 +56,26 @@ pub fn run_single_item(mechanism: &Idue, dataset: &SingleItemDataset, seed: u64)
 /// Panics if the mechanism and dataset domains differ or a set contains an
 /// out-of-domain item.
 pub fn run_item_set(mechanism: &IduePs, dataset: &ItemSetDataset, seed: u64) -> Vec<u64> {
+    run_item_set_snapshot(mechanism, dataset, seed).into_counts()
+}
+
+/// Like [`run_item_set`], but returns the frozen accumulator state (counts
+/// + user total) for the incremental oracle path or a checkpoint.
+///
+/// # Panics
+/// Same conditions as [`run_item_set`].
+pub fn run_item_set_snapshot(
+    mechanism: &IduePs,
+    dataset: &ItemSetDataset,
+    seed: u64,
+) -> AccumulatorSnapshot {
     assert_eq!(
         mechanism.domain_size(),
         dataset.domain_size(),
         "mechanism/dataset domain mismatch"
     );
     SimulationPipeline::new()
-        .run(mechanism, InputBatch::Sets(dataset.sets()), seed)
+        .run_snapshot(mechanism, InputBatch::Sets(dataset.sets()), seed)
         .expect("domains validated above")
 }
 

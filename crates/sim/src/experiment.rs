@@ -211,7 +211,7 @@ impl<'a> SingleItemExperiment<'a> {
             results.push(run_one(
                 name,
                 mechanism.as_ref(),
-                InputBatch::Items(self.dataset.items()),
+                self.dataset.input_batch(),
                 &truth,
                 &top,
                 &truth,
@@ -325,7 +325,7 @@ impl<'a> ItemSetExperiment<'a> {
             results.push(run_one(
                 name,
                 mechanism.as_ref(),
-                InputBatch::Sets(self.dataset.sets()),
+                self.dataset.input_batch(),
                 &truth,
                 &top,
                 &expected_hot,

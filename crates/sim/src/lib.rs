@@ -13,7 +13,11 @@
 //! * [`pipeline`] — [`pipeline::SimulationPipeline`]: the batched,
 //!   rayon-parallel client simulation over any
 //!   [`idldp_core::mechanism::BatchMechanism`]; chunked RNG streams make
-//!   parallel and sequential runs byte-identical per seed.
+//!   parallel and sequential runs byte-identical per seed. Runs on top of
+//!   the [`stream`] accumulator layer (per-chunk state fans into a
+//!   [`idldp_stream::ShardedAccumulator`]), and
+//!   [`pipeline::SimulationPipeline::run_snapshot`] exposes the frozen
+//!   state for the incremental oracle path.
 //! * [`exact`] — typed wrappers over the pipeline for the *exact* per-user
 //!   path (Algorithms 1/3 literally).
 //! * [`aggregate`] — the *aggregate* simulation: per-bit counts drawn as
@@ -35,6 +39,11 @@ pub mod pipeline;
 pub mod registry;
 pub mod report;
 pub mod spec;
+
+/// The streaming aggregation layer (`idldp-stream`), re-exported so
+/// simulation callers reach sharded accumulators and seeded report streams
+/// without a separate dependency.
+pub use idldp_stream as stream;
 
 pub use experiment::{
     ItemSetExperiment, MechanismResult, SimulationMode, SingleItemExperiment, TrialOutcome,

@@ -15,16 +15,30 @@
 //! the same seed. Chunk RNG streams are independent [`stream_rng`] streams,
 //! and merged counts are integer sums, so no floating-point reassociation
 //! can creep in.
+//!
+//! ## Relationship to the streaming layer
+//!
+//! The pipeline runs *on top of* the `idldp-stream` accumulator layer: the
+//! chunk grid is [`idldp_stream::chunk_ranges`] (shared with
+//! [`idldp_stream::SeededReportStream`]), and the parallel reduce fans
+//! per-chunk [`CountAccumulator`]s into a
+//! [`ShardedAccumulator`]`<`[`BitReportAccumulator`]`>` — the same striped
+//! state an online ingestion service uses. Streaming the identical seeded
+//! report stream therefore reproduces a batch run's counts bit for bit
+//! (asserted by `tests/streaming_conformance.rs` for all six mechanisms).
 
 use idldp_core::error::Result;
 use idldp_core::mechanism::{BatchMechanism, CountAccumulator, InputBatch};
+use idldp_core::snapshot::AccumulatorSnapshot;
 use idldp_num::rng::stream_rng;
+use idldp_stream::{BitReportAccumulator, ShardedAccumulator};
 use rayon::prelude::*;
 
 /// Default number of users per chunk: large enough to amortize the chunk
 /// RNG setup and accumulator merge, small enough to load-balance tens of
-/// cores on the smallest paper-scale datasets.
-pub const DEFAULT_CHUNK_SIZE: usize = 1024;
+/// cores on the smallest paper-scale datasets. Shared with the streaming
+/// layer ([`idldp_stream::DEFAULT_CHUNK_SIZE`]).
+pub const DEFAULT_CHUNK_SIZE: usize = idldp_stream::DEFAULT_CHUNK_SIZE;
 
 /// A reusable, mechanism-agnostic client-simulation runner.
 #[derive(Clone, Copy, Debug)]
@@ -75,19 +89,43 @@ impl SimulationPipeline {
         inputs: InputBatch<'_>,
         seed: u64,
     ) -> Result<Vec<u64>> {
-        let chunks = self.chunk_ranges(inputs.len());
-        let merged = chunks
+        Ok(self.run_snapshot(mechanism, inputs, seed)?.into_counts())
+    }
+
+    /// Like [`Self::run`], but returns the frozen accumulator state
+    /// ([`AccumulatorSnapshot`]) — counts *plus* user total — ready for the
+    /// incremental oracle path
+    /// ([`idldp_core::mechanism::FrequencyOracle::estimate_from`]) or a
+    /// checkpoint file.
+    ///
+    /// Internally each rayon chunk accumulates locally and is absorbed into
+    /// a striped [`ShardedAccumulator`]; integer merges commute, so the
+    /// result is independent of shard count and absorption order.
+    ///
+    /// # Errors
+    /// Same conditions as [`Self::run`].
+    pub fn run_snapshot(
+        &self,
+        mechanism: &dyn BatchMechanism,
+        inputs: InputBatch<'_>,
+        seed: u64,
+    ) -> Result<AccumulatorSnapshot> {
+        let sink = ShardedAccumulator::new(
+            BitReportAccumulator::new(mechanism.report_len()),
+            idldp_stream::DEFAULT_SHARDS,
+        );
+        // (map + reduce rather than try_for_each: the vendored rayon shim
+        // exposes only the map/for_each/reduce/collect subset.)
+        self.chunk_ranges(inputs.len())
             .into_par_iter()
-            .map(|(ci, lo, hi)| self.run_chunk(mechanism, inputs, seed, ci, lo, hi))
-            .reduce(
-                || Ok(CountAccumulator::new(mechanism.report_len())),
-                |left, right| {
-                    let mut left = left?;
-                    left.merge(&right?);
-                    Ok(left)
-                },
-            )?;
-        Ok(merged.into_counts())
+            .map(|(ci, lo, hi)| {
+                let chunk = self.run_chunk(mechanism, inputs, seed, ci, lo, hi)?;
+                sink.absorb(&BitReportAccumulator::from(chunk))
+                    .expect("chunk width equals sink width");
+                Ok(())
+            })
+            .reduce(|| Ok(()), |left: Result<()>, right| left.and(right))?;
+        Ok(sink.snapshot())
     }
 
     /// The sequential reference path: same chunking, same RNG streams, same
@@ -110,12 +148,9 @@ impl SimulationPipeline {
     }
 
     fn chunk_ranges(&self, n: usize) -> Vec<(u64, usize, usize)> {
-        (0..n.div_ceil(self.chunk_size))
-            .map(|ci| {
-                let lo = ci * self.chunk_size;
-                (ci as u64, lo, (lo + self.chunk_size).min(n))
-            })
-            .collect()
+        // The grid is defined once, in the streaming layer, so batch and
+        // streaming runs can never drift apart.
+        idldp_stream::chunk_ranges(n, self.chunk_size)
     }
 
     fn run_chunk(
@@ -210,5 +245,22 @@ mod tests {
             .run(&mech, InputBatch::Items(&[]), 1)
             .unwrap();
         assert_eq!(counts, vec![0; 4]);
+    }
+
+    #[test]
+    fn snapshot_carries_counts_and_users() {
+        let mech = Idue::oue(4, eps(1.0)).unwrap();
+        let items: Vec<u32> = (0..5000).map(|i| (i % 4) as u32).collect();
+        let p = SimulationPipeline::new().with_chunk_size(512);
+        let snap = p.run_snapshot(&mech, InputBatch::Items(&items), 3).unwrap();
+        assert_eq!(snap.num_users(), 5000);
+        let counts = p.run(&mech, InputBatch::Items(&items), 3).unwrap();
+        assert_eq!(snap.counts(), counts.as_slice());
+        // The incremental oracle path agrees with the direct one.
+        let oracle = idldp_core::mechanism::Mechanism::frequency_oracle(&mech, 5000);
+        assert_eq!(
+            oracle.estimate_from(&snap).unwrap(),
+            oracle.estimate(&counts).unwrap()
+        );
     }
 }

@@ -70,6 +70,42 @@ pub struct RegistryEntry {
 }
 
 /// The name → builder table.
+///
+/// # Examples
+///
+/// Resolve a protocol by name and run it — batch or streaming — without
+/// naming a concrete mechanism type anywhere:
+///
+/// ```
+/// use idldp_core::budget::Epsilon;
+/// use idldp_core::levels::LevelPartition;
+/// use idldp_sim::stream::{BitReportAccumulator, SeededReportStream, ShardedAccumulator};
+/// use idldp_sim::{BuildContext, InputBatch, MechanismRegistry, SimulationPipeline};
+///
+/// let levels = LevelPartition::uniform(8, Epsilon::new(1.0).unwrap()).unwrap();
+/// let ctx = BuildContext { levels: &levels, padding: 0, solver: None };
+/// let mechanism = MechanismRegistry::standard()
+///     .build_single_item("oue", &ctx)
+///     .unwrap();
+///
+/// let items: Vec<u32> = (0..4000).map(|i| (i % 8) as u32).collect();
+///
+/// // Batch: the rayon-parallel pipeline.
+/// let batch = SimulationPipeline::new()
+///     .run(mechanism.as_ref(), InputBatch::Items(&items), 42)
+///     .unwrap();
+///
+/// // Streaming: the same seeded reports through sharded accumulators —
+/// // bit-identical counts, any shard count.
+/// let sink = ShardedAccumulator::new(
+///     BitReportAccumulator::new(mechanism.report_len()),
+///     4,
+/// );
+/// SeededReportStream::new(mechanism.as_ref(), InputBatch::Items(&items), 42)
+///     .ingest_all(&sink)
+///     .unwrap();
+/// assert_eq!(sink.snapshot().counts(), batch.as_slice());
+/// ```
 pub struct MechanismRegistry {
     entries: Vec<RegistryEntry>,
 }

@@ -1,0 +1,240 @@
+//! Property tests for the streaming accumulator layer.
+//!
+//! The central law under test: **any** sharding of a report set, under
+//! **any** merge order, yields counts identical to feeding every report
+//! into a single accumulator sequentially — for report streams generated
+//! by all six mechanisms.
+
+use idldp_core::budget::Epsilon;
+use idldp_core::grr::GeneralizedRandomizedResponse;
+use idldp_core::idue::Idue;
+use idldp_core::idue_ps::IduePs;
+use idldp_core::levels::LevelPartition;
+use idldp_core::matrix_mech::PerturbationMatrix;
+use idldp_core::mechanism::{InputBatch, Mechanism};
+use idldp_core::params::LevelParams;
+use idldp_core::ps::PsMechanism;
+use idldp_core::snapshot::AccumulatorSnapshot;
+use idldp_num::rng::SplitMix64;
+use idldp_stream::{
+    BitReportAccumulator, OneHotReportAccumulator, Report, ReportAccumulator, SeededReportStream,
+    ShardedAccumulator,
+};
+use proptest::prelude::*;
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+/// Builds one of the six mechanisms by index, over a domain scaled to `m`.
+fn mechanism(kind: usize, m: usize) -> Box<dyn Mechanism> {
+    match kind {
+        0 => Box::new(GeneralizedRandomizedResponse::new(eps(1.2), m).unwrap()),
+        1 => Box::new(idldp_core::ue::UnaryEncoding::optimized(eps(1.0), m).unwrap()),
+        2 => {
+            let assignment: Vec<usize> = (0..m).map(|i| usize::from(i % 3 != 0)).collect();
+            let levels = LevelPartition::new(assignment, vec![eps(1.0), eps(3.0)]).unwrap();
+            let params = LevelParams::new(vec![0.59, 0.67], vec![0.33, 0.28]).unwrap();
+            Box::new(Idue::new(levels, &params).unwrap())
+        }
+        3 => Box::new(PsMechanism::new(m, 2).unwrap()),
+        4 => Box::new(IduePs::oue_ps(m, eps(2.0), 2).unwrap()),
+        _ => Box::new(PerturbationMatrix::grr(eps(1.5), m).unwrap()),
+    }
+}
+
+fn inputs_for(mech: &dyn Mechanism, n: usize) -> OwnedInputs {
+    let m = mech.domain_size();
+    match mech.input_kind() {
+        idldp_core::mechanism::InputKind::Item => {
+            OwnedInputs::Items((0..n).map(|i| ((i * 13 + 5) % m) as u32).collect())
+        }
+        idldp_core::mechanism::InputKind::Set => OwnedInputs::Sets(
+            (0..n)
+                .map(|i| {
+                    let a = (i % m) as u32;
+                    let b = ((i / 3 + 1) % m) as u32;
+                    if a == b {
+                        vec![a]
+                    } else {
+                        vec![a.min(b), a.max(b)]
+                    }
+                })
+                .collect(),
+        ),
+    }
+}
+
+enum OwnedInputs {
+    Items(Vec<u32>),
+    Sets(Vec<Vec<u32>>),
+}
+
+impl OwnedInputs {
+    fn batch(&self) -> InputBatch<'_> {
+        match self {
+            OwnedInputs::Items(items) => InputBatch::Items(items),
+            OwnedInputs::Sets(sets) => InputBatch::Sets(sets),
+        }
+    }
+}
+
+/// Collects all reports of a seeded stream into owned vectors.
+fn materialize(mech: &dyn Mechanism, inputs: InputBatch<'_>, seed: u64) -> Vec<Vec<u8>> {
+    let mut reports = Vec::with_capacity(inputs.len());
+    let mut stream = SeededReportStream::new(mech, inputs, seed).with_chunk_size(64);
+    loop {
+        let got = stream
+            .next_chunk_with(|r| {
+                if let Report::Bits(bits) = r {
+                    reports.push(bits.to_vec());
+                }
+                Ok(())
+            })
+            .unwrap();
+        if got == 0 {
+            break;
+        }
+    }
+    reports
+}
+
+/// Sequential reference: one accumulator, reports in order.
+fn sequential<A: ReportAccumulator>(mut acc: A, reports: &[Vec<u8>]) -> AccumulatorSnapshot {
+    for r in reports {
+        acc.accumulate(Report::Bits(r)).unwrap();
+    }
+    acc.snapshot()
+}
+
+/// Sharded run with a pseudo-random report→shard assignment and a
+/// pseudo-random shard merge order.
+fn sharded_any_order<A: ReportAccumulator + Clone>(
+    prototype: A,
+    reports: &[Vec<u8>],
+    shards: usize,
+    order_seed: u64,
+) -> AccumulatorSnapshot {
+    let mut rng = SplitMix64::new(order_seed);
+    let sink = ShardedAccumulator::new(prototype, shards);
+    for r in reports {
+        let shard = (rng.next() % shards as u64) as usize;
+        sink.push_to(shard, Report::Bits(r)).unwrap();
+    }
+    let snap = sink.snapshot();
+    // Independently: a shuffled pairwise merge tree over a random
+    // partition of the same reports must land on the same state.
+    let mut parts: Vec<AccumulatorSnapshot> = Vec::new();
+    let mut order: Vec<usize> = (0..reports.len()).collect();
+    for i in (1..order.len()).rev() {
+        let j = (rng.next() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    let mut merged = AccumulatorSnapshot::empty(snap.report_len()).unwrap();
+    for chunk in order.chunks(17) {
+        let mut part = AccumulatorSnapshot::empty(snap.report_len()).unwrap();
+        for &i in chunk {
+            let mut one = BitReportAccumulator::new(snap.report_len());
+            one.accumulate(Report::Bits(&reports[i])).unwrap();
+            part.merge(&one.snapshot()).unwrap();
+        }
+        parts.push(part);
+    }
+    for part in &parts {
+        merged.merge(part).unwrap();
+    }
+    assert_eq!(merged, snap, "shuffled merge differs from sharded snapshot");
+    snap
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any sharding/merge order equals sequential accumulation — all six
+    /// mechanisms, bit accumulators.
+    #[test]
+    fn sharding_never_changes_counts(
+        kind in 0usize..6,
+        n in 50usize..800,
+        m in 4usize..16,
+        shards in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let mech = mechanism(kind, m);
+        let inputs = inputs_for(mech.as_ref(), n);
+        let reports = materialize(mech.as_ref(), inputs.batch(), seed);
+        prop_assert_eq!(reports.len(), n);
+
+        let want = sequential(BitReportAccumulator::new(mech.report_len()), &reports);
+        prop_assert_eq!(want.num_users(), n as u64);
+        let got = sharded_any_order(
+            BitReportAccumulator::new(mech.report_len()),
+            &reports,
+            shards,
+            seed ^ 0xDEAD_BEEF,
+        );
+        prop_assert_eq!(got, want);
+    }
+
+    /// The same law for the categorical accumulator on one-hot mechanisms
+    /// (GRR and matrix rows), cross-checked against the bit accumulator.
+    #[test]
+    fn one_hot_and_bit_accumulators_agree(
+        one_hot_kind in 0usize..2,
+        n in 50usize..600,
+        m in 4usize..12,
+        shards in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mech = mechanism(if one_hot_kind == 0 { 0 } else { 5 }, m);
+        let inputs = inputs_for(mech.as_ref(), n);
+        let reports = materialize(mech.as_ref(), inputs.batch(), seed);
+
+        let via_bits = sequential(BitReportAccumulator::new(mech.report_len()), &reports);
+        let via_one_hot = sharded_any_order(
+            OneHotReportAccumulator::new(mech.report_len()),
+            &reports,
+            shards,
+            seed ^ 0xBEEF,
+        );
+        prop_assert_eq!(via_one_hot, via_bits);
+    }
+
+    /// Round-robin fan-out equals explicit partitioning equals sequential.
+    #[test]
+    fn round_robin_equals_partitioned(
+        kind in 0usize..6,
+        n in 20usize..400,
+        shards in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let m = 8;
+        let mech = mechanism(kind, m);
+        let inputs = inputs_for(mech.as_ref(), n);
+        let reports = materialize(mech.as_ref(), inputs.batch(), seed);
+
+        let rr = ShardedAccumulator::new(BitReportAccumulator::new(mech.report_len()), shards);
+        for r in &reports {
+            rr.push(Report::Bits(r)).unwrap();
+        }
+        let want = sequential(BitReportAccumulator::new(mech.report_len()), &reports);
+        prop_assert_eq!(rr.snapshot(), want);
+    }
+
+    /// Checkpoint serialization round-trips any reachable snapshot.
+    #[test]
+    fn checkpoint_round_trips(
+        kind in 0usize..6,
+        n in 10usize..300,
+        seed in any::<u64>(),
+    ) {
+        let m = 6;
+        let mech = mechanism(kind, m);
+        let inputs = inputs_for(mech.as_ref(), n);
+        let reports = materialize(mech.as_ref(), inputs.batch(), seed);
+        let snap = sequential(BitReportAccumulator::new(mech.report_len()), &reports);
+        let restored =
+            AccumulatorSnapshot::from_checkpoint_str(&snap.to_checkpoint_string()).unwrap();
+        prop_assert_eq!(restored, snap);
+    }
+}

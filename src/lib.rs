@@ -24,6 +24,8 @@
 //!   generators for Kosarak/Retail/MSNBC;
 //! * [`sim`] ([`idldp_sim`]) — client/server simulation and experiment
 //!   runners;
+//! * [`stream`] ([`idldp_stream`]) — online aggregation: mergeable sharded
+//!   accumulators, seeded report streams, and snapshot checkpointing;
 //! * [`num`] ([`idldp_num`]) — the numerical substrate (solvers, samplers).
 //!
 //! ## Quickstart
@@ -68,6 +70,7 @@ pub use idldp_data as data;
 pub use idldp_num as num;
 pub use idldp_opt as opt;
 pub use idldp_sim as sim;
+pub use idldp_stream as stream;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -78,7 +81,11 @@ pub mod prelude {
     pub use idldp_core::levels::LevelPartition;
     pub use idldp_core::notion::{Notion, RFunction};
     pub use idldp_core::params::LevelParams;
+    pub use idldp_core::snapshot::AccumulatorSnapshot;
     pub use idldp_core::ue::UnaryEncoding;
     pub use idldp_opt::{IdueSolver, Model};
     pub use idldp_sim::{ItemSetExperiment, MechanismSpec, SingleItemExperiment};
+    pub use idldp_stream::{
+        BitReportAccumulator, Report, ReportAccumulator, SeededReportStream, ShardedAccumulator,
+    };
 }

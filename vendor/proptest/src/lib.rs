@@ -279,7 +279,7 @@ pub mod arbitrary {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Acceptable size arguments for [`vec`].
+    /// Acceptable size arguments for [`vec()`].
     pub trait SizeBounds {
         /// Draws a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;
