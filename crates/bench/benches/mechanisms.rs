@@ -1,18 +1,23 @@
-//! Criterion micro-benchmarks: client-side perturbation throughput.
+//! Criterion micro-benchmarks: client-side perturbation and server-side
+//! aggregation throughput.
 //!
 //! Measures one user's perturbation cost **through the unified trait API**
-//! (`dyn Mechanism::perturb_into` with a reused report buffer, plus the
-//! batched `BatchMechanism::perturb_batch` fast paths) for GRR,
-//! RAPPOR/OUE/IDUE (unary encoding over m bits) and IDUE-PS
-//! (pad-and-sample plus m+ℓ bits), at the domain sizes of the paper's
-//! datasets. Mechanisms are built through the registry, so a newly
-//! registered protocol can be benchmarked by adding its name to a list.
+//! (`dyn Mechanism::perturb_into` with a reused report buffer, the compact
+//! `perturb_data` wire emission, plus the batched
+//! `BatchMechanism::perturb_batch` fast paths) for GRR, RAPPOR/OUE/IDUE
+//! (unary encoding over m bits), OLH (hashed pairs), subset selection
+//! (size-k item sets) and IDUE-PS (pad-and-sample plus m+ℓ bits), at the
+//! domain sizes of the paper's datasets — and the server-side fold cost of
+//! the compact wire shapes through the shape accumulators. Mechanisms are
+//! built through the registry, so a newly registered protocol can be
+//! benchmarked by adding its name to a list.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use idldp_core::budget::Epsilon;
 use idldp_core::levels::LevelPartition;
 use idldp_core::mechanism::{BatchMechanism, CountAccumulator, Input, InputBatch};
 use idldp_num::rng::stream_rng;
+use idldp_sim::stream::{ReportAccumulator, ShapedAccumulator};
 use idldp_sim::{BuildContext, MechanismRegistry};
 use std::hint::black_box;
 
@@ -45,7 +50,7 @@ fn build(name: &str, m: usize, l: usize) -> Box<dyn BatchMechanism> {
 
 fn bench_single_perturb(c: &mut Criterion) {
     let mut group = c.benchmark_group("perturb/one-report");
-    for name in ["grr", "rappor", "oue", "idue-opt1"] {
+    for name in ["grr", "rappor", "oue", "idue-opt1", "olh", "ss"] {
         for m in [100usize, 1000] {
             let mech = build(name, m, 0);
             let mut report = vec![0u8; mech.report_len()];
@@ -90,7 +95,7 @@ fn bench_batch_fast_paths(c: &mut Criterion) {
     let mut group = c.benchmark_group("perturb/batch-1k");
     group.sample_size(10);
     let users: Vec<u32> = (0..1000u32).map(|i| i % 100).collect();
-    for name in ["grr", "oue", "idue-opt1"] {
+    for name in ["grr", "oue", "idue-opt1", "olh", "ss"] {
         let mech = build(name, 100, 0);
         group.bench_function(name, |b| {
             let mut rng = stream_rng(9, 0);
@@ -105,10 +110,62 @@ fn bench_batch_fast_paths(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_compact_wire_emission(c: &mut Criterion) {
+    // The shape-aware emission path: one compact wire report per call
+    // (OLH's (seed, value) pair, subset selection's size-k item set, GRR's
+    // bare value) — what a real transport would serialize, measured against
+    // the folded `perturb_into` numbers above.
+    let mut group = c.benchmark_group("perturb/wire-report");
+    for name in ["grr", "olh", "ss"] {
+        for m in [100usize, 1000] {
+            let mech = build(name, m, 0);
+            group.bench_with_input(BenchmarkId::new(name, m), &m, |b, _| {
+                let mut rng = stream_rng(2, 0);
+                b.iter(|| {
+                    let data = mech
+                        .perturb_data(black_box(Input::Item(7 % m)), &mut rng)
+                        .unwrap();
+                    black_box(data)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_aggregate_fold(c: &mut Criterion) {
+    // Server side of the compact shapes: folding 1k native wire reports
+    // into the shape-matched accumulator (OLH pays an O(m) hash fold per
+    // report; subset selection pays O(k)).
+    let mut group = c.benchmark_group("aggregate/fold-1k");
+    group.sample_size(10);
+    for name in ["olh", "ss"] {
+        for m in [100usize, 1000] {
+            let mech = build(name, m, 0);
+            let mut rng = stream_rng(3, 0);
+            let reports: Vec<_> = (0..1000)
+                .map(|i| mech.perturb_data(Input::Item(i % m), &mut rng).unwrap())
+                .collect();
+            group.bench_with_input(BenchmarkId::new(name, m), &m, |b, _| {
+                b.iter(|| {
+                    let mut acc = ShapedAccumulator::for_mechanism(mech.as_ref());
+                    for r in &reports {
+                        acc.accumulate(r.as_report()).unwrap();
+                    }
+                    black_box(acc.num_users())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_single_perturb,
     bench_item_set_perturb,
-    bench_batch_fast_paths
+    bench_batch_fast_paths,
+    bench_compact_wire_emission,
+    bench_aggregate_fold
 );
 criterion_main!(benches);

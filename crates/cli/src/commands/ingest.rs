@@ -23,7 +23,7 @@ use idldp_data::budgets::BudgetScheme;
 use idldp_data::synthetic;
 use idldp_num::rng::{derive_seed, stream_rng};
 use idldp_sim::report::sci;
-use idldp_sim::stream::{BitReportAccumulator, SeededReportStream, ShardedAccumulator};
+use idldp_sim::stream::{SeededReportStream, ShapedAccumulator, ShardedAccumulator};
 use idldp_sim::{BuildContext, MechanismRegistry};
 
 /// Runs the subcommand.
@@ -65,7 +65,11 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
         .build_single_item(&mechanism_name, &ctx)
         .map_err(|e| e.to_string())?;
 
-    let sink = ShardedAccumulator::new(BitReportAccumulator::new(mechanism.report_len()), shards);
+    // The sink is picked from the mechanism's declared wire shape, so the
+    // same command ingests bit vectors, categorical values, hashed
+    // (seed, value) pairs, and item sets without per-mechanism dispatch.
+    let sink =
+        ShardedAccumulator::new(ShapedAccumulator::for_mechanism(mechanism.as_ref()), shards);
     // The dataset and budget assignment already consumed RNG streams
     // (seed, 0) and (seed, 1); give the report stream its own derived seed
     // so chunk 0's perturbation draws never replay the sequence that
@@ -118,8 +122,9 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
     }
 
     println!(
-        "ingest: mechanism = {mechanism_name}, dataset = {dataset_kind}, n = {n}, m = {m}, \
-         eps = {eps}, shards = {shards}, chunk = {chunk}, emit every {emit_every} users"
+        "ingest: mechanism = {mechanism_name} ({} reports), dataset = {dataset_kind}, n = {n}, \
+         m = {m}, eps = {eps}, shards = {shards}, chunk = {chunk}, emit every {emit_every} users",
+        mechanism.report_shape().label()
     );
     let truth = dataset.true_counts();
     let mut since_emit = 0usize;

@@ -1,0 +1,51 @@
+//! `idldp mechanisms` — list every registered protocol.
+//!
+//! Prints the whole [`MechanismRegistry::standard`] table: canonical name,
+//! accepted aliases, supported deployment kinds, the report wire shape, and
+//! a one-line description — so discovering what `--mechanisms` /
+//! `--mechanism` accept no longer means grepping the registry source.
+
+use crate::args::CliArgs;
+use idldp_sim::report::TextTable;
+use idldp_sim::MechanismRegistry;
+
+/// Runs the subcommand.
+pub fn run(args: &CliArgs) -> Result<(), String> {
+    let registry = MechanismRegistry::standard();
+    if args.get("names").is_some() {
+        // Machine-friendly: one canonical name per line.
+        for name in registry.names() {
+            println!("{name}");
+        }
+        return Ok(());
+    }
+    let mut table = TextTable::new(&[
+        "name",
+        "aliases",
+        "deployments",
+        "report shape",
+        "description",
+    ]);
+    for entry in registry.entries() {
+        let deployments = match (entry.supports_single_item(), entry.supports_item_set()) {
+            (true, true) => "item, set",
+            (true, false) => "item",
+            (false, true) => "set",
+            (false, false) => "-",
+        };
+        table.row(vec![
+            entry.name.to_string(),
+            entry.aliases.join(", "),
+            deployments.to_string(),
+            entry.report_shape.to_string(),
+            entry.description.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\n{} mechanisms registered. Pass names to `simulate --mechanisms` or `ingest \
+         --mechanism` (case-insensitive; aliases accepted).",
+        registry.names().len()
+    );
+    Ok(())
+}

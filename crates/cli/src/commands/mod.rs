@@ -3,6 +3,7 @@
 pub mod audit;
 pub mod ingest;
 pub mod leakage;
+pub mod mechanisms;
 pub mod simulate;
 pub mod solve;
 

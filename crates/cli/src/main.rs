@@ -6,6 +6,7 @@
 //! idldp leakage  --budgets 1,1.2,2,4
 //! idldp simulate --dataset powerlaw --n 100000 --m 100 --eps 1.0 [--trials 10]
 //! idldp ingest   --mechanism oue --n 200000 --m 64 --eps 1.0 [--checkpoint state.ckpt]
+//! idldp mechanisms [--names]
 //! ```
 //!
 //! Run `idldp help` (or any unknown subcommand) for usage.
@@ -29,6 +30,7 @@ fn main() -> ExitCode {
         "leakage" => commands::leakage::run(&parsed),
         "simulate" => commands::simulate::run(&parsed),
         "ingest" => commands::ingest::run(&parsed),
+        "mechanisms" => commands::mechanisms::run(&parsed),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -69,6 +71,11 @@ USAGE:
                  [--emit-every U] [--top K] [--seed S] [--checkpoint FILE]
       stream perturbed reports through sharded accumulators, emitting
       calibrated estimates every U users; with --checkpoint the
-      accumulator state is persisted and a rerun resumes mid-stream"
+      accumulator state is persisted and a rerun resumes mid-stream
+
+  idldp mechanisms [--names]
+      list every registered mechanism with its aliases, supported
+      deployment kinds, report wire shape, and description
+      (--names prints just the canonical names, one per line)"
     );
 }

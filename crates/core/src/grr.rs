@@ -206,6 +206,7 @@ use crate::mechanism::{
     FrequencyOracle, Input, InputBatch, InputKind, Mechanism,
 };
 use crate::oracle::CalibratingOracle;
+use crate::report::{ReportData, ReportShape};
 use rand::RngCore;
 
 impl Mechanism for GeneralizedRandomizedResponse {
@@ -225,6 +226,10 @@ impl Mechanism for GeneralizedRandomizedResponse {
         InputKind::Item
     }
 
+    fn report_shape(&self) -> ReportShape {
+        ReportShape::Value
+    }
+
     fn perturb_into(
         &self,
         input: Input<'_>,
@@ -237,6 +242,11 @@ impl Mechanism for GeneralizedRandomizedResponse {
         report.fill(0);
         report[y] = 1;
         Ok(())
+    }
+
+    fn perturb_data(&self, input: Input<'_>, rng: &mut dyn RngCore) -> Result<ReportData> {
+        let item = check_item_input(input, self.m)?;
+        Ok(ReportData::Value(self.perturb(item, rng)?))
     }
 
     fn encode_hot(&self, input: Input<'_>, _rng: &mut dyn RngCore) -> Result<usize> {

@@ -20,12 +20,21 @@
 //!   [`idue::Idue`] (Algorithm 1), the [`ps`] Padding-and-Sampling protocol
 //!   (Algorithm 2, after Wang et al. S&P'18) and [`idue_ps::IduePs`]
 //!   (Algorithm 3), plus a generic [`matrix_mech::PerturbationMatrix`]
-//!   mechanism used for auditing and baselines.
+//!   mechanism used for auditing and baselines, and the classical LDP
+//!   baselines with compact wire formats:
+//!   [`olh::OptimalLocalHashing`] (hashed `(seed, value)` reports) and
+//!   [`subset::SubsetSelection`] (size-`k` item-set reports).
 //! * **Trait layer** — [`mechanism::Mechanism`],
 //!   [`mechanism::BatchMechanism`] and [`mechanism::FrequencyOracle`]: the
 //!   unified client/server contract every mechanism implements, so
 //!   simulation, CLI, and benchmarks dispatch over `dyn Mechanism` and a
 //!   new protocol is one `impl` plus one registry entry (in `idldp-sim`).
+//! * **Report wire format** — [`report`]: the shape-polymorphic report
+//!   layer ([`report::ReportShape`], borrowed [`report::Report`], owned
+//!   [`report::ReportData`], and the shared client/server
+//!   [`report::hash_bucket`]); [`mechanism::Mechanism::report_shape`] and
+//!   [`mechanism::Mechanism::perturb_data`] are the shape-aware emission
+//!   path, with `perturb_into` the zero-alloc folded bit-vector twin.
 //! * **Estimation** — [`estimator::FrequencyEstimator`]: the unbiased
 //!   calibrated estimator of Eq. 8 and the closed-form MSE of Eq. 9;
 //!   [`oracle::CalibratingOracle`] and [`oracle::MatrixOracle`] adapt it
@@ -80,12 +89,15 @@ pub mod levels;
 pub mod matrix_mech;
 pub mod mechanism;
 pub mod notion;
+pub mod olh;
 pub mod oracle;
 pub mod params;
 pub mod policy;
 pub mod ps;
 pub mod relations;
+pub mod report;
 pub mod snapshot;
+pub mod subset;
 pub mod ue;
 
 pub use budget::Epsilon;
@@ -99,7 +111,10 @@ pub use mechanism::{
     Mechanism,
 };
 pub use notion::{Notion, RFunction};
+pub use olh::OptimalLocalHashing;
 pub use params::LevelParams;
 pub use policy::PolicyGraph;
+pub use report::{hash_bucket, Report, ReportData, ReportShape};
 pub use snapshot::AccumulatorSnapshot;
+pub use subset::SubsetSelection;
 pub use ue::UnaryEncoding;

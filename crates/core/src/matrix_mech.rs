@@ -190,6 +190,7 @@ use crate::mechanism::{
     InputBatch, InputKind, Mechanism,
 };
 use crate::oracle::MatrixOracle;
+use crate::report::{ReportData, ReportShape};
 use rand::RngCore;
 
 impl Mechanism for PerturbationMatrix {
@@ -209,6 +210,10 @@ impl Mechanism for PerturbationMatrix {
         InputKind::Item
     }
 
+    fn report_shape(&self) -> ReportShape {
+        ReportShape::Value
+    }
+
     fn perturb_into(
         &self,
         input: Input<'_>,
@@ -221,6 +226,11 @@ impl Mechanism for PerturbationMatrix {
         report.fill(0);
         report[y] = 1;
         Ok(())
+    }
+
+    fn perturb_data(&self, input: Input<'_>, rng: &mut dyn RngCore) -> Result<ReportData> {
+        let x = check_item_input(input, self.num_inputs())?;
+        Ok(ReportData::Value(self.perturb(x, rng)?))
     }
 
     fn encode_hot(&self, input: Input<'_>, _rng: &mut dyn RngCore) -> Result<usize> {

@@ -27,6 +27,7 @@
 //! aggregate simulation path exploits.
 
 use crate::error::{Error, Result};
+use crate::report::{ReportData, ReportShape};
 use crate::snapshot::AccumulatorSnapshot;
 use rand::RngCore;
 
@@ -131,14 +132,41 @@ impl CountAccumulator {
 
     /// Adds one report (0/1 per bucket).
     ///
-    /// # Panics
-    /// Panics if the report length differs from the accumulator width.
-    pub fn accumulate_report(&mut self, report: &[u8]) {
-        assert_eq!(report.len(), self.counts.len(), "report width mismatch");
+    /// # Errors
+    /// Returns an error if the report length differs from the accumulator
+    /// width (the same typed contract as the streaming
+    /// `ReportAccumulator::accumulate` in `idldp-stream`); nothing is
+    /// counted on failure.
+    pub fn accumulate_report(&mut self, report: &[u8]) -> Result<()> {
+        if report.len() != self.counts.len() {
+            return Err(Error::DimensionMismatch {
+                what: "accumulated report width".into(),
+                expected: self.counts.len(),
+                actual: report.len(),
+            });
+        }
         for (c, &bit) in self.counts.iter_mut().zip(report) {
             *c += u64::from(bit);
         }
         self.users += 1;
+        Ok(())
+    }
+
+    /// Folds one report *in any wire shape* into the counts — delegating
+    /// to the single fold implementation,
+    /// [`crate::report::Report::fold_into`] — and counts one user. `range`
+    /// is the hash range for [`crate::report::Report::Hashed`] reports
+    /// (ignored by the other shapes). This is what the `idldp-stream`
+    /// shape accumulators and the compact-shape batch fast paths build on,
+    /// so the fold rule exists in exactly one place.
+    ///
+    /// # Errors
+    /// Returns an error on a width/domain mismatch, an out-of-range value,
+    /// or a non-distinct item set; nothing is counted on failure.
+    pub fn fold_report(&mut self, report: crate::report::Report<'_>, range: usize) -> Result<()> {
+        report.fold_into(&mut self.counts, range)?;
+        self.users += 1;
+        Ok(())
     }
 
     /// Direct bucket increment plus user count — for batch fast paths that
@@ -228,6 +256,15 @@ pub trait Mechanism: Send + Sync {
     /// Which input kind this mechanism perturbs.
     fn input_kind(&self) -> InputKind;
 
+    /// The wire shape this mechanism's reports take (see
+    /// [`crate::report::ReportShape`]). Defaults to the 0/1 bit vector of
+    /// width [`Self::report_len`]; compact-shape mechanisms (categorical,
+    /// hashed, item-set) override it so servers can pick the matching
+    /// accumulator without a per-mechanism `match`.
+    fn report_shape(&self) -> ReportShape {
+        ReportShape::Bits
+    }
+
     /// Perturbs `input`, writing the 0/1 report into `report`
     /// (length [`Self::report_len`]; every slot is overwritten).
     ///
@@ -260,6 +297,26 @@ pub trait Mechanism: Send + Sync {
     /// [`BitProfile`]). Enables the `O(n + m)` aggregate simulation path.
     fn bit_profile(&self) -> Option<BitProfile> {
         None
+    }
+
+    /// The shape-aware emission path: perturbs `input` into an owned
+    /// [`ReportData`] in the mechanism's native wire shape
+    /// ([`Self::report_shape`]).
+    ///
+    /// Implementations **must** consume randomness exactly like
+    /// [`Self::perturb_into`] (same draws, same order), so that a stream
+    /// emitting native-shape reports and a batch run folding bit vectors
+    /// produce identical counts per seed — the streaming conformance suite
+    /// holds every mechanism to this. The default covers bit-shaped
+    /// mechanisms by delegating to `perturb_into`; `perturb_into` remains
+    /// the zero-alloc fast path for callers with a reusable buffer.
+    ///
+    /// # Errors
+    /// Same conditions as [`Self::perturb_into`].
+    fn perturb_data(&self, input: Input<'_>, rng: &mut dyn RngCore) -> Result<ReportData> {
+        let mut report = vec![0u8; self.report_len()];
+        self.perturb_into(input, rng, &mut report)?;
+        Ok(ReportData::Bits(report))
     }
 
     /// Convenience: perturb into a freshly allocated report.
@@ -302,13 +359,13 @@ pub trait BatchMechanism: Mechanism {
             InputBatch::Items(items) => {
                 for &item in items {
                     self.perturb_into(Input::Item(item as usize), rng, &mut report)?;
-                    acc.accumulate_report(&report);
+                    acc.accumulate_report(&report)?;
                 }
             }
             InputBatch::Sets(sets) => {
                 for set in sets {
                     self.perturb_into(Input::Set(set), rng, &mut report)?;
-                    acc.accumulate_report(&report);
+                    acc.accumulate_report(&report)?;
                 }
             }
         }
@@ -428,11 +485,11 @@ mod tests {
             .enumerate()
         {
             if i < 2 {
-                a.accumulate_report(report);
+                a.accumulate_report(report).unwrap();
             } else {
-                b.accumulate_report(report);
+                b.accumulate_report(report).unwrap();
             }
-            whole.accumulate_report(report);
+            whole.accumulate_report(report).unwrap();
         }
         a.merge(&b);
         assert_eq!(a, whole);
@@ -445,6 +502,16 @@ mod tests {
     fn accumulator_rejects_mismatched_merge() {
         let mut a = CountAccumulator::new(3);
         a.merge(&CountAccumulator::new(4));
+    }
+
+    #[test]
+    fn accumulator_rejects_mismatched_report() {
+        let mut a = CountAccumulator::new(3);
+        assert!(a.accumulate_report(&[1, 0]).is_err());
+        assert!(a.accumulate_report(&[1, 0, 1, 0]).is_err());
+        assert_eq!(a.num_users(), 0, "failed accumulations count nothing");
+        a.accumulate_report(&[1, 0, 1]).unwrap();
+        assert_eq!(a.num_users(), 1);
     }
 
     #[test]

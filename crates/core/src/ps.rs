@@ -283,6 +283,7 @@ use crate::mechanism::{
     FrequencyOracle, Input, InputBatch, InputKind, Mechanism,
 };
 use crate::oracle::CalibratingOracle;
+use crate::report::{ReportData, ReportShape};
 use rand::RngCore;
 
 /// Padding-and-Sampling as a standalone [`Mechanism`]: sample one (real or
@@ -346,6 +347,12 @@ impl Mechanism for PsMechanism {
         InputKind::Set
     }
 
+    fn report_shape(&self) -> ReportShape {
+        // One sampled (real or dummy) item in the clear: a categorical
+        // value over the m + ℓ extended buckets.
+        ReportShape::Value
+    }
+
     fn perturb_into(
         &self,
         input: Input<'_>,
@@ -358,6 +365,13 @@ impl Mechanism for PsMechanism {
         report.fill(0);
         report[hot] = 1;
         Ok(())
+    }
+
+    fn perturb_data(&self, input: Input<'_>, rng: &mut dyn RngCore) -> Result<ReportData> {
+        let set = check_set_input(input, self.m)?;
+        Ok(ReportData::Value(
+            self.ps.pad_and_sample_u32(set, rng).encoded_index(self.m),
+        ))
     }
 
     fn encode_hot(&self, input: Input<'_>, rng: &mut dyn RngCore) -> Result<usize> {

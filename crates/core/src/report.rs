@@ -1,0 +1,346 @@
+//! The shape-polymorphic report wire format.
+//!
+//! PR 1/2 baked one assumption into every layer above the mechanisms: a
+//! client report is a 0/1 bit vector of [`crate::mechanism::Mechanism::report_len`]
+//! slots. That model fits the unary-encoding family exactly and categorical
+//! mechanisms tolerably (a one-hot vector), but it cannot express the wire
+//! format of hash-based protocols (OLH sends a `(seed, value in 0..g)`
+//! pair) or subset-selection (a small item set) without exploding the
+//! report width. This module promotes *report shape* to a first-class
+//! abstraction:
+//!
+//! * [`ReportShape`] — the static shape a mechanism emits, carried by
+//!   [`crate::mechanism::Mechanism::report_shape`] and used by servers to
+//!   pick the matching accumulator.
+//! * [`Report`] — one borrowed report in any shape: the type every
+//!   accumulator ingests (`idldp-stream`'s `ReportAccumulator::accumulate`).
+//! * [`ReportData`] — the owned twin, produced by
+//!   [`crate::mechanism::Mechanism::perturb_data`]; what a transport would
+//!   serialize.
+//! * [`hash_bucket`] — the shared client/server hash for
+//!   [`ReportShape::Hashed`] reports. The client encodes with it and the
+//!   server folds with it, so it is defined exactly once.
+//!
+//! Every shape folds to the same server-side state — per-bucket counts over
+//! `report_len` buckets ([`crate::mechanism::CountAccumulator`]) — which is
+//! what keeps sharded accumulation exact (integer merges commute) for all
+//! shapes alike:
+//!
+//! | shape | wire payload | fold into counts |
+//! |---|---|---|
+//! | `Bits` | 0/1 vector, `report_len` slots | add each bit |
+//! | `Value` | one value in `0..report_len` | increment that bucket |
+//! | `Hashed` | `(seed, value in 0..range)` | increment every `v` with `hash_bucket(seed, v, range) == value` |
+//! | `ItemSet` | distinct items in `0..report_len` | increment each member |
+
+use crate::error::{Error, Result};
+
+/// The report shape a mechanism emits on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReportShape {
+    /// A 0/1 bit vector of `report_len` slots (the unary-encoding family).
+    Bits,
+    /// A single categorical value in `0..report_len` (GRR, matrix
+    /// mechanisms, PS — transported as the value, foldable as one-hot).
+    Value,
+    /// A hashed report `(seed, value)` with `value` in `0..range` (OLH).
+    /// The server folds it over the item domain with [`hash_bucket`].
+    Hashed {
+        /// The hash range `g` the per-user hash maps items into.
+        range: usize,
+    },
+    /// A small set of distinct items in `0..report_len` (subset-selection).
+    ItemSet,
+}
+
+impl ReportShape {
+    /// Short human-readable label (`idldp mechanisms` output).
+    pub fn label(&self) -> String {
+        match self {
+            ReportShape::Bits => "bits".to_string(),
+            ReportShape::Value => "value".to_string(),
+            ReportShape::Hashed { range } => format!("hashed (seed, value in 0..{range})"),
+            ReportShape::ItemSet => "item-set".to_string(),
+        }
+    }
+}
+
+/// One client report, borrowed, in whichever shape the transport delivered
+/// it. This is the type every report-ingestion API accepts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Report<'a> {
+    /// A 0/1 bit vector of the mechanism's report width.
+    Bits(&'a [u8]),
+    /// A categorical report: the single reported value in
+    /// `0..report_len` (GRR and matrix-mechanism wire format).
+    Value(usize),
+    /// A hashed report: the per-user hash seed and the perturbed hash
+    /// value in `0..range` (OLH wire format).
+    Hashed {
+        /// The per-user hash seed the client drew.
+        seed: u64,
+        /// The (perturbed) hash value in `0..range`.
+        value: usize,
+    },
+    /// A subset-selection report: the reported distinct items.
+    ItemSet(&'a [usize]),
+}
+
+impl Report<'_> {
+    /// Copies the report into its owned form.
+    pub fn to_data(&self) -> ReportData {
+        match *self {
+            Report::Bits(bits) => ReportData::Bits(bits.to_vec()),
+            Report::Value(v) => ReportData::Value(v),
+            Report::Hashed { seed, value } => ReportData::Hashed { seed, value },
+            Report::ItemSet(items) => ReportData::ItemSet(items.to_vec()),
+        }
+    }
+
+    /// Folds this report into per-bucket counts of width `report_len`,
+    /// using `range` as the hash range for [`Report::Hashed`] reports
+    /// (ignored by the other shapes) — **the** implementation of the fold
+    /// table in the module docs, which every server-side accumulator
+    /// delegates to. One successful call accounts for exactly one user.
+    ///
+    /// # Errors
+    /// Returns an error on a width/domain mismatch or a non-distinct item
+    /// set; nothing is counted on failure.
+    pub fn fold_into(&self, counts: &mut [u64], range: usize) -> Result<()> {
+        match *self {
+            Report::Bits(bits) => {
+                if bits.len() != counts.len() {
+                    return Err(Error::DimensionMismatch {
+                        what: "bit report".into(),
+                        expected: counts.len(),
+                        actual: bits.len(),
+                    });
+                }
+                for (c, &bit) in counts.iter_mut().zip(bits) {
+                    *c += u64::from(bit);
+                }
+            }
+            Report::Value(v) => {
+                if v >= counts.len() {
+                    return Err(Error::IndexOutOfRange {
+                        what: "categorical report value".into(),
+                        index: v,
+                        bound: counts.len(),
+                    });
+                }
+                counts[v] += 1;
+            }
+            Report::Hashed { seed, value } => {
+                if value >= range {
+                    return Err(Error::IndexOutOfRange {
+                        what: "hashed report value".into(),
+                        index: value,
+                        bound: range,
+                    });
+                }
+                for (v, c) in counts.iter_mut().enumerate() {
+                    if hash_bucket(seed, v, range) == value {
+                        *c += 1;
+                    }
+                }
+            }
+            Report::ItemSet(items) => {
+                // Validate fully (range and distinctness) before counting,
+                // so a failed report contributes nothing.
+                for (k, &item) in items.iter().enumerate() {
+                    if item >= counts.len() {
+                        return Err(Error::IndexOutOfRange {
+                            what: "item-set report member".into(),
+                            index: item,
+                            bound: counts.len(),
+                        });
+                    }
+                    if items[..k].contains(&item) {
+                        return Err(Error::ParameterOrdering {
+                            detail: format!("item-set report repeats item {item}"),
+                        });
+                    }
+                }
+                for &item in items {
+                    counts[item] += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One client report, owned: what [`crate::mechanism::Mechanism::perturb_data`]
+/// emits and what a transport would serialize.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReportData {
+    /// A 0/1 bit vector of the mechanism's report width.
+    Bits(Vec<u8>),
+    /// A categorical report value in `0..report_len`.
+    Value(usize),
+    /// A hashed report `(seed, value in 0..range)`.
+    Hashed {
+        /// The per-user hash seed the client drew.
+        seed: u64,
+        /// The (perturbed) hash value in `0..range`.
+        value: usize,
+    },
+    /// A subset-selection report: distinct items in `0..report_len`.
+    ItemSet(Vec<usize>),
+}
+
+impl ReportData {
+    /// Borrows the report for ingestion.
+    pub fn as_report(&self) -> Report<'_> {
+        match self {
+            ReportData::Bits(bits) => Report::Bits(bits),
+            ReportData::Value(v) => Report::Value(*v),
+            ReportData::Hashed { seed, value } => Report::Hashed {
+                seed: *seed,
+                value: *value,
+            },
+            ReportData::ItemSet(items) => Report::ItemSet(items),
+        }
+    }
+
+    /// Folds this report into per-bucket counts — the owned-form
+    /// convenience over [`Report::fold_into`].
+    ///
+    /// # Errors
+    /// Same conditions as [`Report::fold_into`].
+    pub fn fold_into(&self, counts: &mut [u64], range: usize) -> Result<()> {
+        self.as_report().fold_into(counts, range)
+    }
+}
+
+/// The shared client/server hash for [`ReportShape::Hashed`] reports: maps
+/// `item` into `0..range` under the per-user `seed`.
+///
+/// A client encodes its input as `hash_bucket(seed, x, g)` before
+/// perturbation; the server folds a `(seed, value)` report by counting
+/// every item whose bucket equals `value`. Both sides call *this* function,
+/// so the mapping is defined exactly once and is stable across runs and
+/// platforms (pure integer arithmetic — a SplitMix64 finalizer over
+/// `seed ⊕ mix(item)`).
+///
+/// # Panics
+/// Panics if `range == 0` (hash ranges are validated positive at mechanism
+/// construction).
+#[inline]
+pub fn hash_bucket(seed: u64, item: usize, range: usize) -> usize {
+    assert!(range > 0, "hash range must be positive");
+    let mut z = seed ^ (item as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % range as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_labels() {
+        assert_eq!(ReportShape::Bits.label(), "bits");
+        assert_eq!(ReportShape::Value.label(), "value");
+        assert_eq!(
+            ReportShape::Hashed { range: 5 }.label(),
+            "hashed (seed, value in 0..5)"
+        );
+        assert_eq!(ReportShape::ItemSet.label(), "item-set");
+    }
+
+    #[test]
+    fn owned_and_borrowed_round_trip() {
+        let cases = [
+            ReportData::Bits(vec![1, 0, 1]),
+            ReportData::Value(2),
+            ReportData::Hashed { seed: 9, value: 1 },
+            ReportData::ItemSet(vec![0, 2]),
+        ];
+        for data in cases {
+            assert_eq!(data.as_report().to_data(), data);
+        }
+    }
+
+    #[test]
+    fn hash_bucket_is_deterministic_and_in_range() {
+        for seed in [0u64, 1, 0xDEADBEEF, u64::MAX] {
+            for item in 0..50 {
+                for range in [1usize, 2, 7, 64] {
+                    let b = hash_bucket(seed, item, range);
+                    assert!(b < range);
+                    assert_eq!(b, hash_bucket(seed, item, range), "stable");
+                }
+            }
+        }
+        // Different seeds decorrelate the bucket of the same item.
+        let spread: std::collections::HashSet<usize> =
+            (0..64u64).map(|s| hash_bucket(s, 3, 16)).collect();
+        assert!(spread.len() > 8, "only {} distinct buckets", spread.len());
+    }
+
+    #[test]
+    fn hash_bucket_roughly_uniform() {
+        let range = 8;
+        let mut hist = vec![0u32; range];
+        let trials = 40_000;
+        for i in 0..trials {
+            hist[hash_bucket(i as u64, (i * 7) % 100, range)] += 1;
+        }
+        for (b, &h) in hist.iter().enumerate() {
+            let rate = f64::from(h) / trials as f64;
+            assert!(
+                (rate - 1.0 / range as f64).abs() < 0.01,
+                "bucket {b} rate {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn fold_matches_shapes() {
+        let mut counts = vec![0u64; 4];
+        ReportData::Bits(vec![1, 0, 1, 0])
+            .fold_into(&mut counts, 0)
+            .unwrap();
+        ReportData::Value(3).fold_into(&mut counts, 0).unwrap();
+        ReportData::ItemSet(vec![1, 3])
+            .fold_into(&mut counts, 0)
+            .unwrap();
+        assert_eq!(counts, vec![1, 1, 1, 2]);
+
+        // A hashed fold counts exactly the support of (seed, value).
+        let (seed, range) = (77u64, 3usize);
+        let value = hash_bucket(seed, 2, range);
+        let mut hashed = vec![0u64; 4];
+        ReportData::Hashed { seed, value }
+            .fold_into(&mut hashed, range)
+            .unwrap();
+        for (v, &c) in hashed.iter().enumerate() {
+            let want = u64::from(hash_bucket(seed, v, range) == value);
+            assert_eq!(c, want, "item {v}");
+        }
+        assert_eq!(hashed[2], 1, "the preimage item is always supported");
+    }
+
+    #[test]
+    fn fold_rejects_invalid_reports() {
+        let mut counts = vec![0u64; 3];
+        assert!(ReportData::Bits(vec![1, 0])
+            .fold_into(&mut counts, 0)
+            .is_err());
+        assert!(ReportData::Value(3).fold_into(&mut counts, 0).is_err());
+        assert!(ReportData::Hashed { seed: 1, value: 4 }
+            .fold_into(&mut counts, 4)
+            .is_err());
+        assert!(ReportData::ItemSet(vec![0, 3])
+            .fold_into(&mut counts, 0)
+            .is_err());
+        assert!(ReportData::ItemSet(vec![1, 1])
+            .fold_into(&mut counts, 0)
+            .is_err());
+        assert_eq!(counts, vec![0, 0, 0], "failed folds count nothing");
+    }
+}

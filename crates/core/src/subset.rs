@@ -1,0 +1,427 @@
+//! Subset Selection (Wang–Wu–Hu'16 / Ye–Barg'18).
+//!
+//! The minimax-optimal single-item LDP protocol for mid-size domains: each
+//! client reports a *subset* of `k` items, distributed so that every
+//! size-`k` subset containing the true item is `e^ε` times as likely as
+//! any subset that does not. Operationally:
+//!
+//! 1. include the true item with probability
+//!    `p = k·e^ε / (k·e^ε + m − k)`;
+//! 2. fill the rest of the subset uniformly with distinct other items.
+//!
+//! The wire report is the item set itself
+//! ([`crate::report::ReportShape::ItemSet`]) — `k` small integers instead
+//! of an `m`-bit vector — the second report shape the bit-vector-only
+//! pipeline could not carry. Folded into per-item membership counts the
+//! protocol has the Bernoulli structure
+//!
+//! ```text
+//! Pr[v ∈ S | v true]  = p
+//! Pr[v ∈ S | v other] = (k − p) / (m − 1)
+//! ```
+//!
+//! so the Eq. 8 calibration applies directly. The *optimal* subset size is
+//! `k = round(m / (e^ε + 1))`, which [`SubsetSelection::new`] picks.
+
+use crate::budget::Epsilon;
+use crate::error::{Error, Result};
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// The subset-selection mechanism over an item domain of size `m`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SubsetSelection {
+    m: usize,
+    k: usize,
+    p: f64,
+    eps: f64,
+}
+
+impl SubsetSelection {
+    /// Creates subset selection at the optimal subset size
+    /// `k = round(m / (e^ε + 1))`, clamped into `1..m`.
+    ///
+    /// # Errors
+    /// Returns an error if `m < 2`.
+    pub fn new(eps: Epsilon, m: usize) -> Result<Self> {
+        if m < 2 {
+            return Err(Error::Empty {
+                what: "subset-selection domain (needs at least two items)".into(),
+            });
+        }
+        let k = ((m as f64 / (eps.exp() + 1.0)).round() as usize).clamp(1, m - 1);
+        Self::with_subset_size(eps, m, k)
+    }
+
+    /// Creates subset selection with an explicit subset size
+    /// `1 <= k < m` (`k = 1` degenerates to GRR-like behavior).
+    ///
+    /// # Errors
+    /// Returns an error if `m < 2` or `k` is outside `1..m`.
+    pub fn with_subset_size(eps: Epsilon, m: usize, k: usize) -> Result<Self> {
+        if m < 2 {
+            return Err(Error::Empty {
+                what: "subset-selection domain (needs at least two items)".into(),
+            });
+        }
+        if k == 0 || k >= m {
+            return Err(Error::IndexOutOfRange {
+                what: "subset size k (need 1 <= k < m)".into(),
+                index: k,
+                bound: m,
+            });
+        }
+        // `Epsilon` validates finite ε, but e^ε can still overflow to
+        // infinity (ε ≳ 709), which would make p = inf/inf = NaN and panic
+        // deep inside perturbation; reject it here instead.
+        if !eps.exp().is_finite() {
+            return Err(Error::InvalidEpsilon { value: eps.get() });
+        }
+        let ke = k as f64 * eps.exp();
+        Ok(Self {
+            m,
+            k,
+            p: ke / (ke + (m - k) as f64),
+            eps: eps.get(),
+        })
+    }
+
+    /// The reported subset size `k`.
+    pub fn subset_size(&self) -> usize {
+        self.k
+    }
+
+    /// Probability that the true item is included in the report.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Probability that any particular *other* item is included:
+    /// `(k − p) / (m − 1)`.
+    pub fn q(&self) -> f64 {
+        (self.k as f64 - self.p) / (self.m - 1) as f64
+    }
+
+    /// Runs the client protocol, appending the `k` reported items to `out`
+    /// in ascending order (the canonical wire form).
+    ///
+    /// `scratch` is caller-provided working space (cleared and resized
+    /// internally) so batch callers amortize the `O(m)` candidate buffer.
+    ///
+    /// # Errors
+    /// Returns an error if `input >= m`.
+    pub fn perturb_into_set<R: Rng + ?Sized>(
+        &self,
+        input: usize,
+        rng: &mut R,
+        scratch: &mut Vec<usize>,
+        out: &mut Vec<usize>,
+    ) -> Result<()> {
+        if input >= self.m {
+            return Err(Error::IndexOutOfRange {
+                what: "subset-selection input".into(),
+                index: input,
+                bound: self.m,
+            });
+        }
+        out.clear();
+        let include_true = rng.random_bool(self.p);
+        let fill = if include_true {
+            out.push(input);
+            self.k - 1
+        } else {
+            self.k
+        };
+        if fill > 0 {
+            // Uniform distinct draw of `fill` items from the m − 1 others:
+            // partial Fisher–Yates over the candidate list.
+            scratch.clear();
+            scratch.extend((0..self.m).filter(|&v| v != input));
+            for i in 0..fill {
+                let j = rng.random_range(i..scratch.len());
+                scratch.swap(i, j);
+            }
+            out.extend_from_slice(&scratch[..fill]);
+        }
+        out.sort_unstable();
+        Ok(())
+    }
+
+    /// Convenience wrapper over [`Self::perturb_into_set`] returning a
+    /// fresh vector.
+    ///
+    /// # Errors
+    /// Returns an error if `input >= m`.
+    pub fn perturb<R: Rng + ?Sized>(&self, input: usize, rng: &mut R) -> Result<Vec<usize>> {
+        let mut out = Vec::with_capacity(self.k);
+        self.perturb_with_shared_scratch(input, rng, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::perturb_into_set`] against a thread-local candidate buffer,
+    /// so per-report entry points (the trait's `perturb_into` /
+    /// `perturb_data`, driven once per user by streams) reuse the `O(m)`
+    /// scratch across calls instead of reallocating it — mechanisms are
+    /// `Sync`, so the reuse must be per-thread.
+    fn perturb_with_shared_scratch<R: Rng + ?Sized>(
+        &self,
+        input: usize,
+        rng: &mut R,
+        out: &mut Vec<usize>,
+    ) -> Result<()> {
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<Vec<usize>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
+        SCRATCH.with(|scratch| self.perturb_into_set(input, rng, &mut scratch.borrow_mut(), out))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unified trait layer
+// ---------------------------------------------------------------------------
+
+use crate::estimator::FrequencyEstimator;
+use crate::mechanism::{
+    check_item_input, check_report_width, BatchMechanism, BitProfile, CountAccumulator,
+    FrequencyOracle, Input, InputBatch, InputKind, Mechanism,
+};
+use crate::oracle::CalibratingOracle;
+use crate::report::{ReportData, ReportShape};
+
+impl Mechanism for SubsetSelection {
+    fn kind(&self) -> &'static str {
+        "ss"
+    }
+
+    fn domain_size(&self) -> usize {
+        self.m
+    }
+
+    /// The folded width: membership counts live over the item domain.
+    fn report_len(&self) -> usize {
+        self.m
+    }
+
+    fn input_kind(&self) -> InputKind {
+        InputKind::Item
+    }
+
+    fn report_shape(&self) -> ReportShape {
+        ReportShape::ItemSet
+    }
+
+    /// Writes the `k`-hot membership vector of the reported subset — the
+    /// server-side fold. Draws randomness identically to
+    /// [`Self::perturb_data`], which emits the compact item set.
+    fn perturb_into(
+        &self,
+        input: Input<'_>,
+        rng: &mut dyn RngCore,
+        report: &mut [u8],
+    ) -> Result<()> {
+        let item = check_item_input(input, self.m)?;
+        check_report_width(report, self.m)?;
+        let mut chosen = Vec::with_capacity(self.k);
+        self.perturb_with_shared_scratch(item, rng, &mut chosen)?;
+        report.fill(0);
+        for v in chosen {
+            report[v] = 1;
+        }
+        Ok(())
+    }
+
+    fn perturb_data(&self, input: Input<'_>, rng: &mut dyn RngCore) -> Result<ReportData> {
+        let item = check_item_input(input, self.m)?;
+        // The returned ItemSet is the owned wire payload (k small values);
+        // only the candidate scratch is reused.
+        let mut chosen = Vec::with_capacity(self.k);
+        self.perturb_with_shared_scratch(item, rng, &mut chosen)?;
+        Ok(ReportData::ItemSet(chosen))
+    }
+
+    fn encode_hot(&self, input: Input<'_>, _rng: &mut dyn RngCore) -> Result<usize> {
+        check_item_input(input, self.m)
+    }
+
+    fn ldp_epsilon(&self) -> f64 {
+        // Pr[S | x ∈ S] / Pr[S | x ∉ S] = [p/(1−p)]·(m−k)/k = e^ε exactly.
+        self.eps
+    }
+
+    fn frequency_oracle(&self, n: u64) -> Box<dyn FrequencyOracle> {
+        let est = FrequencyEstimator::new(vec![self.p; self.m], vec![self.q(); self.m], n, 1.0)
+            .expect("p > q for every positive budget and k < m");
+        Box::new(CalibratingOracle::new(est, self.m).expect("widths match"))
+    }
+
+    fn bit_profile(&self) -> Option<BitProfile> {
+        // Marginally exact per bucket (membership bits are negatively
+        // correlated through the fixed subset size).
+        Some(BitProfile {
+            a: vec![self.p; self.m],
+            b: vec![self.q(); self.m],
+        })
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+impl BatchMechanism for SubsetSelection {
+    /// Fast path: reuses one scratch/output pair across the whole batch and
+    /// increments the chosen buckets directly, skipping the `m`-slot report
+    /// buffer. Randomness flows through the same
+    /// [`SubsetSelection::perturb_into_set`] as the per-user loop, so
+    /// batch ≡ loop bit for bit.
+    fn perturb_batch(
+        &self,
+        batch: InputBatch<'_>,
+        rng: &mut dyn RngCore,
+        acc: &mut CountAccumulator,
+    ) -> Result<()> {
+        let InputBatch::Items(items) = batch else {
+            check_item_input(Input::Set(&[]), self.m)?;
+            unreachable!("set inputs are rejected above");
+        };
+        if acc.counts().len() != self.m {
+            return Err(Error::DimensionMismatch {
+                what: "batch accumulator".into(),
+                expected: self.m,
+                actual: acc.counts().len(),
+            });
+        }
+        let mut scratch = Vec::new();
+        let mut chosen = Vec::with_capacity(self.k);
+        for &item in items {
+            self.perturb_into_set(item as usize, rng, &mut scratch, &mut chosen)?;
+            for &v in &chosen {
+                acc.add_bit(v);
+            }
+            acc.add_user();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idldp_num::rng::SplitMix64;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn optimal_subset_size() {
+        // k = round(m/(e^ε+1)): ε = ln 3 → m/4.
+        let ss = SubsetSelection::new(eps(3.0_f64.ln()), 40).unwrap();
+        assert_eq!(ss.subset_size(), 10);
+        // Large ε clamps to k = 1; tiny domains stay valid.
+        assert_eq!(SubsetSelection::new(eps(8.0), 10).unwrap().subset_size(), 1);
+        assert_eq!(SubsetSelection::new(eps(0.1), 2).unwrap().subset_size(), 1);
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(SubsetSelection::new(eps(1.0), 1).is_err());
+        assert!(SubsetSelection::with_subset_size(eps(1.0), 5, 0).is_err());
+        assert!(SubsetSelection::with_subset_size(eps(1.0), 5, 5).is_err());
+        assert!(SubsetSelection::with_subset_size(eps(1.0), 5, 4).is_ok());
+        // ε is finite but e^ε overflows: must error, not produce NaN
+        // probabilities that panic at perturb time.
+        assert!(SubsetSelection::new(eps(710.0), 10).is_err());
+        assert!(SubsetSelection::with_subset_size(eps(710.0), 10, 3).is_err());
+    }
+
+    #[test]
+    fn reports_are_sorted_distinct_size_k() {
+        let ss = SubsetSelection::with_subset_size(eps(1.0), 12, 4).unwrap();
+        let mut rng = SplitMix64::new(5);
+        assert!(ss.perturb(12, &mut rng).is_err());
+        for _ in 0..200 {
+            let s = ss.perturb(3, &mut rng).unwrap();
+            assert_eq!(s.len(), 4);
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted distinct: {s:?}");
+            assert!(s.iter().all(|&v| v < 12));
+        }
+    }
+
+    #[test]
+    fn membership_rates_match_p_and_q() {
+        let ss = SubsetSelection::with_subset_size(eps(1.5), 10, 3).unwrap();
+        let mut rng = SplitMix64::new(6);
+        let trials = 40_000;
+        let mut hist = [0u32; 10];
+        for _ in 0..trials {
+            for v in ss.perturb(2, &mut rng).unwrap() {
+                hist[v] += 1;
+            }
+        }
+        let true_rate = f64::from(hist[2]) / f64::from(trials);
+        assert!(
+            (true_rate - ss.p()).abs() < 0.01,
+            "true-item rate {true_rate} vs p {}",
+            ss.p()
+        );
+        for (v, &h) in hist.iter().enumerate() {
+            if v == 2 {
+                continue;
+            }
+            let rate = f64::from(h) / f64::from(trials);
+            assert!((rate - ss.q()).abs() < 0.01, "item {v} rate {rate}");
+        }
+        // Rates are consistent: p + (m−1)q = k.
+        assert!((ss.p() + 9.0 * ss.q() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trait_report_is_membership_vector_of_wire_set() {
+        let ss = SubsetSelection::new(eps(1.0), 15).unwrap();
+        let mut r1 = SplitMix64::new(44);
+        let mut r2 = SplitMix64::new(44);
+        let report = ss.perturb_report(Input::Item(6), &mut r1).unwrap();
+        let data = ss.perturb_data(Input::Item(6), &mut r2).unwrap();
+        let ReportData::ItemSet(items) = data else {
+            panic!("subset selection must emit item sets, got {data:?}");
+        };
+        let mut folded = vec![0u8; 15];
+        for &v in &items {
+            folded[v] = 1;
+        }
+        assert_eq!(report, folded, "perturb_into ≡ fold(perturb_data)");
+        assert_eq!(items.len(), ss.subset_size());
+        assert_eq!(ss.report_shape(), ReportShape::ItemSet);
+    }
+
+    #[test]
+    fn estimates_are_unbiased() {
+        let m = 12;
+        let ss = SubsetSelection::new(eps(1.0), m).unwrap();
+        let n = 4000usize;
+        let items: Vec<u32> = (0..n).map(|i| if i % 4 == 0 { 1 } else { 9 }).collect();
+        let trials = 30u64;
+        let oracle = ss.frequency_oracle(n as u64);
+        let mut mean = vec![0.0; m];
+        for t in 0..trials {
+            let mut rng = SplitMix64::new(300 + t);
+            let mut acc = CountAccumulator::new(m);
+            ss.perturb_batch(InputBatch::Items(&items), &mut rng, &mut acc)
+                .unwrap();
+            for (s, e) in mean.iter_mut().zip(oracle.estimate(acc.counts()).unwrap()) {
+                *s += e / trials as f64;
+            }
+        }
+        assert!(
+            (mean[1] - n as f64 / 4.0).abs() < 0.05 * n as f64,
+            "{mean:?}"
+        );
+        assert!(
+            (mean[9] - 3.0 * n as f64 / 4.0).abs() < 0.05 * n as f64,
+            "{mean:?}"
+        );
+        assert!(mean[0].abs() < 0.05 * n as f64, "{mean:?}");
+    }
+}

@@ -23,8 +23,11 @@ use idldp_core::matrix_mech::PerturbationMatrix;
 use idldp_core::mechanism::{
     BatchMechanism, CountAccumulator, Input, InputBatch, InputKind, Mechanism,
 };
+use idldp_core::olh::OptimalLocalHashing;
 use idldp_core::params::LevelParams;
 use idldp_core::ps::PsMechanism;
+use idldp_core::report::ReportShape;
+use idldp_core::subset::SubsetSelection;
 use idldp_core::ue::UnaryEncoding;
 use idldp_num::rng::{stream_rng, SplitMix64};
 
@@ -56,6 +59,8 @@ fn all_mechanisms() -> Vec<Box<dyn BatchMechanism>> {
         Box::new(PsMechanism::new(DOMAIN, PADDING).unwrap()),
         Box::new(IduePs::new(levels, &params, PADDING).unwrap()),
         Box::new(PerturbationMatrix::grr(eps(1.5), DOMAIN).unwrap()),
+        Box::new(OptimalLocalHashing::new(eps(1.5), DOMAIN).unwrap()),
+        Box::new(SubsetSelection::new(eps(1.5), DOMAIN).unwrap()),
     ]
 }
 
@@ -365,6 +370,56 @@ fn encode_hot_matches_report_expectation() {
                 "{}",
                 mech.kind()
             );
+        }
+    }
+}
+
+#[test]
+fn perturb_data_folds_to_perturb_into() {
+    // The wire-shape law behind the shape-generic pipeline: emitting the
+    // native-shape report (`perturb_data`) and folding it server-side must
+    // give the exact bit pattern `perturb_into` writes, under the same RNG
+    // stream — for every mechanism and every shape.
+    for mech in all_mechanisms() {
+        let load = workload(mech.as_ref(), 200);
+        let range = match mech.report_shape() {
+            ReportShape::Hashed { range } => range,
+            _ => 0,
+        };
+        for i in 0..load.len() {
+            let mut r1 = stream_rng(41, i as u64);
+            let mut r2 = stream_rng(41, i as u64);
+            let report = mech.perturb_report(load.input(i), &mut r1).unwrap();
+            let data = mech.perturb_data(load.input(i), &mut r2).unwrap();
+            let mut via_into = vec![0u64; mech.report_len()];
+            for (c, &b) in via_into.iter_mut().zip(&report) {
+                *c = u64::from(b);
+            }
+            let mut via_data = vec![0u64; mech.report_len()];
+            data.fold_into(&mut via_data, range).unwrap();
+            assert_eq!(
+                via_data,
+                via_into,
+                "{}: perturb_data fold diverged from perturb_into",
+                mech.kind()
+            );
+        }
+    }
+}
+
+#[test]
+fn report_shapes_are_declared_consistently() {
+    for mech in all_mechanisms() {
+        let shape = mech.report_shape();
+        match mech.kind() {
+            "grr" | "matrix" | "ps" => assert_eq!(shape, ReportShape::Value, "{}", mech.kind()),
+            "olh" => assert!(
+                matches!(shape, ReportShape::Hashed { range } if range >= 2),
+                "{}: {shape:?}",
+                mech.kind()
+            ),
+            "ss" => assert_eq!(shape, ReportShape::ItemSet),
+            _ => assert_eq!(shape, ReportShape::Bits, "{}", mech.kind()),
         }
     }
 }

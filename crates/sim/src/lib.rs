@@ -30,6 +30,8 @@
 //!   rows behind the paper's Figs. 3–5, generic over `dyn BatchMechanism`.
 //! * [`report`] — fixed-width text tables and CSV output.
 
+#![deny(missing_docs)]
+
 pub mod aggregate;
 pub mod exact;
 pub mod experiment;

@@ -25,7 +25,7 @@
 //! [`ShardedAccumulator`]`<`[`BitReportAccumulator`]`>` — the same striped
 //! state an online ingestion service uses. Streaming the identical seeded
 //! report stream therefore reproduces a batch run's counts bit for bit
-//! (asserted by `tests/streaming_conformance.rs` for all six mechanisms).
+//! (asserted by `tests/streaming_conformance.rs` for all eight mechanisms).
 
 use idldp_core::error::Result;
 use idldp_core::mechanism::{BatchMechanism, CountAccumulator, InputBatch};

@@ -63,10 +63,28 @@ pub struct RegistryEntry {
     pub name: &'static str,
     /// Additional accepted spellings (matched case-insensitively).
     pub aliases: &'static [&'static str],
+    /// One-line human description (`idldp mechanisms` output).
+    pub description: &'static str,
+    /// The wire shape this protocol's reports take (static label; the
+    /// exact [`idldp_core::report::ReportShape`] — e.g. OLH's hash range —
+    /// depends on the built mechanism's parameters).
+    pub report_shape: &'static str,
     /// Builder for single-item deployments (`None` if unsupported).
     single: Option<Builder>,
     /// Builder for item-set deployments (`None` if unsupported).
     item_set: Option<Builder>,
+}
+
+impl RegistryEntry {
+    /// `true` if the protocol supports single-item deployments.
+    pub fn supports_single_item(&self) -> bool {
+        self.single.is_some()
+    }
+
+    /// `true` if the protocol supports item-set deployments.
+    pub fn supports_item_set(&self) -> bool {
+        self.item_set.is_some()
+    }
 }
 
 /// The name → builder table.
@@ -140,6 +158,8 @@ impl MechanismRegistry {
             reg.register(RegistryEntry {
                 name: "rappor",
                 aliases: &["sue", "symmetric-ue"],
+                description: "symmetric unary encoding (Erlingsson et al.) at the minimum budget",
+                report_shape: "bits",
                 single: Some(Box::new(|ctx| {
                     core_err(Idue::rappor(
                         ctx.levels.num_items(),
@@ -159,6 +179,8 @@ impl MechanismRegistry {
             reg.register(RegistryEntry {
                 name: "oue",
                 aliases: &["optimized-ue"],
+                description: "optimized unary encoding (Wang et al.) at the minimum budget",
+                report_shape: "bits",
                 single: Some(Box::new(|ctx| {
                     core_err(Idue::oue(ctx.levels.num_items(), ctx.levels.min_budget())).map(boxed)
                 })),
@@ -174,6 +196,8 @@ impl MechanismRegistry {
             reg.register(RegistryEntry {
                 name: "grr",
                 aliases: &["direct", "k-rr"],
+                description: "generalized randomized response (direct encoding)",
+                report_shape: "value",
                 single: Some(Box::new(|ctx| {
                     core_err(GeneralizedRandomizedResponse::new(
                         ctx.levels.min_budget(),
@@ -186,6 +210,8 @@ impl MechanismRegistry {
             reg.register(RegistryEntry {
                 name: "matrix",
                 aliases: &["matrix-grr"],
+                description: "explicit perturbation-matrix mechanism with exact LU calibration",
+                report_shape: "value",
                 single: Some(Box::new(|ctx| {
                     core_err(idldp_core::matrix_mech::PerturbationMatrix::grr(
                         ctx.levels.min_budget(),
@@ -198,22 +224,67 @@ impl MechanismRegistry {
             reg.register(RegistryEntry {
                 name: "ps",
                 aliases: &["padding-sampling"],
+                description: "bare padding-and-sampling (Algorithm 2; no perturbation stage)",
+                report_shape: "value",
                 single: None,
                 item_set: Some(Box::new(|ctx| {
                     core_err(PsMechanism::new(ctx.levels.num_items(), ctx.padding)).map(boxed)
                 })),
             });
+            reg.register(RegistryEntry {
+                name: "olh",
+                aliases: &["local-hashing", "optimal-local-hashing"],
+                description:
+                    "optimal local hashing (Wang et al.): per-user hash into g = e^eps + 1 \
+                              buckets, GRR over the hashed value",
+                report_shape: "hashed (seed, value)",
+                single: Some(Box::new(|ctx| {
+                    core_err(idldp_core::olh::OptimalLocalHashing::new(
+                        ctx.levels.min_budget(),
+                        ctx.levels.num_items(),
+                    ))
+                    .map(boxed)
+                })),
+                item_set: None,
+            });
+            reg.register(RegistryEntry {
+                name: "ss",
+                aliases: &["subset", "subset-selection"],
+                description:
+                    "subset selection (Wang-Wu-Hu / Ye-Barg): report a random size-k item \
+                              subset, k = m / (e^eps + 1)",
+                report_shape: "item-set",
+                single: Some(Box::new(|ctx| {
+                    core_err(idldp_core::subset::SubsetSelection::new(
+                        ctx.levels.min_budget(),
+                        ctx.levels.num_items(),
+                    ))
+                    .map(boxed)
+                })),
+                item_set: None,
+            });
             for model in Model::ALL {
                 // `Model::name()` returns "opt0"/"opt1"/"opt2"; leak-free
                 // static names for the three fixed models.
-                let name: &'static str = match model {
-                    Model::Opt0 => "idue-opt0",
-                    Model::Opt1 => "idue-opt1",
-                    Model::Opt2 => "idue-opt2",
+                let (name, description): (&'static str, &'static str) = match model {
+                    Model::Opt0 => (
+                        "idue-opt0",
+                        "IDUE with per-level probabilities from the opt0 (uniform-b) model",
+                    ),
+                    Model::Opt1 => (
+                        "idue-opt1",
+                        "IDUE with per-level probabilities from the opt1 (convex) model",
+                    ),
+                    Model::Opt2 => (
+                        "idue-opt2",
+                        "IDUE with per-level probabilities from the opt2 (non-convex) model",
+                    ),
                 };
                 reg.register(RegistryEntry {
                     name,
                     aliases: &[],
+                    description,
+                    report_shape: "bits",
                     single: Some(Box::new(move |ctx| {
                         let params = ctx.solve(model)?;
                         core_err(Idue::new(ctx.levels.clone(), &params)).map(boxed)
@@ -231,6 +302,12 @@ impl MechanismRegistry {
     /// All registered canonical names, registration order.
     pub fn names(&self) -> Vec<&'static str> {
         self.entries.iter().map(|e| e.name).collect()
+    }
+
+    /// All registered entries, registration order — the backing of the
+    /// `idldp mechanisms` listing.
+    pub fn entries(&self) -> impl Iterator<Item = &RegistryEntry> {
+        self.entries.iter()
     }
 
     fn find(&self, name: &str) -> Result<&RegistryEntry, BuildError> {
@@ -322,10 +399,63 @@ mod tests {
             padding: 3,
             solver: None,
         };
-        for name in ["rappor", "oue", "grr", "matrix", "idue-opt1", "idue-opt2"] {
+        for name in [
+            "rappor",
+            "oue",
+            "grr",
+            "matrix",
+            "olh",
+            "ss",
+            "idue-opt1",
+            "idue-opt2",
+        ] {
             let mech = reg.build_single_item(name, &ctx).unwrap();
             assert_eq!(mech.domain_size(), 6, "{name}");
             assert!(mech.report_len() >= 6, "{name}");
+        }
+    }
+
+    #[test]
+    fn entries_carry_shape_and_description() {
+        let reg = MechanismRegistry::standard();
+        let entries: Vec<_> = reg.entries().collect();
+        assert_eq!(entries.len(), reg.names().len());
+        for e in &entries {
+            assert!(!e.description.is_empty(), "{}", e.name);
+            assert!(!e.report_shape.is_empty(), "{}", e.name);
+            assert!(
+                e.supports_single_item() || e.supports_item_set(),
+                "{}: entry supports no deployment kind",
+                e.name
+            );
+        }
+        let olh = entries.iter().find(|e| e.name == "olh").unwrap();
+        assert!(olh.report_shape.starts_with("hashed"));
+        assert!(olh.supports_single_item() && !olh.supports_item_set());
+        let ss = entries.iter().find(|e| e.name == "ss").unwrap();
+        assert_eq!(ss.report_shape, "item-set");
+    }
+
+    #[test]
+    fn new_mechanisms_resolve_by_alias() {
+        let reg = MechanismRegistry::standard();
+        let l = levels();
+        let ctx = BuildContext {
+            levels: &l,
+            padding: 0,
+            solver: None,
+        };
+        for name in ["local-hashing", "OLH", "subset-selection", "SUBSET"] {
+            assert!(reg.build_single_item(name, &ctx).is_ok(), "{name}");
+        }
+        // Both run at the partition minimum like the other LDP baselines.
+        for name in ["olh", "ss"] {
+            let mech = reg.build_single_item(name, &ctx).unwrap();
+            assert!(
+                (mech.ldp_epsilon() - 1.0).abs() < 1e-6,
+                "{name}: {}",
+                mech.ldp_epsilon()
+            );
         }
     }
 
@@ -367,6 +497,8 @@ mod tests {
         reg.register(RegistryEntry {
             name: "rappor",
             aliases: &["sue"],
+            description: "test entry",
+            report_shape: "bits",
             single: Some(Box::new(|ctx| {
                 core_err(Idue::rappor(
                     ctx.levels.num_items(),
@@ -379,6 +511,8 @@ mod tests {
         reg.register(RegistryEntry {
             name: "sue",
             aliases: &[],
+            description: "test entry",
+            report_shape: "bits",
             single: Some(Box::new(|ctx| {
                 core_err(Idue::oue(ctx.levels.num_items(), ctx.levels.min_budget())).map(boxed)
             })),

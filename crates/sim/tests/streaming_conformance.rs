@@ -9,9 +9,12 @@
 //!    time, fanned across a [`ShardedAccumulator`] chunk by chunk,
 //!
 //! and asserts identical per-bucket counts *and* identical oracle
-//! estimates, for all six mechanisms and for several shard counts. The
-//! contract that makes this possible is layered: `BatchMechanism`
-//! implementations draw randomness exactly like the per-user loop
+//! estimates, for all eight mechanisms and for several shard counts — with
+//! the stream emitting each mechanism's *native wire shape* (bit vectors,
+//! categorical values, hashed `(seed, value)` pairs, item sets) into the
+//! matching shape accumulator. The contract that makes this possible is
+//! layered: `BatchMechanism` implementations draw randomness exactly like
+//! the per-user loop and `perturb_data` draws exactly like `perturb_into`
 //! (conformance suite in `idldp-core`), the chunk/RNG grid is defined once
 //! in `idldp-stream`, and integer count merges commute.
 
@@ -22,13 +25,15 @@ use idldp_core::idue_ps::IduePs;
 use idldp_core::levels::LevelPartition;
 use idldp_core::matrix_mech::PerturbationMatrix;
 use idldp_core::mechanism::{BatchMechanism, InputBatch};
+use idldp_core::olh::OptimalLocalHashing;
 use idldp_core::params::LevelParams;
 use idldp_core::ps::PsMechanism;
 use idldp_core::snapshot::AccumulatorSnapshot;
+use idldp_core::subset::SubsetSelection;
 use idldp_core::ue::UnaryEncoding;
 use idldp_sim::stream::{
-    BitReportAccumulator, OneHotReportAccumulator, Report, ReportAccumulator, SeededReportStream,
-    ShardedAccumulator,
+    BitReportAccumulator, OneHotReportAccumulator, ReportAccumulator, SeededReportStream,
+    ShapedAccumulator, ShardedAccumulator,
 };
 use idldp_sim::SimulationPipeline;
 
@@ -66,7 +71,7 @@ fn assert_streaming_matches_batch<A>(
     name: &str,
     mechanism: &dyn BatchMechanism,
     inputs: InputBatch<'_>,
-    make_accumulator: impl Fn(usize) -> A,
+    make_accumulator: impl Fn(&dyn BatchMechanism) -> A,
 ) where
     A: ReportAccumulator + Clone,
 {
@@ -85,7 +90,7 @@ fn assert_streaming_matches_batch<A>(
     let batch_estimates = oracle.estimate(&batch_counts).unwrap();
 
     for shards in SHARD_COUNTS {
-        let sink = ShardedAccumulator::new(make_accumulator(mechanism.report_len()), shards);
+        let sink = ShardedAccumulator::new(make_accumulator(mechanism), shards);
         let mut stream = SeededReportStream::new(mechanism, inputs, SEED).with_chunk_size(CHUNK);
         // Chunked ingestion: after every chunk the snapshot must be
         // serveable (width + monotone users), even before the end.
@@ -123,25 +128,30 @@ fn assert_streaming_matches_batch<A>(
     );
 }
 
+/// The shape-matched sink every mechanism can stream into.
+fn shaped(mech: &dyn BatchMechanism) -> ShapedAccumulator {
+    ShapedAccumulator::for_mechanism(mech)
+}
+
+/// The plain bit sink, for mechanisms whose wire shape *is* the bit vector.
+fn bits(mech: &dyn BatchMechanism) -> BitReportAccumulator {
+    BitReportAccumulator::new(mech.report_len())
+}
+
 #[test]
 fn grr_streaming_matches_batch() {
     let m = 24;
     let mech = GeneralizedRandomizedResponse::new(eps(1.2), m).unwrap();
     let inputs = items(6000, m);
-    // GRR reports are categorical: stream them into the one-hot
-    // accumulator (the GRR/matrix wire shape)...
+    // GRR reports stream natively as categorical values: through the
+    // shape-dispatched accumulator...
+    assert_streaming_matches_batch("grr/shaped", &mech, InputBatch::Items(&inputs), shaped);
+    // ...and into the explicit one-hot accumulator — identical counts.
     assert_streaming_matches_batch(
         "grr/one-hot",
         &mech,
         InputBatch::Items(&inputs),
-        OneHotReportAccumulator::new,
-    );
-    // ...and into the plain bit accumulator — the counts are the same.
-    assert_streaming_matches_batch(
-        "grr/bits",
-        &mech,
-        InputBatch::Items(&inputs),
-        BitReportAccumulator::new,
+        |m: &dyn BatchMechanism| OneHotReportAccumulator::new(m.report_len()),
     );
 }
 
@@ -153,12 +163,8 @@ fn ue_streaming_matches_batch() {
         ("oue", UnaryEncoding::optimized(eps(1.0), m).unwrap()),
     ] {
         let inputs = items(5000, m);
-        assert_streaming_matches_batch(
-            name,
-            &mech,
-            InputBatch::Items(&inputs),
-            BitReportAccumulator::new,
-        );
+        assert_streaming_matches_batch(name, &mech, InputBatch::Items(&inputs), bits);
+        assert_streaming_matches_batch(name, &mech, InputBatch::Items(&inputs), shaped);
     }
 }
 
@@ -169,12 +175,7 @@ fn idue_streaming_matches_batch() {
     let params = LevelParams::new(vec![0.59, 0.67], vec![0.33, 0.28]).unwrap();
     let mech = Idue::new(levels, &params).unwrap();
     let inputs = items(5000, 10);
-    assert_streaming_matches_batch(
-        "idue",
-        &mech,
-        InputBatch::Items(&inputs),
-        BitReportAccumulator::new,
-    );
+    assert_streaming_matches_batch("idue", &mech, InputBatch::Items(&inputs), bits);
 }
 
 #[test]
@@ -182,12 +183,8 @@ fn ps_streaming_matches_batch() {
     let m = 12;
     let mech = PsMechanism::new(m, 3).unwrap();
     let inputs = sets(4000, m);
-    assert_streaming_matches_batch(
-        "ps",
-        &mech,
-        InputBatch::Sets(&inputs),
-        BitReportAccumulator::new,
-    );
+    // PS streams its sampled item as a categorical value over m + ℓ.
+    assert_streaming_matches_batch("ps", &mech, InputBatch::Sets(&inputs), shaped);
 }
 
 #[test]
@@ -195,12 +192,7 @@ fn idue_ps_streaming_matches_batch() {
     let m = 12;
     let mech = IduePs::oue_ps(m, eps(2.0), 3).unwrap();
     let inputs = sets(4000, m);
-    assert_streaming_matches_batch(
-        "idue-ps",
-        &mech,
-        InputBatch::Sets(&inputs),
-        BitReportAccumulator::new,
-    );
+    assert_streaming_matches_batch("idue-ps", &mech, InputBatch::Sets(&inputs), bits);
 }
 
 #[test]
@@ -212,14 +204,29 @@ fn matrix_streaming_matches_batch() {
         "matrix/one-hot",
         &mech,
         InputBatch::Items(&inputs),
-        OneHotReportAccumulator::new,
+        |m: &dyn BatchMechanism| OneHotReportAccumulator::new(m.report_len()),
     );
-    assert_streaming_matches_batch(
-        "matrix/bits",
-        &mech,
-        InputBatch::Items(&inputs),
-        BitReportAccumulator::new,
-    );
+    assert_streaming_matches_batch("matrix/shaped", &mech, InputBatch::Items(&inputs), shaped);
+}
+
+#[test]
+fn olh_streaming_matches_batch() {
+    // The first compact wire shape: hashed (seed, value) pairs, folded
+    // server-side through the shared hash. Streaming the pairs must
+    // reproduce the batch pipeline's folded counts bit for bit.
+    let m = 24;
+    let mech = OptimalLocalHashing::new(eps(1.2), m).unwrap();
+    let inputs = items(6000, m);
+    assert_streaming_matches_batch("olh/shaped", &mech, InputBatch::Items(&inputs), shaped);
+}
+
+#[test]
+fn subset_selection_streaming_matches_batch() {
+    // The second compact wire shape: size-k item sets.
+    let m = 20;
+    let mech = SubsetSelection::new(eps(1.0), m).unwrap();
+    let inputs = items(5000, m);
+    assert_streaming_matches_batch("ss/shaped", &mech, InputBatch::Items(&inputs), shaped);
 }
 
 #[test]
@@ -260,34 +267,43 @@ fn checkpoint_resume_matches_uninterrupted_stream() {
 
 #[test]
 fn one_report_at_a_time_equals_push_to_explicit_shards() {
-    // Round-robin vs caller-partitioned fan-out: same counts.
+    // Round-robin vs caller-partitioned fan-out: same counts — exercised
+    // for one mechanism per wire shape.
     let m = 8;
-    let mech = UnaryEncoding::symmetric(eps(1.0), m).unwrap();
+    let bits_mech = UnaryEncoding::symmetric(eps(1.0), m).unwrap();
+    let value_mech = GeneralizedRandomizedResponse::new(eps(1.0), m).unwrap();
+    let hashed_mech = OptimalLocalHashing::new(eps(1.0), m).unwrap();
+    let set_mech = SubsetSelection::new(eps(1.0), m).unwrap();
+    let mechanisms: [&dyn BatchMechanism; 4] = [&bits_mech, &value_mech, &hashed_mech, &set_mech];
     let inputs = items(1000, m);
     let batch = InputBatch::Items(&inputs);
 
-    let round_robin = ShardedAccumulator::new(BitReportAccumulator::new(m), 3);
-    SeededReportStream::new(&mech, batch, SEED)
-        .ingest_all(&round_robin)
-        .unwrap();
-
-    let partitioned = ShardedAccumulator::new(BitReportAccumulator::new(m), 3);
-    let mut i = 0usize;
-    let mut stream = SeededReportStream::new(&mech, batch, SEED);
-    loop {
-        let got = stream
-            .next_chunk_with(|report| {
-                let shard = (i * 7) % 3; // arbitrary deterministic partition
-                i += 1;
-                match report {
-                    Report::Bits(bits) => partitioned.push_to(shard, Report::Bits(bits)),
-                    Report::Value(v) => partitioned.push_to(shard, Report::Value(v)),
-                }
-            })
+    for mech in mechanisms {
+        let round_robin = ShardedAccumulator::new(ShapedAccumulator::for_mechanism(mech), 3);
+        SeededReportStream::new(mech, batch, SEED)
+            .ingest_all(&round_robin)
             .unwrap();
-        if got == 0 {
-            break;
+
+        let partitioned = ShardedAccumulator::new(ShapedAccumulator::for_mechanism(mech), 3);
+        let mut i = 0usize;
+        let mut stream = SeededReportStream::new(mech, batch, SEED);
+        loop {
+            let got = stream
+                .next_chunk_with(|report| {
+                    let shard = (i * 7) % 3; // arbitrary deterministic partition
+                    i += 1;
+                    partitioned.push_to(shard, report)
+                })
+                .unwrap();
+            if got == 0 {
+                break;
+            }
         }
+        assert_eq!(
+            round_robin.snapshot(),
+            partitioned.snapshot(),
+            "{}",
+            mech.kind()
+        );
     }
-    assert_eq!(round_robin.snapshot(), partitioned.snapshot());
 }

@@ -5,10 +5,14 @@
 //! crate is that online layer:
 //!
 //! * [`accumulator`] — [`ReportAccumulator`]: mergeable, `Send` per-shard
-//!   count state, with implementations for every report shape in the
-//!   workspace ([`BitReportAccumulator`] for the unary-encoding family,
-//!   [`OneHotReportAccumulator`] for GRR value reports and
-//!   matrix-mechanism rows).
+//!   count state, with one implementation per wire shape
+//!   ([`BitReportAccumulator`] for the unary-encoding family,
+//!   [`OneHotReportAccumulator`] for GRR/matrix/PS value reports,
+//!   [`HashedReportAccumulator`] for OLH `(seed, value)` pairs folded
+//!   through the shared hash, [`ItemSetReportAccumulator`] for
+//!   subset-selection item sets) plus the shape-dispatching
+//!   [`ShapedAccumulator`] picked from
+//!   [`idldp_core::mechanism::Mechanism::report_shape`].
 //! * [`sharded`] — [`ShardedAccumulator`]: stripes the state across `N`
 //!   independently locked shards with round-robin fan-out and exact
 //!   merge-on-demand snapshots.
@@ -50,6 +54,9 @@ pub mod accumulator;
 pub mod sharded;
 pub mod source;
 
-pub use accumulator::{BitReportAccumulator, OneHotReportAccumulator, Report, ReportAccumulator};
+pub use accumulator::{
+    BitReportAccumulator, HashedReportAccumulator, ItemSetReportAccumulator,
+    OneHotReportAccumulator, Report, ReportAccumulator, ShapedAccumulator,
+};
 pub use sharded::{ShardedAccumulator, DEFAULT_SHARDS};
 pub use source::{chunk_ranges, SeededReportStream, DEFAULT_CHUNK_SIZE};

@@ -7,7 +7,7 @@
 //! are exact (integer counts), the merged view — materialized on demand by
 //! [`ShardedAccumulator::snapshot`] — is identical for every shard count
 //! and every interleaving of writers. The streaming conformance suite
-//! asserts exactly that against the batch pipeline for all six mechanisms.
+//! asserts exactly that against the batch pipeline for all eight mechanisms.
 
 use crate::accumulator::{Report, ReportAccumulator};
 use idldp_core::error::{Error, Result};

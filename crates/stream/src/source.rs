@@ -9,7 +9,7 @@
 //! `BatchMechanism` contract (batch ≡ loop, bit for bit) then guarantees
 //! that streaming the reports into any sharded accumulator reproduces the
 //! batch counts exactly; `crates/sim/tests/streaming_conformance.rs`
-//! asserts it for all six mechanisms.
+//! asserts it for all eight mechanisms.
 //!
 //! Chunks being independent RNG streams also makes checkpoint/restore
 //! trivial: a restarted service restores the accumulator snapshot and
@@ -20,6 +20,7 @@ use crate::accumulator::{Report, ReportAccumulator};
 use crate::sharded::ShardedAccumulator;
 use idldp_core::error::{Error, Result};
 use idldp_core::mechanism::{Input, InputBatch, Mechanism};
+use idldp_core::report::{ReportData, ReportShape};
 use idldp_num::rng::stream_rng;
 
 /// Default users per chunk. Identical to the batch pipeline's default so
@@ -77,20 +78,44 @@ pub struct SeededReportStream<'a> {
     seed: u64,
     chunk_size: usize,
     next_chunk: u64,
+    shape: ReportShape,
     buffer: Vec<u8>,
 }
 
 impl<'a> SeededReportStream<'a> {
-    /// A stream over `inputs` with the default chunk size.
+    /// A stream over `inputs` with the default chunk size. Reports are
+    /// emitted in the mechanism's *native wire shape*
+    /// ([`Mechanism::report_shape`]): the bit-vector shape flows through a
+    /// reused zero-alloc buffer as [`Report::Bits`], while the compact
+    /// shapes are emitted via [`Mechanism::perturb_data`]
+    /// ([`Report::Value`] / [`Report::Hashed`] / [`Report::ItemSet`]).
+    /// Both emission paths draw randomness identically, so the shape never
+    /// changes the counts — pair the stream with
+    /// [`crate::ShapedAccumulator::for_mechanism`] and any mechanism's
+    /// reports land in a matching sink.
     pub fn new(mechanism: &'a dyn Mechanism, inputs: InputBatch<'a>, seed: u64) -> Self {
+        let shape = mechanism.report_shape();
+        // Only the bit-vector shape uses the reused buffer; compact shapes
+        // emit through `perturb_data` and never touch it.
+        let buffer = if shape == ReportShape::Bits {
+            vec![0u8; mechanism.report_len()]
+        } else {
+            Vec::new()
+        };
         Self {
             mechanism,
             inputs,
             seed,
             chunk_size: DEFAULT_CHUNK_SIZE,
             next_chunk: 0,
-            buffer: vec![0u8; mechanism.report_len()],
+            shape,
+            buffer,
         }
+    }
+
+    /// The wire shape this stream emits.
+    pub fn report_shape(&self) -> ReportShape {
+        self.shape
     }
 
     /// Overrides the chunk size. As in the batch pipeline, the chunk size
@@ -171,20 +196,25 @@ impl<'a> SeededReportStream<'a> {
         }
         let hi = (lo + self.chunk_size).min(n);
         let mut rng = stream_rng(self.seed, self.next_chunk);
+        let compact = self.shape != ReportShape::Bits;
         for user in lo..hi {
-            match self.inputs {
-                InputBatch::Items(items) => self.mechanism.perturb_into(
-                    Input::Item(items[user] as usize),
-                    &mut rng,
-                    &mut self.buffer,
-                )?,
-                InputBatch::Sets(sets) => self.mechanism.perturb_into(
-                    Input::Set(&sets[user]),
-                    &mut rng,
-                    &mut self.buffer,
-                )?,
+            let input = match self.inputs {
+                InputBatch::Items(items) => Input::Item(items[user] as usize),
+                InputBatch::Sets(sets) => Input::Set(&sets[user]),
+            };
+            if compact {
+                // Native compact wire shapes (categorical value, hashed
+                // pair, item set): no m-wide buffer at all.
+                let data = self.mechanism.perturb_data(input, &mut rng)?;
+                debug_assert!(!matches!(data, ReportData::Bits(_)));
+                sink(data.as_report())?;
+            } else {
+                // The bit-vector shape: the zero-alloc path through the
+                // reused buffer.
+                self.mechanism
+                    .perturb_into(input, &mut rng, &mut self.buffer)?;
+                sink(Report::Bits(&self.buffer))?;
             }
-            sink(Report::Bits(&self.buffer))?;
         }
         self.next_chunk += 1;
         Ok(hi - lo)

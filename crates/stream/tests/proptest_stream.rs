@@ -3,7 +3,8 @@
 //! The central law under test: **any** sharding of a report set, under
 //! **any** merge order, yields counts identical to feeding every report
 //! into a single accumulator sequentially — for report streams generated
-//! by all six mechanisms.
+//! by all eight mechanisms, in their native wire shapes (bit vectors,
+//! categorical values, hashed `(seed, value)` pairs, item sets).
 
 use idldp_core::budget::Epsilon;
 use idldp_core::grr::GeneralizedRandomizedResponse;
@@ -12,21 +13,28 @@ use idldp_core::idue_ps::IduePs;
 use idldp_core::levels::LevelPartition;
 use idldp_core::matrix_mech::PerturbationMatrix;
 use idldp_core::mechanism::{InputBatch, Mechanism};
+use idldp_core::olh::OptimalLocalHashing;
 use idldp_core::params::LevelParams;
 use idldp_core::ps::PsMechanism;
+use idldp_core::report::ReportData;
 use idldp_core::snapshot::AccumulatorSnapshot;
+use idldp_core::subset::SubsetSelection;
 use idldp_num::rng::SplitMix64;
 use idldp_stream::{
-    BitReportAccumulator, OneHotReportAccumulator, Report, ReportAccumulator, SeededReportStream,
+    BitReportAccumulator, HashedReportAccumulator, ItemSetReportAccumulator,
+    OneHotReportAccumulator, ReportAccumulator, SeededReportStream, ShapedAccumulator,
     ShardedAccumulator,
 };
 use proptest::prelude::*;
+
+/// Number of registered mechanism kinds the generators draw from.
+const NUM_KINDS: usize = 8;
 
 fn eps(v: f64) -> Epsilon {
     Epsilon::new(v).unwrap()
 }
 
-/// Builds one of the six mechanisms by index, over a domain scaled to `m`.
+/// Builds one of the eight mechanisms by index, over a domain scaled to `m`.
 fn mechanism(kind: usize, m: usize) -> Box<dyn Mechanism> {
     match kind {
         0 => Box::new(GeneralizedRandomizedResponse::new(eps(1.2), m).unwrap()),
@@ -39,7 +47,9 @@ fn mechanism(kind: usize, m: usize) -> Box<dyn Mechanism> {
         }
         3 => Box::new(PsMechanism::new(m, 2).unwrap()),
         4 => Box::new(IduePs::oue_ps(m, eps(2.0), 2).unwrap()),
-        _ => Box::new(PerturbationMatrix::grr(eps(1.5), m).unwrap()),
+        5 => Box::new(PerturbationMatrix::grr(eps(1.5), m).unwrap()),
+        6 => Box::new(OptimalLocalHashing::new(eps(1.3), m).unwrap()),
+        _ => Box::new(SubsetSelection::new(eps(1.1), m).unwrap()),
     }
 }
 
@@ -79,16 +89,14 @@ impl OwnedInputs {
     }
 }
 
-/// Collects all reports of a seeded stream into owned vectors.
-fn materialize(mech: &dyn Mechanism, inputs: InputBatch<'_>, seed: u64) -> Vec<Vec<u8>> {
+/// Collects all reports of a seeded stream into owned, native-shape values.
+fn materialize(mech: &dyn Mechanism, inputs: InputBatch<'_>, seed: u64) -> Vec<ReportData> {
     let mut reports = Vec::with_capacity(inputs.len());
     let mut stream = SeededReportStream::new(mech, inputs, seed).with_chunk_size(64);
     loop {
         let got = stream
             .next_chunk_with(|r| {
-                if let Report::Bits(bits) = r {
-                    reports.push(bits.to_vec());
-                }
+                reports.push(r.to_data());
                 Ok(())
             })
             .unwrap();
@@ -100,9 +108,9 @@ fn materialize(mech: &dyn Mechanism, inputs: InputBatch<'_>, seed: u64) -> Vec<V
 }
 
 /// Sequential reference: one accumulator, reports in order.
-fn sequential<A: ReportAccumulator>(mut acc: A, reports: &[Vec<u8>]) -> AccumulatorSnapshot {
+fn sequential<A: ReportAccumulator>(mut acc: A, reports: &[ReportData]) -> AccumulatorSnapshot {
     for r in reports {
-        acc.accumulate(Report::Bits(r)).unwrap();
+        acc.accumulate(r.as_report()).unwrap();
     }
     acc.snapshot()
 }
@@ -111,15 +119,15 @@ fn sequential<A: ReportAccumulator>(mut acc: A, reports: &[Vec<u8>]) -> Accumula
 /// pseudo-random shard merge order.
 fn sharded_any_order<A: ReportAccumulator + Clone>(
     prototype: A,
-    reports: &[Vec<u8>],
+    reports: &[ReportData],
     shards: usize,
     order_seed: u64,
 ) -> AccumulatorSnapshot {
     let mut rng = SplitMix64::new(order_seed);
-    let sink = ShardedAccumulator::new(prototype, shards);
+    let sink = ShardedAccumulator::new(prototype.clone(), shards);
     for r in reports {
         let shard = (rng.next() % shards as u64) as usize;
-        sink.push_to(shard, Report::Bits(r)).unwrap();
+        sink.push_to(shard, r.as_report()).unwrap();
     }
     let snap = sink.snapshot();
     // Independently: a shuffled pairwise merge tree over a random
@@ -134,8 +142,8 @@ fn sharded_any_order<A: ReportAccumulator + Clone>(
     for chunk in order.chunks(17) {
         let mut part = AccumulatorSnapshot::empty(snap.report_len()).unwrap();
         for &i in chunk {
-            let mut one = BitReportAccumulator::new(snap.report_len());
-            one.accumulate(Report::Bits(&reports[i])).unwrap();
+            let mut one = prototype.clone();
+            one.accumulate(reports[i].as_report()).unwrap();
             part.merge(&one.snapshot()).unwrap();
         }
         parts.push(part);
@@ -147,14 +155,24 @@ fn sharded_any_order<A: ReportAccumulator + Clone>(
     snap
 }
 
+/// Folds native-shape reports by hand via the core reference fold.
+fn reference_fold(reports: &[ReportData], width: usize, range: usize) -> Vec<u64> {
+    let mut counts = vec![0u64; width];
+    for r in reports {
+        r.fold_into(&mut counts, range).unwrap();
+    }
+    counts
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
-    /// Any sharding/merge order equals sequential accumulation — all six
-    /// mechanisms, bit accumulators.
+    /// Any sharding/merge order equals sequential accumulation — all eight
+    /// mechanisms, through the shape-dispatching accumulator in each
+    /// mechanism's native wire shape.
     #[test]
     fn sharding_never_changes_counts(
-        kind in 0usize..6,
+        kind in 0usize..NUM_KINDS,
         n in 50usize..800,
         m in 4usize..16,
         shards in 1usize..12,
@@ -165,19 +183,15 @@ proptest! {
         let reports = materialize(mech.as_ref(), inputs.batch(), seed);
         prop_assert_eq!(reports.len(), n);
 
-        let want = sequential(BitReportAccumulator::new(mech.report_len()), &reports);
+        let proto = ShapedAccumulator::for_mechanism(mech.as_ref());
+        let want = sequential(proto.clone(), &reports);
         prop_assert_eq!(want.num_users(), n as u64);
-        let got = sharded_any_order(
-            BitReportAccumulator::new(mech.report_len()),
-            &reports,
-            shards,
-            seed ^ 0xDEAD_BEEF,
-        );
+        let got = sharded_any_order(proto, &reports, shards, seed ^ 0xDEAD_BEEF);
         prop_assert_eq!(got, want);
     }
 
-    /// The same law for the categorical accumulator on one-hot mechanisms
-    /// (GRR and matrix rows), cross-checked against the bit accumulator.
+    /// The categorical accumulator on one-hot mechanisms (GRR and matrix
+    /// rows) agrees with the bit accumulator fed the folded form.
     #[test]
     fn one_hot_and_bit_accumulators_agree(
         one_hot_kind in 0usize..2,
@@ -190,7 +204,18 @@ proptest! {
         let inputs = inputs_for(mech.as_ref(), n);
         let reports = materialize(mech.as_ref(), inputs.batch(), seed);
 
-        let via_bits = sequential(BitReportAccumulator::new(mech.report_len()), &reports);
+        // Fold the native values into bit vectors by hand...
+        let bit_reports: Vec<ReportData> = reports
+            .iter()
+            .map(|r| {
+                let ReportData::Value(v) = r else { panic!("one-hot mechanisms emit values") };
+                let mut bits = vec![0u8; mech.report_len()];
+                bits[*v] = 1;
+                ReportData::Bits(bits)
+            })
+            .collect();
+        let via_bits = sequential(BitReportAccumulator::new(mech.report_len()), &bit_reports);
+        // ...and compare with sharded native-value accumulation.
         let via_one_hot = sharded_any_order(
             OneHotReportAccumulator::new(mech.report_len()),
             &reports,
@@ -200,10 +225,67 @@ proptest! {
         prop_assert_eq!(via_one_hot, via_bits);
     }
 
-    /// Round-robin fan-out equals explicit partitioning equals sequential.
+    /// Hashed-shape law (OLH): the exact-merge/sharding invariance holds
+    /// for `(seed, value)` reports, and the server-side fold through the
+    /// shared hash matches the reference fold and the streamed user total.
+    #[test]
+    fn hashed_accumulator_merges_exactly(
+        n in 50usize..600,
+        m in 4usize..16,
+        shards in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let mech = mechanism(6, m);
+        let range = match mech.report_shape() {
+            idldp_core::report::ReportShape::Hashed { range } => range,
+            other => panic!("OLH must declare a hashed shape, got {other:?}"),
+        };
+        let inputs = inputs_for(mech.as_ref(), n);
+        let reports = materialize(mech.as_ref(), inputs.batch(), seed);
+        prop_assert!(reports.iter().all(|r| matches!(r, ReportData::Hashed { .. })));
+
+        let proto = HashedReportAccumulator::new(m, range);
+        let want = sequential(proto.clone(), &reports);
+        let got = sharded_any_order(proto, &reports, shards, seed ^ 0xA5A5);
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(got.counts(), reference_fold(&reports, m, range).as_slice());
+        prop_assert_eq!(got.num_users(), n as u64);
+    }
+
+    /// Item-set-shape law (subset selection): exact merge/sharding
+    /// invariance, reference fold agreement, and per-user membership k.
+    #[test]
+    fn item_set_accumulator_merges_exactly(
+        n in 50usize..600,
+        m in 4usize..16,
+        shards in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let mech = mechanism(7, m);
+        let inputs = inputs_for(mech.as_ref(), n);
+        let reports = materialize(mech.as_ref(), inputs.batch(), seed);
+        let k = mech
+            .as_any()
+            .downcast_ref::<SubsetSelection>()
+            .unwrap()
+            .subset_size();
+        prop_assert!(reports
+            .iter()
+            .all(|r| matches!(r, ReportData::ItemSet(items) if items.len() == k)));
+
+        let proto = ItemSetReportAccumulator::new(m);
+        let want = sequential(proto.clone(), &reports);
+        let got = sharded_any_order(proto, &reports, shards, seed ^ 0x5A5A);
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(got.counts(), reference_fold(&reports, m, 0).as_slice());
+        prop_assert_eq!(got.counts().iter().sum::<u64>(), (n * k) as u64);
+    }
+
+    /// Round-robin fan-out equals explicit partitioning equals sequential —
+    /// native shapes through the shape-dispatching accumulator.
     #[test]
     fn round_robin_equals_partitioned(
-        kind in 0usize..6,
+        kind in 0usize..NUM_KINDS,
         n in 20usize..400,
         shards in 1usize..6,
         seed in any::<u64>(),
@@ -213,18 +295,19 @@ proptest! {
         let inputs = inputs_for(mech.as_ref(), n);
         let reports = materialize(mech.as_ref(), inputs.batch(), seed);
 
-        let rr = ShardedAccumulator::new(BitReportAccumulator::new(mech.report_len()), shards);
+        let proto = ShapedAccumulator::for_mechanism(mech.as_ref());
+        let rr = ShardedAccumulator::new(proto.clone(), shards);
         for r in &reports {
-            rr.push(Report::Bits(r)).unwrap();
+            rr.push(r.as_report()).unwrap();
         }
-        let want = sequential(BitReportAccumulator::new(mech.report_len()), &reports);
+        let want = sequential(proto, &reports);
         prop_assert_eq!(rr.snapshot(), want);
     }
 
     /// Checkpoint serialization round-trips any reachable snapshot.
     #[test]
     fn checkpoint_round_trips(
-        kind in 0usize..6,
+        kind in 0usize..NUM_KINDS,
         n in 10usize..300,
         seed in any::<u64>(),
     ) {
@@ -232,7 +315,7 @@ proptest! {
         let mech = mechanism(kind, m);
         let inputs = inputs_for(mech.as_ref(), n);
         let reports = materialize(mech.as_ref(), inputs.batch(), seed);
-        let snap = sequential(BitReportAccumulator::new(mech.report_len()), &reports);
+        let snap = sequential(ShapedAccumulator::for_mechanism(mech.as_ref()), &reports);
         let restored =
             AccumulatorSnapshot::from_checkpoint_str(&snap.to_checkpoint_string()).unwrap();
         prop_assert_eq!(restored, snap);

@@ -80,12 +80,16 @@ pub mod prelude {
     pub use idldp_core::idue_ps::IduePs;
     pub use idldp_core::levels::LevelPartition;
     pub use idldp_core::notion::{Notion, RFunction};
+    pub use idldp_core::olh::OptimalLocalHashing;
     pub use idldp_core::params::LevelParams;
+    pub use idldp_core::report::{ReportData, ReportShape};
     pub use idldp_core::snapshot::AccumulatorSnapshot;
+    pub use idldp_core::subset::SubsetSelection;
     pub use idldp_core::ue::UnaryEncoding;
     pub use idldp_opt::{IdueSolver, Model};
     pub use idldp_sim::{ItemSetExperiment, MechanismSpec, SingleItemExperiment};
     pub use idldp_stream::{
-        BitReportAccumulator, Report, ReportAccumulator, SeededReportStream, ShardedAccumulator,
+        BitReportAccumulator, Report, ReportAccumulator, SeededReportStream, ShapedAccumulator,
+        ShardedAccumulator,
     };
 }
