@@ -59,6 +59,18 @@ impl CliArgs {
         }
     }
 
+    /// A typed value that is `None` when the flag is absent (for flags
+    /// whose mere presence changes behavior, so no default applies).
+    pub fn parse_opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        self.values
+            .get(name)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("flag --{name}: cannot parse `{v}`"))
+            })
+            .transpose()
+    }
+
     /// A required comma-separated list of floats.
     pub fn require_f64_list(&self, name: &str) -> Result<Vec<f64>, String> {
         parse_f64_list(self.require(name)?).map_err(|e| format!("flag --{name}: {e}"))
@@ -112,6 +124,14 @@ mod tests {
         assert_eq!(a.parse_or("seed", 42u64).unwrap(), 42);
         let bad = parse("--trials seven");
         assert!(bad.parse_or("trials", 3usize).is_err());
+    }
+
+    #[test]
+    fn optional_typed_parsing() {
+        let a = parse("--top-k 7");
+        assert_eq!(a.parse_opt::<usize>("top-k").unwrap(), Some(7));
+        assert_eq!(a.parse_opt::<f64>("threshold").unwrap(), None);
+        assert!(parse("--top-k seven").parse_opt::<usize>("top-k").is_err());
     }
 
     #[test]

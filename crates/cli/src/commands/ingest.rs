@@ -11,10 +11,19 @@
 //! `--seed`, distinct from the streams that generate the dataset and the
 //! budget assignment).
 //!
+//! With `--top-k K` (or `--threshold T`) the sink is wrapped in a
+//! [`HeavyHitterTracker`]: every `--track-every` reports the tracker runs
+//! its snapshot → prune → re-estimate cycle, and each emission prints the
+//! evolving candidate set alongside the periodic estimates. The final
+//! candidate line is identical to what batch `identify_top_k` /
+//! `identify_above` would report over the full population (the
+//! `topk_conformance` suite proves this).
+//!
 //! With `--checkpoint FILE` the accumulator snapshot is written after every
 //! emission; re-running the same command restores it and resumes mid-stream
 //! instead of starting over (kill it halfway and run it again to see the
-//! user counter continue where it stopped).
+//! user counter continue where it stopped). The tracker needs no extra
+//! checkpoint state: its candidates are a pure function of the counts.
 
 use crate::args::CliArgs;
 use idldp_core::budget::Epsilon;
@@ -23,8 +32,26 @@ use idldp_data::budgets::BudgetScheme;
 use idldp_data::synthetic;
 use idldp_num::rng::{derive_seed, stream_rng};
 use idldp_sim::report::sci;
-use idldp_sim::stream::{SeededReportStream, ShapedAccumulator, ShardedAccumulator};
+use idldp_sim::stream::{
+    HeavyHitterTracker, SeededReportStream, ShapedAccumulator, ShardedAccumulator, TrackerMode,
+};
 use idldp_sim::{BuildContext, MechanismRegistry};
+
+/// The ingestion sink: the plain sharded accumulator, or the same sharding
+/// wrapped in an online heavy-hitter tracker (`--top-k` / `--threshold`).
+enum Sink<'a> {
+    Plain(ShardedAccumulator<ShapedAccumulator>),
+    Tracked(HeavyHitterTracker<'a, ShapedAccumulator>),
+}
+
+impl Sink<'_> {
+    fn num_users(&self) -> u64 {
+        match self {
+            Sink::Plain(sink) => sink.num_users(),
+            Sink::Tracked(tracker) => tracker.num_users(),
+        }
+    }
+}
 
 /// Runs the subcommand.
 pub fn run(args: &CliArgs) -> Result<(), String> {
@@ -42,6 +69,22 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
     if shards == 0 || chunk == 0 {
         return Err("--shards and --chunk must be positive".into());
     }
+
+    // Online heavy-hitter tracking flags.
+    let top_k: Option<usize> = args.parse_opt("top-k")?;
+    let threshold: Option<f64> = args.parse_opt("threshold")?;
+    let mode = match (top_k, threshold) {
+        (Some(_), Some(_)) => {
+            return Err("--top-k and --threshold are mutually exclusive".into());
+        }
+        (Some(k), None) => {
+            let slack: usize = args.parse_or("slack", k)?;
+            Some(TrackerMode::TopK { k, slack })
+        }
+        (None, Some(t)) => Some(TrackerMode::Threshold { threshold: t }),
+        (None, None) => None,
+    };
+    let track_every: usize = args.parse_or("track-every", emit_every)?;
 
     let dataset = match dataset_kind.as_str() {
         "powerlaw" => synthetic::power_law_with(&mut stream_rng(seed, 0), n, m, 2.0),
@@ -68,8 +111,15 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
     // The sink is picked from the mechanism's declared wire shape, so the
     // same command ingests bit vectors, categorical values, hashed
     // (seed, value) pairs, and item sets without per-mechanism dispatch.
-    let sink =
+    let sharded =
         ShardedAccumulator::new(ShapedAccumulator::for_mechanism(mechanism.as_ref()), shards);
+    let mut sink = match mode {
+        Some(mode) => Sink::Tracked(
+            HeavyHitterTracker::new(mechanism.as_ref(), sharded, mode, track_every)
+                .map_err(|e| e.to_string())?,
+        ),
+        None => Sink::Plain(sharded),
+    };
     // The dataset and budget assignment already consumed RNG streams
     // (seed, 0) and (seed, 1); give the report stream its own derived seed
     // so chunk 0's perturbation draws never replay the sequence that
@@ -113,7 +163,14 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
                 stream
                     .seek_to_user(users)
                     .map_err(|e| format!("checkpoint `{path}`: {e}"))?;
-                sink.restore(&snapshot).map_err(|e| e.to_string())?;
+                match &mut sink {
+                    Sink::Plain(sharded) => {
+                        sharded.restore(&snapshot).map_err(|e| e.to_string())?
+                    }
+                    Sink::Tracked(tracker) => {
+                        tracker.restore(&snapshot).map_err(|e| e.to_string())?
+                    }
+                }
                 println!("ingest: restored {users} users from checkpoint `{path}`");
             }
             Err(err) if err.kind() == std::io::ErrorKind::NotFound => {}
@@ -121,23 +178,64 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
         }
     }
 
+    let tracking = match mode {
+        Some(TrackerMode::TopK { k, slack }) => {
+            format!(", tracking top-{k} (+{slack} slack) every {track_every} users")
+        }
+        Some(TrackerMode::Threshold { threshold }) => {
+            format!(", tracking estimates >= {threshold} every {track_every} users")
+        }
+        None => String::new(),
+    };
     println!(
         "ingest: mechanism = {mechanism_name} ({} reports), dataset = {dataset_kind}, n = {n}, \
-         m = {m}, eps = {eps}, shards = {shards}, chunk = {chunk}, emit every {emit_every} users",
+         m = {m}, eps = {eps}, shards = {shards}, chunk = {chunk}, emit every {emit_every} \
+         users{tracking}",
         mechanism.report_shape().label()
     );
     let truth = dataset.true_counts();
     let mut since_emit = 0usize;
     loop {
-        let ingested = stream.ingest_chunk(&sink).map_err(|e| e.to_string())?;
+        let ingested = match &mut sink {
+            Sink::Plain(sharded) => stream.ingest_chunk(sharded).map_err(|e| e.to_string())?,
+            Sink::Tracked(tracker) => stream
+                .next_chunk_with(|report| tracker.push(report).map(|_| ()))
+                .map_err(|e| e.to_string())?,
+        };
         since_emit += ingested;
         let done = ingested == 0;
         if done || since_emit >= emit_every {
             since_emit = 0;
-            let snapshot = sink.snapshot();
-            emit(&snapshot, mechanism.as_ref(), &truth, top, n);
-            if let Some(path) = checkpoint {
-                let payload = format!("{}{run_line}\n", snapshot.to_checkpoint_string());
+            let checkpoint_text = match &mut sink {
+                Sink::Plain(sharded) => {
+                    // The incremental path: freeze once, estimate once —
+                    // the same snapshot backs the emission and the
+                    // checkpoint.
+                    let snapshot = sharded.snapshot();
+                    let estimates = if snapshot.num_users() == 0 {
+                        Vec::new()
+                    } else {
+                        mechanism
+                            .frequency_oracle(snapshot.num_users())
+                            .estimate_from(&snapshot)
+                            .expect("snapshot width matches mechanism")
+                    };
+                    emit(&estimates, snapshot.num_users(), &truth, top, n);
+                    checkpoint.map(|_| snapshot.to_checkpoint_string())
+                }
+                Sink::Tracked(tracker) => {
+                    // Re-prune at the emission point so the printed
+                    // candidates reflect everything ingested so far, not
+                    // the last cadence boundary — and reuse the estimates
+                    // that refresh already computed for the estimate line.
+                    let estimates = tracker.refresh_estimates().map_err(|e| e.to_string())?;
+                    emit(&estimates, tracker.num_users(), &truth, top, n);
+                    emit_candidates(tracker);
+                    checkpoint.map(|_| tracker.to_checkpoint_string())
+                }
+            };
+            if let (Some(path), Some(text)) = (checkpoint, checkpoint_text) {
+                let payload = format!("{text}{run_line}\n");
                 write_atomically(path, &payload)
                     .map_err(|e| format!("checkpoint `{path}`: {e}"))?;
             }
@@ -145,6 +243,15 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
         if done {
             break;
         }
+    }
+    if let Sink::Tracked(tracker) = &mut sink {
+        let found = tracker.finish().map_err(|e| e.to_string())?;
+        let label: Vec<String> = found.iter().map(ToString::to_string).collect();
+        println!(
+            "ingest: identified heavy hitters [{}] ({} refreshes)",
+            label.join(", "),
+            tracker.refreshes()
+        );
     }
     println!("ingest: done ({} users)", sink.num_users());
     Ok(())
@@ -158,25 +265,13 @@ fn write_atomically(path: &str, payload: &str) -> std::io::Result<()> {
     std::fs::rename(&tmp, path)
 }
 
-/// Prints one periodic estimate line from frozen accumulator state.
-fn emit(
-    snapshot: &AccumulatorSnapshot,
-    mechanism: &dyn idldp_core::mechanism::Mechanism,
-    truth: &[f64],
-    top: usize,
-    n: usize,
-) {
-    let users = snapshot.num_users();
-    if users == 0 {
+/// Prints one periodic estimate line from calibrated estimates (empty
+/// while no reports have arrived).
+fn emit(estimates: &[f64], users: u64, truth: &[f64], top: usize, n: usize) {
+    if users == 0 || estimates.is_empty() {
         println!("  [{users:>10} users] no reports yet");
         return;
     }
-    // The incremental path: a fresh (cheap) oracle at the current user
-    // count, fed the frozen shard state.
-    let oracle = mechanism.frequency_oracle(users);
-    let estimates = oracle
-        .estimate_from(snapshot)
-        .expect("snapshot width matches mechanism");
     // Scale the full-population truth to the users seen so far, so the
     // error column is comparable across emissions.
     let progress = users as f64 / n as f64;
@@ -189,16 +284,31 @@ fn emit(
         })
         .sum::<f64>()
         / truth.len() as f64;
-    let mut order: Vec<usize> = (0..estimates.len()).collect();
-    order.sort_by(|&a, &b| estimates[b].partial_cmp(&estimates[a]).unwrap());
-    let head: Vec<String> = order
-        .iter()
-        .take(top)
-        .map(|&i| format!("{i}:{}", sci(estimates[i])))
+    let head: Vec<String> = idldp_num::vecops::top_k_indices(estimates, top)
+        .into_iter()
+        .map(|i| format!("{i}:{}", sci(estimates[i])))
         .collect();
     println!(
         "  [{users:>10} users] mse/item {} top-{top} {}",
         sci(mse),
         head.join(" ")
+    );
+}
+
+/// Prints the tracker's current (just refreshed) candidate set.
+fn emit_candidates(tracker: &HeavyHitterTracker<'_, ShapedAccumulator>) {
+    let shown: Vec<String> = tracker
+        .candidates()
+        .iter()
+        .map(|c| format!("{}:{}", c.item, sci(c.estimate)))
+        .collect();
+    let what = match tracker.mode() {
+        TrackerMode::TopK { k, slack } => format!("top-{k}+{slack}"),
+        TrackerMode::Threshold { threshold } => format!(">={threshold}"),
+    };
+    println!(
+        "  [{:>10} users] candidates {what} {}",
+        tracker.num_users(),
+        shown.join(" ")
     );
 }

@@ -5,7 +5,7 @@
 //! idldp audit    --budgets 1,4 --counts 1,5 --a 0.59,0.67 --b 0.33,0.28
 //! idldp leakage  --budgets 1,1.2,2,4
 //! idldp simulate --dataset powerlaw --n 100000 --m 100 --eps 1.0 [--trials 10]
-//! idldp ingest   --mechanism oue --n 200000 --m 64 --eps 1.0 [--checkpoint state.ckpt]
+//! idldp ingest   --mechanism oue --n 200000 --m 64 --eps 1.0 [--top-k 8] [--checkpoint state.ckpt]
 //! idldp mechanisms [--names]
 //! ```
 //!
@@ -69,9 +69,13 @@ USAGE:
   idldp ingest   --mechanism NAME --n N --m M --eps E
                  [--dataset powerlaw|uniform] [--shards S] [--chunk C]
                  [--emit-every U] [--top K] [--seed S] [--checkpoint FILE]
+                 [--top-k K [--slack S] | --threshold T] [--track-every U]
       stream perturbed reports through sharded accumulators, emitting
       calibrated estimates every U users; with --checkpoint the
-      accumulator state is persisted and a rerun resumes mid-stream
+      accumulator state is persisted and a rerun resumes mid-stream;
+      with --top-k (or --threshold) an online heavy-hitter tracker
+      prints its evolving candidate set at every emission, and its
+      final answer is identical to batch identification
 
   idldp mechanisms [--names]
       list every registered mechanism with its aliases, supported

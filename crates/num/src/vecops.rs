@@ -75,6 +75,37 @@ pub fn lerp(a: &[f64], b: &[f64], t: f64) -> Vec<f64> {
         .collect()
 }
 
+/// Descending total order on `f64` with NaN demoted below every number.
+///
+/// `f64::total_cmp` makes the order total (no `partial_cmp` panic on NaN),
+/// but its raw order puts `+NaN` *above* `+inf` — which would rank a
+/// degenerate estimate as the largest value. This comparator keeps the
+/// total-order guarantee and moves every NaN (either sign) to the very end
+/// of a descending sort instead.
+#[inline]
+pub fn cmp_desc_nan_last(x: f64, y: f64) -> std::cmp::Ordering {
+    match (x.is_nan(), y.is_nan()) {
+        (false, false) => y.total_cmp(&x),
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (true, true) => std::cmp::Ordering::Equal,
+    }
+}
+
+/// Indices of the `k` largest values, largest first; ties break toward the
+/// smaller index. The one canonical ranking rule for heavy-hitter
+/// identification — batch (`idldp-sim`) and streaming (`idldp-stream`)
+/// top-k both call this, so their orderings can never drift apart.
+///
+/// Uses [`cmp_desc_nan_last`], so NaN values neither panic the sort nor
+/// surface as top items.
+pub fn top_k_indices(values: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| cmp_desc_nan_last(values[a], values[b]).then(a.cmp(&b)));
+    idx.truncate(k);
+    idx
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +150,35 @@ mod tests {
         assert!(all_finite(&[0.0, 1.0]));
         assert!(!all_finite(&[0.0, f64::NAN]));
         assert!(!all_finite(&[f64::INFINITY]));
+    }
+
+    #[test]
+    fn top_k_orders_ties_and_truncates() {
+        let v = [5.0, 1.0, 9.0, 3.0];
+        assert_eq!(top_k_indices(&v, 2), vec![2, 0]);
+        assert_eq!(top_k_indices(&v, 10), vec![2, 0, 3, 1]);
+        assert!(top_k_indices(&v, 0).is_empty());
+        // Ties break toward the smaller index.
+        assert_eq!(top_k_indices(&[1.0, 1.0, 1.0], 2), vec![0, 1]);
+        // Signed zeros are still totally ordered (+0 ranks above -0).
+        assert_eq!(top_k_indices(&[-0.0, 0.0], 1), vec![1]);
+    }
+
+    #[test]
+    fn top_k_demotes_nan_below_everything() {
+        let v = [1.0, f64::NAN, 3.0, f64::NEG_INFINITY, -f64::NAN];
+        assert_eq!(top_k_indices(&v, 3), vec![2, 0, 3]);
+        // NaNs come last (in index order), never first.
+        assert_eq!(top_k_indices(&v, 5), vec![2, 0, 3, 1, 4]);
+        assert_eq!(top_k_indices(&[f64::NAN, f64::NAN], 1), vec![0]);
+        use std::cmp::Ordering;
+        assert_eq!(
+            cmp_desc_nan_last(f64::NAN, f64::INFINITY),
+            Ordering::Greater
+        );
+        assert_eq!(cmp_desc_nan_last(f64::INFINITY, f64::NAN), Ordering::Less);
+        assert_eq!(cmp_desc_nan_last(f64::NAN, f64::NAN), Ordering::Equal);
+        assert_eq!(cmp_desc_nan_last(2.0, 1.0), Ordering::Less);
     }
 
     #[test]

@@ -7,7 +7,22 @@
 //! variance translates into better identification quality — the
 //! `heavy_hitters` example and the ablation harness measure precision /
 //! recall / F1 against the true top-k.
+//!
+//! The *online* twin lives in the streaming layer
+//! ([`idldp_stream::HeavyHitterTracker`], re-exported as
+//! `idldp_sim::stream::HeavyHitterTracker`): it answers the same question
+//! over a report stream via periodic snapshots instead of a materialized
+//! population, and its final top-k is identical to [`identify_top_k`] on
+//! the batch estimates — both rank through the one shared comparator
+//! ([`idldp_num::vecops::top_k_indices`]), and
+//! `crates/sim/tests/topk_conformance.rs` proves the equivalence for all
+//! eight mechanisms. [`tracked_quality`] scores that online answer against
+//! a ground-truth set.
 
+use crate::pipeline::{SimulationPipeline, TopKRun};
+use idldp_core::error::Result;
+use idldp_core::mechanism::{BatchMechanism, InputBatch};
+use idldp_stream::TrackerMode;
 use std::collections::HashSet;
 
 /// Identification quality against a ground-truth set.
@@ -21,26 +36,58 @@ pub struct IdentificationQuality {
     pub f1: f64,
 }
 
-/// Indices of the `k` largest estimates, largest first.
+/// Indices of the `k` largest estimates, largest first; ties break toward
+/// the smaller index.
+///
+/// Delegates to the canonical [`idldp_num::vecops::top_k_indices`] ranking
+/// (`f64::total_cmp`-based, NaN sorted below every number), shared with the
+/// online [`idldp_stream::HeavyHitterTracker`] — so a NaN estimate from a
+/// degenerate oracle input can neither panic the sort nor be identified as
+/// a heavy hitter, and batch and streaming rankings agree by construction.
 pub fn identify_top_k(estimates: &[f64], k: usize) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..estimates.len()).collect();
-    idx.sort_by(|&a, &b| {
-        estimates[b]
-            .partial_cmp(&estimates[a])
-            .unwrap()
-            .then(a.cmp(&b))
-    });
-    idx.truncate(k);
-    idx
+    idldp_num::vecops::top_k_indices(estimates, k)
 }
 
-/// Indices of all items whose estimate is at least `threshold`.
+/// Indices of all items whose estimate is at least `threshold` (NaN
+/// estimates never qualify).
 pub fn identify_above(estimates: &[f64], threshold: f64) -> Vec<usize> {
     estimates
         .iter()
         .enumerate()
         .filter_map(|(i, &e)| (e >= threshold).then_some(i))
         .collect()
+}
+
+/// Runs the *online* heavy-hitter tracker over `inputs`
+/// ([`SimulationPipeline::run_top_k`], default shard count and chunk size)
+/// and scores its final identified set against the ground-truth item set
+/// `truth` — the one-call evaluation harness behind the identification
+/// experiments.
+///
+/// Returns the tracker run alongside the quality, so callers can inspect
+/// the candidate estimates of a disappointing score.
+///
+/// # Errors
+/// Propagates pipeline/tracker errors (wrong input kind, out-of-domain
+/// items).
+pub fn tracked_quality(
+    mechanism: &dyn BatchMechanism,
+    inputs: InputBatch<'_>,
+    seed: u64,
+    mode: TrackerMode,
+    cadence: usize,
+    truth: &[usize],
+) -> Result<(TopKRun, IdentificationQuality)> {
+    let run = SimulationPipeline::new().run_top_k(
+        mechanism,
+        inputs,
+        seed,
+        idldp_stream::DEFAULT_SHARDS,
+        mode,
+        cadence,
+    )?;
+    let q = quality(&run.top_k, truth);
+    Ok((run, q))
 }
 
 /// Precision/recall/F1 of `identified` against `truth`.
@@ -86,6 +133,20 @@ mod tests {
     fn top_k_tie_break_stable() {
         let est = [1.0, 1.0, 1.0];
         assert_eq!(identify_top_k(&est, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn top_k_survives_nan_estimates() {
+        // Regression: a NaN estimate (degenerate oracle input) used to
+        // panic the `partial_cmp(..).unwrap()` sort mid-run. It must now
+        // rank below every real estimate — never among the heavy hitters.
+        let est = [2.0, f64::NAN, 9.0, -1.0];
+        assert_eq!(identify_top_k(&est, 2), vec![2, 0]);
+        assert_eq!(identify_top_k(&est, 4), vec![2, 0, 3, 1]);
+        assert_eq!(identify_top_k(&[f64::NAN, f64::NAN], 1), vec![0]);
+        // Threshold identification never admits NaN either.
+        assert_eq!(identify_above(&est, -10.0), vec![0, 2, 3]);
+        assert!(identify_above(&[f64::NAN], f64::NEG_INFINITY).is_empty());
     }
 
     #[test]
@@ -147,5 +208,37 @@ mod tests {
         let found = identify_top_k(&est, 3);
         let q = quality(&found, &ds.top_k(3));
         assert!(q.f1 > 0.99, "oracle should nail clear heavy hitters: {q:?}");
+    }
+
+    #[test]
+    fn tracked_quality_scores_the_online_answer() {
+        use idldp_core::budget::Epsilon;
+        use idldp_core::idue::Idue;
+        let m = 16;
+        let n = 50_000usize;
+        // Items 0..2 carry 90% of the stream.
+        let items: Vec<u32> = (0..n)
+            .map(|i| {
+                if i % 10 < 9 {
+                    (i % 3) as u32
+                } else {
+                    3 + (i % 13) as u32
+                }
+            })
+            .collect();
+        let mech = Idue::oue(m, Epsilon::new(2.0).unwrap()).unwrap();
+        let (run, q) = tracked_quality(
+            &mech,
+            InputBatch::Items(&items),
+            41,
+            TrackerMode::TopK { k: 3, slack: 2 },
+            4096,
+            &[0, 1, 2],
+        )
+        .unwrap();
+        assert_eq!(run.num_users, n as u64);
+        assert!(run.refreshes >= n as u64 / 4096, "cadence refreshes ran");
+        assert_eq!(run.candidates.len(), 5);
+        assert!(q.f1 > 0.99, "online tracker should nail them too: {q:?}");
     }
 }

@@ -31,7 +31,10 @@ use idldp_core::error::Result;
 use idldp_core::mechanism::{BatchMechanism, CountAccumulator, InputBatch};
 use idldp_core::snapshot::AccumulatorSnapshot;
 use idldp_num::rng::stream_rng;
-use idldp_stream::{BitReportAccumulator, ShardedAccumulator};
+use idldp_stream::{
+    BitReportAccumulator, Candidate, HeavyHitterTracker, SeededReportStream, ShardedAccumulator,
+    TrackerMode,
+};
 use rayon::prelude::*;
 
 /// Default number of users per chunk: large enough to amortize the chunk
@@ -39,6 +42,23 @@ use rayon::prelude::*;
 /// cores on the smallest paper-scale datasets. Shared with the streaming
 /// layer ([`idldp_stream::DEFAULT_CHUNK_SIZE`]).
 pub const DEFAULT_CHUNK_SIZE: usize = idldp_stream::DEFAULT_CHUNK_SIZE;
+
+/// Final answer of an online top-k tracking run
+/// ([`SimulationPipeline::run_top_k`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopKRun {
+    /// The identified heavy hitters, rank order (or index order in
+    /// threshold mode) — identical to batch `identify_top_k` /
+    /// `identify_above` on the full-population estimates.
+    pub top_k: Vec<usize>,
+    /// The tracker's final candidate set (top-k answer plus slack
+    /// runners-up), with the estimate each candidate held.
+    pub candidates: Vec<Candidate>,
+    /// How many snapshot → prune → re-estimate cycles ran.
+    pub refreshes: u64,
+    /// Total reports streamed.
+    pub num_users: u64,
+}
 
 /// A reusable, mechanism-agnostic client-simulation runner.
 #[derive(Clone, Copy, Debug)]
@@ -147,6 +167,46 @@ impl SimulationPipeline {
         Ok(merged.into_counts())
     }
 
+    /// The snapshot-driven online variant: streams the same seeded report
+    /// population one report at a time into a
+    /// [`HeavyHitterTracker`] (shape-dispatched sink over `num_shards`
+    /// shards, snapshot → prune → re-estimate every `cadence` reports) and
+    /// returns its final answer.
+    ///
+    /// The stream shares the batch chunk/RNG grid, so the tracker's counts
+    /// — and therefore its final top-k — are **identical** to running
+    /// [`Self::run_snapshot`] and ranking the oracle estimates offline,
+    /// for every shard count and every cadence
+    /// (`crates/sim/tests/topk_conformance.rs` asserts this for all eight
+    /// mechanisms). What changes with `cadence` is only how often a fresh
+    /// candidate set would have been served mid-stream
+    /// ([`TopKRun::refreshes`]).
+    ///
+    /// # Errors
+    /// Returns the first perturbation or tracker error (wrong input kind,
+    /// out-of-domain item, invalid mode/cadence).
+    pub fn run_top_k(
+        &self,
+        mechanism: &dyn BatchMechanism,
+        inputs: InputBatch<'_>,
+        seed: u64,
+        num_shards: usize,
+        mode: TrackerMode,
+        cadence: usize,
+    ) -> Result<TopKRun> {
+        let mut tracker = HeavyHitterTracker::for_mechanism(mechanism, num_shards, mode, cadence)?;
+        let mut stream =
+            SeededReportStream::new(mechanism, inputs, seed).with_chunk_size(self.chunk_size);
+        while stream.next_chunk_with(|report| tracker.push(report).map(|_| ()))? > 0 {}
+        let top_k = tracker.finish()?;
+        Ok(TopKRun {
+            top_k,
+            candidates: tracker.candidates().to_vec(),
+            refreshes: tracker.refreshes(),
+            num_users: tracker.num_users(),
+        })
+    }
+
     fn chunk_ranges(&self, n: usize) -> Vec<(u64, usize, usize)> {
         // The grid is defined once, in the streaming layer, so batch and
         // streaming runs can never drift apart.
@@ -245,6 +305,52 @@ mod tests {
             .run(&mech, InputBatch::Items(&[]), 1)
             .unwrap();
         assert_eq!(counts, vec![0; 4]);
+    }
+
+    #[test]
+    fn run_top_k_matches_offline_ranking() {
+        let m = 10;
+        let mech = Idue::oue(m, eps(2.0)).unwrap();
+        let n = 20_000usize;
+        let items: Vec<u32> = (0..n).map(|i| if i % 3 == 0 { 7 } else { 2 }).collect();
+        let p = SimulationPipeline::new().with_chunk_size(512);
+        // Offline reference: batch snapshot → oracle → rank.
+        let snap = p.run_snapshot(&mech, InputBatch::Items(&items), 6).unwrap();
+        let oracle = idldp_core::mechanism::Mechanism::frequency_oracle(&mech, n as u64);
+        let est = oracle.estimate_from(&snap).unwrap();
+        let want = idldp_num::vecops::top_k_indices(&est, 2);
+        // Online: same seed, snapshot-driven tracker.
+        for cadence in [700, 4096] {
+            let run = p
+                .run_top_k(
+                    &mech,
+                    InputBatch::Items(&items),
+                    6,
+                    3,
+                    TrackerMode::TopK { k: 2, slack: 1 },
+                    cadence,
+                )
+                .unwrap();
+            assert_eq!(run.top_k, want);
+            assert_eq!(run.top_k, vec![2, 7]);
+            assert_eq!(run.num_users, n as u64);
+            assert_eq!(run.candidates.len(), 3);
+            // Candidate estimates are the exact offline estimates.
+            for c in &run.candidates {
+                assert_eq!(c.estimate, est[c.item], "item {}", c.item);
+            }
+        }
+        // Degenerate tracker configuration surfaces as an error.
+        assert!(p
+            .run_top_k(
+                &mech,
+                InputBatch::Items(&items),
+                6,
+                1,
+                TrackerMode::TopK { k: 0, slack: 0 },
+                64,
+            )
+            .is_err());
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   sharing the batch pipeline's chunk/RNG grid ([`chunk_ranges`]), so
 //!   streaming counts are bit-identical to a batch
 //!   `SimulationPipeline::run` of the same `(mechanism, inputs, seed)`.
+//! * [`topk`] — [`HeavyHitterTracker`]: online heavy-hitter identification
+//!   over any sharded sink via the snapshot → prune → re-estimate loop;
+//!   its final top-k is provably identical to the batch answer (see the
+//!   module docs and `crates/sim/tests/topk_conformance.rs`).
 //!
 //! The server-side estimate path is *incremental*: freeze the shards into
 //! an [`idldp_core::snapshot::AccumulatorSnapshot`], build the mechanism's
@@ -53,6 +57,7 @@
 pub mod accumulator;
 pub mod sharded;
 pub mod source;
+pub mod topk;
 
 pub use accumulator::{
     BitReportAccumulator, HashedReportAccumulator, ItemSetReportAccumulator,
@@ -60,3 +65,4 @@ pub use accumulator::{
 };
 pub use sharded::{ShardedAccumulator, DEFAULT_SHARDS};
 pub use source::{chunk_ranges, SeededReportStream, DEFAULT_CHUNK_SIZE};
+pub use topk::{Candidate, HeavyHitterTracker, TrackerMode, DEFAULT_CADENCE};

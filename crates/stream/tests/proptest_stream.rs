@@ -304,6 +304,53 @@ proptest! {
         prop_assert_eq!(rr.snapshot(), want);
     }
 
+    /// Tracker law: after `finish`, the pruned candidate set is exactly
+    /// the top `k + slack` of the direct oracle estimates over the final
+    /// sequential state — for any mechanism, cadence, and shard count.
+    /// (The sim-level conformance suite layers batch equivalence on top.)
+    #[test]
+    fn tracker_candidates_match_direct_estimates(
+        kind in 0usize..NUM_KINDS,
+        n in 30usize..400,
+        k in 1usize..5,
+        slack in 0usize..3,
+        cadence in 1usize..200,
+        shards in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        use idldp_stream::{HeavyHitterTracker, TrackerMode};
+        let m = 9;
+        let mech = mechanism(kind, m);
+        let inputs = inputs_for(mech.as_ref(), n);
+        let reports = materialize(mech.as_ref(), inputs.batch(), seed);
+
+        let mut tracker = HeavyHitterTracker::for_mechanism(
+            mech.as_ref(),
+            shards,
+            TrackerMode::TopK { k, slack },
+            cadence,
+        )
+        .unwrap();
+        for r in &reports {
+            tracker.push(r.as_report()).unwrap();
+        }
+        let top_k = tracker.finish().unwrap();
+
+        let snap = sequential(ShapedAccumulator::for_mechanism(mech.as_ref()), &reports);
+        let estimates = mech
+            .frequency_oracle(snap.num_users())
+            .estimate_from(&snap)
+            .unwrap();
+        let want = idldp_num::vecops::top_k_indices(&estimates, k + slack);
+        prop_assert_eq!(&top_k, &want[..k.min(want.len())]);
+        let candidates = tracker.candidates();
+        prop_assert_eq!(candidates.len(), want.len());
+        for (c, &item) in candidates.iter().zip(&want) {
+            prop_assert_eq!(c.item, item);
+            prop_assert_eq!(c.estimate, estimates[item]);
+        }
+    }
+
     /// Checkpoint serialization round-trips any reachable snapshot.
     #[test]
     fn checkpoint_round_trips(

@@ -25,7 +25,8 @@
 //! * [`sim`] ([`idldp_sim`]) — client/server simulation and experiment
 //!   runners;
 //! * [`stream`] ([`idldp_stream`]) — online aggregation: mergeable sharded
-//!   accumulators, seeded report streams, and snapshot checkpointing;
+//!   accumulators, seeded report streams, snapshot checkpointing, and
+//!   online heavy-hitter tracking;
 //! * [`num`] ([`idldp_num`]) — the numerical substrate (solvers, samplers).
 //!
 //! ## Quickstart
@@ -89,7 +90,7 @@ pub mod prelude {
     pub use idldp_opt::{IdueSolver, Model};
     pub use idldp_sim::{ItemSetExperiment, MechanismSpec, SingleItemExperiment};
     pub use idldp_stream::{
-        BitReportAccumulator, Report, ReportAccumulator, SeededReportStream, ShapedAccumulator,
-        ShardedAccumulator,
+        BitReportAccumulator, HeavyHitterTracker, Report, ReportAccumulator, SeededReportStream,
+        ShapedAccumulator, ShardedAccumulator, TrackerMode,
     };
 }
