@@ -26,11 +26,7 @@
 //! checkpoint state: its candidates are a pure function of the counts.
 
 use crate::args::CliArgs;
-use idldp_core::budget::Epsilon;
 use idldp_core::snapshot::AccumulatorSnapshot;
-use idldp_data::budgets::BudgetScheme;
-use idldp_data::synthetic;
-use idldp_num::rng::{derive_seed, stream_rng};
 use idldp_sim::report::sci;
 use idldp_sim::stream::{
     HeavyHitterTracker, SeededReportStream, ShapedAccumulator, ShardedAccumulator, TrackerMode,
@@ -86,21 +82,12 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
     };
     let track_every: usize = args.parse_or("track-every", emit_every)?;
 
-    let dataset = match dataset_kind.as_str() {
-        "powerlaw" => synthetic::power_law_with(&mut stream_rng(seed, 0), n, m, 2.0),
-        "uniform" => synthetic::uniform_with(&mut stream_rng(seed, 0), n, m),
-        other => {
-            return Err(format!(
-                "unknown dataset `{other}` (expected powerlaw|uniform)"
-            ))
-        }
-    };
-    let base = Epsilon::new(eps).map_err(|e| e.to_string())?;
-    let levels = BudgetScheme::paper_default()
-        .assign(m, base, &mut stream_rng(seed, 1))
-        .map_err(|e| e.to_string())?;
+    // The shared workload derivation (`super::stream_workload`) keeps
+    // ingest/push/simulate-estimates on identical RNG streams.
+    let workload = super::stream_workload(&dataset_kind, n, m, eps, seed)?;
+    let dataset = &workload.dataset;
     let ctx = BuildContext {
-        levels: &levels,
+        levels: &workload.levels,
         padding: 0,
         solver: None,
     };
@@ -120,14 +107,12 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
         ),
         None => Sink::Plain(sharded),
     };
-    // The dataset and budget assignment already consumed RNG streams
-    // (seed, 0) and (seed, 1); give the report stream its own derived seed
-    // so chunk 0's perturbation draws never replay the sequence that
-    // generated the inputs.
-    let stream_seed = derive_seed(seed, u64::from(u32::MAX));
-    let mut stream =
-        SeededReportStream::new(mechanism.as_ref(), dataset.input_batch(), stream_seed)
-            .with_chunk_size(chunk);
+    let mut stream = SeededReportStream::new(
+        mechanism.as_ref(),
+        dataset.input_batch(),
+        workload.stream_seed,
+    )
+    .with_chunk_size(chunk);
 
     // The run-identity line appended to every checkpoint: resuming under
     // different flags would splice counts from incompatible populations,
@@ -235,8 +220,11 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
                 }
             };
             if let (Some(path), Some(text)) = (checkpoint, checkpoint_text) {
+                // The shared atomic write path (temp file + rename), so a
+                // kill mid-write can never leave a truncated checkpoint
+                // behind — same rule as the server's checkpoint frame.
                 let payload = format!("{text}{run_line}\n");
-                write_atomically(path, &payload)
+                idldp_core::snapshot::write_checkpoint_atomic(path, &payload)
                     .map_err(|e| format!("checkpoint `{path}`: {e}"))?;
             }
         }
@@ -255,14 +243,6 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
     }
     println!("ingest: done ({} users)", sink.num_users());
     Ok(())
-}
-
-/// Writes via a sibling temp file + rename, so a kill mid-write can never
-/// leave a truncated checkpoint behind (the old one stays intact).
-fn write_atomically(path: &str, payload: &str) -> std::io::Result<()> {
-    let tmp = format!("{path}.tmp");
-    std::fs::write(&tmp, payload)?;
-    std::fs::rename(&tmp, path)
 }
 
 /// Prints one periodic estimate line from calibrated estimates (empty

@@ -4,13 +4,93 @@ pub mod audit;
 pub mod ingest;
 pub mod leakage;
 pub mod mechanisms;
+pub mod push;
+pub mod serve;
 pub mod simulate;
 pub mod solve;
 
 use idldp_core::budget::Epsilon;
 use idldp_core::levels::LevelPartition;
 use idldp_core::notion::RFunction;
+use idldp_data::budgets::BudgetScheme;
+use idldp_data::dataset::SingleItemDataset;
+use idldp_data::synthetic;
+use idldp_num::rng::{derive_seed, stream_rng};
 use idldp_opt::Model;
+
+/// The seeded synthetic workload shared by every streaming command.
+///
+/// `ingest`, `push`, and `simulate --estimates` must draw the *same*
+/// dataset, the *same* per-item budget assignment, and the *same* report
+/// stream for a given `(dataset_kind, n, m, eps, seed)` — that is what
+/// makes `idldp push` against a live server diffable against a local batch
+/// run. The derivation therefore lives exactly once, here: the dataset
+/// consumes RNG stream `(seed, 0)`, the budget assignment `(seed, 1)`, and
+/// the report stream runs on its own derived seed so chunk 0's
+/// perturbation draws never replay the input-generating sequences.
+pub struct StreamWorkload {
+    /// The synthetic client population.
+    pub dataset: SingleItemDataset,
+    /// The paper-default per-item privacy levels.
+    pub levels: LevelPartition,
+    /// Seed for the perturbed report stream (and the batch pipeline).
+    pub stream_seed: u64,
+}
+
+/// Builds the level partition of the streaming commands (paper-default
+/// budget scheme over RNG stream `(seed, 1)`).
+pub fn stream_levels(m: usize, eps: f64, seed: u64) -> Result<LevelPartition, String> {
+    let base = Epsilon::new(eps).map_err(|e| e.to_string())?;
+    BudgetScheme::paper_default()
+        .assign(m, base, &mut stream_rng(seed, 1))
+        .map_err(|e| e.to_string())
+}
+
+/// Builds the full shared workload (dataset + levels + stream seed).
+pub fn stream_workload(
+    dataset_kind: &str,
+    n: usize,
+    m: usize,
+    eps: f64,
+    seed: u64,
+) -> Result<StreamWorkload, String> {
+    let dataset = match dataset_kind {
+        "powerlaw" => synthetic::power_law_with(&mut stream_rng(seed, 0), n, m, 2.0),
+        "uniform" => synthetic::uniform_with(&mut stream_rng(seed, 0), n, m),
+        other => {
+            return Err(format!(
+                "unknown dataset `{other}` (expected powerlaw|uniform)"
+            ))
+        }
+    };
+    Ok(StreamWorkload {
+        dataset,
+        levels: stream_levels(m, eps, seed)?,
+        stream_seed: derive_seed(seed, u64::from(u32::MAX)),
+    })
+}
+
+/// Prints one estimate vector in the stable greppable form shared by
+/// `idldp push` and `idldp simulate --estimates`:
+///
+/// ```text
+/// users <n>
+/// estimate <item> <ieee-754 bits, hex> <value>
+/// ```
+///
+/// The hex bits column makes the output diffable *bit for bit* — the CI
+/// loopback smoke greps these lines from both commands and requires them
+/// identical.
+pub fn print_estimate_lines(users: u64, estimates: &[f64]) {
+    println!("users {users}");
+    for (i, e) in estimates.iter().enumerate() {
+        println!(
+            "estimate {i} {:016x} {}",
+            e.to_bits(),
+            idldp_sim::report::sci(*e)
+        );
+    }
+}
 
 /// Builds a level partition from `--budgets` / `--counts` flag values.
 ///

@@ -1,0 +1,99 @@
+//! `idldp serve` — the long-running networked ingestion service.
+//!
+//! Binds an [`idldp_server::ReportServer`] for one mechanism and serves
+//! the framed compact-wire protocol: report batches (with `Busy`
+//! backpressure off a bounded ingest queue), estimate and top-k queries
+//! over live snapshots, and on-demand atomic checkpoints. The bound
+//! address is printed (and flushed) as soon as the listener is up —
+//! `--port 0` picks an ephemeral port, which is how the CI loopback smoke
+//! and local experiments avoid port collisions:
+//!
+//! ```text
+//! idldp serve --mechanism oue --m 64 --eps 1.0 --port 0
+//! serve: listening on 127.0.0.1:40213
+//! ```
+//!
+//! The mechanism is built exactly like `idldp ingest` / `idldp push`
+//! build theirs (paper-default budgets over RNG stream `(seed, 1)`), so a
+//! `push` run with the same `--m/--eps/--seed` handshakes successfully.
+//! With `--checkpoint FILE` the server restores the file at startup (the
+//! restart path) and rewrites it atomically whenever a client sends the
+//! checkpoint control frame.
+
+use crate::args::CliArgs;
+use idldp_core::mechanism::Mechanism;
+use idldp_server::{ReportServer, ServerConfig};
+use idldp_sim::{BuildContext, MechanismRegistry};
+use std::io::Write;
+use std::sync::Arc;
+
+/// Runs the subcommand. Blocks until the process is killed.
+pub fn run(args: &CliArgs) -> Result<(), String> {
+    let m: usize = args.parse_or("m", 64)?;
+    let eps: f64 = args.parse_or("eps", 1.0)?;
+    let seed: u64 = args.parse_or("seed", 20200401)?;
+    let mechanism_name = args.get_or("mechanism", "oue");
+    let host = args.get_or("host", "127.0.0.1");
+    let port: u16 = args.parse_or("port", 0)?;
+    let shards: usize = args.parse_or("shards", idldp_sim::stream::DEFAULT_SHARDS)?;
+    let queue_capacity: usize = args.parse_or("queue-capacity", 65_536)?;
+    let ingest_workers: usize = args.parse_or("ingest-workers", 2)?;
+    let workers: usize = args.parse_or("workers", 4)?;
+    let checkpoint = args.get("checkpoint");
+    if shards == 0 || queue_capacity == 0 || ingest_workers == 0 || workers == 0 {
+        return Err(
+            "--shards, --queue-capacity, --ingest-workers, and --workers must be positive".into(),
+        );
+    }
+
+    let levels = super::stream_levels(m, eps, seed)?;
+    let ctx = BuildContext {
+        levels: &levels,
+        padding: 0,
+        solver: None,
+    };
+    let mechanism = MechanismRegistry::standard()
+        .build_single_item(&mechanism_name, &ctx)
+        .map_err(|e| e.to_string())?;
+    // Box<dyn BatchMechanism> → Arc<dyn BatchMechanism> → upcast.
+    let mechanism: Arc<dyn Mechanism> = Arc::<dyn idldp_sim::BatchMechanism>::from(mechanism);
+
+    let config = ServerConfig {
+        addr: format!("{host}:{port}"),
+        shards,
+        queue_capacity,
+        ingest_workers,
+        connection_workers: workers,
+        checkpoint_path: checkpoint.map(std::path::PathBuf::from),
+        // Everything that went into *building* the mechanism, so a restart
+        // under different flags refuses the old checkpoint.
+        config_stamp: Some(format!(
+            "mechanism={mechanism_name} m={m} eps={eps} seed={seed}"
+        )),
+    };
+    let server = ReportServer::start(Arc::clone(&mechanism), config).map_err(|e| e.to_string())?;
+
+    println!(
+        "serve: mechanism = {mechanism_name} ({} reports, width {}), m = {m}, eps = {eps}, \
+         shards = {shards}, queue = {queue_capacity}, workers = {workers}+{ingest_workers}",
+        mechanism.report_shape().label(),
+        mechanism.report_len()
+    );
+    if server.num_users() > 0 {
+        println!(
+            "serve: restored {} users from checkpoint `{}`",
+            server.num_users(),
+            checkpoint.unwrap_or_default()
+        );
+    }
+    println!("serve: listening on {}", server.local_addr());
+    // Scripts (the CI loopback smoke) scrape the port from a piped stdout;
+    // flush past the pipe's block buffering before parking forever.
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+
+    // The listener, worker pool, and ingest threads do all the work; this
+    // thread only keeps the process alive until it is killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -6,12 +6,10 @@
 //! runnable from the command line.
 
 use crate::args::CliArgs;
-use idldp_core::budget::Epsilon;
-use idldp_data::budgets::BudgetScheme;
-use idldp_data::synthetic;
-use idldp_num::rng::stream_rng;
 use idldp_sim::report::{sci, TextTable};
-use idldp_sim::{BuildContext, MechanismRegistry, SimulationMode, SingleItemExperiment};
+use idldp_sim::{
+    BuildContext, MechanismRegistry, SimulationMode, SimulationPipeline, SingleItemExperiment,
+};
 
 /// Runs the subcommand.
 pub fn run(args: &CliArgs) -> Result<(), String> {
@@ -29,23 +27,15 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
         other => return Err(format!("unknown path `{other}` (expected exact|aggregate)")),
     };
 
-    let dataset = match dataset_kind.as_str() {
-        "powerlaw" => synthetic::power_law_with(&mut stream_rng(seed, 0), n, m, 2.0),
-        "uniform" => synthetic::uniform_with(&mut stream_rng(seed, 0), n, m),
-        other => {
-            return Err(format!(
-                "unknown dataset `{other}` (expected powerlaw|uniform)"
-            ))
-        }
-    };
-    let base = Epsilon::new(eps).map_err(|e| e.to_string())?;
-    let levels = BudgetScheme::paper_default()
-        .assign(m, base, &mut stream_rng(seed, 1))
-        .map_err(|e| e.to_string())?;
+    // The shared workload derivation (`super::stream_workload`) keeps this
+    // command, `ingest`, and `push` on identical RNG streams — which is
+    // what makes `--estimates` output diffable against a push to a live
+    // server.
+    let workload = super::stream_workload(&dataset_kind, n, m, eps, seed)?;
 
     let registry = MechanismRegistry::standard();
     let ctx = BuildContext {
-        levels: &levels,
+        levels: &workload.levels,
         padding: 0,
         solver: None,
     };
@@ -60,11 +50,45 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
         })
         .collect::<Result<Vec<_>, String>>()?;
 
+    // `--estimates`: skip the multi-trial MSE experiment and print one
+    // deterministic per-item estimate vector per mechanism, bit-exact
+    // (`users` / `estimate` lines) — the local reference the CI
+    // `server-loopback` step diffs `idldp push` output against. The batch
+    // pipeline shares the report stream's chunk grid, so the counts (and
+    // hence the estimate bits) match a chunked push of the same flags.
+    if args.get("estimates").is_some() {
+        let chunk: usize = args.parse_or("chunk", idldp_sim::stream::DEFAULT_CHUNK_SIZE)?;
+        if chunk == 0 {
+            return Err("--chunk must be positive".into());
+        }
+        let pipeline = SimulationPipeline::new().with_chunk_size(chunk);
+        for (name, mech) in &named {
+            let snapshot = pipeline
+                .run_snapshot(
+                    mech.as_ref(),
+                    workload.dataset.input_batch(),
+                    workload.stream_seed,
+                )
+                .map_err(|e| e.to_string())?;
+            let users = snapshot.num_users();
+            let estimates = if users == 0 {
+                Vec::new()
+            } else {
+                mech.frequency_oracle(users)
+                    .estimate_from(&snapshot)
+                    .map_err(|e| e.to_string())?
+            };
+            println!("mechanism {name}");
+            super::print_estimate_lines(users, &estimates);
+        }
+        return Ok(());
+    }
+
     println!(
         "simulate: dataset = {dataset_kind}, n = {n}, m = {m}, eps = {eps}, \
          budgets {{eps,1.2eps,2eps,4eps}} @ {{5,5,5,85}}%, trials = {trials}"
     );
-    let results = SingleItemExperiment::new(&dataset, levels, trials, seed)
+    let results = SingleItemExperiment::new(&workload.dataset, workload.levels, trials, seed)
         .with_mode(mode)
         .run_mechanisms(&named)
         .map_err(|e| e.to_string())?;

@@ -4,8 +4,10 @@
 //! idldp solve    --budgets 1,1.2,2,4 --counts 5,5,5,85 [--model opt0] [--r min]
 //! idldp audit    --budgets 1,4 --counts 1,5 --a 0.59,0.67 --b 0.33,0.28
 //! idldp leakage  --budgets 1,1.2,2,4
-//! idldp simulate --dataset powerlaw --n 100000 --m 100 --eps 1.0 [--trials 10]
+//! idldp simulate --dataset powerlaw --n 100000 --m 100 --eps 1.0 [--trials 10] [--estimates]
 //! idldp ingest   --mechanism oue --n 200000 --m 64 --eps 1.0 [--top-k 8] [--checkpoint state.ckpt]
+//! idldp serve    --mechanism oue --m 64 --eps 1.0 --port 0 [--checkpoint state.ckpt]
+//! idldp push     --addr 127.0.0.1:PORT --mechanism oue --n 200000 --m 64 --eps 1.0 [--top-k 8]
 //! idldp mechanisms [--names]
 //! ```
 //!
@@ -30,6 +32,8 @@ fn main() -> ExitCode {
         "leakage" => commands::leakage::run(&parsed),
         "simulate" => commands::simulate::run(&parsed),
         "ingest" => commands::ingest::run(&parsed),
+        "serve" => commands::serve::run(&parsed),
+        "push" => commands::push::run(&parsed),
         "mechanisms" => commands::mechanisms::run(&parsed),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -64,7 +68,10 @@ USAGE:
 
   idldp simulate --dataset powerlaw|uniform --n N --m M --eps E
                  [--model opt0|opt1|opt2] [--trials T] [--seed S]
-      run a frequency-estimation experiment and print MSE per mechanism
+                 [--estimates [--chunk C]]
+      run a frequency-estimation experiment and print MSE per mechanism;
+      with --estimates, print one deterministic bit-exact estimate
+      vector per mechanism instead (diffable against `idldp push`)
 
   idldp ingest   --mechanism NAME --n N --m M --eps E
                  [--dataset powerlaw|uniform] [--shards S] [--chunk C]
@@ -76,6 +83,26 @@ USAGE:
       with --top-k (or --threshold) an online heavy-hitter tracker
       prints its evolving candidate set at every emission, and its
       final answer is identical to batch identification
+
+  idldp serve    --mechanism NAME --m M --eps E [--port P] [--host H]
+                 [--seed S] [--shards S] [--queue-capacity Q]
+                 [--workers W] [--ingest-workers I] [--checkpoint FILE]
+      run the networked ingestion service: accept framed compact-wire
+      report batches over TCP with bounded-queue backpressure (Busy
+      replies), serve estimate/top-k queries from live snapshots, and
+      persist atomic checkpoints on demand; --port 0 picks an
+      ephemeral port and prints it
+
+  idldp push     --addr HOST:PORT --mechanism NAME --n N --m M --eps E
+                 [--dataset powerlaw|uniform] [--chunk C] [--seed S]
+                 [--top-k K] [--checkpoint-server] [--resume]
+      stream the seeded synthetic population to a running `idldp
+      serve`, absorbing Busy backpressure, then query and print the
+      server's estimates (bit-identical to `idldp simulate
+      --estimates` with the same flags); --checkpoint-server asks the
+      server to persist its checkpoint at the end; --resume skips the
+      users the server already holds (only valid when they came from
+      this same workload, e.g. after a checkpointed restart)
 
   idldp mechanisms [--names]
       list every registered mechanism with its aliases, supported

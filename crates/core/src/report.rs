@@ -97,40 +97,44 @@ impl Report<'_> {
         }
     }
 
-    /// Folds this report into per-bucket counts of width `report_len`,
-    /// using `range` as the hash range for [`Report::Hashed`] reports
-    /// (ignored by the other shapes) — **the** implementation of the fold
-    /// table in the module docs, which every server-side accumulator
-    /// delegates to. One successful call accounts for exactly one user.
+    /// Checks this report against a mechanism configuration — width
+    /// `report_len` and (for hashed reports) hash range `range` — without
+    /// counting anything. **The** definition of report well-formedness:
+    /// [`Report::fold_into`] validates through this before touching any
+    /// count, and transport servers (`idldp-server`) call it to refuse a
+    /// malformed report in the connection reply, so an acknowledged
+    /// report can never fail to fold later.
     ///
     /// # Errors
-    /// Returns an error on a width/domain mismatch or a non-distinct item
-    /// set; nothing is counted on failure.
-    pub fn fold_into(&self, counts: &mut [u64], range: usize) -> Result<()> {
+    /// Width mismatch or non-0/1 slot (bit reports), out-of-domain value
+    /// (categorical/hashed), or an empty, repeating, or out-of-domain
+    /// item set.
+    pub fn validate(&self, report_len: usize, range: usize) -> Result<()> {
         match *self {
             Report::Bits(bits) => {
-                if bits.len() != counts.len() {
+                if bits.len() != report_len {
                     return Err(Error::DimensionMismatch {
                         what: "bit report".into(),
-                        expected: counts.len(),
+                        expected: report_len,
                         actual: bits.len(),
                     });
                 }
-                for (c, &bit) in counts.iter_mut().zip(bits) {
-                    *c += u64::from(bit);
+                if bits.iter().any(|&b| b > 1) {
+                    return Err(Error::ParameterOrdering {
+                        detail: "bit report slots must be 0/1".into(),
+                    });
                 }
             }
             Report::Value(v) => {
-                if v >= counts.len() {
+                if v >= report_len {
                     return Err(Error::IndexOutOfRange {
                         what: "categorical report value".into(),
                         index: v,
-                        bound: counts.len(),
+                        bound: report_len,
                     });
                 }
-                counts[v] += 1;
             }
-            Report::Hashed { seed, value } => {
+            Report::Hashed { value, .. } => {
                 if value >= range {
                     return Err(Error::IndexOutOfRange {
                         what: "hashed report value".into(),
@@ -138,21 +142,22 @@ impl Report<'_> {
                         bound: range,
                     });
                 }
-                for (v, c) in counts.iter_mut().enumerate() {
-                    if hash_bucket(seed, v, range) == value {
-                        *c += 1;
-                    }
-                }
             }
             Report::ItemSet(items) => {
-                // Validate fully (range and distinctness) before counting,
-                // so a failed report contributes nothing.
+                // No registered item-set mechanism emits an empty set; an
+                // empty report would count a user without touching any
+                // bucket, silently biasing calibration.
+                if items.is_empty() {
+                    return Err(Error::Empty {
+                        what: "item-set report".into(),
+                    });
+                }
                 for (k, &item) in items.iter().enumerate() {
-                    if item >= counts.len() {
+                    if item >= report_len {
                         return Err(Error::IndexOutOfRange {
                             what: "item-set report member".into(),
                             index: item,
-                            bound: counts.len(),
+                            bound: report_len,
                         });
                     }
                     if items[..k].contains(&item) {
@@ -161,6 +166,36 @@ impl Report<'_> {
                         });
                     }
                 }
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds this report into per-bucket counts of width `report_len`,
+    /// using `range` as the hash range for [`Report::Hashed`] reports
+    /// (ignored by the other shapes) — **the** implementation of the fold
+    /// table in the module docs, which every server-side accumulator
+    /// delegates to. One successful call accounts for exactly one user.
+    ///
+    /// # Errors
+    /// Any [`Report::validate`] failure; nothing is counted on failure.
+    pub fn fold_into(&self, counts: &mut [u64], range: usize) -> Result<()> {
+        self.validate(counts.len(), range)?;
+        match *self {
+            Report::Bits(bits) => {
+                for (c, &bit) in counts.iter_mut().zip(bits) {
+                    *c += u64::from(bit);
+                }
+            }
+            Report::Value(v) => counts[v] += 1,
+            Report::Hashed { seed, value } => {
+                for (v, c) in counts.iter_mut().enumerate() {
+                    if hash_bucket(seed, v, range) == value {
+                        *c += 1;
+                    }
+                }
+            }
+            Report::ItemSet(items) => {
                 for &item in items {
                     counts[item] += 1;
                 }
@@ -331,6 +366,9 @@ mod tests {
         assert!(ReportData::Bits(vec![1, 0])
             .fold_into(&mut counts, 0)
             .is_err());
+        assert!(ReportData::Bits(vec![1, 0, 2])
+            .fold_into(&mut counts, 0)
+            .is_err());
         assert!(ReportData::Value(3).fold_into(&mut counts, 0).is_err());
         assert!(ReportData::Hashed { seed: 1, value: 4 }
             .fold_into(&mut counts, 4)
@@ -341,6 +379,39 @@ mod tests {
         assert!(ReportData::ItemSet(vec![1, 1])
             .fold_into(&mut counts, 0)
             .is_err());
+        assert!(ReportData::ItemSet(vec![])
+            .fold_into(&mut counts, 0)
+            .is_err());
         assert_eq!(counts, vec![0, 0, 0], "failed folds count nothing");
+    }
+
+    #[test]
+    fn validate_agrees_with_fold() {
+        // validate() succeeding must imply fold_into() succeeding — the
+        // contract transport servers rely on when they acknowledge a
+        // report before folding it.
+        let cases = [
+            (ReportData::Bits(vec![1, 0, 1]), 0usize),
+            (ReportData::Bits(vec![1, 0]), 0),
+            (ReportData::Bits(vec![2, 0, 0]), 0),
+            (ReportData::Value(2), 0),
+            (ReportData::Value(3), 0),
+            (ReportData::Hashed { seed: 7, value: 1 }, 4),
+            (ReportData::Hashed { seed: 7, value: 4 }, 4),
+            (ReportData::ItemSet(vec![0, 2]), 0),
+            (ReportData::ItemSet(vec![]), 0),
+            (ReportData::ItemSet(vec![1, 1]), 0),
+            (ReportData::ItemSet(vec![5]), 0),
+        ];
+        for (data, range) in cases {
+            let report = data.as_report();
+            let valid = report.validate(3, range).is_ok();
+            let mut counts = vec![0u64; 3];
+            assert_eq!(
+                valid,
+                report.fold_into(&mut counts, range).is_ok(),
+                "{data:?}"
+            );
+        }
     }
 }

@@ -185,6 +185,19 @@ impl AccumulatorSnapshot {
         Ok(snapshot)
     }
 
+    /// Writes this snapshot (plus optional trailing metadata lines, e.g. a
+    /// run-identity stamp) to `path` via [`write_checkpoint_atomic`].
+    ///
+    /// # Errors
+    /// Propagates filesystem errors from the temp-file write or the rename.
+    pub fn write_checkpoint(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        trailer: &str,
+    ) -> std::io::Result<()> {
+        write_checkpoint_atomic(path, &format!("{}{trailer}", self.to_checkpoint_string()))
+    }
+
     /// FNV-1a over the user count and the count vector, little-endian.
     fn digest(&self) -> u64 {
         const OFFSET: u64 = 0xcbf29ce484222325;
@@ -202,6 +215,40 @@ impl AccumulatorSnapshot {
         }
         h
     }
+}
+
+/// Writes `payload` to `path` atomically: the bytes go to a uniquely
+/// named sibling temp file first and are renamed into place, so a crash
+/// (or kill) mid-write can never leave a torn or truncated checkpoint
+/// behind — the previous checkpoint, if any, stays intact until the
+/// rename commits. The temp name carries the process id plus a
+/// per-process counter, so *concurrent* writers (e.g. two server
+/// connection workers handling simultaneous checkpoint frames) never
+/// share a temp file: each rename installs one complete payload, and the
+/// last one wins whole.
+///
+/// This is **the** checkpoint write path: `idldp ingest` and the
+/// `idldp-server` checkpoint frame both go through it, so the durability
+/// rule is defined exactly once.
+///
+/// # Errors
+/// Propagates filesystem errors from the temp-file write or the rename
+/// (the temp file is left behind for inspection on rename failure).
+pub fn write_checkpoint_atomic(
+    path: impl AsRef<std::path::Path>,
+    payload: &str,
+) -> std::io::Result<()> {
+    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(
+        ".{}.{}.tmp",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, payload)?;
+    std::fs::rename(&tmp, path)
 }
 
 #[cfg(test)]
@@ -254,6 +301,81 @@ mod tests {
         let text = s.to_checkpoint_string();
         let restored = AccumulatorSnapshot::from_checkpoint_str(&text).unwrap();
         assert_eq!(restored, s);
+    }
+
+    #[test]
+    fn atomic_checkpoint_write_round_trips_and_never_tears() {
+        let dir = std::env::temp_dir().join(format!(
+            "idldp-snapshot-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.ckpt");
+
+        // First write lands whole and parses back.
+        let first = AccumulatorSnapshot::new(vec![1, 2, 3], 6).unwrap();
+        first.write_checkpoint(&path, "run test-stamp\n").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with("run test-stamp\n"));
+        assert_eq!(
+            AccumulatorSnapshot::from_checkpoint_str(&text).unwrap(),
+            first
+        );
+        // No temp sibling may linger after a successful rename.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+
+        // Overwrite replaces the content in one step (regression for the
+        // pre-atomic plain `fs::write`, which could tear on crash: the
+        // visible file is only ever a complete payload).
+        let second = AccumulatorSnapshot::new(vec![9, 9, 9], 12).unwrap();
+        second.write_checkpoint(&path, "").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            AccumulatorSnapshot::from_checkpoint_str(&text).unwrap(),
+            second
+        );
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+
+        // Concurrent writers never tear: every interleaving commits one
+        // complete payload (unique temp names make the renames disjoint).
+        let a = first.clone();
+        let b = second.clone();
+        let path_a = path.clone();
+        let path_b = path.clone();
+        let ta = std::thread::spawn(move || {
+            for _ in 0..50 {
+                a.write_checkpoint(&path_a, "").unwrap();
+            }
+        });
+        let tb = std::thread::spawn(move || {
+            for _ in 0..50 {
+                b.write_checkpoint(&path_b, "").unwrap();
+            }
+        });
+        ta.join().unwrap();
+        tb.join().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let survivor = AccumulatorSnapshot::from_checkpoint_str(&text).unwrap();
+        assert!(
+            survivor == first || survivor == second,
+            "whole payload wins"
+        );
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        // Re-establish a known state (either writer may have won above).
+        second.write_checkpoint(&path, "").unwrap();
+
+        // A failed write (unwritable directory) must not touch the
+        // existing checkpoint.
+        let bogus = dir.join("missing-subdir").join("state.ckpt");
+        assert!(first.write_checkpoint(&bogus, "").is_err());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            AccumulatorSnapshot::from_checkpoint_str(&text).unwrap(),
+            second,
+            "failed writes leave the previous checkpoint intact"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,309 @@
+//! The report client: the push half of the serve/push pair.
+//!
+//! A [`ReportClient`] speaks the strict request/response protocol of
+//! [`crate::server::ReportServer`]: one `Hello` handshake, then any mix of
+//! report batches and queries, each answered by exactly one frame. The
+//! `Busy` backpressure reply surfaces as [`PushOutcome::Busy`] from
+//! [`ReportClient::push`]; [`ReportClient::push_all`] wraps it in the
+//! retry loop a well-behaved producer runs (resend the unaccepted tail
+//! after a short backoff), so an ingestion burst slows down instead of
+//! losing reports.
+
+use crate::frame::{encoded_report_len, Frame, FrameError, MAX_PAYLOAD_LEN, PROTOCOL_VERSION};
+use idldp_core::mechanism::Mechanism;
+use idldp_core::report::ReportData;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The peer sent bytes that do not decode to a frame.
+    Frame(FrameError),
+    /// The server refused the request with a typed [`Frame::Reject`].
+    Rejected {
+        /// Reports of the offending batch that were still accepted.
+        accepted: u64,
+        /// The server's reason.
+        message: String,
+    },
+    /// The peer answered with a frame the protocol does not allow here
+    /// (or closed the connection mid-exchange).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client i/o: {e}"),
+            ClientError::Frame(e) => write!(f, "client frame: {e}"),
+            ClientError::Rejected { accepted, message } => {
+                write!(
+                    f,
+                    "server rejected the request (accepted {accepted}): {message}"
+                )
+            }
+            ClientError::Protocol(detail) => write!(f, "protocol violation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// Outcome of one [`ReportClient::push`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Every report of the batch was accepted.
+    Ingested,
+    /// The server's ingest queue filled after accepting `accepted`
+    /// reports; the caller must resend the rest.
+    Busy {
+        /// Reports accepted before the refusal.
+        accepted: u64,
+    },
+}
+
+/// A connected, handshaken client.
+pub struct ReportClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    /// Backoff between [`ReportClient::push_all`] retries after `Busy`.
+    retry_backoff: Duration,
+    /// Total `Busy` replies absorbed by [`ReportClient::push_all`].
+    busy_retries: u64,
+}
+
+impl ReportClient {
+    /// Connects and handshakes for `mechanism`'s report configuration.
+    ///
+    /// Returns the client and the server's current user count (nonzero
+    /// when the server restored a checkpoint — the resume signal).
+    ///
+    /// # Errors
+    /// Connection failures, a rejected handshake (config mismatch), or a
+    /// protocol violation.
+    pub fn connect<A: ToSocketAddrs>(
+        addr: A,
+        mechanism: &dyn Mechanism,
+    ) -> Result<(Self, u64), ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let write_half = stream.try_clone()?;
+        let mut client = Self {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+            retry_backoff: Duration::from_millis(2),
+            busy_retries: 0,
+        };
+        let hello = Frame::Hello {
+            version: PROTOCOL_VERSION,
+            kind: mechanism.kind().to_string(),
+            shape: mechanism.report_shape(),
+            report_len: mechanism.report_len() as u64,
+            ldp_eps_bits: mechanism.ldp_epsilon().to_bits(),
+        };
+        match client.exchange(&hello)? {
+            Frame::HelloAck { users } => Ok((client, users)),
+            other => Err(unexpected("HelloAck", &other)),
+        }
+    }
+
+    /// Overrides the `Busy` retry backoff of [`Self::push_all`].
+    pub fn with_retry_backoff(mut self, backoff: Duration) -> Self {
+        self.retry_backoff = backoff;
+        self
+    }
+
+    /// `Busy` replies absorbed by [`Self::push_all`] so far.
+    pub fn busy_retries(&self) -> u64 {
+        self.busy_retries
+    }
+
+    fn exchange(&mut self, request: &Frame) -> Result<Frame, ClientError> {
+        request.write_to(&mut self.writer)?;
+        self.writer.flush()?;
+        self.read_reply()
+    }
+
+    fn read_reply(&mut self) -> Result<Frame, ClientError> {
+        match Frame::read_from(&mut self.reader)? {
+            Some(Frame::Reject { accepted, message }) => {
+                Err(ClientError::Rejected { accepted, message })
+            }
+            Some(frame) => Ok(frame),
+            None => Err(ClientError::Protocol(
+                "server closed the connection mid-exchange".into(),
+            )),
+        }
+    }
+
+    /// Sends one report batch, surfacing backpressure to the caller.
+    ///
+    /// # Errors
+    /// Transport errors, [`ClientError::Rejected`] when the server refused
+    /// a report (its `accepted` count says how many of the batch were
+    /// still queued), or a typed [`ClientError::Protocol`] when the batch
+    /// would not fit one frame ([`Self::push_all`] splits automatically).
+    pub fn push(&mut self, reports: &[ReportData]) -> Result<PushOutcome, ClientError> {
+        let payload = 4 + reports.iter().map(encoded_report_len).sum::<usize>();
+        if payload > MAX_PAYLOAD_LEN {
+            return Err(ClientError::Protocol(format!(
+                "batch of {} reports encodes to {payload} payload bytes, over the \
+                 {MAX_PAYLOAD_LEN}-byte frame cap — split it (push_all does this)",
+                reports.len()
+            )));
+        }
+        // Encoded straight from the borrowed slice — no clone per (re)send,
+        // which matters when Busy backpressure retries frame-cap-sized
+        // batches.
+        self.writer
+            .write_all(&crate::frame::encode_reports_frame(reports))?;
+        self.writer.flush()?;
+        match self.read_reply()? {
+            Frame::Ingested { accepted } if accepted == reports.len() as u64 => {
+                Ok(PushOutcome::Ingested)
+            }
+            Frame::Ingested { accepted } => Err(ClientError::Protocol(format!(
+                "server acknowledged {accepted} of {} reports without Busy",
+                reports.len()
+            ))),
+            Frame::Busy { accepted } => Ok(PushOutcome::Busy { accepted }),
+            other => Err(unexpected("Ingested/Busy", &other)),
+        }
+    }
+
+    /// Pushes every report, splitting the batch so each `Reports` frame
+    /// stays under [`MAX_PAYLOAD_LEN`] and absorbing `Busy` backpressure
+    /// by resending the unaccepted tail after the configured backoff. No
+    /// report is ever skipped or sent twice.
+    ///
+    /// # Errors
+    /// Same conditions as [`Self::push`]; additionally a typed error if a
+    /// *single* report cannot fit one frame (a report wider than ~128M
+    /// bit slots — far beyond any real domain).
+    pub fn push_all(&mut self, reports: &[ReportData]) -> Result<(), ClientError> {
+        let mut rest = reports;
+        while !rest.is_empty() {
+            let count = frame_sized_prefix(rest)?;
+            let (batch, tail) = rest.split_at(count);
+            let mut pending = batch;
+            loop {
+                match self.push(pending)? {
+                    PushOutcome::Ingested => break,
+                    PushOutcome::Busy { accepted } => {
+                        self.busy_retries += 1;
+                        pending = &pending[accepted as usize..];
+                        std::thread::sleep(self.retry_backoff);
+                    }
+                }
+            }
+            rest = tail;
+        }
+        Ok(())
+    }
+
+    /// Queries calibrated estimates over everything ingested so far (by
+    /// any client). Returns `(users, estimates)`; estimates are the exact
+    /// IEEE-754 bits the server computed.
+    ///
+    /// # Errors
+    /// Transport errors or a server-side rejection.
+    pub fn query_estimates(&mut self) -> Result<(u64, Vec<f64>), ClientError> {
+        match self.exchange(&Frame::Query)? {
+            Frame::Estimates { users, estimates } => Ok((users, estimates)),
+            other => Err(unexpected("Estimates", &other)),
+        }
+    }
+
+    /// Queries the current top-`k` heavy-hitter candidates (ranked
+    /// `(item, estimate)` pairs).
+    ///
+    /// # Errors
+    /// Transport errors or a server-side rejection.
+    pub fn query_top_k(&mut self, k: usize) -> Result<(u64, Vec<(u64, f64)>), ClientError> {
+        match self.exchange(&Frame::TopKQuery { k: k as u64 })? {
+            Frame::Candidates { users, items } => Ok((users, items)),
+            other => Err(unexpected("Candidates", &other)),
+        }
+    }
+
+    /// Asks the server to persist its checkpoint; returns the user count
+    /// the written checkpoint covers.
+    ///
+    /// # Errors
+    /// Transport errors, or [`ClientError::Rejected`] when the server has
+    /// no checkpoint path configured or the write failed.
+    pub fn checkpoint(&mut self) -> Result<u64, ClientError> {
+        match self.exchange(&Frame::Checkpoint)? {
+            Frame::CheckpointAck { users } => Ok(users),
+            other => Err(unexpected("CheckpointAck", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Frame) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted}, got {got:?}"))
+}
+
+/// Length of the longest prefix of `reports` whose `Reports` frame stays
+/// under [`MAX_PAYLOAD_LEN`] (always ≥ 1 on success).
+///
+/// # Errors
+/// A typed error when even the first report alone exceeds the cap.
+fn frame_sized_prefix(reports: &[ReportData]) -> Result<usize, ClientError> {
+    let mut payload = 4usize; // batch count prefix
+    for (i, report) in reports.iter().enumerate() {
+        payload += encoded_report_len(report);
+        if payload > MAX_PAYLOAD_LEN {
+            if i == 0 {
+                return Err(ClientError::Protocol(format!(
+                    "one report encodes to {payload} payload bytes, over the \
+                     {MAX_PAYLOAD_LEN}-byte frame cap"
+                )));
+            }
+            return Ok(i);
+        }
+    }
+    Ok(reports.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_sized_prefix_packs_under_the_cap() {
+        // ~1 MiB encoded per report: 16 fit (4 + 16·(5 + 2^20) < 16 MiB),
+        // a 17th would not.
+        let wide = ReportData::Bits(vec![1; 8 << 20]);
+        let per = encoded_report_len(&wide);
+        let fits = (MAX_PAYLOAD_LEN - 4) / per;
+        let reports: Vec<ReportData> = std::iter::repeat_n(wide, fits + 3).collect();
+        assert_eq!(frame_sized_prefix(&reports).unwrap(), fits);
+        assert_eq!(frame_sized_prefix(&reports[..fits]).unwrap(), fits);
+        // Small batches pass through whole.
+        let small = vec![ReportData::Value(1); 1000];
+        assert_eq!(frame_sized_prefix(&small).unwrap(), 1000);
+        // A single impossible report is a typed error, not a panic or loop.
+        let huge = ReportData::ItemSet(vec![0; (MAX_PAYLOAD_LEN / 8) + 1]);
+        assert!(matches!(
+            frame_sized_prefix(&[huge]),
+            Err(ClientError::Protocol(_))
+        ));
+    }
+}

@@ -1,0 +1,881 @@
+//! The length-prefixed binary frame codec of the ingestion service.
+//!
+//! Every message on the wire — in either direction — is one *frame*:
+//!
+//! ```text
+//! frame   := tag(u8)  payload_len(u32 LE)  payload
+//! ```
+//!
+//! The payload grammar is per-tag (see [`Frame`]); all integers are
+//! little-endian, floats travel as their IEEE-754 bit patterns
+//! ([`f64::to_bits`]), so estimates received over TCP are *bit-identical*
+//! to the server's local computation. Reports are framed in their native
+//! compact wire shape ([`ReportData`]): bit vectors are packed 8 slots per
+//! byte, categorical values are one `u64`, OLH reports are the `(seed,
+//! value)` pair, and subset-selection reports are the item list — the
+//! transport twin of the in-memory shapes introduced in
+//! [`idldp_core::report`].
+//!
+//! Decoding is *total*: any byte sequence either parses to a frame or
+//! returns a typed [`FrameError`] — truncated input, an oversized length
+//! prefix ([`MAX_PAYLOAD_LEN`]), an unknown tag, or malformed payload
+//! content. Nothing panics and nothing allocates proportionally to a
+//! length field before the bytes backing it have arrived (the property
+//! suite in `tests/proptest_frames.rs` hammers this with arbitrary
+//! mutations).
+
+use idldp_core::report::{ReportData, ReportShape};
+use std::io::{Read, Write};
+
+/// Protocol version negotiated in [`Frame::Hello`]. Bump on any grammar
+/// change; servers reject other versions with [`Frame::Reject`].
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard ceiling on a frame's payload length (16 MiB). A length prefix
+/// above this is rejected *before* any allocation, so a corrupt or hostile
+/// peer cannot make the decoder reserve unbounded memory.
+pub const MAX_PAYLOAD_LEN: usize = 16 << 20;
+
+/// Typed decode/transport errors. Every malformed input maps to one of
+/// these — the codec never panics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The input ended before the frame did.
+    Truncated {
+        /// Bytes the decoder still needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The length prefix exceeds [`MAX_PAYLOAD_LEN`].
+    Oversized {
+        /// The declared payload length.
+        len: usize,
+        /// The allowed maximum.
+        max: usize,
+    },
+    /// The frame tag byte is not part of the protocol.
+    UnknownTag(u8),
+    /// The payload violates its tag's grammar (bad count, bad UTF-8,
+    /// nonzero padding bits, trailing bytes, …).
+    Malformed(String),
+    /// An I/O error while reading or writing a socket.
+    Io(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { needed, available } => {
+                write!(f, "truncated frame: needed {needed} bytes, had {available}")
+            }
+            FrameError::Oversized { len, max } => {
+                write!(
+                    f,
+                    "oversized frame: payload of {len} bytes exceeds max {max}"
+                )
+            }
+            FrameError::UnknownTag(tag) => write!(f, "unknown frame tag 0x{tag:02x}"),
+            FrameError::Malformed(detail) => write!(f, "malformed frame: {detail}"),
+            FrameError::Io(detail) => write!(f, "frame i/o: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e.to_string())
+    }
+}
+
+/// One protocol message. Client→server frames: `Hello`, `Reports`,
+/// `Query`, `TopKQuery`, `Checkpoint`. Server→client frames: `HelloAck`,
+/// `Ingested`, `Busy`, `Estimates`, `Candidates`, `CheckpointAck`,
+/// `Reject`. The codec itself is direction-agnostic — both sides share it,
+/// so there is exactly one implementation of the grammar.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Connection handshake: the client announces the mechanism
+    /// configuration its reports were perturbed under. The server accepts
+    /// ([`Frame::HelloAck`]) only if the config matches its own mechanism —
+    /// mixing reports from different mechanisms would silently corrupt the
+    /// accumulated counts.
+    Hello {
+        /// Must equal [`PROTOCOL_VERSION`].
+        version: u32,
+        /// The mechanism's stable kind name
+        /// ([`idldp_core::mechanism::Mechanism::kind`]).
+        kind: String,
+        /// The wire shape the client will send.
+        shape: ReportShape,
+        /// The report width
+        /// ([`idldp_core::mechanism::Mechanism::report_len`]).
+        report_len: u64,
+        /// The mechanism's plain-LDP budget as raw IEEE-754 bits
+        /// ([`idldp_core::mechanism::Mechanism::ldp_epsilon`]). Two
+        /// mechanisms of the same kind and width but different ε produce
+        /// incompatible counts, so the server refuses the mismatch just
+        /// like its checkpoint run-identity stamp does.
+        ldp_eps_bits: u64,
+    },
+    /// Handshake accepted; `users` reports are already accumulated
+    /// server-side (nonzero after a checkpoint restore).
+    HelloAck {
+        /// Users absorbed so far.
+        users: u64,
+    },
+    /// A batch of perturbed reports in the mechanism's native wire shape.
+    Reports(Vec<ReportData>),
+    /// Every report of the batch was accepted into the ingest queue.
+    Ingested {
+        /// Number of reports accepted (= the batch size).
+        accepted: u64,
+    },
+    /// The bounded ingest queue filled up mid-batch: the first `accepted`
+    /// reports were queued, the rest were *not* — the client must resend
+    /// them. This is the backpressure signal; the server never silently
+    /// drops an accepted report.
+    Busy {
+        /// Reports accepted before the queue filled.
+        accepted: u64,
+    },
+    /// Request calibrated frequency estimates. The server first waits for
+    /// every previously accepted report to be folded, so the reply
+    /// reflects all reports the client has pushed.
+    Query,
+    /// Estimates reply. `estimates` is empty while `users == 0`.
+    Estimates {
+        /// Users reflected in the estimates.
+        users: u64,
+        /// Per-item calibrated frequency estimates (exact IEEE-754 bits).
+        estimates: Vec<f64>,
+    },
+    /// Request the current top-`k` heavy-hitter candidates.
+    TopKQuery {
+        /// How many candidates to return.
+        k: u64,
+    },
+    /// Top-k reply: `(item, estimate)` pairs, largest estimate first, ties
+    /// toward the smaller item — the canonical
+    /// [`idldp_num::vecops::top_k_indices`] ranking, identical to batch
+    /// `identify_top_k`.
+    Candidates {
+        /// Users reflected in the candidate estimates.
+        users: u64,
+        /// Ranked `(item, estimate)` pairs.
+        items: Vec<(u64, f64)>,
+    },
+    /// Ask the server to persist its accumulator snapshot to its
+    /// configured checkpoint path (atomic temp-file + rename).
+    Checkpoint,
+    /// Checkpoint written; `users` reports are covered by it.
+    CheckpointAck {
+        /// Users covered by the written checkpoint.
+        users: u64,
+    },
+    /// Typed refusal: handshake mismatch, invalid report, or an
+    /// unsupported request. `accepted` reports earlier in the same batch
+    /// were still queued (zero for non-ingest refusals).
+    Reject {
+        /// Reports of the offending batch accepted before the refusal.
+        accepted: u64,
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+const TAG_HELLO: u8 = 0x01;
+const TAG_HELLO_ACK: u8 = 0x02;
+const TAG_REPORTS: u8 = 0x03;
+const TAG_INGESTED: u8 = 0x04;
+const TAG_BUSY: u8 = 0x05;
+const TAG_QUERY: u8 = 0x06;
+const TAG_ESTIMATES: u8 = 0x07;
+const TAG_TOP_K_QUERY: u8 = 0x08;
+const TAG_CANDIDATES: u8 = 0x09;
+const TAG_CHECKPOINT: u8 = 0x0A;
+const TAG_CHECKPOINT_ACK: u8 = 0x0B;
+const TAG_REJECT: u8 = 0x0C;
+
+const SHAPE_BITS: u8 = 0;
+const SHAPE_VALUE: u8 = 1;
+const SHAPE_HASHED: u8 = 2;
+const SHAPE_ITEM_SET: u8 = 3;
+
+const REPORT_BITS: u8 = 0;
+const REPORT_VALUE: u8 = 1;
+const REPORT_HASHED: u8 = 2;
+const REPORT_ITEM_SET: u8 = 3;
+
+/// Bounds-checked little-endian reader over a payload slice. All `read_*`
+/// methods return [`FrameError::Truncated`] instead of slicing past the
+/// end, which is what makes the decoder total.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.remaining() < n {
+            return Err(FrameError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn read_u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn read_u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn read_u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn read_f64(&mut self) -> Result<f64, FrameError> {
+        Ok(f64::from_bits(self.read_u64()?))
+    }
+
+    /// A `u64` that must fit the platform's `usize`.
+    fn read_len(&mut self, what: &str) -> Result<usize, FrameError> {
+        let v = self.read_u64()?;
+        usize::try_from(v).map_err(|_| FrameError::Malformed(format!("{what} {v} overflows usize")))
+    }
+
+    /// An element count whose elements occupy at least `min_elem` bytes
+    /// each — bounded by the remaining payload, so `Vec::with_capacity`
+    /// can never reserve more than the frame actually carries.
+    fn read_count(&mut self, what: &str, min_elem: usize) -> Result<usize, FrameError> {
+        let count = self.read_u32()? as usize;
+        let bound = self.remaining() / min_elem.max(1);
+        if count > bound {
+            return Err(FrameError::Malformed(format!(
+                "{what} count {count} exceeds what the payload can hold ({bound})"
+            )));
+        }
+        Ok(count)
+    }
+
+    fn read_string(&mut self, what: &str) -> Result<String, FrameError> {
+        let len = self.read_count(what, 1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| FrameError::Malformed(format!("{what} is not valid UTF-8")))
+    }
+
+    fn finish(self, what: &str) -> Result<(), FrameError> {
+        if self.remaining() != 0 {
+            return Err(FrameError::Malformed(format!(
+                "{what}: {} trailing payload bytes",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_shape(out: &mut Vec<u8>, shape: ReportShape) {
+    match shape {
+        ReportShape::Bits => out.push(SHAPE_BITS),
+        ReportShape::Value => out.push(SHAPE_VALUE),
+        ReportShape::Hashed { range } => {
+            out.push(SHAPE_HASHED);
+            put_u64(out, range as u64);
+        }
+        ReportShape::ItemSet => out.push(SHAPE_ITEM_SET),
+    }
+}
+
+fn read_shape(c: &mut Cursor<'_>) -> Result<ReportShape, FrameError> {
+    match c.read_u8()? {
+        SHAPE_BITS => Ok(ReportShape::Bits),
+        SHAPE_VALUE => Ok(ReportShape::Value),
+        SHAPE_HASHED => Ok(ReportShape::Hashed {
+            range: c.read_len("hash range")?,
+        }),
+        SHAPE_ITEM_SET => Ok(ReportShape::ItemSet),
+        other => Err(FrameError::Malformed(format!("unknown shape tag {other}"))),
+    }
+}
+
+/// Assembles header + payload. The `u32` length prefix is a hard
+/// invariant (a 4 GiB frame is unconstructible through the public
+/// senders, which split or refuse first).
+fn frame_bytes(tag: u8, payload: Vec<u8>) -> Vec<u8> {
+    assert!(
+        u32::try_from(payload.len()).is_ok(),
+        "frame payload exceeds the u32 length prefix"
+    );
+    let mut out = Vec::with_capacity(5 + payload.len());
+    out.push(tag);
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// The [`Frame::Reports`] payload built straight from a slice.
+fn reports_payload(reports: &[ReportData]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, reports.len() as u32);
+    for r in reports {
+        put_report(&mut out, r);
+    }
+    out
+}
+
+/// Encodes a [`Frame::Reports`] frame directly from a borrowed slice —
+/// the sender-side hot path, sparing the clone that building an owned
+/// [`Frame::Reports`] would force on every (re)send.
+pub fn encode_reports_frame(reports: &[ReportData]) -> Vec<u8> {
+    frame_bytes(TAG_REPORTS, reports_payload(reports))
+}
+
+/// Exact encoded size of one report inside a [`Frame::Reports`] payload —
+/// what senders use to pack batches under [`MAX_PAYLOAD_LEN`] without
+/// encoding twice.
+pub fn encoded_report_len(report: &ReportData) -> usize {
+    match report {
+        ReportData::Bits(bits) => 1 + 4 + bits.len().div_ceil(8),
+        ReportData::Value(_) => 1 + 8,
+        ReportData::Hashed { .. } => 1 + 8 + 8,
+        ReportData::ItemSet(items) => 1 + 4 + 8 * items.len(),
+    }
+}
+
+/// Encodes one report in its compact wire form (bit vectors packed 8 slots
+/// per byte, LSB first).
+fn put_report(out: &mut Vec<u8>, report: &ReportData) {
+    match report {
+        ReportData::Bits(bits) => {
+            out.push(REPORT_BITS);
+            put_u32(out, bits.len() as u32);
+            let mut byte = 0u8;
+            for (i, &bit) in bits.iter().enumerate() {
+                // Any nonzero slot counts as set, matching the fold rule's
+                // `u64::from(bit)` treatment of 0/1 reports.
+                if bit != 0 {
+                    byte |= 1 << (i % 8);
+                }
+                if i % 8 == 7 {
+                    out.push(byte);
+                    byte = 0;
+                }
+            }
+            if !bits.len().is_multiple_of(8) {
+                out.push(byte);
+            }
+        }
+        ReportData::Value(v) => {
+            out.push(REPORT_VALUE);
+            put_u64(out, *v as u64);
+        }
+        ReportData::Hashed { seed, value } => {
+            out.push(REPORT_HASHED);
+            put_u64(out, *seed);
+            put_u64(out, *value as u64);
+        }
+        ReportData::ItemSet(items) => {
+            out.push(REPORT_ITEM_SET);
+            put_u32(out, items.len() as u32);
+            for &item in items {
+                put_u64(out, item as u64);
+            }
+        }
+    }
+}
+
+fn read_report(c: &mut Cursor<'_>) -> Result<ReportData, FrameError> {
+    match c.read_u8()? {
+        REPORT_BITS => {
+            let slots = c.read_u32()? as usize;
+            let bytes_needed = slots.div_ceil(8);
+            if bytes_needed > c.remaining() {
+                return Err(FrameError::Truncated {
+                    needed: bytes_needed,
+                    available: c.remaining(),
+                });
+            }
+            let packed = c.take(bytes_needed)?;
+            let mut bits = vec![0u8; slots];
+            for (i, bit) in bits.iter_mut().enumerate() {
+                *bit = (packed[i / 8] >> (i % 8)) & 1;
+            }
+            // Padding bits above `slots` must be zero, so every encoding of
+            // a report is canonical (encode ∘ decode is the identity on
+            // bytes too, not just on reports).
+            if !slots.is_multiple_of(8) {
+                let last = packed[bytes_needed - 1];
+                if last >> (slots % 8) != 0 {
+                    return Err(FrameError::Malformed(
+                        "nonzero padding bits in packed bit report".into(),
+                    ));
+                }
+            }
+            Ok(ReportData::Bits(bits))
+        }
+        REPORT_VALUE => Ok(ReportData::Value(c.read_len("report value")?)),
+        REPORT_HASHED => Ok(ReportData::Hashed {
+            seed: c.read_u64()?,
+            value: c.read_len("hashed report value")?,
+        }),
+        REPORT_ITEM_SET => {
+            let count = c.read_count("item set", 8)?;
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                items.push(c.read_len("item-set member")?);
+            }
+            Ok(ReportData::ItemSet(items))
+        }
+        other => Err(FrameError::Malformed(format!("unknown report tag {other}"))),
+    }
+}
+
+impl Frame {
+    fn tag(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => TAG_HELLO,
+            Frame::HelloAck { .. } => TAG_HELLO_ACK,
+            Frame::Reports(_) => TAG_REPORTS,
+            Frame::Ingested { .. } => TAG_INGESTED,
+            Frame::Busy { .. } => TAG_BUSY,
+            Frame::Query => TAG_QUERY,
+            Frame::Estimates { .. } => TAG_ESTIMATES,
+            Frame::TopKQuery { .. } => TAG_TOP_K_QUERY,
+            Frame::Candidates { .. } => TAG_CANDIDATES,
+            Frame::Checkpoint => TAG_CHECKPOINT,
+            Frame::CheckpointAck { .. } => TAG_CHECKPOINT_ACK,
+            Frame::Reject { .. } => TAG_REJECT,
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Frame::Hello {
+                version,
+                kind,
+                shape,
+                report_len,
+                ldp_eps_bits,
+            } => {
+                put_u32(&mut out, *version);
+                put_string(&mut out, kind);
+                put_shape(&mut out, *shape);
+                put_u64(&mut out, *report_len);
+                put_u64(&mut out, *ldp_eps_bits);
+            }
+            Frame::HelloAck { users }
+            | Frame::Ingested { accepted: users }
+            | Frame::Busy { accepted: users }
+            | Frame::CheckpointAck { users } => put_u64(&mut out, *users),
+            Frame::Reports(reports) => out = reports_payload(reports),
+            Frame::Query | Frame::Checkpoint => {}
+            Frame::Estimates { users, estimates } => {
+                put_u64(&mut out, *users);
+                put_u32(&mut out, estimates.len() as u32);
+                for e in estimates {
+                    put_u64(&mut out, e.to_bits());
+                }
+            }
+            Frame::TopKQuery { k } => put_u64(&mut out, *k),
+            Frame::Candidates { users, items } => {
+                put_u64(&mut out, *users);
+                put_u32(&mut out, items.len() as u32);
+                for (item, estimate) in items {
+                    put_u64(&mut out, *item);
+                    put_u64(&mut out, estimate.to_bits());
+                }
+            }
+            Frame::Reject { accepted, message } => {
+                put_u64(&mut out, *accepted);
+                put_string(&mut out, message);
+            }
+        }
+        out
+    }
+
+    fn parse_payload(tag: u8, payload: &[u8]) -> Result<Frame, FrameError> {
+        let mut c = Cursor::new(payload);
+        let frame = match tag {
+            TAG_HELLO => Frame::Hello {
+                version: c.read_u32()?,
+                kind: c.read_string("mechanism kind")?,
+                shape: read_shape(&mut c)?,
+                report_len: c.read_u64()?,
+                ldp_eps_bits: c.read_u64()?,
+            },
+            TAG_HELLO_ACK => Frame::HelloAck {
+                users: c.read_u64()?,
+            },
+            TAG_REPORTS => {
+                // Every report is at least 2 bytes (tag + shortest body).
+                let count = c.read_count("report batch", 2)?;
+                let mut reports = Vec::with_capacity(count);
+                for _ in 0..count {
+                    reports.push(read_report(&mut c)?);
+                }
+                Frame::Reports(reports)
+            }
+            TAG_INGESTED => Frame::Ingested {
+                accepted: c.read_u64()?,
+            },
+            TAG_BUSY => Frame::Busy {
+                accepted: c.read_u64()?,
+            },
+            TAG_QUERY => Frame::Query,
+            TAG_ESTIMATES => {
+                let users = c.read_u64()?;
+                let count = c.read_count("estimate vector", 8)?;
+                let mut estimates = Vec::with_capacity(count);
+                for _ in 0..count {
+                    estimates.push(c.read_f64()?);
+                }
+                Frame::Estimates { users, estimates }
+            }
+            TAG_TOP_K_QUERY => Frame::TopKQuery { k: c.read_u64()? },
+            TAG_CANDIDATES => {
+                let users = c.read_u64()?;
+                let count = c.read_count("candidate list", 16)?;
+                let mut items = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let item = c.read_u64()?;
+                    items.push((item, c.read_f64()?));
+                }
+                Frame::Candidates { users, items }
+            }
+            TAG_CHECKPOINT => Frame::Checkpoint,
+            TAG_CHECKPOINT_ACK => Frame::CheckpointAck {
+                users: c.read_u64()?,
+            },
+            TAG_REJECT => Frame::Reject {
+                accepted: c.read_u64()?,
+                message: c.read_string("reject message")?,
+            },
+            other => return Err(FrameError::UnknownTag(other)),
+        };
+        c.finish("frame payload")?;
+        Ok(frame)
+    }
+
+    /// Encodes the frame — header and payload — into bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        frame_bytes(self.tag(), self.payload())
+    }
+
+    /// `true` when this frame's payload fits under [`MAX_PAYLOAD_LEN`] —
+    /// a peer rejects anything larger, so senders of variably sized
+    /// frames (estimate replies, report batches) check before writing and
+    /// substitute a typed refusal instead of killing the connection.
+    pub fn fits_one_frame(&self) -> bool {
+        self.payload().len() <= MAX_PAYLOAD_LEN
+    }
+
+    /// Decodes exactly one frame from `buf`, requiring the buffer to end
+    /// with it (no trailing bytes).
+    ///
+    /// # Errors
+    /// Any of the typed [`FrameError`] conditions; never panics.
+    pub fn decode(buf: &[u8]) -> Result<Frame, FrameError> {
+        if buf.len() < 5 {
+            return Err(FrameError::Truncated {
+                needed: 5,
+                available: buf.len(),
+            });
+        }
+        let tag = buf[0];
+        let len = u32::from_le_bytes(buf[1..5].try_into().expect("4 bytes")) as usize;
+        if len > MAX_PAYLOAD_LEN {
+            return Err(FrameError::Oversized {
+                len,
+                max: MAX_PAYLOAD_LEN,
+            });
+        }
+        if buf.len() - 5 < len {
+            return Err(FrameError::Truncated {
+                needed: len,
+                available: buf.len() - 5,
+            });
+        }
+        if buf.len() - 5 > len {
+            return Err(FrameError::Malformed(format!(
+                "{} bytes after the frame end",
+                buf.len() - 5 - len
+            )));
+        }
+        Self::parse_payload(tag, &buf[5..5 + len])
+    }
+
+    /// Writes the frame to a stream (one `write_all`; callers flush).
+    ///
+    /// # Errors
+    /// Propagates I/O errors as [`FrameError::Io`].
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), FrameError> {
+        w.write_all(&self.encode())?;
+        Ok(())
+    }
+
+    /// Reads one frame from a stream. Returns `Ok(None)` on a clean EOF at
+    /// a frame boundary (the peer closed the connection); EOF *inside* a
+    /// frame is [`FrameError::Truncated`].
+    ///
+    /// # Errors
+    /// Typed decode errors or [`FrameError::Io`].
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Option<Frame>, FrameError> {
+        let mut header = [0u8; 5];
+        let mut got = 0;
+        while got < header.len() {
+            match r.read(&mut header[got..]) {
+                Ok(0) if got == 0 => return Ok(None),
+                Ok(0) => {
+                    return Err(FrameError::Truncated {
+                        needed: header.len(),
+                        available: got,
+                    })
+                }
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let tag = header[0];
+        let len = u32::from_le_bytes(header[1..5].try_into().expect("4 bytes")) as usize;
+        if len > MAX_PAYLOAD_LEN {
+            return Err(FrameError::Oversized {
+                len,
+                max: MAX_PAYLOAD_LEN,
+            });
+        }
+        let mut payload = vec![0u8; len];
+        r.read_exact(&mut payload).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                FrameError::Truncated {
+                    needed: len,
+                    available: 0,
+                }
+            } else {
+                FrameError::Io(e.to_string())
+            }
+        })?;
+        Self::parse_payload(tag, &payload).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) {
+        let bytes = frame.encode();
+        assert_eq!(Frame::decode(&bytes).unwrap(), frame);
+        // Stream reader agrees with the slice decoder.
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert_eq!(Frame::read_from(&mut cursor).unwrap(), Some(frame));
+        assert_eq!(Frame::read_from(&mut cursor).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn every_frame_kind_round_trips() {
+        round_trip(Frame::Hello {
+            version: PROTOCOL_VERSION,
+            kind: "idue".into(),
+            shape: ReportShape::Hashed { range: 7 },
+            report_len: 64,
+            ldp_eps_bits: 1.25f64.to_bits(),
+        });
+        round_trip(Frame::HelloAck { users: 12 });
+        round_trip(Frame::Reports(vec![
+            ReportData::Bits(vec![1, 0, 1, 1, 0, 0, 0, 1, 1]),
+            ReportData::Value(3),
+            ReportData::Hashed { seed: 9, value: 2 },
+            ReportData::ItemSet(vec![0, 5, 17]),
+        ]));
+        round_trip(Frame::Ingested { accepted: 1024 });
+        round_trip(Frame::Busy { accepted: 7 });
+        round_trip(Frame::Query);
+        round_trip(Frame::Estimates {
+            users: 5,
+            estimates: vec![0.25, -1.5e-9, 0.0, 1.0],
+        });
+        round_trip(Frame::TopKQuery { k: 5 });
+        round_trip(Frame::Candidates {
+            users: 100,
+            items: vec![(3, 0.5), (1, 0.25)],
+        });
+        round_trip(Frame::Checkpoint);
+        round_trip(Frame::CheckpointAck { users: 42 });
+        round_trip(Frame::Reject {
+            accepted: 3,
+            message: "shape mismatch".into(),
+        });
+    }
+
+    #[test]
+    fn estimates_survive_bit_exactly() {
+        let estimates = vec![0.1 + 0.2, f64::MIN_POSITIVE, -0.0, 1.0 / 3.0];
+        let frame = Frame::Estimates {
+            users: 9,
+            estimates: estimates.clone(),
+        };
+        match Frame::decode(&frame.encode()).unwrap() {
+            Frame::Estimates {
+                estimates: decoded, ..
+            } => {
+                for (a, b) in decoded.iter().zip(&estimates) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_typed_at_every_length() {
+        let bytes = Frame::Reports(vec![
+            ReportData::Bits(vec![1, 0, 1]),
+            ReportData::ItemSet(vec![2, 4]),
+        ])
+        .encode();
+        for cut in 0..bytes.len() {
+            match Frame::decode(&bytes[..cut]) {
+                Err(FrameError::Truncated { .. }) | Err(FrameError::Malformed(_)) => {}
+                other => panic!("cut at {cut}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_and_unknown_are_rejected() {
+        let mut oversized = vec![TAG_QUERY];
+        oversized.extend_from_slice(&(MAX_PAYLOAD_LEN as u32 + 1).to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&oversized),
+            Err(FrameError::Oversized { .. })
+        ));
+        let unknown = [0xEEu8, 0, 0, 0, 0];
+        assert_eq!(Frame::decode(&unknown), Err(FrameError::UnknownTag(0xEE)));
+        // Trailing garbage after a valid frame.
+        let mut trailing = Frame::Query.encode();
+        trailing.push(0);
+        assert!(matches!(
+            Frame::decode(&trailing),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn nonzero_padding_bits_are_rejected() {
+        let mut bytes = Frame::Reports(vec![ReportData::Bits(vec![1, 1, 1])]).encode();
+        // The packed byte is 0b0000_0111; set a padding bit above slot 2.
+        let last = bytes.len() - 1;
+        bytes[last] |= 0b1000_0000;
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn hostile_counts_do_not_allocate() {
+        // A Reports frame claiming u32::MAX reports in a 4-byte payload.
+        let mut bytes = vec![TAG_REPORTS, 4, 0, 0, 0];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn encoded_report_len_matches_the_encoder() {
+        let reports = [
+            ReportData::Bits(vec![]),
+            ReportData::Bits(vec![1; 7]),
+            ReportData::Bits(vec![0; 8]),
+            ReportData::Bits(vec![1; 65]),
+            ReportData::Value(3),
+            ReportData::Hashed { seed: 1, value: 2 },
+            ReportData::ItemSet(vec![]),
+            ReportData::ItemSet(vec![0, 5, 9]),
+        ];
+        for report in &reports {
+            let mut out = Vec::new();
+            put_report(&mut out, report);
+            assert_eq!(out.len(), encoded_report_len(report), "{report:?}");
+        }
+        // A whole batch frame is header + count + the per-report sizes.
+        let frame = Frame::Reports(reports.to_vec());
+        let want: usize = 5 + 4 + reports.iter().map(encoded_report_len).sum::<usize>();
+        assert_eq!(frame.encode().len(), want);
+    }
+
+    #[test]
+    fn slice_encoder_matches_owned_encoder() {
+        let reports = vec![
+            ReportData::Bits(vec![1, 0, 1]),
+            ReportData::Value(2),
+            ReportData::Hashed { seed: 3, value: 1 },
+            ReportData::ItemSet(vec![0, 4]),
+        ];
+        assert_eq!(
+            encode_reports_frame(&reports),
+            Frame::Reports(reports).encode()
+        );
+    }
+
+    #[test]
+    fn fits_one_frame_flags_oversized_replies() {
+        assert!(Frame::Query.fits_one_frame());
+        let small = Frame::Estimates {
+            users: 1,
+            estimates: vec![0.5; 100],
+        };
+        assert!(small.fits_one_frame());
+        let oversized = Frame::Estimates {
+            users: 1,
+            estimates: vec![0.5; MAX_PAYLOAD_LEN / 8 + 16],
+        };
+        assert!(!oversized.fits_one_frame());
+    }
+
+    #[test]
+    fn bit_packing_is_compact() {
+        let bytes = Frame::Reports(vec![ReportData::Bits(vec![1; 64])]).encode();
+        // 5 header + 4 batch count + 1 report tag + 4 slot count + 8 packed.
+        assert_eq!(bytes.len(), 5 + 4 + 1 + 4 + 8);
+    }
+}

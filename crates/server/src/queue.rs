@@ -1,0 +1,287 @@
+//! The bounded ingest queue between connection workers and fold workers.
+//!
+//! Connection workers parse [`crate::frame::Frame::Reports`] batches and
+//! *try* to enqueue each report here; ingest workers pop reports and fold
+//! them into the sharded accumulator. The queue is the backpressure point:
+//! [`IngestQueue::try_push`] never blocks — when the queue is at capacity
+//! it refuses, and the connection worker turns that refusal into a typed
+//! `Busy` reply instead of silently dropping the report.
+//!
+//! The queue also carries the *linearization* counters that make queries
+//! exact: `enqueued` counts accepted reports, `processed` counts folded
+//! ones, and [`IngestQueue::wait_processed`] blocks until the fold side
+//! catches up to a watermark — so a `Query` observes every report the
+//! server accepted before it, and loopback estimates can be bit-identical
+//! to a batch run.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a non-blocking push was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushRefusal {
+    /// The queue is at capacity — retry after ingest workers drain it.
+    Full,
+    /// The queue was closed (server shutting down).
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    enqueued: u64,
+    processed: u64,
+    closed: bool,
+    paused: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue with explicit
+/// backpressure, drain watermarks, and a test/operations pause switch.
+pub struct IngestQueue<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    /// Signaled when an item arrives, the pause is lifted, or the queue
+    /// closes (wakes poppers).
+    not_empty: Condvar,
+    /// Signaled when an item finishes processing or the queue closes
+    /// (wakes watermark waiters).
+    progress: Condvar,
+}
+
+impl<T> IngestQueue<T> {
+    /// An open queue holding at most `capacity` in-flight items.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` (nothing could ever be accepted).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ingest queue capacity must be positive");
+        Self {
+            capacity,
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity.min(4096)),
+                enqueued: 0,
+                processed: 0,
+                closed: false,
+                paused: false,
+            }),
+            not_empty: Condvar::new(),
+            progress: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        // The queue holds plain data; a panicking holder cannot leave it in
+        // a torn state, so poisoning is recovered like parking_lot would.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued (waiting to be folded).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking push — the shedding half of the backpressure contract.
+    ///
+    /// # Errors
+    /// [`PushRefusal::Full`] at capacity (the item is **not** queued;
+    /// callers reply `Busy`), [`PushRefusal::Closed`] after [`Self::close`].
+    pub fn try_push(&self, item: T) -> Result<(), PushRefusal> {
+        let mut s = self.lock();
+        if s.closed {
+            return Err(PushRefusal::Closed);
+        }
+        if s.items.len() >= self.capacity {
+            return Err(PushRefusal::Full);
+        }
+        s.items.push_back(item);
+        s.enqueued += 1;
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available (and the queue is not paused),
+    /// returning `None` once the queue is closed. Ingest workers exit on
+    /// `None`.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.lock();
+        loop {
+            if s.closed {
+                return None;
+            }
+            if !s.paused {
+                if let Some(item) = s.items.pop_front() {
+                    return Some(item);
+                }
+            }
+            s = self
+                .not_empty
+                .wait(s)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Records that one popped item has been fully folded, waking
+    /// watermark waiters. Every successful [`Self::pop`] must be paired
+    /// with exactly one call.
+    pub fn mark_processed(&self) {
+        let mut s = self.lock();
+        s.processed += 1;
+        drop(s);
+        self.progress.notify_all();
+    }
+
+    /// The current accept watermark: total items ever accepted. A query
+    /// that waits for this watermark observes every report accepted before
+    /// the query arrived.
+    pub fn watermark(&self) -> u64 {
+        self.lock().enqueued
+    }
+
+    /// Blocks until `watermark` items have been processed. Returns `false`
+    /// if the queue closed first (shutdown) — callers should give up
+    /// rather than serve a partial view.
+    pub fn wait_processed(&self, watermark: u64) -> bool {
+        let mut s = self.lock();
+        while s.processed < watermark {
+            if s.closed {
+                return false;
+            }
+            s = self
+                .progress
+                .wait(s)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        true
+    }
+
+    /// Pauses (`true`) or resumes (`false`) the pop side. While paused,
+    /// accepted items stay queued and the queue fills to capacity — the
+    /// deterministic way to exercise the `Busy` path in tests, and an
+    /// operational throttle for draining maintenance windows.
+    pub fn set_paused(&self, paused: bool) {
+        let mut s = self.lock();
+        s.paused = paused;
+        drop(s);
+        self.not_empty.notify_all();
+    }
+
+    /// Closes the queue: pending and future pushes are refused, blocked
+    /// poppers and watermark waiters wake immediately.
+    pub fn close(&self) {
+        let mut s = self.lock();
+        s.closed = true;
+        drop(s);
+        self.not_empty.notify_all();
+        self.progress.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_push_pop() {
+        let q = IngestQueue::new(2);
+        assert_eq!(q.capacity(), 2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushRefusal::Full));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_wakes_poppers_and_refuses_pushes() {
+        let q = Arc::new(IngestQueue::<u32>::new(4));
+        let q2 = Arc::clone(&q);
+        let popper = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert_eq!(popper.join().unwrap(), None);
+        assert_eq!(q.try_push(1), Err(PushRefusal::Closed));
+    }
+
+    #[test]
+    fn watermark_waits_for_processing() {
+        let q = Arc::new(IngestQueue::new(16));
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        let watermark = q.watermark();
+        assert_eq!(watermark, 5);
+        let q2 = Arc::clone(&q);
+        let worker = std::thread::spawn(move || {
+            while let Some(_item) = q2.pop() {
+                q2.mark_processed();
+                if q2.is_empty() {
+                    break;
+                }
+            }
+        });
+        assert!(q.wait_processed(watermark));
+        worker.join().unwrap();
+        // An already-reached watermark returns immediately.
+        assert!(q.wait_processed(watermark));
+    }
+
+    #[test]
+    fn wait_processed_observes_close() {
+        let q = Arc::new(IngestQueue::new(4));
+        q.try_push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let waiter = std::thread::spawn(move || q2.wait_processed(1));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert!(!waiter.join().unwrap(), "close aborts the wait");
+    }
+
+    #[test]
+    fn pause_fills_the_queue() {
+        let q = Arc::new(IngestQueue::new(3));
+        q.set_paused(true);
+        let q2 = Arc::clone(&q);
+        let popper = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(item) = q2.pop() {
+                q2.mark_processed();
+                got.push(item);
+                if got.len() == 3 {
+                    break;
+                }
+            }
+            got
+        });
+        for i in 0..3 {
+            q.try_push(i).unwrap();
+        }
+        // Paused: the popper cannot drain, so capacity is reached.
+        assert_eq!(q.try_push(9), Err(PushRefusal::Full));
+        q.set_paused(false);
+        assert_eq!(popper.join().unwrap(), vec![0, 1, 2]);
+        assert!(q.wait_processed(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = IngestQueue::<u8>::new(0);
+    }
+}

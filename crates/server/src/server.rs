@@ -1,0 +1,683 @@
+//! The report server: TCP listener, bounded worker pool, bounded ingest
+//! queue, sharded accumulation, and snapshot queries.
+//!
+//! ```text
+//! acceptor ──(rendezvous channel: accept blocks while all workers busy)──▶
+//!   connection workers ──(bounded IngestQueue: full ⇒ typed Busy reply)──▶
+//!     ingest workers ──(fold)──▶ ShardedAccumulator ──(snapshot)──▶ oracle
+//! ```
+//!
+//! Backpressure has exactly two points, both explicit: the acceptor blocks
+//! in `send` while every connection worker is busy (TCP's own accept queue
+//! then throttles new peers), and a full ingest queue makes the connection
+//! worker answer [`Frame::Busy`] with the count of reports it *did* accept
+//! — the client re-sends the rest. An accepted report is never dropped:
+//! it is either folded or the server was shut down.
+//!
+//! Queries linearize after ingestion: `Query`/`TopKQuery`/`Checkpoint`
+//! first wait until the fold side reaches the accept watermark taken when
+//! the request arrived ([`crate::queue::IngestQueue::wait_processed`]), so
+//! the reply reflects every report any client had pushed by then. That is
+//! what makes loopback estimates *bit-identical* to a batch pipeline run —
+//! `crates/sim/tests/server_loopback.rs` proves it for all eight
+//! mechanisms.
+
+use crate::frame::{Frame, FrameError, PROTOCOL_VERSION};
+use crate::queue::{IngestQueue, PushRefusal};
+use idldp_core::mechanism::Mechanism;
+use idldp_core::report::{ReportData, ReportShape};
+use idldp_core::snapshot::AccumulatorSnapshot;
+use idldp_num::vecops::top_k_indices;
+use idldp_stream::{ShapedAccumulator, ShardedAccumulator};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Server construction/runtime errors.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Socket-level failure (bind, accept setup).
+    Io(std::io::Error),
+    /// The configured checkpoint exists but cannot back this server
+    /// (parse failure, width mismatch, or a different run stamp).
+    Checkpoint(String),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "server i/o: {e}"),
+            ServerError::Checkpoint(detail) => write!(f, "server checkpoint: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+/// Tunables of a [`ReportServer`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port (read it back from
+    /// [`ReportServer::local_addr`]).
+    pub addr: String,
+    /// Accumulator shards (see [`idldp_stream::ShardedAccumulator`]).
+    pub shards: usize,
+    /// Ingest queue capacity — the backpressure bound. Accepted-but-unfolded
+    /// reports never exceed this.
+    pub queue_capacity: usize,
+    /// Fold workers draining the ingest queue.
+    pub ingest_workers: usize,
+    /// Connection workers; the acceptor blocks once all are busy.
+    pub connection_workers: usize,
+    /// Optional checkpoint file: restored (if present) at startup, written
+    /// atomically on every `Checkpoint` control frame.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Extra run-identity text stamped into checkpoints alongside the
+    /// mechanism's kind/shape/width/ε. Embedders put everything that went
+    /// into *constructing* the mechanism here (the CLI stamps
+    /// `mechanism=… m=… eps=… seed=…`), so a restart under different
+    /// parameters refuses the old counts instead of silently restoring a
+    /// population perturbed under a different configuration.
+    pub config_stamp: Option<String>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            shards: idldp_stream::DEFAULT_SHARDS,
+            queue_capacity: 65_536,
+            ingest_workers: 2,
+            connection_workers: 4,
+            checkpoint_path: None,
+            config_stamp: None,
+        }
+    }
+}
+
+/// Shared state between the acceptor, connection workers, and ingest
+/// workers.
+struct Shared {
+    mechanism: Arc<dyn Mechanism>,
+    sink: ShardedAccumulator<ShapedAccumulator>,
+    queue: IngestQueue<ReportData>,
+    stop: AtomicBool,
+    /// Reports that failed to fold after acceptance (cannot happen for
+    /// reports the connection workers validated; counted defensively).
+    fold_failures: AtomicU64,
+    checkpoint_path: Option<PathBuf>,
+    config_stamp: Option<String>,
+    /// Live connections, keyed by a monotone id, so shutdown can close
+    /// their sockets and unblock workers parked in `read`.
+    connections: Mutex<std::collections::HashMap<u64, TcpStream>>,
+    next_connection_id: AtomicU64,
+}
+
+impl Shared {
+    /// Registers a live connection for shutdown teardown.
+    fn track(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next_connection_id.fetch_add(1, Ordering::SeqCst);
+        self.connections
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(id, clone);
+        Some(id)
+    }
+
+    fn untrack(&self, id: Option<u64>) {
+        if let Some(id) = id {
+            self.connections
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .remove(&id);
+        }
+    }
+
+    /// Forcibly closes every live connection (both directions), waking any
+    /// worker blocked in a socket read.
+    fn close_connections(&self) {
+        let connections = self
+            .connections
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for stream in connections.values() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+impl Shared {
+    /// The run-identity stamp appended to checkpoints, refusing restores
+    /// into a differently configured server. Besides kind/shape/width it
+    /// carries the mechanism's exact plain-LDP budget (raw IEEE-754 bits —
+    /// two mechanisms of the same kind and width but different ε produce
+    /// incompatible counts) and the embedder's
+    /// [`ServerConfig::config_stamp`].
+    fn run_line(&self) -> String {
+        let mut line = format!(
+            "run idldp-serve kind={} shape={} report_len={} ldp_eps={:016x}",
+            self.mechanism.kind(),
+            self.mechanism.report_shape().label(),
+            self.mechanism.report_len(),
+            self.mechanism.ldp_epsilon().to_bits()
+        );
+        if let Some(stamp) = &self.config_stamp {
+            line.push(' ');
+            line.push_str(stamp);
+        }
+        line
+    }
+
+    /// Waits for everything accepted so far to be folded, then freezes the
+    /// merged view. Returns `None` if the server shut down mid-wait.
+    fn settled_snapshot(&self) -> Option<AccumulatorSnapshot> {
+        let watermark = self.queue.watermark();
+        if !self.queue.wait_processed(watermark) {
+            return None;
+        }
+        Some(self.sink.snapshot())
+    }
+
+    /// Estimates over a settled snapshot (empty while no users).
+    fn settled_estimates(&self) -> Option<Result<(u64, Vec<f64>), String>> {
+        let snapshot = self.settled_snapshot()?;
+        let users = snapshot.num_users();
+        if users == 0 {
+            return Some(Ok((0, Vec::new())));
+        }
+        Some(
+            self.mechanism
+                .frequency_oracle(users)
+                .estimate_from(&snapshot)
+                .map(|estimates| (users, estimates))
+                .map_err(|e| e.to_string()),
+        )
+    }
+}
+
+/// A running ingestion service. Dropping the handle leaks the threads;
+/// call [`ReportServer::shutdown`] for an orderly stop.
+pub struct ReportServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ReportServer {
+    /// Binds, restores the checkpoint if one exists, and spawns the
+    /// acceptor, connection-worker, and ingest-worker threads.
+    ///
+    /// # Errors
+    /// Bind failures and unusable checkpoints.
+    ///
+    /// # Panics
+    /// Panics if `shards`, `queue_capacity`, `ingest_workers`, or
+    /// `connection_workers` is zero.
+    pub fn start(mechanism: Arc<dyn Mechanism>, config: ServerConfig) -> Result<Self, ServerError> {
+        assert!(config.ingest_workers > 0, "need at least one ingest worker");
+        assert!(
+            config.connection_workers > 0,
+            "need at least one connection worker"
+        );
+        let sink = ShardedAccumulator::new(
+            ShapedAccumulator::for_mechanism(mechanism.as_ref()),
+            config.shards,
+        );
+        let shared = Arc::new(Shared {
+            mechanism,
+            sink,
+            queue: IngestQueue::new(config.queue_capacity),
+            stop: AtomicBool::new(false),
+            fold_failures: AtomicU64::new(0),
+            checkpoint_path: config.checkpoint_path.clone(),
+            config_stamp: config.config_stamp.clone(),
+            connections: Mutex::new(std::collections::HashMap::new()),
+            next_connection_id: AtomicU64::new(0),
+        });
+
+        if let Some(path) = &config.checkpoint_path {
+            match std::fs::read_to_string(path) {
+                Ok(text) => {
+                    let snapshot = AccumulatorSnapshot::from_checkpoint_str(&text)
+                        .map_err(|e| ServerError::Checkpoint(format!("{}: {e}", path.display())))?;
+                    let want = shared.run_line();
+                    match text.lines().find(|l| l.starts_with("run ")) {
+                        Some(line) if line == want => {}
+                        Some(line) => {
+                            return Err(ServerError::Checkpoint(format!(
+                                "{}: stamped `{line}`, this server is `{want}`",
+                                path.display()
+                            )))
+                        }
+                        None => {
+                            return Err(ServerError::Checkpoint(format!(
+                                "{}: missing run-identity line",
+                                path.display()
+                            )))
+                        }
+                    }
+                    shared
+                        .sink
+                        .restore(&snapshot)
+                        .map_err(|e| ServerError::Checkpoint(format!("{}: {e}", path.display())))?;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(ServerError::Checkpoint(format!("{}: {e}", path.display()))),
+            }
+        }
+
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+
+        let mut workers = Vec::new();
+        for _ in 0..config.ingest_workers {
+            let shared = Arc::clone(&shared);
+            workers.push(std::thread::spawn(move || ingest_worker(&shared)));
+        }
+
+        // Rendezvous handoff: `send` blocks until a connection worker is
+        // free, which in turn blocks `accept` — bounded-pool backpressure
+        // without an unbounded pending-connection buffer.
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(0);
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        for _ in 0..config.connection_workers {
+            let shared = Arc::clone(&shared);
+            let conn_rx = Arc::clone(&conn_rx);
+            workers.push(std::thread::spawn(move || loop {
+                let stream = {
+                    let guard = conn_rx
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    guard.recv()
+                };
+                match stream {
+                    Ok(stream) => handle_connection(stream, &shared),
+                    Err(_) => return, // acceptor gone: shutdown
+                }
+            }));
+        }
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        return; // conn_tx drops here, stopping the workers
+                    }
+                    match stream {
+                        Ok(stream) => {
+                            if conn_tx.send(stream).is_err() {
+                                return;
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+            })
+        };
+
+        Ok(Self {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves an ephemeral port request).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Users folded into the accumulator so far.
+    pub fn num_users(&self) -> u64 {
+        self.shared.sink.num_users()
+    }
+
+    /// Accepted reports that failed to fold (always `0` unless a validator
+    /// / accumulator disagreement is introduced — monitored by tests).
+    pub fn fold_failures(&self) -> u64 {
+        self.shared.fold_failures.load(Ordering::SeqCst)
+    }
+
+    /// Freezes the merged accumulator view after draining the queue. For
+    /// tests and embedders; remote callers use the `Query` frame.
+    pub fn snapshot(&self) -> AccumulatorSnapshot {
+        self.shared
+            .settled_snapshot()
+            .unwrap_or_else(|| self.shared.sink.snapshot())
+    }
+
+    /// Pauses folding: accepted reports stay queued, so the bounded queue
+    /// fills and further pushes draw `Busy` — deterministic backpressure
+    /// for tests and maintenance windows.
+    pub fn pause_ingest(&self) {
+        self.shared.queue.set_paused(true);
+    }
+
+    /// Resumes folding after [`Self::pause_ingest`].
+    pub fn resume_ingest(&self) {
+        self.shared.queue.set_paused(false);
+    }
+
+    /// Orderly stop: refuse new work, wake every blocked thread, join them
+    /// all. In-queue (accepted but unfolded) reports at this instant are
+    /// discarded — clients that need durability send a `Checkpoint` frame
+    /// first.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        // Unblock the acceptor with a throwaway connection, and workers
+        // parked in a socket read by closing every live connection.
+        let _ = TcpStream::connect(self.addr);
+        self.shared.close_connections();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Drains the ingest queue into the sharded accumulator.
+fn ingest_worker(shared: &Shared) {
+    while let Some(report) = shared.queue.pop() {
+        if shared.sink.push(report.as_report()).is_err() {
+            shared.fold_failures.fetch_add(1, Ordering::SeqCst);
+        }
+        shared.queue.mark_processed();
+    }
+}
+
+/// Validates one decoded report against the negotiated mechanism config —
+/// the *synchronous* half of ingestion, so every malformed report is
+/// refused in the connection reply and accepted reports can never fail to
+/// fold. The shape must be the connection's negotiated wire shape; the
+/// content rules are the core [`idldp_core::report::Report::validate`],
+/// the same definition `fold_into` enforces — which is what makes the
+/// accepted ⇒ foldable invariant definitional rather than two hand-synced
+/// rule sets.
+fn validate_report(
+    report: &ReportData,
+    shape: ReportShape,
+    report_len: usize,
+) -> Result<(), String> {
+    let matches_shape = matches!(
+        (report, shape),
+        (ReportData::Bits(_), ReportShape::Bits)
+            | (ReportData::Value(_), ReportShape::Value)
+            | (ReportData::Hashed { .. }, ReportShape::Hashed { .. })
+            | (ReportData::ItemSet(_), ReportShape::ItemSet)
+    );
+    if !matches_shape {
+        let got = match report {
+            ReportData::Bits(_) => "bit-vector",
+            ReportData::Value(_) => "categorical value",
+            ReportData::Hashed { .. } => "hashed (seed, value)",
+            ReportData::ItemSet(_) => "item-set",
+        };
+        return Err(format!(
+            "report shape mismatch: connection negotiated {}, got a {got} report",
+            shape.label()
+        ));
+    }
+    let range = match shape {
+        ReportShape::Hashed { range } => range,
+        _ => 0,
+    };
+    report
+        .as_report()
+        .validate(report_len, range)
+        .map_err(|e| e.to_string())
+}
+
+fn send(writer: &mut BufWriter<TcpStream>, frame: &Frame) -> Result<(), FrameError> {
+    // A reply the peer would reject as Oversized (an estimate vector for
+    // a multi-million-item domain) becomes a typed refusal instead of a
+    // dead connection.
+    if !frame.fits_one_frame() {
+        let refusal = Frame::Reject {
+            accepted: 0,
+            message: format!(
+                "reply exceeds the {} MiB frame cap (domain too large for one frame)",
+                crate::frame::MAX_PAYLOAD_LEN >> 20
+            ),
+        };
+        refusal.write_to(writer)?;
+        writer.flush()?;
+        return Ok(());
+    }
+    frame.write_to(writer)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Serves one connection: handshake, then a frame loop until EOF. Protocol
+/// violations answer with a typed [`Frame::Reject`]; socket errors just
+/// drop the connection (the client observes the closed socket).
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    // An untrackable connection (clone failure under fd pressure) must be
+    // dropped outright: shutdown could never close its socket, and a
+    // silent peer would park this worker in a read forever.
+    let Some(tracked) = shared.track(&stream) else {
+        return;
+    };
+    let tracked = Some(tracked);
+    // Checked *after* tracking: shutdown sets `stop` before closing the
+    // tracked sockets, so a connection handed over concurrently is either
+    // tracked in time to be closed, or sees `stop` here — either way no
+    // worker can park in a read that nothing will ever wake
+    // (`ReportServer::shutdown` joins these workers).
+    if shared.stop.load(Ordering::SeqCst) {
+        shared.untrack(tracked);
+        return;
+    }
+    let reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    serve_frames(reader, &mut writer, shared);
+    shared.untrack(tracked);
+}
+
+/// The framed request/response loop of one connection.
+fn serve_frames(
+    mut reader: BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+    shared: &Shared,
+) {
+    // Handshake: the first frame must be a matching Hello.
+    match Frame::read_from(&mut reader) {
+        Ok(Some(Frame::Hello {
+            version,
+            kind,
+            shape,
+            report_len,
+            ldp_eps_bits,
+        })) => {
+            let mech = shared.mechanism.as_ref();
+            let reject = if version != PROTOCOL_VERSION {
+                Some(format!(
+                    "protocol version {version} unsupported (server speaks {PROTOCOL_VERSION})"
+                ))
+            } else if kind != mech.kind()
+                || shape != mech.report_shape()
+                || report_len != mech.report_len() as u64
+                // ε compared as exact bits, like the checkpoint stamp:
+                // same-kind reports perturbed under a different budget
+                // would fold cleanly but calibrate wrongly.
+                || ldp_eps_bits != mech.ldp_epsilon().to_bits()
+            {
+                Some(format!(
+                    "mechanism config mismatch: server runs kind={} shape={} report_len={} \
+                     ldp_eps={}, client sent kind={kind} shape={} report_len={report_len} \
+                     ldp_eps={}",
+                    mech.kind(),
+                    mech.report_shape().label(),
+                    mech.report_len(),
+                    mech.ldp_epsilon(),
+                    shape.label(),
+                    f64::from_bits(ldp_eps_bits)
+                ))
+            } else {
+                None
+            };
+            if let Some(message) = reject {
+                let _ = send(
+                    writer,
+                    &Frame::Reject {
+                        accepted: 0,
+                        message,
+                    },
+                );
+                return;
+            }
+            if send(
+                writer,
+                &Frame::HelloAck {
+                    users: shared.sink.num_users(),
+                },
+            )
+            .is_err()
+            {
+                return;
+            }
+        }
+        Ok(Some(_)) => {
+            let _ = send(
+                writer,
+                &Frame::Reject {
+                    accepted: 0,
+                    message: "expected Hello as the first frame".into(),
+                },
+            );
+            return;
+        }
+        Ok(None) => return,
+        Err(e) => {
+            let _ = send(
+                writer,
+                &Frame::Reject {
+                    accepted: 0,
+                    message: format!("handshake: {e}"),
+                },
+            );
+            return;
+        }
+    }
+
+    let shape = shared.mechanism.report_shape();
+    let report_len = shared.mechanism.report_len();
+
+    loop {
+        let frame = match Frame::read_from(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return, // client closed cleanly
+            Err(e) => {
+                let _ = send(
+                    writer,
+                    &Frame::Reject {
+                        accepted: 0,
+                        message: format!("bad frame: {e}"),
+                    },
+                );
+                return;
+            }
+        };
+        let reply = match frame {
+            Frame::Reports(reports) => {
+                let mut accepted = 0u64;
+                let mut outcome = None;
+                for report in reports {
+                    if let Err(message) = validate_report(&report, shape, report_len) {
+                        outcome = Some(Frame::Reject { accepted, message });
+                        break;
+                    }
+                    match shared.queue.try_push(report) {
+                        Ok(()) => accepted += 1,
+                        Err(PushRefusal::Full) => {
+                            outcome = Some(Frame::Busy { accepted });
+                            break;
+                        }
+                        Err(PushRefusal::Closed) => {
+                            outcome = Some(Frame::Reject {
+                                accepted,
+                                message: "server is shutting down".into(),
+                            });
+                            break;
+                        }
+                    }
+                }
+                outcome.unwrap_or(Frame::Ingested { accepted })
+            }
+            Frame::Query => match shared.settled_estimates() {
+                Some(Ok((users, estimates))) => Frame::Estimates { users, estimates },
+                Some(Err(message)) => Frame::Reject {
+                    accepted: 0,
+                    message,
+                },
+                None => return, // shutdown
+            },
+            Frame::TopKQuery { k } => match shared.settled_estimates() {
+                Some(Ok((users, estimates))) => {
+                    let items = top_k_indices(&estimates, k as usize)
+                        .into_iter()
+                        .map(|i| (i as u64, estimates[i]))
+                        .collect();
+                    Frame::Candidates { users, items }
+                }
+                Some(Err(message)) => Frame::Reject {
+                    accepted: 0,
+                    message,
+                },
+                None => return,
+            },
+            Frame::Checkpoint => match &shared.checkpoint_path {
+                Some(path) => match shared.settled_snapshot() {
+                    Some(snapshot) => {
+                        let trailer = format!("{}\n", shared.run_line());
+                        match snapshot.write_checkpoint(path, &trailer) {
+                            Ok(()) => Frame::CheckpointAck {
+                                users: snapshot.num_users(),
+                            },
+                            Err(e) => Frame::Reject {
+                                accepted: 0,
+                                message: format!("checkpoint write: {e}"),
+                            },
+                        }
+                    }
+                    None => return,
+                },
+                None => Frame::Reject {
+                    accepted: 0,
+                    message: "server has no checkpoint path configured".into(),
+                },
+            },
+            Frame::Hello { .. } => Frame::Reject {
+                accepted: 0,
+                message: "connection is already negotiated".into(),
+            },
+            other => Frame::Reject {
+                accepted: 0,
+                message: format!("unexpected frame on the server side: {other:?}"),
+            },
+        };
+        if send(writer, &reply).is_err() {
+            return;
+        }
+    }
+}

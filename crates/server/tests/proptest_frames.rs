@@ -1,0 +1,183 @@
+//! Property tests for the frame codec.
+//!
+//! Two laws:
+//!
+//! 1. **Round-trip identity** — for arbitrary [`ReportData`] of every wire
+//!    shape and arbitrary control frames, `decode(encode(f)) == f`, both
+//!    through the slice decoder and the stream reader.
+//! 2. **Total decoding** — truncations, length-prefix corruption, and
+//!    arbitrary byte mutations of valid frames either decode to *some*
+//!    frame or return a typed [`FrameError`]; the decoder never panics and
+//!    never accepts an oversized length prefix.
+
+use idldp_core::report::ReportData;
+use idldp_server::{Frame, FrameError, MAX_PAYLOAD_LEN, PROTOCOL_VERSION};
+use proptest::prelude::*;
+
+/// Arbitrary report of any of the four wire shapes.
+fn arb_report() -> impl Strategy<Value = ReportData> {
+    (
+        0usize..4,
+        prop::collection::vec(0u8..=1, 0..50),
+        0usize..100_000,
+        (any::<u64>(), 0usize..1_000),
+        prop::collection::vec(0usize..500, 0..12),
+    )
+        .prop_map(
+            |(kind, bits, value, (seed, hashed_value), mut items)| match kind {
+                0 => ReportData::Bits(bits),
+                1 => ReportData::Value(value),
+                2 => ReportData::Hashed {
+                    seed,
+                    value: hashed_value,
+                },
+                _ => {
+                    // Item sets need distinct members to be valid reports; the
+                    // codec itself does not care, but keep both flavors in play.
+                    items.sort_unstable();
+                    items.dedup();
+                    ReportData::ItemSet(items)
+                }
+            },
+        )
+}
+
+/// Arbitrary frame of every protocol message kind.
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (
+        0usize..12,
+        prop::collection::vec(arb_report(), 0..8),
+        any::<u64>(),
+        prop::collection::vec((0.0f64..1.0, any::<bool>()), 0..20),
+        prop::collection::vec(0u8..=255, 0..24),
+    )
+        .prop_map(|(kind, reports, number, floats, text_bytes)| {
+            // Signed/subnormal/zero estimates all travel as raw bits.
+            let estimates: Vec<f64> = floats
+                .iter()
+                .map(|&(f, neg)| if neg { -f * 1e-300 } else { f })
+                .collect();
+            let message: String = text_bytes.iter().map(|&b| char::from(b)).collect();
+            match kind {
+                0 => Frame::Hello {
+                    version: PROTOCOL_VERSION,
+                    kind: message,
+                    shape: reports
+                        .first()
+                        .map(|r| match r {
+                            ReportData::Bits(_) => idldp_core::report::ReportShape::Bits,
+                            ReportData::Value(_) => idldp_core::report::ReportShape::Value,
+                            ReportData::Hashed { value, .. } => {
+                                idldp_core::report::ReportShape::Hashed { range: value + 1 }
+                            }
+                            ReportData::ItemSet(_) => idldp_core::report::ReportShape::ItemSet,
+                        })
+                        .unwrap_or(idldp_core::report::ReportShape::Bits),
+                    report_len: number,
+                    ldp_eps_bits: number.rotate_left(17),
+                },
+                1 => Frame::HelloAck { users: number },
+                2 => Frame::Reports(reports),
+                3 => Frame::Ingested { accepted: number },
+                4 => Frame::Busy { accepted: number },
+                5 => Frame::Query,
+                6 => Frame::Estimates {
+                    users: number,
+                    estimates,
+                },
+                7 => Frame::TopKQuery { k: number },
+                8 => Frame::Candidates {
+                    users: number,
+                    items: estimates
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &e)| (i as u64, e))
+                        .collect(),
+                },
+                9 => Frame::Checkpoint,
+                10 => Frame::CheckpointAck { users: number },
+                _ => Frame::Reject {
+                    accepted: number,
+                    message,
+                },
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// encode → decode is the identity for every frame kind, through both
+    /// decoder entry points.
+    #[test]
+    fn frame_round_trip(frame in arb_frame()) {
+        let bytes = frame.encode();
+        prop_assert_eq!(Frame::decode(&bytes).unwrap(), frame.clone());
+        let mut cursor = std::io::Cursor::new(&bytes);
+        prop_assert_eq!(Frame::read_from(&mut cursor).unwrap(), Some(frame));
+        prop_assert_eq!(Frame::read_from(&mut cursor).unwrap(), None);
+    }
+
+    /// Every strict prefix of a valid frame is rejected with a typed
+    /// error — never a panic, never a bogus success.
+    #[test]
+    fn truncation_never_panics(frame in arb_frame(), cut in any::<prop::sample::Index>()) {
+        let bytes = frame.encode();
+        let cut = cut.index(bytes.len().max(1)).min(bytes.len().saturating_sub(1));
+        match Frame::decode(&bytes[..cut]) {
+            Err(FrameError::Truncated { .. }) | Err(FrameError::Malformed(_)) => {}
+            Err(other) => prop_assert!(false, "unexpected error kind: {other:?}"),
+            Ok(decoded) => prop_assert!(false, "prefix decoded to {decoded:?}"),
+        }
+        // The stream reader agrees (EOF inside a frame is Truncated; a cut
+        // at 0 is a clean EOF).
+        let mut cursor = std::io::Cursor::new(&bytes[..cut]);
+        match Frame::read_from(&mut cursor) {
+            Ok(None) => prop_assert_eq!(cut, 0, "clean EOF only at the frame boundary"),
+            Ok(Some(decoded)) => prop_assert!(false, "prefix read as {decoded:?}"),
+            Err(FrameError::Truncated { .. }) | Err(FrameError::Malformed(_)) => {}
+            Err(other) => prop_assert!(false, "unexpected error kind: {other:?}"),
+        }
+    }
+
+    /// Arbitrary single-byte mutations of a valid frame either decode to
+    /// some frame or fail with a typed error — decoding is total.
+    #[test]
+    fn mutation_never_panics(
+        frame in arb_frame(),
+        at in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = frame.encode();
+        let at = at.index(bytes.len());
+        bytes[at] ^= xor;
+        match Frame::decode(&bytes) {
+            Ok(_) => {}
+            Err(
+                FrameError::Truncated { .. }
+                | FrameError::Oversized { .. }
+                | FrameError::UnknownTag(_)
+                | FrameError::Malformed(_),
+            ) => {}
+            Err(FrameError::Io(detail)) => {
+                prop_assert!(false, "slice decode cannot do i/o: {detail}")
+            }
+        }
+    }
+
+    /// Oversized length prefixes are rejected before any allocation, for
+    /// every tag byte.
+    #[test]
+    fn oversized_prefix_is_always_rejected(tag in 0u8..=255, extra in 1u32..1_000_000) {
+        let len = MAX_PAYLOAD_LEN as u32 + extra;
+        let mut bytes = vec![tag];
+        bytes.extend_from_slice(&len.to_le_bytes());
+        prop_assert_eq!(
+            Frame::decode(&bytes),
+            Err(FrameError::Oversized {
+                len: len as usize,
+                max: MAX_PAYLOAD_LEN,
+            })
+        );
+    }
+}

@@ -1,0 +1,432 @@
+//! TCP loopback ≡ batch conformance (the acceptance bar of the ingestion
+//! service).
+//!
+//! Drives the full networked path — mechanism → [`ReportClient`] → frame
+//! codec → TCP → [`ReportServer`] → bounded ingest queue →
+//! `ShardedAccumulator` → snapshot → oracle — and asserts that the
+//! estimates received *over the socket* are **bit-identical** to a batch
+//! [`SimulationPipeline`] run of the same `(mechanism, inputs, seed)`, for
+//! all eight mechanisms in their native wire shapes. On top of the
+//! streaming ≡ batch contract (`streaming_conformance.rs`) this adds the
+//! transport: framing, the worker pool, the queue, and the
+//! query-after-ingest linearization must all preserve every report
+//! exactly.
+//!
+//! Also covered: the backpressure contract (a full ingest queue answers
+//! `Busy`, and a retrying client still converges to the exact batch
+//! estimates — accepted reports are never dropped), handshake rejection of
+//! mismatched mechanism configs, typed rejection of invalid reports, the
+//! top-k query against batch `identify_top_k`, and checkpoint → restart →
+//! resume bit-identity over the socket.
+
+use idldp_core::budget::Epsilon;
+use idldp_core::grr::GeneralizedRandomizedResponse;
+use idldp_core::idue::Idue;
+use idldp_core::idue_ps::IduePs;
+use idldp_core::levels::LevelPartition;
+use idldp_core::matrix_mech::PerturbationMatrix;
+use idldp_core::mechanism::{BatchMechanism, InputBatch, Mechanism};
+use idldp_core::olh::OptimalLocalHashing;
+use idldp_core::params::LevelParams;
+use idldp_core::ps::PsMechanism;
+use idldp_core::report::ReportData;
+use idldp_core::subset::SubsetSelection;
+use idldp_core::ue::UnaryEncoding;
+use idldp_server::{ClientError, PushOutcome, ReportClient, ReportServer, ServerConfig};
+use idldp_sim::heavy_hitters::identify_top_k;
+use idldp_sim::stream::SeededReportStream;
+use idldp_sim::SimulationPipeline;
+use std::sync::Arc;
+
+const SEED: u64 = 20200707;
+const CHUNK: usize = 256;
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+fn items(n: usize, m: usize) -> Vec<u32> {
+    (0..n).map(|i| ((i * i) % m) as u32).collect()
+}
+
+fn sets(n: usize, m: usize) -> Vec<Vec<u32>> {
+    (0..n)
+        .map(|i| {
+            let a = (i % m) as u32;
+            let b = ((i / 2 + 1) % m) as u32;
+            if a == b {
+                vec![a]
+            } else {
+                vec![a, b]
+            }
+        })
+        .collect()
+}
+
+/// Owned inputs, borrowable as an [`InputBatch`].
+enum OwnedInputs {
+    Items(Vec<u32>),
+    Sets(Vec<Vec<u32>>),
+}
+
+impl OwnedInputs {
+    fn as_batch(&self) -> InputBatch<'_> {
+        match self {
+            OwnedInputs::Items(items) => InputBatch::Items(items),
+            OwnedInputs::Sets(sets) => InputBatch::Sets(sets),
+        }
+    }
+}
+
+/// All eight mechanisms with loopback-sized populations, covering every
+/// wire shape (bits, value, hashed pair, item set).
+fn lineup() -> Vec<(&'static str, Arc<dyn BatchMechanism>, OwnedInputs)> {
+    let idue = {
+        let levels =
+            LevelPartition::new(vec![0, 0, 1, 1, 1, 1, 1, 1, 1, 1], vec![eps(1.0), eps(3.0)])
+                .unwrap();
+        let params = LevelParams::new(vec![0.59, 0.67], vec![0.33, 0.28]).unwrap();
+        Idue::new(levels, &params).unwrap()
+    };
+    vec![
+        (
+            "grr",
+            Arc::new(GeneralizedRandomizedResponse::new(eps(1.2), 24).unwrap())
+                as Arc<dyn BatchMechanism>,
+            OwnedInputs::Items(items(3000, 24)),
+        ),
+        (
+            "rappor",
+            Arc::new(UnaryEncoding::symmetric(eps(1.0), 20).unwrap()),
+            OwnedInputs::Items(items(2500, 20)),
+        ),
+        (
+            "oue",
+            Arc::new(UnaryEncoding::optimized(eps(1.0), 20).unwrap()),
+            OwnedInputs::Items(items(2500, 20)),
+        ),
+        ("idue", Arc::new(idue), OwnedInputs::Items(items(2500, 10))),
+        (
+            "ps",
+            Arc::new(PsMechanism::new(12, 3).unwrap()),
+            OwnedInputs::Sets(sets(2000, 12)),
+        ),
+        (
+            "idue-ps",
+            Arc::new(IduePs::oue_ps(12, eps(2.0), 3).unwrap()),
+            OwnedInputs::Sets(sets(2000, 12)),
+        ),
+        (
+            "matrix",
+            Arc::new(PerturbationMatrix::grr(eps(1.5), 10).unwrap()),
+            OwnedInputs::Items(items(2000, 10)),
+        ),
+        (
+            "olh",
+            Arc::new(OptimalLocalHashing::new(eps(1.2), 24).unwrap()),
+            OwnedInputs::Items(items(3000, 24)),
+        ),
+        (
+            "ss",
+            Arc::new(SubsetSelection::new(eps(1.0), 20).unwrap()),
+            OwnedInputs::Items(items(2500, 20)),
+        ),
+    ]
+}
+
+/// The reference answer: batch pipeline counts + oracle estimates.
+fn batch_estimates(mechanism: &dyn BatchMechanism, inputs: InputBatch<'_>) -> (u64, Vec<f64>) {
+    let snapshot = SimulationPipeline::new()
+        .with_chunk_size(CHUNK)
+        .run_snapshot(mechanism, inputs, SEED)
+        .unwrap();
+    let users = snapshot.num_users();
+    let estimates = mechanism
+        .frequency_oracle(users)
+        .estimate_from(&snapshot)
+        .unwrap();
+    (users, estimates)
+}
+
+/// Streams the seeded population into owned wire reports, chunk by chunk.
+fn wire_chunks(mechanism: &dyn Mechanism, inputs: InputBatch<'_>) -> Vec<Vec<ReportData>> {
+    let mut stream = SeededReportStream::new(mechanism, inputs, SEED).with_chunk_size(CHUNK);
+    let mut chunks = Vec::new();
+    loop {
+        let mut chunk = Vec::new();
+        let got = stream
+            .next_chunk_with(|report| {
+                chunk.push(report.to_data());
+                Ok(())
+            })
+            .unwrap();
+        if got == 0 {
+            return chunks;
+        }
+        chunks.push(chunk);
+    }
+}
+
+fn assert_bit_identical(name: &str, got: &[f64], want: &[f64]) {
+    assert_eq!(got.len(), want.len(), "{name}: estimate vector length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{name}: estimate {i} differs over TCP ({g} vs {w})"
+        );
+    }
+}
+
+#[test]
+fn loopback_estimates_are_bit_identical_to_batch_for_all_eight_mechanisms() {
+    for (name, mechanism, inputs) in lineup() {
+        let (want_users, want) = batch_estimates(mechanism.as_ref(), inputs.as_batch());
+
+        let server = ReportServer::start(
+            mechanism.clone() as Arc<dyn Mechanism>,
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let (mut client, resumed) =
+            ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
+        assert_eq!(resumed, 0, "{name}: fresh server starts empty");
+
+        for chunk in wire_chunks(mechanism.as_ref(), inputs.as_batch()) {
+            client.push_all(&chunk).unwrap();
+        }
+
+        let (users, estimates) = client.query_estimates().unwrap();
+        assert_eq!(users, want_users, "{name}: user count over TCP");
+        assert_bit_identical(name, &estimates, &want);
+
+        // The top-k query ranks exactly like batch identification.
+        let k = 5;
+        let (_, candidates) = client.query_top_k(k).unwrap();
+        let want_top: Vec<u64> = identify_top_k(&want, k).iter().map(|&i| i as u64).collect();
+        let got_top: Vec<u64> = candidates.iter().map(|&(item, _)| item).collect();
+        assert_eq!(got_top, want_top, "{name}: top-{k} over TCP");
+        for &(item, estimate) in &candidates {
+            assert_eq!(
+                estimate.to_bits(),
+                want[item as usize].to_bits(),
+                "{name}: candidate estimate bits"
+            );
+        }
+
+        assert_eq!(server.fold_failures(), 0, "{name}: no post-accept failures");
+        server.shutdown();
+    }
+}
+
+#[test]
+fn full_ingest_queue_yields_busy_and_a_retrying_client_still_converges() {
+    let mechanism: Arc<dyn BatchMechanism> =
+        Arc::new(GeneralizedRandomizedResponse::new(eps(1.2), 16).unwrap());
+    let inputs = OwnedInputs::Items(items(2000, 16));
+    let (want_users, want) = batch_estimates(mechanism.as_ref(), inputs.as_batch());
+
+    let capacity = 64;
+    let server = ReportServer::start(
+        mechanism.clone() as Arc<dyn Mechanism>,
+        ServerConfig {
+            queue_capacity: capacity,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let (mut client, _) = ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
+    client = client.with_retry_backoff(std::time::Duration::from_millis(1));
+
+    // Freeze the fold side: accepted reports pile up in the bounded queue.
+    server.pause_ingest();
+    let chunks = wire_chunks(mechanism.as_ref(), inputs.as_batch());
+    let oversized: Vec<ReportData> = chunks
+        .iter()
+        .flatten()
+        .take(capacity + 40)
+        .cloned()
+        .collect();
+    match client.push(&oversized).unwrap() {
+        PushOutcome::Busy { accepted } => {
+            assert_eq!(
+                accepted, capacity as u64,
+                "exactly the queue capacity is accepted before Busy"
+            );
+        }
+        PushOutcome::Ingested => panic!("a full queue must answer Busy"),
+    }
+    // Still paused: nothing further fits, but nothing breaks either.
+    match client.push(&oversized[capacity..]).unwrap() {
+        PushOutcome::Busy { accepted } => assert_eq!(accepted, 0),
+        PushOutcome::Ingested => panic!("queue is still full"),
+    }
+
+    // Resume folding and push the whole population through the retry loop,
+    // skipping the `capacity` reports the server already accepted.
+    server.resume_ingest();
+    let all: Vec<ReportData> = chunks.into_iter().flatten().collect();
+    client.push_all(&all[capacity..]).unwrap();
+
+    let (users, estimates) = client.query_estimates().unwrap();
+    assert_eq!(users, want_users, "no accepted report was dropped");
+    assert_bit_identical("busy-retry", &estimates, &want);
+    assert_eq!(server.fold_failures(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn handshake_rejects_mismatched_mechanism_config() {
+    let server_mech: Arc<dyn BatchMechanism> =
+        Arc::new(GeneralizedRandomizedResponse::new(eps(1.2), 16).unwrap());
+    let server = ReportServer::start(
+        server_mech.clone() as Arc<dyn Mechanism>,
+        ServerConfig::default(),
+    )
+    .unwrap();
+
+    // Wrong kind + shape (OLH sends hashed pairs, server runs GRR).
+    let olh = OptimalLocalHashing::new(eps(1.2), 16).unwrap();
+    let err = ReportClient::connect(server.local_addr(), &olh)
+        .map(|_| ())
+        .expect_err("mismatched hello must be rejected");
+    match err {
+        ClientError::Rejected { message, .. } => {
+            assert!(message.contains("mismatch"), "unexpected reason: {message}")
+        }
+        other => panic!("expected a typed rejection, got {other:?}"),
+    }
+
+    // Same kind, wrong width.
+    let narrow = GeneralizedRandomizedResponse::new(eps(1.2), 8).unwrap();
+    assert!(matches!(
+        ReportClient::connect(server.local_addr(), &narrow),
+        Err(ClientError::Rejected { .. })
+    ));
+
+    // Same kind, same shape, same width — different privacy budget. The
+    // reports would fold cleanly but calibrate wrongly, so the handshake
+    // must refuse (the Hello carries the exact ε bits).
+    let other_eps = GeneralizedRandomizedResponse::new(eps(2.0), 16).unwrap();
+    assert!(matches!(
+        ReportClient::connect(server.local_addr(), &other_eps),
+        Err(ClientError::Rejected { .. })
+    ));
+
+    // A matching client still gets through afterwards.
+    let (mut client, _) = ReportClient::connect(server.local_addr(), server_mech.as_ref()).unwrap();
+    client.push_all(&[ReportData::Value(3)]).unwrap();
+    let (users, _) = client.query_estimates().unwrap();
+    assert_eq!(users, 1);
+    server.shutdown();
+}
+
+#[test]
+fn invalid_reports_are_rejected_without_corrupting_counts() {
+    let mechanism: Arc<dyn BatchMechanism> =
+        Arc::new(GeneralizedRandomizedResponse::new(eps(1.2), 8).unwrap());
+    let server = ReportServer::start(
+        mechanism.clone() as Arc<dyn Mechanism>,
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let (mut client, _) = ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
+
+    // Two valid reports, then an out-of-domain value, then one more valid:
+    // the server queues the prefix, rejects at the bad report, and the
+    // reply says how many made it.
+    let batch = vec![
+        ReportData::Value(1),
+        ReportData::Value(2),
+        ReportData::Value(8), // out of 0..8
+        ReportData::Value(3),
+    ];
+    match client.push_all(&batch) {
+        Err(ClientError::Rejected { accepted, message }) => {
+            assert_eq!(accepted, 2);
+            assert!(message.contains("out of range"), "{message}");
+        }
+        other => panic!("invalid report must be rejected, got {other:?}"),
+    }
+    // A wrong-shape report is refused too (connection negotiated values).
+    assert!(matches!(
+        client.push_all(&[ReportData::Hashed { seed: 1, value: 0 }]),
+        Err(ClientError::Rejected { .. })
+    ));
+
+    // The connection survives rejection, and only the accepted prefix counts.
+    client.push_all(&[ReportData::Value(3)]).unwrap();
+    let (users, estimates) = client.query_estimates().unwrap();
+    assert_eq!(users, 3, "2 accepted + 1 pushed after the rejections");
+    assert_eq!(estimates.len(), 8);
+    assert_eq!(server.fold_failures(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn checkpoint_restart_resumes_bit_identically_over_tcp() {
+    let mechanism: Arc<dyn BatchMechanism> =
+        Arc::new(UnaryEncoding::optimized(eps(1.0), 16).unwrap());
+    let inputs = OwnedInputs::Items(items(2048, 16));
+    let (want_users, want) = batch_estimates(mechanism.as_ref(), inputs.as_batch());
+
+    let dir = std::env::temp_dir().join(format!("idldp-server-loopback-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("serve.ckpt");
+    let config = ServerConfig {
+        checkpoint_path: Some(ckpt.clone()),
+        ..ServerConfig::default()
+    };
+
+    let chunks = wire_chunks(mechanism.as_ref(), inputs.as_batch());
+    let half = chunks.len() / 2;
+
+    // First server: ingest half the stream, checkpoint over the socket.
+    let server =
+        ReportServer::start(mechanism.clone() as Arc<dyn Mechanism>, config.clone()).unwrap();
+    let (mut client, resumed) =
+        ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
+    assert_eq!(resumed, 0);
+    for chunk in &chunks[..half] {
+        client.push_all(chunk).unwrap();
+    }
+    let covered = client.checkpoint().unwrap();
+    assert_eq!(covered, (half * CHUNK) as u64);
+    drop(client);
+    server.shutdown();
+
+    // "Restart": a new server restores the checkpoint; the client learns
+    // the resume point from the HelloAck and pushes only the tail.
+    let server = ReportServer::start(mechanism.clone() as Arc<dyn Mechanism>, config).unwrap();
+    let (mut client, resumed) =
+        ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
+    assert_eq!(resumed, covered, "HelloAck reports the restored users");
+    for chunk in &chunks[half..] {
+        client.push_all(chunk).unwrap();
+    }
+    let (users, estimates) = client.query_estimates().unwrap();
+    assert_eq!(users, want_users);
+    assert_bit_identical("checkpoint-restart", &estimates, &want);
+    server.shutdown();
+
+    // A differently configured server refuses the checkpoint outright —
+    // whether the mechanism kind differs...
+    let other: Arc<dyn BatchMechanism> =
+        Arc::new(GeneralizedRandomizedResponse::new(eps(1.2), 16).unwrap());
+    let again = ServerConfig {
+        checkpoint_path: Some(ckpt.clone()),
+        ..ServerConfig::default()
+    };
+    assert!(ReportServer::start(other as Arc<dyn Mechanism>, again).is_err());
+    // ...or only the privacy budget does (same kind, same shape, same
+    // width: counts perturbed under a different ε must not be restored,
+    // because the oracle would calibrate them wrongly).
+    let other_eps: Arc<dyn BatchMechanism> =
+        Arc::new(UnaryEncoding::optimized(eps(2.5), 16).unwrap());
+    let again = ServerConfig {
+        checkpoint_path: Some(ckpt),
+        ..ServerConfig::default()
+    };
+    assert!(ReportServer::start(other_eps as Arc<dyn Mechanism>, again).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
