@@ -152,7 +152,7 @@ impl Report<'_> {
                         what: "item-set report".into(),
                     });
                 }
-                for (k, &item) in items.iter().enumerate() {
+                for &item in items {
                     if item >= report_len {
                         return Err(Error::IndexOutOfRange {
                             what: "item-set report member".into(),
@@ -160,9 +160,26 @@ impl Report<'_> {
                             bound: report_len,
                         });
                     }
-                    if items[..k].contains(&item) {
+                }
+                // Distinctness. The allocation-free prefix scan is O(k²),
+                // fine for the small sets mechanisms emit but a CPU
+                // amplifier when validating untrusted network input
+                // (servers run this synchronously per report) — large
+                // sets sort a copy and look for adjacent equals instead.
+                if items.len() <= 16 {
+                    for (k, &item) in items.iter().enumerate() {
+                        if items[..k].contains(&item) {
+                            return Err(Error::ParameterOrdering {
+                                detail: format!("item-set report repeats item {item}"),
+                            });
+                        }
+                    }
+                } else {
+                    let mut sorted = items.to_vec();
+                    sorted.sort_unstable();
+                    if let Some(pair) = sorted.windows(2).find(|pair| pair[0] == pair[1]) {
                         return Err(Error::ParameterOrdering {
-                            detail: format!("item-set report repeats item {item}"),
+                            detail: format!("item-set report repeats item {}", pair[0]),
                         });
                     }
                 }
@@ -413,5 +430,24 @@ mod tests {
                 "{data:?}"
             );
         }
+    }
+
+    /// Item-set distinctness must agree between the small (prefix-scan)
+    /// and large (sort-a-copy) branches — large sets are the untrusted
+    /// network input a quadratic scan would turn into a CPU amplifier.
+    #[test]
+    fn large_item_set_duplicates_are_caught() {
+        let m = 1000;
+        let distinct: Vec<usize> = (0..100).map(|i| i * 7 % m).collect();
+        assert!(Report::ItemSet(&distinct).validate(m, 0).is_ok());
+        let mut repeated = distinct.clone();
+        repeated[99] = repeated[3];
+        let err = Report::ItemSet(&repeated).validate(m, 0).unwrap_err();
+        assert!(
+            err.to_string().contains("repeats item"),
+            "unexpected error: {err}"
+        );
+        // The small branch agrees on the same defect.
+        assert!(Report::ItemSet(&[4, 9, 4]).validate(m, 0).is_err());
     }
 }

@@ -218,14 +218,17 @@ impl AccumulatorSnapshot {
 }
 
 /// Writes `payload` to `path` atomically: the bytes go to a uniquely
-/// named sibling temp file first and are renamed into place, so a crash
-/// (or kill) mid-write can never leave a torn or truncated checkpoint
-/// behind — the previous checkpoint, if any, stays intact until the
-/// rename commits. The temp name carries the process id plus a
-/// per-process counter, so *concurrent* writers (e.g. two server
-/// connection workers handling simultaneous checkpoint frames) never
-/// share a temp file: each rename installs one complete payload, and the
-/// last one wins whole.
+/// named sibling temp file first, are fsynced, and are renamed into
+/// place, so a crash (or kill, or power loss) mid-write can never leave
+/// a torn or truncated checkpoint behind — without the fsync, a
+/// journaling filesystem may commit the rename before the temp file's
+/// data blocks, replacing the previous intact checkpoint with an empty
+/// one at exactly the wrong moment. The previous checkpoint, if any,
+/// stays intact until the rename commits. The temp name carries the
+/// process id plus a per-process counter, so *concurrent* writers (e.g.
+/// two server connection workers handling simultaneous checkpoint
+/// frames) never share a temp file: each rename installs one complete
+/// payload, and the last one wins whole.
 ///
 /// This is **the** checkpoint write path: `idldp ingest` and the
 /// `idldp-server` checkpoint frame both go through it, so the durability
@@ -247,8 +250,23 @@ pub fn write_checkpoint_atomic(
         TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     ));
     let tmp = std::path::PathBuf::from(tmp);
-    std::fs::write(&tmp, payload)?;
-    std::fs::rename(&tmp, path)
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        std::io::Write::write_all(&mut file, payload.as_bytes())?;
+        // Data must be on disk before the rename is journaled, or the
+        // rename can survive a power loss that the payload does not.
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Persist the rename itself (the directory entry); best-effort where
+    // directories cannot be opened for sync.
+    #[cfg(unix)]
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(dir) = std::fs::File::open(dir) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -9,7 +9,9 @@
 //! after a short backoff), so an ingestion burst slows down instead of
 //! losing reports.
 
-use crate::frame::{encoded_report_len, Frame, FrameError, MAX_PAYLOAD_LEN, PROTOCOL_VERSION};
+use crate::frame::{
+    encoded_report_len, Frame, FrameError, MAX_BIT_REPORT_SLOTS, MAX_PAYLOAD_LEN, PROTOCOL_VERSION,
+};
 use idldp_core::mechanism::Mechanism;
 use idldp_core::report::ReportData;
 use std::io::{BufReader, BufWriter, Write};
@@ -64,6 +66,14 @@ impl From<FrameError> for ClientError {
         ClientError::Frame(e)
     }
 }
+
+/// Consecutive zero-progress `Busy` replies [`ReportClient::push_all`]
+/// tolerates before giving up with a typed error. With the default 2 ms
+/// base backoff doubling to a ~1 s cap, this rides out roughly a minute
+/// of full-queue backpressure — far beyond a transient burst, short
+/// enough that a paused or wedged server surfaces as an error instead of
+/// a silent infinite retry loop.
+pub const MAX_STALLED_RETRIES: u32 = 64;
 
 /// Outcome of one [`ReportClient::push`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -158,8 +168,29 @@ impl ReportClient {
     /// Transport errors, [`ClientError::Rejected`] when the server refused
     /// a report (its `accepted` count says how many of the batch were
     /// still queued), or a typed [`ClientError::Protocol`] when the batch
-    /// would not fit one frame ([`Self::push_all`] splits automatically).
+    /// would not fit one frame ([`Self::push_all`] splits automatically)
+    /// or a bit report violates the wire form (wider than
+    /// [`MAX_BIT_REPORT_SLOTS`], or a slot outside 0/1 — the packed
+    /// encoding cannot represent other values, and silently coercing them
+    /// would accept a report the local fold path rejects).
     pub fn push(&mut self, reports: &[ReportData]) -> Result<PushOutcome, ClientError> {
+        for report in reports {
+            if let ReportData::Bits(bits) = report {
+                if bits.len() > MAX_BIT_REPORT_SLOTS {
+                    return Err(ClientError::Protocol(format!(
+                        "bit report of {} slots exceeds the protocol's \
+                         {MAX_BIT_REPORT_SLOTS}-slot width cap",
+                        bits.len()
+                    )));
+                }
+                if let Some(&bad) = bits.iter().find(|&&b| b > 1) {
+                    return Err(ClientError::Protocol(format!(
+                        "bit report slots must be 0/1 (got {bad}) — the packed wire \
+                         form cannot carry other values"
+                    )));
+                }
+            }
+        }
         let payload = 4 + reports.iter().map(encoded_report_len).sum::<usize>();
         if payload > MAX_PAYLOAD_LEN {
             return Err(ClientError::Protocol(format!(
@@ -182,33 +213,66 @@ impl ReportClient {
                 "server acknowledged {accepted} of {} reports without Busy",
                 reports.len()
             ))),
-            Frame::Busy { accepted } => Ok(PushOutcome::Busy { accepted }),
+            // `accepted` must be a strict prefix of the batch — a server
+            // that accepted everything replies Ingested, and a count past
+            // the batch end would make the caller's resend slice nonsense
+            // (push_all indexes pending[accepted..]).
+            Frame::Busy { accepted } if (accepted as usize) < reports.len() => {
+                Ok(PushOutcome::Busy { accepted })
+            }
+            Frame::Busy { accepted } => Err(ClientError::Protocol(format!(
+                "server answered Busy claiming {accepted} accepted of a {}-report batch",
+                reports.len()
+            ))),
             other => Err(unexpected("Ingested/Busy", &other)),
         }
     }
 
     /// Pushes every report, splitting the batch so each `Reports` frame
     /// stays under [`MAX_PAYLOAD_LEN`] and absorbing `Busy` backpressure
-    /// by resending the unaccepted tail after the configured backoff. No
-    /// report is ever skipped or sent twice.
+    /// by resending the unaccepted tail after the configured backoff
+    /// (doubling, capped at 512× the base, while the server makes no
+    /// progress). No report is ever skipped or sent twice.
     ///
     /// # Errors
     /// Same conditions as [`Self::push`]; additionally a typed error if a
-    /// *single* report cannot fit one frame (a report wider than ~128M
-    /// bit slots — far beyond any real domain).
+    /// *single* report cannot fit one frame (an item set of ~2M members —
+    /// far beyond any real domain), a bit report is wider than
+    /// [`MAX_BIT_REPORT_SLOTS`], or the server answers `Busy` without
+    /// accepting anything [`MAX_STALLED_RETRIES`] times in a row (ingest
+    /// paused or wedged) — a bounded, visible failure instead of retrying
+    /// silently forever.
     pub fn push_all(&mut self, reports: &[ReportData]) -> Result<(), ClientError> {
+        let backoff_cap = self.retry_backoff.saturating_mul(512);
         let mut rest = reports;
         while !rest.is_empty() {
             let count = frame_sized_prefix(rest)?;
             let (batch, tail) = rest.split_at(count);
             let mut pending = batch;
+            let mut stalled = 0u32;
+            let mut backoff = self.retry_backoff;
             loop {
                 match self.push(pending)? {
                     PushOutcome::Ingested => break,
                     PushOutcome::Busy { accepted } => {
                         self.busy_retries += 1;
-                        pending = &pending[accepted as usize..];
-                        std::thread::sleep(self.retry_backoff);
+                        if accepted > 0 {
+                            pending = &pending[accepted as usize..];
+                            stalled = 0;
+                            backoff = self.retry_backoff;
+                        } else {
+                            stalled += 1;
+                            if stalled >= MAX_STALLED_RETRIES {
+                                return Err(ClientError::Protocol(format!(
+                                    "server answered Busy without progress {stalled} times \
+                                     in a row — ingest appears stalled; {} reports of the \
+                                     current batch unsent",
+                                    pending.len()
+                                )));
+                            }
+                            backoff = backoff.saturating_mul(2).min(backoff_cap);
+                        }
+                        std::thread::sleep(backoff);
                     }
                 }
             }
@@ -285,6 +349,112 @@ fn frame_sized_prefix(reports: &[ReportData]) -> Result<usize, ClientError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A fake server that speaks raw frames lets the client's defenses be
+    /// tested against replies a real `ReportServer` never produces: a
+    /// `Busy` claiming more accepted reports than the batch held must be a
+    /// typed protocol error, not an out-of-bounds resend slice. The
+    /// client-side wire-form checks (non-0/1 bit slots) fire before any
+    /// bytes are written.
+    #[test]
+    fn hostile_busy_counts_and_bad_bit_slots_are_typed_errors() {
+        use idldp_core::budget::Epsilon;
+        use idldp_core::grr::GeneralizedRandomizedResponse;
+        use std::io::BufRead;
+
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let fake_server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = BufWriter::new(stream);
+            match Frame::read_from(&mut reader).unwrap() {
+                Some(Frame::Hello { .. }) => {}
+                other => panic!("expected Hello, got {other:?}"),
+            }
+            Frame::HelloAck { users: 0 }.write_to(&mut writer).unwrap();
+            writer.flush().unwrap();
+            match Frame::read_from(&mut reader).unwrap() {
+                Some(Frame::Reports(batch)) => assert_eq!(batch.len(), 3),
+                other => panic!("expected Reports, got {other:?}"),
+            }
+            // Claim more accepted than the batch held.
+            Frame::Busy { accepted: 1000 }
+                .write_to(&mut writer)
+                .unwrap();
+            writer.flush().unwrap();
+            // Drain until the client hangs up so its writes cannot fail on
+            // a closed socket before it reads the Busy reply.
+            let _ = reader.fill_buf();
+        });
+
+        let mechanism = GeneralizedRandomizedResponse::new(Epsilon::new(1.0).unwrap(), 4).unwrap();
+        let (mut client, users) = ReportClient::connect(addr, &mechanism).unwrap();
+        assert_eq!(users, 0);
+
+        // Refused before any bytes hit the wire.
+        let bad_bits = [ReportData::Bits(vec![2, 0, 1])];
+        assert!(matches!(
+            client.push(&bad_bits),
+            Err(ClientError::Protocol(_))
+        ));
+        let too_wide = [ReportData::Bits(vec![0; MAX_BIT_REPORT_SLOTS + 1])];
+        assert!(matches!(
+            client.push(&too_wide),
+            Err(ClientError::Protocol(_))
+        ));
+
+        // The hostile Busy count is a typed error, not a panic.
+        let batch = vec![ReportData::Value(1); 3];
+        assert!(matches!(client.push(&batch), Err(ClientError::Protocol(_))));
+        drop(client);
+        fake_server.join().unwrap();
+    }
+
+    /// A server that answers `Busy` without ever accepting anything must
+    /// turn into a bounded typed error, not an infinite silent retry loop
+    /// (`idldp push` would otherwise hang forever against a paused or
+    /// wedged server).
+    #[test]
+    fn zero_progress_busy_is_bounded() {
+        use idldp_core::budget::Epsilon;
+        use idldp_core::grr::GeneralizedRandomizedResponse;
+
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let fake_server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = BufWriter::new(stream);
+            assert!(matches!(
+                Frame::read_from(&mut reader).unwrap(),
+                Some(Frame::Hello { .. })
+            ));
+            Frame::HelloAck { users: 0 }.write_to(&mut writer).unwrap();
+            writer.flush().unwrap();
+            let mut busies = 0u32;
+            while let Ok(Some(Frame::Reports(_))) = Frame::read_from(&mut reader) {
+                Frame::Busy { accepted: 0 }.write_to(&mut writer).unwrap();
+                writer.flush().unwrap();
+                busies += 1;
+            }
+            busies
+        });
+
+        let mechanism = GeneralizedRandomizedResponse::new(Epsilon::new(1.0).unwrap(), 4).unwrap();
+        let (client, _) = ReportClient::connect(addr, &mechanism).unwrap();
+        let mut client = client.with_retry_backoff(Duration::ZERO);
+        let reports = vec![ReportData::Value(1); 8];
+        match client.push_all(&reports) {
+            Err(ClientError::Protocol(message)) => {
+                assert!(message.contains("stalled"), "unexpected reason: {message}")
+            }
+            other => panic!("expected a typed stall error, got {other:?}"),
+        }
+        assert_eq!(client.busy_retries(), u64::from(MAX_STALLED_RETRIES));
+        drop(client);
+        assert_eq!(fake_server.join().unwrap(), MAX_STALLED_RETRIES);
+    }
 
     #[test]
     fn frame_sized_prefix_packs_under_the_cap() {

@@ -20,9 +20,11 @@
 //! returns a typed [`FrameError`] — truncated input, an oversized length
 //! prefix ([`MAX_PAYLOAD_LEN`]), an unknown tag, or malformed payload
 //! content. Nothing panics and nothing allocates proportionally to a
-//! length field before the bytes backing it have arrived (the property
-//! suite in `tests/proptest_frames.rs` hammers this with arbitrary
-//! mutations).
+//! length field before the bytes backing it have arrived; the one place
+//! decoding inflates received bytes — unpacking a bit report to one byte
+//! per slot — is bounded by the [`MAX_BIT_REPORT_SLOTS`] width cap (the
+//! property suite in `tests/proptest_frames.rs` hammers all of this with
+//! arbitrary mutations).
 
 use idldp_core::report::{ReportData, ReportShape};
 use std::io::{Read, Write};
@@ -35,6 +37,15 @@ pub const PROTOCOL_VERSION: u32 = 1;
 /// above this is rejected *before* any allocation, so a corrupt or hostile
 /// peer cannot make the decoder reserve unbounded memory.
 pub const MAX_PAYLOAD_LEN: usize = 16 << 20;
+
+/// Hard ceiling on the slot count of one packed bit report (2²³ slots =
+/// 1 MiB on the wire, 8 MiB decoded). The packed wire form is 8× smaller
+/// than the decoded one-byte-per-slot `Vec<u8>`, so without a width cap a
+/// 16 MiB frame claiming ~134M slots would make the decoder allocate
+/// ~134 MB — this cap bounds that amplification per report. It is far
+/// wider than any realistic unary-encoding domain; servers refuse to
+/// start for a bit-vector mechanism wider than this.
+pub const MAX_BIT_REPORT_SLOTS: usize = 1 << 23;
 
 /// Typed decode/transport errors. Every malformed input maps to one of
 /// these — the codec never panics.
@@ -361,6 +372,13 @@ fn reports_payload(reports: &[ReportData]) -> Vec<u8> {
 /// Encodes a [`Frame::Reports`] frame directly from a borrowed slice —
 /// the sender-side hot path, sparing the clone that building an owned
 /// [`Frame::Reports`] would force on every (re)send.
+///
+/// # Panics
+/// Panics on a bit report wider than [`MAX_BIT_REPORT_SLOTS`] or with a
+/// slot outside 0/1 — no compliant peer could decode the former, and the
+/// packed form cannot represent the latter; callers that take reports
+/// from untrusted input check first (as
+/// [`crate::client::ReportClient::push`] does, returning a typed error).
 pub fn encode_reports_frame(reports: &[ReportData]) -> Vec<u8> {
     frame_bytes(TAG_REPORTS, reports_payload(reports))
 }
@@ -378,16 +396,27 @@ pub fn encoded_report_len(report: &ReportData) -> usize {
 }
 
 /// Encodes one report in its compact wire form (bit vectors packed 8 slots
-/// per byte, LSB first).
+/// per byte, LSB first). Like the `u32` length prefix in [`frame_bytes`],
+/// the [`MAX_BIT_REPORT_SLOTS`] width cap is a hard encoder invariant: an
+/// over-cap bit report would be rejected by every compliant decoder, so
+/// it must be refused *before* the wire (`ReportClient::push` returns the
+/// typed error first; a server never sends reports).
 fn put_report(out: &mut Vec<u8>, report: &ReportData) {
     match report {
         ReportData::Bits(bits) => {
+            assert!(
+                bits.len() <= MAX_BIT_REPORT_SLOTS,
+                "bit report of {} slots exceeds MAX_BIT_REPORT_SLOTS ({MAX_BIT_REPORT_SLOTS})",
+                bits.len()
+            );
             out.push(REPORT_BITS);
             put_u32(out, bits.len() as u32);
             let mut byte = 0u8;
             for (i, &bit) in bits.iter().enumerate() {
-                // Any nonzero slot counts as set, matching the fold rule's
-                // `u64::from(bit)` treatment of 0/1 reports.
+                // Slots outside 0/1 are unrepresentable in the packed
+                // form; coercing them would launder a report the local
+                // fold path (`Report::validate`) rejects.
+                assert!(bit <= 1, "bit report slots must be 0/1 (got {bit})");
                 if bit != 0 {
                     byte |= 1 << (i % 8);
                 }
@@ -423,6 +452,14 @@ fn read_report(c: &mut Cursor<'_>) -> Result<ReportData, FrameError> {
     match c.read_u8()? {
         REPORT_BITS => {
             let slots = c.read_u32()? as usize;
+            // Checked before the truncation test (and before any
+            // allocation): packed bits expand 8× on decode, so the width
+            // cap is what bounds a report's decoded footprint.
+            if slots > MAX_BIT_REPORT_SLOTS {
+                return Err(FrameError::Malformed(format!(
+                    "bit report claims {slots} slots, over the {MAX_BIT_REPORT_SLOTS}-slot cap"
+                )));
+            }
             let bytes_needed = slots.div_ceil(8);
             if bytes_needed > c.remaining() {
                 return Err(FrameError::Truncated {
@@ -543,9 +580,15 @@ impl Frame {
                 users: c.read_u64()?,
             },
             TAG_REPORTS => {
-                // Every report is at least 2 bytes (tag + shortest body).
-                let count = c.read_count("report batch", 2)?;
-                let mut reports = Vec::with_capacity(count);
+                // Every report is at least 5 bytes on the wire (tag + the
+                // 4-byte count of an empty bits/item-set body). The
+                // reservation is additionally clamped: an in-memory
+                // `ReportData` is ~6× the minimum wire size, so trusting a
+                // hostile count even within the payload bound would
+                // reserve far more than the bytes received — the Vec
+                // grows to the true count as reports actually parse.
+                let count = c.read_count("report batch", 5)?;
+                let mut reports = Vec::with_capacity(count.min(1 << 16));
                 for _ in 0..count {
                     reports.push(read_report(&mut c)?);
                 }
@@ -597,12 +640,38 @@ impl Frame {
         frame_bytes(self.tag(), self.payload())
     }
 
+    /// Exact byte length of this frame's payload, computed arithmetically
+    /// (the per-shape twin of [`encoded_report_len`]) — what
+    /// [`Self::fits_one_frame`] uses so that sizing a reply never builds
+    /// and discards the actual payload bytes.
+    pub fn encoded_payload_len(&self) -> usize {
+        fn shape_len(shape: ReportShape) -> usize {
+            match shape {
+                ReportShape::Hashed { .. } => 1 + 8,
+                ReportShape::Bits | ReportShape::Value | ReportShape::ItemSet => 1,
+            }
+        }
+        match self {
+            Frame::Hello { kind, shape, .. } => 4 + (4 + kind.len()) + shape_len(*shape) + 8 + 8,
+            Frame::HelloAck { .. }
+            | Frame::Ingested { .. }
+            | Frame::Busy { .. }
+            | Frame::CheckpointAck { .. }
+            | Frame::TopKQuery { .. } => 8,
+            Frame::Reports(reports) => 4 + reports.iter().map(encoded_report_len).sum::<usize>(),
+            Frame::Query | Frame::Checkpoint => 0,
+            Frame::Estimates { estimates, .. } => 8 + 4 + 8 * estimates.len(),
+            Frame::Candidates { items, .. } => 8 + 4 + 16 * items.len(),
+            Frame::Reject { message, .. } => 8 + 4 + message.len(),
+        }
+    }
+
     /// `true` when this frame's payload fits under [`MAX_PAYLOAD_LEN`] —
     /// a peer rejects anything larger, so senders of variably sized
     /// frames (estimate replies, report batches) check before writing and
     /// substitute a typed refusal instead of killing the connection.
     pub fn fits_one_frame(&self) -> bool {
-        self.payload().len() <= MAX_PAYLOAD_LEN
+        self.encoded_payload_len() <= MAX_PAYLOAD_LEN
     }
 
     /// Decodes exactly one frame from `buf`, requiring the buffer to end
@@ -680,17 +749,24 @@ impl Frame {
                 max: MAX_PAYLOAD_LEN,
             });
         }
-        let mut payload = vec![0u8; len];
-        r.read_exact(&mut payload).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::UnexpectedEof {
-                FrameError::Truncated {
-                    needed: len,
-                    available: 0,
-                }
-            } else {
-                FrameError::Io(e.to_string())
-            }
-        })?;
+        // The payload buffer grows as bytes actually arrive (`take` +
+        // `read_to_end`), with only a small initial reservation — a peer
+        // sending a 5-byte header claiming 16 MiB must deliver the bytes
+        // before the reader holds them, keeping the module's
+        // no-allocation-ahead-of-data guarantee true for the stream
+        // reader too, not just the slice decoder.
+        let mut payload = Vec::with_capacity(len.min(64 << 10));
+        let got = r
+            .by_ref()
+            .take(len as u64)
+            .read_to_end(&mut payload)
+            .map_err(|e| FrameError::Io(e.to_string()))?;
+        if got < len {
+            return Err(FrameError::Truncated {
+                needed: len,
+                available: got,
+            });
+        }
         Self::parse_payload(tag, &payload).map(Some)
     }
 }
@@ -701,6 +777,11 @@ mod tests {
 
     fn round_trip(frame: Frame) {
         let bytes = frame.encode();
+        assert_eq!(
+            frame.encoded_payload_len(),
+            bytes.len() - 5,
+            "arithmetic size disagrees with the encoder for {frame:?}"
+        );
         assert_eq!(Frame::decode(&bytes).unwrap(), frame);
         // Stream reader agrees with the slice decoder.
         let mut cursor = std::io::Cursor::new(bytes);
@@ -810,6 +891,44 @@ mod tests {
     }
 
     #[test]
+    fn stream_reader_counts_partial_payloads_without_preallocating() {
+        // A header claiming 100 payload bytes followed by only 10: the
+        // reader reports exactly what arrived (it buffers incrementally —
+        // a stalling peer cannot make it hold a length-prefix-sized
+        // allocation).
+        let mut bytes = vec![TAG_REJECT];
+        bytes.extend_from_slice(&100u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 10]);
+        let mut cursor = std::io::Cursor::new(bytes);
+        match Frame::read_from(&mut cursor) {
+            Err(FrameError::Truncated { needed, available }) => {
+                assert_eq!((needed, available), (100, 10));
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bit_reports_over_the_width_cap_are_rejected() {
+        // count=1, REPORT_BITS, one slot over the cap — refused before the
+        // decoder even looks for (or allocates) the packed bytes.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.push(REPORT_BITS);
+        payload.extend_from_slice(&(MAX_BIT_REPORT_SLOTS as u32 + 1).to_le_bytes());
+        let mut bytes = vec![TAG_REPORTS];
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(FrameError::Malformed(_))
+        ));
+        // Exactly at the cap the report still round-trips.
+        let at_cap = Frame::Reports(vec![ReportData::Bits(vec![1; MAX_BIT_REPORT_SLOTS])]);
+        assert_eq!(Frame::decode(&at_cap.encode()).unwrap(), at_cap);
+    }
+
+    #[test]
     fn hostile_counts_do_not_allocate() {
         // A Reports frame claiming u32::MAX reports in a 4-byte payload.
         let mut bytes = vec![TAG_REPORTS, 4, 0, 0, 0];
@@ -870,6 +989,14 @@ mod tests {
             estimates: vec![0.5; MAX_PAYLOAD_LEN / 8 + 16],
         };
         assert!(!oversized.fits_one_frame());
+    }
+
+    #[test]
+    #[should_panic(expected = "slots must be 0/1")]
+    fn non_binary_slots_are_unencodable() {
+        // Coercing slot 2 to a set bit would launder a report the local
+        // fold path rejects — the encoder refuses instead.
+        let _ = Frame::Reports(vec![ReportData::Bits(vec![2])]).encode();
     }
 
     #[test]

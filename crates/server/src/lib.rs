@@ -65,9 +65,10 @@ pub mod frame;
 pub mod queue;
 pub mod server;
 
-pub use client::{ClientError, PushOutcome, ReportClient};
+pub use client::{ClientError, PushOutcome, ReportClient, MAX_STALLED_RETRIES};
 pub use frame::{
-    encode_reports_frame, encoded_report_len, Frame, FrameError, MAX_PAYLOAD_LEN, PROTOCOL_VERSION,
+    encode_reports_frame, encoded_report_len, Frame, FrameError, MAX_BIT_REPORT_SLOTS,
+    MAX_PAYLOAD_LEN, PROTOCOL_VERSION,
 };
-pub use queue::{IngestQueue, PushRefusal};
+pub use queue::{IngestQueue, PushRefusal, WaitOutcome};
 pub use server::{ReportServer, ServerConfig, ServerError};

@@ -8,13 +8,19 @@
 //! `Busy` reply instead of silently dropping the report.
 //!
 //! The queue also carries the *linearization* counters that make queries
-//! exact: `enqueued` counts accepted reports, `processed` counts folded
-//! ones, and [`IngestQueue::wait_processed`] blocks until the fold side
-//! catches up to a watermark — so a `Query` observes every report the
-//! server accepted before it, and loopback estimates can be bit-identical
-//! to a batch run.
+//! exact: `enqueued` counts accepted reports, and each [`IngestQueue::pop`]
+//! hands out the item's enqueue sequence number, which the worker passes
+//! back to [`IngestQueue::mark_processed`] once the fold is done.
+//! Completion is tracked as a **contiguous frontier**, not a global count:
+//! with several fold workers, worker B finishing items 2..N must not let a
+//! watermark wait return while worker A is still mid-fold on item 1 —
+//! out-of-order completions are buffered until the prefix below them is
+//! done. [`IngestQueue::wait_processed`] therefore blocks until *every*
+//! item at or below a watermark has been folded — so a `Query` observes
+//! every report the server accepted before it, and loopback estimates can
+//! be bit-identical to a batch run.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::{Condvar, Mutex};
 
 /// Why a non-blocking push was refused.
@@ -26,10 +32,33 @@ pub enum PushRefusal {
     Closed,
 }
 
+/// How a [`IngestQueue::wait_processed`] wait ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// Every item at or below the watermark has been processed.
+    Reached,
+    /// The queue is paused and the watermark needs items still *queued*
+    /// (not merely in flight), so the wait could only end when someone
+    /// resumes — callers should refuse with a typed reply instead of
+    /// parking a worker indefinitely.
+    Paused,
+    /// The queue closed first (shutdown) — callers should give up rather
+    /// than serve a partial view.
+    Closed,
+}
+
 struct State<T> {
     items: VecDeque<T>,
     enqueued: u64,
+    /// Sequence numbers handed out by `pop` (items leave the FIFO in
+    /// enqueue order, so the i-th pop gets sequence i, 1-based).
+    popped: u64,
+    /// The contiguous completion frontier: every item with sequence
+    /// `<= processed` has been folded.
     processed: u64,
+    /// Completed sequences above the frontier (a worker finished item N
+    /// while an earlier item is still in flight on another worker).
+    done_above_frontier: BTreeSet<u64>,
     closed: bool,
     paused: bool,
 }
@@ -59,7 +88,9 @@ impl<T> IngestQueue<T> {
             state: Mutex::new(State {
                 items: VecDeque::with_capacity(capacity.min(4096)),
                 enqueued: 0,
+                popped: 0,
                 processed: 0,
+                done_above_frontier: BTreeSet::new(),
                 closed: false,
                 paused: false,
             }),
@@ -113,8 +144,10 @@ impl<T> IngestQueue<T> {
 
     /// Blocks until an item is available (and the queue is not paused),
     /// returning `None` once the queue is closed. Ingest workers exit on
-    /// `None`.
-    pub fn pop(&self) -> Option<T> {
+    /// `None`. The returned `u64` is the item's enqueue sequence number
+    /// (1-based) — pass it back to [`Self::mark_processed`] when the item
+    /// has been fully folded.
+    pub fn pop(&self) -> Option<(u64, T)> {
         let mut s = self.lock();
         loop {
             if s.closed {
@@ -122,7 +155,8 @@ impl<T> IngestQueue<T> {
             }
             if !s.paused {
                 if let Some(item) = s.items.pop_front() {
-                    return Some(item);
+                    s.popped += 1;
+                    return Some((s.popped, item));
                 }
             }
             s = self
@@ -132,14 +166,30 @@ impl<T> IngestQueue<T> {
         }
     }
 
-    /// Records that one popped item has been fully folded, waking
-    /// watermark waiters. Every successful [`Self::pop`] must be paired
-    /// with exactly one call.
-    pub fn mark_processed(&self) {
+    /// Records that the popped item with sequence `seq` has been fully
+    /// folded. Every successful [`Self::pop`] must be paired with exactly
+    /// one call carrying the sequence it returned.
+    ///
+    /// The completion frontier only advances across the *contiguous*
+    /// prefix of finished sequences: an item that completes while an
+    /// earlier one is still mid-fold on another worker is buffered, so
+    /// watermark waiters never observe a view missing an accepted report.
+    pub fn mark_processed(&self, seq: u64) {
         let mut s = self.lock();
-        s.processed += 1;
-        drop(s);
-        self.progress.notify_all();
+        if seq == s.processed + 1 {
+            s.processed = seq;
+            loop {
+                let next = s.processed + 1;
+                if !s.done_above_frontier.remove(&next) {
+                    break;
+                }
+                s.processed = next;
+            }
+            drop(s);
+            self.progress.notify_all();
+        } else {
+            s.done_above_frontier.insert(seq);
+        }
     }
 
     /// The current accept watermark: total items ever accepted. A query
@@ -149,21 +199,31 @@ impl<T> IngestQueue<T> {
         self.lock().enqueued
     }
 
-    /// Blocks until `watermark` items have been processed. Returns `false`
-    /// if the queue closed first (shutdown) — callers should give up
-    /// rather than serve a partial view.
-    pub fn wait_processed(&self, watermark: u64) -> bool {
+    /// Blocks until every item with sequence `<= watermark` has been
+    /// processed (the contiguous frontier reached the watermark), the
+    /// queue closes, or a pause makes the watermark unreachable — see
+    /// [`WaitOutcome`]. While paused, items already popped can still
+    /// finish (their folds are in flight), so the wait only reports
+    /// [`WaitOutcome::Paused`] when the watermark lies beyond everything
+    /// popped so far — otherwise a paused maintenance window would park
+    /// every querying connection worker until resume, wedging the server.
+    pub fn wait_processed(&self, watermark: u64) -> WaitOutcome {
         let mut s = self.lock();
-        while s.processed < watermark {
+        loop {
+            if s.processed >= watermark {
+                return WaitOutcome::Reached;
+            }
             if s.closed {
-                return false;
+                return WaitOutcome::Closed;
+            }
+            if s.paused && watermark > s.popped {
+                return WaitOutcome::Paused;
             }
             s = self
                 .progress
                 .wait(s)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
-        true
     }
 
     /// Pauses (`true`) or resumes (`false`) the pop side. While paused,
@@ -175,6 +235,10 @@ impl<T> IngestQueue<T> {
         s.paused = paused;
         drop(s);
         self.not_empty.notify_all();
+        // Watermark waiters must observe a pause too: a wait that can no
+        // longer be satisfied turns into a typed `Paused` outcome instead
+        // of blocking until resume.
+        self.progress.notify_all();
     }
 
     /// Closes the queue: pending and future pushes are refused, blocked
@@ -201,10 +265,10 @@ mod tests {
         q.try_push(2).unwrap();
         assert_eq!(q.try_push(3), Err(PushRefusal::Full));
         assert_eq!(q.len(), 2);
-        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some((1, 1)));
         q.try_push(3).unwrap();
-        assert_eq!(q.pop(), Some(2));
-        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some((2, 2)));
+        assert_eq!(q.pop(), Some((3, 3)));
         assert!(q.is_empty());
     }
 
@@ -229,17 +293,17 @@ mod tests {
         assert_eq!(watermark, 5);
         let q2 = Arc::clone(&q);
         let worker = std::thread::spawn(move || {
-            while let Some(_item) = q2.pop() {
-                q2.mark_processed();
+            while let Some((seq, _item)) = q2.pop() {
+                q2.mark_processed(seq);
                 if q2.is_empty() {
                     break;
                 }
             }
         });
-        assert!(q.wait_processed(watermark));
+        assert_eq!(q.wait_processed(watermark), WaitOutcome::Reached);
         worker.join().unwrap();
         // An already-reached watermark returns immediately.
-        assert!(q.wait_processed(watermark));
+        assert_eq!(q.wait_processed(watermark), WaitOutcome::Reached);
     }
 
     #[test]
@@ -250,7 +314,11 @@ mod tests {
         let waiter = std::thread::spawn(move || q2.wait_processed(1));
         std::thread::sleep(std::time::Duration::from_millis(10));
         q.close();
-        assert!(!waiter.join().unwrap(), "close aborts the wait");
+        assert_eq!(
+            waiter.join().unwrap(),
+            WaitOutcome::Closed,
+            "close aborts the wait"
+        );
     }
 
     #[test]
@@ -260,8 +328,8 @@ mod tests {
         let q2 = Arc::clone(&q);
         let popper = std::thread::spawn(move || {
             let mut got = Vec::new();
-            while let Some(item) = q2.pop() {
-                q2.mark_processed();
+            while let Some((seq, item)) = q2.pop() {
+                q2.mark_processed(seq);
                 got.push(item);
                 if got.len() == 3 {
                     break;
@@ -276,7 +344,75 @@ mod tests {
         assert_eq!(q.try_push(9), Err(PushRefusal::Full));
         q.set_paused(false);
         assert_eq!(popper.join().unwrap(), vec![0, 1, 2]);
-        assert!(q.wait_processed(3));
+        assert_eq!(q.wait_processed(3), WaitOutcome::Reached);
+    }
+
+    /// The reviewer-found race: with two workers, worker B finishing later
+    /// items must not satisfy a watermark wait while worker A is still
+    /// mid-fold on an earlier one — the snapshot would miss an accepted
+    /// (acked) report. The frontier only advances over the contiguous
+    /// prefix of completed sequences.
+    #[test]
+    fn out_of_order_completion_holds_the_frontier() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let q = Arc::new(IngestQueue::new(8));
+        for i in 0..3 {
+            q.try_push(i).unwrap();
+        }
+        let watermark = q.watermark();
+        let (s1, _) = q.pop().unwrap();
+        let (s2, _) = q.pop().unwrap();
+        let (s3, _) = q.pop().unwrap();
+        assert_eq!((s1, s2, s3), (1, 2, 3));
+        // Items 2 and 3 finish while item 1 is still "mid-fold".
+        q.mark_processed(s3);
+        q.mark_processed(s2);
+        let satisfied = Arc::new(AtomicBool::new(false));
+        let waiter = {
+            let q = Arc::clone(&q);
+            let satisfied = Arc::clone(&satisfied);
+            std::thread::spawn(move || {
+                let ok = q.wait_processed(watermark);
+                satisfied.store(true, Ordering::SeqCst);
+                ok
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(
+            !satisfied.load(Ordering::SeqCst),
+            "watermark wait returned while item 1 was still in flight"
+        );
+        q.mark_processed(s1);
+        assert_eq!(waiter.join().unwrap(), WaitOutcome::Reached);
+    }
+
+    /// While paused, a watermark needing still-queued items is a typed
+    /// `Paused` outcome (a querying worker must not park until resume),
+    /// but in-flight items — already popped — can still satisfy a lower
+    /// watermark.
+    #[test]
+    fn paused_watermark_is_refused_not_blocked() {
+        let q = Arc::new(IngestQueue::new(8));
+        q.try_push(10).unwrap();
+        q.try_push(11).unwrap();
+        let (s1, _) = q.pop().unwrap(); // in flight
+        q.set_paused(true);
+        // Item 2 is still queued and cannot be popped while paused.
+        assert_eq!(q.wait_processed(2), WaitOutcome::Paused);
+        // The in-flight item can still complete and reach watermark 1.
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.wait_processed(1))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.mark_processed(s1);
+        assert_eq!(waiter.join().unwrap(), WaitOutcome::Reached);
+        // Resume makes watermark 2 reachable again.
+        q.set_paused(false);
+        let (s2, _) = q.pop().unwrap();
+        q.mark_processed(s2);
+        assert_eq!(q.wait_processed(2), WaitOutcome::Reached);
     }
 
     #[test]

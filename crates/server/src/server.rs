@@ -23,7 +23,7 @@
 //! mechanisms.
 
 use crate::frame::{Frame, FrameError, PROTOCOL_VERSION};
-use crate::queue::{IngestQueue, PushRefusal};
+use crate::queue::{IngestQueue, PushRefusal, WaitOutcome};
 use idldp_core::mechanism::Mechanism;
 use idldp_core::report::{ReportData, ReportShape};
 use idldp_core::snapshot::AccumulatorSnapshot;
@@ -44,6 +44,11 @@ pub enum ServerError {
     /// The configured checkpoint exists but cannot back this server
     /// (parse failure, width mismatch, or a different run stamp).
     Checkpoint(String),
+    /// The mechanism cannot be served over this wire protocol (a
+    /// bit-vector report wider than
+    /// [`crate::frame::MAX_BIT_REPORT_SLOTS`] — every report would be
+    /// undecodable, so startup refuses instead of rejecting per frame).
+    Config(String),
 }
 
 impl std::fmt::Display for ServerError {
@@ -51,6 +56,7 @@ impl std::fmt::Display for ServerError {
         match self {
             ServerError::Io(e) => write!(f, "server i/o: {e}"),
             ServerError::Checkpoint(detail) => write!(f, "server checkpoint: {detail}"),
+            ServerError::Config(detail) => write!(f, "server config: {detail}"),
         }
     }
 }
@@ -179,30 +185,47 @@ impl Shared {
     }
 
     /// Waits for everything accepted so far to be folded, then freezes the
-    /// merged view. Returns `None` if the server shut down mid-wait.
-    fn settled_snapshot(&self) -> Option<AccumulatorSnapshot> {
+    /// merged view.
+    ///
+    /// # Errors
+    /// [`Settle::Shutdown`] when the server closed mid-wait (drop the
+    /// connection), [`Settle::Refuse`] when the wait cannot complete —
+    /// ingest is paused and the watermark needs still-queued reports, so
+    /// blocking would park the connection worker until resume (with every
+    /// worker parked, even the acceptor wedges). The typed refusal keeps
+    /// a paused maintenance window observable instead of hanging clients.
+    fn settled_snapshot(&self) -> Result<AccumulatorSnapshot, Settle> {
         let watermark = self.queue.watermark();
-        if !self.queue.wait_processed(watermark) {
-            return None;
+        match self.queue.wait_processed(watermark) {
+            WaitOutcome::Reached => Ok(self.sink.snapshot()),
+            WaitOutcome::Paused => Err(Settle::Refuse(
+                "ingest is paused; accepted reports are not yet folded — retry after resume".into(),
+            )),
+            WaitOutcome::Closed => Err(Settle::Shutdown),
         }
-        Some(self.sink.snapshot())
     }
 
     /// Estimates over a settled snapshot (empty while no users).
-    fn settled_estimates(&self) -> Option<Result<(u64, Vec<f64>), String>> {
+    fn settled_estimates(&self) -> Result<(u64, Vec<f64>), Settle> {
         let snapshot = self.settled_snapshot()?;
         let users = snapshot.num_users();
         if users == 0 {
-            return Some(Ok((0, Vec::new())));
+            return Ok((0, Vec::new()));
         }
-        Some(
-            self.mechanism
-                .frequency_oracle(users)
-                .estimate_from(&snapshot)
-                .map(|estimates| (users, estimates))
-                .map_err(|e| e.to_string()),
-        )
+        self.mechanism
+            .frequency_oracle(users)
+            .estimate_from(&snapshot)
+            .map(|estimates| (users, estimates))
+            .map_err(|e| Settle::Refuse(e.to_string()))
     }
+}
+
+/// Why a settled view could not be produced.
+enum Settle {
+    /// The server is shutting down — drop the connection.
+    Shutdown,
+    /// A typed, client-visible reason (paused ingest, oracle failure).
+    Refuse(String),
 }
 
 /// A running ingestion service. Dropping the handle leaks the threads;
@@ -219,7 +242,10 @@ impl ReportServer {
     /// acceptor, connection-worker, and ingest-worker threads.
     ///
     /// # Errors
-    /// Bind failures and unusable checkpoints.
+    /// Bind failures, unusable checkpoints, and a
+    /// [`ServerError::Config`] for a bit-vector mechanism wider than the
+    /// wire protocol's [`crate::frame::MAX_BIT_REPORT_SLOTS`] (every
+    /// report would be undecodable — fail at startup, not per frame).
     ///
     /// # Panics
     /// Panics if `shards`, `queue_capacity`, `ingest_workers`, or
@@ -230,6 +256,15 @@ impl ReportServer {
             config.connection_workers > 0,
             "need at least one connection worker"
         );
+        if matches!(mechanism.report_shape(), ReportShape::Bits)
+            && mechanism.report_len() > crate::frame::MAX_BIT_REPORT_SLOTS
+        {
+            return Err(ServerError::Config(format!(
+                "bit-vector mechanism width {} exceeds the wire cap of {} slots",
+                mechanism.report_len(),
+                crate::frame::MAX_BIT_REPORT_SLOTS
+            )));
+        }
         let sink = ShardedAccumulator::new(
             ShapedAccumulator::for_mechanism(mechanism.as_ref()),
             config.shards,
@@ -351,17 +386,21 @@ impl ReportServer {
         self.shared.fold_failures.load(Ordering::SeqCst)
     }
 
-    /// Freezes the merged accumulator view after draining the queue. For
-    /// tests and embedders; remote callers use the `Query` frame.
+    /// Freezes the merged accumulator view after draining the queue (or
+    /// the current view as-is when draining cannot complete — paused
+    /// ingest or shutdown). For tests and embedders; remote callers use
+    /// the `Query` frame.
     pub fn snapshot(&self) -> AccumulatorSnapshot {
         self.shared
             .settled_snapshot()
-            .unwrap_or_else(|| self.shared.sink.snapshot())
+            .unwrap_or_else(|_| self.shared.sink.snapshot())
     }
 
     /// Pauses folding: accepted reports stay queued, so the bounded queue
     /// fills and further pushes draw `Busy` — deterministic backpressure
-    /// for tests and maintenance windows.
+    /// for tests and maintenance windows. Queries whose watermark needs
+    /// still-queued reports answer with a typed `Reject` while paused
+    /// (blocking them would park connection workers until resume).
     pub fn pause_ingest(&self) {
         self.shared.queue.set_paused(true);
     }
@@ -379,8 +418,18 @@ impl ReportServer {
         self.shared.stop.store(true, Ordering::SeqCst);
         self.shared.queue.close();
         // Unblock the acceptor with a throwaway connection, and workers
-        // parked in a socket read by closing every live connection.
-        let _ = TcpStream::connect(self.addr);
+        // parked in a socket read by closing every live connection. A
+        // server bound to an unspecified address (0.0.0.0 / ::) is not
+        // connectable *at* that address on every platform, so the wake-up
+        // aims at loopback on the bound port instead.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                std::net::IpAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                std::net::IpAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&wake, std::time::Duration::from_secs(1));
         self.shared.close_connections();
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
@@ -391,13 +440,17 @@ impl ReportServer {
     }
 }
 
-/// Drains the ingest queue into the sharded accumulator.
+/// Drains the ingest queue into the sharded accumulator. The sequence
+/// number from `pop` is handed back to `mark_processed` so the queue's
+/// completion frontier stays contiguous across workers — a query watermark
+/// is only satisfied once every report below it is actually folded, not
+/// merely an equal *count* of later ones.
 fn ingest_worker(shared: &Shared) {
-    while let Some(report) = shared.queue.pop() {
+    while let Some((seq, report)) = shared.queue.pop() {
         if shared.sink.push(report.as_report()).is_err() {
             shared.fold_failures.fetch_add(1, Ordering::SeqCst);
         }
-        shared.queue.mark_processed();
+        shared.queue.mark_processed(seq);
     }
 }
 
@@ -625,30 +678,30 @@ fn serve_frames(
                 outcome.unwrap_or(Frame::Ingested { accepted })
             }
             Frame::Query => match shared.settled_estimates() {
-                Some(Ok((users, estimates))) => Frame::Estimates { users, estimates },
-                Some(Err(message)) => Frame::Reject {
+                Ok((users, estimates)) => Frame::Estimates { users, estimates },
+                Err(Settle::Refuse(message)) => Frame::Reject {
                     accepted: 0,
                     message,
                 },
-                None => return, // shutdown
+                Err(Settle::Shutdown) => return,
             },
             Frame::TopKQuery { k } => match shared.settled_estimates() {
-                Some(Ok((users, estimates))) => {
+                Ok((users, estimates)) => {
                     let items = top_k_indices(&estimates, k as usize)
                         .into_iter()
                         .map(|i| (i as u64, estimates[i]))
                         .collect();
                     Frame::Candidates { users, items }
                 }
-                Some(Err(message)) => Frame::Reject {
+                Err(Settle::Refuse(message)) => Frame::Reject {
                     accepted: 0,
                     message,
                 },
-                None => return,
+                Err(Settle::Shutdown) => return,
             },
             Frame::Checkpoint => match &shared.checkpoint_path {
                 Some(path) => match shared.settled_snapshot() {
-                    Some(snapshot) => {
+                    Ok(snapshot) => {
                         let trailer = format!("{}\n", shared.run_line());
                         match snapshot.write_checkpoint(path, &trailer) {
                             Ok(()) => Frame::CheckpointAck {
@@ -660,7 +713,11 @@ fn serve_frames(
                             },
                         }
                     }
-                    None => return,
+                    Err(Settle::Refuse(message)) => Frame::Reject {
+                        accepted: 0,
+                        message,
+                    },
+                    Err(Settle::Shutdown) => return,
                 },
                 None => Frame::Reject {
                     accepted: 0,

@@ -430,3 +430,84 @@ fn checkpoint_restart_resumes_bit_identically_over_tcp() {
     assert!(ReportServer::start(other_eps as Arc<dyn Mechanism>, again).is_err());
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+/// A server bound to the unspecified address must still shut down cleanly:
+/// the shutdown wake-up cannot connect *to* 0.0.0.0 on every platform, so
+/// it targets loopback on the bound port — otherwise `shutdown` would hang
+/// joining an acceptor that never wakes.
+#[test]
+fn shutdown_completes_when_bound_to_the_unspecified_address() {
+    let mechanism: Arc<dyn BatchMechanism> =
+        Arc::new(GeneralizedRandomizedResponse::new(eps(1.0), 8).unwrap());
+    let config = ServerConfig {
+        addr: "0.0.0.0:0".into(),
+        ..ServerConfig::default()
+    };
+    let server = ReportServer::start(mechanism as Arc<dyn Mechanism>, config).unwrap();
+    assert!(server.local_addr().ip().is_unspecified());
+    let done = std::thread::spawn(move || server.shutdown());
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !done.is_finished() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "shutdown hung on an unspecified-address bind"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    done.join().unwrap();
+}
+
+/// A bit-vector mechanism wider than the wire protocol's
+/// `MAX_BIT_REPORT_SLOTS` is refused at startup with a typed config error
+/// (every report it emits would be undecodable), not a panic and not a
+/// per-frame rejection marathon.
+#[test]
+fn too_wide_bit_mechanism_is_a_typed_startup_error() {
+    let too_wide = idldp_server::MAX_BIT_REPORT_SLOTS + 1;
+    let mechanism: Arc<dyn BatchMechanism> =
+        Arc::new(UnaryEncoding::optimized(eps(1.0), too_wide).unwrap());
+    let err = ReportServer::start(mechanism as Arc<dyn Mechanism>, ServerConfig::default())
+        .err()
+        .expect("over-cap width must not start");
+    assert!(
+        err.to_string().contains("wire cap"),
+        "unexpected error: {err}"
+    );
+}
+
+/// A query while ingest is paused (and accepted reports are still queued)
+/// must answer with a typed `Reject` rather than parking the connection
+/// worker until resume — otherwise a few concurrent queries during a
+/// maintenance window would wedge the whole server, acceptor included.
+#[test]
+fn query_during_paused_ingest_is_refused_not_blocked() {
+    let mechanism: Arc<dyn BatchMechanism> =
+        Arc::new(GeneralizedRandomizedResponse::new(eps(1.0), 8).unwrap());
+    let inputs = OwnedInputs::Items(items(200, 8));
+    let (want_users, want) = batch_estimates(mechanism.as_ref(), inputs.as_batch());
+
+    let server = ReportServer::start(
+        mechanism.clone() as Arc<dyn Mechanism>,
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let (mut client, _) = ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
+
+    server.pause_ingest();
+    for chunk in wire_chunks(mechanism.as_ref(), inputs.as_batch()) {
+        client.push_all(&chunk).unwrap(); // capacity 65_536 ≫ 200: all queue
+    }
+    match client.query_estimates() {
+        Err(ClientError::Rejected { message, .. }) => {
+            assert!(message.contains("paused"), "unexpected reason: {message}")
+        }
+        other => panic!("expected a typed paused refusal, got {other:?}"),
+    }
+
+    // The refusal is not sticky: resume, and the same connection settles.
+    server.resume_ingest();
+    let (users, estimates) = client.query_estimates().unwrap();
+    assert_eq!(users, want_users);
+    assert_bit_identical("paused-resume", &estimates, &want);
+    server.shutdown();
+}
