@@ -134,28 +134,74 @@ fn bench_compact_wire_emission(c: &mut Criterion) {
 }
 
 fn bench_aggregate_fold(c: &mut Criterion) {
-    // Server side of the compact shapes: folding 1k native wire reports
-    // into the shape-matched accumulator (OLH pays an O(m) hash fold per
-    // report; subset selection pays O(k)).
+    // Server side of all four wire shapes: folding the same 1k native wire
+    // reports as one `accumulate_batch` call into a persistent accumulator —
+    // the ingest worker's steady state. OLH resolves `(seed, value)` pairs
+    // from the hot preimage cache (an O(m) hash pass only on a miss),
+    // bit rows carry-save-add through SWAR bit-planes, and subset selection
+    // checks distinctness against a shared scratch row instead of sorting a
+    // copy of every set.
     let mut group = c.benchmark_group("aggregate/fold-1k");
     group.sample_size(10);
-    for name in ["olh", "ss"] {
+    for name in ["oue", "grr", "olh", "ss"] {
         for m in [100usize, 1000] {
             let mech = build(name, m, 0);
             let mut rng = stream_rng(3, 0);
             let reports: Vec<_> = (0..1000)
                 .map(|i| mech.perturb_data(Input::Item(i % m), &mut rng).unwrap())
                 .collect();
+            let views: Vec<_> = reports.iter().map(|r| r.as_report()).collect();
             group.bench_with_input(BenchmarkId::new(name, m), &m, |b, _| {
+                let mut acc = ShapedAccumulator::for_mechanism(mech.as_ref());
                 b.iter(|| {
-                    let mut acc = ShapedAccumulator::for_mechanism(mech.as_ref());
-                    for r in &reports {
-                        acc.accumulate(r.as_report()).unwrap();
-                    }
+                    acc.accumulate_batch(black_box(&views)).unwrap();
                     black_box(acc.num_users())
                 });
             });
         }
+    }
+    group.finish();
+}
+
+fn bench_batched_vs_sequential(c: &mut Criterion) {
+    // The fold-engine win in isolation: a cold accumulator per iteration
+    // folds the same 1k reports either one `accumulate` call at a time
+    // (the pre-batch ingest path) or through a single `accumulate_batch`.
+    // Cold means every OLH seed misses the preimage cache, so the batched
+    // OLH fold pays cache bookkeeping on top of the same O(m) hash passes —
+    // the OLH payoff is the warm steady state `aggregate/fold-1k` measures.
+    // Subset selection wins even cold (scratch-row validation beats
+    // sorting a copy of every set).
+    let mut group = c.benchmark_group("aggregate/batched-vs-sequential");
+    group.sample_size(10);
+    for name in ["olh", "ss"] {
+        let m = 1000usize;
+        let mech = build(name, m, 0);
+        let mut rng = stream_rng(4, 0);
+        let reports: Vec<_> = (0..1000)
+            .map(|i| mech.perturb_data(Input::Item(i % m), &mut rng).unwrap())
+            .collect();
+        let views: Vec<_> = reports.iter().map(|r| r.as_report()).collect();
+        group.bench_with_input(BenchmarkId::new(&format!("{name}-seq"), m), &m, |b, _| {
+            b.iter(|| {
+                let mut acc = ShapedAccumulator::for_mechanism(mech.as_ref());
+                for r in &reports {
+                    acc.accumulate(r.as_report()).unwrap();
+                }
+                black_box(acc.num_users())
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new(&format!("{name}-batched"), m),
+            &m,
+            |b, _| {
+                b.iter(|| {
+                    let mut acc = ShapedAccumulator::for_mechanism(mech.as_ref());
+                    acc.accumulate_batch(&views).unwrap();
+                    black_box(acc.num_users())
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -166,6 +212,7 @@ criterion_group!(
     bench_item_set_perturb,
     bench_batch_fast_paths,
     bench_compact_wire_emission,
-    bench_aggregate_fold
+    bench_aggregate_fold,
+    bench_batched_vs_sequential
 );
 criterion_main!(benches);

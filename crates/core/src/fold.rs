@@ -1,0 +1,468 @@
+//! The batched, word-packed fold engine.
+//!
+//! Per-report folding pays two per-report costs the batch ingest path does
+//! not have to: bit-vector reports are added byte at a time (`m` adds per
+//! report), and hashed reports re-evaluate [`hash_bucket`] over the whole
+//! item domain (`m` hashes per report). This module provides the three
+//! primitives that turn a *batch* of reports into memory-bound word
+//! operations; `idldp-stream`'s `accumulate_batch` specializations build on
+//! them:
+//!
+//! * [`pack_bits_row`] — packs a 0/1 byte-per-slot report into `u64` words
+//!   (64 slots per word, LSB-first) with a carry-free multiply-gather, so
+//!   a row enters the fold as `m/64` words instead of `m` bytes.
+//! * [`BitPlanes`] — a SWAR bit-sliced counter: eight `u64` bit-planes per
+//!   64-slot lane accumulate packed rows with a carry-save add (no
+//!   per-slot loop), and spill into ordinary `u64` counts. The **spill
+//!   invariant**: eight planes hold per-slot partial sums up to 255, so at
+//!   most 255 rows may be pending between spills — [`BitPlanes::add_row`]
+//!   enforces this by spilling automatically.
+//! * [`SeedPreimageCache`] — an LRU map from a hashed report's
+//!   `(seed, value)` to the packed bitmap of items it supports
+//!   (`{v : hash_bucket(seed, v, g) == value}`). A miss costs the one
+//!   `O(m)` hash pass that was previously paid per report; a hit replays
+//!   the report as an `O(m/64)` word row. The cache is bounded: each entry
+//!   is `⌈m/64⌉` words (`≈ m/8` bytes), and the default capacity keeps the
+//!   whole cache within ~1 MiB (clamped to `16..=4096` entries), evicting
+//!   least-recently-used entries beyond that.
+//!
+//! All three are pure integer arithmetic, so folds routed through them are
+//! **bit-identical** to the scalar per-report fold
+//! ([`crate::report::Report::fold_into`]) — the streaming conformance and
+//! property suites assert exactly that.
+
+use crate::error::{Error, Result};
+use crate::report::hash_bucket;
+use std::collections::HashMap;
+
+/// Number of `u64` words needed to pack `slots` bits.
+#[inline]
+pub fn packed_words(slots: usize) -> usize {
+    slots.div_ceil(64)
+}
+
+/// Every byte's low bit must be the whole byte: a 0/1 lane mask.
+const LANE_MASK: u64 = 0x0101_0101_0101_0101;
+
+/// Multiply-gather constant: collects the LSB of each of 8 little-endian
+/// bytes into the top byte of the product. All 64 partial-product bits
+/// land on distinct positions (`8j − 7i` collides only at `j − j' = 7t`,
+/// `i − i' = 8t`, impossible in `0..8`), so the gather is carry-free.
+const GATHER: u64 = 0x0102_0408_1020_4080;
+
+/// Packs a 0/1 byte-per-slot bit report into `u64` words, 64 slots per
+/// word, slot `i` at bit `i % 64` of word `i / 64` (LSB-first). Padding
+/// bits beyond `bits.len()` are zero. Eight slots are gathered per `u64`
+/// load via a carry-free multiply, so packing is `O(m/8)` word work.
+///
+/// # Errors
+/// Returns an error if `words` is not exactly [`packed_words`]`(bits.len())`
+/// long or any slot is not 0/1 (`words` may be partially written on
+/// failure; callers treat any error as validation failure and discard).
+pub fn pack_bits_row(bits: &[u8], words: &mut [u64]) -> Result<()> {
+    if words.len() != packed_words(bits.len()) {
+        return Err(Error::DimensionMismatch {
+            what: "packed row width (words)".into(),
+            expected: packed_words(bits.len()),
+            actual: words.len(),
+        });
+    }
+    words.fill(0);
+    let mut chunks = bits.chunks_exact(8);
+    for (i, chunk) in (&mut chunks).enumerate() {
+        let x = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        if x & !LANE_MASK != 0 {
+            return Err(Error::ParameterOrdering {
+                detail: "bit report slots must be 0/1".into(),
+            });
+        }
+        words[i / 8] |= (x.wrapping_mul(GATHER) >> 56) << ((i % 8) * 8);
+    }
+    let base = bits.len() - chunks.remainder().len();
+    for (j, &b) in chunks.remainder().iter().enumerate() {
+        if b > 1 {
+            return Err(Error::ParameterOrdering {
+                detail: "bit report slots must be 0/1".into(),
+            });
+        }
+        let bit = base + j;
+        words[bit / 64] |= u64::from(b) << (bit % 64);
+    }
+    Ok(())
+}
+
+/// SWAR bit-sliced counter: eight `u64` bit-planes over `⌈slots/64⌉`-word
+/// lanes. Each packed 0/1 row is added with a carry-save ripple across the
+/// planes (word-parallel — no per-slot loop), and the per-slot partial
+/// sums (each ≤ 255) are spilled into ordinary `u64` counts on demand.
+#[derive(Clone, Debug)]
+pub struct BitPlanes {
+    /// Plane `p` occupies `planes[p * words .. (p + 1) * words]`.
+    planes: Vec<u64>,
+    words: usize,
+    slots: usize,
+    pending: u32,
+}
+
+impl BitPlanes {
+    /// Eight planes hold per-slot sums up to `2^8 − 1`: the spill
+    /// invariant caps pending rows at 255 between spills.
+    pub const MAX_PENDING_ROWS: u32 = 255;
+
+    /// An empty counter over `slots` slots.
+    ///
+    /// # Panics
+    /// Panics if `slots == 0`.
+    pub fn new(slots: usize) -> Self {
+        assert!(slots > 0, "bit-plane counter needs at least one slot");
+        let words = packed_words(slots);
+        Self {
+            planes: vec![0; 8 * words],
+            words,
+            slots,
+            pending: 0,
+        }
+    }
+
+    /// Number of slots counted per row.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Rows added since the last spill (always ≤ 255).
+    pub fn pending_rows(&self) -> u32 {
+        self.pending
+    }
+
+    /// Adds one packed 0/1 row (as produced by [`pack_bits_row`] or a
+    /// [`SeedPreimageCache`] bitmap). Spills into `counts` first if the
+    /// 255-row plane capacity is reached, so the spill invariant holds by
+    /// construction.
+    ///
+    /// # Panics
+    /// Panics if `row` is not `⌈slots/64⌉` words or `counts` is not
+    /// `slots` long.
+    pub fn add_row(&mut self, row: &[u64], counts: &mut [u64]) {
+        assert_eq!(row.len(), self.words, "packed row width");
+        if self.pending == Self::MAX_PENDING_ROWS {
+            self.spill_into(counts);
+        }
+        for (w, &bits) in row.iter().enumerate() {
+            let mut carry = bits;
+            let mut p = 0usize;
+            while carry != 0 {
+                debug_assert!(p < 8, "spill invariant violated: plane overflow");
+                let plane = &mut self.planes[p * self.words + w];
+                let t = *plane & carry;
+                *plane ^= carry;
+                carry = t;
+                p += 1;
+            }
+        }
+        self.pending += 1;
+    }
+
+    /// Adds the pending per-slot sums into `counts` and resets the planes.
+    ///
+    /// # Panics
+    /// Panics if `counts` is not `slots` long.
+    pub fn spill_into(&mut self, counts: &mut [u64]) {
+        assert_eq!(counts.len(), self.slots, "spill target width");
+        if self.pending == 0 {
+            return;
+        }
+        for p in 0..8 {
+            let weight = 1u64 << p;
+            for w in 0..self.words {
+                let mut bits = std::mem::take(&mut self.planes[p * self.words + w]);
+                while bits != 0 {
+                    let slot = w * 64 + bits.trailing_zeros() as usize;
+                    debug_assert!(slot < self.slots, "padding bits must stay zero");
+                    counts[slot] += weight;
+                    bits &= bits - 1;
+                }
+            }
+        }
+        self.pending = 0;
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    key: (u64, usize),
+    bitmap: Vec<u64>,
+    prev: usize,
+    next: usize,
+}
+
+/// Bounded LRU cache from a hashed report's `(seed, value)` to the packed
+/// preimage bitmap `{v in 0..slots : hash_bucket(seed, v, range) == value}`.
+///
+/// The hot-seed fast path of the batched hashed fold: a miss pays the one
+/// `O(slots)` hash pass, a hit replays the report as `⌈slots/64⌉` word ORs
+/// into a [`BitPlanes`] row. Memory is bounded at
+/// `capacity × ⌈slots/64⌉ × 8` bytes (plus map overhead); the default
+/// capacity keeps that under ~1 MiB, clamped to `16..=4096` entries.
+#[derive(Clone, Debug)]
+pub struct SeedPreimageCache {
+    slots: usize,
+    range: usize,
+    capacity: usize,
+    map: HashMap<(u64, usize), usize>,
+    entries: Vec<CacheEntry>,
+    head: usize,
+    tail: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl SeedPreimageCache {
+    /// A cache for hashed reports over `slots` items with hash range
+    /// `range`, using the default ~1 MiB capacity bound.
+    ///
+    /// # Panics
+    /// Panics if `slots == 0` or `range == 0`.
+    pub fn new(slots: usize, range: usize) -> Self {
+        let entry_bytes = packed_words(slots) * 8;
+        let capacity = ((1usize << 20) / entry_bytes.max(1)).clamp(16, 4096);
+        Self::with_capacity(slots, range, capacity)
+    }
+
+    /// A cache with an explicit entry capacity.
+    ///
+    /// # Panics
+    /// Panics if `slots == 0`, `range == 0`, or `capacity == 0`.
+    pub fn with_capacity(slots: usize, range: usize, capacity: usize) -> Self {
+        assert!(slots > 0, "preimage cache needs at least one slot");
+        assert!(range > 0, "hash range must be positive");
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self {
+            slots,
+            range,
+            capacity,
+            map: HashMap::with_capacity(capacity.min(4096)),
+            entries: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum entries before LRU eviction.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to build the bitmap so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// The packed preimage bitmap of `(seed, value)`: bit `v` is set iff
+    /// `hash_bucket(seed, v, range) == value`. Builds and caches the
+    /// bitmap on a miss (evicting the least-recently-used entry at
+    /// capacity), and marks the entry most-recently-used either way.
+    /// Padding bits beyond `slots` are always zero.
+    pub fn preimage(&mut self, seed: u64, value: usize) -> &[u64] {
+        if let Some(&idx) = self.map.get(&(seed, value)) {
+            self.hits += 1;
+            self.move_to_front(idx);
+            return &self.entries[idx].bitmap;
+        }
+        self.misses += 1;
+        let idx = if self.entries.len() == self.capacity {
+            // Evict the LRU entry, reusing its slab slot and allocation.
+            let idx = self.tail;
+            self.unlink(idx);
+            let old_key = self.entries[idx].key;
+            self.map.remove(&old_key);
+            self.entries[idx].key = (seed, value);
+            idx
+        } else {
+            self.entries.push(CacheEntry {
+                key: (seed, value),
+                bitmap: Vec::new(),
+                prev: NIL,
+                next: NIL,
+            });
+            self.entries.len() - 1
+        };
+        let (slots, range) = (self.slots, self.range);
+        let bitmap = &mut self.entries[idx].bitmap;
+        bitmap.clear();
+        bitmap.resize(packed_words(slots), 0);
+        for v in 0..slots {
+            if hash_bucket(seed, v, range) == value {
+                bitmap[v / 64] |= 1u64 << (v % 64);
+            }
+        }
+        self.map.insert((seed, value), idx);
+        self.push_front(idx);
+        &self.entries[idx].bitmap
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (p, n) = (self.entries[idx].prev, self.entries[idx].next);
+        if p == NIL {
+            self.head = n;
+        } else {
+            self.entries[p].next = n;
+        }
+        if n == NIL {
+            self.tail = p;
+        } else {
+            self.entries[n].prev = p;
+        }
+        self.entries[idx].prev = NIL;
+        self.entries[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.entries[idx].prev = NIL;
+        self.entries[idx].next = self.head;
+        if self.head == NIL {
+            self.tail = idx;
+        } else {
+            self.entries[self.head].prev = idx;
+        }
+        self.head = idx;
+    }
+
+    fn move_to_front(&mut self, idx: usize) {
+        if self.head != idx {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic 0/1 stream (no external RNG in unit tests).
+    fn bit(i: usize, salt: u64) -> u8 {
+        (hash_bucket(salt, i, 2)) as u8
+    }
+
+    #[test]
+    fn pack_matches_naive_for_awkward_widths() {
+        for slots in [1usize, 7, 8, 9, 63, 64, 65, 100, 128, 130] {
+            let bits: Vec<u8> = (0..slots).map(|i| bit(i, 42)).collect();
+            let mut words = vec![u64::MAX; packed_words(slots)];
+            pack_bits_row(&bits, &mut words).unwrap();
+            for (i, &b) in bits.iter().enumerate() {
+                let got = (words[i / 64] >> (i % 64)) & 1;
+                assert_eq!(got, u64::from(b), "slots={slots} bit {i}");
+            }
+            // Padding bits beyond `slots` are zero.
+            let used = slots % 64;
+            if used != 0 {
+                assert_eq!(words[slots / 64] >> used, 0, "slots={slots} padding");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_rejects_non_binary_and_wrong_width() {
+        for bad_at in [0usize, 5, 8, 63, 64, 66] {
+            let mut bits = vec![0u8; 67];
+            bits[bad_at] = 2;
+            let mut words = vec![0u64; packed_words(67)];
+            assert!(pack_bits_row(&bits, &mut words).is_err(), "slot {bad_at}");
+        }
+        let mut words = vec![0u64; 1];
+        assert!(pack_bits_row(&[0u8; 65], &mut words).is_err());
+    }
+
+    #[test]
+    fn bit_planes_match_scalar_sums_across_spills() {
+        // 700 rows > 2 × 255 forces automatic spills mid-stream.
+        let slots = 130;
+        let mut planes = BitPlanes::new(slots);
+        assert_eq!(planes.slots(), slots);
+        let mut counts = vec![0u64; slots];
+        let mut want = vec![0u64; slots];
+        let mut row = vec![0u64; packed_words(slots)];
+        for r in 0..700usize {
+            let bits: Vec<u8> = (0..slots).map(|i| bit(i + r * slots, 7)).collect();
+            for (w, &b) in want.iter_mut().zip(&bits) {
+                *w += u64::from(b);
+            }
+            pack_bits_row(&bits, &mut row).unwrap();
+            planes.add_row(&row, &mut counts);
+            assert!(planes.pending_rows() <= BitPlanes::MAX_PENDING_ROWS);
+        }
+        planes.spill_into(&mut counts);
+        assert_eq!(counts, want);
+        assert_eq!(planes.pending_rows(), 0);
+        // A second spill is a no-op.
+        planes.spill_into(&mut counts);
+        assert_eq!(counts, want);
+    }
+
+    #[test]
+    fn preimage_cache_agrees_with_direct_hashing() {
+        let (slots, range) = (100usize, 7usize);
+        let mut cache = SeedPreimageCache::new(slots, range);
+        for (seed, value) in [(3u64, 0usize), (99, 6), (3, 0), (u64::MAX, 3)] {
+            let bitmap = cache.preimage(seed, value).to_vec();
+            for v in 0..slots {
+                let want = hash_bucket(seed, v, range) == value;
+                let got = (bitmap[v / 64] >> (v % 64)) & 1 == 1;
+                assert_eq!(got, want, "seed={seed} value={value} item {v}");
+            }
+            let padding = slots % 64;
+            assert_eq!(bitmap[slots / 64] >> padding, 0, "padding stays zero");
+        }
+        assert_eq!(cache.misses(), 3, "repeated key hits");
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let mut cache = SeedPreimageCache::with_capacity(32, 4, 2);
+        cache.preimage(1, 0);
+        cache.preimage(2, 0);
+        cache.preimage(1, 0); // touch 1: now 2 is LRU
+        cache.preimage(3, 0); // evicts 2
+        assert_eq!(cache.len(), 2);
+        assert_eq!((cache.hits(), cache.misses()), (1, 3));
+        cache.preimage(1, 0); // still cached
+        assert_eq!(cache.hits(), 2);
+        cache.preimage(2, 0); // was evicted: a miss again
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.len(), 2, "capacity bound holds");
+        assert_eq!(cache.capacity(), 2);
+    }
+
+    #[test]
+    fn default_capacity_is_memory_bounded() {
+        // Tiny domains clamp up to 16; huge domains clamp down so the
+        // cache stays within ~1 MiB of bitmap payload.
+        let small = SeedPreimageCache::new(8, 2);
+        assert_eq!(small.capacity(), 4096);
+        let big = SeedPreimageCache::new(1 << 22, 2);
+        assert!(big.capacity() >= 16);
+        assert!(big.capacity() * packed_words(1 << 22) * 8 <= (1 << 20) * 16);
+        assert!(small.is_empty());
+    }
+}

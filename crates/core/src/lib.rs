@@ -35,6 +35,11 @@
 //!   [`report::hash_bucket`]); [`mechanism::Mechanism::report_shape`] and
 //!   [`mechanism::Mechanism::perturb_data`] are the shape-aware emission
 //!   path, with `perturb_into` the zero-alloc folded bit-vector twin.
+//! * **Fold engine** — [`fold`]: the batched, word-packed server-side
+//!   folding primitives ([`fold::BitPlanes`] SWAR bit-slice counters,
+//!   carry-free [`fold::pack_bits_row`] packing, and the bounded
+//!   [`fold::SeedPreimageCache`] for hashed reports) that the streaming
+//!   accumulators' `accumulate_batch` specializations build on.
 //! * **Estimation** — [`estimator::FrequencyEstimator`]: the unbiased
 //!   calibrated estimator of Eq. 8 and the closed-form MSE of Eq. 9;
 //!   [`oracle::CalibratingOracle`] and [`oracle::MatrixOracle`] adapt it
@@ -81,6 +86,7 @@ pub mod budget;
 pub mod composition;
 pub mod error;
 pub mod estimator;
+pub mod fold;
 pub mod grr;
 pub mod idue;
 pub mod idue_ps;

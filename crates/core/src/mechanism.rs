@@ -154,17 +154,23 @@ impl CountAccumulator {
 
     /// Folds one report *in any wire shape* into the counts — delegating
     /// to the single fold implementation,
-    /// [`crate::report::Report::fold_into`] — and counts one user. `range`
-    /// is the hash range for [`crate::report::Report::Hashed`] reports
-    /// (ignored by the other shapes). This is what the `idldp-stream`
+    /// [`crate::report::Report::fold_into`] — and counts one user.
+    /// `shape_param` is the hash range for
+    /// [`crate::report::Report::Hashed`] reports and the pinned set
+    /// cardinality for [`crate::report::Report::ItemSet`] reports (`0` =
+    /// unchecked; ignored by the other shapes). This is what the `idldp-stream`
     /// shape accumulators and the compact-shape batch fast paths build on,
     /// so the fold rule exists in exactly one place.
     ///
     /// # Errors
     /// Returns an error on a width/domain mismatch, an out-of-range value,
     /// or a non-distinct item set; nothing is counted on failure.
-    pub fn fold_report(&mut self, report: crate::report::Report<'_>, range: usize) -> Result<()> {
-        report.fold_into(&mut self.counts, range)?;
+    pub fn fold_report(
+        &mut self,
+        report: crate::report::Report<'_>,
+        shape_param: usize,
+    ) -> Result<()> {
+        report.fold_into(&mut self.counts, shape_param)?;
         self.users += 1;
         Ok(())
     }
@@ -202,6 +208,23 @@ impl CountAccumulator {
     /// Per-bucket counts.
     pub fn counts(&self) -> &[u64] {
         &self.counts
+    }
+
+    /// Mutable view of the per-bucket counts — the spill target for
+    /// batched fold engines ([`crate::fold`]) that add word-packed lanes
+    /// directly instead of going through per-report folds. Callers must
+    /// pair every counted report with [`Self::add_user`] /
+    /// [`Self::add_users`], exactly as with [`Self::add_bit`].
+    #[inline]
+    pub fn counts_mut(&mut self) -> &mut [u64] {
+        &mut self.counts
+    }
+
+    /// Records `n` more users in one step (the batched sibling of
+    /// [`Self::add_user`]).
+    #[inline]
+    pub fn add_users(&mut self, n: u64) {
+        self.users += n;
     }
 
     /// Freezes the current state into an [`AccumulatorSnapshot`] (the input

@@ -50,7 +50,14 @@ pub enum ReportShape {
         range: usize,
     },
     /// A small set of distinct items in `0..report_len` (subset-selection).
-    ItemSet,
+    ItemSet {
+        /// The exact set cardinality the mechanism emits, or `0` when the
+        /// cardinality is not pinned. Subset selection always reports
+        /// exactly `k` items; a wrong-sized set would fold cleanly but
+        /// bias the `(p, (k−p)/(m−1))` calibration, so the handshake and
+        /// [`Report::validate`] refuse it when `k` is pinned.
+        k: usize,
+    },
 }
 
 impl ReportShape {
@@ -60,7 +67,8 @@ impl ReportShape {
             ReportShape::Bits => "bits".to_string(),
             ReportShape::Value => "value".to_string(),
             ReportShape::Hashed { range } => format!("hashed (seed, value in 0..{range})"),
-            ReportShape::ItemSet => "item-set".to_string(),
+            ReportShape::ItemSet { k: 0 } => "item-set".to_string(),
+            ReportShape::ItemSet { k } => format!("item-set ({k} items)"),
         }
     }
 }
@@ -98,18 +106,21 @@ impl Report<'_> {
     }
 
     /// Checks this report against a mechanism configuration — width
-    /// `report_len` and (for hashed reports) hash range `range` — without
-    /// counting anything. **The** definition of report well-formedness:
-    /// [`Report::fold_into`] validates through this before touching any
-    /// count, and transport servers (`idldp-server`) call it to refuse a
-    /// malformed report in the connection reply, so an acknowledged
-    /// report can never fail to fold later.
+    /// `report_len` plus the shape parameter `shape_param` — without
+    /// counting anything. `shape_param` is the hash range `g` for
+    /// [`Report::Hashed`] reports and the pinned set cardinality `k` for
+    /// [`Report::ItemSet`] reports (`0` = cardinality unchecked); the
+    /// other shapes ignore it. **The** definition of report
+    /// well-formedness: [`Report::fold_into`] validates through this
+    /// before touching any count, and transport servers (`idldp-server`)
+    /// call it to refuse a malformed report in the connection reply, so an
+    /// acknowledged report can never fail to fold later.
     ///
     /// # Errors
     /// Width mismatch or non-0/1 slot (bit reports), out-of-domain value
-    /// (categorical/hashed), or an empty, repeating, or out-of-domain
-    /// item set.
-    pub fn validate(&self, report_len: usize, range: usize) -> Result<()> {
+    /// (categorical/hashed), or an empty, repeating, wrong-cardinality, or
+    /// out-of-domain item set.
+    pub fn validate(&self, report_len: usize, shape_param: usize) -> Result<()> {
         match *self {
             Report::Bits(bits) => {
                 if bits.len() != report_len {
@@ -135,11 +146,11 @@ impl Report<'_> {
                 }
             }
             Report::Hashed { value, .. } => {
-                if value >= range {
+                if value >= shape_param {
                     return Err(Error::IndexOutOfRange {
                         what: "hashed report value".into(),
                         index: value,
-                        bound: range,
+                        bound: shape_param,
                     });
                 }
             }
@@ -150,6 +161,16 @@ impl Report<'_> {
                 if items.is_empty() {
                     return Err(Error::Empty {
                         what: "item-set report".into(),
+                    });
+                }
+                // A pinned cardinality is exact: subset selection emits
+                // exactly k items, and any other size folds cleanly but
+                // biases the (p, (k−p)/(m−1)) calibration.
+                if shape_param > 0 && items.len() != shape_param {
+                    return Err(Error::DimensionMismatch {
+                        what: "item-set report cardinality".into(),
+                        expected: shape_param,
+                        actual: items.len(),
                     });
                 }
                 for &item in items {
@@ -189,15 +210,17 @@ impl Report<'_> {
     }
 
     /// Folds this report into per-bucket counts of width `report_len`,
-    /// using `range` as the hash range for [`Report::Hashed`] reports
-    /// (ignored by the other shapes) — **the** implementation of the fold
-    /// table in the module docs, which every server-side accumulator
-    /// delegates to. One successful call accounts for exactly one user.
+    /// with `shape_param` interpreted as in [`Report::validate`] (the hash
+    /// range for [`Report::Hashed`], the pinned cardinality for
+    /// [`Report::ItemSet`], ignored by the other shapes) — **the**
+    /// implementation of the fold table in the module docs, which every
+    /// server-side accumulator delegates to. One successful call accounts
+    /// for exactly one user.
     ///
     /// # Errors
     /// Any [`Report::validate`] failure; nothing is counted on failure.
-    pub fn fold_into(&self, counts: &mut [u64], range: usize) -> Result<()> {
-        self.validate(counts.len(), range)?;
+    pub fn fold_into(&self, counts: &mut [u64], shape_param: usize) -> Result<()> {
+        self.validate(counts.len(), shape_param)?;
         match *self {
             Report::Bits(bits) => {
                 for (c, &bit) in counts.iter_mut().zip(bits) {
@@ -207,7 +230,7 @@ impl Report<'_> {
             Report::Value(v) => counts[v] += 1,
             Report::Hashed { seed, value } => {
                 for (v, c) in counts.iter_mut().enumerate() {
-                    if hash_bucket(seed, v, range) == value {
+                    if hash_bucket(seed, v, shape_param) == value {
                         *c += 1;
                     }
                 }
@@ -260,8 +283,8 @@ impl ReportData {
     ///
     /// # Errors
     /// Same conditions as [`Report::fold_into`].
-    pub fn fold_into(&self, counts: &mut [u64], range: usize) -> Result<()> {
-        self.as_report().fold_into(counts, range)
+    pub fn fold_into(&self, counts: &mut [u64], shape_param: usize) -> Result<()> {
+        self.as_report().fold_into(counts, shape_param)
     }
 }
 
@@ -301,7 +324,28 @@ mod tests {
             ReportShape::Hashed { range: 5 }.label(),
             "hashed (seed, value in 0..5)"
         );
-        assert_eq!(ReportShape::ItemSet.label(), "item-set");
+        assert_eq!(ReportShape::ItemSet { k: 0 }.label(), "item-set");
+        assert_eq!(ReportShape::ItemSet { k: 3 }.label(), "item-set (3 items)");
+    }
+
+    #[test]
+    fn pinned_cardinality_refuses_wrong_sized_sets() {
+        let report = ReportData::ItemSet(vec![0, 2]);
+        // Unpinned (k = 0): any distinct, in-domain set validates.
+        assert!(report.as_report().validate(4, 0).is_ok());
+        // Pinned to the emitted size: accepted.
+        assert!(report.as_report().validate(4, 2).is_ok());
+        // Pinned to any other size: refused before anything is counted.
+        let mut counts = vec![0u64; 4];
+        for wrong_k in [1usize, 3] {
+            let err = report.as_report().validate(4, wrong_k).unwrap_err();
+            assert!(
+                err.to_string().contains("cardinality"),
+                "unexpected error: {err}"
+            );
+            assert!(report.fold_into(&mut counts, wrong_k).is_err());
+        }
+        assert_eq!(counts, vec![0, 0, 0, 0], "failed folds count nothing");
     }
 
     #[test]

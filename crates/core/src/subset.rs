@@ -208,7 +208,10 @@ impl Mechanism for SubsetSelection {
     }
 
     fn report_shape(&self) -> ReportShape {
-        ReportShape::ItemSet
+        // The cardinality is pinned: every report is exactly k items, and
+        // validators refuse any other size (a wrong-k set would fold
+        // cleanly but bias the (p, (k−p)/(m−1)) calibration).
+        ReportShape::ItemSet { k: self.k }
     }
 
     /// Writes the `k`-hot membership vector of the reported subset — the
@@ -393,7 +396,13 @@ mod tests {
         }
         assert_eq!(report, folded, "perturb_into ≡ fold(perturb_data)");
         assert_eq!(items.len(), ss.subset_size());
-        assert_eq!(ss.report_shape(), ReportShape::ItemSet);
+        assert_eq!(
+            ss.report_shape(),
+            ReportShape::ItemSet {
+                k: ss.subset_size()
+            },
+            "the declared shape pins the exact cardinality"
+        );
     }
 
     #[test]

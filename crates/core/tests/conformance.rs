@@ -382,8 +382,9 @@ fn perturb_data_folds_to_perturb_into() {
     // stream — for every mechanism and every shape.
     for mech in all_mechanisms() {
         let load = workload(mech.as_ref(), 200);
-        let range = match mech.report_shape() {
+        let shape_param = match mech.report_shape() {
             ReportShape::Hashed { range } => range,
+            ReportShape::ItemSet { k } => k,
             _ => 0,
         };
         for i in 0..load.len() {
@@ -396,7 +397,7 @@ fn perturb_data_folds_to_perturb_into() {
                 *c = u64::from(b);
             }
             let mut via_data = vec![0u64; mech.report_len()];
-            data.fold_into(&mut via_data, range).unwrap();
+            data.fold_into(&mut via_data, shape_param).unwrap();
             assert_eq!(
                 via_data,
                 via_into,
@@ -418,7 +419,11 @@ fn report_shapes_are_declared_consistently() {
                 "{}: {shape:?}",
                 mech.kind()
             ),
-            "ss" => assert_eq!(shape, ReportShape::ItemSet),
+            "ss" => assert!(
+                matches!(shape, ReportShape::ItemSet { k } if k >= 1),
+                "{}: {shape:?}",
+                mech.kind()
+            ),
             _ => assert_eq!(shape, ReportShape::Bits, "{}", mech.kind()),
         }
     }

@@ -31,7 +31,11 @@ use std::io::{Read, Write};
 
 /// Protocol version negotiated in [`Frame::Hello`]. Bump on any grammar
 /// change; servers reject other versions with [`Frame::Reject`].
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// Version 2 added the pinned cardinality `k` to the item-set shape in
+/// [`Frame::Hello`], so handshakes agree on the exact set size
+/// subset-selection reports must carry.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Hard ceiling on a frame's payload length (16 MiB). A length prefix
 /// above this is rejected *before* any allocation, so a corrupt or hostile
@@ -328,7 +332,10 @@ fn put_shape(out: &mut Vec<u8>, shape: ReportShape) {
             out.push(SHAPE_HASHED);
             put_u64(out, range as u64);
         }
-        ReportShape::ItemSet => out.push(SHAPE_ITEM_SET),
+        ReportShape::ItemSet { k } => {
+            out.push(SHAPE_ITEM_SET);
+            put_u64(out, k as u64);
+        }
     }
 }
 
@@ -339,7 +346,9 @@ fn read_shape(c: &mut Cursor<'_>) -> Result<ReportShape, FrameError> {
         SHAPE_HASHED => Ok(ReportShape::Hashed {
             range: c.read_len("hash range")?,
         }),
-        SHAPE_ITEM_SET => Ok(ReportShape::ItemSet),
+        SHAPE_ITEM_SET => Ok(ReportShape::ItemSet {
+            k: c.read_len("item-set cardinality")?,
+        }),
         other => Err(FrameError::Malformed(format!("unknown shape tag {other}"))),
     }
 }
@@ -647,8 +656,8 @@ impl Frame {
     pub fn encoded_payload_len(&self) -> usize {
         fn shape_len(shape: ReportShape) -> usize {
             match shape {
-                ReportShape::Hashed { .. } => 1 + 8,
-                ReportShape::Bits | ReportShape::Value | ReportShape::ItemSet => 1,
+                ReportShape::Hashed { .. } | ReportShape::ItemSet { .. } => 1 + 8,
+                ReportShape::Bits | ReportShape::Value => 1,
             }
         }
         match self {
@@ -797,6 +806,13 @@ mod tests {
             shape: ReportShape::Hashed { range: 7 },
             report_len: 64,
             ldp_eps_bits: 1.25f64.to_bits(),
+        });
+        round_trip(Frame::Hello {
+            version: PROTOCOL_VERSION,
+            kind: "ss".into(),
+            shape: ReportShape::ItemSet { k: 3 },
+            report_len: 16,
+            ldp_eps_bits: 2.0f64.to_bits(),
         });
         round_trip(Frame::HelloAck { users: 12 });
         round_trip(Frame::Reports(vec![

@@ -1,26 +1,30 @@
 //! The bounded ingest queue between connection workers and fold workers.
 //!
 //! Connection workers parse [`crate::frame::Frame::Reports`] batches and
-//! *try* to enqueue each report here; ingest workers pop reports and fold
-//! them into the sharded accumulator. The queue is the backpressure point:
-//! [`IngestQueue::try_push`] never blocks — when the queue is at capacity
-//! it refuses, and the connection worker turns that refusal into a typed
-//! `Busy` reply instead of silently dropping the report.
+//! *try* to enqueue each frame's reports here as one unit; ingest workers
+//! pop whole batches and fold them into the sharded accumulator through
+//! one batched fold per frame. The queue is the backpressure point:
+//! [`IngestQueue::try_push_batch`] never blocks — when the queue is at
+//! capacity it refuses (or accepts only a prefix), and the connection
+//! worker turns that refusal into a typed `Busy` reply instead of silently
+//! dropping a report. Capacity is counted in **reports**, not batches, so
+//! the memory bound does not depend on how clients chunk their frames.
 //!
 //! The queue also carries the *linearization* counters that make queries
 //! exact: `enqueued` counts accepted reports, and each [`IngestQueue::pop`]
-//! hands out the item's enqueue sequence number, which the worker passes
-//! back to [`IngestQueue::mark_processed`] once the fold is done.
+//! hands out a [`BatchTicket`] naming the contiguous run of enqueue
+//! sequence numbers the batch occupies, which the worker passes back to
+//! [`IngestQueue::mark_processed`] once the whole batch is folded.
 //! Completion is tracked as a **contiguous frontier**, not a global count:
-//! with several fold workers, worker B finishing items 2..N must not let a
-//! watermark wait return while worker A is still mid-fold on item 1 —
+//! with several fold workers, worker B finishing reports 2..N must not let
+//! a watermark wait return while worker A is still mid-fold on report 1 —
 //! out-of-order completions are buffered until the prefix below them is
 //! done. [`IngestQueue::wait_processed`] therefore blocks until *every*
-//! item at or below a watermark has been folded — so a `Query` observes
+//! report at or below a watermark has been folded — so a `Query` observes
 //! every report the server accepted before it, and loopback estimates can
 //! be bit-identical to a batch run.
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Condvar, Mutex};
 
 /// Why a non-blocking push was refused.
@@ -47,37 +51,78 @@ pub enum WaitOutcome {
     Closed,
 }
 
+/// The contiguous run of enqueue sequence numbers (1-based, inclusive)
+/// occupied by one popped batch. Returned by [`IngestQueue::pop`]; passed
+/// back to [`IngestQueue::mark_processed`] when the batch has been fully
+/// folded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchTicket {
+    first: u64,
+    last: u64,
+}
+
+impl BatchTicket {
+    /// First sequence number of the batch (1-based).
+    pub fn first(&self) -> u64 {
+        self.first
+    }
+
+    /// Last sequence number of the batch (inclusive).
+    pub fn last(&self) -> u64 {
+        self.last
+    }
+
+    /// Number of reports the ticket covers.
+    pub fn len(&self) -> u64 {
+        self.last - self.first + 1
+    }
+
+    /// Always `false`: only non-empty batches are queued, so a ticket
+    /// covers at least one report by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
 struct State<T> {
-    items: VecDeque<T>,
+    /// Accepted batches in FIFO order, each tagged with the sequence
+    /// number of its first item (batches occupy contiguous sequence runs
+    /// by construction).
+    batches: VecDeque<(u64, Vec<T>)>,
+    /// Total items across `batches` (the capacity denominator).
+    queued_items: usize,
+    /// Items ever accepted.
     enqueued: u64,
-    /// Sequence numbers handed out by `pop` (items leave the FIFO in
-    /// enqueue order, so the i-th pop gets sequence i, 1-based).
+    /// Items ever handed out by `pop` (batches leave the FIFO in enqueue
+    /// order, so pops cover the sequence space contiguously).
     popped: u64,
     /// The contiguous completion frontier: every item with sequence
     /// `<= processed` has been folded.
     processed: u64,
-    /// Completed sequences above the frontier (a worker finished item N
-    /// while an earlier item is still in flight on another worker).
-    done_above_frontier: BTreeSet<u64>,
+    /// Completed sequence runs above the frontier, keyed by first
+    /// sequence (a worker finished a later batch while an earlier one is
+    /// still in flight on another worker).
+    done_above_frontier: BTreeMap<u64, u64>,
     closed: bool,
     paused: bool,
 }
 
-/// A bounded multi-producer multi-consumer queue with explicit
+/// A bounded multi-producer multi-consumer batch queue with explicit
 /// backpressure, drain watermarks, and a test/operations pause switch.
 pub struct IngestQueue<T> {
     capacity: usize,
     state: Mutex<State<T>>,
-    /// Signaled when an item arrives, the pause is lifted, or the queue
+    /// Signaled when a batch arrives, the pause is lifted, or the queue
     /// closes (wakes poppers).
     not_empty: Condvar,
-    /// Signaled when an item finishes processing or the queue closes
+    /// Signaled when a batch finishes processing or the queue closes
     /// (wakes watermark waiters).
     progress: Condvar,
 }
 
 impl<T> IngestQueue<T> {
-    /// An open queue holding at most `capacity` in-flight items.
+    /// An open queue holding at most `capacity` in-flight items (reports,
+    /// summed across queued batches).
     ///
     /// # Panics
     /// Panics if `capacity == 0` (nothing could ever be accepted).
@@ -86,11 +131,12 @@ impl<T> IngestQueue<T> {
         Self {
             capacity,
             state: Mutex::new(State {
-                items: VecDeque::with_capacity(capacity.min(4096)),
+                batches: VecDeque::new(),
+                queued_items: 0,
                 enqueued: 0,
                 popped: 0,
                 processed: 0,
-                done_above_frontier: BTreeSet::new(),
+                done_above_frontier: BTreeMap::new(),
                 closed: false,
                 paused: false,
             }),
@@ -107,14 +153,14 @@ impl<T> IngestQueue<T> {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// The configured capacity.
+    /// The configured capacity (in items).
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
-    /// Items currently queued (waiting to be folded).
+    /// Items currently queued (waiting to be folded), across all batches.
     pub fn len(&self) -> usize {
-        self.lock().items.len()
+        self.lock().queued_items
     }
 
     /// `true` when nothing is queued.
@@ -122,41 +168,69 @@ impl<T> IngestQueue<T> {
         self.len() == 0
     }
 
-    /// Non-blocking push — the shedding half of the backpressure contract.
+    /// Non-blocking batch push — the shedding half of the backpressure
+    /// contract. Accepts the longest prefix of `batch` that fits under
+    /// capacity and returns its length; the caller replies `Busy` for a
+    /// partial accept and resends the tail. The accepted prefix is queued
+    /// as **one batch** (one pop, one batched fold downstream).
+    ///
+    /// An empty batch is accepted trivially (`Ok(0)`) without queueing
+    /// anything.
+    ///
+    /// # Errors
+    /// [`PushRefusal::Full`] when the queue cannot take even one item
+    /// (nothing is queued), [`PushRefusal::Closed`] after [`Self::close`].
+    pub fn try_push_batch(&self, mut batch: Vec<T>) -> Result<usize, PushRefusal> {
+        let mut s = self.lock();
+        if s.closed {
+            return Err(PushRefusal::Closed);
+        }
+        if batch.is_empty() {
+            return Ok(0);
+        }
+        let free = self.capacity - s.queued_items;
+        if free == 0 {
+            return Err(PushRefusal::Full);
+        }
+        let accepted = batch.len().min(free);
+        batch.truncate(accepted);
+        let first = s.enqueued + 1;
+        s.batches.push_back((first, batch));
+        s.queued_items += accepted;
+        s.enqueued += accepted as u64;
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(accepted)
+    }
+
+    /// Non-blocking single-item push: a one-item [`Self::try_push_batch`].
     ///
     /// # Errors
     /// [`PushRefusal::Full`] at capacity (the item is **not** queued;
     /// callers reply `Busy`), [`PushRefusal::Closed`] after [`Self::close`].
     pub fn try_push(&self, item: T) -> Result<(), PushRefusal> {
-        let mut s = self.lock();
-        if s.closed {
-            return Err(PushRefusal::Closed);
-        }
-        if s.items.len() >= self.capacity {
-            return Err(PushRefusal::Full);
-        }
-        s.items.push_back(item);
-        s.enqueued += 1;
-        drop(s);
-        self.not_empty.notify_one();
-        Ok(())
+        self.try_push_batch(vec![item]).map(|accepted| {
+            debug_assert_eq!(accepted, 1, "a one-item push is all-or-nothing");
+        })
     }
 
-    /// Blocks until an item is available (and the queue is not paused),
+    /// Blocks until a batch is available (and the queue is not paused),
     /// returning `None` once the queue is closed. Ingest workers exit on
-    /// `None`. The returned `u64` is the item's enqueue sequence number
-    /// (1-based) — pass it back to [`Self::mark_processed`] when the item
-    /// has been fully folded.
-    pub fn pop(&self) -> Option<(u64, T)> {
+    /// `None`. The returned [`BatchTicket`] names the batch's contiguous
+    /// enqueue sequence run — pass it back to [`Self::mark_processed`]
+    /// when the whole batch has been folded.
+    pub fn pop(&self) -> Option<(BatchTicket, Vec<T>)> {
         let mut s = self.lock();
         loop {
             if s.closed {
                 return None;
             }
             if !s.paused {
-                if let Some(item) = s.items.pop_front() {
-                    s.popped += 1;
-                    return Some((s.popped, item));
+                if let Some((first, batch)) = s.batches.pop_front() {
+                    let last = first + batch.len() as u64 - 1;
+                    s.queued_items -= batch.len();
+                    s.popped = last;
+                    return Some((BatchTicket { first, last }, batch));
                 }
             }
             s = self
@@ -166,29 +240,29 @@ impl<T> IngestQueue<T> {
         }
     }
 
-    /// Records that the popped item with sequence `seq` has been fully
+    /// Records that the popped batch covered by `ticket` has been fully
     /// folded. Every successful [`Self::pop`] must be paired with exactly
-    /// one call carrying the sequence it returned.
+    /// one call carrying the ticket it returned.
     ///
     /// The completion frontier only advances across the *contiguous*
-    /// prefix of finished sequences: an item that completes while an
+    /// prefix of finished sequences: a batch that completes while an
     /// earlier one is still mid-fold on another worker is buffered, so
     /// watermark waiters never observe a view missing an accepted report.
-    pub fn mark_processed(&self, seq: u64) {
+    pub fn mark_processed(&self, ticket: BatchTicket) {
         let mut s = self.lock();
-        if seq == s.processed + 1 {
-            s.processed = seq;
+        if ticket.first == s.processed + 1 {
+            s.processed = ticket.last;
             loop {
                 let next = s.processed + 1;
-                if !s.done_above_frontier.remove(&next) {
+                let Some(last) = s.done_above_frontier.remove(&next) else {
                     break;
-                }
-                s.processed = next;
+                };
+                s.processed = last;
             }
             drop(s);
             self.progress.notify_all();
         } else {
-            s.done_above_frontier.insert(seq);
+            s.done_above_frontier.insert(ticket.first, ticket.last);
         }
     }
 
@@ -202,7 +276,7 @@ impl<T> IngestQueue<T> {
     /// Blocks until every item with sequence `<= watermark` has been
     /// processed (the contiguous frontier reached the watermark), the
     /// queue closes, or a pause makes the watermark unreachable — see
-    /// [`WaitOutcome`]. While paused, items already popped can still
+    /// [`WaitOutcome`]. While paused, batches already popped can still
     /// finish (their folds are in flight), so the wait only reports
     /// [`WaitOutcome::Paused`] when the watermark lies beyond everything
     /// popped so far — otherwise a paused maintenance window would park
@@ -227,7 +301,7 @@ impl<T> IngestQueue<T> {
     }
 
     /// Pauses (`true`) or resumes (`false`) the pop side. While paused,
-    /// accepted items stay queued and the queue fills to capacity — the
+    /// accepted batches stay queued and the queue fills to capacity — the
     /// deterministic way to exercise the `Busy` path in tests, and an
     /// operational throttle for draining maintenance windows.
     pub fn set_paused(&self, paused: bool) {
@@ -257,6 +331,10 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
+    fn ticket(first: u64, last: u64) -> BatchTicket {
+        BatchTicket { first, last }
+    }
+
     #[test]
     fn bounded_push_pop() {
         let q = IngestQueue::new(2);
@@ -265,11 +343,53 @@ mod tests {
         q.try_push(2).unwrap();
         assert_eq!(q.try_push(3), Err(PushRefusal::Full));
         assert_eq!(q.len(), 2);
-        assert_eq!(q.pop(), Some((1, 1)));
+        assert_eq!(q.pop(), Some((ticket(1, 1), vec![1])));
         q.try_push(3).unwrap();
-        assert_eq!(q.pop(), Some((2, 2)));
-        assert_eq!(q.pop(), Some((3, 3)));
+        assert_eq!(q.pop(), Some((ticket(2, 2), vec![2])));
+        assert_eq!(q.pop(), Some((ticket(3, 3), vec![3])));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn batches_pop_whole_with_contiguous_tickets() {
+        let q = IngestQueue::new(10);
+        assert_eq!(q.try_push_batch(vec![1, 2, 3]), Ok(3));
+        assert_eq!(
+            q.try_push_batch(Vec::<i32>::new()),
+            Ok(0),
+            "empty is a no-op"
+        );
+        assert_eq!(q.try_push_batch(vec![4, 5]), Ok(2));
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.watermark(), 5);
+        let (t1, b1) = q.pop().unwrap();
+        assert_eq!((t1, b1), (ticket(1, 3), vec![1, 2, 3]));
+        assert_eq!(t1.len(), 3);
+        let (t2, b2) = q.pop().unwrap();
+        assert_eq!((t2, b2), (ticket(4, 5), vec![4, 5]));
+        q.mark_processed(t1);
+        q.mark_processed(t2);
+        assert_eq!(q.wait_processed(5), WaitOutcome::Reached);
+    }
+
+    #[test]
+    fn capacity_counts_items_and_accepts_prefixes() {
+        // Capacity is in reports, not batches: a 5-slot queue takes a
+        // 3-batch, then only 2 of the next 4 — and refuses outright once
+        // full, so the `Busy{accepted}` strict-prefix contract holds.
+        let q = IngestQueue::new(5);
+        assert_eq!(q.try_push_batch(vec![0, 1, 2]), Ok(3));
+        assert_eq!(q.try_push_batch(vec![3, 4, 5, 6]), Ok(2));
+        assert_eq!(q.try_push_batch(vec![7]), Err(PushRefusal::Full));
+        assert_eq!(q.len(), 5);
+        // The partial accept queued exactly the prefix.
+        let (t1, _) = q.pop().unwrap();
+        let (t2, b2) = q.pop().unwrap();
+        assert_eq!(b2, vec![3, 4]);
+        assert_eq!(t2, ticket(4, 5));
+        q.mark_processed(t1);
+        q.mark_processed(t2);
+        assert_eq!(q.wait_processed(q.watermark()), WaitOutcome::Reached);
     }
 
     #[test]
@@ -281,6 +401,7 @@ mod tests {
         q.close();
         assert_eq!(popper.join().unwrap(), None);
         assert_eq!(q.try_push(1), Err(PushRefusal::Closed));
+        assert_eq!(q.try_push_batch(vec![1, 2]), Err(PushRefusal::Closed));
     }
 
     #[test]
@@ -293,8 +414,8 @@ mod tests {
         assert_eq!(watermark, 5);
         let q2 = Arc::clone(&q);
         let worker = std::thread::spawn(move || {
-            while let Some((seq, _item)) = q2.pop() {
-                q2.mark_processed(seq);
+            while let Some((ticket, _batch)) = q2.pop() {
+                q2.mark_processed(ticket);
                 if q2.is_empty() {
                     break;
                 }
@@ -328,9 +449,9 @@ mod tests {
         let q2 = Arc::clone(&q);
         let popper = std::thread::spawn(move || {
             let mut got = Vec::new();
-            while let Some((seq, item)) = q2.pop() {
-                q2.mark_processed(seq);
-                got.push(item);
+            while let Some((ticket, batch)) = q2.pop() {
+                q2.mark_processed(ticket);
+                got.extend(batch);
                 if got.len() == 3 {
                     break;
                 }
@@ -348,7 +469,7 @@ mod tests {
     }
 
     /// The reviewer-found race: with two workers, worker B finishing later
-    /// items must not satisfy a watermark wait while worker A is still
+    /// batches must not satisfy a watermark wait while worker A is still
     /// mid-fold on an earlier one — the snapshot would miss an accepted
     /// (acked) report. The frontier only advances over the contiguous
     /// prefix of completed sequences.
@@ -357,17 +478,17 @@ mod tests {
         use std::sync::atomic::{AtomicBool, Ordering};
 
         let q = Arc::new(IngestQueue::new(8));
-        for i in 0..3 {
-            q.try_push(i).unwrap();
-        }
+        q.try_push_batch(vec![0]).unwrap();
+        q.try_push_batch(vec![1, 2]).unwrap();
+        q.try_push_batch(vec![3]).unwrap();
         let watermark = q.watermark();
-        let (s1, _) = q.pop().unwrap();
-        let (s2, _) = q.pop().unwrap();
-        let (s3, _) = q.pop().unwrap();
-        assert_eq!((s1, s2, s3), (1, 2, 3));
-        // Items 2 and 3 finish while item 1 is still "mid-fold".
-        q.mark_processed(s3);
-        q.mark_processed(s2);
+        let (t1, _) = q.pop().unwrap();
+        let (t2, _) = q.pop().unwrap();
+        let (t3, _) = q.pop().unwrap();
+        assert_eq!((t1, t2, t3), (ticket(1, 1), ticket(2, 3), ticket(4, 4)));
+        // Batches 2 and 3 finish while batch 1 is still "mid-fold".
+        q.mark_processed(t3);
+        q.mark_processed(t2);
         let satisfied = Arc::new(AtomicBool::new(false));
         let waiter = {
             let q = Arc::clone(&q);
@@ -381,22 +502,22 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(30));
         assert!(
             !satisfied.load(Ordering::SeqCst),
-            "watermark wait returned while item 1 was still in flight"
+            "watermark wait returned while batch 1 was still in flight"
         );
-        q.mark_processed(s1);
+        q.mark_processed(t1);
         assert_eq!(waiter.join().unwrap(), WaitOutcome::Reached);
     }
 
     /// While paused, a watermark needing still-queued items is a typed
     /// `Paused` outcome (a querying worker must not park until resume),
-    /// but in-flight items — already popped — can still satisfy a lower
+    /// but in-flight batches — already popped — can still satisfy a lower
     /// watermark.
     #[test]
     fn paused_watermark_is_refused_not_blocked() {
         let q = Arc::new(IngestQueue::new(8));
         q.try_push(10).unwrap();
         q.try_push(11).unwrap();
-        let (s1, _) = q.pop().unwrap(); // in flight
+        let (t1, _) = q.pop().unwrap(); // in flight
         q.set_paused(true);
         // Item 2 is still queued and cannot be popped while paused.
         assert_eq!(q.wait_processed(2), WaitOutcome::Paused);
@@ -406,12 +527,12 @@ mod tests {
             std::thread::spawn(move || q.wait_processed(1))
         };
         std::thread::sleep(std::time::Duration::from_millis(10));
-        q.mark_processed(s1);
+        q.mark_processed(t1);
         assert_eq!(waiter.join().unwrap(), WaitOutcome::Reached);
         // Resume makes watermark 2 reachable again.
         q.set_paused(false);
-        let (s2, _) = q.pop().unwrap();
-        q.mark_processed(s2);
+        let (t2, _) = q.pop().unwrap();
+        q.mark_processed(t2);
         assert_eq!(q.wait_processed(2), WaitOutcome::Reached);
     }
 

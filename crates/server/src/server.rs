@@ -25,6 +25,7 @@
 use crate::frame::{Frame, FrameError, PROTOCOL_VERSION};
 use crate::queue::{IngestQueue, PushRefusal, WaitOutcome};
 use idldp_core::mechanism::Mechanism;
+use idldp_core::report::Report;
 use idldp_core::report::{ReportData, ReportShape};
 use idldp_core::snapshot::AccumulatorSnapshot;
 use idldp_num::vecops::top_k_indices;
@@ -440,17 +441,26 @@ impl ReportServer {
     }
 }
 
-/// Drains the ingest queue into the sharded accumulator. The sequence
-/// number from `pop` is handed back to `mark_processed` so the queue's
-/// completion frontier stays contiguous across workers — a query watermark
-/// is only satisfied once every report below it is actually folded, not
-/// merely an equal *count* of later ones.
+/// Drains the ingest queue into the sharded accumulator, one whole batch
+/// (one `Reports` frame) per pop: a frame costs one lock acquisition and
+/// one batched fold ([`ShardedAccumulator::push_batch`]) instead of
+/// per-report round trips. The [`crate::queue::BatchTicket`] from `pop`
+/// is handed back to `mark_processed` so the queue's completion frontier
+/// stays contiguous across workers — a query watermark is only satisfied
+/// once every report below it is actually folded, not merely an equal
+/// *count* of later ones.
 fn ingest_worker(shared: &Shared) {
-    while let Some((seq, report)) = shared.queue.pop() {
-        if shared.sink.push(report.as_report()).is_err() {
-            shared.fold_failures.fetch_add(1, Ordering::SeqCst);
+    while let Some((ticket, batch)) = shared.queue.pop() {
+        let reports: Vec<Report<'_>> = batch.iter().map(ReportData::as_report).collect();
+        if shared.sink.push_batch(&reports).is_err() {
+            // Cannot happen for reports the connection workers validated
+            // (the batched fold validates by the same core definition);
+            // counted defensively, batch-atomically.
+            shared
+                .fold_failures
+                .fetch_add(batch.len() as u64, Ordering::SeqCst);
         }
-        shared.queue.mark_processed(seq);
+        shared.queue.mark_processed(ticket);
     }
 }
 
@@ -472,7 +482,7 @@ fn validate_report(
         (ReportData::Bits(_), ReportShape::Bits)
             | (ReportData::Value(_), ReportShape::Value)
             | (ReportData::Hashed { .. }, ReportShape::Hashed { .. })
-            | (ReportData::ItemSet(_), ReportShape::ItemSet)
+            | (ReportData::ItemSet(_), ReportShape::ItemSet { .. })
     );
     if !matches_shape {
         let got = match report {
@@ -486,13 +496,14 @@ fn validate_report(
             shape.label()
         ));
     }
-    let range = match shape {
+    let shape_param = match shape {
         ReportShape::Hashed { range } => range,
+        ReportShape::ItemSet { k } => k,
         _ => 0,
     };
     report
         .as_report()
-        .validate(report_len, range)
+        .validate(report_len, shape_param)
         .map_err(|e| e.to_string())
 }
 
@@ -653,29 +664,38 @@ fn serve_frames(
         };
         let reply = match frame {
             Frame::Reports(reports) => {
-                let mut accepted = 0u64;
-                let mut outcome = None;
-                for report in reports {
-                    if let Err(message) = validate_report(&report, shape, report_len) {
-                        outcome = Some(Frame::Reject { accepted, message });
-                        break;
+                // The whole frame validates before anything is queued: a
+                // hostile frame mixing valid and invalid reports is
+                // rejected atomically — no partial fold, nothing to
+                // un-count. (Backpressure is the one partial outcome:
+                // `Busy{accepted}` names the queued prefix, which the
+                // client re-sends from.)
+                let invalid = reports.iter().enumerate().find_map(|(idx, report)| {
+                    validate_report(report, shape, report_len)
+                        .err()
+                        .map(|e| format!("report {idx}: {e}"))
+                });
+                if let Some(message) = invalid {
+                    Frame::Reject {
+                        accepted: 0,
+                        message,
                     }
-                    match shared.queue.try_push(report) {
-                        Ok(()) => accepted += 1,
-                        Err(PushRefusal::Full) => {
-                            outcome = Some(Frame::Busy { accepted });
-                            break;
-                        }
-                        Err(PushRefusal::Closed) => {
-                            outcome = Some(Frame::Reject {
-                                accepted,
-                                message: "server is shutting down".into(),
-                            });
-                            break;
-                        }
+                } else {
+                    let batch_len = reports.len();
+                    match shared.queue.try_push_batch(reports) {
+                        Ok(accepted) if accepted == batch_len => Frame::Ingested {
+                            accepted: accepted as u64,
+                        },
+                        Ok(accepted) => Frame::Busy {
+                            accepted: accepted as u64,
+                        },
+                        Err(PushRefusal::Full) => Frame::Busy { accepted: 0 },
+                        Err(PushRefusal::Closed) => Frame::Reject {
+                            accepted: 0,
+                            message: "server is shutting down".into(),
+                        },
                     }
                 }
-                outcome.unwrap_or(Frame::Ingested { accepted })
             }
             Frame::Query => match shared.settled_estimates() {
                 Ok((users, estimates)) => Frame::Estimates { users, estimates },

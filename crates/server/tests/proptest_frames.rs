@@ -70,7 +70,9 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                             ReportData::Hashed { value, .. } => {
                                 idldp_core::report::ReportShape::Hashed { range: value + 1 }
                             }
-                            ReportData::ItemSet(_) => idldp_core::report::ReportShape::ItemSet,
+                            ReportData::ItemSet(items) => {
+                                idldp_core::report::ReportShape::ItemSet { k: items.len() }
+                            }
                         })
                         .unwrap_or(idldp_core::report::ReportShape::Bits),
                     report_len: number,

@@ -332,9 +332,10 @@ fn invalid_reports_are_rejected_without_corrupting_counts() {
     .unwrap();
     let (mut client, _) = ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
 
-    // Two valid reports, then an out-of-domain value, then one more valid:
-    // the server queues the prefix, rejects at the bad report, and the
-    // reply says how many made it.
+    // A hostile frame mixing valid and invalid reports is rejected
+    // *atomically*: the whole frame validates before anything is queued,
+    // so nothing folds — not even the valid prefix — and the reply names
+    // the offending report.
     let batch = vec![
         ReportData::Value(1),
         ReportData::Value(2),
@@ -343,7 +344,8 @@ fn invalid_reports_are_rejected_without_corrupting_counts() {
     ];
     match client.push_all(&batch) {
         Err(ClientError::Rejected { accepted, message }) => {
-            assert_eq!(accepted, 2);
+            assert_eq!(accepted, 0, "mixed frames reject atomically");
+            assert!(message.contains("report 2"), "{message}");
             assert!(message.contains("out of range"), "{message}");
         }
         other => panic!("invalid report must be rejected, got {other:?}"),
@@ -354,11 +356,62 @@ fn invalid_reports_are_rejected_without_corrupting_counts() {
         Err(ClientError::Rejected { .. })
     ));
 
-    // The connection survives rejection, and only the accepted prefix counts.
+    // The connection survives rejection, and only valid frames count.
     client.push_all(&[ReportData::Value(3)]).unwrap();
     let (users, estimates) = client.query_estimates().unwrap();
-    assert_eq!(users, 3, "2 accepted + 1 pushed after the rejections");
+    assert_eq!(users, 1, "only the clean frame after the rejections folds");
     assert_eq!(estimates.len(), 8);
+    assert_eq!(server.fold_failures(), 0);
+    server.shutdown();
+}
+
+/// One multi-report `Reports` frame draws exactly one `Ingested` reply
+/// covering the whole batch (the frame is the unit of ingestion — one
+/// queue slot run, one lock, one batched fold), and the handshake's pinned
+/// item-set cardinality is enforced per report: a wrong-sized
+/// subset-selection set rejects the frame atomically.
+#[test]
+fn one_frame_one_ack_and_pinned_item_set_cardinality() {
+    // A 100-report frame is one push, one Ingested.
+    let mechanism: Arc<dyn BatchMechanism> =
+        Arc::new(GeneralizedRandomizedResponse::new(eps(1.2), 8).unwrap());
+    let server = ReportServer::start(
+        mechanism.clone() as Arc<dyn Mechanism>,
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let (mut client, _) = ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
+    let batch: Vec<ReportData> = (0..100).map(|i| ReportData::Value(i % 8)).collect();
+    assert_eq!(client.push(&batch).unwrap(), PushOutcome::Ingested);
+    let (users, _) = client.query_estimates().unwrap();
+    assert_eq!(users, 100, "the whole frame folded behind the single ack");
+    assert_eq!(server.fold_failures(), 0);
+    server.shutdown();
+
+    // Subset selection pins k in the handshake shape; a set of any other
+    // size is refused and poisons its whole frame.
+    let ss = SubsetSelection::new(eps(1.0), 20).unwrap();
+    let k = ss.subset_size();
+    assert!((1..20).contains(&k));
+    let mechanism: Arc<dyn BatchMechanism> = Arc::new(ss);
+    let server = ReportServer::start(
+        mechanism.clone() as Arc<dyn Mechanism>,
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let (mut client, _) = ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
+    let valid = ReportData::ItemSet((0..k).collect());
+    client.push_all(std::slice::from_ref(&valid)).unwrap();
+    let wrong_size = ReportData::ItemSet((0..k + 1).collect());
+    match client.push_all(&[valid, wrong_size]) {
+        Err(ClientError::Rejected { accepted, message }) => {
+            assert_eq!(accepted, 0, "the valid lead report must not fold");
+            assert!(message.contains("cardinality"), "{message}");
+        }
+        other => panic!("wrong-sized set must be rejected, got {other:?}"),
+    }
+    let (users, _) = client.query_estimates().unwrap();
+    assert_eq!(users, 1, "only the clean frame counts");
     assert_eq!(server.fold_failures(), 0);
     server.shutdown();
 }

@@ -281,6 +281,55 @@ proptest! {
         prop_assert_eq!(got.counts().iter().sum::<u64>(), (n * k) as u64);
     }
 
+    /// Batched-fold law: `accumulate_batch` over **any** split of the
+    /// stream is bit-identical to sequential `accumulate` — for every
+    /// mechanism's native wire shape through the shape-dispatching
+    /// accumulator, and again through the sharded `push_batch` fan-out
+    /// (whole batches landing on round-robin shards, merged on demand).
+    /// This is the contract the transport server's one-frame-one-fold
+    /// ingest path rests on.
+    #[test]
+    fn batched_fold_equals_sequential_for_any_split(
+        kind in 0usize..NUM_KINDS,
+        n in 50usize..700,
+        m in 4usize..14,
+        shards in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mech = mechanism(kind, m);
+        let inputs = inputs_for(mech.as_ref(), n);
+        let reports = materialize(mech.as_ref(), inputs.batch(), seed);
+        let views: Vec<_> = reports.iter().map(|r| r.as_report()).collect();
+
+        let proto = ShapedAccumulator::for_mechanism(mech.as_ref());
+        let want = sequential(proto.clone(), &reports);
+
+        // One accumulator, the stream cut at pseudo-random split points.
+        let mut rng = SplitMix64::new(seed ^ 0xF01D);
+        let mut batched = proto.clone();
+        let mut start = 0usize;
+        while start < views.len() {
+            let end = (start + 1 + (rng.next() % 97) as usize).min(views.len());
+            batched.accumulate_batch(&views[start..end]).unwrap();
+            start = end;
+        }
+        prop_assert_eq!(batched.snapshot(), want.clone());
+        prop_assert_eq!(batched.num_users(), n as u64);
+
+        // The sharded batch fan-out: a different split, whole batches
+        // placed round-robin, counts identical after the shard merge.
+        let sink = ShardedAccumulator::new(proto, shards);
+        let mut start = 0usize;
+        while start < views.len() {
+            let end = (start + 1 + (rng.next() % 61) as usize).min(views.len());
+            sink.push_batch(&views[start..end]).unwrap();
+            start = end;
+        }
+        prop_assert_eq!(sink.snapshot(), want.clone());
+        // ...and the consuming merge lands on the same state too.
+        prop_assert_eq!(sink.into_merged().snapshot(), want);
+    }
+
     /// Round-robin fan-out equals explicit partitioning equals sequential —
     /// native shapes through the shape-dispatching accumulator.
     #[test]
