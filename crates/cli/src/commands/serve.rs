@@ -19,13 +19,22 @@
 //! With `--checkpoint FILE` the server restores the file at startup (the
 //! restart path) and rewrites it atomically whenever a client sends the
 //! checkpoint control frame.
+//!
+//! `--engine {blocking,reactor}` picks the connection engine: `blocking`
+//! (the default) spawns a worker thread per live connection behind a
+//! rendezvous acceptor; `reactor` multiplexes every connection onto
+//! `--workers` readiness event loops, so thousands of mostly-idle clients
+//! cost registrations instead of threads. The wire protocol and every
+//! reply byte are identical under both. `--idle-timeout-ms N` reaps a
+//! connection that completes no frame for `N` ms (`0` disables reaping).
 
 use crate::args::CliArgs;
 use idldp_core::mechanism::Mechanism;
-use idldp_server::{ReportServer, ServerConfig};
+use idldp_server::{ConnectionEngine, ReportServer, ServerConfig};
 use idldp_sim::{BuildContext, MechanismRegistry};
 use std::io::Write;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Runs the subcommand. Blocks until the process is killed.
 pub fn run(args: &CliArgs) -> Result<(), String> {
@@ -39,6 +48,13 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
     let queue_capacity: usize = args.parse_or("queue-capacity", 65_536)?;
     let ingest_workers: usize = args.parse_or("ingest-workers", 2)?;
     let workers: usize = args.parse_or("workers", 4)?;
+    let engine = match args.get("engine") {
+        None => ConnectionEngine::default(),
+        Some(v) => v
+            .parse::<ConnectionEngine>()
+            .map_err(|e| format!("flag --engine: {e}"))?,
+    };
+    let idle_timeout_ms: u64 = args.parse_or("idle-timeout-ms", 60_000)?;
     let checkpoint = args.get("checkpoint");
     if shards == 0 || queue_capacity == 0 || ingest_workers == 0 || workers == 0 {
         return Err(
@@ -64,6 +80,9 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
         queue_capacity,
         ingest_workers,
         connection_workers: workers,
+        engine,
+        // `0` disables reaping; anything else is the per-frame deadline.
+        idle_timeout: (idle_timeout_ms > 0).then(|| Duration::from_millis(idle_timeout_ms)),
         checkpoint_path: checkpoint.map(std::path::PathBuf::from),
         // Everything that went into *building* the mechanism, so a restart
         // under different flags refuses the old checkpoint.
@@ -75,7 +94,8 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
 
     println!(
         "serve: mechanism = {mechanism_name} ({} reports, width {}), m = {m}, eps = {eps}, \
-         shards = {shards}, queue = {queue_capacity}, workers = {workers}+{ingest_workers}",
+         shards = {shards}, queue = {queue_capacity}, workers = {workers}+{ingest_workers}, \
+         engine = {engine}",
         mechanism.report_shape().label(),
         mechanism.report_len()
     );

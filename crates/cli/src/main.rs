@@ -87,11 +87,14 @@ USAGE:
   idldp serve    --mechanism NAME --m M --eps E [--port P] [--host H]
                  [--seed S] [--shards S] [--queue-capacity Q]
                  [--workers W] [--ingest-workers I] [--checkpoint FILE]
+                 [--engine blocking|reactor] [--idle-timeout-ms N]
       run the networked ingestion service: accept framed compact-wire
       report batches over TCP with bounded-queue backpressure (Busy
       replies), serve estimate/top-k queries from live snapshots, and
       persist atomic checkpoints on demand; --port 0 picks an
-      ephemeral port and prints it
+      ephemeral port and prints it; --engine reactor multiplexes all
+      connections onto --workers event loops instead of a thread per
+      connection; --idle-timeout-ms reaps silent peers (0 disables)
 
   idldp push     --addr HOST:PORT --mechanism NAME --n N --m M --eps E
                  [--dataset powerlaw|uniform] [--chunk C] [--seed S]

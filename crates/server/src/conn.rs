@@ -1,0 +1,303 @@
+//! Engine-independent connection protocol logic.
+//!
+//! Both connection engines — the thread-per-connection blocking engine and
+//! the readiness reactor (`reactor.rs`) — drive the *same* per-connection
+//! protocol: Hello handshake, then a frame loop where `Reports` meet the
+//! bounded queue's typed `Busy` backpressure and queries linearize on the
+//! accept watermark. This module is that protocol, factored free of any
+//! transport: every function here maps a decoded [`Frame`] (plus the
+//! shared server state) to a [`FrameAction`], and never touches a socket.
+//! The engines differ only in *how* they read bytes, flush replies, and
+//! wait out a query's watermark — which is exactly why the loopback
+//! conformance suite can demand bit-identical behaviour from both.
+//!
+//! The query path is split in two on purpose: [`apply_frame`] captures the
+//! accept watermark *at frame-processing time* (the linearization point)
+//! and returns [`FrameAction::Settle`]; [`settle_reply`] then builds the
+//! reply once the fold frontier's verdict ([`WaitOutcome`]) is in. The
+//! blocking engine reaches the verdict by parking in
+//! [`IngestQueue::wait_processed`]; the reactor polls
+//! [`IngestQueue::poll_processed`] between events — same watermark, same
+//! verdict mapping, so the reply bytes cannot depend on the engine.
+//!
+//! [`IngestQueue::wait_processed`]: crate::queue::IngestQueue::wait_processed
+//! [`IngestQueue::poll_processed`]: crate::queue::IngestQueue::poll_processed
+
+use crate::frame::{Frame, PROTOCOL_VERSION};
+use crate::queue::{PushRefusal, WaitOutcome};
+use crate::server::Shared;
+use idldp_core::report::{ReportData, ReportShape};
+use idldp_num::vecops::top_k_indices;
+
+/// The reply [`settle_reply`] gives while ingest is paused and the query's
+/// watermark needs still-queued reports (blocking would park the
+/// connection until resume).
+pub(crate) const PAUSED_MSG: &str =
+    "ingest is paused; accepted reports are not yet folded — retry after resume";
+
+/// What a negotiated connection should do with one decoded frame.
+pub(crate) enum FrameAction {
+    /// Send this reply and keep serving.
+    Reply(Frame),
+    /// The frame is a query: its watermark is captured; produce the reply
+    /// via [`settle_reply`] once the fold frontier reaches it.
+    Settle(PendingQuery),
+}
+
+/// A query waiting for the fold frontier: which reply to build, pinned to
+/// the accept watermark captured when the query frame was processed.
+pub(crate) struct PendingQuery {
+    /// Which reply to build once settled.
+    pub(crate) kind: QueryKind,
+    /// The accept watermark at the query's linearization point.
+    pub(crate) watermark: u64,
+}
+
+/// The reply family of a pending query.
+pub(crate) enum QueryKind {
+    /// `Query` → `Estimates`.
+    Estimates,
+    /// `TopKQuery { k }` → `Candidates`.
+    TopK(u64),
+    /// `Checkpoint` → `CheckpointAck` (the path is known to be configured;
+    /// [`apply_frame`] rejects the frame outright otherwise).
+    Checkpoint,
+}
+
+fn reject(message: impl Into<String>) -> Frame {
+    Frame::Reject {
+        accepted: 0,
+        message: message.into(),
+    }
+}
+
+/// Handles the first frame of a connection. `Ok` is the `HelloAck` to
+/// send before entering the frame loop; `Err` is the `Reject` to send
+/// before closing (version/config mismatch, or not a Hello at all).
+pub(crate) fn apply_hello(shared: &Shared, frame: Frame) -> Result<Frame, Frame> {
+    let Frame::Hello {
+        version,
+        kind,
+        shape,
+        report_len,
+        ldp_eps_bits,
+    } = frame
+    else {
+        return Err(reject("expected Hello as the first frame"));
+    };
+    let mech = shared.mechanism.as_ref();
+    if version != PROTOCOL_VERSION {
+        return Err(reject(format!(
+            "protocol version {version} unsupported (server speaks {PROTOCOL_VERSION})"
+        )));
+    }
+    if kind != mech.kind()
+        || shape != mech.report_shape()
+        || report_len != mech.report_len() as u64
+        // ε compared as exact bits, like the checkpoint stamp: same-kind
+        // reports perturbed under a different budget would fold cleanly
+        // but calibrate wrongly.
+        || ldp_eps_bits != mech.ldp_epsilon().to_bits()
+    {
+        return Err(reject(format!(
+            "mechanism config mismatch: server runs kind={} shape={} report_len={} \
+             ldp_eps={}, client sent kind={kind} shape={} report_len={report_len} \
+             ldp_eps={}",
+            mech.kind(),
+            mech.report_shape().label(),
+            mech.report_len(),
+            mech.ldp_epsilon(),
+            shape.label(),
+            f64::from_bits(ldp_eps_bits)
+        )));
+    }
+    Ok(Frame::HelloAck {
+        users: shared.sink.num_users(),
+    })
+}
+
+/// Validates one decoded report against the negotiated mechanism config —
+/// the *synchronous* half of ingestion, so every malformed report is
+/// refused in the connection reply and accepted reports can never fail to
+/// fold. The shape must be the connection's negotiated wire shape; the
+/// content rules are the core [`idldp_core::report::Report::validate`],
+/// the same definition `fold_into` enforces — which is what makes the
+/// accepted ⇒ foldable invariant definitional rather than two hand-synced
+/// rule sets.
+fn validate_report(
+    report: &ReportData,
+    shape: ReportShape,
+    report_len: usize,
+) -> Result<(), String> {
+    let matches_shape = matches!(
+        (report, shape),
+        (ReportData::Bits(_), ReportShape::Bits)
+            | (ReportData::Value(_), ReportShape::Value)
+            | (ReportData::Hashed { .. }, ReportShape::Hashed { .. })
+            | (ReportData::ItemSet(_), ReportShape::ItemSet { .. })
+    );
+    if !matches_shape {
+        let got = match report {
+            ReportData::Bits(_) => "bit-vector",
+            ReportData::Value(_) => "categorical value",
+            ReportData::Hashed { .. } => "hashed (seed, value)",
+            ReportData::ItemSet(_) => "item-set",
+        };
+        return Err(format!(
+            "report shape mismatch: connection negotiated {}, got a {got} report",
+            shape.label()
+        ));
+    }
+    let shape_param = match shape {
+        ReportShape::Hashed { range } => range,
+        ReportShape::ItemSet { k } => k,
+        _ => 0,
+    };
+    report
+        .as_report()
+        .validate(report_len, shape_param)
+        .map_err(|e| e.to_string())
+}
+
+/// Handles one frame of a negotiated connection. Pure protocol: `Reports`
+/// validate whole-frame-atomically and meet the queue's typed
+/// backpressure; queries capture their watermark and become
+/// [`FrameAction::Settle`]; everything else draws a typed reply.
+pub(crate) fn apply_frame(shared: &Shared, frame: Frame) -> FrameAction {
+    let shape = shared.mechanism.report_shape();
+    let report_len = shared.mechanism.report_len();
+    let reply = match frame {
+        Frame::Reports(reports) => {
+            // The whole frame validates before anything is queued: a
+            // hostile frame mixing valid and invalid reports is rejected
+            // atomically — no partial fold, nothing to un-count.
+            // (Backpressure is the one partial outcome: `Busy{accepted}`
+            // names the queued prefix, which the client re-sends from.)
+            let invalid = reports.iter().enumerate().find_map(|(idx, report)| {
+                validate_report(report, shape, report_len)
+                    .err()
+                    .map(|e| format!("report {idx}: {e}"))
+            });
+            if let Some(message) = invalid {
+                reject(message)
+            } else {
+                let batch_len = reports.len();
+                match shared.queue.try_push_batch(reports) {
+                    Ok(accepted) if accepted == batch_len => Frame::Ingested {
+                        accepted: accepted as u64,
+                    },
+                    Ok(accepted) => Frame::Busy {
+                        accepted: accepted as u64,
+                    },
+                    Err(PushRefusal::Full) => Frame::Busy { accepted: 0 },
+                    Err(PushRefusal::Closed) => reject("server is shutting down"),
+                }
+            }
+        }
+        Frame::Query => {
+            return FrameAction::Settle(PendingQuery {
+                kind: QueryKind::Estimates,
+                watermark: shared.queue.watermark(),
+            })
+        }
+        Frame::TopKQuery { k } => {
+            return FrameAction::Settle(PendingQuery {
+                kind: QueryKind::TopK(k),
+                watermark: shared.queue.watermark(),
+            })
+        }
+        Frame::Checkpoint => {
+            if shared.checkpoint_path.is_none() {
+                reject("server has no checkpoint path configured")
+            } else {
+                return FrameAction::Settle(PendingQuery {
+                    kind: QueryKind::Checkpoint,
+                    watermark: shared.queue.watermark(),
+                });
+            }
+        }
+        Frame::Hello { .. } => reject("connection is already negotiated"),
+        other => reject(format!("unexpected frame on the server side: {other:?}")),
+    };
+    FrameAction::Reply(reply)
+}
+
+/// Estimates over the current merged view (empty while no users). Called
+/// only after the fold frontier reached the query's watermark.
+fn estimates_now(shared: &Shared) -> Result<(u64, Vec<f64>), String> {
+    let snapshot = shared.sink.snapshot();
+    let users = snapshot.num_users();
+    if users == 0 {
+        return Ok((0, Vec::new()));
+    }
+    shared
+        .mechanism
+        .frequency_oracle(users)
+        .estimate_from(&snapshot)
+        .map(|estimates| (users, estimates))
+        .map_err(|e| e.to_string())
+}
+
+/// Builds the reply of a settled query from the watermark wait's verdict.
+/// `None` means the server closed mid-wait — hang up without a reply,
+/// exactly like the blocking engine's mid-query shutdown. A paused queue
+/// draws the typed [`PAUSED_MSG`] refusal; a reached watermark computes
+/// the reply over the now-complete merged view.
+pub(crate) fn settle_reply(
+    shared: &Shared,
+    pending: &PendingQuery,
+    outcome: WaitOutcome,
+) -> Option<Frame> {
+    match outcome {
+        WaitOutcome::Closed => return None,
+        WaitOutcome::Paused => return Some(reject(PAUSED_MSG)),
+        WaitOutcome::Reached => {}
+    }
+    let reply = match &pending.kind {
+        QueryKind::Estimates => match estimates_now(shared) {
+            Ok((users, estimates)) => Frame::Estimates { users, estimates },
+            Err(message) => reject(message),
+        },
+        QueryKind::TopK(k) => match estimates_now(shared) {
+            Ok((users, estimates)) => {
+                let items = top_k_indices(&estimates, *k as usize)
+                    .into_iter()
+                    .map(|i| (i as u64, estimates[i]))
+                    .collect();
+                Frame::Candidates { users, items }
+            }
+            Err(message) => reject(message),
+        },
+        QueryKind::Checkpoint => match &shared.checkpoint_path {
+            Some(path) => {
+                let snapshot = shared.sink.snapshot();
+                let trailer = format!("{}\n", shared.run_line());
+                match snapshot.write_checkpoint(path, &trailer) {
+                    Ok(()) => Frame::CheckpointAck {
+                        users: snapshot.num_users(),
+                    },
+                    Err(e) => reject(format!("checkpoint write: {e}")),
+                }
+            }
+            // Unreachable: `apply_frame` rejects Checkpoint before
+            // settling when no path is configured.
+            None => reject("server has no checkpoint path configured"),
+        },
+    };
+    Some(reply)
+}
+
+/// Encodes a reply for the wire, substituting the typed over-cap refusal
+/// for a frame the peer would reject as `Oversized` (an estimate vector
+/// for a multi-million-item domain) — a refusal instead of a dead
+/// connection, identically in both engines.
+pub(crate) fn encode_reply(frame: &Frame) -> Vec<u8> {
+    if !frame.fits_one_frame() {
+        let refusal = reject(format!(
+            "reply exceeds the {} MiB frame cap (domain too large for one frame)",
+            crate::frame::MAX_PAYLOAD_LEN >> 20
+        ));
+        return refusal.encode();
+    }
+    frame.encode()
+}

@@ -780,6 +780,172 @@ impl Frame {
     }
 }
 
+/// What the [`FrameAssembler`] is in the middle of.
+enum AssemblerState {
+    /// Collecting the 5-byte `tag + payload_len` header.
+    Header { buf: [u8; 5], len: usize },
+    /// Header complete; collecting `need` payload bytes.
+    Payload {
+        tag: u8,
+        need: usize,
+        payload: Vec<u8>,
+    },
+}
+
+/// Push-based incremental frame decoder: feed it whatever bytes the
+/// socket produced — any fragmentation, down to one byte at a time — and
+/// it yields exactly the frames [`Frame::decode`] would yield on the
+/// concatenation. This is the non-blocking twin of [`Frame::read_from`]:
+/// the readiness engine cannot block for the rest of a frame, so the
+/// decoder keeps its place between reads instead.
+///
+/// The stream reader's safety properties carry over unchanged:
+/// an oversized length prefix fails at header completion *before* any
+/// payload allocation, and the payload buffer grows only as bytes
+/// actually arrive (small initial reservation), so a peer claiming a
+/// 16 MiB frame holds no more memory than it has transmitted
+/// ([`Self::buffered_bytes`] is the live measure; the hostile-peer
+/// stress test pins it down).
+///
+/// Decode errors are *sticky*: after a byte stream has violated the
+/// grammar there is no way to resynchronise on a length-prefixed wire,
+/// so every later [`Self::feed`] returns the same error and the
+/// connection must be torn down (after flushing the typed
+/// [`Frame::Reject`], as both engines do).
+pub struct FrameAssembler {
+    state: AssemblerState,
+    ready: std::collections::VecDeque<Frame>,
+    failed: Option<FrameError>,
+}
+
+impl Default for FrameAssembler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameAssembler {
+    /// An assembler at a frame boundary with nothing buffered.
+    pub fn new() -> Self {
+        Self {
+            state: AssemblerState::Header {
+                buf: [0; 5],
+                len: 0,
+            },
+            ready: std::collections::VecDeque::new(),
+            failed: None,
+        }
+    }
+
+    /// Absorbs `bytes`, decoding as many complete frames as they finish;
+    /// decoded frames queue up for [`Self::next_frame`]. Partial trailing
+    /// bytes are buffered for the next feed.
+    ///
+    /// # Errors
+    /// The typed [`FrameError`] the concatenated stream violates the
+    /// grammar with. The error is sticky: once returned, every later call
+    /// returns it again (frames already decoded remain retrievable).
+    pub fn feed(&mut self, mut bytes: &[u8]) -> Result<(), FrameError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        loop {
+            match &mut self.state {
+                // A frame completes on the byte that fills its payload —
+                // including the zero-payload case right after the header —
+                // so completion is checked before asking for more input.
+                AssemblerState::Payload { tag, need, payload } if payload.len() == *need => {
+                    match Frame::parse_payload(*tag, payload) {
+                        Ok(frame) => self.ready.push_back(frame),
+                        Err(e) => {
+                            self.failed = Some(e.clone());
+                            return Err(e);
+                        }
+                    }
+                    self.state = AssemblerState::Header {
+                        buf: [0; 5],
+                        len: 0,
+                    };
+                }
+                _ if bytes.is_empty() => return Ok(()),
+                AssemblerState::Header { buf, len } => {
+                    let take = (buf.len() - *len).min(bytes.len());
+                    buf[*len..*len + take].copy_from_slice(&bytes[..take]);
+                    *len += take;
+                    bytes = &bytes[take..];
+                    if *len == buf.len() {
+                        let tag = buf[0];
+                        let need =
+                            u32::from_le_bytes(buf[1..5].try_into().expect("4 bytes")) as usize;
+                        if need > MAX_PAYLOAD_LEN {
+                            let e = FrameError::Oversized {
+                                len: need,
+                                max: MAX_PAYLOAD_LEN,
+                            };
+                            self.failed = Some(e.clone());
+                            return Err(e);
+                        }
+                        self.state = AssemblerState::Payload {
+                            tag,
+                            need,
+                            // Same incremental-growth policy as
+                            // `Frame::read_from`: reserve small, grow as
+                            // bytes arrive.
+                            payload: Vec::with_capacity(need.min(64 << 10)),
+                        };
+                    }
+                }
+                AssemblerState::Payload { need, payload, .. } => {
+                    let take = (*need - payload.len()).min(bytes.len());
+                    payload.extend_from_slice(&bytes[..take]);
+                    bytes = &bytes[take..];
+                }
+            }
+        }
+    }
+
+    /// The next fully decoded frame, in arrival order.
+    pub fn next_frame(&mut self) -> Option<Frame> {
+        self.ready.pop_front()
+    }
+
+    /// Bytes buffered for the frame in progress (header + partial
+    /// payload). This — not the peer's claimed length prefix — is what a
+    /// connection's decode path holds in memory, which is what the
+    /// slow-loris stress bound measures.
+    pub fn buffered_bytes(&self) -> usize {
+        match &self.state {
+            AssemblerState::Header { len, .. } => *len,
+            AssemblerState::Payload { payload, .. } => 5 + payload.len(),
+        }
+    }
+
+    /// `true` when the stream stopped inside a frame — an EOF now is a
+    /// truncation (the blocking reader's [`FrameError::Truncated`]), not
+    /// a clean close.
+    pub fn mid_frame(&self) -> bool {
+        !matches!(self.state, AssemblerState::Header { len: 0, .. })
+    }
+
+    /// The typed error an EOF at this point amounts to: `None` at a frame
+    /// boundary (clean close), [`FrameError::Truncated`] mid-frame — the
+    /// same classification [`Frame::read_from`] makes, so both engines
+    /// report an interrupted frame identically.
+    pub fn eof_truncation(&self) -> Option<FrameError> {
+        match &self.state {
+            AssemblerState::Header { len: 0, .. } => None,
+            AssemblerState::Header { len, .. } => Some(FrameError::Truncated {
+                needed: 5,
+                available: *len,
+            }),
+            AssemblerState::Payload { need, payload, .. } => Some(FrameError::Truncated {
+                needed: *need,
+                available: payload.len(),
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1020,5 +1186,83 @@ mod tests {
         let bytes = Frame::Reports(vec![ReportData::Bits(vec![1; 64])]).encode();
         // 5 header + 4 batch count + 1 report tag + 4 slot count + 8 packed.
         assert_eq!(bytes.len(), 5 + 4 + 1 + 4 + 8);
+    }
+
+    #[test]
+    fn assembler_reassembles_byte_at_a_time() {
+        let frames = vec![
+            Frame::Query,
+            Frame::Reports(vec![
+                ReportData::Bits(vec![1, 0, 1, 1, 0, 0, 0, 1, 1]),
+                ReportData::ItemSet(vec![0, 5, 17]),
+            ]),
+            Frame::Estimates {
+                users: 3,
+                estimates: vec![0.25, -0.5],
+            },
+            Frame::Checkpoint,
+        ];
+        let stream: Vec<u8> = frames.iter().flat_map(Frame::encode).collect();
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for byte in stream {
+            asm.feed(&[byte]).unwrap();
+            while let Some(f) = asm.next_frame() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+        assert!(!asm.mid_frame(), "stream ended at a frame boundary");
+        assert_eq!(asm.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn assembler_decodes_many_frames_from_one_feed() {
+        let frames = vec![Frame::Query, Frame::HelloAck { users: 2 }, Frame::Query];
+        let stream: Vec<u8> = frames.iter().flat_map(Frame::encode).collect();
+        let mut asm = FrameAssembler::new();
+        asm.feed(&stream).unwrap();
+        let got: Vec<_> = std::iter::from_fn(|| asm.next_frame()).collect();
+        assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn assembler_oversized_fails_before_payload_and_sticks() {
+        let mut header = vec![TAG_REPORTS];
+        header.extend_from_slice(&(MAX_PAYLOAD_LEN as u32 + 1).to_le_bytes());
+        let mut asm = FrameAssembler::new();
+        assert!(matches!(
+            asm.feed(&header),
+            Err(FrameError::Oversized { .. })
+        ));
+        // Sticky: the stream cannot resynchronise.
+        assert!(matches!(
+            asm.feed(&Frame::Query.encode()),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn assembler_malformed_payload_sticks_but_keeps_earlier_frames() {
+        let mut stream = Frame::Query.encode();
+        stream.extend_from_slice(&[0xEE, 0, 0, 0, 0]); // unknown tag
+        let mut asm = FrameAssembler::new();
+        assert_eq!(asm.feed(&stream), Err(FrameError::UnknownTag(0xEE)));
+        assert_eq!(asm.next_frame(), Some(Frame::Query));
+        assert_eq!(asm.next_frame(), None);
+        assert_eq!(asm.feed(&[0]), Err(FrameError::UnknownTag(0xEE)));
+    }
+
+    #[test]
+    fn assembler_buffers_only_received_bytes_of_a_big_claim() {
+        // Header claiming 1 MiB, then a 10-byte drip: the assembler holds
+        // ~15 bytes, not the claimed megabyte.
+        let mut drip = vec![TAG_REPORTS];
+        drip.extend_from_slice(&(1u32 << 20).to_le_bytes());
+        drip.extend_from_slice(&[0u8; 10]);
+        let mut asm = FrameAssembler::new();
+        asm.feed(&drip).unwrap();
+        assert!(asm.mid_frame());
+        assert_eq!(asm.buffered_bytes(), 15);
     }
 }

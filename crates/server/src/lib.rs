@@ -16,11 +16,14 @@
 //!   and fold workers: the backpressure point (full ⇒ typed `Busy` reply,
 //!   never a silent drop) and the drain watermark that linearizes queries
 //!   after ingestion.
-//! * [`server`] — [`ReportServer`]: a `std::net::TcpListener` acceptor, a
-//!   bounded connection-worker pool (accept blocks while all workers are
-//!   busy), ingest workers folding into an
+//! * [`server`] — [`ReportServer`]: ingest workers folding into an
 //!   [`idldp_stream::ShardedAccumulator`], snapshot/estimate/top-k queries
-//!   served over the same socket, and atomic checkpoint persistence.
+//!   served over the same socket, atomic checkpoint persistence, and two
+//!   interchangeable *connection engines* ([`ConnectionEngine`]): a
+//!   thread-per-connection blocking engine behind a rendezvous acceptor,
+//!   and a readiness reactor multiplexing all connections onto a fixed
+//!   set of event loops (the C10k path). The protocol logic is one shared
+//!   module, so the engines cannot drift apart.
 //! * [`client`] — [`ReportClient`]: connect + handshake, batched pushes
 //!   with `Busy`-absorbing retry, and the query calls. Backs the `idldp
 //!   push` CLI.
@@ -61,14 +64,17 @@
 #![deny(missing_docs)]
 
 pub mod client;
+mod conn;
 pub mod frame;
 pub mod queue;
+#[cfg(unix)]
+mod reactor;
 pub mod server;
 
 pub use client::{ClientError, PushOutcome, ReportClient, MAX_STALLED_RETRIES};
 pub use frame::{
-    encode_reports_frame, encoded_report_len, Frame, FrameError, MAX_BIT_REPORT_SLOTS,
-    MAX_PAYLOAD_LEN, PROTOCOL_VERSION,
+    encode_reports_frame, encoded_report_len, Frame, FrameAssembler, FrameError,
+    MAX_BIT_REPORT_SLOTS, MAX_PAYLOAD_LEN, PROTOCOL_VERSION,
 };
 pub use queue::{IngestQueue, PushRefusal, WaitOutcome};
-pub use server::{ReportServer, ServerConfig, ServerError};
+pub use server::{ConnectionEngine, ReportServer, ServerConfig, ServerError};

@@ -300,6 +300,28 @@ impl<T> IngestQueue<T> {
         }
     }
 
+    /// Non-blocking twin of [`Self::wait_processed`]: the wait's current
+    /// verdict without parking the calling thread. `Some(outcome)` is
+    /// exactly what `wait_processed` would return right now; `None` means
+    /// the wait would still block (the watermark is reachable but not yet
+    /// reached) — poll again after more progress. This is what the
+    /// readiness engine uses: an event loop owning hundreds of
+    /// connections cannot block one query's watermark wait without
+    /// stalling all of them, so settling queries are re-polled on each
+    /// loop tick instead.
+    pub fn poll_processed(&self, watermark: u64) -> Option<WaitOutcome> {
+        let s = self.lock();
+        if s.processed >= watermark {
+            Some(WaitOutcome::Reached)
+        } else if s.closed {
+            Some(WaitOutcome::Closed)
+        } else if s.paused && watermark > s.popped {
+            Some(WaitOutcome::Paused)
+        } else {
+            None
+        }
+    }
+
     /// Pauses (`true`) or resumes (`false`) the pop side. While paused,
     /// accepted batches stay queued and the queue fills to capacity — the
     /// deterministic way to exercise the `Busy` path in tests, and an
@@ -534,6 +556,28 @@ mod tests {
         let (t2, _) = q.pop().unwrap();
         q.mark_processed(t2);
         assert_eq!(q.wait_processed(2), WaitOutcome::Reached);
+    }
+
+    /// `poll_processed` mirrors `wait_processed` verdict-for-verdict, with
+    /// `None` standing in for "would block".
+    #[test]
+    fn poll_processed_matches_wait_semantics() {
+        let q = IngestQueue::new(8);
+        assert_eq!(q.poll_processed(0), Some(WaitOutcome::Reached));
+        q.try_push(7).unwrap();
+        assert_eq!(q.poll_processed(1), None, "accepted but not yet folded");
+        let (t, _) = q.pop().unwrap();
+        // Paused with the watermark already in flight: still just pending.
+        q.set_paused(true);
+        assert_eq!(q.poll_processed(1), None);
+        // Paused with a watermark beyond everything popped: typed refusal.
+        q.try_push(8).unwrap();
+        assert_eq!(q.poll_processed(2), Some(WaitOutcome::Paused));
+        q.set_paused(false);
+        q.mark_processed(t);
+        assert_eq!(q.poll_processed(1), Some(WaitOutcome::Reached));
+        q.close();
+        assert_eq!(q.poll_processed(2), Some(WaitOutcome::Closed));
     }
 
     #[test]

@@ -22,20 +22,21 @@
 //! `crates/sim/tests/server_loopback.rs` proves it for all eight
 //! mechanisms.
 
-use crate::frame::{Frame, FrameError, PROTOCOL_VERSION};
-use crate::queue::{IngestQueue, PushRefusal, WaitOutcome};
+use crate::conn::{self, FrameAction};
+use crate::frame::{Frame, FrameAssembler, FrameError};
+use crate::queue::{IngestQueue, WaitOutcome};
 use idldp_core::mechanism::Mechanism;
 use idldp_core::report::Report;
 use idldp_core::report::{ReportData, ReportShape};
 use idldp_core::snapshot::AccumulatorSnapshot;
-use idldp_num::vecops::top_k_indices;
 use idldp_stream::{ShapedAccumulator, ShardedAccumulator};
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Server construction/runtime errors.
 #[derive(Debug)]
@@ -70,6 +71,47 @@ impl From<std::io::Error> for ServerError {
     }
 }
 
+/// Which connection engine serves the sockets. The wire protocol, the
+/// typed `Busy` backpressure, and query linearization are identical under
+/// both — the loopback conformance suite runs every case against each and
+/// demands bit-identical estimates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ConnectionEngine {
+    /// Thread-per-connection blocking I/O behind a rendezvous acceptor:
+    /// one connection worker per live connection, `accept` blocks while
+    /// all are busy. Simple and debuggable; concurrency is bounded by
+    /// [`ServerConfig::connection_workers`].
+    #[default]
+    Blocking,
+    /// Readiness reactor (epoll-style): [`ServerConfig::connection_workers`]
+    /// event loops multiplex *all* connections over non-blocking sockets —
+    /// thousands of mostly-idle clients cost registrations, not threads.
+    Reactor,
+}
+
+impl std::str::FromStr for ConnectionEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "blocking" => Ok(Self::Blocking),
+            "reactor" => Ok(Self::Reactor),
+            other => Err(format!(
+                "unknown connection engine `{other}` (expected `blocking` or `reactor`)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for ConnectionEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Blocking => "blocking",
+            Self::Reactor => "reactor",
+        })
+    }
+}
+
 /// Tunables of a [`ReportServer`].
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
@@ -83,8 +125,16 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Fold workers draining the ingest queue.
     pub ingest_workers: usize,
-    /// Connection workers; the acceptor blocks once all are busy.
+    /// Connection concurrency: blocking-engine workers (the acceptor
+    /// blocks once all are busy) or reactor event loops (each multiplexing
+    /// any number of connections).
     pub connection_workers: usize,
+    /// Which connection engine serves the sockets.
+    pub engine: ConnectionEngine,
+    /// Reap a connection that completes no frame for this long — a silent
+    /// peer must not pin a blocking worker (or a reactor registration)
+    /// forever. `None` disables reaping.
+    pub idle_timeout: Option<Duration>,
     /// Optional checkpoint file: restored (if present) at startup, written
     /// atomically on every `Checkpoint` control frame.
     pub checkpoint_path: Option<PathBuf>,
@@ -105,26 +155,35 @@ impl Default for ServerConfig {
             queue_capacity: 65_536,
             ingest_workers: 2,
             connection_workers: 4,
+            engine: ConnectionEngine::default(),
+            idle_timeout: Some(Duration::from_secs(60)),
             checkpoint_path: None,
             config_stamp: None,
         }
     }
 }
 
-/// Shared state between the acceptor, connection workers, and ingest
-/// workers.
-struct Shared {
-    mechanism: Arc<dyn Mechanism>,
-    sink: ShardedAccumulator<ShapedAccumulator>,
-    queue: IngestQueue<ReportData>,
-    stop: AtomicBool,
+/// Shared state between the acceptor (or reactor loops), connection
+/// workers, and ingest workers.
+pub(crate) struct Shared {
+    pub(crate) mechanism: Arc<dyn Mechanism>,
+    pub(crate) sink: ShardedAccumulator<ShapedAccumulator>,
+    pub(crate) queue: IngestQueue<ReportData>,
+    pub(crate) stop: AtomicBool,
     /// Reports that failed to fold after acceptance (cannot happen for
     /// reports the connection workers validated; counted defensively).
     fold_failures: AtomicU64,
-    checkpoint_path: Option<PathBuf>,
+    pub(crate) checkpoint_path: Option<PathBuf>,
     config_stamp: Option<String>,
+    /// Connections reaped for idling past the configured timeout (either
+    /// engine) — observable via [`ReportServer::reaped_connections`].
+    pub(crate) reaped: AtomicU64,
+    /// High-water mark of any one connection's buffered frame bytes — the
+    /// incremental-read memory bound the hostile-peer stress test pins.
+    peak_buffered: AtomicUsize,
     /// Live connections, keyed by a monotone id, so shutdown can close
-    /// their sockets and unblock workers parked in `read`.
+    /// their sockets and unblock workers parked in `read` (blocking
+    /// engine; reactor loops close their own connections on stop).
     connections: Mutex<std::collections::HashMap<u64, TcpStream>>,
     next_connection_id: AtomicU64,
 }
@@ -164,13 +223,19 @@ impl Shared {
 }
 
 impl Shared {
+    /// Folds `bytes` into the per-connection buffered-bytes high-water
+    /// mark (see [`ReportServer::peak_buffered_bytes`]).
+    pub(crate) fn note_buffered(&self, bytes: usize) {
+        self.peak_buffered.fetch_max(bytes, Ordering::Relaxed);
+    }
+
     /// The run-identity stamp appended to checkpoints, refusing restores
     /// into a differently configured server. Besides kind/shape/width it
     /// carries the mechanism's exact plain-LDP budget (raw IEEE-754 bits —
     /// two mechanisms of the same kind and width but different ε produce
     /// incompatible counts) and the embedder's
     /// [`ServerConfig::config_stamp`].
-    fn run_line(&self) -> String {
+    pub(crate) fn run_line(&self) -> String {
         let mut line = format!(
             "run idldp-serve kind={} shape={} report_len={} ldp_eps={:016x}",
             self.mechanism.kind(),
@@ -199,25 +264,9 @@ impl Shared {
         let watermark = self.queue.watermark();
         match self.queue.wait_processed(watermark) {
             WaitOutcome::Reached => Ok(self.sink.snapshot()),
-            WaitOutcome::Paused => Err(Settle::Refuse(
-                "ingest is paused; accepted reports are not yet folded — retry after resume".into(),
-            )),
+            WaitOutcome::Paused => Err(Settle::Refuse(conn::PAUSED_MSG.into())),
             WaitOutcome::Closed => Err(Settle::Shutdown),
         }
-    }
-
-    /// Estimates over a settled snapshot (empty while no users).
-    fn settled_estimates(&self) -> Result<(u64, Vec<f64>), Settle> {
-        let snapshot = self.settled_snapshot()?;
-        let users = snapshot.num_users();
-        if users == 0 {
-            return Ok((0, Vec::new()));
-        }
-        self.mechanism
-            .frequency_oracle(users)
-            .estimate_from(&snapshot)
-            .map(|estimates| (users, estimates))
-            .map_err(|e| Settle::Refuse(e.to_string()))
     }
 }
 
@@ -226,6 +275,7 @@ enum Settle {
     /// The server is shutting down — drop the connection.
     Shutdown,
     /// A typed, client-visible reason (paused ingest, oracle failure).
+    #[allow(dead_code)] // carried for symmetry; `snapshot()` discards it
     Refuse(String),
 }
 
@@ -236,6 +286,10 @@ pub struct ReportServer {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// Reactor-engine pollers, notified on shutdown so the event loops
+    /// observe the stop flag (empty under the blocking engine).
+    #[cfg(unix)]
+    pollers: Vec<Arc<polling::Poller>>,
 }
 
 impl ReportServer {
@@ -278,6 +332,8 @@ impl ReportServer {
             fold_failures: AtomicU64::new(0),
             checkpoint_path: config.checkpoint_path.clone(),
             config_stamp: config.config_stamp.clone(),
+            reaped: AtomicU64::new(0),
+            peak_buffered: AtomicUsize::new(0),
             connections: Mutex::new(std::collections::HashMap::new()),
             next_connection_id: AtomicU64::new(0),
         });
@@ -322,52 +378,90 @@ impl ReportServer {
             workers.push(std::thread::spawn(move || ingest_worker(&shared)));
         }
 
-        // Rendezvous handoff: `send` blocks until a connection worker is
-        // free, which in turn blocks `accept` — bounded-pool backpressure
-        // without an unbounded pending-connection buffer.
-        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(0);
-        let conn_rx = Arc::new(Mutex::new(conn_rx));
-        for _ in 0..config.connection_workers {
-            let shared = Arc::clone(&shared);
-            let conn_rx = Arc::clone(&conn_rx);
-            workers.push(std::thread::spawn(move || loop {
-                let stream = {
-                    let guard = conn_rx
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    guard.recv()
-                };
-                match stream {
-                    Ok(stream) => handle_connection(stream, &shared),
-                    Err(_) => return, // acceptor gone: shutdown
+        let mut acceptor = None;
+        #[cfg(unix)]
+        let mut pollers = Vec::new();
+        match config.engine {
+            ConnectionEngine::Blocking => {
+                // Rendezvous handoff: `send` blocks until a connection
+                // worker is free, which in turn blocks `accept` —
+                // bounded-pool backpressure without an unbounded
+                // pending-connection buffer.
+                let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(0);
+                let conn_rx = Arc::new(Mutex::new(conn_rx));
+                for _ in 0..config.connection_workers {
+                    let shared = Arc::clone(&shared);
+                    let conn_rx = Arc::clone(&conn_rx);
+                    let idle = config.idle_timeout;
+                    workers.push(std::thread::spawn(move || loop {
+                        let stream = {
+                            let guard = conn_rx
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            guard.recv()
+                        };
+                        match stream {
+                            Ok(stream) => handle_connection(stream, &shared, idle),
+                            Err(_) => return, // acceptor gone: shutdown
+                        }
+                    }));
                 }
-            }));
-        }
 
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || {
-                for stream in listener.incoming() {
-                    if shared.stop.load(Ordering::SeqCst) {
-                        return; // conn_tx drops here, stopping the workers
-                    }
-                    match stream {
-                        Ok(stream) => {
-                            if conn_tx.send(stream).is_err() {
-                                return;
+                acceptor = Some({
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || {
+                        for stream in listener.incoming() {
+                            if shared.stop.load(Ordering::SeqCst) {
+                                return; // conn_tx drops here, stopping the workers
+                            }
+                            match stream {
+                                Ok(stream) => {
+                                    if conn_tx.send(stream).is_err() {
+                                        return;
+                                    }
+                                }
+                                Err(_) => continue,
                             }
                         }
-                        Err(_) => continue,
-                    }
+                    })
+                });
+            }
+            ConnectionEngine::Reactor => {
+                #[cfg(unix)]
+                {
+                    let handle = crate::reactor::spawn(
+                        listener,
+                        Arc::clone(&shared),
+                        config.connection_workers,
+                        config.idle_timeout,
+                    )
+                    .map_err(|e| {
+                        if e.kind() == std::io::ErrorKind::Unsupported {
+                            ServerError::Config(format!("reactor engine unavailable: {e}"))
+                        } else {
+                            ServerError::Io(e)
+                        }
+                    })?;
+                    pollers = handle.pollers;
+                    workers.extend(handle.threads);
                 }
-            })
-        };
+                #[cfg(not(unix))]
+                {
+                    drop(listener);
+                    return Err(ServerError::Config(
+                        "reactor engine requires a unix readiness backend".into(),
+                    ));
+                }
+            }
+        }
 
         Ok(Self {
             addr,
             shared,
-            acceptor: Some(acceptor),
+            acceptor,
             workers,
+            #[cfg(unix)]
+            pollers,
         })
     }
 
@@ -385,6 +479,21 @@ impl ReportServer {
     /// / accumulator disagreement is introduced — monitored by tests).
     pub fn fold_failures(&self) -> u64 {
         self.shared.fold_failures.load(Ordering::SeqCst)
+    }
+
+    /// Connections reaped for completing no frame within the configured
+    /// [`ServerConfig::idle_timeout`] — silent peers and slow-loris drips
+    /// alike, under either engine.
+    pub fn reaped_connections(&self) -> u64 {
+        self.shared.reaped.load(Ordering::SeqCst)
+    }
+
+    /// High-water mark of any single connection's buffered frame bytes.
+    /// Bounded by what a peer has actually transmitted of its current
+    /// frame (never its claimed length prefix) — the incremental-read
+    /// memory bound the hostile-peer stress test asserts.
+    pub fn peak_buffered_bytes(&self) -> usize {
+        self.shared.peak_buffered.load(Ordering::Relaxed)
     }
 
     /// Freezes the merged accumulator view after draining the queue (or
@@ -418,6 +527,12 @@ impl ReportServer {
     pub fn shutdown(mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
         self.shared.queue.close();
+        // Reactor loops: wake each poller so it observes the stop flag
+        // and closes its connections.
+        #[cfg(unix)]
+        for poller in &self.pollers {
+            let _ = poller.notify();
+        }
         // Unblock the acceptor with a throwaway connection, and workers
         // parked in a socket read by closing every live connection. A
         // server bound to an unspecified address (0.0.0.0 / ::) is not
@@ -464,81 +579,84 @@ fn ingest_worker(shared: &Shared) {
     }
 }
 
-/// Validates one decoded report against the negotiated mechanism config —
-/// the *synchronous* half of ingestion, so every malformed report is
-/// refused in the connection reply and accepted reports can never fail to
-/// fold. The shape must be the connection's negotiated wire shape; the
-/// content rules are the core [`idldp_core::report::Report::validate`],
-/// the same definition `fold_into` enforces — which is what makes the
-/// accepted ⇒ foldable invariant definitional rather than two hand-synced
-/// rule sets.
-fn validate_report(
-    report: &ReportData,
-    shape: ReportShape,
-    report_len: usize,
-) -> Result<(), String> {
-    let matches_shape = matches!(
-        (report, shape),
-        (ReportData::Bits(_), ReportShape::Bits)
-            | (ReportData::Value(_), ReportShape::Value)
-            | (ReportData::Hashed { .. }, ReportShape::Hashed { .. })
-            | (ReportData::ItemSet(_), ReportShape::ItemSet { .. })
-    );
-    if !matches_shape {
-        let got = match report {
-            ReportData::Bits(_) => "bit-vector",
-            ReportData::Value(_) => "categorical value",
-            ReportData::Hashed { .. } => "hashed (seed, value)",
-            ReportData::ItemSet(_) => "item-set",
-        };
-        return Err(format!(
-            "report shape mismatch: connection negotiated {}, got a {got} report",
-            shape.label()
-        ));
-    }
-    let shape_param = match shape {
-        ReportShape::Hashed { range } => range,
-        ReportShape::ItemSet { k } => k,
-        _ => 0,
-    };
-    report
-        .as_report()
-        .validate(report_len, shape_param)
-        .map_err(|e| e.to_string())
+/// How a blocking frame read ended without producing a frame.
+enum ReadStop {
+    /// Clean EOF at a frame boundary — the client closed.
+    Eof,
+    /// No complete frame arrived within the idle deadline — reap the peer.
+    Idle,
+    /// The byte stream violated the frame grammar (including EOF inside a
+    /// frame) — send the typed `Reject`, then close.
+    BadFrame(FrameError),
+    /// Socket error; just drop the connection.
+    Io,
 }
 
-fn send(writer: &mut BufWriter<TcpStream>, frame: &Frame) -> Result<(), FrameError> {
-    // A reply the peer would reject as Oversized (an estimate vector for
-    // a multi-million-item domain) becomes a typed refusal instead of a
-    // dead connection.
-    if !frame.fits_one_frame() {
-        let refusal = Frame::Reject {
-            accepted: 0,
-            message: format!(
-                "reply exceeds the {} MiB frame cap (domain too large for one frame)",
-                crate::frame::MAX_PAYLOAD_LEN >> 20
-            ),
-        };
-        refusal.write_to(writer)?;
-        writer.flush()?;
-        return Ok(());
+/// Blocks until the assembler yields one frame, the idle deadline passes,
+/// or the stream ends. The deadline is per *frame*, enforced through
+/// `set_read_timeout` on the remaining budget — a silent peer and a
+/// slow-loris drip (bytes arriving, frames never completing) both run it
+/// out, which is the blocking half of the idle-reaping fix.
+fn read_frame_blocking(
+    stream: &mut TcpStream,
+    asm: &mut FrameAssembler,
+    buf: &mut [u8],
+    deadline: Option<Instant>,
+    shared: &Shared,
+) -> Result<Frame, ReadStop> {
+    loop {
+        if let Some(frame) = asm.next_frame() {
+            return Ok(frame);
+        }
+        if let Some(d) = deadline {
+            let now = Instant::now();
+            if now >= d {
+                return Err(ReadStop::Idle);
+            }
+            if stream.set_read_timeout(Some(d - now)).is_err() {
+                return Err(ReadStop::Io);
+            }
+        }
+        match stream.read(buf) {
+            Ok(0) => {
+                return match asm.eof_truncation() {
+                    None => Err(ReadStop::Eof),
+                    Some(e) => Err(ReadStop::BadFrame(e)),
+                }
+            }
+            Ok(n) => {
+                if let Err(e) = asm.feed(&buf[..n]) {
+                    return Err(ReadStop::BadFrame(e));
+                }
+                shared.note_buffered(asm.buffered_bytes());
+            }
+            Err(e)
+                if matches!(e.kind(), std::io::ErrorKind::WouldBlock)
+                    || matches!(e.kind(), std::io::ErrorKind::TimedOut) =>
+            {
+                // The read timeout was the remaining deadline budget.
+                return Err(ReadStop::Idle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Err(ReadStop::Io),
+        }
     }
-    frame.write_to(writer)?;
-    writer.flush()?;
-    Ok(())
 }
 
-/// Serves one connection: handshake, then a frame loop until EOF. Protocol
-/// violations answer with a typed [`Frame::Reject`]; socket errors just
-/// drop the connection (the client observes the closed socket).
-fn handle_connection(stream: TcpStream, shared: &Shared) {
+fn send_reply(stream: &mut TcpStream, frame: &Frame) -> std::io::Result<()> {
+    stream.write_all(&conn::encode_reply(frame))
+}
+
+/// Serves one connection on the blocking engine: handshake, then a frame
+/// loop until EOF. Protocol violations answer with a typed
+/// [`Frame::Reject`]; socket errors just drop the connection (the client
+/// observes the closed socket). All protocol decisions are the shared
+/// [`crate::conn`] logic — byte-identical to the reactor engine's.
+fn handle_connection(stream: TcpStream, shared: &Shared, idle: Option<Duration>) {
     let _ = stream.set_nodelay(true);
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
     // An untrackable connection (clone failure under fd pressure) must be
     // dropped outright: shutdown could never close its socket, and a
-    // silent peer would park this worker in a read forever.
+    // silent peer would park this worker for the whole idle timeout.
     let Some(tracked) = shared.track(&stream) else {
         return;
     };
@@ -552,89 +670,38 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         shared.untrack(tracked);
         return;
     }
-    let reader = BufReader::new(stream);
-    let mut writer = BufWriter::new(write_half);
-    serve_frames(reader, &mut writer, shared);
+    let mut stream = stream;
+    serve_frames(&mut stream, shared, idle);
     shared.untrack(tracked);
 }
 
-/// The framed request/response loop of one connection.
-fn serve_frames(
-    mut reader: BufReader<TcpStream>,
-    writer: &mut BufWriter<TcpStream>,
-    shared: &Shared,
-) {
+/// The framed request/response loop of one blocking connection.
+fn serve_frames(stream: &mut TcpStream, shared: &Shared, idle: Option<Duration>) {
+    let mut asm = FrameAssembler::new();
+    let mut buf = [0u8; 8 << 10];
+    let mut deadline = idle.map(|d| Instant::now() + d);
+
     // Handshake: the first frame must be a matching Hello.
-    match Frame::read_from(&mut reader) {
-        Ok(Some(Frame::Hello {
-            version,
-            kind,
-            shape,
-            report_len,
-            ldp_eps_bits,
-        })) => {
-            let mech = shared.mechanism.as_ref();
-            let reject = if version != PROTOCOL_VERSION {
-                Some(format!(
-                    "protocol version {version} unsupported (server speaks {PROTOCOL_VERSION})"
-                ))
-            } else if kind != mech.kind()
-                || shape != mech.report_shape()
-                || report_len != mech.report_len() as u64
-                // ε compared as exact bits, like the checkpoint stamp:
-                // same-kind reports perturbed under a different budget
-                // would fold cleanly but calibrate wrongly.
-                || ldp_eps_bits != mech.ldp_epsilon().to_bits()
-            {
-                Some(format!(
-                    "mechanism config mismatch: server runs kind={} shape={} report_len={} \
-                     ldp_eps={}, client sent kind={kind} shape={} report_len={report_len} \
-                     ldp_eps={}",
-                    mech.kind(),
-                    mech.report_shape().label(),
-                    mech.report_len(),
-                    mech.ldp_epsilon(),
-                    shape.label(),
-                    f64::from_bits(ldp_eps_bits)
-                ))
-            } else {
-                None
-            };
-            if let Some(message) = reject {
-                let _ = send(
-                    writer,
-                    &Frame::Reject {
-                        accepted: 0,
-                        message,
-                    },
-                );
+    match read_frame_blocking(stream, &mut asm, &mut buf, deadline, shared) {
+        Ok(frame) => match conn::apply_hello(shared, frame) {
+            Ok(ack) => {
+                if send_reply(stream, &ack).is_err() {
+                    return;
+                }
+            }
+            Err(reject) => {
+                let _ = send_reply(stream, &reject);
                 return;
             }
-            if send(
-                writer,
-                &Frame::HelloAck {
-                    users: shared.sink.num_users(),
-                },
-            )
-            .is_err()
-            {
-                return;
-            }
-        }
-        Ok(Some(_)) => {
-            let _ = send(
-                writer,
-                &Frame::Reject {
-                    accepted: 0,
-                    message: "expected Hello as the first frame".into(),
-                },
-            );
+        },
+        Err(ReadStop::Eof) | Err(ReadStop::Io) => return,
+        Err(ReadStop::Idle) => {
+            shared.reaped.fetch_add(1, Ordering::SeqCst);
             return;
         }
-        Ok(None) => return,
-        Err(e) => {
-            let _ = send(
-                writer,
+        Err(ReadStop::BadFrame(e)) => {
+            let _ = send_reply(
+                stream,
                 &Frame::Reject {
                     accepted: 0,
                     message: format!("handshake: {e}"),
@@ -644,16 +711,18 @@ fn serve_frames(
         }
     }
 
-    let shape = shared.mechanism.report_shape();
-    let report_len = shared.mechanism.report_len();
-
     loop {
-        let frame = match Frame::read_from(&mut reader) {
-            Ok(Some(frame)) => frame,
-            Ok(None) => return, // client closed cleanly
-            Err(e) => {
-                let _ = send(
-                    writer,
+        deadline = idle.map(|d| Instant::now() + d);
+        let frame = match read_frame_blocking(stream, &mut asm, &mut buf, deadline, shared) {
+            Ok(frame) => frame,
+            Err(ReadStop::Eof) | Err(ReadStop::Io) => return,
+            Err(ReadStop::Idle) => {
+                shared.reaped.fetch_add(1, Ordering::SeqCst);
+                return;
+            }
+            Err(ReadStop::BadFrame(e)) => {
+                let _ = send_reply(
+                    stream,
                     &Frame::Reject {
                         accepted: 0,
                         message: format!("bad frame: {e}"),
@@ -662,98 +731,17 @@ fn serve_frames(
                 return;
             }
         };
-        let reply = match frame {
-            Frame::Reports(reports) => {
-                // The whole frame validates before anything is queued: a
-                // hostile frame mixing valid and invalid reports is
-                // rejected atomically — no partial fold, nothing to
-                // un-count. (Backpressure is the one partial outcome:
-                // `Busy{accepted}` names the queued prefix, which the
-                // client re-sends from.)
-                let invalid = reports.iter().enumerate().find_map(|(idx, report)| {
-                    validate_report(report, shape, report_len)
-                        .err()
-                        .map(|e| format!("report {idx}: {e}"))
-                });
-                if let Some(message) = invalid {
-                    Frame::Reject {
-                        accepted: 0,
-                        message,
-                    }
-                } else {
-                    let batch_len = reports.len();
-                    match shared.queue.try_push_batch(reports) {
-                        Ok(accepted) if accepted == batch_len => Frame::Ingested {
-                            accepted: accepted as u64,
-                        },
-                        Ok(accepted) => Frame::Busy {
-                            accepted: accepted as u64,
-                        },
-                        Err(PushRefusal::Full) => Frame::Busy { accepted: 0 },
-                        Err(PushRefusal::Closed) => Frame::Reject {
-                            accepted: 0,
-                            message: "server is shutting down".into(),
-                        },
-                    }
+        let reply = match conn::apply_frame(shared, frame) {
+            FrameAction::Reply(reply) => reply,
+            FrameAction::Settle(pending) => {
+                let outcome = shared.queue.wait_processed(pending.watermark);
+                match conn::settle_reply(shared, &pending, outcome) {
+                    Some(reply) => reply,
+                    None => return, // shutdown mid-query: drop without a reply
                 }
             }
-            Frame::Query => match shared.settled_estimates() {
-                Ok((users, estimates)) => Frame::Estimates { users, estimates },
-                Err(Settle::Refuse(message)) => Frame::Reject {
-                    accepted: 0,
-                    message,
-                },
-                Err(Settle::Shutdown) => return,
-            },
-            Frame::TopKQuery { k } => match shared.settled_estimates() {
-                Ok((users, estimates)) => {
-                    let items = top_k_indices(&estimates, k as usize)
-                        .into_iter()
-                        .map(|i| (i as u64, estimates[i]))
-                        .collect();
-                    Frame::Candidates { users, items }
-                }
-                Err(Settle::Refuse(message)) => Frame::Reject {
-                    accepted: 0,
-                    message,
-                },
-                Err(Settle::Shutdown) => return,
-            },
-            Frame::Checkpoint => match &shared.checkpoint_path {
-                Some(path) => match shared.settled_snapshot() {
-                    Ok(snapshot) => {
-                        let trailer = format!("{}\n", shared.run_line());
-                        match snapshot.write_checkpoint(path, &trailer) {
-                            Ok(()) => Frame::CheckpointAck {
-                                users: snapshot.num_users(),
-                            },
-                            Err(e) => Frame::Reject {
-                                accepted: 0,
-                                message: format!("checkpoint write: {e}"),
-                            },
-                        }
-                    }
-                    Err(Settle::Refuse(message)) => Frame::Reject {
-                        accepted: 0,
-                        message,
-                    },
-                    Err(Settle::Shutdown) => return,
-                },
-                None => Frame::Reject {
-                    accepted: 0,
-                    message: "server has no checkpoint path configured".into(),
-                },
-            },
-            Frame::Hello { .. } => Frame::Reject {
-                accepted: 0,
-                message: "connection is already negotiated".into(),
-            },
-            other => Frame::Reject {
-                accepted: 0,
-                message: format!("unexpected frame on the server side: {other:?}"),
-            },
         };
-        if send(writer, &reply).is_err() {
+        if send_reply(stream, &reply).is_err() {
             return;
         }
     }

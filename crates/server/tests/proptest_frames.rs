@@ -9,9 +9,14 @@
 //!    arbitrary byte mutations of valid frames either decode to *some*
 //!    frame or return a typed [`FrameError`]; the decoder never panics and
 //!    never accepts an oversized length prefix.
+//! 3. **Fragmentation invariance** — the incremental [`FrameAssembler`]
+//!    (the reactor engine's decode path) fed any byte-fragmentation
+//!    schedule of a frame sequence yields exactly the frames of a
+//!    whole-frame decode, buffers no more than one frame at a time, and
+//!    classifies an EOF cut exactly like the blocking stream reader.
 
 use idldp_core::report::ReportData;
-use idldp_server::{Frame, FrameError, MAX_PAYLOAD_LEN, PROTOCOL_VERSION};
+use idldp_server::{Frame, FrameAssembler, FrameError, MAX_PAYLOAD_LEN, PROTOCOL_VERSION};
 use proptest::prelude::*;
 
 /// Arbitrary report of any of the four wire shapes.
@@ -181,5 +186,98 @@ proptest! {
                 max: MAX_PAYLOAD_LEN,
             })
         );
+    }
+
+    /// The incremental assembler is fragmentation-invariant: any chunking
+    /// of an interleaved frame sequence — byte-at-a-time drips, chunks
+    /// straddling frame boundaries, many frames in one chunk — reassembles
+    /// to exactly the frames a whole-frame decode yields, in order, and
+    /// ends at a clean frame boundary. Along the way the assembler never
+    /// buffers more than the one in-flight frame (the incremental-read
+    /// bound the reactor's slow-loris defence rests on).
+    #[test]
+    fn assembler_reassembles_any_fragmentation_schedule(
+        frames in prop::collection::vec(arb_frame(), 1..6),
+        splits in prop::collection::vec(any::<prop::sample::Index>(), 0..32),
+    ) {
+        let mut bytes = Vec::new();
+        let mut max_wire = 0usize;
+        for frame in &frames {
+            let encoded = frame.encode();
+            max_wire = max_wire.max(encoded.len());
+            bytes.extend_from_slice(&encoded);
+        }
+        let mut cuts: Vec<usize> = splits.iter().map(|i| i.index(bytes.len() + 1)).collect();
+        cuts.push(bytes.len());
+        cuts.sort_unstable();
+        cuts.dedup();
+
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        let mut prev = 0usize;
+        for cut in cuts {
+            asm.feed(&bytes[prev..cut]).unwrap();
+            prop_assert!(
+                asm.buffered_bytes() <= max_wire,
+                "assembler buffers {} bytes, largest frame is {max_wire}",
+                asm.buffered_bytes()
+            );
+            while let Some(frame) = asm.next_frame() {
+                got.push(frame);
+            }
+            prev = cut;
+        }
+        prop_assert_eq!(got, frames);
+        prop_assert!(!asm.mid_frame(), "stream must end at a frame boundary");
+        prop_assert_eq!(asm.eof_truncation(), None);
+    }
+
+    /// An EOF cut anywhere inside a frame sequence is classified by the
+    /// assembler exactly like the blocking stream reader classifies the
+    /// same prefix: complete leading frames decode, and the cut is either
+    /// a clean boundary (no error) or a typed `Truncated` — never a panic,
+    /// never a phantom frame.
+    #[test]
+    fn assembler_eof_classification_matches_stream_reader(
+        frames in prop::collection::vec(arb_frame(), 1..5),
+        cut in any::<prop::sample::Index>(),
+        drip in 1usize..7,
+    ) {
+        let mut bytes = Vec::new();
+        for frame in &frames {
+            bytes.extend_from_slice(&frame.encode());
+        }
+        let cut = cut.index(bytes.len() + 1);
+        let prefix = &bytes[..cut];
+
+        // Reference: the blocking reader over the same prefix.
+        let mut want = Vec::new();
+        let mut cursor = std::io::Cursor::new(prefix);
+        let want_err = loop {
+            match Frame::read_from(&mut cursor) {
+                Ok(Some(frame)) => want.push(frame),
+                Ok(None) => break None,
+                Err(e) => break Some(e),
+            }
+        };
+
+        // The assembler fed in fixed-size drips.
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for chunk in prefix.chunks(drip) {
+            asm.feed(chunk).unwrap();
+            while let Some(frame) = asm.next_frame() {
+                got.push(frame);
+            }
+        }
+        prop_assert_eq!(got, want);
+        match (asm.eof_truncation(), want_err) {
+            (None, None) => {}
+            (Some(FrameError::Truncated { .. }), Some(FrameError::Truncated { .. })) => {}
+            (got_err, want_err) => prop_assert!(
+                false,
+                "assembler saw {got_err:?}, stream reader saw {want_err:?}"
+            ),
+        }
     }
 }

@@ -18,6 +18,13 @@
 //! mismatched mechanism configs, typed rejection of invalid reports, the
 //! top-k query against batch `identify_top_k`, and checkpoint → restart →
 //! resume bit-identity over the socket.
+//!
+//! Every case runs against **both** connection engines
+//! ([`ConnectionEngine::Blocking`] and [`ConnectionEngine::Reactor`]) from
+//! the same test body: the engines share the protocol logic by
+//! construction, and this suite is what keeps the transport halves from
+//! drifting apart — the reply bytes, and therefore the estimates, must be
+//! bit-identical regardless of which engine served them.
 
 use idldp_core::budget::Epsilon;
 use idldp_core::grr::GeneralizedRandomizedResponse;
@@ -32,7 +39,9 @@ use idldp_core::ps::PsMechanism;
 use idldp_core::report::ReportData;
 use idldp_core::subset::SubsetSelection;
 use idldp_core::ue::UnaryEncoding;
-use idldp_server::{ClientError, PushOutcome, ReportClient, ReportServer, ServerConfig};
+use idldp_server::{
+    ClientError, ConnectionEngine, PushOutcome, ReportClient, ReportServer, ServerConfig,
+};
 use idldp_sim::heavy_hitters::identify_top_k;
 use idldp_sim::stream::SeededReportStream;
 use idldp_sim::SimulationPipeline;
@@ -43,6 +52,24 @@ const CHUNK: usize = 256;
 
 fn eps(v: f64) -> Epsilon {
     Epsilon::new(v).unwrap()
+}
+
+/// Both connection engines on unix; the readiness reactor needs a unix
+/// poller backend, so non-unix hosts cover the blocking engine only.
+fn engines() -> Vec<ConnectionEngine> {
+    if cfg!(unix) {
+        vec![ConnectionEngine::Blocking, ConnectionEngine::Reactor]
+    } else {
+        vec![ConnectionEngine::Blocking]
+    }
+}
+
+/// A [`ServerConfig`] pinned to one engine (defaults otherwise).
+fn engine_config(engine: ConnectionEngine) -> ServerConfig {
+    ServerConfig {
+        engine,
+        ..ServerConfig::default()
+    }
 }
 
 fn items(n: usize, m: usize) -> Vec<u32> {
@@ -180,42 +207,45 @@ fn assert_bit_identical(name: &str, got: &[f64], want: &[f64]) {
 
 #[test]
 fn loopback_estimates_are_bit_identical_to_batch_for_all_eight_mechanisms() {
-    for (name, mechanism, inputs) in lineup() {
+    for (mech_name, mechanism, inputs) in lineup() {
         let (want_users, want) = batch_estimates(mechanism.as_ref(), inputs.as_batch());
 
-        let server = ReportServer::start(
-            mechanism.clone() as Arc<dyn Mechanism>,
-            ServerConfig::default(),
-        )
-        .unwrap();
-        let (mut client, resumed) =
-            ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
-        assert_eq!(resumed, 0, "{name}: fresh server starts empty");
+        for engine in engines() {
+            let name = format!("{mech_name}/{engine}");
+            let server = ReportServer::start(
+                mechanism.clone() as Arc<dyn Mechanism>,
+                engine_config(engine),
+            )
+            .unwrap();
+            let (mut client, resumed) =
+                ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
+            assert_eq!(resumed, 0, "{name}: fresh server starts empty");
 
-        for chunk in wire_chunks(mechanism.as_ref(), inputs.as_batch()) {
-            client.push_all(&chunk).unwrap();
+            for chunk in wire_chunks(mechanism.as_ref(), inputs.as_batch()) {
+                client.push_all(&chunk).unwrap();
+            }
+
+            let (users, estimates) = client.query_estimates().unwrap();
+            assert_eq!(users, want_users, "{name}: user count over TCP");
+            assert_bit_identical(&name, &estimates, &want);
+
+            // The top-k query ranks exactly like batch identification.
+            let k = 5;
+            let (_, candidates) = client.query_top_k(k).unwrap();
+            let want_top: Vec<u64> = identify_top_k(&want, k).iter().map(|&i| i as u64).collect();
+            let got_top: Vec<u64> = candidates.iter().map(|&(item, _)| item).collect();
+            assert_eq!(got_top, want_top, "{name}: top-{k} over TCP");
+            for &(item, estimate) in &candidates {
+                assert_eq!(
+                    estimate.to_bits(),
+                    want[item as usize].to_bits(),
+                    "{name}: candidate estimate bits"
+                );
+            }
+
+            assert_eq!(server.fold_failures(), 0, "{name}: no post-accept failures");
+            server.shutdown();
         }
-
-        let (users, estimates) = client.query_estimates().unwrap();
-        assert_eq!(users, want_users, "{name}: user count over TCP");
-        assert_bit_identical(name, &estimates, &want);
-
-        // The top-k query ranks exactly like batch identification.
-        let k = 5;
-        let (_, candidates) = client.query_top_k(k).unwrap();
-        let want_top: Vec<u64> = identify_top_k(&want, k).iter().map(|&i| i as u64).collect();
-        let got_top: Vec<u64> = candidates.iter().map(|&(item, _)| item).collect();
-        assert_eq!(got_top, want_top, "{name}: top-{k} over TCP");
-        for &(item, estimate) in &candidates {
-            assert_eq!(
-                estimate.to_bits(),
-                want[item as usize].to_bits(),
-                "{name}: candidate estimate bits"
-            );
-        }
-
-        assert_eq!(server.fold_failures(), 0, "{name}: no post-accept failures");
-        server.shutdown();
     }
 }
 
@@ -226,143 +256,161 @@ fn full_ingest_queue_yields_busy_and_a_retrying_client_still_converges() {
     let inputs = OwnedInputs::Items(items(2000, 16));
     let (want_users, want) = batch_estimates(mechanism.as_ref(), inputs.as_batch());
 
-    let capacity = 64;
-    let server = ReportServer::start(
-        mechanism.clone() as Arc<dyn Mechanism>,
-        ServerConfig {
-            queue_capacity: capacity,
-            ..ServerConfig::default()
-        },
-    )
-    .unwrap();
-    let (mut client, _) = ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
-    client = client.with_retry_backoff(std::time::Duration::from_millis(1));
+    for engine in engines() {
+        let capacity = 64;
+        let server = ReportServer::start(
+            mechanism.clone() as Arc<dyn Mechanism>,
+            ServerConfig {
+                queue_capacity: capacity,
+                ..engine_config(engine)
+            },
+        )
+        .unwrap();
+        let (mut client, _) =
+            ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
+        client = client.with_retry_backoff(std::time::Duration::from_millis(1));
 
-    // Freeze the fold side: accepted reports pile up in the bounded queue.
-    server.pause_ingest();
-    let chunks = wire_chunks(mechanism.as_ref(), inputs.as_batch());
-    let oversized: Vec<ReportData> = chunks
-        .iter()
-        .flatten()
-        .take(capacity + 40)
-        .cloned()
-        .collect();
-    match client.push(&oversized).unwrap() {
-        PushOutcome::Busy { accepted } => {
-            assert_eq!(
-                accepted, capacity as u64,
-                "exactly the queue capacity is accepted before Busy"
-            );
+        // Freeze the fold side: accepted reports pile up in the bounded queue.
+        server.pause_ingest();
+        let chunks = wire_chunks(mechanism.as_ref(), inputs.as_batch());
+        let oversized: Vec<ReportData> = chunks
+            .iter()
+            .flatten()
+            .take(capacity + 40)
+            .cloned()
+            .collect();
+        match client.push(&oversized).unwrap() {
+            PushOutcome::Busy { accepted } => {
+                assert_eq!(
+                    accepted, capacity as u64,
+                    "{engine}: exactly the queue capacity is accepted before Busy"
+                );
+            }
+            PushOutcome::Ingested => panic!("{engine}: a full queue must answer Busy"),
         }
-        PushOutcome::Ingested => panic!("a full queue must answer Busy"),
-    }
-    // Still paused: nothing further fits, but nothing breaks either.
-    match client.push(&oversized[capacity..]).unwrap() {
-        PushOutcome::Busy { accepted } => assert_eq!(accepted, 0),
-        PushOutcome::Ingested => panic!("queue is still full"),
-    }
+        // Still paused: nothing further fits, but nothing breaks either.
+        match client.push(&oversized[capacity..]).unwrap() {
+            PushOutcome::Busy { accepted } => assert_eq!(accepted, 0),
+            PushOutcome::Ingested => panic!("{engine}: queue is still full"),
+        }
 
-    // Resume folding and push the whole population through the retry loop,
-    // skipping the `capacity` reports the server already accepted.
-    server.resume_ingest();
-    let all: Vec<ReportData> = chunks.into_iter().flatten().collect();
-    client.push_all(&all[capacity..]).unwrap();
+        // Resume folding and push the whole population through the retry loop,
+        // skipping the `capacity` reports the server already accepted.
+        server.resume_ingest();
+        let all: Vec<ReportData> = chunks.into_iter().flatten().collect();
+        client.push_all(&all[capacity..]).unwrap();
 
-    let (users, estimates) = client.query_estimates().unwrap();
-    assert_eq!(users, want_users, "no accepted report was dropped");
-    assert_bit_identical("busy-retry", &estimates, &want);
-    assert_eq!(server.fold_failures(), 0);
-    server.shutdown();
+        let (users, estimates) = client.query_estimates().unwrap();
+        assert_eq!(
+            users, want_users,
+            "{engine}: no accepted report was dropped"
+        );
+        assert_bit_identical(&format!("busy-retry/{engine}"), &estimates, &want);
+        assert_eq!(server.fold_failures(), 0);
+        server.shutdown();
+    }
 }
 
 #[test]
 fn handshake_rejects_mismatched_mechanism_config() {
-    let server_mech: Arc<dyn BatchMechanism> =
-        Arc::new(GeneralizedRandomizedResponse::new(eps(1.2), 16).unwrap());
-    let server = ReportServer::start(
-        server_mech.clone() as Arc<dyn Mechanism>,
-        ServerConfig::default(),
-    )
-    .unwrap();
+    for engine in engines() {
+        let server_mech: Arc<dyn BatchMechanism> =
+            Arc::new(GeneralizedRandomizedResponse::new(eps(1.2), 16).unwrap());
+        let server = ReportServer::start(
+            server_mech.clone() as Arc<dyn Mechanism>,
+            engine_config(engine),
+        )
+        .unwrap();
 
-    // Wrong kind + shape (OLH sends hashed pairs, server runs GRR).
-    let olh = OptimalLocalHashing::new(eps(1.2), 16).unwrap();
-    let err = ReportClient::connect(server.local_addr(), &olh)
-        .map(|_| ())
-        .expect_err("mismatched hello must be rejected");
-    match err {
-        ClientError::Rejected { message, .. } => {
-            assert!(message.contains("mismatch"), "unexpected reason: {message}")
+        // Wrong kind + shape (OLH sends hashed pairs, server runs GRR).
+        let olh = OptimalLocalHashing::new(eps(1.2), 16).unwrap();
+        let err = ReportClient::connect(server.local_addr(), &olh)
+            .map(|_| ())
+            .expect_err("mismatched hello must be rejected");
+        match err {
+            ClientError::Rejected { message, .. } => {
+                assert!(
+                    message.contains("mismatch"),
+                    "{engine}: unexpected reason: {message}"
+                )
+            }
+            other => panic!("{engine}: expected a typed rejection, got {other:?}"),
         }
-        other => panic!("expected a typed rejection, got {other:?}"),
+
+        // Same kind, wrong width.
+        let narrow = GeneralizedRandomizedResponse::new(eps(1.2), 8).unwrap();
+        assert!(matches!(
+            ReportClient::connect(server.local_addr(), &narrow),
+            Err(ClientError::Rejected { .. })
+        ));
+
+        // Same kind, same shape, same width — different privacy budget. The
+        // reports would fold cleanly but calibrate wrongly, so the handshake
+        // must refuse (the Hello carries the exact ε bits).
+        let other_eps = GeneralizedRandomizedResponse::new(eps(2.0), 16).unwrap();
+        assert!(matches!(
+            ReportClient::connect(server.local_addr(), &other_eps),
+            Err(ClientError::Rejected { .. })
+        ));
+
+        // A matching client still gets through afterwards.
+        let (mut client, _) =
+            ReportClient::connect(server.local_addr(), server_mech.as_ref()).unwrap();
+        client.push_all(&[ReportData::Value(3)]).unwrap();
+        let (users, _) = client.query_estimates().unwrap();
+        assert_eq!(users, 1);
+        server.shutdown();
     }
-
-    // Same kind, wrong width.
-    let narrow = GeneralizedRandomizedResponse::new(eps(1.2), 8).unwrap();
-    assert!(matches!(
-        ReportClient::connect(server.local_addr(), &narrow),
-        Err(ClientError::Rejected { .. })
-    ));
-
-    // Same kind, same shape, same width — different privacy budget. The
-    // reports would fold cleanly but calibrate wrongly, so the handshake
-    // must refuse (the Hello carries the exact ε bits).
-    let other_eps = GeneralizedRandomizedResponse::new(eps(2.0), 16).unwrap();
-    assert!(matches!(
-        ReportClient::connect(server.local_addr(), &other_eps),
-        Err(ClientError::Rejected { .. })
-    ));
-
-    // A matching client still gets through afterwards.
-    let (mut client, _) = ReportClient::connect(server.local_addr(), server_mech.as_ref()).unwrap();
-    client.push_all(&[ReportData::Value(3)]).unwrap();
-    let (users, _) = client.query_estimates().unwrap();
-    assert_eq!(users, 1);
-    server.shutdown();
 }
 
 #[test]
 fn invalid_reports_are_rejected_without_corrupting_counts() {
-    let mechanism: Arc<dyn BatchMechanism> =
-        Arc::new(GeneralizedRandomizedResponse::new(eps(1.2), 8).unwrap());
-    let server = ReportServer::start(
-        mechanism.clone() as Arc<dyn Mechanism>,
-        ServerConfig::default(),
-    )
-    .unwrap();
-    let (mut client, _) = ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
+    for engine in engines() {
+        let mechanism: Arc<dyn BatchMechanism> =
+            Arc::new(GeneralizedRandomizedResponse::new(eps(1.2), 8).unwrap());
+        let server = ReportServer::start(
+            mechanism.clone() as Arc<dyn Mechanism>,
+            engine_config(engine),
+        )
+        .unwrap();
+        let (mut client, _) =
+            ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
 
-    // A hostile frame mixing valid and invalid reports is rejected
-    // *atomically*: the whole frame validates before anything is queued,
-    // so nothing folds — not even the valid prefix — and the reply names
-    // the offending report.
-    let batch = vec![
-        ReportData::Value(1),
-        ReportData::Value(2),
-        ReportData::Value(8), // out of 0..8
-        ReportData::Value(3),
-    ];
-    match client.push_all(&batch) {
-        Err(ClientError::Rejected { accepted, message }) => {
-            assert_eq!(accepted, 0, "mixed frames reject atomically");
-            assert!(message.contains("report 2"), "{message}");
-            assert!(message.contains("out of range"), "{message}");
+        // A hostile frame mixing valid and invalid reports is rejected
+        // *atomically*: the whole frame validates before anything is queued,
+        // so nothing folds — not even the valid prefix — and the reply names
+        // the offending report.
+        let batch = vec![
+            ReportData::Value(1),
+            ReportData::Value(2),
+            ReportData::Value(8), // out of 0..8
+            ReportData::Value(3),
+        ];
+        match client.push_all(&batch) {
+            Err(ClientError::Rejected { accepted, message }) => {
+                assert_eq!(accepted, 0, "{engine}: mixed frames reject atomically");
+                assert!(message.contains("report 2"), "{engine}: {message}");
+                assert!(message.contains("out of range"), "{engine}: {message}");
+            }
+            other => panic!("{engine}: invalid report must be rejected, got {other:?}"),
         }
-        other => panic!("invalid report must be rejected, got {other:?}"),
-    }
-    // A wrong-shape report is refused too (connection negotiated values).
-    assert!(matches!(
-        client.push_all(&[ReportData::Hashed { seed: 1, value: 0 }]),
-        Err(ClientError::Rejected { .. })
-    ));
+        // A wrong-shape report is refused too (connection negotiated values).
+        assert!(matches!(
+            client.push_all(&[ReportData::Hashed { seed: 1, value: 0 }]),
+            Err(ClientError::Rejected { .. })
+        ));
 
-    // The connection survives rejection, and only valid frames count.
-    client.push_all(&[ReportData::Value(3)]).unwrap();
-    let (users, estimates) = client.query_estimates().unwrap();
-    assert_eq!(users, 1, "only the clean frame after the rejections folds");
-    assert_eq!(estimates.len(), 8);
-    assert_eq!(server.fold_failures(), 0);
-    server.shutdown();
+        // The connection survives rejection, and only valid frames count.
+        client.push_all(&[ReportData::Value(3)]).unwrap();
+        let (users, estimates) = client.query_estimates().unwrap();
+        assert_eq!(
+            users, 1,
+            "{engine}: only the clean frame after the rejections folds"
+        );
+        assert_eq!(estimates.len(), 8);
+        assert_eq!(server.fold_failures(), 0);
+        server.shutdown();
+    }
 }
 
 /// One multi-report `Reports` frame draws exactly one `Ingested` reply
@@ -372,48 +420,55 @@ fn invalid_reports_are_rejected_without_corrupting_counts() {
 /// subset-selection set rejects the frame atomically.
 #[test]
 fn one_frame_one_ack_and_pinned_item_set_cardinality() {
-    // A 100-report frame is one push, one Ingested.
-    let mechanism: Arc<dyn BatchMechanism> =
-        Arc::new(GeneralizedRandomizedResponse::new(eps(1.2), 8).unwrap());
-    let server = ReportServer::start(
-        mechanism.clone() as Arc<dyn Mechanism>,
-        ServerConfig::default(),
-    )
-    .unwrap();
-    let (mut client, _) = ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
-    let batch: Vec<ReportData> = (0..100).map(|i| ReportData::Value(i % 8)).collect();
-    assert_eq!(client.push(&batch).unwrap(), PushOutcome::Ingested);
-    let (users, _) = client.query_estimates().unwrap();
-    assert_eq!(users, 100, "the whole frame folded behind the single ack");
-    assert_eq!(server.fold_failures(), 0);
-    server.shutdown();
+    for engine in engines() {
+        // A 100-report frame is one push, one Ingested.
+        let mechanism: Arc<dyn BatchMechanism> =
+            Arc::new(GeneralizedRandomizedResponse::new(eps(1.2), 8).unwrap());
+        let server = ReportServer::start(
+            mechanism.clone() as Arc<dyn Mechanism>,
+            engine_config(engine),
+        )
+        .unwrap();
+        let (mut client, _) =
+            ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
+        let batch: Vec<ReportData> = (0..100).map(|i| ReportData::Value(i % 8)).collect();
+        assert_eq!(client.push(&batch).unwrap(), PushOutcome::Ingested);
+        let (users, _) = client.query_estimates().unwrap();
+        assert_eq!(
+            users, 100,
+            "{engine}: the whole frame folded behind the single ack"
+        );
+        assert_eq!(server.fold_failures(), 0);
+        server.shutdown();
 
-    // Subset selection pins k in the handshake shape; a set of any other
-    // size is refused and poisons its whole frame.
-    let ss = SubsetSelection::new(eps(1.0), 20).unwrap();
-    let k = ss.subset_size();
-    assert!((1..20).contains(&k));
-    let mechanism: Arc<dyn BatchMechanism> = Arc::new(ss);
-    let server = ReportServer::start(
-        mechanism.clone() as Arc<dyn Mechanism>,
-        ServerConfig::default(),
-    )
-    .unwrap();
-    let (mut client, _) = ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
-    let valid = ReportData::ItemSet((0..k).collect());
-    client.push_all(std::slice::from_ref(&valid)).unwrap();
-    let wrong_size = ReportData::ItemSet((0..k + 1).collect());
-    match client.push_all(&[valid, wrong_size]) {
-        Err(ClientError::Rejected { accepted, message }) => {
-            assert_eq!(accepted, 0, "the valid lead report must not fold");
-            assert!(message.contains("cardinality"), "{message}");
+        // Subset selection pins k in the handshake shape; a set of any other
+        // size is refused and poisons its whole frame.
+        let ss = SubsetSelection::new(eps(1.0), 20).unwrap();
+        let k = ss.subset_size();
+        assert!((1..20).contains(&k));
+        let mechanism: Arc<dyn BatchMechanism> = Arc::new(ss);
+        let server = ReportServer::start(
+            mechanism.clone() as Arc<dyn Mechanism>,
+            engine_config(engine),
+        )
+        .unwrap();
+        let (mut client, _) =
+            ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
+        let valid = ReportData::ItemSet((0..k).collect());
+        client.push_all(std::slice::from_ref(&valid)).unwrap();
+        let wrong_size = ReportData::ItemSet((0..k + 1).collect());
+        match client.push_all(&[valid, wrong_size]) {
+            Err(ClientError::Rejected { accepted, message }) => {
+                assert_eq!(accepted, 0, "{engine}: the valid lead report must not fold");
+                assert!(message.contains("cardinality"), "{engine}: {message}");
+            }
+            other => panic!("{engine}: wrong-sized set must be rejected, got {other:?}"),
         }
-        other => panic!("wrong-sized set must be rejected, got {other:?}"),
+        let (users, _) = client.query_estimates().unwrap();
+        assert_eq!(users, 1, "{engine}: only the clean frame counts");
+        assert_eq!(server.fold_failures(), 0);
+        server.shutdown();
     }
-    let (users, _) = client.query_estimates().unwrap();
-    assert_eq!(users, 1, "only the clean frame counts");
-    assert_eq!(server.fold_failures(), 0);
-    server.shutdown();
 }
 
 #[test]
@@ -423,65 +478,73 @@ fn checkpoint_restart_resumes_bit_identically_over_tcp() {
     let inputs = OwnedInputs::Items(items(2048, 16));
     let (want_users, want) = batch_estimates(mechanism.as_ref(), inputs.as_batch());
 
-    let dir = std::env::temp_dir().join(format!("idldp-server-loopback-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
-    let ckpt = dir.join("serve.ckpt");
-    let config = ServerConfig {
-        checkpoint_path: Some(ckpt.clone()),
-        ..ServerConfig::default()
-    };
+    for engine in engines() {
+        let dir = std::env::temp_dir().join(format!(
+            "idldp-server-loopback-{}-{engine}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("serve.ckpt");
+        let config = ServerConfig {
+            checkpoint_path: Some(ckpt.clone()),
+            ..engine_config(engine)
+        };
 
-    let chunks = wire_chunks(mechanism.as_ref(), inputs.as_batch());
-    let half = chunks.len() / 2;
+        let chunks = wire_chunks(mechanism.as_ref(), inputs.as_batch());
+        let half = chunks.len() / 2;
 
-    // First server: ingest half the stream, checkpoint over the socket.
-    let server =
-        ReportServer::start(mechanism.clone() as Arc<dyn Mechanism>, config.clone()).unwrap();
-    let (mut client, resumed) =
-        ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
-    assert_eq!(resumed, 0);
-    for chunk in &chunks[..half] {
-        client.push_all(chunk).unwrap();
+        // First server: ingest half the stream, checkpoint over the socket.
+        let server =
+            ReportServer::start(mechanism.clone() as Arc<dyn Mechanism>, config.clone()).unwrap();
+        let (mut client, resumed) =
+            ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
+        assert_eq!(resumed, 0);
+        for chunk in &chunks[..half] {
+            client.push_all(chunk).unwrap();
+        }
+        let covered = client.checkpoint().unwrap();
+        assert_eq!(covered, (half * CHUNK) as u64);
+        drop(client);
+        server.shutdown();
+
+        // "Restart": a new server restores the checkpoint; the client learns
+        // the resume point from the HelloAck and pushes only the tail.
+        let server = ReportServer::start(mechanism.clone() as Arc<dyn Mechanism>, config).unwrap();
+        let (mut client, resumed) =
+            ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
+        assert_eq!(
+            resumed, covered,
+            "{engine}: HelloAck reports the restored users"
+        );
+        for chunk in &chunks[half..] {
+            client.push_all(chunk).unwrap();
+        }
+        let (users, estimates) = client.query_estimates().unwrap();
+        assert_eq!(users, want_users);
+        assert_bit_identical(&format!("checkpoint-restart/{engine}"), &estimates, &want);
+        server.shutdown();
+
+        // A differently configured server refuses the checkpoint outright —
+        // whether the mechanism kind differs...
+        let other: Arc<dyn BatchMechanism> =
+            Arc::new(GeneralizedRandomizedResponse::new(eps(1.2), 16).unwrap());
+        let again = ServerConfig {
+            checkpoint_path: Some(ckpt.clone()),
+            ..engine_config(engine)
+        };
+        assert!(ReportServer::start(other as Arc<dyn Mechanism>, again).is_err());
+        // ...or only the privacy budget does (same kind, same shape, same
+        // width: counts perturbed under a different ε must not be restored,
+        // because the oracle would calibrate them wrongly).
+        let other_eps: Arc<dyn BatchMechanism> =
+            Arc::new(UnaryEncoding::optimized(eps(2.5), 16).unwrap());
+        let again = ServerConfig {
+            checkpoint_path: Some(ckpt),
+            ..engine_config(engine)
+        };
+        assert!(ReportServer::start(other_eps as Arc<dyn Mechanism>, again).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
-    let covered = client.checkpoint().unwrap();
-    assert_eq!(covered, (half * CHUNK) as u64);
-    drop(client);
-    server.shutdown();
-
-    // "Restart": a new server restores the checkpoint; the client learns
-    // the resume point from the HelloAck and pushes only the tail.
-    let server = ReportServer::start(mechanism.clone() as Arc<dyn Mechanism>, config).unwrap();
-    let (mut client, resumed) =
-        ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
-    assert_eq!(resumed, covered, "HelloAck reports the restored users");
-    for chunk in &chunks[half..] {
-        client.push_all(chunk).unwrap();
-    }
-    let (users, estimates) = client.query_estimates().unwrap();
-    assert_eq!(users, want_users);
-    assert_bit_identical("checkpoint-restart", &estimates, &want);
-    server.shutdown();
-
-    // A differently configured server refuses the checkpoint outright —
-    // whether the mechanism kind differs...
-    let other: Arc<dyn BatchMechanism> =
-        Arc::new(GeneralizedRandomizedResponse::new(eps(1.2), 16).unwrap());
-    let again = ServerConfig {
-        checkpoint_path: Some(ckpt.clone()),
-        ..ServerConfig::default()
-    };
-    assert!(ReportServer::start(other as Arc<dyn Mechanism>, again).is_err());
-    // ...or only the privacy budget does (same kind, same shape, same
-    // width: counts perturbed under a different ε must not be restored,
-    // because the oracle would calibrate them wrongly).
-    let other_eps: Arc<dyn BatchMechanism> =
-        Arc::new(UnaryEncoding::optimized(eps(2.5), 16).unwrap());
-    let again = ServerConfig {
-        checkpoint_path: Some(ckpt),
-        ..ServerConfig::default()
-    };
-    assert!(ReportServer::start(other_eps as Arc<dyn Mechanism>, again).is_err());
-    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 /// A server bound to the unspecified address must still shut down cleanly:
@@ -490,24 +553,26 @@ fn checkpoint_restart_resumes_bit_identically_over_tcp() {
 /// joining an acceptor that never wakes.
 #[test]
 fn shutdown_completes_when_bound_to_the_unspecified_address() {
-    let mechanism: Arc<dyn BatchMechanism> =
-        Arc::new(GeneralizedRandomizedResponse::new(eps(1.0), 8).unwrap());
-    let config = ServerConfig {
-        addr: "0.0.0.0:0".into(),
-        ..ServerConfig::default()
-    };
-    let server = ReportServer::start(mechanism as Arc<dyn Mechanism>, config).unwrap();
-    assert!(server.local_addr().ip().is_unspecified());
-    let done = std::thread::spawn(move || server.shutdown());
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
-    while !done.is_finished() {
-        assert!(
-            std::time::Instant::now() < deadline,
-            "shutdown hung on an unspecified-address bind"
-        );
-        std::thread::sleep(std::time::Duration::from_millis(20));
+    for engine in engines() {
+        let mechanism: Arc<dyn BatchMechanism> =
+            Arc::new(GeneralizedRandomizedResponse::new(eps(1.0), 8).unwrap());
+        let config = ServerConfig {
+            addr: "0.0.0.0:0".into(),
+            ..engine_config(engine)
+        };
+        let server = ReportServer::start(mechanism as Arc<dyn Mechanism>, config).unwrap();
+        assert!(server.local_addr().ip().is_unspecified());
+        let done = std::thread::spawn(move || server.shutdown());
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !done.is_finished() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "{engine}: shutdown hung on an unspecified-address bind"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        done.join().unwrap();
     }
-    done.join().unwrap();
 }
 
 /// A bit-vector mechanism wider than the wire protocol's
@@ -516,16 +581,18 @@ fn shutdown_completes_when_bound_to_the_unspecified_address() {
 /// per-frame rejection marathon.
 #[test]
 fn too_wide_bit_mechanism_is_a_typed_startup_error() {
-    let too_wide = idldp_server::MAX_BIT_REPORT_SLOTS + 1;
-    let mechanism: Arc<dyn BatchMechanism> =
-        Arc::new(UnaryEncoding::optimized(eps(1.0), too_wide).unwrap());
-    let err = ReportServer::start(mechanism as Arc<dyn Mechanism>, ServerConfig::default())
-        .err()
-        .expect("over-cap width must not start");
-    assert!(
-        err.to_string().contains("wire cap"),
-        "unexpected error: {err}"
-    );
+    for engine in engines() {
+        let too_wide = idldp_server::MAX_BIT_REPORT_SLOTS + 1;
+        let mechanism: Arc<dyn BatchMechanism> =
+            Arc::new(UnaryEncoding::optimized(eps(1.0), too_wide).unwrap());
+        let err = ReportServer::start(mechanism as Arc<dyn Mechanism>, engine_config(engine))
+            .err()
+            .expect("over-cap width must not start");
+        assert!(
+            err.to_string().contains("wire cap"),
+            "{engine}: unexpected error: {err}"
+        );
+    }
 }
 
 /// A query while ingest is paused (and accepted reports are still queued)
@@ -539,28 +606,34 @@ fn query_during_paused_ingest_is_refused_not_blocked() {
     let inputs = OwnedInputs::Items(items(200, 8));
     let (want_users, want) = batch_estimates(mechanism.as_ref(), inputs.as_batch());
 
-    let server = ReportServer::start(
-        mechanism.clone() as Arc<dyn Mechanism>,
-        ServerConfig::default(),
-    )
-    .unwrap();
-    let (mut client, _) = ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
+    for engine in engines() {
+        let server = ReportServer::start(
+            mechanism.clone() as Arc<dyn Mechanism>,
+            engine_config(engine),
+        )
+        .unwrap();
+        let (mut client, _) =
+            ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
 
-    server.pause_ingest();
-    for chunk in wire_chunks(mechanism.as_ref(), inputs.as_batch()) {
-        client.push_all(&chunk).unwrap(); // capacity 65_536 ≫ 200: all queue
-    }
-    match client.query_estimates() {
-        Err(ClientError::Rejected { message, .. }) => {
-            assert!(message.contains("paused"), "unexpected reason: {message}")
+        server.pause_ingest();
+        for chunk in wire_chunks(mechanism.as_ref(), inputs.as_batch()) {
+            client.push_all(&chunk).unwrap(); // capacity 65_536 ≫ 200: all queue
         }
-        other => panic!("expected a typed paused refusal, got {other:?}"),
-    }
+        match client.query_estimates() {
+            Err(ClientError::Rejected { message, .. }) => {
+                assert!(
+                    message.contains("paused"),
+                    "{engine}: unexpected reason: {message}"
+                )
+            }
+            other => panic!("{engine}: expected a typed paused refusal, got {other:?}"),
+        }
 
-    // The refusal is not sticky: resume, and the same connection settles.
-    server.resume_ingest();
-    let (users, estimates) = client.query_estimates().unwrap();
-    assert_eq!(users, want_users);
-    assert_bit_identical("paused-resume", &estimates, &want);
-    server.shutdown();
+        // The refusal is not sticky: resume, and the same connection settles.
+        server.resume_ingest();
+        let (users, estimates) = client.query_estimates().unwrap();
+        assert_eq!(users, want_users);
+        assert_bit_identical(&format!("paused-resume/{engine}"), &estimates, &want);
+        server.shutdown();
+    }
 }

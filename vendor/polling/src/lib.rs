@@ -1,0 +1,746 @@
+//! Offline stand-in for a readiness poller (the role the `polling` /
+//! `mio` crates play): a level-triggered [`Poller`] multiplexing many file
+//! descriptors onto one `wait` call, with a cross-thread [`Poller::notify`]
+//! wake-up.
+//!
+//! Only the API subset the workspace's reactor engine uses is provided:
+//!
+//! * [`Poller::add`] / [`Poller::modify`] / [`Poller::delete`] — register a
+//!   raw fd with a read/write interest carrying a caller-chosen `key`.
+//! * [`Poller::wait`] — block (with optional timeout) until registered fds
+//!   are ready; ready fds are reported as [`Event`]s. Level-triggered: an
+//!   fd stays ready until the condition is consumed.
+//! * [`Poller::notify`] — wake a concurrent `wait` from any thread (used
+//!   for connection handoff and shutdown). Notifications are consumed
+//!   internally and surface as a spurious wake-up, never as an [`Event`].
+//!
+//! Backends: `epoll(7)` on Linux (O(1) readiness, the C10k path) and
+//! portable `poll(2)` on other unix systems; both are implemented over
+//! direct `extern "C"` bindings to the C library `std` already links, so
+//! no crates.io access is needed. Non-unix platforms get a stub whose
+//! constructor returns [`std::io::ErrorKind::Unsupported`] — callers fall
+//! back to a blocking engine there. On Linux the `poll` backend is still
+//! compiled and unit-tested ([`Poller::with_poll_backend`]) so the
+//! portable path cannot rot unobserved.
+
+/// A readiness report for (or interest registration of) one registered
+/// file descriptor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen identifier handed back verbatim when the fd is ready.
+    pub key: usize,
+    /// Interested in (or ready for) reading. Hang-ups and errors are
+    /// reported as readable so a subsequent `read` observes them.
+    pub readable: bool,
+    /// Interested in (or ready for) writing.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Read interest only.
+    pub fn readable(key: usize) -> Self {
+        Self {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Write interest only.
+    pub fn writable(key: usize) -> Self {
+        Self {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Both interests.
+    pub fn all(key: usize) -> Self {
+        Self {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// No interest (the fd stays registered; errors/hang-ups are still
+    /// reported by the epoll backend, and the registration can be
+    /// re-armed with [`Poller::modify`]).
+    pub fn none(key: usize) -> Self {
+        Self {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+}
+
+pub use sys::Poller;
+
+#[cfg(unix)]
+mod sys {
+    use super::Event;
+    use std::io;
+    use std::os::raw::{c_int, c_void};
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    extern "C" {
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    /// Milliseconds for the kernel timeout argument: `None` blocks
+    /// forever (-1); sub-millisecond non-zero durations round *up* so a
+    /// 100µs timeout cannot busy-spin as 0.
+    fn timeout_ms(timeout: Option<Duration>) -> c_int {
+        match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d.as_millis();
+                let ms = if ms == 0 && !d.is_zero() { 1 } else { ms };
+                c_int::try_from(ms).unwrap_or(c_int::MAX)
+            }
+        }
+    }
+
+    /// Drains a readable notification fd (eventfd or pipe read end)
+    /// without caring how many wake-ups coalesced.
+    fn drain(fd: RawFd) {
+        let mut buf = [0u8; 64];
+        unsafe {
+            // Nonblocking fd (or poll() just reported readable): one read
+            // clears enough to make the next notify() visible again.
+            let _ = read(fd, buf.as_mut_ptr().cast(), buf.len());
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    mod epoll {
+        use super::super::Event;
+        use super::{drain, timeout_ms};
+        use std::io;
+        use std::os::raw::{c_int, c_uint};
+        use std::os::unix::io::RawFd;
+        use std::time::Duration;
+
+        const EPOLL_CLOEXEC: c_int = 0x80000;
+        const EPOLL_CTL_ADD: c_int = 1;
+        const EPOLL_CTL_DEL: c_int = 2;
+        const EPOLL_CTL_MOD: c_int = 3;
+        const EPOLLIN: u32 = 0x001;
+        const EPOLLOUT: u32 = 0x004;
+        const EPOLLERR: u32 = 0x008;
+        const EPOLLHUP: u32 = 0x010;
+        const EPOLLRDHUP: u32 = 0x2000;
+        const EFD_CLOEXEC: c_int = 0x80000;
+        const EFD_NONBLOCK: c_int = 0x800;
+        /// `epoll_data` value reserved for the internal notify eventfd.
+        const NOTIFY_DATA: u64 = u64::MAX;
+
+        /// The kernel's `struct epoll_event`; packed on x86 ABIs (the
+        /// layout libc uses).
+        #[derive(Clone, Copy)]
+        #[repr(C)]
+        #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+        struct EpollEvent {
+            events: u32,
+            data: u64,
+        }
+
+        extern "C" {
+            fn epoll_create1(flags: c_int) -> c_int;
+            fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+            fn epoll_wait(
+                epfd: c_int,
+                events: *mut EpollEvent,
+                maxevents: c_int,
+                timeout: c_int,
+            ) -> c_int;
+            fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        }
+
+        fn check(ret: c_int) -> io::Result<c_int> {
+            if ret < 0 {
+                Err(io::Error::last_os_error())
+            } else {
+                Ok(ret)
+            }
+        }
+
+        pub(super) struct Epoll {
+            epfd: RawFd,
+            notify_fd: RawFd,
+        }
+
+        impl Epoll {
+            pub(super) fn new() -> io::Result<Self> {
+                let epfd = check(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+                let notify_fd = match check(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) }) {
+                    Ok(fd) => fd,
+                    Err(e) => {
+                        unsafe { super::close(epfd) };
+                        return Err(e);
+                    }
+                };
+                let poller = Self { epfd, notify_fd };
+                let mut ev = EpollEvent {
+                    events: EPOLLIN,
+                    data: NOTIFY_DATA,
+                };
+                check(unsafe { epoll_ctl(poller.epfd, EPOLL_CTL_ADD, notify_fd, &mut ev) })?;
+                Ok(poller)
+            }
+
+            fn interest_bits(interest: Event) -> u32 {
+                let mut events = EPOLLRDHUP;
+                if interest.readable {
+                    events |= EPOLLIN;
+                }
+                if interest.writable {
+                    events |= EPOLLOUT;
+                }
+                events
+            }
+
+            fn ctl(&self, op: c_int, fd: RawFd, interest: Event) -> io::Result<()> {
+                assert_ne!(
+                    interest.key as u64, NOTIFY_DATA,
+                    "key usize::MAX is reserved for the internal notifier"
+                );
+                let mut ev = EpollEvent {
+                    events: Self::interest_bits(interest),
+                    data: interest.key as u64,
+                };
+                check(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) }).map(drop)
+            }
+
+            pub(super) fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+                self.ctl(EPOLL_CTL_ADD, fd, interest)
+            }
+
+            pub(super) fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+                self.ctl(EPOLL_CTL_MOD, fd, interest)
+            }
+
+            pub(super) fn delete(&self, fd: RawFd) -> io::Result<()> {
+                let mut ev = EpollEvent { events: 0, data: 0 };
+                check(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) }).map(drop)
+            }
+
+            pub(super) fn wait(
+                &self,
+                events: &mut Vec<Event>,
+                timeout: Option<Duration>,
+            ) -> io::Result<usize> {
+                let mut buf = [EpollEvent { events: 0, data: 0 }; 256];
+                let n = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        buf.as_mut_ptr(),
+                        buf.len() as c_int,
+                        timeout_ms(timeout),
+                    )
+                };
+                if n < 0 {
+                    let err = io::Error::last_os_error();
+                    if err.kind() == io::ErrorKind::Interrupted {
+                        return Ok(0); // spurious wake-up; callers re-wait
+                    }
+                    return Err(err);
+                }
+                let before = events.len();
+                for ev in &buf[..n as usize] {
+                    // Copy out of the (possibly packed) kernel struct
+                    // before using the fields.
+                    let (bits, data) = (ev.events, ev.data);
+                    if data == NOTIFY_DATA {
+                        drain(self.notify_fd);
+                        continue;
+                    }
+                    events.push(Event {
+                        key: data as usize,
+                        // Errors and hang-ups surface as readable (and
+                        // writable, if write interest could be pending) so
+                        // the owner's next read/write observes them.
+                        readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                        writable: bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                    });
+                }
+                Ok(events.len() - before)
+            }
+
+            pub(super) fn notify(&self) -> io::Result<()> {
+                let one: u64 = 1;
+                // A full eventfd counter (EAGAIN) already guarantees a
+                // pending wake-up — success either way.
+                unsafe {
+                    super::write(self.notify_fd, (&raw const one).cast(), 8);
+                }
+                Ok(())
+            }
+        }
+
+        impl Drop for Epoll {
+            fn drop(&mut self) {
+                unsafe {
+                    super::close(self.notify_fd);
+                    super::close(self.epfd);
+                }
+            }
+        }
+    }
+
+    mod posix_poll {
+        use super::super::Event;
+        use super::{drain, timeout_ms};
+        use std::collections::HashMap;
+        use std::io;
+        use std::os::raw::{c_int, c_short};
+        use std::os::unix::io::RawFd;
+        use std::sync::Mutex;
+        use std::time::Duration;
+
+        const POLLIN: c_short = 0x001;
+        const POLLOUT: c_short = 0x004;
+        const POLLERR: c_short = 0x008;
+        const POLLHUP: c_short = 0x010;
+
+        #[cfg(target_os = "linux")]
+        type NfdsT = std::os::raw::c_ulong;
+        #[cfg(not(target_os = "linux"))]
+        type NfdsT = std::os::raw::c_uint;
+
+        /// POSIX `struct pollfd` (identical layout on every unix).
+        #[repr(C)]
+        struct PollFd {
+            fd: c_int,
+            events: c_short,
+            revents: c_short,
+        }
+
+        extern "C" {
+            fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: c_int) -> c_int;
+            fn pipe(fds: *mut c_int) -> c_int;
+        }
+
+        pub(super) struct PosixPoll {
+            registry: Mutex<HashMap<RawFd, Event>>,
+            pipe_read: RawFd,
+            pipe_write: RawFd,
+        }
+
+        impl PosixPoll {
+            pub(super) fn new() -> io::Result<Self> {
+                let mut fds = [0 as c_int; 2];
+                if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                Ok(Self {
+                    registry: Mutex::new(HashMap::new()),
+                    pipe_read: fds[0],
+                    pipe_write: fds[1],
+                })
+            }
+
+            fn registry(&self) -> std::sync::MutexGuard<'_, HashMap<RawFd, Event>> {
+                self.registry
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+            }
+
+            pub(super) fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+                match self.registry().insert(fd, interest) {
+                    None => Ok(()),
+                    Some(_) => Err(io::Error::new(
+                        io::ErrorKind::AlreadyExists,
+                        "fd is already registered",
+                    )),
+                }
+            }
+
+            pub(super) fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+                match self.registry().get_mut(&fd) {
+                    Some(slot) => {
+                        *slot = interest;
+                        Ok(())
+                    }
+                    None => Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        "fd is not registered",
+                    )),
+                }
+            }
+
+            pub(super) fn delete(&self, fd: RawFd) -> io::Result<()> {
+                match self.registry().remove(&fd) {
+                    Some(_) => Ok(()),
+                    None => Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        "fd is not registered",
+                    )),
+                }
+            }
+
+            pub(super) fn wait(
+                &self,
+                events: &mut Vec<Event>,
+                timeout: Option<Duration>,
+            ) -> io::Result<usize> {
+                // Snapshot the registry into the poll set; the self-pipe
+                // read end rides along so notify() can interrupt.
+                let mut fds = Vec::new();
+                let mut keys = Vec::new();
+                fds.push(PollFd {
+                    fd: self.pipe_read,
+                    events: POLLIN,
+                    revents: 0,
+                });
+                for (&fd, interest) in self.registry().iter() {
+                    let mut mask = 0;
+                    if interest.readable {
+                        mask |= POLLIN;
+                    }
+                    if interest.writable {
+                        mask |= POLLOUT;
+                    }
+                    fds.push(PollFd {
+                        fd,
+                        events: mask,
+                        revents: 0,
+                    });
+                    keys.push(interest.key);
+                }
+                let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms(timeout)) };
+                if n < 0 {
+                    let err = io::Error::last_os_error();
+                    if err.kind() == io::ErrorKind::Interrupted {
+                        return Ok(0);
+                    }
+                    return Err(err);
+                }
+                if fds[0].revents & POLLIN != 0 {
+                    drain(self.pipe_read);
+                }
+                let before = events.len();
+                for (slot, &key) in fds[1..].iter().zip(&keys) {
+                    let got = slot.revents;
+                    if got == 0 {
+                        continue;
+                    }
+                    events.push(Event {
+                        key,
+                        readable: got & (POLLIN | POLLHUP | POLLERR) != 0,
+                        writable: got & (POLLOUT | POLLHUP | POLLERR) != 0,
+                    });
+                }
+                Ok(events.len() - before)
+            }
+
+            pub(super) fn notify(&self) -> io::Result<()> {
+                let byte = 1u8;
+                unsafe {
+                    super::write(self.pipe_write, (&raw const byte).cast(), 1);
+                }
+                Ok(())
+            }
+        }
+
+        impl Drop for PosixPoll {
+            fn drop(&mut self) {
+                unsafe {
+                    super::close(self.pipe_read);
+                    super::close(self.pipe_write);
+                }
+            }
+        }
+    }
+
+    enum Backend {
+        #[cfg(target_os = "linux")]
+        Epoll(epoll::Epoll),
+        Poll(posix_poll::PosixPoll),
+    }
+
+    /// A level-triggered readiness poller. See the crate docs for the
+    /// interest/wait/notify contract.
+    pub struct Poller {
+        backend: Backend,
+    }
+
+    impl Poller {
+        /// Opens a poller on the platform's best backend (`epoll` on
+        /// Linux, `poll(2)` elsewhere).
+        ///
+        /// # Errors
+        /// The underlying syscall's failure (fd exhaustion, mostly).
+        pub fn new() -> io::Result<Self> {
+            #[cfg(target_os = "linux")]
+            {
+                Ok(Self {
+                    backend: Backend::Epoll(epoll::Epoll::new()?),
+                })
+            }
+            #[cfg(not(target_os = "linux"))]
+            Self::with_poll_backend()
+        }
+
+        /// Opens a poller on the portable `poll(2)` backend explicitly —
+        /// the default everywhere but Linux, exposed so the portable path
+        /// is exercised by tests on Linux CI too.
+        ///
+        /// # Errors
+        /// The underlying syscall's failure.
+        pub fn with_poll_backend() -> io::Result<Self> {
+            Ok(Self {
+                backend: Backend::Poll(posix_poll::PosixPoll::new()?),
+            })
+        }
+
+        /// Registers `fd` with the given interest. The fd must stay open
+        /// until [`Self::delete`]; the caller keeps ownership.
+        ///
+        /// # Errors
+        /// Kernel registration failure, or a duplicate registration.
+        pub fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            match &self.backend {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll(b) => b.add(fd, interest),
+                Backend::Poll(b) => b.add(fd, interest),
+            }
+        }
+
+        /// Replaces the interest of a registered fd.
+        ///
+        /// # Errors
+        /// The fd is not registered.
+        pub fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            match &self.backend {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll(b) => b.modify(fd, interest),
+                Backend::Poll(b) => b.modify(fd, interest),
+            }
+        }
+
+        /// Unregisters an fd (before or after closing is both fine for
+        /// epoll as long as no duplicate of the fd remains open; this
+        /// workspace deletes before closing).
+        ///
+        /// # Errors
+        /// The fd is not registered.
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            match &self.backend {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll(b) => b.delete(fd),
+                Backend::Poll(b) => b.delete(fd),
+            }
+        }
+
+        /// Blocks until at least one registered fd is ready, the timeout
+        /// elapses, or [`Self::notify`] is called; appends ready events
+        /// and returns how many were appended (0 on timeout, notify, or a
+        /// signal interruption — all spurious wake-ups to the caller).
+        ///
+        /// # Errors
+        /// The underlying syscall's failure (not timeouts, not EINTR).
+        pub fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            match &self.backend {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll(b) => b.wait(events, timeout),
+                Backend::Poll(b) => b.wait(events, timeout),
+            }
+        }
+
+        /// Wakes a concurrent (or the next) [`Self::wait`] from any
+        /// thread. Coalesces: many notifies may produce one wake-up.
+        ///
+        /// # Errors
+        /// Infallible in practice (a saturated notification still leaves
+        /// a wake-up pending); kept fallible for API compatibility.
+        pub fn notify(&self) -> io::Result<()> {
+            match &self.backend {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll(b) => b.notify(),
+                Backend::Poll(b) => b.notify(),
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use super::Event;
+    use std::io;
+    use std::time::Duration;
+
+    /// Stub poller for non-unix platforms: construction fails with
+    /// [`io::ErrorKind::Unsupported`], so callers fall back to blocking
+    /// engines. No other method can ever be reached.
+    pub struct Poller {
+        never: std::convert::Infallible,
+    }
+
+    impl Poller {
+        /// Always fails on this platform.
+        ///
+        /// # Errors
+        /// [`io::ErrorKind::Unsupported`], unconditionally.
+        pub fn new() -> io::Result<Self> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "no readiness poller backend on this platform",
+            ))
+        }
+
+        /// Unreachable (construction always fails).
+        pub fn add(&self, _fd: i32, _interest: Event) -> io::Result<()> {
+            match self.never {}
+        }
+
+        /// Unreachable (construction always fails).
+        pub fn modify(&self, _fd: i32, _interest: Event) -> io::Result<()> {
+            match self.never {}
+        }
+
+        /// Unreachable (construction always fails).
+        pub fn delete(&self, _fd: i32) -> io::Result<()> {
+            match self.never {}
+        }
+
+        /// Unreachable (construction always fails).
+        pub fn wait(&self, _events: &mut Vec<Event>, _t: Option<Duration>) -> io::Result<usize> {
+            match self.never {}
+        }
+
+        /// Unreachable (construction always fails).
+        pub fn notify(&self) -> io::Result<()> {
+            match self.never {}
+        }
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::{Event, Poller};
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::time::{Duration, Instant};
+
+    fn loopback_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    fn backends() -> Vec<(&'static str, Poller)> {
+        let mut all = vec![("default", Poller::new().unwrap())];
+        if cfg!(target_os = "linux") {
+            // On Linux the default is epoll; exercise the portable
+            // poll(2) backend too.
+            all.push(("poll", Poller::with_poll_backend().unwrap()));
+        }
+        all
+    }
+
+    #[test]
+    fn readiness_round_trip() {
+        for (name, poller) in backends() {
+            let (mut client, mut server) = loopback_pair();
+            server.set_nonblocking(true).unwrap();
+            poller.add(server.as_raw_fd(), Event::readable(7)).unwrap();
+
+            // Nothing to read yet: a short wait times out empty.
+            let mut events = Vec::new();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert_eq!((n, events.len()), (0, 0), "{name}: idle fd reported");
+
+            client.write_all(b"ping").unwrap();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(n, 1, "{name}");
+            assert_eq!(events[0].key, 7, "{name}");
+            assert!(events[0].readable, "{name}");
+            let mut buf = [0u8; 8];
+            assert_eq!(server.read(&mut buf).unwrap(), 4, "{name}");
+
+            // Write interest on an unsaturated socket is immediately ready.
+            poller.modify(server.as_raw_fd(), Event::all(9)).unwrap();
+            events.clear();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert!(
+                events.iter().any(|e| e.key == 9 && e.writable),
+                "{name}: {events:?}"
+            );
+
+            poller.delete(server.as_raw_fd()).unwrap();
+            events.clear();
+            client.write_all(b"more").unwrap();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert_eq!(n, 0, "{name}: deleted fd still reported");
+        }
+    }
+
+    #[test]
+    fn peer_hangup_is_readable() {
+        for (name, poller) in backends() {
+            let (client, server) = loopback_pair();
+            poller.add(server.as_raw_fd(), Event::readable(3)).unwrap();
+            drop(client);
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert!(
+                events.iter().any(|e| e.key == 3 && e.readable),
+                "{name}: hang-up must surface as readable, got {events:?}"
+            );
+            poller.delete(server.as_raw_fd()).unwrap();
+        }
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait() {
+        for (name, poller) in backends() {
+            let poller = std::sync::Arc::new(poller);
+            let waker = std::sync::Arc::clone(&poller);
+            let start = Instant::now();
+            let handle = std::thread::spawn(move || {
+                let mut events = Vec::new();
+                // Block "forever" — only notify can end this promptly.
+                waker
+                    .wait(&mut events, Some(Duration::from_secs(30)))
+                    .unwrap()
+            });
+            std::thread::sleep(Duration::from_millis(50));
+            poller.notify().unwrap();
+            let n = handle.join().unwrap();
+            assert_eq!(n, 0, "{name}: notify is not an event");
+            assert!(
+                start.elapsed() < Duration::from_secs(10),
+                "{name}: notify did not wake the wait"
+            );
+            // Coalesced notifies never wedge the next wait.
+            poller.notify().unwrap();
+            poller.notify().unwrap();
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+        }
+    }
+}
