@@ -11,15 +11,28 @@
 //! the compact wire shapes through the shape accumulators. Mechanisms are
 //! built through the registry, so a newly registered protocol can be
 //! benchmarked by adding its name to a list.
+//!
+//! The `checkpoint/*` groups measure the pluggable snapshot stores: one
+//! save (`checkpoint/write/<backend>/m<domain>-t<traffic>`) after `t`
+//! reports landed since the previous checkpoint, and one restore
+//! (`checkpoint/restore/<backend>/m<domain>`), over domain sizes {1k,
+//! 100k} × traffic {100, 100k}. The grid is the point: the flat `file`
+//! backend rewrites O(domain) bytes per checkpoint no matter how little
+//! arrived, while the `delta` backend's record is O(traffic) — CI gates on
+//! delta being ≥ 5× faster at the sparse corner (m=100k, t=100). Files
+//! live on `/dev/shm` when the host has it, so the numbers measure
+//! serialization and layout, not disk latency.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use idldp_core::budget::Epsilon;
 use idldp_core::levels::LevelPartition;
 use idldp_core::mechanism::{BatchMechanism, CountAccumulator, Input, InputBatch};
+use idldp_core::snapshot::{open_store, AccumulatorSnapshot, StoreKind};
 use idldp_num::rng::stream_rng;
 use idldp_sim::stream::{ReportAccumulator, ShapedAccumulator};
 use idldp_sim::{BuildContext, MechanismRegistry};
 use std::hint::black_box;
+use std::path::PathBuf;
 
 fn eps(v: f64) -> Epsilon {
     Epsilon::new(v).unwrap()
@@ -206,6 +219,143 @@ fn bench_batched_vs_sequential(c: &mut Criterion) {
     group.finish();
 }
 
+/// Scratch directory for checkpoint benches: tmpfs when the host has it,
+/// so the measurements are serialization + layout, not disk latency.
+fn bench_dir() -> PathBuf {
+    let shm = PathBuf::from("/dev/shm");
+    let base = if shm.is_dir() {
+        shm
+    } else {
+        std::env::temp_dir()
+    };
+    let dir = base.join(format!("idldp-bench-checkpoint-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench scratch dir");
+    dir
+}
+
+/// The evolving accumulator state a checkpoint writer persists: per-shard
+/// monotone counts, mutated in place between saves the way folded reports
+/// mutate the server's shards.
+struct Traffic {
+    counts: Vec<Vec<u64>>,
+    users: Vec<u64>,
+    step: u64,
+}
+
+impl Traffic {
+    /// The server's default shard count, so the persisted layout matches
+    /// what a real `snapshot_shards()` hands the store.
+    const SHARDS: usize = 8;
+
+    fn new(m: usize) -> Self {
+        Self {
+            counts: vec![vec![0u64; m]; Self::SHARDS],
+            users: vec![0u64; Self::SHARDS],
+            step: 0,
+        }
+    }
+
+    /// Applies `t` reports' worth of count growth, scattered across shards
+    /// and buckets.
+    fn apply(&mut self, t: usize) {
+        let m = self.counts[0].len();
+        for _ in 0..t {
+            self.step = self.step.wrapping_add(1);
+            let h = self.step.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let shard = (h >> 32) as usize % Self::SHARDS;
+            self.counts[shard][h as usize % m] += 1;
+            self.users[shard] += 1;
+        }
+    }
+
+    /// Freezes the per-shard state, like `ShardedAccumulator::snapshot_shards`.
+    fn snapshots(&self) -> Vec<AccumulatorSnapshot> {
+        self.counts
+            .iter()
+            .zip(&self.users)
+            .map(|(c, &u)| AccumulatorSnapshot::new(c.clone(), u).expect("nonzero width"))
+            .collect()
+    }
+}
+
+const CHECKPOINT_RUN_LINE: &str = "run idldp-bench checkpoint";
+
+fn bench_checkpoint_write(c: &mut Criterion) {
+    let dir = bench_dir();
+    let mut group = c.benchmark_group("checkpoint/write");
+    group.sample_size(10);
+    for kind in StoreKind::ALL {
+        for m in [1_000usize, 100_000] {
+            for t in [100usize, 100_000] {
+                let path = dir.join(format!("write-{kind}-{m}-{t}"));
+                let mut traffic = Traffic::new(m);
+                traffic.apply(t);
+                let mut store = open_store(kind, &path);
+                // Prime the store so delta measures its steady state (an
+                // append after a base record), not the first compaction.
+                store
+                    .save(&traffic.snapshots(), CHECKPOINT_RUN_LINE)
+                    .expect("priming save");
+                group.bench_with_input(
+                    BenchmarkId::new(&kind.to_string(), format!("m{m}-t{t}")),
+                    &m,
+                    |b, _| {
+                        b.iter(|| {
+                            traffic.apply(t);
+                            store
+                                .save(&traffic.snapshots(), CHECKPOINT_RUN_LINE)
+                                .expect("checkpoint save");
+                            black_box(traffic.step)
+                        });
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_checkpoint_restore(c: &mut Criterion) {
+    let dir = bench_dir();
+    let mut group = c.benchmark_group("checkpoint/restore");
+    group.sample_size(10);
+    for kind in StoreKind::ALL {
+        for m in [1_000usize, 100_000] {
+            let path = dir.join(format!("restore-{kind}-{m}"));
+            // A few saves so the delta log holds a base plus deltas — the
+            // shape a kill mid-run would actually restore from.
+            let mut traffic = Traffic::new(m);
+            let mut store = open_store(kind, &path);
+            for _ in 0..4 {
+                traffic.apply(1_000);
+                store
+                    .save(&traffic.snapshots(), CHECKPOINT_RUN_LINE)
+                    .expect("checkpoint save");
+            }
+            drop(store);
+            let want_users: u64 = traffic.users.iter().sum();
+            group.bench_with_input(
+                BenchmarkId::new(&kind.to_string(), format!("m{m}")),
+                &m,
+                |b, _| {
+                    b.iter(|| {
+                        let mut store = open_store(kind, &path);
+                        let restored = store
+                            .load()
+                            .expect("checkpoint load")
+                            .expect("checkpoint exists");
+                        assert_eq!(restored.num_users(), want_users);
+                        black_box(restored.num_users())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group!(
     benches,
     bench_single_perturb,
@@ -213,6 +363,8 @@ criterion_group!(
     bench_batch_fast_paths,
     bench_compact_wire_emission,
     bench_aggregate_fold,
-    bench_batched_vs_sequential
+    bench_batched_vs_sequential,
+    bench_checkpoint_write,
+    bench_checkpoint_restore
 );
 criterion_main!(benches);

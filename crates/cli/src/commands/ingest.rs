@@ -19,14 +19,19 @@
 //! `identify_above` would report over the full population (the
 //! `topk_conformance` suite proves this).
 //!
-//! With `--checkpoint FILE` the accumulator snapshot is written after every
-//! emission; re-running the same command restores it and resumes mid-stream
-//! instead of starting over (kill it halfway and run it again to see the
-//! user counter continue where it stopped). The tracker needs no extra
+//! With `--checkpoint FILE` the accumulator state is persisted after every
+//! emission through the backend picked by `--checkpoint-store
+//! {file,sharded,delta}` — one atomically-rewritten flat file, one file
+//! per shard behind an fsynced manifest, or an append-only delta log whose
+//! cost tracks the traffic since the last emission instead of the domain
+//! size. Re-running the same command restores the checkpoint and resumes
+//! mid-stream instead of starting over (kill it halfway and run it again
+//! to see the user counter continue where it stopped); every backend
+//! restores v1 flat checkpoints transparently. The tracker needs no extra
 //! checkpoint state: its candidates are a pure function of the counts.
 
 use crate::args::CliArgs;
-use idldp_core::snapshot::AccumulatorSnapshot;
+use idldp_core::snapshot::{open_store, StoreKind};
 use idldp_sim::report::sci;
 use idldp_sim::stream::{
     HeavyHitterTracker, SeededReportStream, ShapedAccumulator, ShardedAccumulator, TrackerMode,
@@ -62,6 +67,10 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
     let mechanism_name = args.get_or("mechanism", "oue");
     let dataset_kind = args.get_or("dataset", "powerlaw");
     let checkpoint = args.get("checkpoint");
+    let checkpoint_store = args
+        .get_or("checkpoint-store", "file")
+        .parse::<StoreKind>()
+        .map_err(|e| format!("flag --checkpoint-store: {e}"))?;
     if shards == 0 || chunk == 0 {
         return Err("--shards and --chunk must be positive".into());
     }
@@ -122,44 +131,45 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
          eps={eps} seed={seed} chunk={chunk}"
     );
 
+    // The checkpoint store, when one is configured. Opened once: the delta
+    // backend appends each emission's record relative to the previous save
+    // it made, so the handle carries state across the loop.
+    let mut store = checkpoint.map(|path| open_store(checkpoint_store, path));
+
     // Resume from a checkpoint when one exists.
-    if let Some(path) = checkpoint {
-        match std::fs::read_to_string(path) {
-            Ok(text) => {
-                let snapshot = AccumulatorSnapshot::from_checkpoint_str(&text)
-                    .map_err(|e| format!("checkpoint `{path}`: {e}"))?;
-                let stamped = text.lines().find(|l| l.starts_with("run "));
-                match stamped {
-                    Some(line) if line == run_line => {}
-                    Some(line) => {
-                        return Err(format!(
-                            "checkpoint `{path}` was written by a different run\n  found:    \
-                             {line}\n  expected: {run_line}"
-                        ))
-                    }
-                    None => {
-                        return Err(format!(
-                            "checkpoint `{path}` carries no run-identity line; refusing to \
-                             resume (delete it to start over)"
-                        ))
-                    }
+    if let (Some(path), Some(store)) = (checkpoint, store.as_mut()) {
+        let restored = store
+            .load()
+            .map_err(|e| format!("checkpoint `{path}`: {e}"))?;
+        if let Some(restored) = restored {
+            match restored.run_line() {
+                Some(line) if line == run_line => {}
+                Some(line) => {
+                    return Err(format!(
+                        "checkpoint `{path}` was written by a different run\n  found:    \
+                         {line}\n  expected: {run_line}"
+                    ))
                 }
-                let users = snapshot.num_users() as usize;
-                stream
-                    .seek_to_user(users)
-                    .map_err(|e| format!("checkpoint `{path}`: {e}"))?;
-                match &mut sink {
-                    Sink::Plain(sharded) => {
-                        sharded.restore(&snapshot).map_err(|e| e.to_string())?
-                    }
-                    Sink::Tracked(tracker) => {
-                        tracker.restore(&snapshot).map_err(|e| e.to_string())?
-                    }
+                None => {
+                    return Err(format!(
+                        "checkpoint `{path}` carries no run-identity line; refusing to \
+                         resume (delete it to start over)"
+                    ))
                 }
-                println!("ingest: restored {users} users from checkpoint `{path}`");
             }
-            Err(err) if err.kind() == std::io::ErrorKind::NotFound => {}
-            Err(err) => return Err(format!("checkpoint `{path}`: {err}")),
+            let users = restored.num_users() as usize;
+            stream
+                .seek_to_user(users)
+                .map_err(|e| format!("checkpoint `{path}`: {e}"))?;
+            match &mut sink {
+                Sink::Plain(sharded) => sharded
+                    .restore_shards(restored.shards())
+                    .map_err(|e| e.to_string())?,
+                Sink::Tracked(tracker) => tracker
+                    .restore(&restored.merged())
+                    .map_err(|e| e.to_string())?,
+            }
+            println!("ingest: restored {users} users from checkpoint `{path}`");
         }
     }
 
@@ -191,11 +201,10 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
         let done = ingested == 0;
         if done || since_emit >= emit_every {
             since_emit = 0;
-            let checkpoint_text = match &mut sink {
+            match &mut sink {
                 Sink::Plain(sharded) => {
-                    // The incremental path: freeze once, estimate once —
-                    // the same snapshot backs the emission and the
-                    // checkpoint.
+                    // Freeze once, estimate once: the same merged snapshot
+                    // backs the emission.
                     let snapshot = sharded.snapshot();
                     let estimates = if snapshot.num_users() == 0 {
                         Vec::new()
@@ -206,7 +215,6 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
                             .expect("snapshot width matches mechanism")
                     };
                     emit(&estimates, snapshot.num_users(), &truth, top, n);
-                    checkpoint.map(|_| snapshot.to_checkpoint_string())
                 }
                 Sink::Tracked(tracker) => {
                     // Re-prune at the emission point so the printed
@@ -216,15 +224,22 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
                     let estimates = tracker.refresh_estimates().map_err(|e| e.to_string())?;
                     emit(&estimates, tracker.num_users(), &truth, top, n);
                     emit_candidates(tracker);
-                    checkpoint.map(|_| tracker.to_checkpoint_string())
                 }
-            };
-            if let (Some(path), Some(text)) = (checkpoint, checkpoint_text) {
-                // The shared atomic write path (temp file + rename), so a
-                // kill mid-write can never leave a truncated checkpoint
-                // behind — same rule as the server's checkpoint frame.
-                let payload = format!("{text}{run_line}\n");
-                idldp_core::snapshot::write_checkpoint_atomic(path, &payload)
+            }
+            if let (Some(path), Some(store)) = (checkpoint, store.as_mut()) {
+                // Per-shard snapshots, no merge: the store decides whether
+                // to persist them separately (sharded backend), merged
+                // into one flat file (file backend), or as a delta against
+                // the previous save (delta backend). Every backend commits
+                // atomically, so a kill mid-write can never leave a
+                // half-applied checkpoint behind — same rule as the
+                // server's checkpoint frame.
+                let shard_snaps = match &sink {
+                    Sink::Plain(sharded) => sharded.snapshot_shards(),
+                    Sink::Tracked(tracker) => tracker.sink().snapshot_shards(),
+                };
+                store
+                    .save(&shard_snaps, &run_line)
                     .map_err(|e| format!("checkpoint `{path}`: {e}"))?;
             }
         }

@@ -17,8 +17,14 @@
 //! build theirs (paper-default budgets over RNG stream `(seed, 1)`), so a
 //! `push` run with the same `--m/--eps/--seed` handshakes successfully.
 //! With `--checkpoint FILE` the server restores the file at startup (the
-//! restart path) and rewrites it atomically whenever a client sends the
-//! checkpoint control frame.
+//! restart path) and persists a new checkpoint whenever a client sends
+//! the checkpoint control frame — through the backend selected by
+//! `--checkpoint-store {file,sharded,delta}`: `file` rewrites one flat
+//! file atomically, `sharded` writes one file per accumulator shard in
+//! parallel behind an fsynced manifest, and `delta` appends only the
+//! count deltas since the previous checkpoint (compacting periodically),
+//! so checkpoint cost tracks traffic instead of domain size. Every
+//! backend restores v1 flat checkpoints transparently.
 //!
 //! `--engine {blocking,reactor}` picks the connection engine: `blocking`
 //! (the default) spawns a worker thread per live connection behind a
@@ -56,6 +62,10 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
     };
     let idle_timeout_ms: u64 = args.parse_or("idle-timeout-ms", 60_000)?;
     let checkpoint = args.get("checkpoint");
+    let checkpoint_store = args
+        .get_or("checkpoint-store", "file")
+        .parse::<idldp_core::snapshot::StoreKind>()
+        .map_err(|e| format!("flag --checkpoint-store: {e}"))?;
     if shards == 0 || queue_capacity == 0 || ingest_workers == 0 || workers == 0 {
         return Err(
             "--shards, --queue-capacity, --ingest-workers, and --workers must be positive".into(),
@@ -84,6 +94,7 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
         // `0` disables reaping; anything else is the per-frame deadline.
         idle_timeout: (idle_timeout_ms > 0).then(|| Duration::from_millis(idle_timeout_ms)),
         checkpoint_path: checkpoint.map(std::path::PathBuf::from),
+        checkpoint_store,
         // Everything that went into *building* the mechanism, so a restart
         // under different flags refuses the old checkpoint.
         config_stamp: Some(format!(

@@ -18,6 +18,10 @@
 use crate::error::{Error, Result};
 use serde::{Deserialize, Serialize};
 
+pub mod store;
+
+pub use store::{open_store, RestoredCheckpoint, SnapshotStore, StoreError, StoreKind};
+
 /// The checkpoint format version written by
 /// [`AccumulatorSnapshot::to_checkpoint_string`].
 pub const CHECKPOINT_VERSION: u32 = 1;
@@ -235,8 +239,12 @@ impl AccumulatorSnapshot {
 /// rule is defined exactly once.
 ///
 /// # Errors
-/// Propagates filesystem errors from the temp-file write or the rename
-/// (the temp file is left behind for inspection on rename failure).
+/// Propagates filesystem errors. A failed write or fsync removes the
+/// temp file (nothing durable was lost — the previous checkpoint is
+/// still whole, and a half-written temp would only be mistaken for
+/// salvageable state); a failed *rename* leaves the fully-written,
+/// fsynced temp file behind for inspection, since at that point it holds
+/// a complete payload that only failed to be installed.
 pub fn write_checkpoint_atomic(
     path: impl AsRef<std::path::Path>,
     payload: &str,
@@ -250,12 +258,20 @@ pub fn write_checkpoint_atomic(
         TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     ));
     let tmp = std::path::PathBuf::from(tmp);
-    {
+    let written = (|| {
         let mut file = std::fs::File::create(&tmp)?;
         std::io::Write::write_all(&mut file, payload.as_bytes())?;
+        #[cfg(test)]
+        if tests::fault::sync_should_fail() {
+            return Err(std::io::Error::other("injected fsync failure"));
+        }
         // Data must be on disk before the rename is journaled, or the
         // rename can survive a power loss that the payload does not.
-        file.sync_all()?;
+        file.sync_all()
+    })();
+    if let Err(err) = written {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(err);
     }
     std::fs::rename(&tmp, path)?;
     // Persist the rename itself (the directory entry); best-effort where
@@ -272,6 +288,29 @@ pub fn write_checkpoint_atomic(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Test-only fault injection for [`write_checkpoint_atomic`]: flipping
+    /// the flag makes the next sync step fail, standing in for an fsync
+    /// error (full disk, dying device) that is otherwise impossible to
+    /// provoke deterministically.
+    pub(super) mod fault {
+        use std::cell::Cell;
+
+        // Thread-local so a test injecting a failure cannot poison the
+        // checkpoint writes of tests running concurrently on other
+        // threads.
+        thread_local! {
+            static FAIL_SYNC: Cell<bool> = const { Cell::new(false) };
+        }
+
+        pub(crate) fn sync_should_fail() -> bool {
+            FAIL_SYNC.with(Cell::get)
+        }
+
+        pub(super) fn set_fail_sync(fail: bool) {
+            FAIL_SYNC.with(|f| f.set(fail));
+        }
+    }
 
     #[test]
     fn construction_and_accessors() {
@@ -392,6 +431,59 @@ mod tests {
             AccumulatorSnapshot::from_checkpoint_str(&text).unwrap(),
             second,
             "failed writes leave the previous checkpoint intact"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_write_or_sync_removes_temp_file_but_rename_failure_keeps_it() {
+        let dir = std::env::temp_dir().join(format!(
+            "idldp-snapshot-fault-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.ckpt");
+        let snap = AccumulatorSnapshot::new(vec![4, 4], 2).unwrap();
+        snap.write_checkpoint(&path, "").unwrap();
+
+        let tmp_count = || {
+            std::fs::read_dir(&dir)
+                .unwrap()
+                .filter(|e| {
+                    e.as_ref()
+                        .unwrap()
+                        .file_name()
+                        .to_string_lossy()
+                        .ends_with(".tmp")
+                })
+                .count()
+        };
+
+        // A write-path failure (injected at the fsync step) must clean up
+        // its temp file and leave the previous checkpoint untouched.
+        fault::set_fail_sync(true);
+        let err = snap.write_checkpoint(&path, "").unwrap_err();
+        fault::set_fail_sync(false);
+        assert!(err.to_string().contains("injected fsync failure"));
+        assert_eq!(tmp_count(), 0, "failed write must not leave a .tmp file");
+        assert_eq!(
+            AccumulatorSnapshot::from_checkpoint_str(&std::fs::read_to_string(&path).unwrap())
+                .unwrap(),
+            snap,
+            "previous checkpoint survives the failed write"
+        );
+
+        // A *rename* failure keeps the fully-written temp file for
+        // inspection (documented behavior): the target being a directory
+        // makes the rename fail after a successful write + fsync.
+        let blocked = dir.join("blocked");
+        std::fs::create_dir_all(blocked.join("occupier")).unwrap();
+        assert!(snap.write_checkpoint(&blocked, "").is_err());
+        assert_eq!(
+            tmp_count(),
+            1,
+            "rename failure leaves the complete temp payload behind"
         );
         std::fs::remove_dir_all(&dir).unwrap();
     }

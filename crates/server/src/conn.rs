@@ -207,7 +207,7 @@ pub(crate) fn apply_frame(shared: &Shared, frame: Frame) -> FrameAction {
             })
         }
         Frame::Checkpoint => {
-            if shared.checkpoint_path.is_none() {
+            if shared.store.is_none() {
                 reject("server has no checkpoint path configured")
             } else {
                 return FrameAction::Settle(PendingQuery {
@@ -268,14 +268,19 @@ pub(crate) fn settle_reply(
             }
             Err(message) => reject(message),
         },
-        QueryKind::Checkpoint => match &shared.checkpoint_path {
-            Some(path) => {
-                let snapshot = shared.sink.snapshot();
-                let trailer = format!("{}\n", shared.run_line());
-                match snapshot.write_checkpoint(path, &trailer) {
-                    Ok(()) => Frame::CheckpointAck {
-                        users: snapshot.num_users(),
-                    },
+        QueryKind::Checkpoint => match &shared.store {
+            Some(store) => {
+                // Per-shard snapshots, no merge: the store decides whether
+                // to persist them separately (sharded backend) or merged
+                // (file and delta backends).
+                let shards = shared.sink.snapshot_shards();
+                let users = shards.iter().map(|s| s.num_users()).sum();
+                let run_line = shared.run_line();
+                let mut store = store
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                match store.save(&shards, &run_line) {
+                    Ok(()) => Frame::CheckpointAck { users },
                     Err(e) => reject(format!("checkpoint write: {e}")),
                 }
             }

@@ -28,7 +28,7 @@ use crate::queue::{IngestQueue, WaitOutcome};
 use idldp_core::mechanism::Mechanism;
 use idldp_core::report::Report;
 use idldp_core::report::{ReportData, ReportShape};
-use idldp_core::snapshot::AccumulatorSnapshot;
+use idldp_core::snapshot::{open_store, AccumulatorSnapshot, SnapshotStore, StoreKind};
 use idldp_stream::{ShapedAccumulator, ShardedAccumulator};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -135,9 +135,18 @@ pub struct ServerConfig {
     /// peer must not pin a blocking worker (or a reactor registration)
     /// forever. `None` disables reaping.
     pub idle_timeout: Option<Duration>,
-    /// Optional checkpoint file: restored (if present) at startup, written
-    /// atomically on every `Checkpoint` control frame.
+    /// Optional checkpoint path: restored (if present) at startup, written
+    /// durably on every `Checkpoint` control frame — through the
+    /// [`SnapshotStore`] backend selected by
+    /// [`ServerConfig::checkpoint_store`].
     pub checkpoint_path: Option<PathBuf>,
+    /// Which [`SnapshotStore`] backend persists checkpoints at
+    /// [`ServerConfig::checkpoint_path`]: `file` (single atomic rewrite),
+    /// `sharded` (one file per accumulator shard + fsynced manifest,
+    /// parallel write/restore), or `delta` (append-only delta log,
+    /// O(traffic) per checkpoint). Any backend transparently restores a
+    /// checkpoint written by the plain file format.
+    pub checkpoint_store: StoreKind,
     /// Extra run-identity text stamped into checkpoints alongside the
     /// mechanism's kind/shape/width/ε. Embedders put everything that went
     /// into *constructing* the mechanism here (the CLI stamps
@@ -158,6 +167,7 @@ impl Default for ServerConfig {
             engine: ConnectionEngine::default(),
             idle_timeout: Some(Duration::from_secs(60)),
             checkpoint_path: None,
+            checkpoint_store: StoreKind::default(),
             config_stamp: None,
         }
     }
@@ -173,7 +183,12 @@ pub(crate) struct Shared {
     /// Reports that failed to fold after acceptance (cannot happen for
     /// reports the connection workers validated; counted defensively).
     fold_failures: AtomicU64,
-    pub(crate) checkpoint_path: Option<PathBuf>,
+    /// The open checkpoint store, if checkpointing is configured. The
+    /// mutex serializes concurrent `Checkpoint` frames: the delta backend
+    /// appends relative to the snapshot it saved last, so saves must not
+    /// interleave (the file backend tolerates racing writers, but one
+    /// ordering rule for all backends is simpler than three).
+    pub(crate) store: Option<Mutex<Box<dyn SnapshotStore>>>,
     config_stamp: Option<String>,
     /// Connections reaped for idling past the configured timeout (either
     /// engine) — observable via [`ReportServer::reaped_connections`].
@@ -236,18 +251,7 @@ impl Shared {
     /// incompatible counts) and the embedder's
     /// [`ServerConfig::config_stamp`].
     pub(crate) fn run_line(&self) -> String {
-        let mut line = format!(
-            "run idldp-serve kind={} shape={} report_len={} ldp_eps={:016x}",
-            self.mechanism.kind(),
-            self.mechanism.report_shape().label(),
-            self.mechanism.report_len(),
-            self.mechanism.ldp_epsilon().to_bits()
-        );
-        if let Some(stamp) = &self.config_stamp {
-            line.push(' ');
-            line.push_str(stamp);
-        }
-        line
+        run_identity_line(self.mechanism.as_ref(), self.config_stamp.as_deref())
     }
 
     /// Waits for everything accepted so far to be folded, then freezes the
@@ -268,6 +272,23 @@ impl Shared {
             WaitOutcome::Closed => Err(Settle::Shutdown),
         }
     }
+}
+
+/// The run-identity stamp, computable before the [`Shared`] state exists
+/// (startup restores the checkpoint against it prior to spawning anything).
+fn run_identity_line(mechanism: &dyn Mechanism, config_stamp: Option<&str>) -> String {
+    let mut line = format!(
+        "run idldp-serve kind={} shape={} report_len={} ldp_eps={:016x}",
+        mechanism.kind(),
+        mechanism.report_shape().label(),
+        mechanism.report_len(),
+        mechanism.ldp_epsilon().to_bits()
+    );
+    if let Some(stamp) = config_stamp {
+        line.push(' ');
+        line.push_str(stamp);
+    }
+    line
 }
 
 /// Why a settled view could not be produced.
@@ -324,50 +345,59 @@ impl ReportServer {
             ShapedAccumulator::for_mechanism(mechanism.as_ref()),
             config.shards,
         );
+
+        // Restore-at-start goes through the configured store backend; the
+        // store stays open in `Shared` to serve `Checkpoint` frames. Any
+        // backend accepts a v1 flat checkpoint here (migration on read),
+        // so switching `--checkpoint-store` across restarts is safe.
+        let store = match &config.checkpoint_path {
+            Some(path) => {
+                let mut store = open_store(config.checkpoint_store, path.clone());
+                let want = run_identity_line(mechanism.as_ref(), config.config_stamp.as_deref());
+                match store.load() {
+                    Ok(Some(restored)) => {
+                        match restored.run_line() {
+                            Some(line) if line == want => {}
+                            Some(line) => {
+                                return Err(ServerError::Checkpoint(format!(
+                                    "{}: stamped `{line}`, this server is `{want}`",
+                                    path.display()
+                                )))
+                            }
+                            None => {
+                                return Err(ServerError::Checkpoint(format!(
+                                    "{}: missing run-identity line",
+                                    path.display()
+                                )))
+                            }
+                        }
+                        sink.restore_shards(restored.shards()).map_err(|e| {
+                            ServerError::Checkpoint(format!("{}: {e}", path.display()))
+                        })?;
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        return Err(ServerError::Checkpoint(format!("{}: {e}", path.display())))
+                    }
+                }
+                Some(Mutex::new(store))
+            }
+            None => None,
+        };
+
         let shared = Arc::new(Shared {
             mechanism,
             sink,
             queue: IngestQueue::new(config.queue_capacity),
             stop: AtomicBool::new(false),
             fold_failures: AtomicU64::new(0),
-            checkpoint_path: config.checkpoint_path.clone(),
+            store,
             config_stamp: config.config_stamp.clone(),
             reaped: AtomicU64::new(0),
             peak_buffered: AtomicUsize::new(0),
             connections: Mutex::new(std::collections::HashMap::new()),
             next_connection_id: AtomicU64::new(0),
         });
-
-        if let Some(path) = &config.checkpoint_path {
-            match std::fs::read_to_string(path) {
-                Ok(text) => {
-                    let snapshot = AccumulatorSnapshot::from_checkpoint_str(&text)
-                        .map_err(|e| ServerError::Checkpoint(format!("{}: {e}", path.display())))?;
-                    let want = shared.run_line();
-                    match text.lines().find(|l| l.starts_with("run ")) {
-                        Some(line) if line == want => {}
-                        Some(line) => {
-                            return Err(ServerError::Checkpoint(format!(
-                                "{}: stamped `{line}`, this server is `{want}`",
-                                path.display()
-                            )))
-                        }
-                        None => {
-                            return Err(ServerError::Checkpoint(format!(
-                                "{}: missing run-identity line",
-                                path.display()
-                            )))
-                        }
-                    }
-                    shared
-                        .sink
-                        .restore(&snapshot)
-                        .map_err(|e| ServerError::Checkpoint(format!("{}: {e}", path.display())))?;
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-                Err(e) => return Err(ServerError::Checkpoint(format!("{}: {e}", path.display()))),
-            }
-        }
 
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;

@@ -37,6 +37,7 @@ use idldp_core::olh::OptimalLocalHashing;
 use idldp_core::params::LevelParams;
 use idldp_core::ps::PsMechanism;
 use idldp_core::report::ReportData;
+use idldp_core::snapshot::StoreKind;
 use idldp_core::subset::SubsetSelection;
 use idldp_core::ue::UnaryEncoding;
 use idldp_server::{
@@ -478,72 +479,173 @@ fn checkpoint_restart_resumes_bit_identically_over_tcp() {
     let inputs = OwnedInputs::Items(items(2048, 16));
     let (want_users, want) = batch_estimates(mechanism.as_ref(), inputs.as_batch());
 
-    for engine in engines() {
-        let dir = std::env::temp_dir().join(format!(
-            "idldp-server-loopback-{}-{engine}",
-            std::process::id()
-        ));
-        std::fs::create_dir_all(&dir).unwrap();
-        let ckpt = dir.join("serve.ckpt");
-        let config = ServerConfig {
-            checkpoint_path: Some(ckpt.clone()),
-            ..engine_config(engine)
-        };
+    // Every checkpoint backend × every connection engine: write → kill →
+    // restore → resume must be bit-identical regardless of whether the
+    // checkpoint was one flat file, per-shard files behind a manifest, or
+    // an appended delta log.
+    for store in StoreKind::ALL {
+        for engine in engines() {
+            let label = format!("{store}/{engine}");
+            let dir = std::env::temp_dir().join(format!(
+                "idldp-server-loopback-{}-{store}-{engine}",
+                std::process::id()
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            let ckpt = dir.join("serve.ckpt");
+            let config = ServerConfig {
+                checkpoint_path: Some(ckpt.clone()),
+                checkpoint_store: store,
+                ..engine_config(engine)
+            };
 
-        let chunks = wire_chunks(mechanism.as_ref(), inputs.as_batch());
-        let half = chunks.len() / 2;
+            let chunks = wire_chunks(mechanism.as_ref(), inputs.as_batch());
+            let half = chunks.len() / 2;
 
-        // First server: ingest half the stream, checkpoint over the socket.
-        let server =
-            ReportServer::start(mechanism.clone() as Arc<dyn Mechanism>, config.clone()).unwrap();
-        let (mut client, resumed) =
-            ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
-        assert_eq!(resumed, 0);
-        for chunk in &chunks[..half] {
-            client.push_all(chunk).unwrap();
+            // First server: ingest half the stream, checkpoint over the
+            // socket — twice, so the delta backend's second record is a
+            // true delta appended after a base, not just one base record.
+            let server =
+                ReportServer::start(mechanism.clone() as Arc<dyn Mechanism>, config.clone())
+                    .unwrap();
+            let (mut client, resumed) =
+                ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
+            assert_eq!(resumed, 0);
+            let quarter = half / 2;
+            for chunk in &chunks[..quarter] {
+                client.push_all(chunk).unwrap();
+            }
+            assert_eq!(client.checkpoint().unwrap(), (quarter * CHUNK) as u64);
+            for chunk in &chunks[quarter..half] {
+                client.push_all(chunk).unwrap();
+            }
+            let covered = client.checkpoint().unwrap();
+            assert_eq!(covered, (half * CHUNK) as u64, "{label}");
+            drop(client);
+            server.shutdown();
+
+            // "Restart": a new server restores the checkpoint; the client
+            // learns the resume point from the HelloAck and pushes only the
+            // tail.
+            let server =
+                ReportServer::start(mechanism.clone() as Arc<dyn Mechanism>, config).unwrap();
+            let (mut client, resumed) =
+                ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
+            assert_eq!(
+                resumed, covered,
+                "{label}: HelloAck reports the restored users"
+            );
+            for chunk in &chunks[half..] {
+                client.push_all(chunk).unwrap();
+            }
+            let (users, estimates) = client.query_estimates().unwrap();
+            assert_eq!(users, want_users, "{label}");
+            assert_bit_identical(&format!("checkpoint-restart/{label}"), &estimates, &want);
+            server.shutdown();
+
+            // A differently configured server refuses the checkpoint
+            // outright — whether the mechanism kind differs...
+            let other: Arc<dyn BatchMechanism> =
+                Arc::new(GeneralizedRandomizedResponse::new(eps(1.2), 16).unwrap());
+            let again = ServerConfig {
+                checkpoint_path: Some(ckpt.clone()),
+                checkpoint_store: store,
+                ..engine_config(engine)
+            };
+            assert!(
+                ReportServer::start(other as Arc<dyn Mechanism>, again).is_err(),
+                "{label}: other kind must refuse"
+            );
+            // ...or only the privacy budget does (same kind, same shape,
+            // same width: counts perturbed under a different ε must not be
+            // restored, because the oracle would calibrate them wrongly).
+            let other_eps: Arc<dyn BatchMechanism> =
+                Arc::new(UnaryEncoding::optimized(eps(2.5), 16).unwrap());
+            let again = ServerConfig {
+                checkpoint_path: Some(ckpt),
+                checkpoint_store: store,
+                ..engine_config(engine)
+            };
+            assert!(
+                ReportServer::start(other_eps as Arc<dyn Mechanism>, again).is_err(),
+                "{label}: other ε must refuse"
+            );
+            std::fs::remove_dir_all(&dir).unwrap();
         }
-        let covered = client.checkpoint().unwrap();
-        assert_eq!(covered, (half * CHUNK) as u64);
-        drop(client);
-        server.shutdown();
+    }
+}
 
-        // "Restart": a new server restores the checkpoint; the client learns
-        // the resume point from the HelloAck and pushes only the tail.
-        let server = ReportServer::start(mechanism.clone() as Arc<dyn Mechanism>, config).unwrap();
-        let (mut client, resumed) =
-            ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
-        assert_eq!(
-            resumed, covered,
-            "{engine}: HelloAck reports the restored users"
-        );
-        for chunk in &chunks[half..] {
-            client.push_all(chunk).unwrap();
+/// A v1 flat checkpoint written by the pre-store single-file format is
+/// restored transparently by every backend, and checkpointing again
+/// migrates it to the backend's native format without losing a count.
+#[test]
+fn v1_flat_checkpoints_migrate_through_every_store_over_tcp() {
+    let mechanism: Arc<dyn BatchMechanism> =
+        Arc::new(UnaryEncoding::optimized(eps(1.0), 16).unwrap());
+    let inputs = OwnedInputs::Items(items(1024, 16));
+    let (want_users, want) = batch_estimates(mechanism.as_ref(), inputs.as_batch());
+    let chunks = wire_chunks(mechanism.as_ref(), inputs.as_batch());
+    let half = chunks.len() / 2;
+
+    for store in StoreKind::ALL {
+        for engine in engines() {
+            let label = format!("v1-migrate/{store}/{engine}");
+            let dir = std::env::temp_dir().join(format!(
+                "idldp-v1-migrate-{}-{store}-{engine}",
+                std::process::id()
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            let ckpt = dir.join("serve.ckpt");
+
+            // Write a v1 flat checkpoint the way the pre-store server did:
+            // merged snapshot text + run line, one atomic file.
+            let config = ServerConfig {
+                checkpoint_path: Some(ckpt.clone()),
+                checkpoint_store: StoreKind::File,
+                ..engine_config(engine)
+            };
+            let server =
+                ReportServer::start(mechanism.clone() as Arc<dyn Mechanism>, config).unwrap();
+            let (mut client, _) =
+                ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
+            for chunk in &chunks[..half] {
+                client.push_all(chunk).unwrap();
+            }
+            let covered = client.checkpoint().unwrap();
+            drop(client);
+            server.shutdown();
+
+            // Restart under the backend being tested: the v1 file restores,
+            // a new checkpoint migrates it, and a second restart restores
+            // from the migrated form.
+            let config = ServerConfig {
+                checkpoint_path: Some(ckpt.clone()),
+                checkpoint_store: store,
+                ..engine_config(engine)
+            };
+            let server =
+                ReportServer::start(mechanism.clone() as Arc<dyn Mechanism>, config.clone())
+                    .unwrap();
+            let (mut client, resumed) =
+                ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
+            assert_eq!(resumed, covered, "{label}: v1 flat file restores");
+            for chunk in &chunks[half..] {
+                client.push_all(chunk).unwrap();
+            }
+            assert_eq!(client.checkpoint().unwrap(), want_users, "{label}");
+            drop(client);
+            server.shutdown();
+
+            let server =
+                ReportServer::start(mechanism.clone() as Arc<dyn Mechanism>, config).unwrap();
+            let (mut client, resumed) =
+                ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
+            assert_eq!(resumed, want_users, "{label}: migrated form restores");
+            let (users, estimates) = client.query_estimates().unwrap();
+            assert_eq!(users, want_users, "{label}");
+            assert_bit_identical(&label, &estimates, &want);
+            server.shutdown();
+            std::fs::remove_dir_all(&dir).unwrap();
         }
-        let (users, estimates) = client.query_estimates().unwrap();
-        assert_eq!(users, want_users);
-        assert_bit_identical(&format!("checkpoint-restart/{engine}"), &estimates, &want);
-        server.shutdown();
-
-        // A differently configured server refuses the checkpoint outright —
-        // whether the mechanism kind differs...
-        let other: Arc<dyn BatchMechanism> =
-            Arc::new(GeneralizedRandomizedResponse::new(eps(1.2), 16).unwrap());
-        let again = ServerConfig {
-            checkpoint_path: Some(ckpt.clone()),
-            ..engine_config(engine)
-        };
-        assert!(ReportServer::start(other as Arc<dyn Mechanism>, again).is_err());
-        // ...or only the privacy budget does (same kind, same shape, same
-        // width: counts perturbed under a different ε must not be restored,
-        // because the oracle would calibrate them wrongly).
-        let other_eps: Arc<dyn BatchMechanism> =
-            Arc::new(UnaryEncoding::optimized(eps(2.5), 16).unwrap());
-        let again = ServerConfig {
-            checkpoint_path: Some(ckpt),
-            ..engine_config(engine)
-        };
-        assert!(ReportServer::start(other_eps as Arc<dyn Mechanism>, again).is_err());
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 }
 

@@ -143,14 +143,73 @@ impl<A: ReportAccumulator> ShardedAccumulator<A> {
 
     /// Freezes the merged view of all shards — counts and user totals are
     /// exact sums, identical for any shard count and writer interleaving.
+    ///
+    /// One preallocated buffer, one pass: each shard adds its counts into
+    /// the same vector under its own lock
+    /// ([`ReportAccumulator::add_counts_into`]), instead of allocating an
+    /// intermediate snapshot per shard and merging pairwise.
     pub fn snapshot(&self) -> AccumulatorSnapshot {
-        let mut merged = self.shards[0].lock().snapshot();
-        for shard in &self.shards[1..] {
-            merged
-                .merge(&shard.lock().snapshot())
-                .expect("shards share one width by construction");
+        let mut counts = vec![0u64; self.report_len()];
+        let mut users = 0u64;
+        for shard in &self.shards {
+            users += shard.lock().add_counts_into(&mut counts);
         }
-        merged
+        AccumulatorSnapshot::new(counts, users).expect("shards have nonzero width")
+    }
+
+    /// Freezes every shard separately — one snapshot per shard, no merge.
+    /// This is what a sharded checkpoint store persists: each shard's
+    /// state can be written (and later restored) in parallel, and the
+    /// exact-merge law guarantees the merged view of the parts equals
+    /// [`Self::snapshot`] of the whole.
+    pub fn snapshot_shards(&self) -> Vec<AccumulatorSnapshot> {
+        self.shards.iter().map(|s| s.lock().snapshot()).collect()
+    }
+
+    /// Restores per-shard checkpoint state into an **empty** sharding.
+    ///
+    /// The shard counts need not match the count at save time: snapshot
+    /// `j` lands in shard `j % num_shards` (colliding snapshots merge —
+    /// exact, by the merge law), so a checkpoint taken at any sharding
+    /// restores into any other, and recovery no longer funnels everything
+    /// through shard 0.
+    ///
+    /// # Errors
+    /// Returns an error if `snapshots` is empty, any width differs from
+    /// [`Self::report_len`], or any shard already holds users (restoring
+    /// over live counts would double-count).
+    pub fn restore_shards(&self, snapshots: &[AccumulatorSnapshot]) -> Result<()> {
+        if snapshots.is_empty() {
+            return Err(Error::Empty {
+                what: "restored shard snapshots".into(),
+            });
+        }
+        let width = self.report_len();
+        if let Some(bad) = snapshots.iter().find(|s| s.report_len() != width) {
+            return Err(Error::DimensionMismatch {
+                what: "restored snapshot width".into(),
+                expected: width,
+                actual: bad.report_len(),
+            });
+        }
+        if self.num_users() != 0 {
+            return Err(Error::ParameterOrdering {
+                detail: "restore requires empty shards (counts already present)".into(),
+            });
+        }
+        let n = self.shards.len();
+        for (j, group) in self.shards.iter().enumerate().take(snapshots.len()) {
+            let mut shard = group.lock();
+            let mut merged: Option<AccumulatorSnapshot> = None;
+            for snapshot in snapshots.iter().skip(j).step_by(n) {
+                match merged.as_mut() {
+                    None => merged = Some(snapshot.clone()),
+                    Some(m) => m.merge(snapshot).expect("widths validated above"),
+                }
+            }
+            shard.restore(&merged.expect("j < snapshots.len() yields at least one"))?;
+        }
+        Ok(())
     }
 
     /// Consumes the sharding, returning one fully merged accumulator.
@@ -285,6 +344,42 @@ mod tests {
         assert_eq!(snap.num_users(), 13);
         // Restoring over live counts is refused.
         assert!(sharded.restore(&checkpoint).is_err());
+    }
+
+    #[test]
+    fn shard_snapshots_restore_across_any_shard_count() {
+        let source = ShardedAccumulator::new(BitReportAccumulator::new(3), 5);
+        for i in 0..100u32 {
+            let row = [(i % 2) as u8, ((i / 2) % 2) as u8, ((i / 4) % 2) as u8];
+            source.push(Report::Bits(&row)).unwrap();
+        }
+        let want = source.snapshot();
+        let parts = source.snapshot_shards();
+        assert_eq!(parts.len(), 5);
+        // A 5-way split restores into 1, 3, 5, or 8 shards — merged views
+        // identical by the exact-merge law.
+        for shards in [1, 3, 5, 8] {
+            let target = ShardedAccumulator::new(BitReportAccumulator::new(3), shards);
+            target.restore_shards(&parts).unwrap();
+            assert_eq!(target.snapshot(), want, "restore into {shards} shards");
+            // The restored sharding keeps accepting reports.
+            target.push(Report::Bits(&[1, 1, 1])).unwrap();
+            assert_eq!(target.num_users(), want.num_users() + 1);
+        }
+    }
+
+    #[test]
+    fn restore_shards_rejects_bad_input() {
+        let target = ShardedAccumulator::new(BitReportAccumulator::new(2), 2);
+        assert!(target.restore_shards(&[]).is_err(), "empty snapshot list");
+        let wrong = AccumulatorSnapshot::new(vec![1, 2, 3], 1).unwrap();
+        assert!(target.restore_shards(&[wrong]).is_err(), "width mismatch");
+        target.push(Report::Bits(&[1, 0])).unwrap();
+        let ok = AccumulatorSnapshot::new(vec![1, 2], 3).unwrap();
+        assert!(
+            target.restore_shards(&[ok]).is_err(),
+            "live counts refuse a restore"
+        );
     }
 
     #[test]
