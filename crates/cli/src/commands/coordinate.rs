@@ -1,0 +1,133 @@
+//! `idldp coordinate` — the multi-collector coordinator frontend.
+//!
+//! Registers every `--collectors` address as a collector (each must be an
+//! `idldp serve` running the *same* `--mechanism/--m/--eps/--seed` — a
+//! mismatched run-identity line is refused at startup), then serves the
+//! same framed protocol as `idldp serve` on its own port: report frames
+//! are routed across the fleet (weighted round-robin, `Busy` remainders
+//! spilling to the next collector), and queries merge per-collector raw
+//! count snapshots before running the frequency oracle once — so the
+//! estimates a client reads off the coordinator are bit-identical to an
+//! unsharded batch run, for any number of collectors:
+//!
+//! ```text
+//! idldp serve --mechanism oue --m 64 --eps 1.0 --port 0   # × N
+//! idldp coordinate --collectors 127.0.0.1:40213,127.0.0.1:40214 \
+//!     --mechanism oue --m 64 --eps 1.0 --port 0
+//! coordinate: listening on 127.0.0.1:40215
+//! idldp push --addr 127.0.0.1:40215 --mechanism oue --m 64 --eps 1.0 ...
+//! ```
+//!
+//! An address may carry a round-robin weight as `ADDR@WEIGHT` (default 1:
+//! `@3` means three consecutive report frames per turn — capacity
+//! proportioning only; any split gives the same exact answers).
+
+use crate::args::CliArgs;
+use idldp_coord::{CoordServer, Coordinator};
+use idldp_core::mechanism::Mechanism;
+use idldp_sim::{BuildContext, MechanismRegistry};
+use std::io::Write;
+use std::sync::Arc;
+
+/// Parses one `--collectors` entry: `ADDR` or `ADDR@WEIGHT`.
+fn parse_collector(entry: &str) -> Result<(String, usize), String> {
+    let entry = entry.trim();
+    if entry.is_empty() {
+        return Err("empty collector address in --collectors".into());
+    }
+    match entry.rsplit_once('@') {
+        None => Ok((entry.to_string(), 1)),
+        Some((addr, weight)) => {
+            let weight: usize = weight
+                .parse()
+                .map_err(|_| format!("collector `{entry}`: weight `{weight}` is not a number"))?;
+            if weight == 0 || addr.is_empty() {
+                return Err(format!(
+                    "collector `{entry}`: expected ADDR or ADDR@WEIGHT with positive weight"
+                ));
+            }
+            Ok((addr.to_string(), weight))
+        }
+    }
+}
+
+/// Runs the subcommand. Blocks until the process is killed.
+pub fn run(args: &CliArgs) -> Result<(), String> {
+    let m: usize = args.parse_or("m", 64)?;
+    let eps: f64 = args.parse_or("eps", 1.0)?;
+    let seed: u64 = args.parse_or("seed", 20200401)?;
+    let mechanism_name = args.get_or("mechanism", "oue");
+    let host = args.get_or("host", "127.0.0.1");
+    let port: u16 = args.parse_or("port", 0)?;
+    let collectors = args
+        .get("collectors")
+        .ok_or("--collectors ADDR[@W][,ADDR[@W]...] is required")?;
+    let collectors = collectors
+        .split(',')
+        .map(parse_collector)
+        .collect::<Result<Vec<_>, _>>()?;
+
+    // Built exactly like `serve` builds its mechanism, with the same
+    // config stamp — the registration handshake compares the resulting
+    // run-identity line against each collector's.
+    let levels = super::stream_levels(m, eps, seed)?;
+    let ctx = BuildContext {
+        levels: &levels,
+        padding: 0,
+        solver: None,
+    };
+    let mechanism = MechanismRegistry::standard()
+        .build_single_item(&mechanism_name, &ctx)
+        .map_err(|e| e.to_string())?;
+    let mechanism: Arc<dyn Mechanism> = Arc::<dyn idldp_sim::BatchMechanism>::from(mechanism);
+    let stamp = format!("mechanism={mechanism_name} m={m} eps={eps} seed={seed}");
+
+    let (coordinator, restored) =
+        Coordinator::connect(mechanism, Some(&stamp), &collectors).map_err(|e| e.to_string())?;
+    println!(
+        "coordinate: mechanism = {mechanism_name}, m = {m}, eps = {eps}, \
+         collectors = {}",
+        coordinator.num_collectors()
+    );
+    for stats in coordinator.stats() {
+        println!(
+            "coordinate: registered {} (weight {})",
+            stats.addr, stats.weight
+        );
+    }
+    if restored > 0 {
+        println!("coordinate: fleet already holds {restored} users");
+    }
+
+    let server =
+        CoordServer::start(coordinator, format!("{host}:{port}")).map_err(|e| e.to_string())?;
+    println!("coordinate: listening on {}", server.local_addr());
+    // Scripts scrape the port from a piped stdout; flush past the pipe's
+    // block buffering before parking forever.
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+
+    loop {
+        std::thread::park();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_collector;
+
+    #[test]
+    fn collector_entries_parse() {
+        assert_eq!(
+            parse_collector("127.0.0.1:9000").unwrap(),
+            ("127.0.0.1:9000".into(), 1)
+        );
+        assert_eq!(
+            parse_collector(" 127.0.0.1:9000@3 ").unwrap(),
+            ("127.0.0.1:9000".into(), 3)
+        );
+        assert!(parse_collector("").is_err());
+        assert!(parse_collector("addr@0").is_err());
+        assert!(parse_collector("addr@x").is_err());
+        assert!(parse_collector("@2").is_err());
+    }
+}

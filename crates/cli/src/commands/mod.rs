@@ -1,6 +1,7 @@
 //! CLI subcommands.
 
 pub mod audit;
+pub mod coordinate;
 pub mod ingest;
 pub mod leakage;
 pub mod mechanisms;

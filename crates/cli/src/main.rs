@@ -7,6 +7,7 @@
 //! idldp simulate --dataset powerlaw --n 100000 --m 100 --eps 1.0 [--trials 10] [--estimates]
 //! idldp ingest   --mechanism oue --n 200000 --m 64 --eps 1.0 [--top-k 8] [--checkpoint state.ckpt]
 //! idldp serve    --mechanism oue --m 64 --eps 1.0 --port 0 [--checkpoint state.ckpt]
+//! idldp coordinate --collectors ADDR,ADDR,.. --mechanism oue --m 64 --eps 1.0 --port 0
 //! idldp push     --addr 127.0.0.1:PORT --mechanism oue --n 200000 --m 64 --eps 1.0 [--top-k 8]
 //! idldp mechanisms [--names]
 //! ```
@@ -33,6 +34,7 @@ fn main() -> ExitCode {
         "simulate" => commands::simulate::run(&parsed),
         "ingest" => commands::ingest::run(&parsed),
         "serve" => commands::serve::run(&parsed),
+        "coordinate" => commands::coordinate::run(&parsed),
         "push" => commands::push::run(&parsed),
         "mechanisms" => commands::mechanisms::run(&parsed),
         "help" | "--help" | "-h" => {
@@ -95,6 +97,16 @@ USAGE:
       ephemeral port and prints it; --engine reactor multiplexes all
       connections onto --workers event loops instead of a thread per
       connection; --idle-timeout-ms reaps silent peers (0 disables)
+
+  idldp coordinate --collectors ADDR[@W],ADDR[@W],.. --mechanism NAME
+                 --m M --eps E [--seed S] [--port P] [--host H]
+      front a fleet of `idldp serve` collectors behind one port
+      speaking the same protocol: registration refuses collectors
+      whose mechanism/m/eps/seed differ, report frames are routed
+      round-robin (weight W frames per turn; Busy remainders spill to
+      the next collector), and every query merges the collectors' raw
+      count snapshots before estimating once — answers are
+      bit-identical to a single unsharded server for any fleet size
 
   idldp push     --addr HOST:PORT --mechanism NAME --n N --m M --eps E
                  [--dataset powerlaw|uniform] [--chunk C] [--seed S]

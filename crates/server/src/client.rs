@@ -96,6 +96,8 @@ pub struct ReportClient {
     retry_backoff: Duration,
     /// Total `Busy` replies absorbed by [`ReportClient::push_all`].
     busy_retries: u64,
+    /// The server's run-identity line from the `HelloAck`.
+    server_run_line: String,
 }
 
 impl ReportClient {
@@ -119,6 +121,7 @@ impl ReportClient {
             writer: BufWriter::new(write_half),
             retry_backoff: Duration::from_millis(2),
             busy_retries: 0,
+            server_run_line: String::new(),
         };
         let hello = Frame::Hello {
             version: PROTOCOL_VERSION,
@@ -128,9 +131,20 @@ impl ReportClient {
             ldp_eps_bits: mechanism.ldp_epsilon().to_bits(),
         };
         match client.exchange(&hello)? {
-            Frame::HelloAck { users } => Ok((client, users)),
+            Frame::HelloAck { users, run_line } => {
+                client.server_run_line = run_line;
+                Ok((client, users))
+            }
             other => Err(unexpected("HelloAck", &other)),
         }
+    }
+
+    /// The server's run-identity line from its `HelloAck` — mechanism
+    /// kind, shape, width, exact ε bits, plus the embedder's config stamp.
+    /// A coordinator compares these across collectors to refuse a fleet
+    /// with mixed mechanism/m/ε/seed configurations.
+    pub fn server_run_line(&self) -> &str {
+        &self.server_run_line
     }
 
     /// Overrides the `Busy` retry backoff of [`Self::push_all`].
@@ -283,14 +297,80 @@ impl ReportClient {
 
     /// Queries calibrated estimates over everything ingested so far (by
     /// any client). Returns `(users, estimates)`; estimates are the exact
-    /// IEEE-754 bits the server computed.
+    /// IEEE-754 bits the server computed. Domains whose estimate vector
+    /// exceeds one frame arrive as contiguous `EstimatesPart` chunks and
+    /// are reassembled here transparently.
     ///
     /// # Errors
-    /// Transport errors or a server-side rejection.
+    /// Transport errors, a server-side rejection, or a typed protocol
+    /// error when the server's chunks are inconsistent (out of order,
+    /// disagreeing headers).
     pub fn query_estimates(&mut self) -> Result<(u64, Vec<f64>), ClientError> {
         match self.exchange(&Frame::Query)? {
             Frame::Estimates { users, estimates } => Ok((users, estimates)),
+            Frame::EstimatesPart {
+                users,
+                total,
+                offset,
+                estimates,
+            } => {
+                let mut acc = ChunkAccumulator::start("estimates", users, total, offset)?;
+                acc.push(estimates)?;
+                while !acc.complete() {
+                    match self.read_reply()? {
+                        Frame::EstimatesPart {
+                            users,
+                            total,
+                            offset,
+                            estimates,
+                        } => {
+                            acc.check_next("estimates", users, total, offset)?;
+                            acc.push(estimates)?;
+                        }
+                        other => return Err(unexpected("EstimatesPart", &other)),
+                    }
+                }
+                Ok((users, acc.into_vec()))
+            }
             other => Err(unexpected("Estimates", &other)),
+        }
+    }
+
+    /// Queries the server's raw merged accumulator counts (the snapshot
+    /// body), reassembling chunked `Snapshot` replies. Returns
+    /// `(users, counts)`. This is the coordinator's fetch path: raw
+    /// integer counts merge exactly across collectors, where calibrated
+    /// floats would not.
+    ///
+    /// # Errors
+    /// Transport errors, a server-side rejection, or inconsistent chunks.
+    pub fn query_snapshot(&mut self) -> Result<(u64, Vec<u64>), ClientError> {
+        match self.exchange(&Frame::SnapshotQuery)? {
+            Frame::Snapshot {
+                users,
+                total,
+                offset,
+                counts,
+            } => {
+                let mut acc = ChunkAccumulator::start("snapshot", users, total, offset)?;
+                acc.push(counts)?;
+                while !acc.complete() {
+                    match self.read_reply()? {
+                        Frame::Snapshot {
+                            users,
+                            total,
+                            offset,
+                            counts,
+                        } => {
+                            acc.check_next("snapshot", users, total, offset)?;
+                            acc.push(counts)?;
+                        }
+                        other => return Err(unexpected("Snapshot", &other)),
+                    }
+                }
+                Ok((users, acc.into_vec()))
+            }
+            other => Err(unexpected("Snapshot", &other)),
         }
     }
 
@@ -322,6 +402,83 @@ impl ReportClient {
 
 fn unexpected(wanted: &str, got: &Frame) -> ClientError {
     ClientError::Protocol(format!("expected {wanted}, got {got:?}"))
+}
+
+/// Reassembles a chunked reply (`EstimatesPart` / `Snapshot` chunks):
+/// chunks must arrive contiguously from offset 0 with consistent
+/// `users`/`total` headers, and every non-final chunk must make progress —
+/// so a hostile or buggy server yields a typed error, never a hang or a
+/// silently misassembled vector. Memory grows only with elements actually
+/// received (each chunk already passed the frame cap), not with the
+/// claimed `total`.
+struct ChunkAccumulator<T> {
+    users: u64,
+    total: u64,
+    got: Vec<T>,
+}
+
+impl<T> ChunkAccumulator<T> {
+    fn start(what: &str, users: u64, total: u64, offset: u64) -> Result<Self, ClientError> {
+        if offset != 0 {
+            return Err(ClientError::Protocol(format!(
+                "{what} reply started at offset {offset}, not 0"
+            )));
+        }
+        if usize::try_from(total).is_err() {
+            return Err(ClientError::Protocol(format!(
+                "{what} total {total} overflows usize"
+            )));
+        }
+        Ok(Self {
+            users,
+            total,
+            got: Vec::new(),
+        })
+    }
+
+    fn check_next(
+        &self,
+        what: &str,
+        users: u64,
+        total: u64,
+        offset: u64,
+    ) -> Result<(), ClientError> {
+        if users != self.users || total != self.total {
+            return Err(ClientError::Protocol(format!(
+                "{what} chunk header changed mid-reply: users {users} (was {}), \
+                 total {total} (was {})",
+                self.users, self.total
+            )));
+        }
+        if offset != self.got.len() as u64 {
+            return Err(ClientError::Protocol(format!(
+                "{what} chunk at offset {offset}, expected {} (chunks must be contiguous)",
+                self.got.len()
+            )));
+        }
+        Ok(())
+    }
+
+    fn push(&mut self, chunk: Vec<T>) -> Result<(), ClientError> {
+        // The decoder already rejected offset + len > total, and offsets
+        // are contiguous, so this cannot overshoot — but a zero-progress
+        // chunk before completion would loop forever waiting for more.
+        if chunk.is_empty() && !self.complete() {
+            return Err(ClientError::Protocol(
+                "empty reply chunk before the vector was complete".into(),
+            ));
+        }
+        self.got.extend(chunk);
+        Ok(())
+    }
+
+    fn complete(&self) -> bool {
+        self.got.len() as u64 == self.total
+    }
+
+    fn into_vec(self) -> Vec<T> {
+        self.got
+    }
 }
 
 /// Length of the longest prefix of `reports` whose `Reports` frame stays
@@ -372,7 +529,12 @@ mod tests {
                 Some(Frame::Hello { .. }) => {}
                 other => panic!("expected Hello, got {other:?}"),
             }
-            Frame::HelloAck { users: 0 }.write_to(&mut writer).unwrap();
+            Frame::HelloAck {
+                users: 0,
+                run_line: String::new(),
+            }
+            .write_to(&mut writer)
+            .unwrap();
             writer.flush().unwrap();
             match Frame::read_from(&mut reader).unwrap() {
                 Some(Frame::Reports(batch)) => assert_eq!(batch.len(), 3),
@@ -430,7 +592,12 @@ mod tests {
                 Frame::read_from(&mut reader).unwrap(),
                 Some(Frame::Hello { .. })
             ));
-            Frame::HelloAck { users: 0 }.write_to(&mut writer).unwrap();
+            Frame::HelloAck {
+                users: 0,
+                run_line: String::new(),
+            }
+            .write_to(&mut writer)
+            .unwrap();
             writer.flush().unwrap();
             let mut busies = 0u32;
             while let Ok(Some(Frame::Reports(_))) = Frame::read_from(&mut reader) {

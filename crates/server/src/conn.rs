@@ -62,6 +62,10 @@ pub(crate) enum QueryKind {
     /// `Checkpoint` → `CheckpointAck` (the path is known to be configured;
     /// [`apply_frame`] rejects the frame outright otherwise).
     Checkpoint,
+    /// `SnapshotQuery` → `Snapshot` (raw merged counts — what a
+    /// coordinator fetches, since integer counts merge exactly where
+    /// calibrated floats would not).
+    Snapshot,
 }
 
 fn reject(message: impl Into<String>) -> Frame {
@@ -71,10 +75,19 @@ fn reject(message: impl Into<String>) -> Frame {
     }
 }
 
-/// Handles the first frame of a connection. `Ok` is the `HelloAck` to
-/// send before entering the frame loop; `Err` is the `Reject` to send
-/// before closing (version/config mismatch, or not a Hello at all).
-pub(crate) fn apply_hello(shared: &Shared, frame: Frame) -> Result<Frame, Frame> {
+/// Validates a connection's first frame against a mechanism config: it
+/// must be a [`Frame::Hello`] of the current protocol version announcing
+/// exactly this mechanism's kind/shape/width/ε. Shared by both server
+/// engines (via the internal `apply_hello`) and the coordinator frontend, which
+/// speaks the same handshake on behalf of its collector fleet — one
+/// implementation, so the acceptance rule cannot drift.
+///
+/// # Errors
+/// The human-readable refusal to send in a [`Frame::Reject`].
+pub fn check_hello(
+    mech: &dyn idldp_core::mechanism::Mechanism,
+    frame: &Frame,
+) -> Result<(), String> {
     let Frame::Hello {
         version,
         kind,
@@ -83,23 +96,22 @@ pub(crate) fn apply_hello(shared: &Shared, frame: Frame) -> Result<Frame, Frame>
         ldp_eps_bits,
     } = frame
     else {
-        return Err(reject("expected Hello as the first frame"));
+        return Err("expected Hello as the first frame".into());
     };
-    let mech = shared.mechanism.as_ref();
-    if version != PROTOCOL_VERSION {
-        return Err(reject(format!(
+    if *version != PROTOCOL_VERSION {
+        return Err(format!(
             "protocol version {version} unsupported (server speaks {PROTOCOL_VERSION})"
-        )));
+        ));
     }
-    if kind != mech.kind()
-        || shape != mech.report_shape()
-        || report_len != mech.report_len() as u64
+    if *kind != mech.kind()
+        || *shape != mech.report_shape()
+        || *report_len != mech.report_len() as u64
         // ε compared as exact bits, like the checkpoint stamp: same-kind
         // reports perturbed under a different budget would fold cleanly
         // but calibrate wrongly.
-        || ldp_eps_bits != mech.ldp_epsilon().to_bits()
+        || *ldp_eps_bits != mech.ldp_epsilon().to_bits()
     {
-        return Err(reject(format!(
+        return Err(format!(
             "mechanism config mismatch: server runs kind={} shape={} report_len={} \
              ldp_eps={}, client sent kind={kind} shape={} report_len={report_len} \
              ldp_eps={}",
@@ -108,11 +120,23 @@ pub(crate) fn apply_hello(shared: &Shared, frame: Frame) -> Result<Frame, Frame>
             mech.report_len(),
             mech.ldp_epsilon(),
             shape.label(),
-            f64::from_bits(ldp_eps_bits)
-        )));
+            f64::from_bits(*ldp_eps_bits)
+        ));
     }
+    Ok(())
+}
+
+/// Handles the first frame of a connection. `Ok` is the `HelloAck` to
+/// send before entering the frame loop; `Err` is the `Reject` to send
+/// before closing (version/config mismatch, or not a Hello at all).
+pub(crate) fn apply_hello(shared: &Shared, frame: Frame) -> Result<Frame, Frame> {
+    check_hello(shared.mechanism.as_ref(), &frame).map_err(reject)?;
     Ok(Frame::HelloAck {
         users: shared.sink.num_users(),
+        // The same stamp checkpoints carry — lets a coordinator refuse a
+        // collector whose config (including the CLI seed) differs from the
+        // rest of its fleet.
+        run_line: shared.run_line(),
     })
 }
 
@@ -206,6 +230,12 @@ pub(crate) fn apply_frame(shared: &Shared, frame: Frame) -> FrameAction {
                 watermark: shared.queue.watermark(),
             })
         }
+        Frame::SnapshotQuery => {
+            return FrameAction::Settle(PendingQuery {
+                kind: QueryKind::Snapshot,
+                watermark: shared.queue.watermark(),
+            })
+        }
         Frame::Checkpoint => {
             if shared.store.is_none() {
                 reject("server has no checkpoint path configured")
@@ -288,21 +318,52 @@ pub(crate) fn settle_reply(
             // settling when no path is configured.
             None => reject("server has no checkpoint path configured"),
         },
+        QueryKind::Snapshot => {
+            let snapshot = shared.sink.snapshot();
+            Frame::Snapshot {
+                users: snapshot.num_users(),
+                total: snapshot.counts().len() as u64,
+                offset: 0,
+                counts: snapshot.counts().to_vec(),
+            }
+        }
     };
     Some(reply)
 }
 
-/// Encodes a reply for the wire, substituting the typed over-cap refusal
-/// for a frame the peer would reject as `Oversized` (an estimate vector
-/// for a multi-million-item domain) — a refusal instead of a dead
-/// connection, identically in both engines.
-pub(crate) fn encode_reply(frame: &Frame) -> Vec<u8> {
-    if !frame.fits_one_frame() {
-        let refusal = reject(format!(
-            "reply exceeds the {} MiB frame cap (domain too large for one frame)",
-            crate::frame::MAX_PAYLOAD_LEN >> 20
-        ));
-        return refusal.encode();
+/// Encodes a reply for the wire. Replies that fit one frame encode
+/// directly (the universal case, byte-identical to protocol 2). Estimate
+/// and snapshot vectors too large for one frame are split into contiguous
+/// continuation chunks ([`Frame::EstimatesPart`] / [`Frame::Snapshot`])
+/// and written as one buffer — both engines treat a reply as opaque
+/// bytes, so chunking cannot behave differently between them. Any other
+/// oversized reply (a `Candidates` list with millions of entries) still
+/// draws the typed over-cap refusal instead of a dead connection.
+///
+/// Public because the coordinator frontend encodes its replies through
+/// this too — coordinator and collector replies chunk identically.
+pub fn encode_reply(frame: &Frame) -> Vec<u8> {
+    if frame.fits_one_frame() {
+        return frame.encode();
     }
-    frame.encode()
+    let parts = match frame {
+        Frame::Estimates { users, estimates } => {
+            crate::frame::estimates_reply_frames(*users, estimates)
+        }
+        Frame::Snapshot { users, counts, .. } => {
+            crate::frame::snapshot_reply_frames(*users, counts)
+        }
+        _ => {
+            let refusal = reject(format!(
+                "reply exceeds the {} MiB frame cap (domain too large for one frame)",
+                crate::frame::MAX_PAYLOAD_LEN >> 20
+            ));
+            return refusal.encode();
+        }
+    };
+    let mut out = Vec::with_capacity(parts.iter().map(|f| 5 + f.encoded_payload_len()).sum());
+    for part in &parts {
+        out.extend_from_slice(&part.encode());
+    }
+    out
 }

@@ -35,7 +35,19 @@ use std::io::{Read, Write};
 /// Version 2 added the pinned cardinality `k` to the item-set shape in
 /// [`Frame::Hello`], so handshakes agree on the exact set size
 /// subset-selection reports must carry.
-pub const PROTOCOL_VERSION: u32 = 2;
+///
+/// Version 3 added the distributed-aggregation surface: the server's
+/// run-identity line in [`Frame::HelloAck`] (so a coordinator can refuse
+/// collectors running a different mechanism/m/ε/seed), the raw-count
+/// snapshot fetch ([`Frame::SnapshotQuery`] / [`Frame::Snapshot`]), and
+/// chunked estimate replies ([`Frame::EstimatesPart`]) for domains whose
+/// estimate vector exceeds one frame.
+pub const PROTOCOL_VERSION: u32 = 3;
+
+/// Elements per chunk of a chunked reply ([`Frame::EstimatesPart`] /
+/// [`Frame::Snapshot`]): 2²⁰ × 8-byte elements = 8 MiB of payload per
+/// part, comfortably under [`MAX_PAYLOAD_LEN`].
+pub const CHUNK_ELEMS: usize = 1 << 20;
 
 /// Hard ceiling on a frame's payload length (16 MiB). A length prefix
 /// above this is rejected *before* any allocation, so a corrupt or hostile
@@ -106,10 +118,11 @@ impl From<std::io::Error> for FrameError {
 }
 
 /// One protocol message. Client→server frames: `Hello`, `Reports`,
-/// `Query`, `TopKQuery`, `Checkpoint`. Server→client frames: `HelloAck`,
-/// `Ingested`, `Busy`, `Estimates`, `Candidates`, `CheckpointAck`,
-/// `Reject`. The codec itself is direction-agnostic — both sides share it,
-/// so there is exactly one implementation of the grammar.
+/// `Query`, `TopKQuery`, `Checkpoint`, `SnapshotQuery`. Server→client
+/// frames: `HelloAck`, `Ingested`, `Busy`, `Estimates`, `EstimatesPart`,
+/// `Candidates`, `CheckpointAck`, `Snapshot`, `Reject`. The codec itself
+/// is direction-agnostic — both sides share it, so there is exactly one
+/// implementation of the grammar.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Frame {
     /// Connection handshake: the client announces the mechanism
@@ -140,6 +153,13 @@ pub enum Frame {
     HelloAck {
         /// Users absorbed so far.
         users: u64,
+        /// The server's run-identity line (the same stamp its checkpoints
+        /// carry): mechanism kind, shape, width, ε, plus the CLI config
+        /// stamp (`mechanism=… m=… eps=… seed=…`) when one was set. A
+        /// coordinator compares these lines across collectors and refuses
+        /// a mismatched fleet — merged counts from different configs would
+        /// be silently meaningless.
+        run_line: String,
     },
     /// A batch of perturbed reports in the mechanism's native wire shape.
     Reports(Vec<ReportData>),
@@ -199,6 +219,43 @@ pub enum Frame {
         /// Human-readable reason.
         message: String,
     },
+    /// Request the server's raw accumulator counts (the
+    /// `AccumulatorSnapshot` body). Integer counts merge exactly under any
+    /// partition, so this — not the calibrated float estimates — is what a
+    /// coordinator fetches from each collector before estimating once over
+    /// the merged vector. Linearized like [`Frame::Query`]: the reply
+    /// reflects every report accepted before it.
+    SnapshotQuery,
+    /// One chunk of a snapshot reply. `total` is the full count-vector
+    /// length; `offset` is where this chunk starts. A snapshot that fits
+    /// one frame arrives as a single chunk (`offset == 0`,
+    /// `counts.len() == total`); larger ones arrive as contiguous chunks
+    /// in order, each under [`MAX_PAYLOAD_LEN`].
+    Snapshot {
+        /// Users reflected in the counts.
+        users: u64,
+        /// Length of the complete count vector.
+        total: u64,
+        /// Element offset of this chunk.
+        offset: u64,
+        /// This chunk's counts.
+        counts: Vec<u64>,
+    },
+    /// One chunk of an estimates reply that exceeds one frame. Same
+    /// header as [`Frame::Snapshot`]; the client reassembles contiguous
+    /// chunks into the full vector. Replies that fit one frame still use
+    /// plain [`Frame::Estimates`], so small-domain wire bytes are
+    /// unchanged from protocol 2.
+    EstimatesPart {
+        /// Users reflected in the estimates.
+        users: u64,
+        /// Length of the complete estimate vector.
+        total: u64,
+        /// Element offset of this chunk.
+        offset: u64,
+        /// This chunk's estimates (exact IEEE-754 bits).
+        estimates: Vec<f64>,
+    },
 }
 
 const TAG_HELLO: u8 = 0x01;
@@ -213,6 +270,9 @@ const TAG_CANDIDATES: u8 = 0x09;
 const TAG_CHECKPOINT: u8 = 0x0A;
 const TAG_CHECKPOINT_ACK: u8 = 0x0B;
 const TAG_REJECT: u8 = 0x0C;
+const TAG_SNAPSHOT_QUERY: u8 = 0x0D;
+const TAG_SNAPSHOT: u8 = 0x0E;
+const TAG_ESTIMATES_PART: u8 = 0x0F;
 
 const SHAPE_BITS: u8 = 0;
 const SHAPE_VALUE: u8 = 1;
@@ -351,6 +411,80 @@ fn read_shape(c: &mut Cursor<'_>) -> Result<ReportShape, FrameError> {
         }),
         other => Err(FrameError::Malformed(format!("unknown shape tag {other}"))),
     }
+}
+
+/// Reads the `(total, offset)` header shared by the chunked reply frames.
+fn read_chunk_header(c: &mut Cursor<'_>) -> Result<(u64, u64), FrameError> {
+    Ok((c.read_u64()?, c.read_u64()?))
+}
+
+/// Rejects a chunk whose claimed span falls outside its own `total` —
+/// keeps non-contiguity the *only* invalid state a reassembling client
+/// has to detect.
+fn check_chunk_bounds(what: &str, total: u64, offset: u64, count: usize) -> Result<(), FrameError> {
+    let end = offset.checked_add(count as u64);
+    if end.is_none_or(|end| end > total) {
+        return Err(FrameError::Malformed(format!(
+            "{what} at offset {offset} with {count} elements overruns total {total}"
+        )));
+    }
+    Ok(())
+}
+
+/// Splits an estimate reply into wire frames: one plain
+/// [`Frame::Estimates`] when it fits a frame (byte-identical to the
+/// protocol-2 reply for every small domain), otherwise a sequence of
+/// contiguous [`Frame::EstimatesPart`] chunks of [`CHUNK_ELEMS`] elements.
+/// Both connection engines and the coordinator encode replies through
+/// this, so chunking behaves identically everywhere.
+pub fn estimates_reply_frames(users: u64, estimates: &[f64]) -> Vec<Frame> {
+    let whole = Frame::Estimates {
+        users,
+        estimates: Vec::new(),
+    };
+    if whole.encoded_payload_len() + 8 * estimates.len() <= MAX_PAYLOAD_LEN {
+        return vec![Frame::Estimates {
+            users,
+            estimates: estimates.to_vec(),
+        }];
+    }
+    let total = estimates.len() as u64;
+    estimates
+        .chunks(CHUNK_ELEMS)
+        .enumerate()
+        .map(|(i, chunk)| Frame::EstimatesPart {
+            users,
+            total,
+            offset: (i * CHUNK_ELEMS) as u64,
+            estimates: chunk.to_vec(),
+        })
+        .collect()
+}
+
+/// Splits a raw-count snapshot reply into contiguous [`Frame::Snapshot`]
+/// chunks (a single chunk when it fits one frame). Unlike estimates there
+/// is no unchunked legacy form — `Snapshot` always carries the
+/// `(total, offset)` header.
+pub fn snapshot_reply_frames(users: u64, counts: &[u64]) -> Vec<Frame> {
+    let total = counts.len() as u64;
+    if counts.is_empty() {
+        return vec![Frame::Snapshot {
+            users,
+            total,
+            offset: 0,
+            counts: Vec::new(),
+        }];
+    }
+    counts
+        .chunks(CHUNK_ELEMS)
+        .enumerate()
+        .map(|(i, chunk)| Frame::Snapshot {
+            users,
+            total,
+            offset: (i * CHUNK_ELEMS) as u64,
+            counts: chunk.to_vec(),
+        })
+        .collect()
 }
 
 /// Assembles header + payload. The `u32` length prefix is a hard
@@ -526,6 +660,9 @@ impl Frame {
             Frame::Checkpoint => TAG_CHECKPOINT,
             Frame::CheckpointAck { .. } => TAG_CHECKPOINT_ACK,
             Frame::Reject { .. } => TAG_REJECT,
+            Frame::SnapshotQuery => TAG_SNAPSHOT_QUERY,
+            Frame::Snapshot { .. } => TAG_SNAPSHOT,
+            Frame::EstimatesPart { .. } => TAG_ESTIMATES_PART,
         }
     }
 
@@ -545,12 +682,15 @@ impl Frame {
                 put_u64(&mut out, *report_len);
                 put_u64(&mut out, *ldp_eps_bits);
             }
-            Frame::HelloAck { users }
-            | Frame::Ingested { accepted: users }
+            Frame::Ingested { accepted: users }
             | Frame::Busy { accepted: users }
             | Frame::CheckpointAck { users } => put_u64(&mut out, *users),
+            Frame::HelloAck { users, run_line } => {
+                put_u64(&mut out, *users);
+                put_string(&mut out, run_line);
+            }
             Frame::Reports(reports) => out = reports_payload(reports),
-            Frame::Query | Frame::Checkpoint => {}
+            Frame::Query | Frame::Checkpoint | Frame::SnapshotQuery => {}
             Frame::Estimates { users, estimates } => {
                 put_u64(&mut out, *users);
                 put_u32(&mut out, estimates.len() as u32);
@@ -571,6 +711,34 @@ impl Frame {
                 put_u64(&mut out, *accepted);
                 put_string(&mut out, message);
             }
+            Frame::Snapshot {
+                users,
+                total,
+                offset,
+                counts,
+            } => {
+                put_u64(&mut out, *users);
+                put_u64(&mut out, *total);
+                put_u64(&mut out, *offset);
+                put_u32(&mut out, counts.len() as u32);
+                for c in counts {
+                    put_u64(&mut out, *c);
+                }
+            }
+            Frame::EstimatesPart {
+                users,
+                total,
+                offset,
+                estimates,
+            } => {
+                put_u64(&mut out, *users);
+                put_u64(&mut out, *total);
+                put_u64(&mut out, *offset);
+                put_u32(&mut out, estimates.len() as u32);
+                for e in estimates {
+                    put_u64(&mut out, e.to_bits());
+                }
+            }
         }
         out
     }
@@ -587,6 +755,7 @@ impl Frame {
             },
             TAG_HELLO_ACK => Frame::HelloAck {
                 users: c.read_u64()?,
+                run_line: c.read_string("run-identity line")?,
             },
             TAG_REPORTS => {
                 // Every report is at least 5 bytes on the wire (tag + the
@@ -638,6 +807,39 @@ impl Frame {
                 accepted: c.read_u64()?,
                 message: c.read_string("reject message")?,
             },
+            TAG_SNAPSHOT_QUERY => Frame::SnapshotQuery,
+            TAG_SNAPSHOT => {
+                let users = c.read_u64()?;
+                let (total, offset) = read_chunk_header(&mut c)?;
+                let count = c.read_count("snapshot chunk", 8)?;
+                check_chunk_bounds("snapshot chunk", total, offset, count)?;
+                let mut counts = Vec::with_capacity(count);
+                for _ in 0..count {
+                    counts.push(c.read_u64()?);
+                }
+                Frame::Snapshot {
+                    users,
+                    total,
+                    offset,
+                    counts,
+                }
+            }
+            TAG_ESTIMATES_PART => {
+                let users = c.read_u64()?;
+                let (total, offset) = read_chunk_header(&mut c)?;
+                let count = c.read_count("estimates chunk", 8)?;
+                check_chunk_bounds("estimates chunk", total, offset, count)?;
+                let mut estimates = Vec::with_capacity(count);
+                for _ in 0..count {
+                    estimates.push(c.read_f64()?);
+                }
+                Frame::EstimatesPart {
+                    users,
+                    total,
+                    offset,
+                    estimates,
+                }
+            }
             other => return Err(FrameError::UnknownTag(other)),
         };
         c.finish("frame payload")?;
@@ -662,16 +864,18 @@ impl Frame {
         }
         match self {
             Frame::Hello { kind, shape, .. } => 4 + (4 + kind.len()) + shape_len(*shape) + 8 + 8,
-            Frame::HelloAck { .. }
-            | Frame::Ingested { .. }
+            Frame::Ingested { .. }
             | Frame::Busy { .. }
             | Frame::CheckpointAck { .. }
             | Frame::TopKQuery { .. } => 8,
+            Frame::HelloAck { run_line, .. } => 8 + 4 + run_line.len(),
             Frame::Reports(reports) => 4 + reports.iter().map(encoded_report_len).sum::<usize>(),
-            Frame::Query | Frame::Checkpoint => 0,
+            Frame::Query | Frame::Checkpoint | Frame::SnapshotQuery => 0,
             Frame::Estimates { estimates, .. } => 8 + 4 + 8 * estimates.len(),
             Frame::Candidates { items, .. } => 8 + 4 + 16 * items.len(),
             Frame::Reject { message, .. } => 8 + 4 + message.len(),
+            Frame::Snapshot { counts, .. } => 8 + 8 + 8 + 4 + 8 * counts.len(),
+            Frame::EstimatesPart { estimates, .. } => 8 + 8 + 8 + 4 + 8 * estimates.len(),
         }
     }
 
@@ -980,7 +1184,10 @@ mod tests {
             report_len: 16,
             ldp_eps_bits: 2.0f64.to_bits(),
         });
-        round_trip(Frame::HelloAck { users: 12 });
+        round_trip(Frame::HelloAck {
+            users: 12,
+            run_line: "run idldp-serve kind=idue shape=bits report_len=64 ldp_eps=1.25".into(),
+        });
         round_trip(Frame::Reports(vec![
             ReportData::Bits(vec![1, 0, 1, 1, 0, 0, 0, 1, 1]),
             ReportData::Value(3),
@@ -1004,6 +1211,19 @@ mod tests {
         round_trip(Frame::Reject {
             accepted: 3,
             message: "shape mismatch".into(),
+        });
+        round_trip(Frame::SnapshotQuery);
+        round_trip(Frame::Snapshot {
+            users: 9,
+            total: 10,
+            offset: 4,
+            counts: vec![1, 0, 7, 2],
+        });
+        round_trip(Frame::EstimatesPart {
+            users: 9,
+            total: 6,
+            offset: 2,
+            estimates: vec![0.5, -0.25, 0.0],
         });
     }
 
@@ -1218,7 +1438,14 @@ mod tests {
 
     #[test]
     fn assembler_decodes_many_frames_from_one_feed() {
-        let frames = vec![Frame::Query, Frame::HelloAck { users: 2 }, Frame::Query];
+        let frames = vec![
+            Frame::Query,
+            Frame::HelloAck {
+                users: 2,
+                run_line: "run".into(),
+            },
+            Frame::Query,
+        ];
         let stream: Vec<u8> = frames.iter().flat_map(Frame::encode).collect();
         let mut asm = FrameAssembler::new();
         asm.feed(&stream).unwrap();
@@ -1251,6 +1478,103 @@ mod tests {
         assert_eq!(asm.next_frame(), Some(Frame::Query));
         assert_eq!(asm.next_frame(), None);
         assert_eq!(asm.feed(&[0]), Err(FrameError::UnknownTag(0xEE)));
+    }
+
+    #[test]
+    fn small_estimate_replies_stay_on_the_legacy_frame() {
+        // The chunker must not change a single wire byte for domains that
+        // already fit one frame — protocol-2 clients' replies are sacred.
+        let estimates: Vec<f64> = (0..1000).map(|i| i as f64 / 7.0).collect();
+        let frames = estimates_reply_frames(42, &estimates);
+        assert_eq!(
+            frames,
+            vec![Frame::Estimates {
+                users: 42,
+                estimates
+            }]
+        );
+    }
+
+    #[test]
+    fn chunked_replies_are_contiguous_and_reassemble_exactly() {
+        // Just over the single-frame cap: payload 12 + 8n > 16 MiB.
+        let n = (MAX_PAYLOAD_LEN - 12) / 8 + 1;
+        let estimates: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let frames = estimates_reply_frames(5, &estimates);
+        assert!(frames.len() >= 2, "must actually chunk");
+        let mut got = Vec::new();
+        for frame in &frames {
+            assert!(frame.fits_one_frame(), "every chunk must fit a frame");
+            match frame {
+                Frame::EstimatesPart {
+                    users,
+                    total,
+                    offset,
+                    estimates: chunk,
+                } => {
+                    assert_eq!(*users, 5);
+                    assert_eq!(*total, n as u64);
+                    assert_eq!(*offset, got.len() as u64, "chunks arrive contiguously");
+                    got.extend_from_slice(chunk);
+                }
+                other => panic!("expected EstimatesPart, got {other:?}"),
+            }
+        }
+        assert_eq!(got.len(), n);
+        for (a, b) in got.iter().zip(&estimates) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn snapshot_chunker_covers_empty_and_large() {
+        assert_eq!(
+            snapshot_reply_frames(0, &[]),
+            vec![Frame::Snapshot {
+                users: 0,
+                total: 0,
+                offset: 0,
+                counts: vec![]
+            }]
+        );
+        let counts: Vec<u64> = (0..(CHUNK_ELEMS * 2 + 3) as u64).collect();
+        let frames = snapshot_reply_frames(7, &counts);
+        assert_eq!(frames.len(), 3);
+        let mut got = Vec::new();
+        for frame in &frames {
+            assert!(frame.fits_one_frame());
+            match frame {
+                Frame::Snapshot {
+                    total,
+                    offset,
+                    counts: chunk,
+                    ..
+                } => {
+                    assert_eq!(*total, counts.len() as u64);
+                    assert_eq!(*offset, got.len() as u64);
+                    got.extend_from_slice(chunk);
+                }
+                other => panic!("expected Snapshot, got {other:?}"),
+            }
+        }
+        assert_eq!(got, counts);
+    }
+
+    #[test]
+    fn chunk_overrunning_its_total_is_rejected() {
+        // offset + len > total is unrepresentable through the chunkers, so
+        // the decoder treats it as malformed rather than passing the
+        // contradiction to reassembly.
+        let frame = Frame::Snapshot {
+            users: 1,
+            total: 3,
+            offset: 2,
+            counts: vec![1, 2],
+        };
+        assert!(matches!(
+            Frame::decode(&frame.encode()),
+            Err(FrameError::Malformed(_))
+        ));
     }
 
     #[test]

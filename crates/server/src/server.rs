@@ -274,9 +274,13 @@ impl Shared {
     }
 }
 
-/// The run-identity stamp, computable before the [`Shared`] state exists
-/// (startup restores the checkpoint against it prior to spawning anything).
-fn run_identity_line(mechanism: &dyn Mechanism, config_stamp: Option<&str>) -> String {
+/// The run-identity stamp, computable before the internal shared state exists
+/// (startup restores the checkpoint against it prior to spawning
+/// anything). Public because it is also the fleet-identity contract: the
+/// server sends this exact line in its `HelloAck`, and a coordinator
+/// computes its *expected* line through this same function to refuse
+/// collectors running a different mechanism/m/ε/seed config.
+pub fn run_identity_line(mechanism: &dyn Mechanism, config_stamp: Option<&str>) -> String {
     let mut line = format!(
         "run idldp-serve kind={} shape={} report_len={} ldp_eps={:016x}",
         mechanism.kind(),

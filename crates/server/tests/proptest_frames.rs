@@ -50,7 +50,7 @@ fn arb_report() -> impl Strategy<Value = ReportData> {
 /// Arbitrary frame of every protocol message kind.
 fn arb_frame() -> impl Strategy<Value = Frame> {
     (
-        0usize..12,
+        0usize..15,
         prop::collection::vec(arb_report(), 0..8),
         any::<u64>(),
         prop::collection::vec((0.0f64..1.0, any::<bool>()), 0..20),
@@ -83,7 +83,10 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                     report_len: number,
                     ldp_eps_bits: number.rotate_left(17),
                 },
-                1 => Frame::HelloAck { users: number },
+                1 => Frame::HelloAck {
+                    users: number,
+                    run_line: message,
+                },
                 2 => Frame::Reports(reports),
                 3 => Frame::Ingested { accepted: number },
                 4 => Frame::Busy { accepted: number },
@@ -103,6 +106,28 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                 },
                 9 => Frame::Checkpoint,
                 10 => Frame::CheckpointAck { users: number },
+                11 => Frame::SnapshotQuery,
+                12 => {
+                    // The chunk header must be self-consistent
+                    // (offset + len ≤ total) or the decoder rejects it.
+                    let counts: Vec<u64> = estimates.iter().map(|e| e.to_bits()).collect();
+                    let offset = number % 4096;
+                    Frame::Snapshot {
+                        users: number,
+                        total: offset + counts.len() as u64 + number % 3,
+                        offset,
+                        counts,
+                    }
+                }
+                13 => {
+                    let offset = number % 4096;
+                    Frame::EstimatesPart {
+                        users: number,
+                        total: offset + estimates.len() as u64 + number % 5,
+                        offset,
+                        estimates,
+                    }
+                }
                 _ => Frame::Reject {
                     accepted: number,
                     message,
