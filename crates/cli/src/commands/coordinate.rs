@@ -21,9 +21,16 @@
 //! An address may carry a round-robin weight as `ADDR@WEIGHT` (default 1:
 //! `@3` means three consecutive report frames per turn — capacity
 //! proportioning only; any split gives the same exact answers).
+//!
+//! Against multi-tenant collectors, `--tenant NAME` registers the fleet
+//! under that tenant on every collector (each must host the tenant with
+//! this coordinator's exact config); without the flag the fleet is the
+//! collectors' default tenants. The coordinator's own frontend always
+//! exposes a single stream — its clients connect without a tenant.
 
 use crate::args::CliArgs;
 use idldp_coord::{CoordServer, Coordinator};
+use idldp_core::identity::TenantId;
 use idldp_core::mechanism::Mechanism;
 use idldp_sim::{BuildContext, MechanismRegistry};
 use std::io::Write;
@@ -66,6 +73,13 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
         .split(',')
         .map(parse_collector)
         .collect::<Result<Vec<_>, _>>()?;
+    let tenant = args
+        .get("tenant")
+        .map(|name| {
+            name.parse::<TenantId>()
+                .map_err(|e| format!("flag --tenant: {e}"))
+        })
+        .transpose()?;
 
     // Built exactly like `serve` builds its mechanism, with the same
     // config stamp — the registration handshake compares the resulting
@@ -83,11 +97,16 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
     let stamp = format!("mechanism={mechanism_name} m={m} eps={eps} seed={seed}");
 
     let (coordinator, restored) =
-        Coordinator::connect(mechanism, Some(&stamp), &collectors).map_err(|e| e.to_string())?;
+        Coordinator::connect_tenant(mechanism, Some(&stamp), &collectors, tenant.as_ref())
+            .map_err(|e| e.to_string())?;
     println!(
         "coordinate: mechanism = {mechanism_name}, m = {m}, eps = {eps}, \
-         collectors = {}",
-        coordinator.num_collectors()
+         collectors = {}{}",
+        coordinator.num_collectors(),
+        tenant
+            .as_ref()
+            .map(|t| format!(", tenant = {t}"))
+            .unwrap_or_default()
     );
     for stats in coordinator.stats() {
         println!(

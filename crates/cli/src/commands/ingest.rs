@@ -31,6 +31,7 @@
 //! checkpoint state: its candidates are a pure function of the counts.
 
 use crate::args::CliArgs;
+use idldp_core::identity::RunIdentity;
 use idldp_core::snapshot::{open_store, StoreKind};
 use idldp_sim::report::sci;
 use idldp_sim::stream::{
@@ -125,11 +126,20 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
 
     // The run-identity line appended to every checkpoint: resuming under
     // different flags would splice counts from incompatible populations,
-    // so a mismatch is an error, not a silent restart.
-    let run_line = format!(
-        "run idldp-ingest mechanism={mechanism_name} dataset={dataset_kind} n={n} m={m} \
-         eps={eps} seed={seed} chunk={chunk}"
+    // so a mismatch is an error, not a silent restart. The typed
+    // `RunIdentity` captures the mechanism's wire identity (kind, shape,
+    // width, exact ε bits); the stamp pins everything else that shaped
+    // the population and the stream.
+    let stamp = format!(
+        "mechanism={mechanism_name} dataset={dataset_kind} n={n} m={m} eps={eps} seed={seed} \
+         chunk={chunk}"
     );
+    let run_line = RunIdentity::for_mechanism(
+        RunIdentity::PRODUCER_INGEST,
+        mechanism.as_ref(),
+        Some(&stamp),
+    )
+    .to_string();
 
     // The checkpoint store, when one is configured. Opened once: the delta
     // backend appends each emission's record relative to the previous save

@@ -13,8 +13,14 @@
 //! If the server restored a checkpoint (nonzero user count in the
 //! handshake), the stream seeks past the users already ingested and pushes
 //! only the tail — the client half of the restart story.
+//!
+//! Against a multi-tenant server, `--tenant NAME` selects the stream to
+//! push into (the handshake then validates this run's mechanism config
+//! against *that tenant's*); without the flag the push lands on the
+//! default tenant.
 
 use crate::args::CliArgs;
+use idldp_core::identity::TenantId;
 use idldp_server::ReportClient;
 use idldp_sim::stream::SeededReportStream;
 use idldp_sim::{BuildContext, MechanismRegistry};
@@ -32,6 +38,13 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
     let top_k: Option<usize> = args.parse_opt("top-k")?;
     let want_checkpoint = args.get("checkpoint-server").is_some();
     let resume = args.get("resume").is_some();
+    let tenant = args
+        .get("tenant")
+        .map(|name| {
+            name.parse::<TenantId>()
+                .map_err(|e| format!("flag --tenant: {e}"))
+        })
+        .transpose()?;
     if chunk == 0 {
         return Err("--chunk must be positive".into());
     }
@@ -47,7 +60,8 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
 
     let (mut client, resumed) =
-        ReportClient::connect(addr, mechanism.as_ref()).map_err(|e| e.to_string())?;
+        ReportClient::connect_tenant(addr, mechanism.as_ref(), tenant.as_ref())
+            .map_err(|e| e.to_string())?;
     let mut stream = SeededReportStream::new(
         mechanism.as_ref(),
         workload.dataset.input_batch(),
@@ -75,8 +89,12 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
 
     println!(
         "push: mechanism = {mechanism_name} ({} reports), dataset = {dataset_kind}, n = {n}, \
-         m = {m}, eps = {eps}, chunk = {chunk}, server = {addr}",
-        mechanism.report_shape().label()
+         m = {m}, eps = {eps}, chunk = {chunk}, server = {addr}{}",
+        mechanism.report_shape().label(),
+        tenant
+            .as_ref()
+            .map(|t| format!(", tenant = {t}"))
+            .unwrap_or_default()
     );
     let mut pushed = 0usize;
     loop {

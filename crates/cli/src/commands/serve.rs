@@ -33,14 +33,96 @@
 //! cost registrations instead of threads. The wire protocol and every
 //! reply byte are identical under both. `--idle-timeout-ms N` reaps a
 //! connection that completes no frame for `N` ms (`0` disables reaping).
+//!
+//! `--tenants NAME=MECH:M:EPS:SEED,...` hosts additional fully
+//! independent streams alongside the default one — per-tenant
+//! accumulator, ingest queue, and checkpoint (at the sibling path
+//! `<checkpoint>.tenant-<NAME>`). `--tenants-file FILE` reads the same
+//! specs from a file, one per line (`#` comments and blank lines
+//! ignored). Clients select a tenant with `push --tenant NAME`; v3
+//! clients (and clients that name no tenant) land on the default tenant.
 
 use crate::args::CliArgs;
+use idldp_core::identity::TenantId;
 use idldp_core::mechanism::Mechanism;
-use idldp_server::{ConnectionEngine, ReportServer, ServerConfig};
+use idldp_server::{ConnectionEngine, ReportServer, ServerConfig, TenantConfig};
 use idldp_sim::{BuildContext, MechanismRegistry};
 use std::io::Write;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Parses one `NAME=MECH:M:EPS:SEED` tenant spec into a built
+/// [`TenantConfig`] — the same mechanism construction and config stamp
+/// the default stream gets from the top-level flags, so `push --tenant`
+/// and a coordinator's registration check work identically against any
+/// tenant.
+fn parse_tenant_spec(spec: &str) -> Result<TenantConfig, String> {
+    let bad = || format!("tenant spec `{spec}`: expected NAME=MECH:M:EPS:SEED");
+    let (name, rest) = spec.split_once('=').ok_or_else(bad)?;
+    let id = name
+        .parse::<TenantId>()
+        .map_err(|e| format!("tenant spec `{spec}`: {e}"))?;
+    let parts: Vec<&str> = rest.split(':').collect();
+    let [mech_name, m, eps, seed] = parts.as_slice() else {
+        return Err(bad());
+    };
+    let m: usize = m.parse().map_err(|e| format!("tenant `{id}`: m: {e}"))?;
+    let eps: f64 = eps
+        .parse()
+        .map_err(|e| format!("tenant `{id}`: eps: {e}"))?;
+    let seed: u64 = seed
+        .parse()
+        .map_err(|e| format!("tenant `{id}`: seed: {e}"))?;
+    let mechanism =
+        build_mechanism(mech_name, m, eps, seed).map_err(|e| format!("tenant `{id}`: {e}"))?;
+    Ok(TenantConfig::new(id, mechanism)
+        .with_config_stamp(format!("mechanism={mech_name} m={m} eps={eps} seed={seed}")))
+}
+
+/// Collects tenant specs from `--tenants` (comma-separated) and
+/// `--tenants-file` (one spec per line; `#` comments and blank lines
+/// ignored), in that order.
+fn collect_tenants(args: &CliArgs) -> Result<Vec<TenantConfig>, String> {
+    let mut tenants = Vec::new();
+    if let Some(list) = args.get("tenants") {
+        for spec in list.split(',').filter(|s| !s.trim().is_empty()) {
+            tenants.push(parse_tenant_spec(spec.trim())?);
+        }
+    }
+    if let Some(path) = args.get("tenants-file") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("--tenants-file {path}: {e}"))?;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            tenants.push(parse_tenant_spec(line)?);
+        }
+    }
+    Ok(tenants)
+}
+
+/// Builds a single-item mechanism exactly like `ingest`/`push` do: paper
+/// default budgets over RNG stream `(seed, 1)`.
+fn build_mechanism(
+    mechanism_name: &str,
+    m: usize,
+    eps: f64,
+    seed: u64,
+) -> Result<Arc<dyn Mechanism>, String> {
+    let levels = super::stream_levels(m, eps, seed)?;
+    let ctx = BuildContext {
+        levels: &levels,
+        padding: 0,
+        solver: None,
+    };
+    let mechanism = MechanismRegistry::standard()
+        .build_single_item(mechanism_name, &ctx)
+        .map_err(|e| e.to_string())?;
+    // Box<dyn BatchMechanism> → Arc<dyn BatchMechanism> → upcast.
+    Ok(Arc::<dyn idldp_sim::BatchMechanism>::from(mechanism))
+}
 
 /// Runs the subcommand. Blocks until the process is killed.
 pub fn run(args: &CliArgs) -> Result<(), String> {
@@ -72,35 +154,32 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
         );
     }
 
-    let levels = super::stream_levels(m, eps, seed)?;
-    let ctx = BuildContext {
-        levels: &levels,
-        padding: 0,
-        solver: None,
-    };
-    let mechanism = MechanismRegistry::standard()
-        .build_single_item(&mechanism_name, &ctx)
-        .map_err(|e| e.to_string())?;
-    // Box<dyn BatchMechanism> → Arc<dyn BatchMechanism> → upcast.
-    let mechanism: Arc<dyn Mechanism> = Arc::<dyn idldp_sim::BatchMechanism>::from(mechanism);
+    let mechanism = build_mechanism(&mechanism_name, m, eps, seed)?;
+    let tenants = collect_tenants(args)?;
 
-    let config = ServerConfig {
-        addr: format!("{host}:{port}"),
-        shards,
-        queue_capacity,
-        ingest_workers,
-        connection_workers: workers,
-        engine,
+    let mut builder = ServerConfig::builder()
+        .addr(format!("{host}:{port}"))
+        .shards(shards)
+        .queue_capacity(queue_capacity)
+        .ingest_workers(ingest_workers)
+        .connection_workers(workers)
+        .engine(engine)
         // `0` disables reaping; anything else is the per-frame deadline.
-        idle_timeout: (idle_timeout_ms > 0).then(|| Duration::from_millis(idle_timeout_ms)),
-        checkpoint_path: checkpoint.map(std::path::PathBuf::from),
-        checkpoint_store,
+        .idle_timeout((idle_timeout_ms > 0).then(|| Duration::from_millis(idle_timeout_ms)))
+        .checkpoint_store(checkpoint_store)
         // Everything that went into *building* the mechanism, so a restart
         // under different flags refuses the old checkpoint.
-        config_stamp: Some(format!(
+        .config_stamp(format!(
             "mechanism={mechanism_name} m={m} eps={eps} seed={seed}"
-        )),
-    };
+        ));
+    if let Some(path) = checkpoint {
+        builder = builder.checkpoint_path(path);
+    }
+    let tenant_summaries: Vec<String> = tenants.iter().map(TenantConfig::summary_line).collect();
+    for tenant in tenants {
+        builder = builder.tenant(tenant);
+    }
+    let config = builder.build().map_err(|e| e.to_string())?;
     let server = ReportServer::start(Arc::clone(&mechanism), config).map_err(|e| e.to_string())?;
 
     println!(
@@ -110,6 +189,9 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
         mechanism.report_shape().label(),
         mechanism.report_len()
     );
+    for summary in &tenant_summaries {
+        println!("serve: tenant {summary}");
+    }
     if server.num_users() > 0 {
         println!(
             "serve: restored {} users from checkpoint `{}`",

@@ -90,34 +90,42 @@ USAGE:
                  [--seed S] [--shards S] [--queue-capacity Q]
                  [--workers W] [--ingest-workers I] [--checkpoint FILE]
                  [--engine blocking|reactor] [--idle-timeout-ms N]
+                 [--tenants NAME=MECH:M:EPS:SEED,..] [--tenants-file FILE]
       run the networked ingestion service: accept framed compact-wire
       report batches over TCP with bounded-queue backpressure (Busy
       replies), serve estimate/top-k queries from live snapshots, and
       persist atomic checkpoints on demand; --port 0 picks an
       ephemeral port and prints it; --engine reactor multiplexes all
       connections onto --workers event loops instead of a thread per
-      connection; --idle-timeout-ms reaps silent peers (0 disables)
+      connection; --idle-timeout-ms reaps silent peers (0 disables);
+      --tenants hosts extra fully independent streams next to the
+      default one (own accumulator, ingest queue, and checkpoint at
+      <FILE>.tenant-<NAME>), selected by `push --tenant`
 
   idldp coordinate --collectors ADDR[@W],ADDR[@W],.. --mechanism NAME
                  --m M --eps E [--seed S] [--port P] [--host H]
+                 [--tenant NAME]
       front a fleet of `idldp serve` collectors behind one port
       speaking the same protocol: registration refuses collectors
       whose mechanism/m/eps/seed differ, report frames are routed
       round-robin (weight W frames per turn; Busy remainders spill to
       the next collector), and every query merges the collectors' raw
       count snapshots before estimating once — answers are
-      bit-identical to a single unsharded server for any fleet size
+      bit-identical to a single unsharded server for any fleet size;
+      --tenant registers against that tenant on every collector
 
   idldp push     --addr HOST:PORT --mechanism NAME --n N --m M --eps E
                  [--dataset powerlaw|uniform] [--chunk C] [--seed S]
                  [--top-k K] [--checkpoint-server] [--resume]
+                 [--tenant NAME]
       stream the seeded synthetic population to a running `idldp
       serve`, absorbing Busy backpressure, then query and print the
       server's estimates (bit-identical to `idldp simulate
       --estimates` with the same flags); --checkpoint-server asks the
       server to persist its checkpoint at the end; --resume skips the
       users the server already holds (only valid when they came from
-      this same workload, e.g. after a checkpointed restart)
+      this same workload, e.g. after a checkpointed restart);
+      --tenant pushes into that stream of a multi-tenant server
 
   idldp mechanisms [--names]
       list every registered mechanism with its aliases, supported

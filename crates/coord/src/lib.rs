@@ -14,7 +14,8 @@
 //! * [`Coordinator`] — the registration, routing, and merge engine.
 //!   Registration connects a [`ReportClient`] to each collector and
 //!   compares its `HelloAck` run-identity line against the line this
-//!   coordinator's own config produces ([`run_identity_line`]): a
+//!   coordinator's own config produces (a parsed
+//!   [`idldp_core::identity::RunIdentity`]): a
 //!   collector running a different mechanism, domain size, ε, or seed is
 //!   refused at registration, not discovered as garbage estimates later.
 //!   Routing sends each report frame to one collector (weighted
@@ -47,12 +48,13 @@
 
 #![deny(missing_docs)]
 
+use idldp_core::identity::{RunIdentity, TenantId};
 use idldp_core::mechanism::Mechanism;
 use idldp_core::report::ReportData;
 use idldp_core::snapshot::AccumulatorSnapshot;
 use idldp_num::vecops::{cmp_desc_nan_last, top_k_indices};
 use idldp_server::{
-    check_hello, encode_reply, run_identity_line, ClientError, Frame, PushOutcome, ReportClient,
+    check_hello, encode_reply, hello_tenant, ClientError, Frame, PushOutcome, ReportClient,
 };
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -166,10 +168,13 @@ impl Coordinator {
     /// report frames the collector takes per round-robin turn (capacity
     /// proportioning — any split is exact, so weights only shape load).
     ///
-    /// Each collector's `HelloAck` run-identity line must equal the line
-    /// this coordinator's own `(mechanism, config_stamp)` produces — the
-    /// stamp carries the CLI-level `mechanism=… m=… eps=… seed=…`, so a
-    /// collector started under a different seed or ε is refused here.
+    /// Each collector's `HelloAck` run-identity line must parse to the
+    /// exact [`RunIdentity`] this coordinator's own
+    /// `(mechanism, config_stamp)` produces — the stamp carries the
+    /// CLI-level `mechanism=… m=… eps=… seed=…`, so a collector started
+    /// under a different seed or ε is refused here. The comparison is the
+    /// typed struct, not string bytes, so the check cannot drift from the
+    /// format the server and the checkpoint stores share.
     ///
     /// Returns the coordinator and the total users already absorbed
     /// across the fleet (nonzero when collectors restored checkpoints).
@@ -182,6 +187,25 @@ impl Coordinator {
         config_stamp: Option<&str>,
         collectors: &[(String, usize)],
     ) -> Result<(Self, u64), CoordError> {
+        Self::connect_tenant(mechanism, config_stamp, collectors, None)
+    }
+
+    /// Like [`Self::connect`], but registers against the named tenant on
+    /// every collector of a multi-tenant fleet (`None` is the default
+    /// tenant). Each collector must host the tenant with exactly this
+    /// coordinator's `(mechanism, config_stamp)` identity; a collector
+    /// without the tenant, or hosting it under a different config, is
+    /// refused at registration.
+    ///
+    /// # Errors
+    /// Same conditions as [`Self::connect`], plus a typed
+    /// [`CoordError::Collector`] when a collector rejects the tenant.
+    pub fn connect_tenant(
+        mechanism: Arc<dyn Mechanism>,
+        config_stamp: Option<&str>,
+        collectors: &[(String, usize)],
+        tenant: Option<&TenantId>,
+    ) -> Result<(Self, u64), CoordError> {
         if collectors.is_empty() {
             return Err(CoordError::Config("no collectors to register".into()));
         }
@@ -190,20 +214,29 @@ impl Coordinator {
                 "collector {addr} has weight 0 (weights must be positive)"
             )));
         }
-        let want = run_identity_line(mechanism.as_ref(), config_stamp);
+        let want = RunIdentity::for_mechanism(
+            RunIdentity::PRODUCER_SERVE,
+            mechanism.as_ref(),
+            config_stamp,
+        );
         let mut registered = Vec::with_capacity(collectors.len());
         let mut users = 0u64;
         for (addr, weight) in collectors {
-            let (client, restored) = ReportClient::connect(addr.as_str(), mechanism.as_ref())
-                .map_err(|e| CoordError::Collector {
-                    addr: addr.clone(),
-                    detail: e.to_string(),
-                })?;
-            if client.server_run_line() != want {
+            let (client, restored) =
+                ReportClient::connect_tenant(addr.as_str(), mechanism.as_ref(), tenant).map_err(
+                    |e| CoordError::Collector {
+                        addr: addr.clone(),
+                        detail: e.to_string(),
+                    },
+                )?;
+            // Typed comparison: an unparseable line is a mismatch too (a
+            // pre-identity server cannot prove its config).
+            let got = client.server_run_line();
+            if got.parse::<RunIdentity>().ok().as_ref() != Some(&want) {
                 return Err(CoordError::IdentityMismatch {
                     addr: addr.clone(),
-                    got: client.server_run_line().to_string(),
-                    want,
+                    got: got.to_string(),
+                    want: want.to_string(),
                 });
             }
             users += restored;
@@ -221,7 +254,7 @@ impl Coordinator {
         Ok((
             Self {
                 mechanism,
-                run_line: want,
+                run_line: want.to_string(),
                 collectors: registered,
                 cursor: 0,
                 cursor_spent: 0,
@@ -597,6 +630,22 @@ fn serve_connection(mut stream: TcpStream, coordinator: &Mutex<Coordinator>) {
         Ok(Some(frame)) => frame,
         _ => return,
     };
+    // The frontend exposes exactly one stream — the fleet it coordinates.
+    // A Hello naming a tenant is refused before the config check, with a
+    // message pointing at the right fix (multi-tenant selection happens
+    // on the collectors, via `Coordinator::connect_tenant`).
+    if let Some(name) = hello_tenant(&hello) {
+        if !name.is_empty() {
+            let _ = write_frame(
+                &mut stream,
+                &reject(format!(
+                    "unknown tenant `{name}`: a coordinator frontend exposes a single \
+                     stream — connect without a tenant"
+                )),
+            );
+            return;
+        }
+    }
     let ack = {
         let coord = coordinator
             .lock()

@@ -88,6 +88,7 @@ pub mod error;
 pub mod estimator;
 pub mod fold;
 pub mod grr;
+pub mod identity;
 pub mod idue;
 pub mod idue_ps;
 pub mod leakage;

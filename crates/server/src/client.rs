@@ -12,11 +12,69 @@
 use crate::frame::{
     encoded_report_len, Frame, FrameError, MAX_BIT_REPORT_SLOTS, MAX_PAYLOAD_LEN, PROTOCOL_VERSION,
 };
+use idldp_core::identity::TenantId;
 use idldp_core::mechanism::Mechanism;
 use idldp_core::report::ReportData;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// A typed request for [`ReportClient::query`] — every post-handshake
+/// request/response exchange the protocol offers, in one place, so a new
+/// query frame extends this enum (and the one settle/reassemble loop in
+/// `query`) instead of growing a fourth hand-rolled method.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Query {
+    /// Calibrated estimates over everything ingested so far →
+    /// [`Reply::Estimates`].
+    Estimates,
+    /// The current top-`k` heavy-hitter candidates →
+    /// [`Reply::Candidates`].
+    TopK(usize),
+    /// The raw merged accumulator counts (the coordinator's fetch path:
+    /// integer counts merge exactly where calibrated floats would not) →
+    /// [`Reply::Snapshot`].
+    Snapshot,
+    /// Persist a durable checkpoint server-side →
+    /// [`Reply::CheckpointAck`].
+    Checkpoint,
+}
+
+/// A settled, fully reassembled reply from [`ReportClient::query`]. Each
+/// [`Query`] variant maps to exactly one `Reply` variant — chunked wire
+/// replies (`EstimatesPart`, `Snapshot` continuations) arrive here
+/// already reassembled and validated.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// Answer to [`Query::Estimates`]: the user count and the exact
+    /// IEEE-754 estimate bits the server computed.
+    Estimates {
+        /// Users folded in when the query settled.
+        users: u64,
+        /// Calibrated per-item frequency estimates.
+        estimates: Vec<f64>,
+    },
+    /// Answer to [`Query::TopK`]: ranked `(item, estimate)` pairs.
+    Candidates {
+        /// Users folded in when the query settled.
+        users: u64,
+        /// The top-k candidates, best first.
+        items: Vec<(u64, f64)>,
+    },
+    /// Answer to [`Query::Snapshot`]: the raw merged counts.
+    Snapshot {
+        /// Users folded in when the query settled.
+        users: u64,
+        /// The merged accumulator counts.
+        counts: Vec<u64>,
+    },
+    /// Answer to [`Query::Checkpoint`]: the user count the written
+    /// checkpoint covers.
+    CheckpointAck {
+        /// Users covered by the durable checkpoint.
+        users: u64,
+    },
+}
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -101,7 +159,9 @@ pub struct ReportClient {
 }
 
 impl ReportClient {
-    /// Connects and handshakes for `mechanism`'s report configuration.
+    /// Connects and handshakes for `mechanism`'s report configuration,
+    /// against the server's default tenant. Equivalent to
+    /// [`Self::connect_tenant`] with no tenant.
     ///
     /// Returns the client and the server's current user count (nonzero
     /// when the server restored a checkpoint — the resume signal).
@@ -112,6 +172,24 @@ impl ReportClient {
     pub fn connect<A: ToSocketAddrs>(
         addr: A,
         mechanism: &dyn Mechanism,
+    ) -> Result<(Self, u64), ClientError> {
+        Self::connect_tenant(addr, mechanism, None)
+    }
+
+    /// Connects and handshakes for `mechanism`'s report configuration
+    /// against the named tenant of a multi-tenant server (`None` selects
+    /// the default tenant). The v4 `Hello` names the tenant; the server
+    /// checks the announced config against *that tenant's* mechanism and
+    /// answers with that tenant's run identity and user count.
+    ///
+    /// # Errors
+    /// Connection failures, a rejected handshake (unknown tenant or a
+    /// config mismatch with the selected tenant), or a protocol
+    /// violation.
+    pub fn connect_tenant<A: ToSocketAddrs>(
+        addr: A,
+        mechanism: &dyn Mechanism,
+        tenant: Option<&TenantId>,
     ) -> Result<(Self, u64), ClientError> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
@@ -129,6 +207,7 @@ impl ReportClient {
             shape: mechanism.report_shape(),
             report_len: mechanism.report_len() as u64,
             ldp_eps_bits: mechanism.ldp_epsilon().to_bits(),
+            tenant: tenant.map(|t| t.as_str().to_string()).unwrap_or_default(),
         };
         match client.exchange(&hello)? {
             Frame::HelloAck { users, run_line } => {
@@ -295,107 +374,158 @@ impl ReportClient {
         Ok(())
     }
 
-    /// Queries calibrated estimates over everything ingested so far (by
-    /// any client). Returns `(users, estimates)`; estimates are the exact
-    /// IEEE-754 bits the server computed. Domains whose estimate vector
-    /// exceeds one frame arrive as contiguous `EstimatesPart` chunks and
-    /// are reassembled here transparently.
+    /// Runs one typed request/response exchange: sends the query frame,
+    /// settles on the reply, and reassembles chunked replies
+    /// (`EstimatesPart` / `Snapshot` continuations) transparently. This is
+    /// the *one* settle/reassemble loop — [`Self::query_estimates`],
+    /// [`Self::query_snapshot`], [`Self::query_top_k`], and
+    /// [`Self::checkpoint`] are thin wrappers over it, so the next query
+    /// frame extends [`Query`]/[`Reply`] instead of cloning this logic.
     ///
     /// # Errors
-    /// Transport errors, a server-side rejection, or a typed protocol
-    /// error when the server's chunks are inconsistent (out of order,
-    /// disagreeing headers).
-    pub fn query_estimates(&mut self) -> Result<(u64, Vec<f64>), ClientError> {
-        match self.exchange(&Frame::Query)? {
-            Frame::Estimates { users, estimates } => Ok((users, estimates)),
-            Frame::EstimatesPart {
-                users,
-                total,
-                offset,
-                estimates,
-            } => {
-                let mut acc = ChunkAccumulator::start("estimates", users, total, offset)?;
-                acc.push(estimates)?;
-                while !acc.complete() {
-                    match self.read_reply()? {
-                        Frame::EstimatesPart {
-                            users,
-                            total,
-                            offset,
-                            estimates,
-                        } => {
-                            acc.check_next("estimates", users, total, offset)?;
-                            acc.push(estimates)?;
-                        }
-                        other => return Err(unexpected("EstimatesPart", &other)),
-                    }
+    /// Transport errors, a server-side rejection
+    /// ([`ClientError::Rejected`]), or a typed [`ClientError::Protocol`]
+    /// when the server's reply does not answer the query or its chunks
+    /// are inconsistent (out of order, disagreeing headers).
+    pub fn query(&mut self, query: Query) -> Result<Reply, ClientError> {
+        match query {
+            Query::Estimates => match self.exchange(&Frame::Query)? {
+                Frame::Estimates { users, estimates } => Ok(Reply::Estimates { users, estimates }),
+                Frame::EstimatesPart {
+                    users,
+                    total,
+                    offset,
+                    estimates,
+                } => {
+                    let estimates =
+                        self.reassemble("estimates", users, total, offset, estimates, |frame| {
+                            match frame {
+                                Frame::EstimatesPart {
+                                    users,
+                                    total,
+                                    offset,
+                                    estimates,
+                                } => Ok((users, total, offset, estimates)),
+                                other => Err(unexpected("EstimatesPart", &other)),
+                            }
+                        })?;
+                    Ok(Reply::Estimates { users, estimates })
                 }
-                Ok((users, acc.into_vec()))
-            }
-            other => Err(unexpected("Estimates", &other)),
+                other => Err(unexpected("Estimates", &other)),
+            },
+            Query::TopK(k) => match self.exchange(&Frame::TopKQuery { k: k as u64 })? {
+                Frame::Candidates { users, items } => Ok(Reply::Candidates { users, items }),
+                other => Err(unexpected("Candidates", &other)),
+            },
+            Query::Snapshot => match self.exchange(&Frame::SnapshotQuery)? {
+                Frame::Snapshot {
+                    users,
+                    total,
+                    offset,
+                    counts,
+                } => {
+                    let counts =
+                        self.reassemble("snapshot", users, total, offset, counts, |frame| {
+                            match frame {
+                                Frame::Snapshot {
+                                    users,
+                                    total,
+                                    offset,
+                                    counts,
+                                } => Ok((users, total, offset, counts)),
+                                other => Err(unexpected("Snapshot", &other)),
+                            }
+                        })?;
+                    Ok(Reply::Snapshot { users, counts })
+                }
+                other => Err(unexpected("Snapshot", &other)),
+            },
+            Query::Checkpoint => match self.exchange(&Frame::Checkpoint)? {
+                Frame::CheckpointAck { users } => Ok(Reply::CheckpointAck { users }),
+                other => Err(unexpected("CheckpointAck", &other)),
+            },
+        }
+    }
+
+    /// Reads and validates continuation chunks until the vector announced
+    /// by the first chunk's header is complete. `next` projects each
+    /// subsequent frame to its `(users, total, offset, chunk)` header or a
+    /// typed mismatch error.
+    fn reassemble<T>(
+        &mut self,
+        what: &str,
+        users: u64,
+        total: u64,
+        offset: u64,
+        first: Vec<T>,
+        next: impl Fn(Frame) -> Result<(u64, u64, u64, Vec<T>), ClientError>,
+    ) -> Result<Vec<T>, ClientError> {
+        let mut acc = ChunkAccumulator::start(what, users, total, offset)?;
+        acc.push(first)?;
+        while !acc.complete() {
+            let (users, total, offset, chunk) = next(self.read_reply()?)?;
+            acc.check_next(what, users, total, offset)?;
+            acc.push(chunk)?;
+        }
+        Ok(acc.into_vec())
+    }
+
+    /// Queries calibrated estimates over everything ingested so far (by
+    /// any client). Returns `(users, estimates)`; estimates are the exact
+    /// IEEE-754 bits the server computed. A thin wrapper over
+    /// [`Self::query`] with [`Query::Estimates`], kept for callers that
+    /// want the tuple shape.
+    ///
+    /// # Errors
+    /// Same conditions as [`Self::query`].
+    pub fn query_estimates(&mut self) -> Result<(u64, Vec<f64>), ClientError> {
+        match self.query(Query::Estimates)? {
+            Reply::Estimates { users, estimates } => Ok((users, estimates)),
+            _ => unreachable!("query(Estimates) answers with Reply::Estimates by construction"),
         }
     }
 
     /// Queries the server's raw merged accumulator counts (the snapshot
-    /// body), reassembling chunked `Snapshot` replies. Returns
-    /// `(users, counts)`. This is the coordinator's fetch path: raw
-    /// integer counts merge exactly across collectors, where calibrated
-    /// floats would not.
+    /// body). Returns `(users, counts)`. A thin wrapper over
+    /// [`Self::query`] with [`Query::Snapshot`], kept for callers that
+    /// want the tuple shape.
     ///
     /// # Errors
-    /// Transport errors, a server-side rejection, or inconsistent chunks.
+    /// Same conditions as [`Self::query`].
     pub fn query_snapshot(&mut self) -> Result<(u64, Vec<u64>), ClientError> {
-        match self.exchange(&Frame::SnapshotQuery)? {
-            Frame::Snapshot {
-                users,
-                total,
-                offset,
-                counts,
-            } => {
-                let mut acc = ChunkAccumulator::start("snapshot", users, total, offset)?;
-                acc.push(counts)?;
-                while !acc.complete() {
-                    match self.read_reply()? {
-                        Frame::Snapshot {
-                            users,
-                            total,
-                            offset,
-                            counts,
-                        } => {
-                            acc.check_next("snapshot", users, total, offset)?;
-                            acc.push(counts)?;
-                        }
-                        other => return Err(unexpected("Snapshot", &other)),
-                    }
-                }
-                Ok((users, acc.into_vec()))
-            }
-            other => Err(unexpected("Snapshot", &other)),
+        match self.query(Query::Snapshot)? {
+            Reply::Snapshot { users, counts } => Ok((users, counts)),
+            _ => unreachable!("query(Snapshot) answers with Reply::Snapshot by construction"),
         }
     }
 
     /// Queries the current top-`k` heavy-hitter candidates (ranked
-    /// `(item, estimate)` pairs).
+    /// `(item, estimate)` pairs). A thin wrapper over [`Self::query`]
+    /// with [`Query::TopK`], kept for callers that want the tuple shape.
     ///
     /// # Errors
-    /// Transport errors or a server-side rejection.
+    /// Same conditions as [`Self::query`].
     pub fn query_top_k(&mut self, k: usize) -> Result<(u64, Vec<(u64, f64)>), ClientError> {
-        match self.exchange(&Frame::TopKQuery { k: k as u64 })? {
-            Frame::Candidates { users, items } => Ok((users, items)),
-            other => Err(unexpected("Candidates", &other)),
+        match self.query(Query::TopK(k))? {
+            Reply::Candidates { users, items } => Ok((users, items)),
+            _ => unreachable!("query(TopK) answers with Reply::Candidates by construction"),
         }
     }
 
     /// Asks the server to persist its checkpoint; returns the user count
-    /// the written checkpoint covers.
+    /// the written checkpoint covers. A thin wrapper over [`Self::query`]
+    /// with [`Query::Checkpoint`].
     ///
     /// # Errors
-    /// Transport errors, or [`ClientError::Rejected`] when the server has
-    /// no checkpoint path configured or the write failed.
+    /// Same conditions as [`Self::query`]; notably
+    /// [`ClientError::Rejected`] when the server has no checkpoint path
+    /// configured or the write failed.
     pub fn checkpoint(&mut self) -> Result<u64, ClientError> {
-        match self.exchange(&Frame::Checkpoint)? {
-            Frame::CheckpointAck { users } => Ok(users),
-            other => Err(unexpected("CheckpointAck", &other)),
+        match self.query(Query::Checkpoint)? {
+            Reply::CheckpointAck { users } => Ok(users),
+            _ => {
+                unreachable!("query(Checkpoint) answers with Reply::CheckpointAck by construction")
+            }
         }
     }
 }

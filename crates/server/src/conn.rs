@@ -23,9 +23,9 @@
 //! [`IngestQueue::wait_processed`]: crate::queue::IngestQueue::wait_processed
 //! [`IngestQueue::poll_processed`]: crate::queue::IngestQueue::poll_processed
 
-use crate::frame::{Frame, PROTOCOL_VERSION};
+use crate::frame::{Frame, LEGACY_PROTOCOL_VERSION, PROTOCOL_VERSION};
 use crate::queue::{PushRefusal, WaitOutcome};
-use crate::server::Shared;
+use crate::server::{Shared, Tenant};
 use idldp_core::report::{ReportData, ReportShape};
 use idldp_num::vecops::top_k_indices;
 
@@ -49,6 +49,10 @@ pub(crate) enum FrameAction {
 pub(crate) struct PendingQuery {
     /// Which reply to build once settled.
     pub(crate) kind: QueryKind,
+    /// The tenant the connection bound to at handshake — the query
+    /// settles against (and answers from) this tenant's queue and
+    /// accumulator only.
+    pub(crate) tenant: usize,
     /// The accept watermark at the query's linearization point.
     pub(crate) watermark: u64,
 }
@@ -75,12 +79,43 @@ fn reject(message: impl Into<String>) -> Frame {
     }
 }
 
+/// The tenant name a [`Frame::Hello`] carries (the empty string is every
+/// v3 client and a v4 client selecting the default tenant); `None` when
+/// the frame is not a `Hello` at all. Public for single-stream frontends
+/// — the coordinator hosts exactly one stream and refuses named tenants
+/// through this before [`check_hello`].
+#[must_use]
+pub fn hello_tenant(frame: &Frame) -> Option<&str> {
+    match frame {
+        Frame::Hello { tenant, .. } => Some(tenant),
+        _ => None,
+    }
+}
+
+/// The protocol versions a server accepts: the current version, and the
+/// immediately preceding one (a v3 `Hello` cannot name a tenant, so it
+/// lands on the default tenant — old clients keep working against
+/// multi-tenant servers).
+fn check_hello_version(version: u32) -> Result<(), String> {
+    if version != PROTOCOL_VERSION && version != LEGACY_PROTOCOL_VERSION {
+        return Err(format!(
+            "protocol version {version} unsupported (server speaks \
+             {PROTOCOL_VERSION}, accepts {LEGACY_PROTOCOL_VERSION})"
+        ));
+    }
+    Ok(())
+}
+
 /// Validates a connection's first frame against a mechanism config: it
-/// must be a [`Frame::Hello`] of the current protocol version announcing
+/// must be a [`Frame::Hello`] of an accepted protocol version announcing
 /// exactly this mechanism's kind/shape/width/ε. Shared by both server
-/// engines (via the internal `apply_hello`) and the coordinator frontend, which
-/// speaks the same handshake on behalf of its collector fleet — one
-/// implementation, so the acceptance rule cannot drift.
+/// engines (via the internal `apply_hello`, against the *selected
+/// tenant's* mechanism) and the coordinator frontend, which speaks the
+/// same handshake on behalf of its collector fleet — one implementation,
+/// so the acceptance rule cannot drift. Tenant selection is deliberately
+/// not this function's business: the server resolves the name first via
+/// its registry, the coordinator refuses named tenants via
+/// [`hello_tenant`].
 ///
 /// # Errors
 /// The human-readable refusal to send in a [`Frame::Reject`].
@@ -94,15 +129,12 @@ pub fn check_hello(
         shape,
         report_len,
         ldp_eps_bits,
+        tenant: _,
     } = frame
     else {
         return Err("expected Hello as the first frame".into());
     };
-    if *version != PROTOCOL_VERSION {
-        return Err(format!(
-            "protocol version {version} unsupported (server speaks {PROTOCOL_VERSION})"
-        ));
-    }
+    check_hello_version(*version)?;
     if *kind != mech.kind()
         || *shape != mech.report_shape()
         || *report_len != mech.report_len() as u64
@@ -126,18 +158,37 @@ pub fn check_hello(
     Ok(())
 }
 
-/// Handles the first frame of a connection. `Ok` is the `HelloAck` to
-/// send before entering the frame loop; `Err` is the `Reject` to send
-/// before closing (version/config mismatch, or not a Hello at all).
-pub(crate) fn apply_hello(shared: &Shared, frame: Frame) -> Result<Frame, Frame> {
-    check_hello(shared.mechanism.as_ref(), &frame).map_err(reject)?;
-    Ok(Frame::HelloAck {
-        users: shared.sink.num_users(),
-        // The same stamp checkpoints carry — lets a coordinator refuse a
-        // collector whose config (including the CLI seed) differs from the
-        // rest of its fleet.
-        run_line: shared.run_line(),
-    })
+/// Handles the first frame of a connection: resolves the named tenant,
+/// checks the announced config against *that tenant's* mechanism, and
+/// binds the connection to the tenant. `Ok` is the tenant index plus the
+/// `HelloAck` to send before entering the frame loop; `Err` is the
+/// `Reject` to send before closing (version mismatch, unknown tenant,
+/// config mismatch, or not a Hello at all).
+pub(crate) fn apply_hello(shared: &Shared, frame: Frame) -> Result<(usize, Frame), Frame> {
+    let Frame::Hello {
+        version,
+        tenant: ref tenant_name,
+        ..
+    } = frame
+    else {
+        return Err(reject("expected Hello as the first frame"));
+    };
+    // Version precedes tenant resolution: an unsupported version draws the
+    // version refusal even if it happens to name a known tenant.
+    check_hello_version(version).map_err(reject)?;
+    let index = shared.resolve_tenant(tenant_name).map_err(reject)?;
+    let tenant = shared.tenant(index);
+    check_hello(tenant.mechanism.as_ref(), &frame).map_err(reject)?;
+    Ok((
+        index,
+        Frame::HelloAck {
+            users: tenant.sink.num_users(),
+            // The same stamp this tenant's checkpoints carry — lets a
+            // coordinator refuse a collector whose config (including the
+            // CLI seed) differs from the rest of its fleet.
+            run_line: tenant.run_line(),
+        },
+    ))
 }
 
 /// Validates one decoded report against the negotiated mechanism config —
@@ -183,13 +234,18 @@ fn validate_report(
         .map_err(|e| e.to_string())
 }
 
-/// Handles one frame of a negotiated connection. Pure protocol: `Reports`
-/// validate whole-frame-atomically and meet the queue's typed
-/// backpressure; queries capture their watermark and become
-/// [`FrameAction::Settle`]; everything else draws a typed reply.
-pub(crate) fn apply_frame(shared: &Shared, frame: Frame) -> FrameAction {
-    let shape = shared.mechanism.report_shape();
-    let report_len = shared.mechanism.report_len();
+/// Handles one frame of a negotiated connection, against the tenant the
+/// connection bound to at handshake. Pure protocol: `Reports` validate
+/// whole-frame-atomically and meet *this tenant's* queue's typed
+/// backpressure (per-tenant capacity accounting — another tenant's
+/// saturation is invisible here); queries capture this tenant's watermark
+/// and become [`FrameAction::Settle`]; everything else draws a typed
+/// reply.
+pub(crate) fn apply_frame(shared: &Shared, tenant: usize, frame: Frame) -> FrameAction {
+    let tenant_index = tenant;
+    let tenant = shared.tenant(tenant_index);
+    let shape = tenant.mechanism.report_shape();
+    let report_len = tenant.mechanism.report_len();
     let reply = match frame {
         Frame::Reports(reports) => {
             // The whole frame validates before anything is queued: a
@@ -206,7 +262,7 @@ pub(crate) fn apply_frame(shared: &Shared, frame: Frame) -> FrameAction {
                 reject(message)
             } else {
                 let batch_len = reports.len();
-                match shared.queue.try_push_batch(reports) {
+                match tenant.queue.try_push_batch(reports) {
                     Ok(accepted) if accepted == batch_len => Frame::Ingested {
                         accepted: accepted as u64,
                     },
@@ -221,28 +277,32 @@ pub(crate) fn apply_frame(shared: &Shared, frame: Frame) -> FrameAction {
         Frame::Query => {
             return FrameAction::Settle(PendingQuery {
                 kind: QueryKind::Estimates,
-                watermark: shared.queue.watermark(),
+                tenant: tenant_index,
+                watermark: tenant.queue.watermark(),
             })
         }
         Frame::TopKQuery { k } => {
             return FrameAction::Settle(PendingQuery {
                 kind: QueryKind::TopK(k),
-                watermark: shared.queue.watermark(),
+                tenant: tenant_index,
+                watermark: tenant.queue.watermark(),
             })
         }
         Frame::SnapshotQuery => {
             return FrameAction::Settle(PendingQuery {
                 kind: QueryKind::Snapshot,
-                watermark: shared.queue.watermark(),
+                tenant: tenant_index,
+                watermark: tenant.queue.watermark(),
             })
         }
         Frame::Checkpoint => {
-            if shared.store.is_none() {
+            if tenant.store.is_none() {
                 reject("server has no checkpoint path configured")
             } else {
                 return FrameAction::Settle(PendingQuery {
                     kind: QueryKind::Checkpoint,
-                    watermark: shared.queue.watermark(),
+                    tenant: tenant_index,
+                    watermark: tenant.queue.watermark(),
                 });
             }
         }
@@ -252,15 +312,16 @@ pub(crate) fn apply_frame(shared: &Shared, frame: Frame) -> FrameAction {
     FrameAction::Reply(reply)
 }
 
-/// Estimates over the current merged view (empty while no users). Called
-/// only after the fold frontier reached the query's watermark.
-fn estimates_now(shared: &Shared) -> Result<(u64, Vec<f64>), String> {
-    let snapshot = shared.sink.snapshot();
+/// Estimates over one tenant's current merged view (empty while no
+/// users). Called only after the fold frontier reached the query's
+/// watermark.
+fn estimates_now(tenant: &Tenant) -> Result<(u64, Vec<f64>), String> {
+    let snapshot = tenant.sink.snapshot();
     let users = snapshot.num_users();
     if users == 0 {
         return Ok((0, Vec::new()));
     }
-    shared
+    tenant
         .mechanism
         .frequency_oracle(users)
         .estimate_from(&snapshot)
@@ -283,12 +344,13 @@ pub(crate) fn settle_reply(
         WaitOutcome::Paused => return Some(reject(PAUSED_MSG)),
         WaitOutcome::Reached => {}
     }
+    let tenant = shared.tenant(pending.tenant);
     let reply = match &pending.kind {
-        QueryKind::Estimates => match estimates_now(shared) {
+        QueryKind::Estimates => match estimates_now(tenant) {
             Ok((users, estimates)) => Frame::Estimates { users, estimates },
             Err(message) => reject(message),
         },
-        QueryKind::TopK(k) => match estimates_now(shared) {
+        QueryKind::TopK(k) => match estimates_now(tenant) {
             Ok((users, estimates)) => {
                 let items = top_k_indices(&estimates, *k as usize)
                     .into_iter()
@@ -298,14 +360,14 @@ pub(crate) fn settle_reply(
             }
             Err(message) => reject(message),
         },
-        QueryKind::Checkpoint => match &shared.store {
+        QueryKind::Checkpoint => match &tenant.store {
             Some(store) => {
                 // Per-shard snapshots, no merge: the store decides whether
                 // to persist them separately (sharded backend) or merged
                 // (file and delta backends).
-                let shards = shared.sink.snapshot_shards();
+                let shards = tenant.sink.snapshot_shards();
                 let users = shards.iter().map(|s| s.num_users()).sum();
-                let run_line = shared.run_line();
+                let run_line = tenant.run_line();
                 let mut store = store
                     .lock()
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -319,7 +381,7 @@ pub(crate) fn settle_reply(
             None => reject("server has no checkpoint path configured"),
         },
         QueryKind::Snapshot => {
-            let snapshot = shared.sink.snapshot();
+            let snapshot = tenant.sink.snapshot();
             Frame::Snapshot {
                 users: snapshot.num_users(),
                 total: snapshot.counts().len() as u64,

@@ -42,7 +42,22 @@ use std::io::{Read, Write};
 /// snapshot fetch ([`Frame::SnapshotQuery`] / [`Frame::Snapshot`]), and
 /// chunked estimate replies ([`Frame::EstimatesPart`]) for domains whose
 /// estimate vector exceeds one frame.
-pub const PROTOCOL_VERSION: u32 = 3;
+///
+/// Version 4 added tenancy: a trailing tenant-name string in
+/// [`Frame::Hello`] selects which of the server's streams the connection
+/// addresses, and the [`Frame::HelloAck`] `run_line` is that tenant's
+/// run identity. The tenant field is appended *after* every v3 field and
+/// is only encoded when `version >= 4`, so a v3 `Hello` is byte-identical
+/// under both codecs — servers still accept
+/// [`LEGACY_PROTOCOL_VERSION`]-speaking clients and map them to the
+/// default tenant.
+pub const PROTOCOL_VERSION: u32 = 4;
+
+/// The oldest protocol version servers still accept (v3: the pre-tenancy
+/// grammar). A v3 `Hello` carries no tenant name and lands on the default
+/// tenant; every reply frame it can draw is grammatically unchanged, so
+/// v3 clients interoperate byte-for-byte.
+pub const LEGACY_PROTOCOL_VERSION: u32 = 3;
 
 /// Elements per chunk of a chunked reply ([`Frame::EstimatesPart`] /
 /// [`Frame::Snapshot`]): 2²⁰ × 8-byte elements = 8 MiB of payload per
@@ -147,6 +162,12 @@ pub enum Frame {
         /// incompatible counts, so the server refuses the mismatch just
         /// like its checkpoint run-identity stamp does.
         ldp_eps_bits: u64,
+        /// The tenant (stream) this connection addresses — on the wire
+        /// only when `version >= 4`, appended after every v3 field so the
+        /// v3 byte layout is unchanged. Empty means the default tenant
+        /// (what every v3 client gets, since its `Hello` has no tenant
+        /// field to decode).
+        tenant: String,
     },
     /// Handshake accepted; `users` reports are already accumulated
     /// server-side (nonzero after a checkpoint restore).
@@ -675,12 +696,16 @@ impl Frame {
                 shape,
                 report_len,
                 ldp_eps_bits,
+                tenant,
             } => {
                 put_u32(&mut out, *version);
                 put_string(&mut out, kind);
                 put_shape(&mut out, *shape);
                 put_u64(&mut out, *report_len);
                 put_u64(&mut out, *ldp_eps_bits);
+                if *version >= PROTOCOL_VERSION {
+                    put_string(&mut out, tenant);
+                }
             }
             Frame::Ingested { accepted: users }
             | Frame::Busy { accepted: users }
@@ -746,13 +771,28 @@ impl Frame {
     fn parse_payload(tag: u8, payload: &[u8]) -> Result<Frame, FrameError> {
         let mut c = Cursor::new(payload);
         let frame = match tag {
-            TAG_HELLO => Frame::Hello {
-                version: c.read_u32()?,
-                kind: c.read_string("mechanism kind")?,
-                shape: read_shape(&mut c)?,
-                report_len: c.read_u64()?,
-                ldp_eps_bits: c.read_u64()?,
-            },
+            TAG_HELLO => {
+                let version = c.read_u32()?;
+                let kind = c.read_string("mechanism kind")?;
+                let shape = read_shape(&mut c)?;
+                let report_len = c.read_u64()?;
+                let ldp_eps_bits = c.read_u64()?;
+                // The tenant field exists only from v4 on; a v3 payload
+                // ends exactly here and maps to the default (empty) tenant.
+                let tenant = if version >= PROTOCOL_VERSION {
+                    c.read_string("tenant name")?
+                } else {
+                    String::new()
+                };
+                Frame::Hello {
+                    version,
+                    kind,
+                    shape,
+                    report_len,
+                    ldp_eps_bits,
+                    tenant,
+                }
+            }
             TAG_HELLO_ACK => Frame::HelloAck {
                 users: c.read_u64()?,
                 run_line: c.read_string("run-identity line")?,
@@ -863,7 +903,20 @@ impl Frame {
             }
         }
         match self {
-            Frame::Hello { kind, shape, .. } => 4 + (4 + kind.len()) + shape_len(*shape) + 8 + 8,
+            Frame::Hello {
+                version,
+                kind,
+                shape,
+                tenant,
+                ..
+            } => {
+                let tenant_len = if *version >= PROTOCOL_VERSION {
+                    4 + tenant.len()
+                } else {
+                    0
+                };
+                4 + (4 + kind.len()) + shape_len(*shape) + 8 + 8 + tenant_len
+            }
             Frame::Ingested { .. }
             | Frame::Busy { .. }
             | Frame::CheckpointAck { .. }
@@ -1176,6 +1229,7 @@ mod tests {
             shape: ReportShape::Hashed { range: 7 },
             report_len: 64,
             ldp_eps_bits: 1.25f64.to_bits(),
+            tenant: "alpha".into(),
         });
         round_trip(Frame::Hello {
             version: PROTOCOL_VERSION,
@@ -1183,6 +1237,17 @@ mod tests {
             shape: ReportShape::ItemSet { k: 3 },
             report_len: 16,
             ldp_eps_bits: 2.0f64.to_bits(),
+            tenant: String::new(),
+        });
+        // A legacy v3 Hello has no tenant field on the wire; it decodes
+        // back to the empty (default) tenant and round-trips bytewise.
+        round_trip(Frame::Hello {
+            version: LEGACY_PROTOCOL_VERSION,
+            kind: "oue".into(),
+            shape: ReportShape::Bits,
+            report_len: 20,
+            ldp_eps_bits: 1.0f64.to_bits(),
+            tenant: String::new(),
         });
         round_trip(Frame::HelloAck {
             users: 12,
@@ -1225,6 +1290,54 @@ mod tests {
             offset: 2,
             estimates: vec![0.5, -0.25, 0.0],
         });
+    }
+
+    /// The v4 tenant field cannot disturb the v3 byte layout: a v3
+    /// `Hello` encoded by this codec is byte-identical to the hand-built
+    /// pre-tenancy layout (version, kind, shape, width, ε — nothing
+    /// after), and those bytes decode to the default (empty) tenant.
+    #[test]
+    fn v3_hello_bytes_are_unchanged_by_the_tenant_field() {
+        let kind = "oue";
+        let mut payload = Vec::new();
+        put_u32(&mut payload, LEGACY_PROTOCOL_VERSION);
+        put_string(&mut payload, kind);
+        put_shape(&mut payload, ReportShape::Bits);
+        put_u64(&mut payload, 20);
+        put_u64(&mut payload, 1.0f64.to_bits());
+        let legacy_bytes = frame_bytes(TAG_HELLO, payload);
+
+        let hello = Frame::Hello {
+            version: LEGACY_PROTOCOL_VERSION,
+            kind: kind.into(),
+            shape: ReportShape::Bits,
+            report_len: 20,
+            ldp_eps_bits: 1.0f64.to_bits(),
+            tenant: String::new(),
+        };
+        assert_eq!(hello.encode(), legacy_bytes, "v3 encode drifted");
+        assert_eq!(Frame::decode(&legacy_bytes).unwrap(), hello);
+
+        // And a v4 Hello is the same prefix plus exactly the tenant
+        // string — nothing reordered.
+        let v4 = Frame::Hello {
+            version: PROTOCOL_VERSION,
+            kind: kind.into(),
+            shape: ReportShape::Bits,
+            report_len: 20,
+            ldp_eps_bits: 1.0f64.to_bits(),
+            tenant: "alpha".into(),
+        };
+        let v4_bytes = v4.encode();
+        let legacy_payload = &legacy_bytes[5..];
+        // Same fields after the version word, in the same order...
+        assert_eq!(
+            &v4_bytes[5 + 4..5 + legacy_payload.len()],
+            &legacy_payload[4..],
+            "the v4 payload must extend the v3 layout, not reorder it"
+        );
+        // ...with the tenant string appended at the very end.
+        assert_eq!(&v4_bytes[v4_bytes.len() - 5..], b"alpha");
     }
 
     #[test]

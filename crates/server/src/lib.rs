@@ -36,6 +36,12 @@
 //! error — and a full ingest queue yields `Busy`, after which a retrying
 //! client still converges to the exact same estimates.
 //!
+//! A server hosts one or more *tenants* — fully independent (mechanism,
+//! ε) streams with per-tenant accumulators, ingest queues, and
+//! checkpoints. The mechanism passed to [`ReportServer::start`] serves
+//! the default tenant; [`server::TenantConfig`] adds more, and a v4
+//! `Hello` selects one by name (v3 clients land on the default tenant).
+//!
 //! ```no_run
 //! use idldp_core::budget::Epsilon;
 //! use idldp_core::grr::GeneralizedRandomizedResponse;
@@ -46,7 +52,8 @@
 //!
 //! let mechanism: Arc<dyn Mechanism> =
 //!     Arc::new(GeneralizedRandomizedResponse::new(Epsilon::new(1.0).unwrap(), 16).unwrap());
-//! let server = ReportServer::start(Arc::clone(&mechanism), ServerConfig::default()).unwrap();
+//! let config = ServerConfig::builder().build().unwrap();
+//! let server = ReportServer::start(Arc::clone(&mechanism), config).unwrap();
 //!
 //! let (mut client, _resumed) =
 //!     ReportClient::connect(server.local_addr(), mechanism.as_ref()).unwrap();
@@ -71,12 +78,15 @@ pub mod queue;
 mod reactor;
 pub mod server;
 
-pub use client::{ClientError, PushOutcome, ReportClient, MAX_STALLED_RETRIES};
-pub use conn::{check_hello, encode_reply};
+pub use client::{ClientError, PushOutcome, Query, Reply, ReportClient, MAX_STALLED_RETRIES};
+pub use conn::{check_hello, encode_reply, hello_tenant};
 pub use frame::{
     encode_reports_frame, encoded_report_len, estimates_reply_frames, snapshot_reply_frames, Frame,
-    FrameAssembler, FrameError, CHUNK_ELEMS, MAX_BIT_REPORT_SLOTS, MAX_PAYLOAD_LEN,
-    PROTOCOL_VERSION,
+    FrameAssembler, FrameError, CHUNK_ELEMS, LEGACY_PROTOCOL_VERSION, MAX_BIT_REPORT_SLOTS,
+    MAX_PAYLOAD_LEN, PROTOCOL_VERSION,
 };
 pub use queue::{IngestQueue, PushRefusal, WaitOutcome};
-pub use server::{run_identity_line, ConnectionEngine, ReportServer, ServerConfig, ServerError};
+pub use server::{
+    run_identity_line, ConnectionEngine, ReportServer, ServerConfig, ServerConfigBuilder,
+    ServerError, TenantConfig,
+};

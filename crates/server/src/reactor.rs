@@ -96,6 +96,9 @@ struct Conn {
     out: Vec<u8>,
     out_pos: usize,
     phase: Phase,
+    /// The tenant this connection bound to at handshake (index into the
+    /// shared registry; 0 — the default tenant — until the Hello lands).
+    tenant: usize,
     /// Reap deadline; refreshed each time a complete frame is processed.
     deadline: Option<Instant>,
     /// Interest currently registered with the poller, to skip redundant
@@ -330,6 +333,7 @@ fn register_conn(
         out: Vec::new(),
         out_pos: 0,
         phase: Phase::Handshake,
+        tenant: 0,
         deadline: None,
         interest: (true, false),
     };
@@ -411,7 +415,8 @@ fn process_ready(conn: &mut Conn, shared: &Shared, idle: Option<Duration>) -> bo
                 };
                 conn.touch(idle);
                 match conn::apply_hello(shared, frame) {
-                    Ok(ack) => {
+                    Ok((tenant, ack)) => {
+                        conn.tenant = tenant;
                         conn.queue_reply(&ack);
                         conn.phase = Phase::Open;
                     }
@@ -426,7 +431,7 @@ fn process_ready(conn: &mut Conn, shared: &Shared, idle: Option<Duration>) -> bo
                     return true;
                 };
                 conn.touch(idle);
-                match conn::apply_frame(shared, frame) {
+                match conn::apply_frame(shared, conn.tenant, frame) {
                     FrameAction::Reply(reply) => conn.queue_reply(&reply),
                     FrameAction::Settle(pending) => conn.phase = Phase::Settling(pending),
                 }
@@ -475,7 +480,12 @@ fn tick_settling(ctx: &LoopCtx, conns: &mut HashMap<usize, Conn>) {
         let Phase::Settling(pending) = &conn.phase else {
             continue;
         };
-        let Some(outcome) = ctx.shared.queue.poll_processed(pending.watermark) else {
+        let Some(outcome) = ctx
+            .shared
+            .tenant(pending.tenant)
+            .queue
+            .poll_processed(pending.watermark)
+        else {
             continue; // frontier still short of the watermark
         };
         let alive = match conn::settle_reply(&ctx.shared, pending, outcome) {

@@ -25,6 +25,7 @@
 use crate::conn::{self, FrameAction};
 use crate::frame::{Frame, FrameAssembler, FrameError};
 use crate::queue::{IngestQueue, WaitOutcome};
+use idldp_core::identity::{RunIdentity, TenantId};
 use idldp_core::mechanism::Mechanism;
 use idldp_core::report::Report;
 use idldp_core::report::{ReportData, ReportShape};
@@ -32,7 +33,7 @@ use idldp_core::snapshot::{open_store, AccumulatorSnapshot, SnapshotStore, Store
 use idldp_stream::{ShapedAccumulator, ShardedAccumulator};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -80,10 +81,10 @@ pub enum ConnectionEngine {
     /// Thread-per-connection blocking I/O behind a rendezvous acceptor:
     /// one connection worker per live connection, `accept` blocks while
     /// all are busy. Simple and debuggable; concurrency is bounded by
-    /// [`ServerConfig::connection_workers`].
+    /// [`ServerConfigBuilder::connection_workers`].
     #[default]
     Blocking,
-    /// Readiness reactor (epoll-style): [`ServerConfig::connection_workers`]
+    /// Readiness reactor (epoll-style): [`ServerConfigBuilder::connection_workers`]
     /// event loops multiplex *all* connections over non-blocking sockets —
     /// thousands of mostly-idle clients cost registrations, not threads.
     Reactor,
@@ -112,48 +113,114 @@ impl std::fmt::Display for ConnectionEngine {
     }
 }
 
-/// Tunables of a [`ReportServer`].
+/// One additional tenant (stream) a [`ReportServer`] hosts alongside the
+/// default tenant. Each tenant is a fully independent accumulation
+/// stream: its own mechanism, its own `ShardedAccumulator`, its own
+/// bounded ingest queue (so one hot tenant's `Busy` backpressure cannot
+/// starve another), and — when checkpointing is configured — its own
+/// tenant-namespaced checkpoint with independent restore.
+#[derive(Clone)]
+pub struct TenantConfig {
+    pub(crate) id: TenantId,
+    pub(crate) mechanism: Arc<dyn Mechanism>,
+    pub(crate) config_stamp: Option<String>,
+    pub(crate) queue_capacity: Option<usize>,
+}
+
+impl TenantConfig {
+    /// A tenant named `id` served by `mechanism`, with the server-wide
+    /// queue capacity and no config stamp.
+    pub fn new(id: TenantId, mechanism: Arc<dyn Mechanism>) -> Self {
+        Self {
+            id,
+            mechanism,
+            config_stamp: None,
+            queue_capacity: None,
+        }
+    }
+
+    /// Stamps this tenant's run identity with extra free-form config text
+    /// (the CLI stamps `mechanism=… m=… eps=… seed=…`), refusing
+    /// checkpoint restores under different construction parameters.
+    #[must_use]
+    pub fn with_config_stamp(mut self, stamp: impl Into<String>) -> Self {
+        self.config_stamp = Some(stamp.into());
+        self
+    }
+
+    /// Overrides the server-wide ingest-queue capacity for this tenant.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity);
+        self
+    }
+
+    /// The tenant's name.
+    #[must_use]
+    pub fn id(&self) -> &TenantId {
+        &self.id
+    }
+
+    /// A one-line human summary (`name = kind (stamp)`) for startup
+    /// banners.
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        match &self.config_stamp {
+            Some(stamp) => format!("{} = {} ({stamp})", self.id, self.mechanism.kind()),
+            None => format!("{} = {}", self.id, self.mechanism.kind()),
+        }
+    }
+}
+
+impl std::fmt::Debug for TenantConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantConfig")
+            .field("id", &self.id)
+            .field("kind", &self.mechanism.kind())
+            .field("config_stamp", &self.config_stamp)
+            .field("queue_capacity", &self.queue_capacity)
+            .finish()
+    }
+}
+
+/// Tunables of a [`ReportServer`], built through
+/// [`ServerConfig::builder`] — the builder validates everything once at
+/// [`ServerConfigBuilder::build`], so a `ServerConfig` value is always
+/// internally consistent (positive worker counts, positive capacities,
+/// distinct tenant names).
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Bind address; port `0` picks an ephemeral port (read it back from
-    /// [`ReportServer::local_addr`]).
-    pub addr: String,
-    /// Accumulator shards (see [`idldp_stream::ShardedAccumulator`]).
-    pub shards: usize,
-    /// Ingest queue capacity — the backpressure bound. Accepted-but-unfolded
-    /// reports never exceed this.
-    pub queue_capacity: usize,
-    /// Fold workers draining the ingest queue.
-    pub ingest_workers: usize,
-    /// Connection concurrency: blocking-engine workers (the acceptor
-    /// blocks once all are busy) or reactor event loops (each multiplexing
-    /// any number of connections).
-    pub connection_workers: usize,
-    /// Which connection engine serves the sockets.
-    pub engine: ConnectionEngine,
-    /// Reap a connection that completes no frame for this long — a silent
-    /// peer must not pin a blocking worker (or a reactor registration)
-    /// forever. `None` disables reaping.
-    pub idle_timeout: Option<Duration>,
-    /// Optional checkpoint path: restored (if present) at startup, written
-    /// durably on every `Checkpoint` control frame — through the
-    /// [`SnapshotStore`] backend selected by
-    /// [`ServerConfig::checkpoint_store`].
-    pub checkpoint_path: Option<PathBuf>,
-    /// Which [`SnapshotStore`] backend persists checkpoints at
-    /// [`ServerConfig::checkpoint_path`]: `file` (single atomic rewrite),
-    /// `sharded` (one file per accumulator shard + fsynced manifest,
-    /// parallel write/restore), or `delta` (append-only delta log,
-    /// O(traffic) per checkpoint). Any backend transparently restores a
-    /// checkpoint written by the plain file format.
-    pub checkpoint_store: StoreKind,
-    /// Extra run-identity text stamped into checkpoints alongside the
-    /// mechanism's kind/shape/width/ε. Embedders put everything that went
-    /// into *constructing* the mechanism here (the CLI stamps
-    /// `mechanism=… m=… eps=… seed=…`), so a restart under different
-    /// parameters refuses the old counts instead of silently restoring a
-    /// population perturbed under a different configuration.
-    pub config_stamp: Option<String>,
+    pub(crate) addr: String,
+    pub(crate) shards: usize,
+    pub(crate) queue_capacity: usize,
+    pub(crate) ingest_workers: usize,
+    pub(crate) connection_workers: usize,
+    pub(crate) engine: ConnectionEngine,
+    pub(crate) idle_timeout: Option<Duration>,
+    pub(crate) checkpoint_path: Option<PathBuf>,
+    pub(crate) checkpoint_store: StoreKind,
+    pub(crate) config_stamp: Option<String>,
+    pub(crate) tenants: Vec<TenantConfig>,
+}
+
+impl ServerConfig {
+    /// Starts a builder populated with the validated defaults: loopback
+    /// ephemeral bind, [`idldp_stream::DEFAULT_SHARDS`] shards, a 65 536
+    /// report queue, 2 ingest workers, 4 connection workers, the blocking
+    /// engine, a 60 s idle timeout, no checkpointing, and no extra
+    /// tenants.
+    #[must_use]
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            config: ServerConfig::default(),
+        }
+    }
+
+    /// The connection engine this config selects.
+    #[must_use]
+    pub fn engine(&self) -> ConnectionEngine {
+        self.engine
+    }
 }
 
 impl Default for ServerConfig {
@@ -169,6 +236,222 @@ impl Default for ServerConfig {
             checkpoint_path: None,
             checkpoint_store: StoreKind::default(),
             config_stamp: None,
+            tenants: Vec::new(),
+        }
+    }
+}
+
+/// Builder for [`ServerConfig`]. Every setter is chainable;
+/// [`ServerConfigBuilder::build`] validates the whole configuration and
+/// returns a typed [`ServerError::Config`] instead of letting a zero
+/// worker count or a duplicate tenant name reach the server.
+#[derive(Clone, Debug)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Bind address; port `0` picks an ephemeral port (read it back from
+    /// [`ReportServer::local_addr`]).
+    #[must_use]
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.config.addr = addr.into();
+        self
+    }
+
+    /// Accumulator shards per tenant (see
+    /// [`idldp_stream::ShardedAccumulator`]).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Per-tenant ingest-queue capacity — the backpressure bound.
+    /// Accepted-but-unfolded reports of one tenant never exceed this, and
+    /// the bound is accounted per tenant: a hot tenant filling its queue
+    /// draws `Busy` on its own connections without consuming another
+    /// tenant's admission capacity.
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Fold workers draining each tenant's ingest queue.
+    #[must_use]
+    pub fn ingest_workers(mut self, workers: usize) -> Self {
+        self.config.ingest_workers = workers;
+        self
+    }
+
+    /// Connection concurrency: blocking-engine workers (the acceptor
+    /// blocks once all are busy) or reactor event loops (each
+    /// multiplexing any number of connections).
+    #[must_use]
+    pub fn connection_workers(mut self, workers: usize) -> Self {
+        self.config.connection_workers = workers;
+        self
+    }
+
+    /// Which connection engine serves the sockets.
+    #[must_use]
+    pub fn engine(mut self, engine: ConnectionEngine) -> Self {
+        self.config.engine = engine;
+        self
+    }
+
+    /// Reap a connection that completes no frame for this long — a silent
+    /// peer must not pin a blocking worker (or a reactor registration)
+    /// forever. `None` disables reaping.
+    #[must_use]
+    pub fn idle_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.config.idle_timeout = timeout;
+        self
+    }
+
+    /// Checkpoint path: restored (if present) at startup, written durably
+    /// on every `Checkpoint` control frame — through the [`SnapshotStore`]
+    /// backend selected by [`ServerConfigBuilder::checkpoint_store`]. The
+    /// default tenant checkpoints at this exact path; every other tenant
+    /// at the tenant-namespaced sibling `<path>.tenant-<name>`, restored
+    /// independently.
+    #[must_use]
+    pub fn checkpoint_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Which [`SnapshotStore`] backend persists checkpoints: `file`
+    /// (single atomic rewrite), `sharded` (one file per accumulator
+    /// shard plus an fsynced manifest, parallel write/restore), or
+    /// `delta` (append-only delta log, O(traffic) per checkpoint). Any
+    /// backend transparently restores a checkpoint written by the plain
+    /// file format.
+    #[must_use]
+    pub fn checkpoint_store(mut self, store: StoreKind) -> Self {
+        self.config.checkpoint_store = store;
+        self
+    }
+
+    /// Extra run-identity text stamped into the *default* tenant's
+    /// checkpoints and `HelloAck` alongside the mechanism's
+    /// kind/shape/width/ε. Embedders put everything that went into
+    /// constructing the mechanism here (the CLI stamps `mechanism=… m=…
+    /// eps=… seed=…`), so a restart under different parameters refuses
+    /// the old counts instead of silently restoring a population
+    /// perturbed under a different configuration. Additional tenants
+    /// stamp via [`TenantConfig::with_config_stamp`].
+    #[must_use]
+    pub fn config_stamp(mut self, stamp: impl Into<String>) -> Self {
+        self.config.config_stamp = Some(stamp.into());
+        self
+    }
+
+    /// Adds a tenant (stream) alongside the default tenant, which is
+    /// always present and served by the mechanism passed to
+    /// [`ReportServer::start`]. A v4 `Hello` selects a tenant by name;
+    /// v3 clients land on the default tenant.
+    #[must_use]
+    pub fn tenant(mut self, tenant: TenantConfig) -> Self {
+        self.config.tenants.push(tenant);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    /// [`ServerError::Config`] when `shards`, `queue_capacity`,
+    /// `ingest_workers`, or `connection_workers` is zero, when a
+    /// per-tenant queue capacity is zero, or when two tenants (including
+    /// the implicit default) share a name.
+    pub fn build(self) -> Result<ServerConfig, ServerError> {
+        let config = self.config;
+        for (what, value) in [
+            ("shards", config.shards),
+            ("queue_capacity", config.queue_capacity),
+            ("ingest_workers", config.ingest_workers),
+            ("connection_workers", config.connection_workers),
+        ] {
+            if value == 0 {
+                return Err(ServerError::Config(format!("{what} must be positive")));
+            }
+        }
+        let mut seen = vec![TenantId::default_tenant()];
+        for tenant in &config.tenants {
+            if seen.contains(&tenant.id) {
+                return Err(ServerError::Config(format!(
+                    "duplicate tenant `{}` (the default tenant is always present)",
+                    tenant.id
+                )));
+            }
+            if tenant.queue_capacity == Some(0) {
+                return Err(ServerError::Config(format!(
+                    "tenant `{}`: queue_capacity must be positive",
+                    tenant.id
+                )));
+            }
+            seen.push(tenant.id.clone());
+        }
+        Ok(config)
+    }
+}
+
+/// One tenant's live server-side state: everything that accumulates or
+/// persists reports is per tenant, so streams cannot contaminate each
+/// other — not through the fold, not through backpressure, and not
+/// through a checkpoint.
+pub(crate) struct Tenant {
+    pub(crate) id: TenantId,
+    pub(crate) mechanism: Arc<dyn Mechanism>,
+    pub(crate) sink: ShardedAccumulator<ShapedAccumulator>,
+    /// This tenant's bounded ingest queue — per-tenant capacity
+    /// accounting, so a hot tenant's `Busy` cannot starve another
+    /// tenant's admissions, and per-tenant watermarks, so queries
+    /// linearize against their own stream only.
+    pub(crate) queue: IngestQueue<ReportData>,
+    /// This tenant's parsed run identity (sent in `HelloAck`, stamped
+    /// into checkpoints).
+    pub(crate) identity: RunIdentity,
+    /// Reports that failed to fold after acceptance (cannot happen for
+    /// reports the connection workers validated; counted defensively).
+    fold_failures: AtomicU64,
+    /// The open checkpoint store, if checkpointing is configured — at the
+    /// tenant-namespaced path. The mutex serializes concurrent
+    /// `Checkpoint` frames: the delta backend appends relative to the
+    /// snapshot it saved last, so saves must not interleave.
+    pub(crate) store: Option<Mutex<Box<dyn SnapshotStore>>>,
+}
+
+impl Tenant {
+    /// The run-identity stamp appended to this tenant's checkpoints and
+    /// sent in its `HelloAck`, refusing restores into a differently
+    /// configured stream.
+    pub(crate) fn run_line(&self) -> String {
+        self.identity.to_string()
+    }
+
+    /// Counts a batch that failed to fold after acceptance.
+    pub(crate) fn count_fold_failures(&self, reports: u64) {
+        self.fold_failures.fetch_add(reports, Ordering::SeqCst);
+    }
+
+    /// Waits for everything accepted into this tenant so far to be
+    /// folded, then freezes the merged view.
+    ///
+    /// # Errors
+    /// [`Settle::Shutdown`] when the server closed mid-wait (drop the
+    /// connection), [`Settle::Refuse`] when the wait cannot complete —
+    /// ingest is paused and the watermark needs still-queued reports, so
+    /// blocking would park the connection worker until resume (with every
+    /// worker parked, even the acceptor wedges). The typed refusal keeps
+    /// a paused maintenance window observable instead of hanging clients.
+    pub(crate) fn settled_snapshot(&self) -> Result<AccumulatorSnapshot, Settle> {
+        let watermark = self.queue.watermark();
+        match self.queue.wait_processed(watermark) {
+            WaitOutcome::Reached => Ok(self.sink.snapshot()),
+            WaitOutcome::Paused => Err(Settle::Refuse(conn::PAUSED_MSG.into())),
+            WaitOutcome::Closed => Err(Settle::Shutdown),
         }
     }
 }
@@ -176,20 +459,12 @@ impl Default for ServerConfig {
 /// Shared state between the acceptor (or reactor loops), connection
 /// workers, and ingest workers.
 pub(crate) struct Shared {
-    pub(crate) mechanism: Arc<dyn Mechanism>,
-    pub(crate) sink: ShardedAccumulator<ShapedAccumulator>,
-    pub(crate) queue: IngestQueue<ReportData>,
+    /// The tenant registry. Index 0 is always the default tenant (the
+    /// mechanism passed to [`ReportServer::start`]); a connection binds
+    /// to exactly one tenant at handshake time and carries its index for
+    /// the rest of its life.
+    pub(crate) tenants: Vec<Tenant>,
     pub(crate) stop: AtomicBool,
-    /// Reports that failed to fold after acceptance (cannot happen for
-    /// reports the connection workers validated; counted defensively).
-    fold_failures: AtomicU64,
-    /// The open checkpoint store, if checkpointing is configured. The
-    /// mutex serializes concurrent `Checkpoint` frames: the delta backend
-    /// appends relative to the snapshot it saved last, so saves must not
-    /// interleave (the file backend tolerates racing writers, but one
-    /// ordering rule for all backends is simpler than three).
-    pub(crate) store: Option<Mutex<Box<dyn SnapshotStore>>>,
-    config_stamp: Option<String>,
     /// Connections reaped for idling past the configured timeout (either
     /// engine) — observable via [`ReportServer::reaped_connections`].
     pub(crate) reaped: AtomicU64,
@@ -244,33 +519,32 @@ impl Shared {
         self.peak_buffered.fetch_max(bytes, Ordering::Relaxed);
     }
 
-    /// The run-identity stamp appended to checkpoints, refusing restores
-    /// into a differently configured server. Besides kind/shape/width it
-    /// carries the mechanism's exact plain-LDP budget (raw IEEE-754 bits —
-    /// two mechanisms of the same kind and width but different ε produce
-    /// incompatible counts) and the embedder's
-    /// [`ServerConfig::config_stamp`].
-    pub(crate) fn run_line(&self) -> String {
-        run_identity_line(self.mechanism.as_ref(), self.config_stamp.as_deref())
+    /// The tenant a connection bound to at handshake time.
+    pub(crate) fn tenant(&self, index: usize) -> &Tenant {
+        &self.tenants[index]
     }
 
-    /// Waits for everything accepted so far to be folded, then freezes the
-    /// merged view.
+    /// Resolves a `Hello`'s tenant name to a registry index. The empty
+    /// name (every v3 client, and a v4 client that names no tenant) maps
+    /// to the default tenant.
     ///
     /// # Errors
-    /// [`Settle::Shutdown`] when the server closed mid-wait (drop the
-    /// connection), [`Settle::Refuse`] when the wait cannot complete —
-    /// ingest is paused and the watermark needs still-queued reports, so
-    /// blocking would park the connection worker until resume (with every
-    /// worker parked, even the acceptor wedges). The typed refusal keeps
-    /// a paused maintenance window observable instead of hanging clients.
-    fn settled_snapshot(&self) -> Result<AccumulatorSnapshot, Settle> {
-        let watermark = self.queue.watermark();
-        match self.queue.wait_processed(watermark) {
-            WaitOutcome::Reached => Ok(self.sink.snapshot()),
-            WaitOutcome::Paused => Err(Settle::Refuse(conn::PAUSED_MSG.into())),
-            WaitOutcome::Closed => Err(Settle::Shutdown),
+    /// A client-visible reject message naming the unknown tenant and the
+    /// streams this server does host.
+    pub(crate) fn resolve_tenant(&self, name: &str) -> Result<usize, String> {
+        if name.is_empty() {
+            return Ok(0);
         }
+        self.tenants
+            .iter()
+            .position(|t| t.id.as_str() == name)
+            .ok_or_else(|| {
+                let hosted: Vec<&str> = self.tenants.iter().map(|t| t.id.as_str()).collect();
+                format!(
+                    "unknown tenant `{name}` (this server hosts: {})",
+                    hosted.join(", ")
+                )
+            })
     }
 }
 
@@ -279,24 +553,16 @@ impl Shared {
 /// anything). Public because it is also the fleet-identity contract: the
 /// server sends this exact line in its `HelloAck`, and a coordinator
 /// computes its *expected* line through this same function to refuse
-/// collectors running a different mechanism/m/ε/seed config.
+/// collectors running a different mechanism/m/ε/seed config. A thin
+/// wrapper over [`RunIdentity::for_mechanism`] — the one typed builder
+/// every tier shares, so the identity format can never drift between the
+/// server, the coordinator, and the checkpoint stores.
 pub fn run_identity_line(mechanism: &dyn Mechanism, config_stamp: Option<&str>) -> String {
-    let mut line = format!(
-        "run idldp-serve kind={} shape={} report_len={} ldp_eps={:016x}",
-        mechanism.kind(),
-        mechanism.report_shape().label(),
-        mechanism.report_len(),
-        mechanism.ldp_epsilon().to_bits()
-    );
-    if let Some(stamp) = config_stamp {
-        line.push(' ');
-        line.push_str(stamp);
-    }
-    line
+    RunIdentity::for_mechanism(RunIdentity::PRODUCER_SERVE, mechanism, config_stamp).to_string()
 }
 
 /// Why a settled view could not be produced.
-enum Settle {
+pub(crate) enum Settle {
     /// The server is shutting down — drop the connection.
     Shutdown,
     /// A typed, client-visible reason (paused ingest, oracle failure).
@@ -318,85 +584,41 @@ pub struct ReportServer {
 }
 
 impl ReportServer {
-    /// Binds, restores the checkpoint if one exists, and spawns the
-    /// acceptor, connection-worker, and ingest-worker threads.
+    /// Binds, restores every tenant's checkpoint if one exists, and
+    /// spawns the acceptor, connection-worker, and ingest-worker threads.
+    /// `mechanism` serves the default tenant; additional tenants come
+    /// from [`ServerConfigBuilder::tenant`].
     ///
     /// # Errors
-    /// Bind failures, unusable checkpoints, and a
+    /// Bind failures, unusable checkpoints, invalid configurations
+    /// (builder-validated fields re-checked here, so a hand-rolled
+    /// `Default` config is held to the same rules), and a
     /// [`ServerError::Config`] for a bit-vector mechanism wider than the
     /// wire protocol's [`crate::frame::MAX_BIT_REPORT_SLOTS`] (every
     /// report would be undecodable — fail at startup, not per frame).
-    ///
-    /// # Panics
-    /// Panics if `shards`, `queue_capacity`, `ingest_workers`, or
-    /// `connection_workers` is zero.
     pub fn start(mechanism: Arc<dyn Mechanism>, config: ServerConfig) -> Result<Self, ServerError> {
-        assert!(config.ingest_workers > 0, "need at least one ingest worker");
-        assert!(
-            config.connection_workers > 0,
-            "need at least one connection worker"
-        );
-        if matches!(mechanism.report_shape(), ReportShape::Bits)
-            && mechanism.report_len() > crate::frame::MAX_BIT_REPORT_SLOTS
-        {
-            return Err(ServerError::Config(format!(
-                "bit-vector mechanism width {} exceeds the wire cap of {} slots",
-                mechanism.report_len(),
-                crate::frame::MAX_BIT_REPORT_SLOTS
-            )));
+        // Re-validate: `Default` and `Clone` can produce a config without
+        // going through the builder.
+        let config = ServerConfigBuilder { config }.build()?;
+
+        let mut tenants = Vec::with_capacity(1 + config.tenants.len());
+        tenants.push(Self::start_tenant(
+            TenantConfig {
+                id: TenantId::default_tenant(),
+                mechanism,
+                config_stamp: config.config_stamp.clone(),
+                queue_capacity: None,
+            },
+            &config,
+        )?);
+        for tenant in &config.tenants {
+            tenants.push(Self::start_tenant(tenant.clone(), &config)?);
         }
-        let sink = ShardedAccumulator::new(
-            ShapedAccumulator::for_mechanism(mechanism.as_ref()),
-            config.shards,
-        );
 
-        // Restore-at-start goes through the configured store backend; the
-        // store stays open in `Shared` to serve `Checkpoint` frames. Any
-        // backend accepts a v1 flat checkpoint here (migration on read),
-        // so switching `--checkpoint-store` across restarts is safe.
-        let store = match &config.checkpoint_path {
-            Some(path) => {
-                let mut store = open_store(config.checkpoint_store, path.clone());
-                let want = run_identity_line(mechanism.as_ref(), config.config_stamp.as_deref());
-                match store.load() {
-                    Ok(Some(restored)) => {
-                        match restored.run_line() {
-                            Some(line) if line == want => {}
-                            Some(line) => {
-                                return Err(ServerError::Checkpoint(format!(
-                                    "{}: stamped `{line}`, this server is `{want}`",
-                                    path.display()
-                                )))
-                            }
-                            None => {
-                                return Err(ServerError::Checkpoint(format!(
-                                    "{}: missing run-identity line",
-                                    path.display()
-                                )))
-                            }
-                        }
-                        sink.restore_shards(restored.shards()).map_err(|e| {
-                            ServerError::Checkpoint(format!("{}: {e}", path.display()))
-                        })?;
-                    }
-                    Ok(None) => {}
-                    Err(e) => {
-                        return Err(ServerError::Checkpoint(format!("{}: {e}", path.display())))
-                    }
-                }
-                Some(Mutex::new(store))
-            }
-            None => None,
-        };
-
+        let ingest_workers = config.ingest_workers;
         let shared = Arc::new(Shared {
-            mechanism,
-            sink,
-            queue: IngestQueue::new(config.queue_capacity),
+            tenants,
             stop: AtomicBool::new(false),
-            fold_failures: AtomicU64::new(0),
-            store,
-            config_stamp: config.config_stamp.clone(),
             reaped: AtomicU64::new(0),
             peak_buffered: AtomicUsize::new(0),
             connections: Mutex::new(std::collections::HashMap::new()),
@@ -406,10 +628,17 @@ impl ReportServer {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
 
+        // Fold workers are per tenant: each tenant's queue drains
+        // independently, so a paused or saturated tenant cannot stall
+        // another tenant's fold pipeline.
         let mut workers = Vec::new();
-        for _ in 0..config.ingest_workers {
-            let shared = Arc::clone(&shared);
-            workers.push(std::thread::spawn(move || ingest_worker(&shared)));
+        for tenant_index in 0..shared.tenants.len() {
+            for _ in 0..ingest_workers {
+                let shared = Arc::clone(&shared);
+                workers.push(std::thread::spawn(move || {
+                    ingest_worker(&shared, tenant_index)
+                }));
+            }
         }
 
         let mut acceptor = None;
@@ -499,24 +728,125 @@ impl ReportServer {
         })
     }
 
+    /// Builds one tenant's live state: accumulator, bounded queue, run
+    /// identity, and — when checkpointing is configured — the open store
+    /// at the tenant-namespaced path, with the existing checkpoint (if
+    /// any) restored and identity-checked.
+    fn start_tenant(tenant: TenantConfig, config: &ServerConfig) -> Result<Tenant, ServerError> {
+        let TenantConfig {
+            id,
+            mechanism,
+            config_stamp,
+            queue_capacity,
+        } = tenant;
+        if matches!(mechanism.report_shape(), ReportShape::Bits)
+            && mechanism.report_len() > crate::frame::MAX_BIT_REPORT_SLOTS
+        {
+            return Err(ServerError::Config(format!(
+                "tenant `{id}`: bit-vector mechanism width {} exceeds the wire cap of {} slots",
+                mechanism.report_len(),
+                crate::frame::MAX_BIT_REPORT_SLOTS
+            )));
+        }
+        let identity = RunIdentity::for_mechanism(
+            RunIdentity::PRODUCER_SERVE,
+            mechanism.as_ref(),
+            config_stamp.as_deref(),
+        );
+        let sink = ShardedAccumulator::new(
+            ShapedAccumulator::for_mechanism(mechanism.as_ref()),
+            config.shards,
+        );
+
+        // Restore-at-start goes through the configured store backend; the
+        // store stays open in the tenant to serve `Checkpoint` frames. Any
+        // backend accepts a v1 flat checkpoint here (migration on read),
+        // so switching `--checkpoint-store` across restarts is safe.
+        let store = match &config.checkpoint_path {
+            Some(base) => {
+                let path = tenant_checkpoint_path(base, &id);
+                let mut store = open_store(config.checkpoint_store, path.clone());
+                let want = identity.to_string();
+                match store.load() {
+                    Ok(Some(restored)) => {
+                        match restored.run_line() {
+                            Some(line) if line == want => {}
+                            Some(line) => {
+                                return Err(ServerError::Checkpoint(format!(
+                                    "{}: stamped `{line}`, this server is `{want}`",
+                                    path.display()
+                                )))
+                            }
+                            None => {
+                                return Err(ServerError::Checkpoint(format!(
+                                    "{}: missing run-identity line",
+                                    path.display()
+                                )))
+                            }
+                        }
+                        sink.restore_shards(restored.shards()).map_err(|e| {
+                            ServerError::Checkpoint(format!("{}: {e}", path.display()))
+                        })?;
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        return Err(ServerError::Checkpoint(format!("{}: {e}", path.display())))
+                    }
+                }
+                Some(Mutex::new(store))
+            }
+            None => None,
+        };
+
+        Ok(Tenant {
+            id,
+            mechanism,
+            sink,
+            queue: IngestQueue::new(queue_capacity.unwrap_or(config.queue_capacity)),
+            identity,
+            fold_failures: AtomicU64::new(0),
+            store,
+        })
+    }
+
     /// The bound address (resolves an ephemeral port request).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
     }
 
-    /// Users folded into the accumulator so far.
+    /// Users folded into the *default* tenant's accumulator so far.
     pub fn num_users(&self) -> u64 {
-        self.shared.sink.num_users()
+        self.shared.tenants[0].sink.num_users()
     }
 
-    /// Accepted reports that failed to fold (always `0` unless a validator
-    /// / accumulator disagreement is introduced — monitored by tests).
+    /// Users folded into the named tenant's accumulator so far.
+    ///
+    /// # Errors
+    /// The same unknown-tenant message a wire client would see in its
+    /// `Reject`.
+    pub fn num_users_for(&self, tenant: &TenantId) -> Result<u64, String> {
+        let index = self.shared.resolve_tenant(tenant.as_str())?;
+        Ok(self.shared.tenants[index].sink.num_users())
+    }
+
+    /// Every tenant this server hosts, default tenant first.
+    pub fn tenant_ids(&self) -> Vec<TenantId> {
+        self.shared.tenants.iter().map(|t| t.id.clone()).collect()
+    }
+
+    /// Accepted reports that failed to fold, summed across tenants (always
+    /// `0` unless a validator / accumulator disagreement is introduced —
+    /// monitored by tests).
     pub fn fold_failures(&self) -> u64 {
-        self.shared.fold_failures.load(Ordering::SeqCst)
+        self.shared
+            .tenants
+            .iter()
+            .map(|t| t.fold_failures.load(Ordering::SeqCst))
+            .sum()
     }
 
     /// Connections reaped for completing no frame within the configured
-    /// [`ServerConfig::idle_timeout`] — silent peers and slow-loris drips
+    /// [`ServerConfigBuilder::idle_timeout`] — silent peers and slow-loris drips
     /// alike, under either engine.
     pub fn reaped_connections(&self) -> u64 {
         self.shared.reaped.load(Ordering::SeqCst)
@@ -530,28 +860,34 @@ impl ReportServer {
         self.shared.peak_buffered.load(Ordering::Relaxed)
     }
 
-    /// Freezes the merged accumulator view after draining the queue (or
-    /// the current view as-is when draining cannot complete — paused
-    /// ingest or shutdown). For tests and embedders; remote callers use
-    /// the `Query` frame.
+    /// Freezes the *default* tenant's merged accumulator view after
+    /// draining its queue (or the current view as-is when draining cannot
+    /// complete — paused ingest or shutdown). For tests and embedders;
+    /// remote callers use the `Query` frame.
     pub fn snapshot(&self) -> AccumulatorSnapshot {
-        self.shared
+        let tenant = &self.shared.tenants[0];
+        tenant
             .settled_snapshot()
-            .unwrap_or_else(|_| self.shared.sink.snapshot())
+            .unwrap_or_else(|_| tenant.sink.snapshot())
     }
 
-    /// Pauses folding: accepted reports stay queued, so the bounded queue
-    /// fills and further pushes draw `Busy` — deterministic backpressure
-    /// for tests and maintenance windows. Queries whose watermark needs
-    /// still-queued reports answer with a typed `Reject` while paused
-    /// (blocking them would park connection workers until resume).
+    /// Pauses folding on every tenant: accepted reports stay queued, so
+    /// the bounded queues fill and further pushes draw `Busy` —
+    /// deterministic backpressure for tests and maintenance windows.
+    /// Queries whose watermark needs still-queued reports answer with a
+    /// typed `Reject` while paused (blocking them would park connection
+    /// workers until resume).
     pub fn pause_ingest(&self) {
-        self.shared.queue.set_paused(true);
+        for tenant in &self.shared.tenants {
+            tenant.queue.set_paused(true);
+        }
     }
 
     /// Resumes folding after [`Self::pause_ingest`].
     pub fn resume_ingest(&self) {
-        self.shared.queue.set_paused(false);
+        for tenant in &self.shared.tenants {
+            tenant.queue.set_paused(false);
+        }
     }
 
     /// Orderly stop: refuse new work, wake every blocked thread, join them
@@ -560,7 +896,9 @@ impl ReportServer {
     /// first.
     pub fn shutdown(mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
-        self.shared.queue.close();
+        for tenant in &self.shared.tenants {
+            tenant.queue.close();
+        }
         // Reactor loops: wake each poller so it observes the stop flag
         // and closes its connections.
         #[cfg(unix)]
@@ -590,26 +928,45 @@ impl ReportServer {
     }
 }
 
-/// Drains the ingest queue into the sharded accumulator, one whole batch
-/// (one `Reports` frame) per pop: a frame costs one lock acquisition and
-/// one batched fold ([`ShardedAccumulator::push_batch`]) instead of
-/// per-report round trips. The [`crate::queue::BatchTicket`] from `pop`
-/// is handed back to `mark_processed` so the queue's completion frontier
-/// stays contiguous across workers — a query watermark is only satisfied
-/// once every report below it is actually folded, not merely an equal
-/// *count* of later ones.
-fn ingest_worker(shared: &Shared) {
-    while let Some((ticket, batch)) = shared.queue.pop() {
+/// Where a tenant's checkpoints live. The default tenant uses the
+/// configured path verbatim — a single-tenant server checkpoints exactly
+/// where every earlier protocol version did. A named tenant gets the
+/// sibling `<path>.tenant-<name>` (tenant ids cannot contain separators,
+/// so the name embeds verbatim), keeping all of one server's checkpoints
+/// next to each other while every tenant restores independently.
+pub(crate) fn tenant_checkpoint_path(base: &Path, id: &TenantId) -> PathBuf {
+    if id.is_default() {
+        return base.to_path_buf();
+    }
+    match base.file_name() {
+        Some(name) => {
+            let mut name = name.to_os_string();
+            name.push(format!(".tenant-{id}"));
+            base.with_file_name(name)
+        }
+        None => base.join(format!("tenant-{id}")),
+    }
+}
+
+/// Drains one tenant's ingest queue into its sharded accumulator, one
+/// whole batch (one `Reports` frame) per pop: a frame costs one lock
+/// acquisition and one batched fold ([`ShardedAccumulator::push_batch`])
+/// instead of per-report round trips. The [`crate::queue::BatchTicket`]
+/// from `pop` is handed back to `mark_processed` so the queue's
+/// completion frontier stays contiguous across workers — a query
+/// watermark is only satisfied once every report below it is actually
+/// folded, not merely an equal *count* of later ones.
+fn ingest_worker(shared: &Shared, tenant_index: usize) {
+    let tenant = shared.tenant(tenant_index);
+    while let Some((ticket, batch)) = tenant.queue.pop() {
         let reports: Vec<Report<'_>> = batch.iter().map(ReportData::as_report).collect();
-        if shared.sink.push_batch(&reports).is_err() {
+        if tenant.sink.push_batch(&reports).is_err() {
             // Cannot happen for reports the connection workers validated
             // (the batched fold validates by the same core definition);
             // counted defensively, batch-atomically.
-            shared
-                .fold_failures
-                .fetch_add(batch.len() as u64, Ordering::SeqCst);
+            tenant.count_fold_failures(batch.len() as u64);
         }
-        shared.queue.mark_processed(ticket);
+        tenant.queue.mark_processed(ticket);
     }
 }
 
@@ -715,10 +1072,13 @@ fn serve_frames(stream: &mut TcpStream, shared: &Shared, idle: Option<Duration>)
     let mut buf = [0u8; 8 << 10];
     let mut deadline = idle.map(|d| Instant::now() + d);
 
-    // Handshake: the first frame must be a matching Hello.
+    // Handshake: the first frame must be a matching Hello; it binds the
+    // connection to one tenant for the rest of its life.
+    let tenant;
     match read_frame_blocking(stream, &mut asm, &mut buf, deadline, shared) {
         Ok(frame) => match conn::apply_hello(shared, frame) {
-            Ok(ack) => {
+            Ok((index, ack)) => {
+                tenant = index;
                 if send_reply(stream, &ack).is_err() {
                     return;
                 }
@@ -765,10 +1125,13 @@ fn serve_frames(stream: &mut TcpStream, shared: &Shared, idle: Option<Duration>)
                 return;
             }
         };
-        let reply = match conn::apply_frame(shared, frame) {
+        let reply = match conn::apply_frame(shared, tenant, frame) {
             FrameAction::Reply(reply) => reply,
             FrameAction::Settle(pending) => {
-                let outcome = shared.queue.wait_processed(pending.watermark);
+                let outcome = shared
+                    .tenant(pending.tenant)
+                    .queue
+                    .wait_processed(pending.watermark);
                 match conn::settle_reply(shared, &pending, outcome) {
                     Some(reply) => reply,
                     None => return, // shutdown mid-query: drop without a reply

@@ -57,10 +57,7 @@ fn over_cap_estimate_and_snapshot_replies_reassemble_bit_identically() {
     for engine in engines() {
         let server = ReportServer::start(
             Arc::clone(&mechanism),
-            ServerConfig {
-                engine,
-                ..ServerConfig::default()
-            },
+            ServerConfig::builder().engine(engine).build().unwrap(),
         )
         .unwrap();
         let (mut client, resumed) =

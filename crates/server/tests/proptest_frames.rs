@@ -66,6 +66,9 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             match kind {
                 0 => Frame::Hello {
                     version: PROTOCOL_VERSION,
+                    // Any string must survive the codec round trip, not
+                    // just validated tenant ids: decode is total.
+                    tenant: message.chars().rev().collect(),
                     kind: message,
                     shape: reports
                         .first()

@@ -38,12 +38,12 @@ fn mechanism() -> Arc<dyn Mechanism> {
 }
 
 fn reactor_config(workers: usize, idle: Option<Duration>) -> ServerConfig {
-    ServerConfig {
-        engine: ConnectionEngine::Reactor,
-        connection_workers: workers,
-        idle_timeout: idle,
-        ..ServerConfig::default()
-    }
+    ServerConfig::builder()
+        .engine(ConnectionEngine::Reactor)
+        .connection_workers(workers)
+        .idle_timeout(idle)
+        .build()
+        .unwrap()
 }
 
 /// Deterministic report population: folding is deterministic, so two
@@ -80,10 +80,10 @@ fn thousand_idle_connections_do_not_stall_accept_or_ingest() {
     // Reference answer from the blocking engine.
     let blocking = ReportServer::start(
         Arc::clone(&mech),
-        ServerConfig {
-            engine: ConnectionEngine::Blocking,
-            ..ServerConfig::default()
-        },
+        ServerConfig::builder()
+            .engine(ConnectionEngine::Blocking)
+            .build()
+            .unwrap(),
     )
     .unwrap();
     let (want_users, want) = push_and_query(&blocking, mech.as_ref(), &all);
@@ -169,6 +169,7 @@ fn slow_loris_is_reaped_and_does_not_starve_active_ingest() {
         shape: mech.report_shape(),
         report_len: mech.report_len() as u64,
         ldp_eps_bits: mech.ldp_epsilon().to_bits(),
+        tenant: String::new(),
     };
     let mut loris = TcpStream::connect(server.local_addr()).unwrap();
     loris.write_all(&hello.encode()).unwrap();

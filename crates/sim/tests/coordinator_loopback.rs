@@ -60,10 +60,7 @@ fn engines() -> Vec<ConnectionEngine> {
 }
 
 fn engine_config(engine: ConnectionEngine) -> ServerConfig {
-    ServerConfig {
-        engine,
-        ..ServerConfig::default()
-    }
+    ServerConfig::builder().engine(engine).build().unwrap()
 }
 
 fn items(n: usize, m: usize) -> Vec<u32> {
@@ -352,10 +349,11 @@ fn busy_saturated_collector_spills_and_a_retrying_client_converges_exactly() {
 
     for engine in engines() {
         let capacity = 64; // CHUNK = 128 > capacity: one frame overfills a queue
-        let config = ServerConfig {
-            queue_capacity: capacity,
-            ..engine_config(engine)
-        };
+        let config = ServerConfig::builder()
+            .engine(engine)
+            .queue_capacity(capacity)
+            .build()
+            .unwrap();
         let slow =
             ReportServer::start(mechanism.clone() as Arc<dyn Mechanism>, config.clone()).unwrap();
         let fast = ReportServer::start(mechanism.clone() as Arc<dyn Mechanism>, config).unwrap();
@@ -454,10 +452,7 @@ fn busy_saturated_collector_spills_and_a_retrying_client_converges_exactly() {
 fn registration_refuses_mismatched_fleets() {
     let mechanism: Arc<dyn BatchMechanism> =
         Arc::new(GeneralizedRandomizedResponse::new(eps(1.2), 16).unwrap());
-    let stamped = |stamp: &str| ServerConfig {
-        config_stamp: Some(stamp.to_string()),
-        ..ServerConfig::default()
-    };
+    let stamped = |stamp: &str| ServerConfig::builder().config_stamp(stamp).build().unwrap();
     let a = ReportServer::start(
         mechanism.clone() as Arc<dyn Mechanism>,
         stamped("mechanism=grr m=16 eps=1.2 seed=1"),
@@ -544,9 +539,11 @@ fn coordinated_checkpoint_covers_the_fleet_and_restores_bit_identically() {
     let dir = std::env::temp_dir().join(format!("idldp-coord-loopback-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let ckpts = [dir.join("a.ckpt"), dir.join("b.ckpt")];
-    let config = |ckpt: &std::path::Path| ServerConfig {
-        checkpoint_path: Some(ckpt.to_path_buf()),
-        ..ServerConfig::default()
+    let config = |ckpt: &std::path::Path| {
+        ServerConfig::builder()
+            .checkpoint_path(ckpt)
+            .build()
+            .unwrap()
     };
 
     // First life: ingest half the stream through the coordinator, then

@@ -67,10 +67,7 @@ fn engines() -> Vec<ConnectionEngine> {
 
 /// A [`ServerConfig`] pinned to one engine (defaults otherwise).
 fn engine_config(engine: ConnectionEngine) -> ServerConfig {
-    ServerConfig {
-        engine,
-        ..ServerConfig::default()
-    }
+    ServerConfig::builder().engine(engine).build().unwrap()
 }
 
 fn items(n: usize, m: usize) -> Vec<u32> {
@@ -261,10 +258,11 @@ fn full_ingest_queue_yields_busy_and_a_retrying_client_still_converges() {
         let capacity = 64;
         let server = ReportServer::start(
             mechanism.clone() as Arc<dyn Mechanism>,
-            ServerConfig {
-                queue_capacity: capacity,
-                ..engine_config(engine)
-            },
+            ServerConfig::builder()
+                .engine(engine)
+                .queue_capacity(capacity)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         let (mut client, _) =
@@ -492,11 +490,12 @@ fn checkpoint_restart_resumes_bit_identically_over_tcp() {
             ));
             std::fs::create_dir_all(&dir).unwrap();
             let ckpt = dir.join("serve.ckpt");
-            let config = ServerConfig {
-                checkpoint_path: Some(ckpt.clone()),
-                checkpoint_store: store,
-                ..engine_config(engine)
-            };
+            let config = ServerConfig::builder()
+                .engine(engine)
+                .checkpoint_path(ckpt.clone())
+                .checkpoint_store(store)
+                .build()
+                .unwrap();
 
             let chunks = wire_chunks(mechanism.as_ref(), inputs.as_batch());
             let half = chunks.len() / 2;
@@ -546,11 +545,12 @@ fn checkpoint_restart_resumes_bit_identically_over_tcp() {
             // outright — whether the mechanism kind differs...
             let other: Arc<dyn BatchMechanism> =
                 Arc::new(GeneralizedRandomizedResponse::new(eps(1.2), 16).unwrap());
-            let again = ServerConfig {
-                checkpoint_path: Some(ckpt.clone()),
-                checkpoint_store: store,
-                ..engine_config(engine)
-            };
+            let again = ServerConfig::builder()
+                .engine(engine)
+                .checkpoint_path(ckpt.clone())
+                .checkpoint_store(store)
+                .build()
+                .unwrap();
             assert!(
                 ReportServer::start(other as Arc<dyn Mechanism>, again).is_err(),
                 "{label}: other kind must refuse"
@@ -560,11 +560,12 @@ fn checkpoint_restart_resumes_bit_identically_over_tcp() {
             // restored, because the oracle would calibrate them wrongly).
             let other_eps: Arc<dyn BatchMechanism> =
                 Arc::new(UnaryEncoding::optimized(eps(2.5), 16).unwrap());
-            let again = ServerConfig {
-                checkpoint_path: Some(ckpt),
-                checkpoint_store: store,
-                ..engine_config(engine)
-            };
+            let again = ServerConfig::builder()
+                .engine(engine)
+                .checkpoint_path(ckpt)
+                .checkpoint_store(store)
+                .build()
+                .unwrap();
             assert!(
                 ReportServer::start(other_eps as Arc<dyn Mechanism>, again).is_err(),
                 "{label}: other ε must refuse"
@@ -598,11 +599,12 @@ fn v1_flat_checkpoints_migrate_through_every_store_over_tcp() {
 
             // Write a v1 flat checkpoint the way the pre-store server did:
             // merged snapshot text + run line, one atomic file.
-            let config = ServerConfig {
-                checkpoint_path: Some(ckpt.clone()),
-                checkpoint_store: StoreKind::File,
-                ..engine_config(engine)
-            };
+            let config = ServerConfig::builder()
+                .engine(engine)
+                .checkpoint_path(ckpt.clone())
+                .checkpoint_store(StoreKind::File)
+                .build()
+                .unwrap();
             let server =
                 ReportServer::start(mechanism.clone() as Arc<dyn Mechanism>, config).unwrap();
             let (mut client, _) =
@@ -617,11 +619,12 @@ fn v1_flat_checkpoints_migrate_through_every_store_over_tcp() {
             // Restart under the backend being tested: the v1 file restores,
             // a new checkpoint migrates it, and a second restart restores
             // from the migrated form.
-            let config = ServerConfig {
-                checkpoint_path: Some(ckpt.clone()),
-                checkpoint_store: store,
-                ..engine_config(engine)
-            };
+            let config = ServerConfig::builder()
+                .engine(engine)
+                .checkpoint_path(ckpt.clone())
+                .checkpoint_store(store)
+                .build()
+                .unwrap();
             let server =
                 ReportServer::start(mechanism.clone() as Arc<dyn Mechanism>, config.clone())
                     .unwrap();
@@ -658,10 +661,11 @@ fn shutdown_completes_when_bound_to_the_unspecified_address() {
     for engine in engines() {
         let mechanism: Arc<dyn BatchMechanism> =
             Arc::new(GeneralizedRandomizedResponse::new(eps(1.0), 8).unwrap());
-        let config = ServerConfig {
-            addr: "0.0.0.0:0".into(),
-            ..engine_config(engine)
-        };
+        let config = ServerConfig::builder()
+            .engine(engine)
+            .addr("0.0.0.0:0")
+            .build()
+            .unwrap();
         let server = ReportServer::start(mechanism as Arc<dyn Mechanism>, config).unwrap();
         assert!(server.local_addr().ip().is_unspecified());
         let done = std::thread::spawn(move || server.shutdown());
